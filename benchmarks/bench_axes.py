@@ -1,0 +1,132 @@
+"""E7 — XPath axis generation from identifiers (paper §3.4–3.5).
+
+Times the rUID axis routines against navigational DOM walking for each
+axis, and tabulates the candidate-vs-filtered ablation (the paper's
+routines generate identifier candidates which may be virtual; the
+engine filters them against the existence index).
+"""
+
+import time
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.core import AxisEngine, Ruid2Labeling, SizeCapPartitioner
+from repro.core.axes import candidate_children, candidate_siblings
+from repro.query.evaluator import NavigationalEvaluator
+
+_AXES = (
+    "parent",
+    "ancestor",
+    "child",
+    "descendant",
+    "preceding-sibling",
+    "following-sibling",
+    "preceding",
+    "following",
+)
+
+
+@pytest.fixture(scope="module")
+def labeling(xmark_bench_tree):
+    return Ruid2Labeling(xmark_bench_tree, partitioner=SizeCapPartitioner(24))
+
+
+@pytest.fixture(scope="module")
+def engine(labeling):
+    engine = AxisEngine(labeling)
+    engine.labels_in_area(1)  # warm the per-area index
+    return engine
+
+
+@pytest.fixture(scope="module")
+def sample_nodes(xmark_bench_tree):
+    nodes = xmark_bench_tree.nodes()
+    return nodes[:: max(1, len(nodes) // 60)]
+
+
+@pytest.mark.parametrize("axis", _AXES)
+def test_ruid_axis(benchmark, labeling, engine, sample_nodes, axis):
+    labels = [labeling.label_of(node) for node in sample_nodes]
+
+    def run():
+        for label in labels:
+            engine.axis(label, axis)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("axis", _AXES)
+def test_navigational_axis(benchmark, xmark_bench_tree, sample_nodes, axis):
+    evaluator = NavigationalEvaluator(xmark_bench_tree)
+    evaluator.doc_order()  # warm, like the engine's index
+
+    def run():
+        for node in sample_nodes:
+            evaluator.axis_nodes(node, axis)
+
+    benchmark(run)
+
+
+@emits_table
+def test_e7_table(labeling, engine, sample_nodes, xmark_bench_tree):
+    """Side-by-side per-axis timing + result sizes."""
+    evaluator = NavigationalEvaluator(xmark_bench_tree)
+    evaluator.doc_order()
+    labels = [labeling.label_of(node) for node in sample_nodes]
+    rows = []
+    for axis in _AXES:
+        start = time.perf_counter()
+        total_ruid = sum(len(engine.axis(label, axis)) for label in labels)
+        ruid_time = time.perf_counter() - start
+        start = time.perf_counter()
+        total_nav = sum(
+            len(evaluator.axis_nodes(node, axis)) for node in sample_nodes
+        )
+        nav_time = time.perf_counter() - start
+        assert total_ruid == total_nav  # correctness cross-check
+        rows.append(
+            (
+                axis,
+                total_ruid,
+                round(ruid_time * 1e3, 2),
+                round(nav_time * 1e3, 2),
+                round(nav_time / ruid_time, 2) if ruid_time else float("inf"),
+            )
+        )
+    emit(
+        "E7_axes",
+        ("axis", "result_nodes", "ruid_ms", "nav_ms", "nav/ruid"),
+        rows,
+        "E7: axis generation, 60 context nodes on ~2k-node document",
+    )
+
+
+@emits_table
+def test_e7_candidate_ablation(labeling, sample_nodes):
+    """Candidates generated vs real nodes kept, per routine."""
+    total_candidates = 0
+    total_real = 0
+    sibling_candidates = 0
+    sibling_real = 0
+    for node in sample_nodes:
+        label = labeling.label_of(node)
+        children = candidate_children(label, labeling.kappa, labeling.ktable)
+        total_candidates += len(children)
+        total_real += sum(1 for c in children if labeling.exists(c))
+        for preceding in (True, False):
+            sibs = candidate_siblings(label, labeling.kappa, labeling.ktable, preceding)
+            sibling_candidates += len(sibs)
+            sibling_real += sum(1 for s in sibs if labeling.exists(s))
+    rows = [
+        ("rchildren", total_candidates, total_real,
+         round(total_real / total_candidates, 3) if total_candidates else 1.0),
+        ("rsiblings", sibling_candidates, sibling_real,
+         round(sibling_real / sibling_candidates, 3) if sibling_candidates else 1.0),
+    ]
+    emit(
+        "E7_candidates",
+        ("routine", "candidates", "real", "hit_rate"),
+        rows,
+        "E7 ablation: candidate identifiers vs real nodes (virtual-slot waste)",
+    )

@@ -1,0 +1,121 @@
+"""E10 + E11 — labeling construction and partition ablation.
+
+E10 measures the Fig. 3 build algorithm's throughput against the other
+schemes' assignments. E11 verifies and quantifies the §2.3 fan-out
+adjustment: the LCA-closure promotion bounds the frame fan-out κ by
+the tree fan-out, at the cost of extra (usually few) areas.
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.baselines import get_scheme, scheme_names
+from repro.core import Frame, lca_closure, partition_summary
+from repro.core.partition import DepthStridePartitioner, SizeCapPartitioner
+from repro.generator import random_document
+
+
+@pytest.mark.parametrize("scheme_name", scheme_names())
+def test_build_throughput(benchmark, xmark_bench_tree, scheme_name):
+    scheme = get_scheme(scheme_name)
+    benchmark.pedantic(
+        lambda: scheme.build(xmark_bench_tree), rounds=3, iterations=1
+    )
+
+
+@emits_table
+def test_e10_build_table(xmark_bench_tree):
+    rows = []
+    for scheme_name in scheme_names():
+        scheme = get_scheme(scheme_name)
+        start = time.perf_counter()
+        labeling = scheme.build(xmark_bench_tree)
+        elapsed = time.perf_counter() - start
+        nodes = xmark_bench_tree.size()
+        rows.append(
+            (
+                scheme_name,
+                nodes,
+                round(elapsed * 1e3, 1),
+                int(nodes / elapsed),
+                labeling.memory_bytes(),
+            )
+        )
+    emit(
+        "E10_build",
+        ("scheme", "nodes", "build_ms", "nodes_per_s", "aux_bytes"),
+        rows,
+        "E10: labeling construction throughput (~2k-node document)",
+    )
+
+
+@emits_table
+def test_e10_partition_ablation(xmark_bench_tree):
+    """Partition strategy × budget → areas, κ, K size, area stats."""
+    rows = []
+    strategies = [
+        ("size-cap", SizeCapPartitioner, (8, 16, 32, 64)),
+        ("depth-stride", DepthStridePartitioner, (2, 3, 4)),
+    ]
+    for label, factory, budgets in strategies:
+        for budget in budgets:
+            roots = factory(budget).partition(xmark_bench_tree)
+            summary = partition_summary(xmark_bench_tree, roots)
+            rows.append(
+                (
+                    label,
+                    budget,
+                    summary["areas"],
+                    summary["kappa"],
+                    round(summary["mean_area_size"], 1),
+                    summary["max_area_size"],
+                )
+            )
+    emit(
+        "E10_partition",
+        ("strategy", "budget", "areas", "kappa", "mean_area", "max_area"),
+        rows,
+        "E10 ablation: partition strategy vs frame/area shape",
+    )
+
+
+@emits_table
+def test_e11_fanout_adjustment():
+    """κ before/after LCA closure on adversarial random root sets."""
+    rows = []
+    for seed in range(6):
+        tree = random_document(600, seed=200 + seed, fanout_kind="uniform", low=1, high=5)
+        rng = random.Random(seed)
+        nodes = tree.nodes()
+        raw = {tree.root.node_id} | {
+            nodes[rng.randrange(len(nodes))].node_id for _ in range(40)
+        }
+        kappa_before = Frame(tree, raw).max_fan_out()
+        closed = lca_closure(tree, raw)
+        kappa_after = Frame(tree, closed).max_fan_out()
+        rows.append(
+            (
+                seed,
+                tree.max_fan_out(),
+                len(raw),
+                kappa_before,
+                len(closed),
+                kappa_after,
+            )
+        )
+        assert kappa_after <= max(1, tree.max_fan_out())
+    emit(
+        "E11_adjustment",
+        ("seed", "tree_fanout", "roots_before", "kappa_before", "roots_after", "kappa_after"),
+        rows,
+        "E11: section 2.3 fan-out adjustment via LCA closure",
+    )
+
+
+@pytest.mark.parametrize("cap", [8, 64])
+def test_partition_speed(benchmark, xmark_bench_tree, cap):
+    partitioner = SizeCapPartitioner(cap)
+    benchmark(lambda: partitioner.partition(xmark_bench_tree))

@@ -1,0 +1,73 @@
+"""E12 extension — federated deployment message costs (§4).
+
+Measures the network-message cost of structural operations when the
+document's UID-local areas are scattered across sites and only (κ, K)
+is replicated at the coordinator.
+"""
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.storage import FederatedDocument
+
+
+@pytest.fixture(scope="module")
+def federation(xmark_bench_tree):
+    labeling = Ruid2Labeling(xmark_bench_tree, partitioner=SizeCapPartitioner(16))
+    return FederatedDocument(labeling, site_count=4), labeling
+
+
+@emits_table
+def test_federation_message_table(federation):
+    fed, labeling = federation
+    tree = labeling.tree
+    deep_nodes = sorted(tree.preorder(), key=lambda n: -n.depth)[:50]
+
+    fed.reset_messages()
+    for node in deep_nodes:
+        fed.fetch(labeling.label_of(node))
+    fetch_messages = fed.total_messages()
+
+    fed.reset_messages()
+    for node in deep_nodes:
+        fed.fetch_parent(labeling.label_of(node))
+    parent_messages = fed.total_messages()
+
+    fed.reset_messages()
+    root_label = labeling.label_of(tree.root)
+    for node in deep_nodes:
+        fed.ancestry_check(root_label, labeling.label_of(node))
+    ancestry_messages = fed.total_messages()
+
+    tag_rows = []
+    for tag in ("person", "bidder", "city"):
+        fed.reset_messages()
+        _, routed = fed.find_tag(tag, routed=True)
+        fed.reset_messages()
+        _, broadcast = fed.find_tag(tag, routed=False)
+        tag_rows.append((f"find //{tag}", routed, broadcast))
+
+    rows = [
+        ("fetch x50", fetch_messages, fetch_messages),
+        ("fetch_parent x50", parent_messages, parent_messages),
+        ("ancestry_check x50", ancestry_messages, ancestry_messages),
+    ] + [(op, routed, broadcast) for op, routed, broadcast in tag_rows]
+    emit(
+        "E12_federation",
+        ("operation", "messages (routed)", "messages (broadcast)"),
+        rows,
+        "E12 extension: network messages, 4 sites, coordinator holds only (kappa, K)",
+    )
+    assert parent_messages == 50  # arithmetic is free, fetch costs 1
+    assert ancestry_messages == 0
+
+
+@pytest.mark.parametrize("site_count", [2, 8])
+def test_federation_build(benchmark, xmark_bench_tree, site_count):
+    labeling = Ruid2Labeling(xmark_bench_tree, partitioner=SizeCapPartitioner(16))
+    benchmark.pedantic(
+        lambda: FederatedDocument(labeling, site_count=site_count),
+        rounds=3,
+        iterations=1,
+    )

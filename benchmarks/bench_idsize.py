@@ -1,0 +1,112 @@
+"""E4 — identifier-size growth (paper §1, §3.1).
+
+Regenerates the identifier-explosion argument: on shape-adversarial
+documents the original UID's identifiers overflow 64-bit integers even
+when the document is tiny, because values grow like ``k ** depth``;
+the 2-level rUID bounds both components by area-local dimensions, and
+additional levels shrink the top frame further. Dewey/region/pre-post
+are included for context.
+
+Also runs the multilevel ablation (m = 1, 2, 3) and the area-size
+ablation DESIGN.md calls out.
+"""
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.analysis import BIT_SIZE_HEADERS, measure_bits, sweep_schemes
+from repro.baselines import all_schemes
+from repro.core import MultiRuidScheme, Ruid2Scheme, SizeCapPartitioner, UidScheme
+from repro.generator import (
+    generate_dblp,
+    generate_treebank,
+    generate_xmark,
+    shape_catalog,
+    skewed_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(xmark_bench_tree, dblp_bench_tree):
+    documents = {"xmark": xmark_bench_tree, "dblp": dblp_bench_tree}
+    documents.update(shape_catalog(400))
+    documents["skewed-hard"] = skewed_tree(depth=50, heavy_fan_out=120)
+    documents["treebank"] = generate_treebank(sentences=30, max_depth=16, seed=2002)
+    return documents
+
+
+@emits_table
+def test_e4_bits_table(corpus):
+    rows = []
+    for doc_name, tree in sorted(corpus.items()):
+        for measurement in sweep_schemes(tree, all_schemes()):
+            rows.append((doc_name,) + measurement.as_row())
+    emit(
+        "E4_idsize",
+        ("doc",) + BIT_SIZE_HEADERS,
+        rows,
+        "E4: identifier bit sizes per document shape per scheme",
+    )
+    # the paper's headline: UID overflows 64 bits on the hard shape,
+    # rUID does not
+    hard = {
+        row[1]: row for row in rows if row[0] == "skewed-hard"
+    }
+    assert hard["uid"][3] > 64  # max_bits
+    assert hard["ruid2"][3] <= 64
+    assert hard["ruid-multi"][3] <= 64
+
+
+@emits_table
+def test_e4_multilevel_ablation(corpus):
+    """Bits vs level count m ∈ {1 (UID), 2, 3} on each document."""
+    rows = []
+    for doc_name, tree in sorted(corpus.items()):
+        variants = [
+            ("m=1 (uid)", UidScheme()),
+            ("m=2", MultiRuidScheme(levels=2, partitioners=SizeCapPartitioner(16))),
+            ("m=3", MultiRuidScheme(levels=3, partitioners=SizeCapPartitioner(16))),
+        ]
+        for label, scheme in variants:
+            measurement = measure_bits(scheme.build(tree))
+            rows.append((doc_name, label, measurement.max_bits,
+                         round(measurement.mean_bits, 1)))
+    emit(
+        "E4_levels",
+        ("doc", "levels", "max_bits", "mean_bits"),
+        rows,
+        "E4 ablation: rUID level count vs identifier width",
+    )
+
+
+@emits_table
+def test_e4_area_size_ablation(xmark_bench_tree):
+    """Bits and auxiliary-memory trade-off vs area-size budget."""
+    rows = []
+    for cap in (4, 8, 16, 32, 64, 128):
+        labeling = Ruid2Scheme(max_area_size=cap).build(xmark_bench_tree)
+        measurement = measure_bits(labeling)
+        rows.append(
+            (
+                cap,
+                labeling.core.area_count(),
+                labeling.core.kappa,
+                measurement.max_bits,
+                round(measurement.mean_bits, 1),
+                measurement.aux_memory_bytes,
+            )
+        )
+    emit(
+        "E4_area_size",
+        ("area_cap", "areas", "kappa", "max_bits", "mean_bits", "K_bytes"),
+        rows,
+        "E4 ablation: area-size budget vs identifier width vs table-K size",
+    )
+
+
+@pytest.mark.parametrize("scheme_name", ["uid", "ruid2", "dewey"])
+def test_bits_measurement_speed(benchmark, xmark_bench_tree, scheme_name):
+    from repro.baselines import get_scheme
+
+    labeling = get_scheme(scheme_name).build(xmark_bench_tree)
+    benchmark(lambda: labeling.max_label_bits())

@@ -1,0 +1,80 @@
+"""E8 extension — structural joins over labels.
+
+The structural join (ancestor ⋈ descendant on two node sets) is the
+database operator numbering schemes exist for (Li–Moon [6], Zhang et
+al. [11] in the paper's related work). This bench compares the
+stack-tree sort-merge join against the nested-loop baseline, per
+scheme, on the auction corpus.
+"""
+
+import time
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.baselines import get_scheme
+from repro.query import nested_loop_join, stack_tree_join
+
+_JOIN_SCHEMES = ("uid", "ruid2", "dewey", "prepost", "region")
+
+
+@pytest.fixture(scope="module")
+def join_inputs(xmark_bench_tree):
+    persons = xmark_bench_tree.find_by_tag("person")
+    names = xmark_bench_tree.find_by_tag("name")
+    return persons, names
+
+
+@pytest.mark.parametrize("scheme_name", _JOIN_SCHEMES)
+def test_stack_join(benchmark, xmark_bench_tree, join_inputs, scheme_name):
+    labeling = get_scheme(scheme_name).build(xmark_bench_tree)
+    persons, names = join_inputs
+    a_labels = [labeling.label_of(n) for n in persons]
+    d_labels = [labeling.label_of(n) for n in names]
+    benchmark(lambda: stack_tree_join(labeling, a_labels, d_labels))
+
+
+@pytest.mark.parametrize("scheme_name", ["ruid2", "region"])
+def test_nested_join(benchmark, xmark_bench_tree, join_inputs, scheme_name):
+    labeling = get_scheme(scheme_name).build(xmark_bench_tree)
+    persons, names = join_inputs
+    a_labels = [labeling.label_of(n) for n in persons]
+    d_labels = [labeling.label_of(n) for n in names]
+    benchmark.pedantic(
+        lambda: nested_loop_join(labeling, a_labels, d_labels), rounds=3, iterations=1
+    )
+
+
+@emits_table
+def test_join_table(xmark_bench_tree, join_inputs):
+    persons, names = join_inputs
+    rows = []
+    for scheme_name in _JOIN_SCHEMES:
+        labeling = get_scheme(scheme_name).build(xmark_bench_tree)
+        a_labels = [labeling.label_of(n) for n in persons]
+        d_labels = [labeling.label_of(n) for n in names]
+        start = time.perf_counter()
+        stack_pairs = stack_tree_join(labeling, a_labels, d_labels)
+        stack_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        nested_pairs = nested_loop_join(labeling, a_labels, d_labels)
+        nested_ms = (time.perf_counter() - start) * 1e3
+        assert stack_pairs == nested_pairs
+        rows.append(
+            (
+                scheme_name,
+                len(a_labels),
+                len(d_labels),
+                len(stack_pairs),
+                round(stack_ms, 2),
+                round(nested_ms, 2),
+            )
+        )
+    emit(
+        "E8_joins",
+        ("scheme", "|A|", "|D|", "pairs", "stack_ms", "nested_ms"),
+        rows,
+        "E8 extension: person ⋈ name structural join per scheme",
+    )
+    # the sort-merge join must beat the quadratic baseline everywhere
+    assert all(row[4] < row[5] for row in rows)

@@ -1,0 +1,109 @@
+"""E6 — parent computation cost (paper §2.2, §3.3, observation 2).
+
+Regenerates the comparison behind "even though the function to find the
+parent node's identifier ... is more complicated than the one in the
+original UID, since the computation occurs mostly in main memory, the
+distinction is not significant":
+
+* per-operation timing of ``parent(label)`` for every scheme;
+* index probes charged by the schemes that cannot compute parents
+  arithmetically (pre/post, region, position/depth);
+* storage I/O of a parent *fetch* through the database, per scheme.
+"""
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.baselines import get_scheme, scheme_names
+from repro.storage import XmlDatabase
+
+_SCHEMES = [name for name in scheme_names()]
+
+
+@pytest.fixture(scope="module")
+def labelings(xmark_bench_tree):
+    return {
+        name: get_scheme(name).build(xmark_bench_tree) for name in _SCHEMES
+    }
+
+
+@pytest.fixture(scope="module")
+def parent_targets(xmark_bench_tree):
+    """A fixed sample of non-root nodes, deepest-heavy."""
+    nodes = [n for n in xmark_bench_tree.preorder() if n.parent is not None]
+    nodes.sort(key=lambda n: -n.depth)
+    return nodes[: min(400, len(nodes))]
+
+
+@pytest.mark.parametrize("scheme_name", _SCHEMES)
+def test_parent_step(benchmark, labelings, parent_targets, scheme_name):
+    """Time one batch of parent computations under each scheme."""
+    labeling = labelings[scheme_name]
+    labels = [labeling.label_of(node) for node in parent_targets]
+
+    def run():
+        for label in labels:
+            labeling.parent_label(label)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("scheme_name", ["uid", "ruid2", "dewey"])
+def test_ancestor_chain(benchmark, labelings, parent_targets, scheme_name):
+    """Full root-ward walks — the rancestor() repetition of §3.5."""
+    labeling = labelings[scheme_name]
+    labels = [labeling.label_of(node) for node in parent_targets[:100]]
+    from repro.errors import NoParentError
+
+    def run():
+        for label in labels:
+            current = label
+            while True:
+                try:
+                    current = labeling.parent_label(current)
+                except NoParentError:
+                    break
+
+    benchmark(run)
+
+
+@emits_table
+def test_e6_table(labelings, parent_targets, xmark_bench_tree):
+    """The E6 summary table: probes + storage I/O per parent lookup."""
+    import time
+
+    rows = []
+    for name, labeling in labelings.items():
+        labels = [labeling.label_of(node) for node in parent_targets]
+        start = time.perf_counter()
+        for label in labels:
+            labeling.parent_label(label)
+        elapsed = time.perf_counter() - start
+        probes = getattr(labeling, "index_probes", 0)
+
+        database = XmlDatabase(page_size=1024, pool_pages=8)
+        document = database.store_document("d", xmark_bench_tree, labeling)
+        snapshot = database.io_snapshot()
+        for label in labels[:50]:
+            document.fetch_parent(label)
+        delta = database.io_delta(snapshot)
+        rows.append(
+            (
+                name,
+                not labeling.parent_needs_index,
+                round(elapsed * 1e6 / len(labels), 2),
+                probes,
+                delta["disk_reads"],
+            )
+        )
+    emit(
+        "E6_parent",
+        ("scheme", "arithmetic", "us_per_parent", "index_probes", "fetch_disk_reads"),
+        rows,
+        "E6: parent computation (400 deep nodes; 50 stored parent fetches)",
+    )
+    by_name = dict((r[0], r) for r in rows)
+    # The paper's claims: UID/rUID/Dewey need no index; the others do.
+    assert by_name["uid"][3] == 0
+    assert by_name["ruid2"][3] == 0
+    assert by_name["prepost"][3] > 0

@@ -1,0 +1,156 @@
+"""E8 + E12 — query evaluation (paper §3.5, §4, observation 3).
+
+E8 holds the XPath query set fixed and swaps the evaluation strategy:
+rUID identifier arithmetic vs navigational DOM walking. The paper's
+observation 3 expects rUID "quite competitive" in main memory; the
+structural axes (ancestor/preceding/following-heavy queries) are where
+the identifier arithmetic pays off.
+
+E12 regenerates the §4 "database file/table selection" idea: tag
+lookups routed to per-area tables via a structural pre-filter touch a
+fraction of the tables a blind scan does.
+"""
+
+import time
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.core import Ruid2Scheme
+from repro.generator import (
+    DBLP_QUERIES,
+    TREEBANK_QUERIES,
+    XMARK_QUERIES,
+    generate_treebank,
+)
+from repro.query import XPathEngine
+from repro.storage import XmlDatabase
+
+
+@pytest.fixture(scope="module")
+def xmark_engine(xmark_bench_tree):
+    labeling = Ruid2Scheme(max_area_size=24).build(xmark_bench_tree)
+    return XPathEngine(xmark_bench_tree, labeling=labeling)
+
+
+@pytest.fixture(scope="module")
+def dblp_engine(dblp_bench_tree):
+    labeling = Ruid2Scheme(max_area_size=24).build(dblp_bench_tree)
+    return XPathEngine(dblp_bench_tree, labeling=labeling)
+
+
+@pytest.fixture(scope="module")
+def treebank_engine():
+    tree = generate_treebank(sentences=40, max_depth=16, seed=2002)
+    labeling = Ruid2Scheme(max_area_size=24).build(tree)
+    return XPathEngine(tree, labeling=labeling)
+
+
+@pytest.mark.parametrize("strategy", ["ruid", "navigational"])
+def test_xmark_query_set(benchmark, xmark_engine, strategy):
+    compiled = [xmark_engine.compile(q) for q in XMARK_QUERIES]
+    evaluator = xmark_engine.evaluator(strategy)
+
+    def run():
+        for expression in compiled:
+            evaluator.select(expression)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("strategy", ["ruid", "navigational"])
+def test_dblp_query_set(benchmark, dblp_engine, strategy):
+    compiled = [dblp_engine.compile(q) for q in DBLP_QUERIES]
+    evaluator = dblp_engine.evaluator(strategy)
+
+    def run():
+        for expression in compiled:
+            evaluator.select(expression)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("strategy", ["ruid", "navigational"])
+def test_treebank_query_set(benchmark, treebank_engine, strategy):
+    compiled = [treebank_engine.compile(q) for q in TREEBANK_QUERIES]
+    evaluator = treebank_engine.evaluator(strategy)
+
+    def run():
+        for expression in compiled:
+            evaluator.select(expression)
+
+    benchmark(run)
+
+
+@emits_table
+def test_e8_table(xmark_engine, dblp_engine, treebank_engine):
+    rows = []
+    for corpus, engine, queries in (
+        ("xmark", xmark_engine, XMARK_QUERIES),
+        ("dblp", dblp_engine, DBLP_QUERIES),
+        ("treebank", treebank_engine, TREEBANK_QUERIES),
+    ):
+        for query in queries:
+            navigational = engine.select(query, "navigational")
+            start = time.perf_counter()
+            for _ in range(3):
+                engine.select(query, "navigational")
+            nav_time = (time.perf_counter() - start) / 3
+            ruid = engine.select(query, "ruid")
+            start = time.perf_counter()
+            for _ in range(3):
+                engine.select(query, "ruid")
+            ruid_time = (time.perf_counter() - start) / 3
+            assert [n.node_id for n in navigational] == [n.node_id for n in ruid]
+            rows.append(
+                (
+                    corpus,
+                    query if len(query) <= 46 else query[:43] + "...",
+                    len(navigational),
+                    round(ruid_time * 1e3, 2),
+                    round(nav_time * 1e3, 2),
+                )
+            )
+    emit(
+        "E8_queries",
+        ("corpus", "query", "results", "ruid_ms", "nav_ms"),
+        rows,
+        "E8: XPath evaluation, rUID arithmetic vs navigational (3-run mean)",
+    )
+
+
+@emits_table
+def test_e12_table_routing(xmark_bench_tree):
+    from repro.query import TagAreaSynopsis
+
+    labeling = Ruid2Scheme(max_area_size=24).build(xmark_bench_tree)
+    synopsis = TagAreaSynopsis(labeling.core)
+    database = XmlDatabase(page_size=1024, pool_pages=128)
+    document = database.store_document(
+        "auction", xmark_bench_tree, labeling, partition_by_area=True
+    )
+    rows = []
+    for tag in ("person", "item", "bidder", "price", "city"):
+        all_rows, scanned_blind = document.nodes_with_tag_routed(tag)
+        # structural pre-filter: the tag→area synopsis of section 4
+        routed_rows, scanned_routed = document.nodes_with_tag_routed(
+            tag, synopsis.areas_for(tag)
+        )
+        assert len(routed_rows) == len(all_rows)
+        rows.append(
+            (
+                tag,
+                len(all_rows),
+                scanned_blind,
+                scanned_routed,
+                round(scanned_routed / scanned_blind, 3) if scanned_blind else 0.0,
+            )
+        )
+    emit(
+        "E12_routing",
+        ("tag", "matches", "tables_blind", "tables_routed", "fraction"),
+        rows,
+        "E12: per-area table routing via global index (paper section 4)",
+    )
+    # routing must never scan more tables than the blind approach
+    assert all(row[3] <= row[2] for row in rows)

@@ -1,0 +1,78 @@
+"""E9 — enumeration capacity (paper §3.1, observation 1).
+
+Regenerates the scalability claim: with ``m`` rUID levels one can
+enumerate ~``e^m`` nodes (``e`` = single-level UID capacity), i.e. the
+enumerable *height* at a fixed integer budget multiplies by ``m``.
+Tabulated analytically over a fan-out grid and verified empirically on
+recursion-heavy documents.
+"""
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.analysis import capacity_grid, measure_bits, uid_capacity_height
+from repro.core import MultiRuidScheme, Ruid2Scheme, SizeCapPartitioner, UidScheme
+from repro.generator import path_tree, skewed_tree
+
+
+@emits_table
+def test_e9_capacity_grid():
+    rows = []
+    for budget in (32, 64):
+        for row in capacity_grid((2, 4, 8, 16, 64), budget, levels=(1, 2, 3)):
+            rows.append(
+                (
+                    row["budget_bits"],
+                    row["fan_out"],
+                    row["height@m=1"],
+                    row["height@m=2"],
+                    row["height@m=3"],
+                )
+            )
+    emit(
+        "E9_capacity",
+        ("budget_bits", "fan_out", "height_m1", "height_m2", "height_m3"),
+        rows,
+        "E9: enumerable tree height per integer budget per rUID level count",
+    )
+    # sanity: heights multiply with levels
+    for row in rows:
+        assert row[3] == 2 * row[2]
+        assert row[4] == 3 * row[2]
+
+
+@emits_table
+def test_e9_empirical_recursion():
+    """Observation 1: deep recursive documents that UID cannot keep in
+    64 bits fit comfortably under 2-level rUID."""
+    rows = []
+    for depth in (20, 40, 80):
+        tree = skewed_tree(depth=depth, heavy_fan_out=50)
+        uid_bits = measure_bits(UidScheme().build(tree)).max_bits
+        ruid_bits = measure_bits(
+            Ruid2Scheme(max_area_size=8).build(tree)
+        ).max_bits
+        multi_bits = measure_bits(
+            MultiRuidScheme(levels=3, partitioners=SizeCapPartitioner(8)).build(tree)
+        ).max_bits
+        rows.append((depth, tree.size(), uid_bits, ruid_bits, multi_bits))
+    emit(
+        "E9_recursion",
+        ("depth", "nodes", "uid_bits", "ruid2_bits", "ruid3_bits"),
+        rows,
+        "E9: skewed recursive docs (heavy fan-out 50) — max identifier bits",
+    )
+    # UID explodes super-linearly with depth; rUID stays flat-ish
+    assert rows[-1][2] > 64
+    assert rows[-1][3] <= 64
+
+
+@pytest.mark.parametrize("depth", [100, 400])
+def test_deep_path_labeling_speed(benchmark, depth):
+    """Build cost on pure recursion (fan-out 1 chains)."""
+    tree = path_tree(depth)
+    benchmark(lambda: Ruid2Scheme(max_area_size=16).build(tree.copy()))
+
+
+def test_capacity_height_helper_speed(benchmark):
+    benchmark(lambda: [uid_capacity_height(k, 64) for k in (2, 8, 64, 1024)])

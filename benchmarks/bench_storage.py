@@ -1,0 +1,116 @@
+"""Substrate microbenchmarks: pager, B+-tree, heap file, tables.
+
+Not tied to a single paper experiment; these pin the performance
+characteristics of the storage engine all the I/O-sensitive
+experiments (E6, E8, E12) stand on, and tabulate the buffer-pool
+behaviour that turns index probes into disk reads.
+"""
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.storage import (
+    BPlusTree,
+    Column,
+    HeapFile,
+    Pager,
+    Schema,
+    Table,
+    encode_key,
+    encode_value,
+)
+
+_N = 3000
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    pager = Pager(page_size=1024, pool_pages=64)
+    tree = BPlusTree(pager)
+    for key in range(_N):
+        tree.insert(encode_key(key), encode_value(key))
+    return tree, pager
+
+
+def test_btree_insert(benchmark):
+    def run():
+        tree = BPlusTree(Pager(page_size=1024, pool_pages=64))
+        for key in range(1000):
+            tree.insert(encode_key(key), encode_value(key))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_btree_point_lookup(benchmark, loaded_tree):
+    tree, _pager = loaded_tree
+    keys = [encode_key(k) for k in range(0, _N, 7)]
+
+    def run():
+        for key in keys:
+            tree.get(key)
+
+    benchmark(run)
+
+
+def test_btree_range_scan(benchmark, loaded_tree):
+    tree, _pager = loaded_tree
+    low, high = encode_key(500), encode_key(2500)
+    benchmark(lambda: sum(1 for _ in tree.range(low, high)))
+
+
+def test_heapfile_insert_scan(benchmark):
+    def run():
+        heap = HeapFile(Pager(page_size=1024, pool_pages=16))
+        for index in range(1000):
+            heap.insert(f"record-{index:05d}".encode())
+        return sum(1 for _ in heap.scan())
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_table_insert_with_index(benchmark):
+    def run():
+        table = Table(
+            "t",
+            Schema([Column("id", "int"), Column("tag", "str")]),
+            Pager(page_size=1024, pool_pages=32),
+            primary_key=["id"],
+        )
+        table.create_index("by_tag", ["tag"])
+        for index in range(500):
+            table.insert((index, f"tag{index % 17}"))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@emits_table
+def test_buffer_pool_table():
+    """Hit ratio and physical I/O vs pool size for a fixed workload."""
+    rows = []
+    for pool_pages in (2, 8, 32, 128):
+        pager = Pager(page_size=1024, pool_pages=pool_pages)
+        tree = BPlusTree(pager)
+        for key in range(_N):
+            tree.insert(encode_key(key), encode_value(key))
+        pager.stats.reset()
+        for key in range(0, _N, 3):
+            tree.get(encode_key(key))
+        stats = pager.stats
+        rows.append(
+            (
+                pool_pages,
+                stats.buffer_hits,
+                stats.buffer_misses,
+                round(stats.hit_ratio, 3),
+                stats.disk_reads,
+            )
+        )
+    emit(
+        "substrate_bufferpool",
+        ("pool_pages", "hits", "misses", "hit_ratio", "disk_reads"),
+        rows,
+        "substrate: buffer-pool behaviour, 1000 point lookups on a 3k-key B+-tree",
+    )
+    # bigger pools must not hit less
+    ratios = [row[3] for row in rows]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: label a document with 2-level rUID and use the labels.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Ruid2Scheme, parse
+from repro.core import Relation, Ruid2Order
+
+DOCUMENT = """
+<library>
+  <shelf genre="databases">
+    <book year="2002"><title>A Structural Numbering Scheme for XML Data</title></book>
+    <book year="1999"><title>Index Structures for Path Expressions</title></book>
+  </shelf>
+  <shelf genre="systems">
+    <book year="2001"><title>Containment Queries in RDBMS</title></book>
+  </shelf>
+</library>
+"""
+
+
+def main() -> None:
+    # 1. Parse (the library ships its own XML parser).
+    tree = parse(DOCUMENT)
+    print(f"parsed {tree.size()} nodes, height {tree.height()}")
+
+    # 2. Build the 2-level rUID labeling (paper Definition 3 / Fig. 3).
+    labeling = Ruid2Scheme(max_area_size=4).build(tree)
+    core = labeling.core
+    print(f"\nkappa = {core.kappa}, {core.area_count()} UID-local areas")
+    print("table K (global, local-of-root, fan-out):")
+    for row in core.ktable:
+        print(f"  {row.as_tuple()}")
+
+    print("\nlabels (document order):")
+    for node, label in core.items():
+        print(f"  {label!s:>18}  <{node.tag}>")
+
+    # 3. Parent computation is pure arithmetic on (kappa, K) — the
+    #    paper's Fig. 6 algorithm; no tree access happens here.
+    a_title = tree.find_by_tag("title")[0]
+    label = labeling.label_of(a_title)
+    parent_label = labeling.parent_label(label)
+    grandparent_label = labeling.parent_label(parent_label)
+    print(f"\nrparent({label}) = {parent_label}  -> <{labeling.node_of(parent_label).tag}>")
+    print(f"rparent^2        = {grandparent_label}  -> <{labeling.node_of(grandparent_label).tag}>")
+
+    # 4. Document order / ancestry from labels alone (Lemmas 1-3).
+    oracle = Ruid2Order(core.kappa, core.ktable)
+    books = tree.find_by_tag("book")
+    first, last = labeling.label_of(books[0]), labeling.label_of(books[-1])
+    print(f"\nrelation({first}, {last}) = {oracle.relation(first, last).name}")
+    root_label = labeling.label_of(tree.root)
+    print(f"is_ancestor(root, last book) = {oracle.relation(root_label, last) is Relation.ANCESTOR}")
+
+    # 5. XPath axes generated from identifiers (section 3.5).
+    axes = labeling.axes
+    shelf_label = labeling.label_of(tree.find_by_tag("shelf")[0])
+    children = axes.children(shelf_label)
+    print(f"\nchildren of first shelf: {[str(c) for c in children]}")
+    following = axes.following(shelf_label)
+    print(f"following axis size: {len(following)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of "A Structural Numbering Scheme for XML Data"
+(Kha, Yoshikawa, Uemura; EDBT 2002 Workshops).
+
+The package implements the multilevel recursive UID (rUID) numbering
+scheme together with every substrate the paper's evaluation rests on:
+an XML document model and parser, the original UID and other baseline
+schemes, a paged storage engine, an XPath-subset query engine, and
+synthetic workload generators.
+
+Quickstart::
+
+    from repro import parse, Ruid2Scheme
+
+    tree = parse("<a><b><c/></b><d/></a>")
+    labeling = Ruid2Scheme(max_area_size=32).build(tree)
+    label = labeling.label_of(tree.root.children[0])
+    print(label, labeling.parent_label(label))
+"""
+
+from repro.core import (
+    MultiLabel,
+    MultiRuidScheme,
+    MultilevelRuidLabeling,
+    NumberingScheme,
+    Relation,
+    Ruid2Label,
+    Ruid2Labeling,
+    Ruid2Scheme,
+    UidLabeling,
+    UidScheme,
+)
+from repro.xmltree import XmlNode, XmlTree, build, parse, parse_file, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiLabel",
+    "MultiRuidScheme",
+    "MultilevelRuidLabeling",
+    "NumberingScheme",
+    "Relation",
+    "Ruid2Label",
+    "Ruid2Labeling",
+    "Ruid2Scheme",
+    "UidLabeling",
+    "UidScheme",
+    "XmlNode",
+    "XmlTree",
+    "__version__",
+    "build",
+    "parse",
+    "parse_file",
+    "serialize",
+]

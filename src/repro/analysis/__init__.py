@@ -1,0 +1,45 @@
+"""Measurement utilities: identifier sizes, relabel scopes, reports."""
+
+from repro.analysis.idsize import (
+    BIT_SIZE_HEADERS,
+    STANDARD_BUDGETS,
+    BitSizeRow,
+    capacity_grid,
+    measure_bits,
+    ruid_capacity_estimate,
+    sweep_schemes,
+    uid_capacity_height,
+    uid_max_bits,
+)
+from repro.analysis.relabel import (
+    RELABEL_HEADERS,
+    RelabelSummary,
+    run_workload_per_scheme,
+    summarise_reports,
+)
+from repro.analysis.report import (
+    format_markdown,
+    format_table,
+    print_table,
+    rows_from_dicts,
+)
+
+__all__ = [
+    "BIT_SIZE_HEADERS",
+    "BitSizeRow",
+    "RELABEL_HEADERS",
+    "RelabelSummary",
+    "STANDARD_BUDGETS",
+    "capacity_grid",
+    "format_markdown",
+    "format_table",
+    "measure_bits",
+    "print_table",
+    "rows_from_dicts",
+    "ruid_capacity_estimate",
+    "run_workload_per_scheme",
+    "summarise_reports",
+    "sweep_schemes",
+    "uid_capacity_height",
+    "uid_max_bits",
+]

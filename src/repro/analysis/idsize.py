@@ -1,0 +1,136 @@
+"""Identifier-size analysis — experiments E4 and E9.
+
+Quantifies the paper's §1/§3.1 claims:
+
+* the original UID's identifier values grow like
+  ``k ** depth`` (``k`` = maximal fan-out), overflowing any fixed
+  integer width even for tiny documents with skewed shape;
+* the 2-level rUID bounds both components by the *area-local*
+  dimensions, and ``m``-level rUID enumerates ~``e ** m`` nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core import uid as uid_math
+from repro.core.scheme import Labeling, NumberingScheme
+from repro.xmltree.tree import XmlTree
+
+#: machine-integer budgets the paper's "maximal manageable integer
+#: value" concern maps onto
+STANDARD_BUDGETS = (32, 64, 128)
+
+
+@dataclass
+class BitSizeRow:
+    """Identifier-size summary of one (tree, scheme) pair."""
+
+    scheme: str
+    nodes: int
+    max_bits: int
+    mean_bits: float
+    total_bits: int
+    aux_memory_bytes: int
+    fits_32: bool
+    fits_64: bool
+    fits_128: bool
+
+    def as_row(self) -> tuple:
+        return (
+            self.scheme,
+            self.nodes,
+            self.max_bits,
+            round(self.mean_bits, 1),
+            self.total_bits,
+            self.aux_memory_bytes,
+            self.fits_32,
+            self.fits_64,
+            self.fits_128,
+        )
+
+
+BIT_SIZE_HEADERS = (
+    "scheme",
+    "nodes",
+    "max_bits",
+    "mean_bits",
+    "total_bits",
+    "aux_bytes",
+    "fits32",
+    "fits64",
+    "fits128",
+)
+
+
+def measure_bits(labeling: Labeling) -> BitSizeRow:
+    """Bit statistics of one built labeling."""
+    sizes = [labeling.label_bits(label) for label in labeling.labels()]
+    max_bits = max(sizes)
+    return BitSizeRow(
+        scheme=labeling.scheme_name,
+        nodes=len(sizes),
+        max_bits=max_bits,
+        mean_bits=sum(sizes) / len(sizes),
+        total_bits=sum(sizes),
+        aux_memory_bytes=labeling.memory_bytes(),
+        fits_32=max_bits <= 32,
+        fits_64=max_bits <= 64,
+        fits_128=max_bits <= 128,
+    )
+
+
+def sweep_schemes(tree: XmlTree, schemes: Sequence[NumberingScheme]) -> List[BitSizeRow]:
+    """Bit statistics of every scheme over one tree."""
+    return [measure_bits(scheme.build(tree)) for scheme in schemes]
+
+
+# ----------------------------------------------------------------------
+# Enumeration capacity (E9): how large a document fits a bit budget?
+# ----------------------------------------------------------------------
+
+
+def uid_max_bits(fan_out: int, height: int) -> int:
+    """Bits of the largest identifier UID assigns at (fan_out, height)."""
+    return uid_math.max_identifier(max(1, fan_out), height).bit_length()
+
+
+def uid_capacity_height(fan_out: int, bit_budget: int) -> int:
+    """Deepest complete tree of *fan_out* whose UID ids fit the budget.
+
+    This is the paper's 'e' bound per level: with ``m`` rUID levels the
+    enumerable height multiplies by ~m (capacity ~ e^m in node count).
+    """
+    height = 0
+    while uid_max_bits(fan_out, height + 1) <= bit_budget:
+        height += 1
+        if height > 100_000:  # fan_out 1 grows linearly; cap the walk
+            break
+    return height
+
+
+def ruid_capacity_estimate(fan_out: int, bit_budget: int, levels: int) -> int:
+    """Height enumerable by an m-level rUID under the same budget.
+
+    Each level contributes a frame/area of the single-level height, so
+    heights add (capacities multiply): ``m × capacity_height``.
+    """
+    return levels * uid_capacity_height(fan_out, bit_budget)
+
+
+def capacity_grid(
+    fan_outs: Iterable[int],
+    bit_budget: int,
+    levels: Sequence[int] = (1, 2, 3),
+) -> List[Dict[str, object]]:
+    """Rows of enumerable height per fan-out per level count (E9)."""
+    rows: List[Dict[str, object]] = []
+    for fan_out in fan_outs:
+        row: Dict[str, object] = {"fan_out": fan_out, "budget_bits": bit_budget}
+        for level_count in levels:
+            row[f"height@m={level_count}"] = ruid_capacity_estimate(
+                fan_out, bit_budget, level_count
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,86 @@
+"""Relabel-scope measurement — experiment E5 (paper §3.2).
+
+Runs a reproducible update workload against each scheme over identical
+tree copies and aggregates the exact per-operation relabel counts the
+updaters report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.scheme import NumberingScheme
+from repro.core.update import RelabelReport
+from repro.generator.workload import UpdateOp, apply_workload
+from repro.xmltree.tree import XmlTree
+
+
+@dataclass
+class RelabelSummary:
+    """Aggregate relabel behaviour of one scheme over one workload."""
+
+    scheme: str
+    operations: int
+    total_relabeled: int
+    mean_relabeled: float
+    max_relabeled: int
+    overflow_events: int
+    full_renumber_events: int
+    mean_fraction: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.scheme,
+            self.operations,
+            self.total_relabeled,
+            round(self.mean_relabeled, 2),
+            self.max_relabeled,
+            self.overflow_events,
+            self.full_renumber_events,
+            round(self.mean_fraction, 4),
+        )
+
+
+RELABEL_HEADERS = (
+    "scheme",
+    "ops",
+    "total_relabeled",
+    "mean",
+    "max",
+    "overflows",
+    "full_renumbers",
+    "mean_fraction",
+)
+
+
+def summarise_reports(scheme: str, reports: Sequence[RelabelReport]) -> RelabelSummary:
+    counts = [report.relabeled_count for report in reports]
+    fractions = [report.relabeled_fraction for report in reports]
+    return RelabelSummary(
+        scheme=scheme,
+        operations=len(reports),
+        total_relabeled=sum(counts),
+        mean_relabeled=sum(counts) / len(counts) if counts else 0.0,
+        max_relabeled=max(counts, default=0),
+        overflow_events=sum(1 for r in reports if r.overflow),
+        full_renumber_events=sum(1 for r in reports if r.full_renumber),
+        mean_fraction=sum(fractions) / len(fractions) if fractions else 0.0,
+    )
+
+
+def run_workload_per_scheme(
+    base_tree: XmlTree,
+    schemes: Sequence[NumberingScheme],
+    ops: Sequence[UpdateOp],
+) -> List[RelabelSummary]:
+    """Replay *ops* under every scheme, each on a fresh tree copy."""
+    summaries: List[RelabelSummary] = []
+    for scheme in schemes:
+        tree = base_tree.copy()
+        labeling = scheme.build(tree)
+        reports = list(
+            apply_workload(tree, ops, labeling.insert, labeling.delete)
+        )
+        summaries.append(summarise_reports(scheme.name, reports))
+    return summaries

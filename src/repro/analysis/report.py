@@ -1,0 +1,79 @@
+"""Plain-text table rendering for benchmark harnesses.
+
+Every bench prints the table it claims (DESIGN.md experiment index);
+this module renders aligned ASCII and GitHub-markdown tables from
+header + row data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render a GitHub-markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def rows_from_dicts(
+    records: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+) -> tuple:
+    """(headers, rows) from a list of homogeneous dicts."""
+    if not records:
+        return tuple(columns or ()), ()
+    headers = list(columns) if columns else list(records[0])
+    rows = [tuple(record.get(column, "") for column in headers) for record in records]
+    return tuple(headers), tuple(rows)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,37 @@
+"""Comparison numbering schemes: Dewey, pre/post, region, position/depth."""
+
+from repro.baselines.dewey import DeweyLabel, DeweyLabeling, DeweyScheme
+from repro.baselines.ordpath import OrdpathLabel, OrdpathLabeling, OrdpathScheme
+from repro.baselines.posdepth import PosDepthLabel, PosDepthLabeling, PosDepthScheme
+from repro.baselines.prepost import PrePostLabel, PrePostLabeling, PrePostScheme
+from repro.baselines.region import RegionLabel, RegionLabeling, RegionScheme
+from repro.baselines.registry import (
+    ARITHMETIC_PARENT,
+    UPDATABLE,
+    all_schemes,
+    get_scheme,
+    scheme_names,
+)
+
+__all__ = [
+    "ARITHMETIC_PARENT",
+    "DeweyLabel",
+    "DeweyLabeling",
+    "DeweyScheme",
+    "OrdpathLabel",
+    "OrdpathLabeling",
+    "OrdpathScheme",
+    "PosDepthLabel",
+    "PosDepthLabeling",
+    "PosDepthScheme",
+    "PrePostLabel",
+    "PrePostLabeling",
+    "PrePostScheme",
+    "RegionLabel",
+    "RegionLabeling",
+    "RegionScheme",
+    "UPDATABLE",
+    "all_schemes",
+    "get_scheme",
+    "scheme_names",
+]

@@ -1,0 +1,85 @@
+"""Shared machinery for the comparison schemes.
+
+The baselines (Dewey, pre/post, region, position/depth) all relabel by
+*re-running their canonical assignment* after a structural change —
+which is precisely their published update semantics: none of them has
+a localisation mechanism, so the relabel scope is whatever the diff
+says. :class:`RebuildOnUpdateLabeling` centralises that pattern.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Dict, Generic, TypeVar
+
+from repro.core.scheme import Labeling
+from repro.core.update import RelabelReport, diff_snapshots
+from repro.errors import UnknownLabelError
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+LabelT = TypeVar("LabelT")
+
+
+class RebuildOnUpdateLabeling(Labeling[LabelT], Generic[LabelT]):
+    """A labeling whose update semantics are "re-assign and diff"."""
+
+    def __init__(self, tree: XmlTree):
+        super().__init__(tree)
+        self._label_by_node: Dict[int, LabelT] = {}
+        self._node_by_label: Dict[LabelT, XmlNode] = {}
+        self._reassign()
+
+    @abstractmethod
+    def _assign(self) -> Dict[int, LabelT]:
+        """Compute the canonical node_id → label map for the current tree."""
+
+    def _reassign(self) -> None:
+        self._label_by_node = self._assign()
+        self._node_by_label = {}
+        for node in self.tree.preorder():
+            self._node_by_label[self._label_by_node[node.node_id]] = node
+
+    # -- lookups --------------------------------------------------------
+    def label_of(self, node: XmlNode) -> LabelT:
+        try:
+            return self._label_by_node[node.node_id]
+        except KeyError:
+            raise UnknownLabelError(f"node {node!r} is not labeled") from None
+
+    def node_of(self, label: LabelT) -> XmlNode:
+        try:
+            return self._node_by_label[label]
+        except KeyError:
+            raise UnknownLabelError(f"label {label!r} names no real node") from None
+
+    def exists(self, label: LabelT) -> bool:
+        return label in self._node_by_label
+
+    def snapshot(self) -> Dict[int, LabelT]:
+        return dict(self._label_by_node)
+
+    # -- update ----------------------------------------------------------
+    def insert(self, parent: XmlNode, position: int, node: XmlNode) -> RelabelReport:
+        before = self.snapshot()
+        self.tree.insert_node(parent, position, node)
+        self._reassign()
+        return RelabelReport(
+            scheme=self.scheme_name,
+            operation="insert",
+            changed=diff_snapshots(before, self._label_by_node),
+            inserted_count=node.subtree_size(),
+            surviving_nodes=len(before),
+        )
+
+    def delete(self, node: XmlNode) -> RelabelReport:
+        before = self.snapshot()
+        removed = self.tree.delete_subtree(node)
+        self._reassign()
+        return RelabelReport(
+            scheme=self.scheme_name,
+            operation="delete",
+            changed=diff_snapshots(before, self._label_by_node),
+            deleted_count=len(removed),
+            surviving_nodes=len(before) - len(removed),
+        )

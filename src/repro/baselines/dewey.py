@@ -1,0 +1,74 @@
+"""Dewey-order labeling (prefix paths of child ordinals).
+
+Dewey labels are the classical prefix scheme the paper's related work
+alludes to: a node's label is the sequence of 1-based child positions
+on its root path (the root is the empty tuple). Ancestry is prefix
+containment; the parent is the label minus its last component — like
+UID/rUID, no index is needed for parent computation.
+
+Update semantics: inserting at position *j* shifts the ordinals of the
+right siblings, which changes the labels of their *entire subtrees*
+(every descendant label carries the shifted component as a prefix
+element).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.baselines.base import RebuildOnUpdateLabeling
+from repro.core.labels import Relation
+from repro.core.scheme import NumberingScheme
+from repro.errors import NoParentError
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+DeweyLabel = Tuple[int, ...]
+
+
+class DeweyLabeling(RebuildOnUpdateLabeling[DeweyLabel]):
+    """Dewey labels for every node of a tree."""
+
+    scheme_name = "dewey"
+    parent_needs_index = False
+
+    def _assign(self) -> Dict[int, DeweyLabel]:
+        labels: Dict[int, DeweyLabel] = {self.tree.root.node_id: ()}
+        stack = [(self.tree.root, ())]
+        while stack:
+            node, path = stack.pop()
+            for ordinal, child in enumerate(node.children, start=1):
+                child_path = path + (ordinal,)
+                labels[child.node_id] = child_path
+                stack.append((child, child_path))
+        return labels
+
+    # -- structure from labels -------------------------------------------
+    def parent_label(self, label: DeweyLabel) -> DeweyLabel:
+        if not label:
+            raise NoParentError("the root (empty Dewey label) has no parent")
+        return label[:-1]
+
+    def relation(self, first: DeweyLabel, second: DeweyLabel) -> Relation:
+        if first == second:
+            return Relation.SELF
+        shorter = min(len(first), len(second))
+        if first[:shorter] == second[:shorter]:
+            return Relation.ANCESTOR if len(first) < len(second) else Relation.DESCENDANT
+        return Relation.PRECEDING if first < second else Relation.FOLLOWING
+
+    def label_bits(self, label: DeweyLabel) -> int:
+        """Sum of component widths plus one separator bit per component
+        (a simple UTF-8-of-ordinals storage model)."""
+        if not label:
+            return 1
+        return sum(max(1, component.bit_length()) + 1 for component in label)
+
+
+class DeweyScheme(NumberingScheme):
+    """Factory for Dewey-order labeling."""
+
+    name = "dewey"
+
+    def build(self, tree: XmlTree) -> DeweyLabeling:
+        return DeweyLabeling(tree)

@@ -1,0 +1,191 @@
+"""ORDPATH-style careted Dewey labeling (extension baseline).
+
+ORDPATH (O'Neil et al., SIGMOD 2004) postdates the paper but is the
+canonical answer to the same update problem rUID attacks, from the
+opposite direction: instead of localising relabeling, it *never*
+relabels — insertions grow new labels into the gaps using even
+"caret" components that do not contribute conceptual depth.
+
+Included here as an extension baseline so the E4/E5 experiments show
+the full trade-off space: rUID bounds update scope at fixed label
+width; ORDPATH has zero update scope but unbounded label growth under
+adversarial insertion.
+
+Label model
+-----------
+A label is a tuple of integers. Fresh children receive odd ordinals
+(1, 3, 5, ...). An insertion between adjacent labels manufactures a
+suffix strictly between them, ending in an odd component, possibly
+passing through even carets (e.g. between ``(1,)`` and ``(3,)`` comes
+``(2, 1)``). Valid labels always end in an odd component, which makes
+plain tuple-prefix the ancestor test and plain tuple comparison the
+document order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.labels import Relation
+from repro.core.scheme import Labeling, NumberingScheme
+from repro.core.update import RelabelReport
+from repro.errors import NoParentError, UnknownLabelError
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+OrdpathLabel = Tuple[int, ...]
+
+
+def _between(
+    low: Optional[OrdpathLabel], high: Optional[OrdpathLabel]
+) -> OrdpathLabel:
+    """A suffix strictly between *low* and *high* ending in an odd
+    component. ``None`` bounds are open ends."""
+    if low is None and high is None:
+        return (1,)
+    if low is None:
+        first = high[0]
+        odd = first - 2 if first % 2 else first - 1
+        return (odd,)
+    if high is None:
+        first = low[0]
+        odd = first + 2 if first % 2 else first + 1
+        return (odd,)
+    first_low, first_high = low[0], high[0]
+    if first_low == first_high:
+        # Identical heads: the bounds continue (a valid label is never
+        # a proper prefix of its sibling), recurse on the tails.
+        return (first_low,) + _between(low[1:], high[1:])
+    # Any odd strictly between the heads?
+    candidate = first_low + (2 if first_low % 2 else 1)
+    if candidate < first_high:
+        return (candidate,)
+    if first_high - first_low == 2:
+        # Adjacent odds (e.g. 5 and 7): open a caret between them.
+        return (first_low + 1, 1)
+    # Heads differ by one: dive under whichever bound continues.
+    if len(low) > 1:
+        return (first_low,) + _between(low[1:], None)
+    # low == (odd,) and high == (odd+1, ...): slot under the caret.
+    return (first_high,) + _between(None, high[1:])
+
+
+def parent_of(label: OrdpathLabel) -> OrdpathLabel:
+    """Strip the final odd component and any carets guarding it."""
+    if not label:
+        raise NoParentError("the root (empty ORDPATH label) has no parent")
+    index = len(label) - 1  # final component (odd)
+    index -= 1
+    while index >= 0 and label[index] % 2 == 0:
+        index -= 1
+    return label[: index + 1]
+
+
+class OrdpathLabeling(Labeling[OrdpathLabel]):
+    """Careted Dewey labels with zero-relabel insertion."""
+
+    scheme_name = "ordpath"
+    parent_needs_index = False
+
+    def __init__(self, tree: XmlTree):
+        super().__init__(tree)
+        self._label_by_node: Dict[int, OrdpathLabel] = {}
+        self._node_by_label: Dict[OrdpathLabel, XmlNode] = {}
+        self._assign_fresh(tree.root, ())
+
+    def _assign_fresh(self, node: XmlNode, label: OrdpathLabel) -> None:
+        """Assign odd ordinals below *node* (initial load / new subtrees)."""
+        stack: List[Tuple[XmlNode, OrdpathLabel]] = [(node, label)]
+        while stack:
+            current, current_label = stack.pop()
+            self._put(current, current_label)
+            for ordinal, child in enumerate(current.children):
+                stack.append((child, current_label + (2 * ordinal + 1,)))
+
+    def _put(self, node: XmlNode, label: OrdpathLabel) -> None:
+        self._label_by_node[node.node_id] = label
+        self._node_by_label[label] = node
+
+    # -- lookups --------------------------------------------------------
+    def label_of(self, node: XmlNode) -> OrdpathLabel:
+        try:
+            return self._label_by_node[node.node_id]
+        except KeyError:
+            raise UnknownLabelError(f"node {node!r} is not labeled") from None
+
+    def node_of(self, label: OrdpathLabel) -> XmlNode:
+        try:
+            return self._node_by_label[label]
+        except KeyError:
+            raise UnknownLabelError(f"label {label!r} names no real node") from None
+
+    # -- structure from labels -------------------------------------------
+    def parent_label(self, label: OrdpathLabel) -> OrdpathLabel:
+        return parent_of(label)
+
+    def relation(self, first: OrdpathLabel, second: OrdpathLabel) -> Relation:
+        if first == second:
+            return Relation.SELF
+        shorter = min(len(first), len(second))
+        if first[:shorter] == second[:shorter]:
+            return Relation.ANCESTOR if len(first) < len(second) else Relation.DESCENDANT
+        return Relation.PRECEDING if first < second else Relation.FOLLOWING
+
+    def label_bits(self, label: OrdpathLabel) -> int:
+        if not label:
+            return 1
+        return sum(max(1, abs(c).bit_length()) + 2 for c in label)
+
+    # -- update ------------------------------------------------------------
+    def snapshot(self) -> Dict[int, OrdpathLabel]:
+        return dict(self._label_by_node)
+
+    def insert(self, parent: XmlNode, position: int, node: XmlNode) -> RelabelReport:
+        before = len(self._label_by_node)
+        parent_label = self.label_of(parent)
+        left: Optional[OrdpathLabel] = None
+        right: Optional[OrdpathLabel] = None
+        if position > 0:
+            left = self.label_of(parent.children[position - 1])
+        if position < len(parent.children):
+            right = self.label_of(parent.children[position])
+        self.tree.insert_node(parent, position, node)
+        prefix = len(parent_label)
+        suffix = _between(
+            left[prefix:] if left is not None else None,
+            right[prefix:] if right is not None else None,
+        )
+        new_label = parent_label + suffix
+        self._put(node, new_label)
+        for ordinal, child in enumerate(node.children):
+            self._assign_fresh(child, new_label + (2 * ordinal + 1,))
+        return RelabelReport(
+            scheme=self.scheme_name,
+            operation="insert",
+            changed=[],  # ORDPATH never relabels
+            inserted_count=node.subtree_size(),
+            surviving_nodes=before,
+        )
+
+    def delete(self, node: XmlNode) -> RelabelReport:
+        before = len(self._label_by_node)
+        removed = self.tree.delete_subtree(node)
+        for gone in removed:
+            label = self._label_by_node.pop(gone.node_id)
+            self._node_by_label.pop(label, None)
+        return RelabelReport(
+            scheme=self.scheme_name,
+            operation="delete",
+            changed=[],
+            deleted_count=len(removed),
+            surviving_nodes=before - len(removed),
+        )
+
+
+class OrdpathScheme(NumberingScheme):
+    """Factory for ORDPATH-style labeling."""
+
+    name = "ordpath"
+
+    def build(self, tree: XmlTree) -> OrdpathLabeling:
+        return OrdpathLabeling(tree)

@@ -1,0 +1,104 @@
+"""Position/depth labeling (Zhang et al. [11] style).
+
+A node is labeled *(position, depth)* where *position* is its preorder
+rank. The pair alone cannot decide descendant-vs-following: one must
+discover where the candidate ancestor's subtree *ends*, which takes an
+index probe (find the next position at the same-or-smaller depth).
+The baseline exists to quantify that dependence — it is the weakest
+scheme in the comparison and every structural query charges probes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import RebuildOnUpdateLabeling
+from repro.core.labels import Relation
+from repro.core.scheme import NumberingScheme
+from repro.errors import NoParentError, UnknownLabelError
+from repro.xmltree.tree import XmlTree
+
+PosDepthLabel = Tuple[int, int]  # (preorder position, depth)
+
+
+class PosDepthLabeling(RebuildOnUpdateLabeling[PosDepthLabel]):
+    """(position, depth) labels for every node of a tree."""
+
+    scheme_name = "posdepth"
+    parent_needs_index = True
+
+    def __init__(self, tree: XmlTree):
+        self.index_probes = 0
+        self._by_position: List[PosDepthLabel] = []
+        super().__init__(tree)
+
+    def _assign(self) -> Dict[int, PosDepthLabel]:
+        labels: Dict[int, PosDepthLabel] = {}
+        stack = [(self.tree.root, 0)]
+        position = 0
+        ordered: List[PosDepthLabel] = []
+        while stack:
+            node, depth = stack.pop()
+            position += 1
+            label = (position, depth)
+            labels[node.node_id] = label
+            ordered.append(label)
+            for child in reversed(node.children):
+                stack.append((child, depth + 1))
+        self._by_position = sorted(ordered)
+        return labels
+
+    def _position_index(self, label: PosDepthLabel) -> int:
+        index = bisect_left(self._by_position, label)
+        if index >= len(self._by_position) or self._by_position[index] != label:
+            raise UnknownLabelError(f"label {label!r} names no real node")
+        return index
+
+    def _subtree_end(self, label: PosDepthLabel) -> int:
+        """Last position inside the label's subtree, via a forward scan
+        (counted): the subtree ends just before the next node whose
+        depth is <= ours."""
+        index = self._position_index(label)
+        depth = label[1]
+        for probe in range(index + 1, len(self._by_position)):
+            self.index_probes += 1
+            if self._by_position[probe][1] <= depth:
+                return self._by_position[probe][0] - 1
+        return self._by_position[-1][0]
+
+    # -- structure from labels -------------------------------------------
+    def parent_label(self, label: PosDepthLabel) -> PosDepthLabel:
+        """Nearest preceding position at depth-1, via a backward scan."""
+        position, depth = label
+        if depth == 0:
+            raise NoParentError("the root has no parent")
+        index = self._position_index(label)
+        for probe in range(index - 1, -1, -1):
+            self.index_probes += 1
+            if self._by_position[probe][1] == depth - 1:
+                return self._by_position[probe]
+        raise NoParentError("no parent found (inconsistent index)")
+
+    def relation(self, first: PosDepthLabel, second: PosDepthLabel) -> Relation:
+        if first == second:
+            return Relation.SELF
+        if first[0] < second[0]:
+            if first[1] < second[1] and second[0] <= self._subtree_end(first):
+                return Relation.ANCESTOR
+            return Relation.PRECEDING
+        if second[1] < first[1] and first[0] <= self._subtree_end(second):
+            return Relation.DESCENDANT
+        return Relation.FOLLOWING
+
+    def label_bits(self, label: PosDepthLabel) -> int:
+        return max(1, label[0].bit_length()) + max(1, label[1].bit_length())
+
+
+class PosDepthScheme(NumberingScheme):
+    """Factory for position/depth labeling."""
+
+    name = "posdepth"
+
+    def build(self, tree: XmlTree) -> PosDepthLabeling:
+        return PosDepthLabeling(tree)

@@ -1,0 +1,93 @@
+"""Pre/post-order labeling (Dietz [3]).
+
+A node is labeled *(preorder rank, postorder rank)*; ancestry is the
+plane-dominance test ``pre(a) < pre(b) and post(a) > post(b)``. The
+scheme decides every structural relation from two comparisons — but,
+unlike UID/rUID/Dewey, the *parent* is **not** computable from the
+label alone: one must search for the tightest dominating pair, which
+requires an index over the labels. That asymmetry is exactly the
+motivation the paper gives for preferring UID-style schemes (§1, §6).
+
+Update semantics: any insertion shifts every preorder rank after the
+insertion point and every postorder rank after the subtree — a global
+relabel of, on average, half the document.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import RebuildOnUpdateLabeling
+from repro.core.labels import Relation
+from repro.core.scheme import NumberingScheme
+from repro.errors import NoParentError, UnknownLabelError
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+PrePostLabel = Tuple[int, int]
+
+
+class PrePostLabeling(RebuildOnUpdateLabeling[PrePostLabel]):
+    """(pre, post) labels for every node of a tree."""
+
+    scheme_name = "prepost"
+    parent_needs_index = True
+
+    def __init__(self, tree: XmlTree):
+        #: counts index probes made to answer parent queries — the
+        #: "extra lookups" the paper's in-memory argument is about
+        self.index_probes = 0
+        self._by_pre: List[PrePostLabel] = []
+        super().__init__(tree)
+
+    def _assign(self) -> Dict[int, PrePostLabel]:
+        pre_rank: Dict[int, int] = {}
+        for rank, node in enumerate(self.tree.preorder(), start=1):
+            pre_rank[node.node_id] = rank
+        labels: Dict[int, PrePostLabel] = {}
+        for rank, node in enumerate(self.tree.postorder(), start=1):
+            labels[node.node_id] = (pre_rank[node.node_id], rank)
+        self._by_pre = sorted(labels.values())
+        return labels
+
+    # -- structure from labels -------------------------------------------
+    def parent_label(self, label: PrePostLabel) -> PrePostLabel:
+        """Tightest dominating label, found by an index search.
+
+        The parent is the label with the largest preorder rank below
+        ours among those whose postorder rank exceeds ours; scanning
+        left from our position in the pre-sorted index finds it. Every
+        step is counted in :attr:`index_probes`.
+        """
+        pre, post = label
+        if pre == 1:
+            raise NoParentError("the root has no parent")
+        position = bisect_left(self._by_pre, label)
+        if position >= len(self._by_pre) or self._by_pre[position] != label:
+            raise UnknownLabelError(f"label {label!r} names no real node")
+        for index in range(position - 1, -1, -1):
+            self.index_probes += 1
+            candidate = self._by_pre[index]
+            if candidate[1] > post:
+                return candidate
+        raise NoParentError("no dominating label found")
+
+    def relation(self, first: PrePostLabel, second: PrePostLabel) -> Relation:
+        if first == second:
+            return Relation.SELF
+        if first[0] < second[0]:
+            return Relation.ANCESTOR if first[1] > second[1] else Relation.PRECEDING
+        return Relation.DESCENDANT if first[1] < second[1] else Relation.FOLLOWING
+
+    def label_bits(self, label: PrePostLabel) -> int:
+        return max(1, label[0].bit_length()) + max(1, label[1].bit_length())
+
+
+class PrePostScheme(NumberingScheme):
+    """Factory for Dietz pre/post labeling."""
+
+    name = "prepost"
+
+    def build(self, tree: XmlTree) -> PrePostLabeling:
+        return PrePostLabeling(tree)

@@ -1,0 +1,200 @@
+"""Region (extended-preorder) labeling — Li & Moon [6].
+
+A node is labeled *(start, end, level)* where the interval
+``[start, end]`` strictly contains the intervals of its descendants.
+Assignments reserve *gaps* (the "extended preorder" idea): with gap
+``g``, a subtree of ``s`` nodes occupies ``2·s·g`` numbers, leaving
+room to absorb insertions without touching existing labels.
+
+Update semantics: an insertion first tries to fit the new subtree into
+the free window between its neighbours' intervals — zero relabels if it
+fits; when the window is exhausted, the whole document is re-assigned
+(the scheme's well-known degradation). Deletions simply abandon the
+interval (no relabel).
+
+Like pre/post, the parent is not computable from the label alone; a
+search over the interval index is needed and is counted.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import RebuildOnUpdateLabeling
+from repro.core.labels import Relation
+from repro.core.scheme import NumberingScheme
+from repro.core.update import RelabelReport, diff_snapshots
+from repro.errors import NoParentError, UnknownLabelError
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+RegionLabel = Tuple[int, int, int]  # (start, end, level)
+
+
+class RegionLabeling(RebuildOnUpdateLabeling[RegionLabel]):
+    """Gapped (start, end, level) labels for every node of a tree."""
+
+    scheme_name = "region"
+    parent_needs_index = True
+
+    def __init__(self, tree: XmlTree, gap: int = 8):
+        if gap < 1:
+            raise ValueError(f"gap must be >= 1, got {gap}")
+        self.gap = gap
+        self.index_probes = 0
+        self._starts: List[int] = []  # sorted starts, parallel to _by_start
+        self._by_start: List[RegionLabel] = []
+        super().__init__(tree)
+
+    def _assign(self) -> Dict[int, RegionLabel]:
+        labels: Dict[int, RegionLabel] = {}
+        counter = 1
+
+        # Iterative DFS with explicit post-visit to set `end`.
+        stack: List[Tuple[XmlNode, int, bool]] = [(self.tree.root, 0, False)]
+        pending_start: Dict[int, int] = {}
+        while stack:
+            node, level, expanded = stack.pop()
+            if expanded:
+                labels[node.node_id] = (pending_start[node.node_id], counter, level)
+                counter += self.gap
+            else:
+                pending_start[node.node_id] = counter
+                counter += self.gap
+                stack.append((node, level, True))
+                for child in reversed(node.children):
+                    stack.append((child, level + 1, False))
+        self._rebuild_index(labels)
+        return labels
+
+    def _rebuild_index(self, labels: Dict[int, RegionLabel]) -> None:
+        self._by_start = sorted(labels.values())
+        self._starts = [label[0] for label in self._by_start]
+
+    # -- structure from labels -------------------------------------------
+    def parent_label(self, label: RegionLabel) -> RegionLabel:
+        """Tightest containing interval, via an index scan (counted)."""
+        start, end, level = label
+        position = bisect_left(self._starts, start)
+        if position >= len(self._starts) or self._by_start[position] != label:
+            raise UnknownLabelError(f"label {label!r} names no real node")
+        for index in range(position - 1, -1, -1):
+            self.index_probes += 1
+            candidate = self._by_start[index]
+            if candidate[1] > end:
+                return candidate
+        raise NoParentError("the root interval has no parent")
+
+    def relation(self, first: RegionLabel, second: RegionLabel) -> Relation:
+        if first == second:
+            return Relation.SELF
+        if first[0] < second[0]:
+            return Relation.ANCESTOR if first[1] > second[1] else Relation.PRECEDING
+        return Relation.DESCENDANT if first[1] < second[1] else Relation.FOLLOWING
+
+    def label_bits(self, label: RegionLabel) -> int:
+        start, end, level = label
+        return (
+            max(1, start.bit_length())
+            + max(1, end.bit_length())
+            + max(1, level.bit_length())
+        )
+
+    # -- update ------------------------------------------------------------
+    def insert(self, parent: XmlNode, position: int, node: XmlNode) -> RelabelReport:
+        before = self.snapshot()
+        window = self._free_window(parent, position)
+        self.tree.insert_node(parent, position, node)
+        size = node.subtree_size()
+        low, high = window
+        capacity = high - low - 1
+        if capacity >= 2 * size:
+            # In-place: pack the new subtree into the window, spreading
+            # the remaining slack as fresh gaps.
+            spacing = max(1, capacity // (2 * size))
+            parent_level = self._label_by_node[parent.node_id][2]
+            self._assign_subtree(node, low, spacing, parent_level + 1)
+            overflow = False
+            changed: List = []
+        else:
+            self._reassign()
+            overflow = True
+            changed = diff_snapshots(before, self._label_by_node)
+        return RelabelReport(
+            scheme=self.scheme_name,
+            operation="insert",
+            changed=changed,
+            inserted_count=node.subtree_size(),
+            overflow=overflow,
+            surviving_nodes=len(before),
+        )
+
+    def _free_window(self, parent: XmlNode, position: int) -> Tuple[int, int]:
+        """Unused number range between the insertion point's neighbours."""
+        parent_label = self._label_by_node[parent.node_id]
+        if position > 0:
+            low = self._label_by_node[parent.children[position - 1].node_id][1]
+        else:
+            low = parent_label[0]
+        if position < len(parent.children):
+            high = self._label_by_node[parent.children[position].node_id][0]
+        else:
+            high = parent_label[1]
+        return low, high
+
+    def _assign_subtree(self, node: XmlNode, low: int, spacing: int, level: int) -> None:
+        counter = low + spacing
+        stack: List[Tuple[XmlNode, int, bool]] = [(node, level, False)]
+        pending_start: Dict[int, int] = {}
+        new_labels: Dict[int, RegionLabel] = {}
+        while stack:
+            current, current_level, expanded = stack.pop()
+            if expanded:
+                label = (pending_start[current.node_id], counter, current_level)
+                counter += spacing
+                new_labels[current.node_id] = label
+            else:
+                pending_start[current.node_id] = counter
+                counter += spacing
+                stack.append((current, current_level, True))
+                for child in reversed(current.children):
+                    stack.append((child, current_level + 1, False))
+        for node_id, label in new_labels.items():
+            self._label_by_node[node_id] = label
+        for subtree_node in node.iter_subtree():
+            self._node_by_label[self._label_by_node[subtree_node.node_id]] = subtree_node
+        for label in new_labels.values():
+            insort(self._by_start, label)
+        self._starts = [entry[0] for entry in self._by_start]
+
+    def delete(self, node: XmlNode) -> RelabelReport:
+        """Deletion abandons the intervals: zero relabels."""
+        before = self.snapshot()
+        removed = self.tree.delete_subtree(node)
+        for removed_node in removed:
+            label = self._label_by_node.pop(removed_node.node_id)
+            self._node_by_label.pop(label, None)
+            index = bisect_left(self._starts, label[0])
+            if index < len(self._by_start) and self._by_start[index] == label:
+                del self._by_start[index]
+                del self._starts[index]
+        return RelabelReport(
+            scheme=self.scheme_name,
+            operation="delete",
+            changed=[],
+            deleted_count=len(removed),
+            surviving_nodes=len(before) - len(removed),
+        )
+
+
+class RegionScheme(NumberingScheme):
+    """Factory for gapped region labeling."""
+
+    name = "region"
+
+    def __init__(self, gap: int = 8):
+        self.gap = gap
+
+    def build(self, tree: XmlTree) -> RegionLabeling:
+        return RegionLabeling(tree, gap=self.gap)

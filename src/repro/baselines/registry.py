@@ -1,0 +1,65 @@
+"""Scheme registry: every numbering scheme under one roof.
+
+Benchmarks and tests sweep schemes by name; :func:`all_schemes` and
+:func:`get_scheme` centralise construction with sensible defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.dewey import DeweyScheme
+from repro.baselines.ordpath import OrdpathScheme
+from repro.baselines.posdepth import PosDepthScheme
+from repro.baselines.prepost import PrePostScheme
+from repro.baselines.region import RegionScheme
+from repro.core.scheme import (
+    MultiRuidScheme,
+    NumberingScheme,
+    Ruid2Scheme,
+    UidScheme,
+)
+
+_FACTORIES: Dict[str, Callable[[], NumberingScheme]] = {
+    "uid": UidScheme,
+    "ruid2": Ruid2Scheme,
+    "ruid-multi": MultiRuidScheme,
+    "dewey": DeweyScheme,
+    "ordpath": OrdpathScheme,
+    "prepost": PrePostScheme,
+    "region": RegionScheme,
+    "posdepth": PosDepthScheme,
+}
+
+#: schemes that support structural updates through the uniform API
+UPDATABLE = ("uid", "ruid2", "dewey", "ordpath", "prepost", "region", "posdepth")
+
+#: schemes whose parent computation is pure label arithmetic
+ARITHMETIC_PARENT = ("uid", "ruid2", "ruid-multi", "dewey", "ordpath")
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme names, stable order."""
+    return list(_FACTORIES)
+
+
+def get_scheme(name: str, **options) -> NumberingScheme:
+    """Construct a scheme by name, passing *options* to its factory."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(_FACTORIES)
+        raise KeyError(f"unknown scheme {name!r}; known: {known}") from None
+    return factory(**options)
+
+
+def all_schemes(**per_scheme_options) -> List[NumberingScheme]:
+    """One instance of every scheme.
+
+    ``per_scheme_options`` maps scheme name → kwargs dict, e.g.
+    ``all_schemes(ruid2={"max_area_size": 32})``.
+    """
+    return [
+        get_scheme(name, **per_scheme_options.get(name, {}))
+        for name in _FACTORIES
+    ]

@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+::
+
+    python -m repro stats DOC.xml
+    python -m repro label DOC.xml --scheme ruid2 --max-area-size 32
+    python -m repro query DOC.xml "//person[age > 18]/name" --values
+    python -m repro fragment DOC.xml "//name" --descendants
+    python -m repro update-bench DOC.xml --ops 50
+    python -m repro save-params DOC.xml params.bin --directory
+
+Every command parses the document with the library's own parser and
+prints plain-text tables (see ``--help`` per command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    RELABEL_HEADERS,
+    format_table,
+    run_workload_per_scheme,
+)
+from repro.baselines import get_scheme, scheme_names
+from repro.core import Ruid2Scheme, SizeCapPartitioner
+from repro.core.document import LabeledDocument
+from repro.core.persist import dump_parameters
+from repro.errors import ReproError
+from repro.generator import UpdateWorkloadConfig, generate_update_workload
+from repro.query import XPathEngine
+from repro.xmltree import compute_stats, parse_file, serialize
+
+
+def _load(path: str):
+    return parse_file(path)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    stats = compute_stats(tree)
+    rows = [(key, value) for key, value in stats.as_row().items()]
+    rows += [
+        ("elements", stats.element_count),
+        ("text nodes", stats.text_count),
+        ("leaves", stats.leaf_count),
+        ("level widths", " ".join(map(str, stats.level_widths[:12]))
+         + ("..." if len(stats.level_widths) > 12 else "")),
+    ]
+    print(format_table(("metric", "value"), rows, title=args.file))
+    return 0
+
+
+def cmd_label(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    scheme = get_scheme(
+        args.scheme,
+        **({"max_area_size": args.max_area_size} if args.scheme == "ruid2" else {}),
+    )
+    labeling = scheme.build(tree)
+    rows = []
+    for index, node in enumerate(tree.preorder()):
+        if index >= args.limit:
+            rows.append(("...", f"({tree.size() - args.limit} more)"))
+            break
+        rows.append((str(labeling.label_of(node)), f"<{node.tag}>"))
+    print(format_table(("label", "node"), rows, title=f"{args.scheme} labels"))
+    if args.scheme == "ruid2":
+        core = labeling.core
+        print(f"\nkappa = {core.kappa}; table K ({core.area_count()} areas):")
+        k_rows = [row.as_tuple() for row in core.ktable]
+        print(format_table(("global", "local_of_root", "fan_out"), k_rows[: args.limit]))
+    print(f"\nmax label bits: {labeling.max_label_bits()}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    engine = XPathEngine(tree)
+    nodes = engine.select(args.xpath, args.strategy)
+    if args.values:
+        for value in (n.text_content() for n in nodes):
+            print(value)
+    else:
+        for node in nodes:
+            print(node.path())
+    print(f"-- {len(nodes)} node(s) [{args.strategy}]", file=sys.stderr)
+    return 0
+
+
+def cmd_fragment(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    document = LabeledDocument(tree, partitioner=SizeCapPartitioner(args.max_area_size))
+    fragment = document.fragment_for(args.xpath, include_descendants=args.descendants)
+    print(serialize(fragment, indent="  "))
+    return 0
+
+
+def cmd_update_bench(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    ops = generate_update_workload(
+        tree,
+        UpdateWorkloadConfig(operations=args.ops, insert_fraction=args.insert_fraction),
+        seed=args.seed,
+    )
+    schemes = [
+        get_scheme(name)
+        if name != "ruid2"
+        else get_scheme(name, max_area_size=args.max_area_size)
+        for name in args.schemes
+    ]
+    summaries = run_workload_per_scheme(tree, schemes, ops)
+    print(
+        format_table(
+            RELABEL_HEADERS,
+            [s.as_row() for s in summaries],
+            title=f"relabel scope: {args.ops} ops on {tree.size()} nodes",
+        )
+    )
+    return 0
+
+
+def cmd_save_params(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    labeling = Ruid2Scheme(max_area_size=args.max_area_size).build(tree)
+    blob = dump_parameters(labeling.core, include_directory=args.directory)
+    with open(args.output, "wb") as handle:
+        handle.write(blob)
+    print(
+        f"saved kappa={labeling.core.kappa}, {labeling.core.area_count()} K rows"
+        f"{' + directory' if args.directory else ''} "
+        f"({len(blob)} bytes) to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="rUID structural numbering for XML (EDBT 2002 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="document topology statistics")
+    stats.add_argument("file")
+    stats.set_defaults(handler=cmd_stats)
+
+    label = commands.add_parser("label", help="label a document and show the result")
+    label.add_argument("file")
+    label.add_argument("--scheme", choices=scheme_names(), default="ruid2")
+    label.add_argument("--max-area-size", type=int, default=64)
+    label.add_argument("--limit", type=int, default=30, help="rows to print")
+    label.set_defaults(handler=cmd_label)
+
+    query = commands.add_parser("query", help="run an XPath expression")
+    query.add_argument("file")
+    query.add_argument("xpath")
+    query.add_argument("--strategy", choices=("ruid", "navigational"), default="ruid")
+    query.add_argument("--values", action="store_true", help="print string-values")
+    query.set_defaults(handler=cmd_query)
+
+    fragment = commands.add_parser(
+        "fragment", help="reconstruct the fragment spanned by a query (section 3.3)"
+    )
+    fragment.add_argument("file")
+    fragment.add_argument("xpath")
+    fragment.add_argument("--descendants", action="store_true")
+    fragment.add_argument("--max-area-size", type=int, default=64)
+    fragment.set_defaults(handler=cmd_fragment)
+
+    bench = commands.add_parser(
+        "update-bench", help="relabel-scope comparison on an update workload"
+    )
+    bench.add_argument("file")
+    bench.add_argument("--ops", type=int, default=50)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--insert-fraction", type=float, default=0.8)
+    bench.add_argument("--max-area-size", type=int, default=16)
+    bench.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["uid", "ruid2", "dewey", "prepost"],
+        choices=[n for n in scheme_names() if n != "ruid-multi"],
+    )
+    bench.set_defaults(handler=cmd_update_bench)
+
+    save = commands.add_parser(
+        "save-params", help='save kappa and table K (Fig. 3: "Save κ and K")'
+    )
+    save.add_argument("file")
+    save.add_argument("output")
+    save.add_argument("--max-area-size", type=int, default=64)
+    save.add_argument("--directory", action="store_true",
+                      help="include the label→tag directory")
+    save.set_defaults(handler=cmd_save_params)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

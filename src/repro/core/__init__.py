@@ -1,0 +1,104 @@
+"""The paper's contribution: UID and recursive-UID numbering schemes.
+
+Public surface::
+
+    from repro.core import (
+        UidLabeling, Ruid2Labeling, MultilevelRuidLabeling,
+        Ruid2Label, MultiLabel, Relation,
+        UidScheme, Ruid2Scheme, MultiRuidScheme,
+        AxisEngine, Ruid2Order, rparent,
+    )
+"""
+
+from repro.core.axes import AxisEngine, candidate_children, candidate_siblings
+from repro.core.document import LabeledDocument, reconstruct_fragment
+from repro.core.frame import Area, Frame
+from repro.core.ktable import KRow, KTable
+from repro.core.labels import MultiLabel, Relation, Ruid2Label
+from repro.core.multilevel import MultilevelRuidLabeling
+from repro.core.order import Ruid2Order, uid_preceding, uid_relation
+from repro.core.persist import (
+    GlobalParameters,
+    MultilevelParameters,
+    dump_multilevel_parameters,
+    dump_parameters,
+    load_multilevel_parameters,
+    load_parameters,
+)
+from repro.core.partition import (
+    DepthStridePartitioner,
+    ExplicitPartitioner,
+    Partitioner,
+    SingleAreaPartitioner,
+    SizeCapPartitioner,
+    lca_closure,
+    partition_summary,
+)
+from repro.core.ruid import Ruid2Labeling, enumerate_ruid2, rparent
+from repro.core.scheme import (
+    Labeling,
+    MultiRuidScheme,
+    MultiRuidSchemeLabeling,
+    NumberingScheme,
+    Ruid2Scheme,
+    Ruid2SchemeLabeling,
+    UidScheme,
+    UidSchemeLabeling,
+)
+from repro.core.uid import UidLabeling
+from repro.core.update import (
+    RelabelChange,
+    RelabelReport,
+    Ruid2Updater,
+    UidUpdater,
+    diff_snapshots,
+)
+
+__all__ = [
+    "Area",
+    "AxisEngine",
+    "DepthStridePartitioner",
+    "ExplicitPartitioner",
+    "Frame",
+    "GlobalParameters",
+    "KRow",
+    "KTable",
+    "LabeledDocument",
+    "Labeling",
+    "MultiLabel",
+    "MultiRuidScheme",
+    "MultiRuidSchemeLabeling",
+    "MultilevelParameters",
+    "MultilevelRuidLabeling",
+    "NumberingScheme",
+    "Partitioner",
+    "Relation",
+    "RelabelChange",
+    "RelabelReport",
+    "Ruid2Label",
+    "Ruid2Labeling",
+    "Ruid2Order",
+    "Ruid2Scheme",
+    "Ruid2SchemeLabeling",
+    "Ruid2Updater",
+    "SingleAreaPartitioner",
+    "SizeCapPartitioner",
+    "UidLabeling",
+    "UidScheme",
+    "UidSchemeLabeling",
+    "UidUpdater",
+    "candidate_children",
+    "candidate_siblings",
+    "diff_snapshots",
+    "dump_multilevel_parameters",
+    "dump_parameters",
+    "enumerate_ruid2",
+    "lca_closure",
+    "load_multilevel_parameters",
+    "load_parameters",
+    "partition_summary",
+    "reconstruct_fragment",
+    "rparent",
+    "uid_preceding",
+    "uid_relation",
+]

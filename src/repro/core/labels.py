@@ -1,0 +1,187 @@
+"""Label value types for the rUID schemes.
+
+Labels are immutable value objects; all structural decisions the paper
+makes from labels (parent computation, axes, document order) are
+functions of labels plus the in-memory global parameters (``κ`` and
+table ``K``) — never of the tree itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+
+class Relation(IntEnum):
+    """Structural relation of a node pair in document order terms."""
+
+    SELF = 0
+    ANCESTOR = 1  # first is an ancestor of second
+    DESCENDANT = 2  # first is a descendant of second
+    PRECEDING = 3  # first precedes second, no ancestry
+    FOLLOWING = 4  # first follows second, no ancestry
+
+    @property
+    def precedes(self) -> bool:
+        """True iff the first node comes strictly before the second in
+        document order (ancestors precede their descendants)."""
+        return self in (Relation.ANCESTOR, Relation.PRECEDING)
+
+    def inverse(self) -> "Relation":
+        """The relation with the pair swapped."""
+        return _INVERSE[self]
+
+
+_INVERSE = {
+    Relation.SELF: Relation.SELF,
+    Relation.ANCESTOR: Relation.DESCENDANT,
+    Relation.DESCENDANT: Relation.ANCESTOR,
+    Relation.PRECEDING: Relation.FOLLOWING,
+    Relation.FOLLOWING: Relation.PRECEDING,
+}
+
+
+class Ruid2Label:
+    """A 2-level rUID identifier — the triple of Definition 3.
+
+    Immutable value object (labels are dictionary keys on the hottest
+    paths, so the hash is computed once at construction).
+
+    Attributes
+    ----------
+    global_index:
+        Index of the UID-local area containing the node (for area
+        roots: the index of the area they root).
+    local_index:
+        Index of the node inside that area; for an area root, its
+        index *as a leaf of the upper area*.
+    is_area_root:
+        The root indicator ``r``.
+    """
+
+    __slots__ = ("global_index", "local_index", "is_area_root", "_hash")
+
+    ROOT: "Ruid2Label" = None  # type: ignore[assignment]  # set below
+
+    def __init__(self, global_index: int, local_index: int, is_area_root: bool):
+        if global_index < 1 or local_index < 1:
+            raise ValueError(
+                f"rUID indices start at 1, got ({global_index}, {local_index})"
+            )
+        object.__setattr__(self, "global_index", global_index)
+        object.__setattr__(self, "local_index", local_index)
+        object.__setattr__(self, "is_area_root", is_area_root)
+        object.__setattr__(
+            self, "_hash", hash((global_index, local_index, is_area_root))
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Ruid2Label is immutable")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Ruid2Label):
+            return NotImplemented
+        return (
+            self.global_index == other.global_index
+            and self.local_index == other.local_index
+            and self.is_area_root == other.is_area_root
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Ruid2Label(global_index={self.global_index}, "
+            f"local_index={self.local_index}, is_area_root={self.is_area_root})"
+        )
+
+    @property
+    def is_document_root(self) -> bool:
+        """True for the root of the main XML tree, (1, 1, true)."""
+        return self.is_area_root and self.global_index == 1
+
+    def as_tuple(self) -> Tuple[int, int, bool]:
+        return (self.global_index, self.local_index, self.is_area_root)
+
+    def bits(self) -> int:
+        """Storage bits: both integer components plus the indicator bit."""
+        return (
+            max(1, self.global_index.bit_length())
+            + max(1, self.local_index.bit_length())
+            + 1
+        )
+
+    def __str__(self) -> str:
+        flag = "true" if self.is_area_root else "false"
+        return f"({self.global_index}, {self.local_index}, {flag})"
+
+
+Ruid2Label.ROOT = Ruid2Label(1, 1, True)
+
+
+@dataclass(frozen=True)
+class MultiLabel:
+    """A multilevel rUID identifier — Definition 4.
+
+    ``{θ, (α_{l-1}, β_{l-1}), ..., (α_1, β_1)}``: ``theta`` is the
+    original UID at the top level; ``components`` lists the
+    (local index, root indicator) pairs from the level *below the top*
+    down to level 1 (the original tree). A 2-level label therefore has
+    one component; ``MultiLabel(theta=8, components=((5, True),))``
+    prints as ``{8, (5, true)}``.
+    """
+
+    theta: int
+    components: Tuple[Tuple[int, bool], ...]
+
+    def __post_init__(self):
+        if self.theta < 1:
+            raise ValueError(f"top-level UID starts at 1, got {self.theta}")
+        for alpha, _beta in self.components:
+            if alpha < 1:
+                raise ValueError(f"local indices start at 1, got {alpha}")
+
+    @property
+    def levels(self) -> int:
+        """Number of rUID levels ``l`` (1 = plain UID)."""
+        return len(self.components) + 1
+
+    @property
+    def alpha(self) -> int:
+        """Bottom-level local index α₁ (the node's index in its area)."""
+        if not self.components:
+            raise ValueError("a 1-level label has no local component")
+        return self.components[-1][0]
+
+    @property
+    def beta(self) -> bool:
+        """Bottom-level root indicator β₁."""
+        if not self.components:
+            raise ValueError("a 1-level label has no local component")
+        return self.components[-1][1]
+
+    def upper(self) -> "MultiLabel":
+        """The label with the bottom level stripped — identifies the
+        node's UID-local area within the level-2 frame."""
+        if not self.components:
+            raise ValueError("cannot strip the top level")
+        return MultiLabel(self.theta, self.components[:-1])
+
+    def extend(self, alpha: int, beta: bool) -> "MultiLabel":
+        """Append a bottom-level component."""
+        return MultiLabel(self.theta, self.components + ((alpha, beta),))
+
+    def bits(self) -> int:
+        """Total storage bits across all components."""
+        total = max(1, self.theta.bit_length())
+        for alpha, _beta in self.components:
+            total += max(1, alpha.bit_length()) + 1
+        return total
+
+    def __str__(self) -> str:
+        parts = [str(self.theta)]
+        for alpha, beta in self.components:
+            parts.append(f"({alpha}, {'true' if beta else 'false'})")
+        return "{" + ", ".join(parts) + "}"

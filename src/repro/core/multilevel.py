@@ -1,0 +1,271 @@
+"""Multilevel rUID — paper §2.4 (Definition 4) and Example 3.
+
+The 2-level construction is applied recursively: the frame of level
+*i* is materialised as a tree and becomes the data of level *i+1*.
+The topmost frame is enumerated by a plain UID, whose value is the
+``θ`` of Definition 4; every level below contributes one
+``(α, β)`` component.
+
+An ``m``-stage build (``levels = m + 1``) can enumerate on the order
+of ``e^m`` nodes, where ``e`` is the per-level UID capacity — the
+paper's scalability claim (§3.1). In practice two or three levels
+cover any real document ("this requires only a few levels to encode a
+large XML tree").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.labels import MultiLabel, Relation, Ruid2Label
+from repro.core.order import Ruid2Order
+from repro.core.partition import Partitioner, SizeCapPartitioner
+from repro.core.ruid import Ruid2Labeling
+from repro.errors import NoParentError, NumberingError, UnknownLabelError
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+
+class _Stage:
+    """One 2-level build in the recursive chain.
+
+    ``labeling`` labels ``tree`` (which is the original document for
+    stage 1, or the materialised frame of the stage below). The proxy
+    maps connect each of this stage's areas to the node representing it
+    in the next stage's tree.
+    """
+
+    def __init__(self, tree: XmlTree, labeling: Ruid2Labeling):
+        self.tree = tree
+        self.labeling = labeling
+        #: area global index (this stage) -> proxy node in the next tree
+        self.proxy_of_global: Dict[int, XmlNode] = {}
+        #: proxy node_id (next tree) -> area global index (this stage)
+        self.global_of_proxy: Dict[int, int] = {}
+
+    def materialise_frame(self) -> XmlTree:
+        """Build the next stage's tree: one proxy node per area root,
+        edges per the frame."""
+        frame = self.labeling.frame
+
+        def make_proxy(area_root: XmlNode) -> XmlNode:
+            proxy = XmlNode(area_root.tag, NodeKind.ELEMENT)
+            g = self.labeling.global_of_area_root(area_root)
+            self.proxy_of_global[g] = proxy
+            self.global_of_proxy[proxy.node_id] = g
+            for child_root in frame.frame_children[area_root.node_id]:
+                proxy.append_child(make_proxy(child_root))
+            return proxy
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, self.tree.height() + 1000))
+        try:
+            return XmlTree(make_proxy(self.tree.root))
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+
+class MultilevelRuidLabeling:
+    """Multilevel rUID labels for every node of a tree.
+
+    Parameters
+    ----------
+    tree:
+        The document tree.
+    levels:
+        Total number of rUID levels ``l >= 2``; a value of 2 is exactly
+        the 2-level scheme with :class:`MultiLabel` packaging.
+    partitioners:
+        One strategy per stage (``levels - 1`` of them), or a single
+        strategy reused at every stage, or ``None`` for size-capped
+        defaults.
+    """
+
+    scheme_name = "ruid-multi"
+
+    def __init__(
+        self,
+        tree: XmlTree,
+        levels: int = 3,
+        partitioners: Optional[Sequence[Partitioner] | Partitioner] = None,
+    ):
+        if levels < 2:
+            raise NumberingError(f"multilevel rUID needs levels >= 2, got {levels}")
+        self.tree = tree
+        self.levels = levels
+        stage_count = levels - 1
+        if partitioners is None:
+            strategy_list: List[Partitioner] = [
+                SizeCapPartitioner(64) for _ in range(stage_count)
+            ]
+        elif isinstance(partitioners, Partitioner):
+            strategy_list = [partitioners] * stage_count
+        else:
+            strategy_list = list(partitioners)
+            if len(strategy_list) != stage_count:
+                raise NumberingError(
+                    f"expected {stage_count} partitioners, got {len(strategy_list)}"
+                )
+
+        self.stages: List[_Stage] = []
+        current = tree
+        for strategy in strategy_list:
+            stage = _Stage(current, Ruid2Labeling(current, strategy))
+            self.stages.append(stage)
+            current = stage.materialise_frame()
+
+        self._label_by_node: Dict[int, MultiLabel] = {}
+        self._node_by_label: Dict[MultiLabel, XmlNode] = {}
+        self._compose_labels()
+
+    # ------------------------------------------------------------------
+    def _compose_labels(self) -> None:
+        for node in self.tree.preorder():
+            label = self._encode_node(node)
+            self._label_by_node[node.node_id] = label
+            self._node_by_label[label] = node
+
+    def _encode_node(self, node: XmlNode) -> MultiLabel:
+        """Walk the stage chain upward, collecting one component per
+        stage; the top stage's global index becomes θ."""
+        components: List[Tuple[int, bool]] = []
+        current = node
+        theta = 1
+        for index, stage in enumerate(self.stages):
+            two_level = stage.labeling.label_of(current)
+            components.append((two_level.local_index, two_level.is_area_root))
+            theta = two_level.global_index
+            if index + 1 < len(self.stages):
+                current = stage.proxy_of_global[two_level.global_index]
+        # components were collected bottom-up; Definition 4 lists them
+        # top-down below θ.
+        return MultiLabel(theta, tuple(reversed(components)))
+
+    def _encode_area(self, stage_index: int, global_index: int) -> MultiLabel:
+        """Upper part of a label: the identity of a stage's area as a
+        (shorter) MultiLabel over the higher stages."""
+        components: List[Tuple[int, bool]] = []
+        theta = global_index
+        current_global = global_index
+        for index in range(stage_index + 1, len(self.stages)):
+            proxy = self.stages[index - 1].proxy_of_global[current_global]
+            two_level = self.stages[index].labeling.label_of(proxy)
+            components.append((two_level.local_index, two_level.is_area_root))
+            theta = two_level.global_index
+            current_global = two_level.global_index
+        return MultiLabel(theta, tuple(reversed(components)))
+
+    def _decode_global(self, label: MultiLabel, stage_index: int = 0) -> int:
+        """Recover the stage-``stage_index`` global index encoded by the
+        components of *label* above that stage. Pure table lookups."""
+        expected = len(self.stages) - stage_index - 1
+        upper_components = label.components[:expected] if expected else ()
+        global_index = label.theta
+        # Walk down from the top stage, resolving each (α, β) to a node
+        # of the stage's tree and then to the area it proxies.
+        for offset, (alpha, beta) in enumerate(upper_components):
+            stage = self.stages[len(self.stages) - 1 - offset]
+            two_level = Ruid2Label(global_index, alpha, beta)
+            proxy = stage.labeling.node_of(two_level)
+            below = self.stages[len(self.stages) - 2 - offset]
+            global_index = below.global_of_proxy[proxy.node_id]
+        return global_index
+
+    def _bottom_two_level(self, label: MultiLabel) -> Ruid2Label:
+        """The stage-1 (bottom) 2-level form of *label*."""
+        alpha, beta = label.components[-1]
+        return Ruid2Label(self._decode_global(label), alpha, beta)
+
+    def _encode_bottom(self, two_level: Ruid2Label) -> MultiLabel:
+        """Inverse of :meth:`_bottom_two_level`."""
+        upper = self._encode_area(0, two_level.global_index)
+        return upper.extend(two_level.local_index, two_level.is_area_root)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def label_of(self, node: XmlNode) -> MultiLabel:
+        try:
+            return self._label_by_node[node.node_id]
+        except KeyError:
+            raise UnknownLabelError(f"node {node!r} is not labeled") from None
+
+    def node_of(self, label: MultiLabel) -> XmlNode:
+        try:
+            return self._node_by_label[label]
+        except KeyError:
+            raise UnknownLabelError(f"label {label} names no real node") from None
+
+    def exists(self, label: MultiLabel) -> bool:
+        return label in self._node_by_label
+
+    def labels(self) -> Iterator[MultiLabel]:
+        return iter(self._node_by_label)
+
+    def items(self) -> Iterator[Tuple[XmlNode, MultiLabel]]:
+        for node in self.tree.preorder():
+            yield node, self._label_by_node[node.node_id]
+
+    # ------------------------------------------------------------------
+    # Identifier arithmetic
+    # ------------------------------------------------------------------
+    def rparent(self, label: MultiLabel) -> MultiLabel:
+        """Parent identifier via per-level table arithmetic.
+
+        The bottom component is advanced with the stage-1 Fig. 6
+        algorithm; crossing an area boundary re-encodes the upper
+        components through the stage tables — still pure in-memory
+        lookups, the multilevel analogue of (κ, K).
+        """
+        bottom = self._bottom_two_level(label)
+        if bottom.is_document_root:
+            raise NoParentError("the document root has no parent")
+        parent_two_level = self.stages[0].labeling.rparent(bottom)
+        return self._encode_bottom(parent_two_level)
+
+    def rancestors(self, label: MultiLabel) -> List[MultiLabel]:
+        result: List[MultiLabel] = []
+        current = label
+        while True:
+            bottom = self._bottom_two_level(current)
+            if bottom.is_document_root:
+                return result
+            current = self._encode_bottom(self.stages[0].labeling.rparent(bottom))
+            result.append(current)
+
+    def relation(self, first: MultiLabel, second: MultiLabel) -> Relation:
+        """Structural relation, delegated to the bottom-stage order
+        oracle (Lemmas 2–3 apply level-wise)."""
+        oracle = Ruid2Order(self.stages[0].labeling.kappa, self.stages[0].labeling.ktable)
+        return oracle.relation(
+            self._bottom_two_level(first), self._bottom_two_level(second)
+        )
+
+    def is_ancestor(self, candidate: MultiLabel, label: MultiLabel) -> bool:
+        return self.relation(candidate, label) is Relation.ANCESTOR
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def label_bits(self, label: MultiLabel) -> int:
+        return label.bits()
+
+    def max_label_bits(self) -> int:
+        return max(label.bits() for label in self.labels())
+
+    def top_frame_size(self) -> int:
+        """Node count of the topmost frame tree — what must "become
+        small enough to be stored" for the recursion to stop (§2.4)."""
+        top = self.stages[-1]
+        return top.labeling.frame.area_count()
+
+    def __len__(self) -> int:
+        return len(self._label_by_node)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MultilevelRuidLabeling levels={self.levels} nodes={len(self)} "
+            f"top_frame={self.top_frame_size()}>"
+        )

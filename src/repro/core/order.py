@@ -1,0 +1,165 @@
+"""Document-order determination from identifiers (paper §3.4, Lemmas 2–3).
+
+Everything in this module is *label arithmetic*: given κ and table K,
+the full structural relation (self / ancestor / descendant / preceding /
+following) of any two nodes is decided without touching the tree. This
+is the property Lemma 3 establishes via the frame, generalising the
+paper's Fig. 10 routine for the 1-level UID.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core import uid as uid_math
+from repro.core.ktable import KTable
+from repro.core.labels import Relation, Ruid2Label
+
+
+def uid_relation(first: int, second: int, fan_out: int) -> Relation:
+    """Structural relation of two identifiers in one k-ary UID tree."""
+    if first == second:
+        return Relation.SELF
+    if uid_math.is_ancestor(first, second, fan_out):
+        return Relation.ANCESTOR
+    if uid_math.is_ancestor(second, first, fan_out):
+        return Relation.DESCENDANT
+    if uid_math.document_compare(first, second, fan_out) < 0:
+        return Relation.PRECEDING
+    return Relation.FOLLOWING
+
+
+def uid_preceding(first: int, second: int, fan_out: int) -> Optional[int]:
+    """The paper's Fig. 10 routine, verbatim: which of two 1-level UIDs
+    precedes the other?
+
+    Returns the preceding identifier, or ``None`` when the nodes are in
+    an ancestor–descendant relationship (the routine's ``null``).
+    """
+    # 1-2. Compute the sorted ancestor sets (self included so the LCA
+    #      test below covers the ancestor case, as the routine intends).
+    chain_first = [first, *uid_math.ancestors(first, fan_out)]
+    chain_second = [second, *uid_math.ancestors(second, fan_out)]
+    ancestors_first = set(chain_first)
+    # 3. Lowest common ancestor: first hit walking up from `second`.
+    lca = next(node for node in chain_second if node in ancestors_first)
+    # 4-5. Ancestor-descendant pairs have no preceding order.
+    if lca == first or lca == second:
+        return None
+    # 7. Children of the LCA on each path.
+    child_first = chain_first[chain_first.index(lca) - 1]
+    child_second = chain_second[chain_second.index(lca) - 1]
+    # 8. Compare the UIDs of the children (same level ⇒ numeric order).
+    return first if child_first < child_second else second
+
+
+class Ruid2Order:
+    """Document-order oracle over 2-level rUID labels.
+
+    Holds only the global parameters (κ, K); all queries are in-memory
+    arithmetic. The area chain of a label is recovered through κ-ary
+    parent arithmetic on global indices, and the within-area decision
+    is the projection argument of Lemma 2.
+    """
+
+    def __init__(self, kappa: int, ktable: KTable):
+        self.kappa = max(1, kappa)
+        self.ktable = ktable
+
+    # ------------------------------------------------------------------
+    def area_chain(self, label: Ruid2Label) -> List[int]:
+        """Global indices from the label's innermost area up to area 1.
+
+        For an area root the innermost area is the area it *roots*.
+        """
+        chain = [label.global_index]
+        current = label.global_index
+        while current != 1:
+            current = uid_math.parent(current, self.kappa)
+            chain.append(current)
+        return chain
+
+    def position_in(self, label: Ruid2Label) -> int:
+        """The node's local position inside its innermost area."""
+        return 1 if label.is_area_root else label.local_index
+
+    def relation(self, first: Ruid2Label, second: Ruid2Label) -> Relation:
+        """Full structural relation of two labels (Lemmas 2–3)."""
+        if first == second:
+            return Relation.SELF
+
+        chain_first = self.area_chain(first)[::-1]  # top-down
+        chain_second = self.area_chain(second)[::-1]
+        shared = 0
+        limit = min(len(chain_first), len(chain_second))
+        while shared < limit and chain_first[shared] == chain_second[shared]:
+            shared += 1
+        # Both chains start at area 1, so shared >= 1.
+        common_area = chain_first[shared - 1]
+
+        position_first = self._branch_position(first, chain_first, shared)
+        position_second = self._branch_position(second, chain_second, shared)
+        fan_out = self.ktable.fan_out(common_area)
+        relation = uid_relation(position_first, position_second, fan_out)
+
+        if relation is Relation.SELF:
+            # The branch positions coincide: one node is the area root
+            # through which the other's chain continues.
+            return (
+                Relation.ANCESTOR
+                if len(chain_first) < len(chain_second)
+                else Relation.DESCENDANT
+            )
+        return relation
+
+    def _branch_position(
+        self, label: Ruid2Label, chain_top_down: List[int], shared: int
+    ) -> int:
+        """Projection of the node onto the last common area (Lemma 2):
+        either the node's own position (its chain ends there) or the
+        position of the sub-area root its chain descends through."""
+        if len(chain_top_down) == shared:
+            return self.position_in(label)
+        descending_area = chain_top_down[shared]
+        return self.ktable.local_of_root(descending_area)
+
+    # -- conveniences ----------------------------------------------------
+    def is_ancestor(self, candidate: Ruid2Label, label: Ruid2Label) -> bool:
+        return self.relation(candidate, label) is Relation.ANCESTOR
+
+    def compare(self, first: Ruid2Label, second: Ruid2Label) -> int:
+        """-1/0/+1 document-order comparison (ancestors come first)."""
+        relation = self.relation(first, second)
+        if relation is Relation.SELF:
+            return 0
+        return -1 if relation.precedes else 1
+
+    def sort_key(self, label: Ruid2Label):
+        """A total-order key consistent with document order.
+
+        Materialises the (area-position) path top-down; lexicographic
+        tuple comparison then equals document order, with ancestors
+        first (shorter paths are prefixes of their descendants').
+        """
+        chain = self.area_chain(label)[::-1]
+        key: Tuple[int, ...] = ()
+        for index, area in enumerate(chain[1:], start=1):
+            key += self._uid_path_key(
+                self.ktable.local_of_root(area),
+                self.ktable.fan_out(chain[index - 1]),
+            )
+        key += self._uid_path_key(
+            self.position_in(label), self.ktable.fan_out(chain[-1])
+        )
+        return key
+
+    @staticmethod
+    def _uid_path_key(identifier: int, fan_out: int) -> Tuple[int, ...]:
+        """Root-to-node child-ordinal path of a UID — a Dewey-style key
+        whose lexicographic order equals document order within an area."""
+        path: List[int] = []
+        current = identifier
+        while current != 1:
+            path.append(uid_math.child_ordinal(current, fan_out))
+            current = uid_math.parent(current, fan_out)
+        return tuple(reversed(path))

@@ -1,0 +1,187 @@
+"""Area-root selection strategies and the fan-out adjustment of §2.3.
+
+A *partitioner* chooses the set of area-root nodes that induces the
+frame (Definition 1). The paper leaves the choice open; the strategies
+here cover the design space its discussion implies:
+
+* :class:`SizeCapPartitioner` — bound every area's node count, so the
+  relabel scope of an update is bounded (§3.2);
+* :class:`DepthStridePartitioner` — cut at regular depths, giving a
+  frame whose height is the tree height divided by the stride;
+* :class:`ExplicitPartitioner` — a caller-provided root set (used for
+  the paper's worked example, Fig. 4);
+* :class:`SingleAreaPartitioner` — the degenerate partition {root}:
+  the 2-level rUID then coincides with the original UID, a useful
+  baseline and test oracle.
+
+:func:`lca_closure` implements the §2.3 adjustment: closing the root
+set under lowest common ancestors guarantees the frame fan-out never
+exceeds the tree fan-out (the paper's "supplement additional area-root
+nodes to reduce the value of κ").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Set
+
+from repro.errors import PartitionError
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+
+class Partitioner(ABC):
+    """Strategy interface: select the area-root node ids for a tree."""
+
+    #: whether :func:`lca_closure` is applied after selection
+    adjust_fan_out: bool = True
+
+    @abstractmethod
+    def select_roots(self, tree: XmlTree) -> Set[int]:
+        """Return the node ids of the chosen area roots.
+
+        Implementations need not include the tree root; it is always
+        added. The fan-out adjustment runs afterwards when
+        :attr:`adjust_fan_out` is set.
+        """
+
+    def partition(self, tree: XmlTree) -> Set[int]:
+        """Full pipeline: select, force the tree root, optionally adjust."""
+        roots = set(self.select_roots(tree))
+        roots.add(tree.root.node_id)
+        if self.adjust_fan_out:
+            roots = lca_closure(tree, roots)
+        return roots
+
+
+class SingleAreaPartitioner(Partitioner):
+    """The degenerate partition: one area covering the whole tree."""
+
+    adjust_fan_out = False
+
+    def select_roots(self, tree: XmlTree) -> Set[int]:
+        return {tree.root.node_id}
+
+
+class ExplicitPartitioner(Partitioner):
+    """Area roots supplied by the caller (as nodes or node ids)."""
+
+    def __init__(self, roots: Iterable, adjust_fan_out: bool = False):
+        self._root_ids = {
+            r.node_id if isinstance(r, XmlNode) else int(r) for r in roots
+        }
+        self.adjust_fan_out = adjust_fan_out
+
+    def select_roots(self, tree: XmlTree) -> Set[int]:
+        return set(self._root_ids)
+
+
+class DepthStridePartitioner(Partitioner):
+    """Nodes at depth 0, s, 2s, ... become area roots.
+
+    Leaves at cut depths still become (single-node-area) roots; the
+    engine tolerates that, and it keeps the rule simple and regular.
+    """
+
+    def __init__(self, stride: int, adjust_fan_out: bool = True):
+        if stride < 1:
+            raise PartitionError(f"stride must be >= 1, got {stride}")
+        self.stride = stride
+        self.adjust_fan_out = adjust_fan_out
+
+    def select_roots(self, tree: XmlTree) -> Set[int]:
+        roots: Set[int] = set()
+        frontier = [(tree.root, 0)]
+        while frontier:
+            node, depth = frontier.pop()
+            if depth % self.stride == 0:
+                roots.add(node.node_id)
+            frontier.extend((child, depth + 1) for child in node.children)
+        return roots
+
+
+class SizeCapPartitioner(Partitioner):
+    """Greedy top-down partition bounding each area's node count.
+
+    Walking in document order, a node joins its parent's area unless
+    that area has already reached *max_area_size* nodes, in which case
+    the node opens a new area. Areas therefore never exceed
+    ``max_area_size + (number of child-area boundary nodes)``; in
+    practice the bound is tight enough that the relabel scope of §3.2
+    is ``O(max_area_size)``.
+    """
+
+    def __init__(self, max_area_size: int, adjust_fan_out: bool = True):
+        if max_area_size < 2:
+            raise PartitionError(
+                f"max_area_size must be >= 2, got {max_area_size}"
+            )
+        self.max_area_size = max_area_size
+        self.adjust_fan_out = adjust_fan_out
+
+    def select_roots(self, tree: XmlTree) -> Set[int]:
+        roots: Set[int] = {tree.root.node_id}
+        area_sizes: Dict[int, int] = {tree.root.node_id: 1}
+        # node_id -> id of the area the node belongs to (as interior)
+        area_of: Dict[int, int] = {tree.root.node_id: tree.root.node_id}
+        stack = [(child, tree.root.node_id) for child in reversed(tree.root.children)]
+        while stack:
+            node, parent_area = stack.pop()
+            if area_sizes[parent_area] >= self.max_area_size:
+                roots.add(node.node_id)
+                area_sizes[parent_area] += 1  # boundary leaf still occupies a slot
+                area_sizes[node.node_id] = 1
+                own_area = node.node_id
+            else:
+                area_sizes[parent_area] += 1
+                own_area = parent_area
+            area_of[node.node_id] = own_area
+            for child in reversed(node.children):
+                stack.append((child, own_area))
+        return roots
+
+
+def lca_closure(tree: XmlTree, root_ids: Set[int]) -> Set[int]:
+    """Close *root_ids* under pairwise lowest common ancestors (§2.3).
+
+    Property: if the root set is LCA-closed, every frame node's frame
+    children lie in *distinct* child subtrees, hence the frame fan-out
+    is bounded by the tree fan-out. It suffices to add the LCAs of
+    nodes *adjacent in document order* (the classical result that the
+    LCA-closure of a set equals the set plus adjacent-pair LCAs),
+    iterated to a fixpoint — one round already suffices, a second pass
+    is a cheap safety net that also validates.
+    """
+    by_id = {node.node_id: node for node in tree.preorder()}
+    unknown = root_ids - set(by_id)
+    if unknown:
+        raise PartitionError(f"area roots not in tree: {sorted(unknown)}")
+    order = tree.document_order_index()
+
+    closed = set(root_ids)
+    closed.add(tree.root.node_id)
+    changed = True
+    while changed:
+        changed = False
+        ordered = sorted(closed, key=lambda nid: order[nid])
+        for first_id, second_id in zip(ordered, ordered[1:]):
+            lca = tree.lowest_common_ancestor(by_id[first_id], by_id[second_id])
+            if lca.node_id not in closed:
+                closed.add(lca.node_id)
+                changed = True
+    return closed
+
+
+def partition_summary(tree: XmlTree, root_ids: Set[int]) -> Dict[str, float]:
+    """Descriptive statistics of a partition, for reports and ablations."""
+    from repro.core.frame import Frame  # local import avoids a cycle
+
+    frame = Frame(tree, root_ids)
+    sizes = [area.size for area in frame.areas.values()]
+    return {
+        "areas": len(sizes),
+        "kappa": max(1, frame.max_fan_out()),
+        "mean_area_size": sum(sizes) / len(sizes),
+        "max_area_size": max(sizes),
+        "tree_max_fanout": max(1, tree.max_fan_out()),
+    }

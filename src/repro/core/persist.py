@@ -1,0 +1,298 @@
+"""Persistence of the rUID global parameters — Fig. 3's final step.
+
+The build algorithm ends with "Save κ and K". This module serialises
+exactly that state (plus, optionally, a label directory mapping each
+identifier to its element name), and :class:`GlobalParameters` is the
+*label-only client* the paper envisions: a process that loads κ and K
+into main memory and answers parent/ancestor/order/axis-candidate
+queries without ever touching the document.
+
+The wire format reuses the storage codec, so parameters can live in a
+file, a catalog row, or a message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import uid as uid_math
+from repro.core.axes import candidate_children, candidate_siblings
+from repro.core.ktable import KRow, KTable
+from repro.core.labels import Relation, Ruid2Label
+from repro.core.order import Ruid2Order
+from repro.core.ruid import Ruid2Labeling, rparent
+from repro.errors import StorageError, UnknownLabelError
+
+_MAGIC = "ruid2-params"
+_VERSION = 1
+
+
+def dump_parameters(labeling: Ruid2Labeling, include_directory: bool = False) -> bytes:
+    """Serialise κ and table K (and optionally the label→tag directory)."""
+    # Imported lazily: repro.storage imports this module (federation),
+    # so a module-level import would be circular.
+    from repro.storage.codec import encode_value
+
+    rows = tuple(row.as_tuple() for row in labeling.ktable)
+    directory: Tuple = ()
+    if include_directory:
+        directory = tuple(
+            (label.global_index, label.local_index, label.is_area_root, node.tag)
+            for node, label in labeling.items()
+        )
+    payload = (_MAGIC, _VERSION, labeling.kappa, rows, directory)
+    return encode_value(payload)
+
+
+def load_parameters(data: bytes) -> "GlobalParameters":
+    """Deserialise into a :class:`GlobalParameters` client."""
+    from repro.storage.codec import decode_value
+
+    payload = decode_value(data)
+    if not isinstance(payload, tuple) or len(payload) != 5 or payload[0] != _MAGIC:
+        raise StorageError("not a rUID global-parameter blob")
+    _magic, version, kappa, rows, directory = payload
+    if version != _VERSION:
+        raise StorageError(f"unsupported parameter version {version}")
+    table = KTable([KRow(*row) for row in rows])
+    tags: Optional[Dict[Ruid2Label, str]] = None
+    if directory:
+        tags = {
+            Ruid2Label(g, l, flag): tag for g, l, flag, tag in directory
+        }
+    return GlobalParameters(kappa, table, tags)
+
+
+@dataclass
+class GlobalParameters:
+    """κ + K loaded into main memory; the paper's query-time state.
+
+    Everything this object answers is pure identifier arithmetic —
+    no document, no storage.
+    """
+
+    kappa: int
+    ktable: KTable
+    tags: Optional[Dict[Ruid2Label, str]] = None
+
+    def __post_init__(self):
+        self._order = Ruid2Order(self.kappa, self.ktable)
+
+    # -- structure ------------------------------------------------------
+    def parent(self, label: Ruid2Label) -> Ruid2Label:
+        """The Fig. 6 algorithm."""
+        return rparent(label, self.kappa, self.ktable)
+
+    def ancestors(self, label: Ruid2Label) -> List[Ruid2Label]:
+        chain: List[Ruid2Label] = []
+        current = label
+        while not current.is_document_root:
+            current = self.parent(current)
+            chain.append(current)
+        return chain
+
+    def relation(self, first: Ruid2Label, second: Ruid2Label) -> Relation:
+        return self._order.relation(first, second)
+
+    def is_ancestor(self, candidate: Ruid2Label, label: Ruid2Label) -> bool:
+        return self._order.relation(candidate, label) is Relation.ANCESTOR
+
+    def compare(self, first: Ruid2Label, second: Ruid2Label) -> int:
+        return self._order.compare(first, second)
+
+    def sort(self, labels: List[Ruid2Label]) -> List[Ruid2Label]:
+        return sorted(labels, key=self._order.sort_key)
+
+    # -- axis candidates (§3.5 routines; may include virtual slots) ------
+    def child_candidates(self, label: Ruid2Label) -> List[Ruid2Label]:
+        return candidate_children(label, self.kappa, self.ktable)
+
+    def sibling_candidates(
+        self, label: Ruid2Label, preceding: bool
+    ) -> List[Ruid2Label]:
+        return candidate_siblings(label, self.kappa, self.ktable, preceding)
+
+    # -- directory --------------------------------------------------------
+    def tag_of(self, label: Ruid2Label) -> Optional[str]:
+        """Element name, when the directory was shipped."""
+        if self.tags is None:
+            return None
+        return self.tags.get(label)
+
+    def labels_with_tag(self, tag: str) -> List[Ruid2Label]:
+        """All identifiers carrying *tag* (directory required)."""
+        if self.tags is None:
+            raise StorageError("parameters were saved without a directory")
+        return self.sort([label for label, t in self.tags.items() if t == tag])
+
+    def memory_bytes(self) -> int:
+        base = 8 + self.ktable.memory_bytes()
+        if self.tags is not None:
+            base += sum(24 + len(t) for t in self.tags.values())
+        return base
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalParameters kappa={self.kappa} areas={len(self.ktable)} "
+            f"directory={'yes' if self.tags is not None else 'no'}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Multilevel parameters (Definition 4's per-level tables)
+# ----------------------------------------------------------------------
+
+_MAGIC_MULTI = "ruid-multi-params"
+
+
+def dump_multilevel_parameters(labeling) -> bytes:
+    """Serialise every stage's (κ, K) plus the inter-level area links.
+
+    The link between stage *s* and *s+1* maps each stage-*s* area
+    global index to the stage-*s+1* 2-level triple of its proxy — the
+    multilevel analogue of "Save κ and K". One entry per area, so the
+    whole blob stays a small multiple of the area count.
+    """
+    from repro.storage.codec import encode_value
+
+    stages = []
+    for stage in labeling.stages:
+        core = stage.labeling
+        stages.append(
+            (core.kappa, tuple(row.as_tuple() for row in core.ktable))
+        )
+    links = []
+    for index in range(len(labeling.stages) - 1):
+        stage = labeling.stages[index]
+        upper = labeling.stages[index + 1]
+        link = tuple(
+            (g, *upper.labeling.label_of(proxy).as_tuple())
+            for g, proxy in stage.proxy_of_global.items()
+        )
+        links.append(link)
+    payload = (_MAGIC_MULTI, _VERSION, tuple(stages), tuple(links))
+    return encode_value(payload)
+
+
+def load_multilevel_parameters(data: bytes) -> "MultilevelParameters":
+    from repro.storage.codec import decode_value
+
+    payload = decode_value(data)
+    if (
+        not isinstance(payload, tuple)
+        or len(payload) != 4
+        or payload[0] != _MAGIC_MULTI
+    ):
+        raise StorageError("not a multilevel rUID parameter blob")
+    _magic, version, stages, links = payload
+    if version != _VERSION:
+        raise StorageError(f"unsupported parameter version {version}")
+    stage_params = [
+        (kappa, KTable([KRow(*row) for row in rows])) for kappa, rows in stages
+    ]
+    link_maps = [
+        {entry[0]: (entry[1], entry[2], entry[3]) for entry in link}
+        for link in links
+    ]
+    return MultilevelParameters(stage_params, link_maps)
+
+
+class MultilevelParameters:
+    """Per-level (κ, K) tables + area links, loaded into main memory.
+
+    The multilevel analogue of :class:`GlobalParameters`: answers
+    parent/ancestor/order queries over :class:`MultiLabel` identifiers
+    without the document.
+    """
+
+    def __init__(
+        self,
+        stage_params: List[Tuple[int, KTable]],
+        links_up: List[Dict[int, Tuple[int, int, bool]]],
+    ):
+        if not stage_params:
+            raise StorageError("need at least one stage")
+        if len(links_up) != len(stage_params) - 1:
+            raise StorageError("stage/link count mismatch")
+        self.stage_params = stage_params
+        self._links_up = links_up
+        self._links_down: List[Dict[Tuple[int, int, bool], int]] = [
+            {triple: g for g, triple in link.items()} for link in links_up
+        ]
+        bottom_kappa, bottom_table = stage_params[0]
+        self._bottom = GlobalParameters(bottom_kappa, bottom_table)
+
+    @property
+    def levels(self) -> int:
+        return len(self.stage_params) + 1
+
+    # -- label codecs -----------------------------------------------------
+    def _decode_bottom(self, label) -> Ruid2Label:
+        """Stage-1 2-level form of a MultiLabel, via link tables."""
+        stage_count = len(self.stage_params)
+        components = label.components
+        if len(components) != stage_count:
+            raise StorageError(
+                f"label has {len(components)} components, expected {stage_count}"
+            )
+        global_index = label.theta
+        for offset in range(stage_count - 1):
+            alpha, beta = components[offset]
+            key = (global_index, alpha, beta)
+            link = self._links_down[stage_count - 2 - offset]
+            try:
+                global_index = link[key]
+            except KeyError:
+                raise UnknownLabelError(f"no area behind {key} at level") from None
+        alpha, beta = components[-1]
+        return Ruid2Label(global_index, alpha, beta)
+
+    def _encode_bottom(self, two_level: Ruid2Label):
+        """Inverse: re-wrap a stage-1 label into a MultiLabel."""
+        from repro.core.labels import MultiLabel
+
+        components: List[Tuple[int, bool]] = [
+            (two_level.local_index, two_level.is_area_root)
+        ]
+        global_index = two_level.global_index
+        for link in self._links_up:
+            upper = link[global_index]
+            components.append((upper[1], upper[2]))
+            global_index = upper[0]
+        return MultiLabel(global_index, tuple(reversed(components)))
+
+    # -- queries ------------------------------------------------------------
+    def parent(self, label):
+        bottom = self._decode_bottom(label)
+        return self._encode_bottom(self._bottom.parent(bottom))
+
+    def ancestors(self, label) -> List:
+        chain: List = []
+        current = label
+        while not self._decode_bottom(current).is_document_root:
+            current = self.parent(current)
+            chain.append(current)
+        return chain
+
+    def relation(self, first, second) -> Relation:
+        return self._bottom.relation(
+            self._decode_bottom(first), self._decode_bottom(second)
+        )
+
+    def is_ancestor(self, candidate, label) -> bool:
+        return self.relation(candidate, label) is Relation.ANCESTOR
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for kappa, table in self.stage_params:
+            total += 8 + table.memory_bytes()
+        for link in self._links_up:
+            total += len(link) * 32
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<MultilevelParameters levels={self.levels} "
+            f"bottom_areas={len(self.stage_params[0][1])}>"
+        )

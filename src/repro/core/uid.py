@@ -1,0 +1,313 @@
+"""The original UID numbering scheme (Lee et al. [7]; paper section 1).
+
+An XML tree with maximal fan-out ``k`` is embedded into a complete
+k-ary tree: every internal node is padded with *virtual* children up to
+fan-out ``k``, and identifiers 1, 2, 3, ... are assigned level by
+level, left to right (level order). The defining property is that the
+parent identifier is computable arithmetically::
+
+    parent(i) = (i - 2) // k + 1            # paper formula (1)
+
+This module provides both the pure identifier arithmetic (usable
+without any tree) and :class:`UidLabeling`, the materialised labeling
+of a concrete tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    FanOutOverflowError,
+    IdentifierOverflowError,
+    NoParentError,
+    NumberingError,
+    UnknownLabelError,
+)
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+# ----------------------------------------------------------------------
+# Pure k-ary UID arithmetic
+# ----------------------------------------------------------------------
+
+
+def _require_valid(identifier: int, fan_out: int) -> None:
+    if identifier < 1:
+        raise NumberingError(f"UID identifiers start at 1, got {identifier}")
+    if fan_out < 1:
+        raise NumberingError(f"UID fan-out must be >= 1, got {fan_out}")
+
+
+def parent(identifier: int, fan_out: int) -> int:
+    """Parent identifier per formula (1): ``(i - 2) // k + 1``.
+
+    Raises :class:`NoParentError` for the root (identifier 1).
+    """
+    _require_valid(identifier, fan_out)
+    if identifier == 1:
+        raise NoParentError("the root (UID 1) has no parent")
+    return (identifier - 2) // fan_out + 1
+
+
+def children_range(identifier: int, fan_out: int) -> Tuple[int, int]:
+    """Inclusive identifier range of the k children: ``[(i-1)k+2, ik+1]``."""
+    _require_valid(identifier, fan_out)
+    return (identifier - 1) * fan_out + 2, identifier * fan_out + 1
+
+
+def child(identifier: int, fan_out: int, ordinal: int) -> int:
+    """Identifier of the child at 0-based *ordinal* (may be virtual)."""
+    _require_valid(identifier, fan_out)
+    if not 0 <= ordinal < fan_out:
+        raise NumberingError(f"child ordinal {ordinal} out of range 0..{fan_out - 1}")
+    return (identifier - 1) * fan_out + 2 + ordinal
+
+
+def child_ordinal(identifier: int, fan_out: int) -> int:
+    """0-based position of *identifier* among its parent's children."""
+    _require_valid(identifier, fan_out)
+    if identifier == 1:
+        raise NoParentError("the root (UID 1) has no child ordinal")
+    return (identifier - 2) % fan_out
+
+
+def level_of(identifier: int, fan_out: int) -> int:
+    """1-based level of the identifier; the root is level 1.
+
+    Level ``d`` holds identifiers ``S(d-1) < i <= S(d)`` where ``S(d)``
+    counts nodes of the complete k-ary tree of height ``d``.
+    """
+    _require_valid(identifier, fan_out)
+    level = 1
+    total = 1
+    width = 1
+    while identifier > total:
+        width *= fan_out
+        total += width
+        level += 1
+    return level
+
+
+def subtree_capacity(fan_out: int, height: int) -> int:
+    """Number of slots in a complete k-ary tree with *height* levels.
+
+    This is ``e`` in the paper's scalability argument (section 3.1):
+    the number of nodes the original UID can enumerate at that height.
+    """
+    if height < 0:
+        raise NumberingError("height must be >= 0")
+    if fan_out < 1:
+        raise NumberingError("fan-out must be >= 1")
+    if fan_out == 1:
+        return height
+    return (fan_out**height - 1) // (fan_out - 1)
+
+
+def max_identifier(fan_out: int, height: int) -> int:
+    """Largest identifier a tree of *height* levels can receive."""
+    return subtree_capacity(fan_out, height)
+
+
+def ancestors(identifier: int, fan_out: int) -> Iterator[int]:
+    """Yield proper ancestors bottom-up (parent first, root last)."""
+    _require_valid(identifier, fan_out)
+    current = identifier
+    while current != 1:
+        current = parent(current, fan_out)
+        yield current
+
+
+def is_ancestor(candidate: int, identifier: int, fan_out: int) -> bool:
+    """True iff *candidate* is a proper ancestor of *identifier*."""
+    _require_valid(candidate, fan_out)
+    _require_valid(identifier, fan_out)
+    if candidate >= identifier:
+        return False
+    current = identifier
+    while current > candidate:
+        current = parent(current, fan_out)
+    return current == candidate
+
+
+def document_compare(first: int, second: int, fan_out: int) -> int:
+    """Compare two identifiers in document (preorder) order.
+
+    Returns -1 / 0 / +1 as *first* precedes / equals / follows
+    *second*. An ancestor precedes all of its descendants.
+    """
+    if first == second:
+        return 0
+    if is_ancestor(first, second, fan_out):
+        return -1
+    if is_ancestor(second, first, fan_out):
+        return 1
+    # Lift both to the level of the shallower, then climb together: at
+    # equal levels, level-order identifiers increase left to right, so
+    # the numeric order of the diverging ancestors decides (Lemma 2).
+    a, b = first, second
+    level_a, level_b = level_of(a, fan_out), level_of(b, fan_out)
+    while level_a > level_b:
+        a = parent(a, fan_out)
+        level_a -= 1
+    while level_b > level_a:
+        b = parent(b, fan_out)
+        level_b -= 1
+    while parent(a, fan_out) != parent(b, fan_out):
+        a = parent(a, fan_out)
+        b = parent(b, fan_out)
+    return -1 if a < b else 1
+
+
+# ----------------------------------------------------------------------
+# Materialised labeling of a concrete tree
+# ----------------------------------------------------------------------
+
+
+class UidLabeling:
+    """Original-UID labels for every node of a tree.
+
+    Parameters
+    ----------
+    tree:
+        The document tree to label.
+    fan_out:
+        The ``k`` of the enumerating k-ary tree. Defaults to the tree's
+        maximal fan-out (the paper's choice). Supplying a larger value
+        leaves insertion headroom; a smaller value raises
+        :class:`FanOutOverflowError`.
+    bit_budget:
+        Optional machine-integer budget (e.g. 32 or 64). When set, any
+        identifier exceeding it raises
+        :class:`~repro.errors.IdentifierOverflowError` — the failure
+        the paper's §1 warns about ("additional purpose-specific
+        libraries are necessary to deal with the oversized values").
+        Python's native big integers would otherwise mask it.
+    """
+
+    scheme_name = "uid"
+
+    def __init__(
+        self,
+        tree: XmlTree,
+        fan_out: Optional[int] = None,
+        bit_budget: Optional[int] = None,
+    ):
+        self.tree = tree
+        needed = max(1, tree.max_fan_out())
+        if fan_out is None:
+            fan_out = needed
+        elif fan_out < needed:
+            raise FanOutOverflowError(
+                f"fan-out {fan_out} is below the tree's maximal fan-out {needed}"
+            )
+        self.fan_out = fan_out
+        self.bit_budget = bit_budget
+        self._uid_by_node: Dict[int, int] = {}
+        self._node_by_uid: Dict[int, XmlNode] = {}
+        self._assign()
+
+    def _assign(self) -> None:
+        self._uid_by_node.clear()
+        self._node_by_uid.clear()
+        self._uid_by_node[self.tree.root.node_id] = 1
+        self._node_by_uid[1] = self.tree.root
+        budget = self.bit_budget
+        for node in self.tree.levelorder():
+            node_uid = self._uid_by_node[node.node_id]
+            for ordinal, child_node in enumerate(node.children):
+                child_uid = child(node_uid, self.fan_out, ordinal)
+                if budget is not None and child_uid.bit_length() > budget:
+                    raise IdentifierOverflowError(
+                        f"identifier {child_uid} needs "
+                        f"{child_uid.bit_length()} bits, budget is {budget}",
+                        bits_required=child_uid.bit_length(),
+                        bits_allowed=budget,
+                    )
+                self._uid_by_node[child_node.node_id] = child_uid
+                self._node_by_uid[child_uid] = child_node
+
+    def snapshot(self) -> Dict[int, int]:
+        """node_id → UID copy, for update-scope diffing."""
+        return dict(self._uid_by_node)
+
+    def reassign(self, min_fan_out: int = 0) -> bool:
+        """Re-enumerate after a tree mutation.
+
+        The committed fan-out is *sticky*: it grows when the tree's
+        maximal fan-out overflows it (triggering the whole-document
+        renumbering the paper criticises) but never shrinks. Returns
+        True iff an overflow occurred.
+        """
+        needed = max(1, self.tree.max_fan_out())
+        overflow = needed > self.fan_out
+        self.fan_out = max(self.fan_out, needed, min_fan_out)
+        self._assign()
+        return overflow
+
+    # -- lookups -------------------------------------------------------
+    def label_of(self, node: XmlNode) -> int:
+        """UID of *node*."""
+        try:
+            return self._uid_by_node[node.node_id]
+        except KeyError:
+            raise UnknownLabelError(f"node {node!r} is not labeled") from None
+
+    def node_of(self, identifier: int) -> XmlNode:
+        """Node carrying *identifier*; virtual identifiers raise."""
+        try:
+            return self._node_by_uid[identifier]
+        except KeyError:
+            raise UnknownLabelError(f"UID {identifier} names no real node") from None
+
+    def exists(self, identifier: int) -> bool:
+        """True iff *identifier* names a real (non-virtual) node."""
+        return identifier in self._node_by_uid
+
+    def labels(self) -> Iterator[int]:
+        """All real identifiers, in no particular order."""
+        return iter(self._node_by_uid)
+
+    def items(self) -> Iterator[Tuple[XmlNode, int]]:
+        """(node, uid) pairs in document order."""
+        for node in self.tree.preorder():
+            yield node, self._uid_by_node[node.node_id]
+
+    # -- arithmetic bound to this labeling's k --------------------------
+    def parent_label(self, identifier: int) -> int:
+        """Arithmetic parent (formula (1)); no tree access."""
+        return parent(identifier, self.fan_out)
+
+    def ancestor_labels(self, identifier: int) -> List[int]:
+        """Proper ancestors bottom-up; pure arithmetic."""
+        return list(ancestors(identifier, self.fan_out))
+
+    def children_labels(self, identifier: int) -> List[int]:
+        """*Real* children identifiers in document order."""
+        low, high = children_range(identifier, self.fan_out)
+        return [i for i in range(low, high + 1) if i in self._node_by_uid]
+
+    def candidate_children(self, identifier: int) -> range:
+        """All child slots, real or virtual."""
+        low, high = children_range(identifier, self.fan_out)
+        return range(low, high + 1)
+
+    def is_ancestor(self, candidate: int, identifier: int) -> bool:
+        return is_ancestor(candidate, identifier, self.fan_out)
+
+    def document_compare(self, first: int, second: int) -> int:
+        return document_compare(first, second, self.fan_out)
+
+    def max_label(self) -> int:
+        """Largest identifier actually assigned."""
+        return max(self._node_by_uid)
+
+    def label_bits(self, identifier: int) -> int:
+        """Bits needed to store *identifier*."""
+        return max(1, int(identifier).bit_length())
+
+    def __len__(self) -> int:
+        return len(self._node_by_uid)
+
+    def __repr__(self) -> str:
+        return f"<UidLabeling k={self.fan_out} nodes={len(self)} max={self.max_label()}>"

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Subsystems define narrower types
+here (rather than per-module) so that the hierarchy stays discoverable
+in a single place.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XmlSyntaxError(ReproError):
+    """Raised by the XML parser on malformed input.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending character in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class TreeStructureError(ReproError):
+    """Raised on invalid tree manipulation (cycles, foreign nodes, ...)."""
+
+
+class NumberingError(ReproError):
+    """Base class for numbering-scheme errors."""
+
+
+class IdentifierOverflowError(NumberingError):
+    """An identifier exceeded the configured bit budget.
+
+    The original UID scheme overflows machine integers easily (paper
+    section 1); schemes raise this when a label cannot be represented
+    within the budget the caller imposed.
+    """
+
+    def __init__(self, message: str, bits_required: int = 0, bits_allowed: int = 0):
+        self.bits_required = bits_required
+        self.bits_allowed = bits_allowed
+        super().__init__(message)
+
+
+class FanOutOverflowError(NumberingError):
+    """A node gained more children than the enumerating tree's fan-out.
+
+    For the original UID this forces a whole-document renumbering; for
+    rUID only the affected UID-local area is renumbered (paper 3.2).
+    """
+
+
+class UnknownLabelError(NumberingError):
+    """A label does not correspond to any real node in the document."""
+
+
+class NoParentError(NumberingError):
+    """Parent computation was requested for the document root."""
+
+
+class PartitionError(NumberingError):
+    """A partition does not satisfy the UID-local-area definition."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class PageOverflowError(StorageError):
+    """A record does not fit into a single page."""
+
+
+class DuplicateKeyError(StorageError):
+    """A unique index rejected a duplicate key."""
+
+
+class TableNotFoundError(StorageError):
+    """A catalog lookup for a table failed."""
+
+
+class QueryError(ReproError):
+    """Base class for XPath-engine errors."""
+
+
+class XPathSyntaxError(QueryError):
+    """Raised by the XPath lexer/parser on malformed expressions."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class UnsupportedFeatureError(QueryError):
+    """The expression uses XPath features outside the supported core."""

@@ -1,0 +1,55 @@
+"""Synthetic workload generators: random trees, canonical shapes,
+XMark-like and DBLP-like documents, update workloads."""
+
+from repro.generator.dblp import DBLP_QUERIES, generate_dblp
+from repro.generator.random_tree import (
+    FanOutDistribution,
+    RandomTreeConfig,
+    generate_tree,
+    random_document,
+    random_node,
+)
+from repro.generator.shapes import (
+    comb_tree,
+    fig1_tree,
+    fig4_tree,
+    kary_tree,
+    path_tree,
+    shape_catalog,
+    skewed_tree,
+    star_tree,
+)
+from repro.generator.treebank import TREEBANK_QUERIES, generate_treebank
+from repro.generator.workload import (
+    UpdateOp,
+    UpdateWorkloadConfig,
+    apply_workload,
+    generate_update_workload,
+)
+from repro.generator.xmark import XMARK_QUERIES, generate_xmark
+
+__all__ = [
+    "DBLP_QUERIES",
+    "FanOutDistribution",
+    "TREEBANK_QUERIES",
+    "RandomTreeConfig",
+    "UpdateOp",
+    "UpdateWorkloadConfig",
+    "XMARK_QUERIES",
+    "apply_workload",
+    "comb_tree",
+    "fig1_tree",
+    "fig4_tree",
+    "generate_dblp",
+    "generate_tree",
+    "generate_treebank",
+    "generate_update_workload",
+    "generate_xmark",
+    "kary_tree",
+    "path_tree",
+    "random_document",
+    "random_node",
+    "shape_catalog",
+    "skewed_tree",
+    "star_tree",
+]

@@ -1,0 +1,68 @@
+"""DBLP-like bibliography document generator.
+
+Bibliographic XML is the *shallow-but-wide* regime: a root with tens
+of thousands of flat entry children — the opposite shape from XMark's
+nesting, and the worst case for UID's single global fan-out (the root
+fan-out becomes k for the whole document).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+_AUTHORS = (
+    "D. Kha", "M. Yoshikawa", "S. Uemura", "P. Dietz", "Q. Li", "B. Moon",
+    "C. Zhang", "J. Naughton", "R. Goldman", "J. Widom", "T. Milo", "D. Suciu",
+)
+_VENUES = ("VLDB", "SIGMOD", "ICDE", "EDBT", "CIKM", "WISE", "ICDT")
+_TOPICS = (
+    "XML indexing", "numbering schemes", "path expressions", "query rewriting",
+    "semistructured data", "structural joins", "schema evolution",
+)
+
+
+def _element(tag: str, text: str | None = None, **attributes: str) -> XmlNode:
+    node = XmlNode(tag, NodeKind.ELEMENT, attributes=attributes or None)
+    if text is not None:
+        node.append_child(XmlNode("#text", NodeKind.TEXT, text=text))
+    return node
+
+
+def generate_dblp(entries: int = 500, seed: int = 0) -> XmlTree:
+    """Generate a bibliography with *entries* flat publication records."""
+    rng = random.Random(seed)
+    dblp = _element("dblp")
+    for index in range(entries):
+        kind = "article" if rng.random() < 0.5 else "inproceedings"
+        entry = _element(kind, key=f"{kind}/{index}")
+        for _ in range(rng.randint(1, 4)):
+            entry.append_child(_element("author", rng.choice(_AUTHORS)))
+        entry.append_child(
+            _element("title", f"On {rng.choice(_TOPICS)} ({index})")
+        )
+        if kind == "article":
+            entry.append_child(_element("journal", f"J. {rng.choice(_VENUES)}"))
+            entry.append_child(_element("volume", str(rng.randint(1, 40))))
+        else:
+            entry.append_child(_element("booktitle", f"Proc. {rng.choice(_VENUES)}"))
+        entry.append_child(_element("year", str(rng.randint(1990, 2002))))
+        entry.append_child(
+            _element("pages", f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+        )
+        dblp.append_child(entry)
+    return XmlTree(dblp)
+
+
+#: representative bibliography queries (experiment E8)
+DBLP_QUERIES = (
+    "/dblp/article/title",
+    "//inproceedings[year > 1999]/title",
+    "//article[author='M. Yoshikawa']",
+    "//author/following-sibling::title",
+    "/dblp/*[year = 2001]",
+    "//title/ancestor::dblp",
+    "//article[volume > 20]/journal",
+)

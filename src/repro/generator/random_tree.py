@@ -1,0 +1,141 @@
+"""Parametric random XML tree generation.
+
+The paper's motivation turns on tree shape — fan-out disparity,
+recursion depth, document size — so the generator exposes those axes
+directly. All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+DEFAULT_TAGS = (
+    "section",
+    "item",
+    "entry",
+    "record",
+    "list",
+    "group",
+    "node",
+    "block",
+)
+
+
+@dataclass
+class FanOutDistribution:
+    """Distribution of the number of children of an internal node."""
+
+    kind: str = "uniform"  # uniform | geometric | zipf | constant
+    low: int = 1
+    high: int = 5
+    mean: float = 3.0  # geometric parameter (mean children)
+    exponent: float = 1.5  # zipf skew
+    maximum: int = 50  # zipf cap
+    value: int = 3  # constant
+
+    def sample(self, rng: random.Random) -> int:
+        if self.kind == "uniform":
+            return rng.randint(self.low, self.high)
+        if self.kind == "constant":
+            return self.value
+        if self.kind == "geometric":
+            # Mean m => success probability 1/m; at least one child.
+            probability = 1.0 / max(1.0, self.mean)
+            count = 1
+            while rng.random() > probability and count < self.maximum:
+                count += 1
+            return count
+        if self.kind == "zipf":
+            # Inverse-CDF sampling over 1..maximum with a power law:
+            # heavy skew gives a few huge fan-outs amid many small ones,
+            # the identifier-explosion regime of the paper's section 1.
+            weights = [1.0 / (rank**self.exponent) for rank in range(1, self.maximum + 1)]
+            total = sum(weights)
+            point = rng.random() * total
+            for rank, weight in enumerate(weights, start=1):
+                point -= weight
+                if point <= 0:
+                    return rank
+            return self.maximum
+        raise ReproError(f"unknown fan-out distribution {self.kind!r}")
+
+
+@dataclass
+class RandomTreeConfig:
+    """Shape parameters for :func:`generate_tree`."""
+
+    node_count: int = 1000
+    fan_out: FanOutDistribution = field(default_factory=FanOutDistribution)
+    max_depth: Optional[int] = None
+    tags: Sequence[str] = DEFAULT_TAGS
+    text_probability: float = 0.0  # chance a leaf gets a text child
+    attribute_probability: float = 0.0  # chance a node gets an id attribute
+
+
+def generate_tree(config: RandomTreeConfig, seed: int = 0) -> XmlTree:
+    """Grow a random tree breadth-first until the node budget is spent."""
+    if config.node_count < 1:
+        raise ReproError("node_count must be >= 1")
+    rng = random.Random(seed)
+    root = XmlNode(config.tags[0], NodeKind.ELEMENT)
+    budget = config.node_count - 1
+    frontier: List[tuple] = [(root, 0)]
+    counter = 0
+    while frontier and budget > 0:
+        node, depth = frontier.pop(0)
+        if config.max_depth is not None and depth + 1 >= config.max_depth:
+            continue
+        children = min(config.fan_out.sample(rng), budget)
+        for _ in range(children):
+            counter += 1
+            tag = config.tags[rng.randrange(len(config.tags))]
+            child = XmlNode(tag, NodeKind.ELEMENT)
+            if config.attribute_probability and rng.random() < config.attribute_probability:
+                child.attributes["id"] = f"n{counter}"
+            node.append_child(child)
+            frontier.append((child, depth + 1))
+            budget -= 1
+            if budget == 0:
+                break
+    tree = XmlTree(root)
+    if config.text_probability:
+        _sprinkle_text(tree, config.text_probability, rng)
+    return tree
+
+
+def _sprinkle_text(tree: XmlTree, probability: float, rng: random.Random) -> None:
+    words = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta")
+    for node in list(tree.preorder()):
+        if node.is_leaf and node.kind is NodeKind.ELEMENT and rng.random() < probability:
+            content = " ".join(rng.choice(words) for _ in range(rng.randint(1, 4)))
+            node.append_child(XmlNode("#text", NodeKind.TEXT, text=content))
+
+
+def random_document(
+    node_count: int = 1000,
+    seed: int = 0,
+    fanout_kind: str = "uniform",
+    **fanout_options,
+) -> XmlTree:
+    """Convenience wrapper: a random document of ~*node_count* nodes."""
+    config = RandomTreeConfig(
+        node_count=node_count,
+        fan_out=FanOutDistribution(kind=fanout_kind, **fanout_options),
+    )
+    return generate_tree(config, seed=seed)
+
+
+def random_node(tree: XmlTree, rng: random.Random, exclude_root: bool = True) -> XmlNode:
+    """A uniformly random node of *tree*."""
+    nodes = tree.nodes()
+    if exclude_root:
+        nodes = nodes[1:]
+    if not nodes:
+        raise ReproError("tree has no eligible nodes")
+    return nodes[rng.randrange(len(nodes))]

@@ -1,0 +1,88 @@
+"""Treebank-like document generator: deep, recursive, text-centric XML.
+
+Linguistic treebanks are the canonical *high-recursion* XML corpora:
+parse trees nest the same grammatical categories (S, NP, VP, PP, ...)
+to great depth with tiny fan-outs — exactly the regime the paper's
+observation 1 says the original UID handles worst and rUID handles
+well. The generator grows random parse-like trees from a toy grammar,
+deterministically per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+# category -> possible expansions (child category sequences)
+_GRAMMAR = {
+    "S": (("NP", "VP"), ("S", "CC", "S"), ("SBAR", "NP", "VP")),
+    "SBAR": (("IN", "S"),),
+    "NP": (("DT", "NN"), ("NP", "PP"), ("DT", "JJ", "NN"), ("NN",), ("NP", "SBAR")),
+    "VP": (("VB", "NP"), ("VB", "NP", "PP"), ("VB", "SBAR"), ("VB",)),
+    "PP": (("IN", "NP"),),
+}
+
+_LEXICON = {
+    "DT": ("the", "a", "every"),
+    "NN": ("parser", "tree", "index", "label", "area", "frame"),
+    "JJ": ("recursive", "deep", "structural", "unique"),
+    "VB": ("numbers", "splits", "labels", "indexes", "stores"),
+    "IN": ("that", "under", "within", "after"),
+    "CC": ("and", "but"),
+}
+
+
+def generate_treebank(
+    sentences: int = 20,
+    max_depth: int = 14,
+    seed: int = 0,
+    with_text: bool = True,
+) -> XmlTree:
+    """A corpus of *sentences* random parse trees under one root.
+
+    ``max_depth`` caps the recursion; once reached, non-terminals
+    collapse to their shortest expansion so trees terminate.
+    """
+    rng = random.Random(seed)
+    corpus = XmlNode("corpus", NodeKind.ELEMENT)
+
+    def expand(category: str, depth: int) -> XmlNode:
+        node = XmlNode(category, NodeKind.ELEMENT)
+        if category in _LEXICON:
+            if with_text:
+                word = rng.choice(_LEXICON[category])
+                node.append_child(XmlNode("#text", NodeKind.TEXT, text=word))
+            return node
+        expansions = _GRAMMAR[category]
+        if depth >= max_depth:
+            expansion = min(expansions, key=len)
+        else:
+            expansion = expansions[rng.randrange(len(expansions))]
+        for child_category in expansion:
+            node.append_child(expand(child_category, depth + 1))
+        return node
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, max_depth * 10 + 1000))
+    try:
+        for _ in range(sentences):
+            corpus.append_child(expand("S", 0))
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return XmlTree(corpus)
+
+
+#: representative treebank queries (recursion-heavy axes)
+TREEBANK_QUERIES = (
+    "//NP//NP",
+    "//S/VP/NP",
+    "//VP[NP]",
+    "//NN/ancestor::NP",
+    "//PP/preceding-sibling::*",
+    "//SBAR/descendant::VB",
+)

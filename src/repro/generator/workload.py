@@ -1,0 +1,124 @@
+"""Update and query workload generation (experiments E5, E8).
+
+An update workload is a reproducible sequence of insert/delete
+operations positioned by structural policy — the paper's robustness
+argument depends on *where* updates land ("the nearer to the root node
+the new node is inserted, the larger the scope of the identifier
+modification", §1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One structural operation, positioned by stable node path.
+
+    Paths are child-ordinal tuples from the root, so the same workload
+    replays identically against fresh copies of a tree (node ids are
+    not stable across copies; paths are).
+    """
+
+    kind: str  # "insert" | "delete"
+    path: Tuple[int, ...]  # path to the *parent* (insert) or target (delete)
+    position: int = 0  # insert position among the parent's children
+    tag: str = "new"
+
+    def locate(self, tree: XmlTree) -> XmlNode:
+        node = tree.root
+        for ordinal in self.path:
+            node = node.children[ordinal]
+        return node
+
+
+def _path_of(node: XmlNode) -> Tuple[int, ...]:
+    path: List[int] = []
+    current = node
+    while current.parent is not None:
+        path.append(current.child_position())
+        current = current.parent
+    return tuple(reversed(path))
+
+
+@dataclass
+class UpdateWorkloadConfig:
+    """Shape of an update workload."""
+
+    operations: int = 100
+    insert_fraction: float = 0.8
+    depth_bias: str = "uniform"  # uniform | shallow | deep
+    max_delete_subtree: int = 10  # skip deletes that would remove more nodes
+
+
+def generate_update_workload(
+    tree: XmlTree, config: UpdateWorkloadConfig, seed: int = 0
+) -> List[UpdateOp]:
+    """Plan a workload against (a copy of) *tree*.
+
+    The plan is computed against a scratch copy so each operation's
+    path is valid given all prior operations.
+    """
+    rng = random.Random(seed)
+    scratch = tree.copy()
+    ops: List[UpdateOp] = []
+    counter = 0
+    while len(ops) < config.operations:
+        nodes = scratch.nodes()
+        candidate = _pick_biased(nodes, config.depth_bias, rng)
+        if rng.random() < config.insert_fraction:
+            parent = candidate
+            position = rng.randint(0, parent.fan_out)
+            counter += 1
+            op = UpdateOp("insert", _path_of(parent), position, f"new{counter}")
+            new_node = XmlNode(op.tag, NodeKind.ELEMENT)
+            scratch.insert_node(parent, position, new_node)
+        else:
+            if candidate is scratch.root:
+                continue
+            if candidate.subtree_size() > config.max_delete_subtree:
+                continue
+            op = UpdateOp("delete", _path_of(candidate))
+            scratch.delete_subtree(candidate)
+        ops.append(op)
+    return ops
+
+
+def _pick_biased(nodes: Sequence[XmlNode], bias: str, rng: random.Random) -> XmlNode:
+    if bias == "uniform":
+        return nodes[rng.randrange(len(nodes))]
+    weighted = sorted(nodes, key=lambda n: n.depth)
+    if bias == "shallow":
+        # Quadratic bias toward the front (small depth).
+        index = int((rng.random() ** 2) * len(weighted))
+    elif bias == "deep":
+        index = int((1 - rng.random() ** 2) * len(weighted)) - 1
+    else:
+        raise ReproError(f"unknown depth bias {bias!r}")
+    return weighted[max(0, min(index, len(weighted) - 1))]
+
+
+def apply_workload(
+    tree: XmlTree,
+    ops: Sequence[UpdateOp],
+    insert_hook: Callable[[XmlNode, int, XmlNode], object],
+    delete_hook: Callable[[XmlNode], object],
+) -> Iterator[object]:
+    """Replay *ops* against *tree* through the given hooks.
+
+    The hooks are typically ``labeling.insert`` / ``labeling.delete``;
+    each hook's return value (e.g. a RelabelReport) is yielded.
+    """
+    for op in ops:
+        target = op.locate(tree)
+        if op.kind == "insert":
+            yield insert_hook(target, op.position, XmlNode(op.tag, NodeKind.ELEMENT))
+        else:
+            yield delete_hook(target)

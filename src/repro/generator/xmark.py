@@ -1,0 +1,156 @@
+"""XMark-like auction document generator.
+
+The paper's experiments ran on unnamed "sample XML documents"; XMark's
+auction site schema is the community-standard stand-in for data-
+centric XML, so the generator synthesises documents with its shape:
+``site`` → regions/items, categories, people, open and closed
+auctions, with realistic cross-element fan-out disparity and moderate
+nesting. Fully deterministic for a given (scale, seed).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+_FIRST = ("Ada", "Brook", "Chi", "Dana", "Eli", "Fay", "Gur", "Hana", "Ivo", "Jun")
+_LAST = ("Ng", "Okafor", "Pei", "Quon", "Ruiz", "Sato", "Tran", "Ueda", "Vik", "Wolf")
+_WORDS = (
+    "vintage", "rare", "boxed", "signed", "mint", "antique",
+    "classic", "limited", "original", "restored",
+)
+_ITEMS = ("lamp", "desk", "clock", "radio", "camera", "globe", "chair", "atlas")
+
+
+def _element(tag: str, text: str | None = None, **attributes: str) -> XmlNode:
+    node = XmlNode(tag, NodeKind.ELEMENT, attributes=attributes or None)
+    if text is not None:
+        node.append_child(XmlNode("#text", NodeKind.TEXT, text=text))
+    return node
+
+
+def _description(rng: random.Random) -> XmlNode:
+    description = _element("description")
+    paragraph = _element(
+        "parlist" if rng.random() < 0.3 else "text",
+        " ".join(rng.choice(_WORDS) for _ in range(rng.randint(3, 8))),
+    )
+    description.append_child(paragraph)
+    return description
+
+
+def generate_xmark(scale: float = 0.1, seed: int = 0) -> XmlTree:
+    """Generate an auction document; ``scale=1.0`` ≈ 25k nodes."""
+    rng = random.Random(seed)
+    people_count = max(3, int(255 * scale))
+    items_per_region = max(2, int(22 * scale))
+    categories_count = max(2, int(10 * scale))
+    open_count = max(2, int(120 * scale))
+    closed_count = max(2, int(97 * scale))
+
+    site = _element("site")
+
+    regions = _element("regions")
+    item_ids: List[str] = []
+    for region_name in _REGIONS:
+        region = _element(region_name)
+        for index in range(items_per_region):
+            item_id = f"item{region_name[0]}{index}"
+            item_ids.append(item_id)
+            item = _element("item", id=item_id)
+            item.append_child(
+                _element("name", f"{rng.choice(_WORDS)} {rng.choice(_ITEMS)}")
+            )
+            item.append_child(_description(rng))
+            item.append_child(_element("quantity", str(rng.randint(1, 5))))
+            if rng.random() < 0.6:
+                item.append_child(_element("payment", "Creditcard"))
+            region.append_child(item)
+        regions.append_child(region)
+    site.append_child(regions)
+
+    categories = _element("categories")
+    for index in range(categories_count):
+        category = _element("category", id=f"category{index}")
+        category.append_child(_element("name", f"cat-{rng.choice(_WORDS)}"))
+        category.append_child(_description(rng))
+        categories.append_child(category)
+    site.append_child(categories)
+
+    people = _element("people")
+    person_ids: List[str] = []
+    for index in range(people_count):
+        person_id = f"person{index}"
+        person_ids.append(person_id)
+        person = _element("person", id=person_id)
+        person.append_child(
+            _element("name", f"{rng.choice(_FIRST)} {rng.choice(_LAST)}")
+        )
+        person.append_child(
+            _element("emailaddress", f"mailto:{person_id}@example.org")
+        )
+        if rng.random() < 0.5:
+            address = _element("address")
+            address.append_child(_element("street", f"{rng.randint(1,99)} Main St"))
+            address.append_child(_element("city", rng.choice(_LAST)))
+            address.append_child(_element("country", "United States"))
+            person.append_child(address)
+        if rng.random() < 0.3:
+            profile = _element("profile", income=str(rng.randint(20, 120) * 1000))
+            for _ in range(rng.randint(1, 3)):
+                profile.append_child(
+                    _element("interest", category=f"category{rng.randrange(categories_count)}")
+                )
+            person.append_child(profile)
+        people.append_child(person)
+    site.append_child(people)
+
+    open_auctions = _element("open_auctions")
+    for index in range(open_count):
+        auction = _element("open_auction", id=f"open_auction{index}")
+        auction.append_child(_element("initial", f"{rng.uniform(1, 200):.2f}"))
+        for _ in range(rng.randint(0, 4)):
+            bidder = _element("bidder")
+            bidder.append_child(
+                _element("personref", person=rng.choice(person_ids))
+            )
+            bidder.append_child(_element("increase", f"{rng.uniform(1, 20):.2f}"))
+            auction.append_child(bidder)
+        auction.append_child(_element("itemref", item=rng.choice(item_ids)))
+        auction.append_child(
+            _element("seller", person=rng.choice(person_ids))
+        )
+        open_auctions.append_child(auction)
+    site.append_child(open_auctions)
+
+    closed_auctions = _element("closed_auctions")
+    for index in range(closed_count):
+        auction = _element("closed_auction")
+        auction.append_child(_element("seller", person=rng.choice(person_ids)))
+        auction.append_child(_element("buyer", person=rng.choice(person_ids)))
+        auction.append_child(_element("itemref", item=rng.choice(item_ids)))
+        auction.append_child(_element("price", f"{rng.uniform(5, 500):.2f}"))
+        auction.append_child(_element("date", f"{rng.randint(1,28):02d}/{rng.randint(1,12):02d}/2001"))
+        closed_auctions.append_child(auction)
+    site.append_child(closed_auctions)
+
+    return XmlTree(site)
+
+
+#: representative XMark-flavoured XPath queries (experiment E8)
+XMARK_QUERIES = (
+    "/site/people/person/name",
+    "//person[profile]/name",
+    "//open_auction/bidder/increase",
+    "//item[quantity > 2]/name",
+    "/site/closed_auctions/closed_auction[price > 100]",
+    "//person/address/city",
+    "//bidder/preceding-sibling::bidder",
+    "//category/ancestor::site",
+    "//interest/..",
+    "/site/regions/*/item[1]/name",
+)

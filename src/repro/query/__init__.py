@@ -1,0 +1,50 @@
+"""XPath-subset query engine (lexer, parser, evaluators, facade)."""
+
+from repro.query.ast import (
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    Number,
+    Step,
+    Union_,
+)
+from repro.query.engine import XPathEngine
+from repro.query.evaluator import (
+    NavigationalEvaluator,
+    SchemeEvaluator,
+    node_test_matches,
+    string_value,
+)
+from repro.query.joins import join_nodes, nested_loop_join, stack_tree_join
+from repro.query.lexer import tokenize
+from repro.query.parser import parse_xpath
+from repro.query.synopsis import PathSummary, TagAreaSynopsis
+from repro.query.twig import TwigMatcher, TwigNode, parse_twig
+
+__all__ = [
+    "BinaryOp",
+    "FunctionCall",
+    "Literal",
+    "LocationPath",
+    "NavigationalEvaluator",
+    "NodeTest",
+    "Number",
+    "PathSummary",
+    "SchemeEvaluator",
+    "Step",
+    "TagAreaSynopsis",
+    "TwigMatcher",
+    "TwigNode",
+    "Union_",
+    "XPathEngine",
+    "join_nodes",
+    "nested_loop_join",
+    "node_test_matches",
+    "parse_twig",
+    "parse_xpath",
+    "stack_tree_join",
+    "string_value",
+    "tokenize",
+]

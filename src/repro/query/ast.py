@@ -1,0 +1,104 @@
+"""AST for the XPath subset.
+
+The grammar follows the paper's §3.5 core rules [1]–[3]: a location
+path is a (possibly absolute) sequence of steps, each step an axis, a
+node test and zero or more predicates. Predicates host a small
+expression language (comparisons, and/or, literals, numbers, function
+calls, nested relative paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A name test (``chapter``, ``*``) or node-type test (``text()``)."""
+
+    name: Optional[str] = None  # None means '*'
+    node_type: Optional[str] = None  # 'text' | 'node' | 'comment'
+
+    def __str__(self) -> str:
+        if self.node_type:
+            return f"{self.node_type}()"
+        return self.name or "*"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::test[pred]...``."""
+
+    axis: str
+    test: NodeTest
+    predicates: tuple = ()
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{self.axis}::{self.test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A (possibly absolute) chain of steps."""
+
+    absolute: bool
+    steps: tuple
+
+    def __str__(self) -> str:
+        body = "/".join(str(step) for step in self.steps)
+        return ("/" + body) if self.absolute else body
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class Number:
+    value: float
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Comparison or boolean connective over two expressions."""
+
+    op: str  # '=', '!=', '<', '<=', '>', '>=', 'and', 'or'
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    arguments: tuple = ()
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class Union_:
+    """``|`` of location paths (top level only)."""
+
+    paths: tuple
+
+    def __str__(self) -> str:
+        return " | ".join(str(p) for p in self.paths)
+
+
+Expr = Union[LocationPath, Literal, Number, BinaryOp, FunctionCall]

@@ -1,0 +1,106 @@
+"""Query engine facade.
+
+Compiles XPath-subset expressions once and evaluates them under a
+chosen strategy — navigational DOM walking or rUID identifier
+arithmetic — so experiments can hold the query fixed and swap the
+engine (observation 3, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.partition import Partitioner
+from repro.core.scheme import Ruid2SchemeLabeling
+from repro.errors import QueryError
+from repro.query.ast import Expr
+from repro.query.evaluator import (
+    BaseEvaluator,
+    NavigationalEvaluator,
+    SchemeEvaluator,
+    string_value,
+)
+from repro.query.parser import parse_xpath
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+
+class XPathEngine:
+    """Compile-and-run XPath over one document.
+
+    Parameters
+    ----------
+    tree:
+        The document to query.
+    labeling:
+        Optional prebuilt 2-level rUID labeling; required for the
+        ``"ruid"`` strategy (one is built on demand otherwise).
+    partitioner:
+        Partition strategy used if a labeling must be built.
+    """
+
+    def __init__(
+        self,
+        tree: XmlTree,
+        labeling: Optional[Ruid2SchemeLabeling] = None,
+        partitioner: Optional[Partitioner] = None,
+    ):
+        self.tree = tree
+        self._labeling = labeling
+        self._partitioner = partitioner
+        self._compiled: Dict[str, Expr] = {}
+        self._evaluators: Dict[str, BaseEvaluator] = {}
+
+    # ------------------------------------------------------------------
+    def labeling(self) -> Ruid2SchemeLabeling:
+        if self._labeling is None:
+            self._labeling = Ruid2SchemeLabeling(
+                self.tree, partitioner=self._partitioner
+            )
+        return self._labeling
+
+    def compile(self, expression: str) -> Expr:
+        """Parse (with memoisation) an expression."""
+        compiled = self._compiled.get(expression)
+        if compiled is None:
+            compiled = parse_xpath(expression)
+            self._compiled[expression] = compiled
+        return compiled
+
+    def evaluator(self, strategy: str = "ruid") -> BaseEvaluator:
+        """The evaluator for *strategy* ("ruid" or "navigational")."""
+        evaluator = self._evaluators.get(strategy)
+        if evaluator is None:
+            if strategy == "ruid":
+                evaluator = SchemeEvaluator(self.labeling())
+            elif strategy == "navigational":
+                evaluator = NavigationalEvaluator(self.tree)
+            else:
+                raise QueryError(f"unknown strategy {strategy!r}")
+            self._evaluators[strategy] = evaluator
+        return evaluator
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        expression: str,
+        strategy: str = "ruid",
+        context: Optional[XmlNode] = None,
+    ) -> List[XmlNode]:
+        """Node-set result of *expression* (document order)."""
+        return self.evaluator(strategy).select(self.compile(expression), context)
+
+    def select_strings(
+        self,
+        expression: str,
+        strategy: str = "ruid",
+        context: Optional[XmlNode] = None,
+    ) -> List[str]:
+        """String-values of the result node-set."""
+        return [string_value(node) for node in self.select(expression, strategy, context)]
+
+    def count(self, expression: str, strategy: str = "ruid") -> int:
+        return len(self.select(expression, strategy))
+
+    def __repr__(self) -> str:
+        return f"<XPathEngine tree={self.tree!r} cached={len(self._compiled)}>"

@@ -1,0 +1,136 @@
+"""Structural joins over numbering-scheme labels.
+
+The core database use of a numbering scheme (and the theme of the
+paper's related work: Li–Moon [6], Zhang et al. [11]) is the
+*structural join*: given a set of potential ancestors A and potential
+descendants D, emit every (a, d) with a an ancestor of d — using only
+the labels.
+
+Two algorithms are provided, both generic over any
+:class:`~repro.core.scheme.Labeling` (they consume only ``relation`` /
+``doc_compare``):
+
+* :func:`nested_loop_join` — the O(|A|·|D|) baseline;
+* :func:`stack_tree_join` — the sort-merge "stack-tree" join: one
+  pass over both lists in document order with a stack of nested
+  ancestors, O(|A| + |D| + output).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.core.labels import Relation
+from repro.core.scheme import Labeling
+
+LabelT = TypeVar("LabelT")
+Pair = Tuple[LabelT, LabelT]
+
+
+def nested_loop_join(
+    labeling: Labeling,
+    ancestors: Sequence,
+    descendants: Sequence,
+    self_or: bool = False,
+) -> List[Pair]:
+    """All (a, d) pairs with a an ancestor(-or-self) of d; O(|A|·|D|).
+
+    Output ordered by (document order of d, outer-to-inner a) to match
+    :func:`stack_tree_join`.
+    """
+    wanted = {Relation.ANCESTOR}
+    if self_or:
+        wanted.add(Relation.SELF)
+    pairs: List[Pair] = []
+    ordered_d = sorted(descendants, key=_order_key(labeling))
+    ordered_a = sorted(ancestors, key=_order_key(labeling))
+    for d in ordered_d:
+        for a in ordered_a:
+            if labeling.relation(a, d) in wanted:
+                pairs.append((a, d))
+    return pairs
+
+
+class _OrderKey:
+    """Total-order wrapper turning doc_compare into a sort key."""
+
+    __slots__ = ("label", "labeling")
+
+    def __init__(self, label, labeling: Labeling):
+        self.label = label
+        self.labeling = labeling
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        return self.labeling.doc_compare(self.label, other.label) < 0
+
+
+def _order_key(labeling: Labeling) -> Callable:
+    return lambda label: _OrderKey(label, labeling)
+
+
+def stack_tree_join(
+    labeling: Labeling,
+    ancestors: Sequence,
+    descendants: Sequence,
+    self_or: bool = False,
+) -> List[Pair]:
+    """Sort-merge structural join (Stack-Tree-Desc).
+
+    Both inputs are sorted into document order; a single sweep keeps a
+    stack of the A-labels whose subtrees are currently open. Because
+    an ancestor precedes its descendants in document order, every
+    potential ancestor of ``d`` has been pushed before ``d`` is
+    processed; popping the entries that are not ancestors of ``d``
+    leaves exactly the nested chain of matches.
+
+    Complexity O(|A| + |D| + output) label comparisons.
+    """
+    key = _order_key(labeling)
+    ordered_a = sorted(ancestors, key=key)
+    ordered_d = sorted(descendants, key=key)
+
+    def covers(upper, lower) -> bool:
+        relation = labeling.relation(upper, lower)
+        return relation is Relation.ANCESTOR or (
+            self_or and relation is Relation.SELF
+        )
+
+    pairs: List[Pair] = []
+    stack: List = []
+    index = 0
+    for d in ordered_d:
+        # Admit every A-label at or before d in document order.
+        while index < len(ordered_a):
+            a = ordered_a[index]
+            comparison = labeling.doc_compare(a, d)
+            if comparison > 0 or (comparison == 0 and not self_or):
+                break
+            while stack and not covers(stack[-1], a):
+                stack.pop()
+            stack.append(a)
+            index += 1
+        # Keep only the open ancestors of d.
+        while stack and not covers(stack[-1], d):
+            stack.pop()
+        for a in stack:
+            pairs.append((a, d))
+    return pairs
+
+
+def join_nodes(
+    labeling: Labeling,
+    ancestor_nodes: Iterable,
+    descendant_nodes: Iterable,
+    algorithm: str = "stack",
+    self_or: bool = False,
+) -> List[Tuple]:
+    """Node-level convenience: join two node sets, return node pairs."""
+    a_labels = [labeling.label_of(n) for n in ancestor_nodes]
+    d_labels = [labeling.label_of(n) for n in descendant_nodes]
+    if algorithm == "stack":
+        pairs = stack_tree_join(labeling, a_labels, d_labels, self_or=self_or)
+    elif algorithm == "nested":
+        pairs = nested_loop_join(labeling, a_labels, d_labels, self_or=self_or)
+    else:
+        raise ValueError(f"unknown join algorithm {algorithm!r}")
+    return [(labeling.node_of(a), labeling.node_of(d)) for a, d in pairs]

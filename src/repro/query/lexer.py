@@ -1,0 +1,104 @@
+"""Tokenizer for the XPath subset (core location paths, §3.5)."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import XPathSyntaxError
+from repro.query.tokens import Token, TokenKind
+
+_PUNCT = {
+    "//": TokenKind.DOUBLE_SLASH,
+    "::": TokenKind.AXIS_SEP,
+    "!=": TokenKind.NOT_EQUALS,
+    "<=": TokenKind.LESS_EQUAL,
+    ">=": TokenKind.GREATER_EQUAL,
+    "..": TokenKind.DOTDOT,
+    "/": TokenKind.SLASH,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "@": TokenKind.AT,
+    "*": TokenKind.STAR,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.EQUALS,
+    "<": TokenKind.LESS,
+    ">": TokenKind.GREATER,
+    "|": TokenKind.PIPE,
+}
+
+_KEYWORDS = {"and": TokenKind.AND, "or": TokenKind.OR}
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-."
+
+
+def tokenize(expression: str) -> List[Token]:
+    """Tokenize *expression*, appending an END sentinel."""
+    return list(_scan(expression))
+
+
+def _scan(expression: str) -> Iterator[Token]:
+    position = 0
+    length = len(expression)
+    while position < length:
+        ch = expression[position]
+        if ch.isspace():
+            position += 1
+            continue
+        two = expression[position : position + 2]
+        if two in _PUNCT:
+            yield Token(_PUNCT[two], two, position)
+            position += 2
+            continue
+        # '.' is tricky: '..' handled above; '.5' is a number; '.' alone a step.
+        if ch == "." and position + 1 < length and expression[position + 1].isdigit():
+            start = position
+            position += 1
+            while position < length and expression[position].isdigit():
+                position += 1
+            yield Token(TokenKind.NUMBER, expression[start:position], start)
+            continue
+        if ch == ".":
+            yield Token(TokenKind.DOT, ".", position)
+            position += 1
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, position)
+            position += 1
+            continue
+        if ch in "'\"":
+            end = expression.find(ch, position + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", position)
+            yield Token(TokenKind.STRING, expression[position + 1 : end], position)
+            position = end + 1
+            continue
+        if ch.isdigit():
+            start = position
+            while position < length and expression[position].isdigit():
+                position += 1
+            if position < length and expression[position] == ".":
+                position += 1
+                while position < length and expression[position].isdigit():
+                    position += 1
+            yield Token(TokenKind.NUMBER, expression[start:position], start)
+            continue
+        if _is_name_start(ch):
+            start = position
+            while position < length and _is_name_char(expression[position]):
+                position += 1
+            text = expression[start:position]
+            # 'and'/'or' are keywords only in operator position; the
+            # parser disambiguates by context, so emit keyword kinds and
+            # let it down-convert when a name is expected.
+            yield Token(_KEYWORDS.get(text, TokenKind.NAME), text, start)
+            continue
+        raise XPathSyntaxError(f"unexpected character {ch!r}", position)
+    yield Token(TokenKind.END, "", length)

@@ -1,0 +1,266 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (paper §3.5 core rules, plus predicates and unions)::
+
+    Union         := LocationPath ('|' LocationPath)*
+    LocationPath  := '/' RelativePath? | '//' RelativePath | RelativePath
+    RelativePath  := Step (('/' | '//') Step)*
+    Step          := '.' | '..'
+                   | (AxisName '::' | '@')? NodeTest Predicate*
+    NodeTest      := NAME | '*' | ('text'|'node'|'comment') '(' ')'
+    Predicate     := '[' OrExpr ']'
+    OrExpr        := AndExpr ('or' AndExpr)*
+    AndExpr       := CmpExpr ('and' CmpExpr)*
+    CmpExpr       := Primary (('='|'!='|'<'|'<='|'>'|'>=') Primary)?
+    Primary       := STRING | NUMBER | FunctionCall | RelativeOrAbsPath
+                   | '(' OrExpr ')'
+
+An abbreviated ``//`` expands to ``/descendant-or-self::node()/`` and
+``@name`` to ``attribute::name``, per the XPath 1.0 abbreviations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import UnsupportedFeatureError, XPathSyntaxError
+from repro.query.ast import (
+    BinaryOp,
+    Expr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    Number,
+    Step,
+    Union_,
+)
+from repro.query.lexer import tokenize
+from repro.query.tokens import AXIS_NAMES, NODE_TYPE_TESTS, Token, TokenKind
+
+_DESC_OR_SELF_STEP = Step("descendant-or-self", NodeTest(node_type="node"))
+
+
+class _Parser:
+    def __init__(self, expression: str):
+        self.tokens = tokenize(expression)
+        self.index = 0
+
+    # -- cursor helpers --------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.END:
+            self.index += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            raise XPathSyntaxError(
+                f"expected {kind.value!r}, found {token.text!r}", token.position
+            )
+        return self.advance()
+
+    def accept(self, kind: TokenKind) -> bool:
+        if self.peek().kind is kind:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        tail = self.peek()
+        if tail.kind is not TokenKind.END:
+            raise XPathSyntaxError(f"unexpected {tail.text!r}", tail.position)
+        return expr
+
+    def parse_location_path(self) -> LocationPath:
+        token = self.peek()
+        if token.kind is TokenKind.SLASH:
+            self.advance()
+            if self._starts_step():
+                return LocationPath(True, tuple(self._relative_steps()))
+            return LocationPath(True, ())
+        if token.kind is TokenKind.DOUBLE_SLASH:
+            self.advance()
+            steps = [_DESC_OR_SELF_STEP, *self._relative_steps()]
+            return LocationPath(True, tuple(steps))
+        return LocationPath(False, tuple(self._relative_steps()))
+
+    def _relative_steps(self) -> List[Step]:
+        steps = [self.parse_step()]
+        while True:
+            if self.accept(TokenKind.SLASH):
+                steps.append(self.parse_step())
+            elif self.accept(TokenKind.DOUBLE_SLASH):
+                steps.append(_DESC_OR_SELF_STEP)
+                steps.append(self.parse_step())
+            else:
+                return steps
+
+    def _starts_step(self) -> bool:
+        kind = self.peek().kind
+        return kind in (
+            TokenKind.NAME,
+            TokenKind.STAR,
+            TokenKind.AT,
+            TokenKind.DOT,
+            TokenKind.DOTDOT,
+            TokenKind.AND,  # 'and'/'or' usable as element names in step position
+            TokenKind.OR,
+        )
+
+    def parse_step(self) -> Step:
+        token = self.peek()
+        if token.kind is TokenKind.DOT:
+            self.advance()
+            return Step("self", NodeTest(node_type="node"), self._predicates())
+        if token.kind is TokenKind.DOTDOT:
+            self.advance()
+            return Step("parent", NodeTest(node_type="node"), self._predicates())
+        axis = "child"
+        if token.kind is TokenKind.AT:
+            self.advance()
+            axis = "attribute"
+        elif (
+            token.kind in (TokenKind.NAME, TokenKind.AND, TokenKind.OR)
+            and self.peek(1).kind is TokenKind.AXIS_SEP
+        ):
+            if token.text not in AXIS_NAMES:
+                raise UnsupportedFeatureError(f"unknown axis {token.text!r}")
+            axis = token.text
+            self.advance()
+            self.advance()  # '::'
+        test = self.parse_node_test()
+        return Step(axis, test, self._predicates())
+
+    def parse_node_test(self) -> NodeTest:
+        token = self.peek()
+        if token.kind is TokenKind.STAR:
+            self.advance()
+            return NodeTest(name=None)
+        if token.kind in (TokenKind.NAME, TokenKind.AND, TokenKind.OR):
+            name = self.advance().text
+            if self.peek().kind is TokenKind.LPAREN and name in NODE_TYPE_TESTS:
+                self.advance()
+                self.expect(TokenKind.RPAREN)
+                return NodeTest(node_type=name)
+            if self.peek().kind is TokenKind.LPAREN:
+                raise XPathSyntaxError(
+                    f"{name}() is not a node test", token.position
+                )
+            return NodeTest(name=name)
+        raise XPathSyntaxError(
+            f"expected a node test, found {token.text!r}", token.position
+        )
+
+    def _predicates(self) -> Tuple[Expr, ...]:
+        predicates: List[Expr] = []
+        while self.accept(TokenKind.LBRACKET):
+            predicates.append(self.parse_or())
+            self.expect(TokenKind.RBRACKET)
+        return tuple(predicates)
+
+    # -- predicate expressions -----------------------------------------------
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.peek().kind is TokenKind.OR and not self._keyword_is_name():
+            self.advance()
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_comparison()
+        while self.peek().kind is TokenKind.AND and not self._keyword_is_name():
+            self.advance()
+            left = BinaryOp("and", left, self.parse_comparison())
+        return left
+
+    def _keyword_is_name(self) -> bool:
+        """'and'/'or' in operand position (e.g. following a '/') would
+        have been consumed by parse_step already; at this point the
+        keyword is always an operator."""
+        return False
+
+    _COMPARATORS = {
+        TokenKind.EQUALS: "=",
+        TokenKind.NOT_EQUALS: "!=",
+        TokenKind.LESS: "<",
+        TokenKind.LESS_EQUAL: "<=",
+        TokenKind.GREATER: ">",
+        TokenKind.GREATER_EQUAL: ">=",
+    }
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_union_expr()
+        op = self._COMPARATORS.get(self.peek().kind)
+        if op is None:
+            return left
+        self.advance()
+        return BinaryOp(op, left, self.parse_union_expr())
+
+    def parse_union_expr(self) -> Expr:
+        """PathExpr ('|' PathExpr)* — operands must be location paths."""
+        first = self.parse_primary()
+        if self.peek().kind is not TokenKind.PIPE:
+            return first
+        paths = [first]
+        while self.accept(TokenKind.PIPE):
+            paths.append(self.parse_primary())
+        for path in paths:
+            if not isinstance(path, (LocationPath, Union_)):
+                raise XPathSyntaxError("'|' operands must be node-sets")
+        return Union_(tuple(paths))
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return Number(float(token.text))
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_or()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if (
+            token.kind is TokenKind.NAME
+            and self.peek(1).kind is TokenKind.LPAREN
+            and token.text not in NODE_TYPE_TESTS
+        ):
+            return self.parse_function_call()
+        if token.kind in (
+            TokenKind.NAME,
+            TokenKind.STAR,
+            TokenKind.AT,
+            TokenKind.DOT,
+            TokenKind.DOTDOT,
+            TokenKind.SLASH,
+            TokenKind.DOUBLE_SLASH,
+        ):
+            return self.parse_location_path()
+        raise XPathSyntaxError(
+            f"expected an expression, found {token.text!r}", token.position
+        )
+
+    def parse_function_call(self) -> FunctionCall:
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.LPAREN)
+        arguments: List[Expr] = []
+        if self.peek().kind is not TokenKind.RPAREN:
+            arguments.append(self.parse_or())
+            while self.accept(TokenKind.COMMA):
+                arguments.append(self.parse_or())
+        self.expect(TokenKind.RPAREN)
+        return FunctionCall(name, tuple(arguments))
+
+
+def parse_xpath(expression: str) -> Expr:
+    """Parse an XPath-subset expression into its AST."""
+    return _Parser(expression).parse()

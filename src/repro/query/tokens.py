@@ -1,0 +1,66 @@
+"""Token definitions for the XPath-subset lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenKind(Enum):
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    AT = "@"
+    DOT = "."
+    DOTDOT = ".."
+    STAR = "*"
+    COMMA = ","
+    AXIS_SEP = "::"
+    NAME = "name"
+    STRING = "string"
+    NUMBER = "number"
+    EQUALS = "="
+    NOT_EQUALS = "!="
+    LESS = "<"
+    LESS_EQUAL = "<="
+    GREATER = ">"
+    GREATER_EQUAL = ">="
+    AND = "and"
+    OR = "or"
+    PIPE = "|"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}@{self.position})"
+
+
+#: XPath axis names accepted before '::'
+AXIS_NAMES = frozenset(
+    {
+        "ancestor",
+        "ancestor-or-self",
+        "attribute",
+        "child",
+        "descendant",
+        "descendant-or-self",
+        "following",
+        "following-sibling",
+        "parent",
+        "preceding",
+        "preceding-sibling",
+        "self",
+    }
+)
+
+#: node-test function forms: text(), node(), comment()
+NODE_TYPE_TESTS = frozenset({"text", "node", "comment"})

@@ -1,0 +1,212 @@
+"""Twig-pattern matching via structural joins.
+
+A *twig* is a small tree pattern — the workhorse of XML query
+processing and the natural consumer of both the numbering scheme's
+relation arithmetic and the structural-join operators. Patterns are
+written in a compact XPath-like syntax::
+
+    person[name][profile//interest]
+    //open_auction[bidder]/seller
+    site/people//person[address/city]
+
+``/`` means child, ``//`` means descendant, and ``[...]`` attaches a
+branch predicate. Matching is bottom-up: each pattern node's candidate
+set (all document nodes with its tag) is semi-join-filtered by its
+branches — child edges through parent arithmetic (one ``rparent`` per
+candidate), descendant edges through the stack-tree join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+from repro.core.scheme import Labeling
+from repro.errors import NoParentError, QueryError
+from repro.query.joins import stack_tree_join
+from repro.xmltree.node import NodeKind, XmlNode
+
+
+@dataclass(frozen=True)
+class TwigNode:
+    """One pattern node: a tag test plus branch patterns."""
+
+    tag: Optional[str]  # None = any element ('*')
+    axis: str = "child"  # edge from the parent pattern: child | descendant
+    branches: Tuple["TwigNode", ...] = ()
+
+    def __str__(self) -> str:
+        label = self.tag or "*"
+        parts = [label]
+        for branch in self.branches:
+            sep = "//" if branch.axis == "descendant" else "/"
+            parts.append(f"[{sep if branch.axis == 'descendant' else ''}{branch}]")
+        return "".join(parts)
+
+
+def parse_twig(pattern: str) -> TwigNode:
+    """Parse the compact twig syntax into a :class:`TwigNode` tree.
+
+    The spine (``a/b//c``) becomes nested single-branch nodes; bracket
+    groups attach additional branches at the node they follow.
+    """
+    parser = _TwigParser(pattern)
+    root = parser.parse_spine()
+    parser.expect_end()
+    return root
+
+
+class _TwigParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def error(self, message: str) -> None:
+        raise QueryError(f"{message} (at offset {self.position} in {self.text!r})")
+
+    def peek(self) -> str:
+        return self.text[self.position] if self.position < len(self.text) else ""
+
+    def expect_end(self) -> None:
+        if self.position != len(self.text):
+            self.error(f"unexpected {self.peek()!r}")
+
+    def parse_spine(self) -> TwigNode:
+        axis = "child"
+        if self.text.startswith("//", self.position):
+            self.position += 2
+            axis = "descendant"
+        elif self.peek() == "/":
+            self.position += 1
+        return self.parse_step(axis)
+
+    def parse_step(self, axis: str) -> TwigNode:
+        tag = self.parse_name()
+        branches: List[TwigNode] = []
+        while self.peek() == "[":
+            self.position += 1
+            branches.append(self.parse_spine())
+            if self.peek() != "]":
+                self.error("expected ']'")
+            self.position += 1
+        # spine continuation becomes one more branch (the output path)
+        if self.text.startswith("//", self.position):
+            self.position += 2
+            branches.append(self.parse_step("descendant"))
+        elif self.peek() == "/":
+            self.position += 1
+            branches.append(self.parse_step("child"))
+        return TwigNode(tag, axis, tuple(branches))
+
+    def parse_name(self) -> Optional[str]:
+        if self.peek() == "*":
+            self.position += 1
+            return None
+        start = self.position
+        while self.peek() and (self.peek().isalnum() or self.peek() in "_-."):
+            self.position += 1
+        if start == self.position:
+            self.error("expected a tag name or '*'")
+        return self.text[start : self.position]
+
+
+class TwigMatcher:
+    """Match twig patterns against a labeled document."""
+
+    def __init__(self, labeling: Labeling):
+        self.labeling = labeling
+        self._by_tag: Optional[Dict[str, List]] = None
+        self._elements: Optional[List] = None
+
+    def _candidates(self, pattern: TwigNode) -> List:
+        """Labels of the nodes passing the pattern's tag test."""
+        if self._by_tag is None:
+            by_tag: Dict[str, List] = {}
+            elements: List = []
+            for node in self.labeling.tree.preorder():
+                if node.kind is not NodeKind.ELEMENT:
+                    continue
+                label = self.labeling.label_of(node)
+                by_tag.setdefault(node.tag, []).append(label)
+                elements.append(label)
+            self._by_tag = by_tag
+            self._elements = elements
+        if pattern.tag is None:
+            return list(self._elements)
+        return list(self._by_tag.get(pattern.tag, []))
+
+    def match_labels(self, pattern: TwigNode) -> List:
+        """Labels of the nodes matching the *root* of the pattern, in
+        document order."""
+        matched = self._match(pattern)
+        return sorted(matched, key=_OrderAdapter(self.labeling))
+
+    def match(self, pattern) -> List[XmlNode]:
+        """Nodes matching the pattern root; accepts a TwigNode or the
+        compact string syntax."""
+        if isinstance(pattern, str):
+            pattern = parse_twig(pattern)
+        return [self.labeling.node_of(label) for label in self.match_labels(pattern)]
+
+    def count(self, pattern) -> int:
+        if isinstance(pattern, str):
+            pattern = parse_twig(pattern)
+        return len(self._match(pattern))
+
+    # ------------------------------------------------------------------
+    def _match(self, pattern: TwigNode) -> Set:
+        """Bottom-up semi-join evaluation: the set of labels whose
+        subtree embeds the pattern."""
+        survivors = set(self._candidates(pattern))
+        for branch in pattern.branches:
+            if not survivors:
+                return survivors
+            branch_matches = self._match(branch)
+            if branch.axis == "child":
+                survivors &= self._parents_of(branch_matches)
+            else:
+                survivors &= self._ancestors_with_descendant(
+                    survivors, branch_matches
+                )
+        return survivors
+
+    def _parents_of(self, labels: Set) -> Set:
+        """Parent labels of a set — one arithmetic step each (this is
+        where rUID/Dewey shine: no index, no join)."""
+        parents: Set = set()
+        for label in labels:
+            try:
+                parents.add(self.labeling.parent_label(label))
+            except NoParentError:
+                continue
+        return parents
+
+    def _ancestors_with_descendant(self, candidates: Set, descendants: Set) -> Set:
+        """Candidates that have at least one descendant in the set,
+        via the stack-tree structural join."""
+        pairs = stack_tree_join(self.labeling, list(candidates), list(descendants))
+        return {a for a, _d in pairs}
+
+
+class _OrderAdapter:
+    """Document-order sort key over any scheme's labels."""
+
+    __slots__ = ("labeling",)
+
+    def __init__(self, labeling: Labeling):
+        self.labeling = labeling
+
+    def __call__(self, label):
+        return _OrderKeyed(label, self.labeling)
+
+
+class _OrderKeyed:
+    __slots__ = ("label", "labeling")
+
+    def __init__(self, label, labeling: Labeling):
+        self.label = label
+        self.labeling = labeling
+
+    def __lt__(self, other: "_OrderKeyed") -> bool:
+        return self.labeling.doc_compare(self.label, other.label) < 0

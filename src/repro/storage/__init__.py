@@ -1,0 +1,34 @@
+"""Storage substrate: pager, B+-tree, heap files, tables, XML database."""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.catalog import Catalog
+from repro.storage.codec import decode_key, decode_value, encode_key, encode_value
+from repro.storage.database import StoredDocument, XmlDatabase, label_key
+from repro.storage.federation import FederatedDocument, Site
+from repro.storage.heapfile import HeapFile, Rid
+from repro.storage.iostats import IoStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Page, Pager
+from repro.storage.table import Column, Schema, Table
+
+__all__ = [
+    "BPlusTree",
+    "Catalog",
+    "Column",
+    "DEFAULT_PAGE_SIZE",
+    "FederatedDocument",
+    "HeapFile",
+    "Site",
+    "IoStats",
+    "Page",
+    "Pager",
+    "Rid",
+    "Schema",
+    "StoredDocument",
+    "Table",
+    "XmlDatabase",
+    "decode_key",
+    "decode_value",
+    "encode_key",
+    "encode_value",
+    "label_key",
+]

@@ -1,0 +1,293 @@
+"""A paged B+-tree over :class:`~repro.storage.pager.Pager`.
+
+Keys and values are byte strings; keys compare as raw bytes, which is
+why the order-preserving codec exists. Nodes are serialized into
+fixed-size pages, splits are size-driven (a node splits when its
+serialization would no longer fit its page), and leaves are chained
+for range scans. Deletion removes entries without rebalancing —
+underfull pages are tolerated, the standard trade-off for read-mostly
+index workloads like document labeling.
+
+Every node touch goes through the pager and is therefore charged to
+the I/O ledger; experiment E6 uses exactly this to show pre/post
+parent lookups cost index I/O while rUID's cost none.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import DuplicateKeyError, PageOverflowError, StorageError
+from repro.storage.pager import Page, Pager
+
+_LEAF = 1
+_INTERNAL = 2
+_NO_PAGE = 0xFFFFFFFF
+
+_HEADER = struct.Struct(">BHI")  # type, entry count, next-leaf / first-child
+_LEN = struct.Struct(">H")
+_CHILD = struct.Struct(">I")
+
+
+class _Leaf:
+    __slots__ = ("entries", "next_leaf")
+
+    def __init__(self, entries: List[Tuple[bytes, bytes]], next_leaf: Optional[int]):
+        self.entries = entries
+        self.next_leaf = next_leaf
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: List[bytes], children: List[int]):
+        self.keys = keys
+        self.children = children
+
+
+class BPlusTree:
+    """A B+-tree index rooted in a single meta-tracked page."""
+
+    def __init__(self, pager: Pager, root_page_id: Optional[int] = None,
+                 unique: bool = True):
+        self.pager = pager
+        self.unique = unique
+        if root_page_id is None:
+            page = pager.allocate()
+            self._write_leaf(page, _Leaf([], None))
+            self.root_page_id = page.page_id
+        else:
+            self.root_page_id = root_page_id
+
+    # ------------------------------------------------------------------
+    # Node (de)serialization
+    # ------------------------------------------------------------------
+    def _read_node(self, page_id: int):
+        page = self.pager.read(page_id)
+        node_type, count, link = _HEADER.unpack_from(page.data, 0)
+        offset = _HEADER.size
+        if node_type == _LEAF:
+            entries: List[Tuple[bytes, bytes]] = []
+            for _ in range(count):
+                (key_len,) = _LEN.unpack_from(page.data, offset)
+                offset += _LEN.size
+                key = bytes(page.data[offset : offset + key_len])
+                offset += key_len
+                (value_len,) = _LEN.unpack_from(page.data, offset)
+                offset += _LEN.size
+                value = bytes(page.data[offset : offset + value_len])
+                offset += value_len
+                entries.append((key, value))
+            next_leaf = None if link == _NO_PAGE else link
+            return _Leaf(entries, next_leaf)
+        if node_type == _INTERNAL:
+            children = [link]
+            keys: List[bytes] = []
+            for _ in range(count):
+                (key_len,) = _LEN.unpack_from(page.data, offset)
+                offset += _LEN.size
+                keys.append(bytes(page.data[offset : offset + key_len]))
+                offset += key_len
+                (child,) = _CHILD.unpack_from(page.data, offset)
+                offset += _CHILD.size
+                children.append(child)
+            return _Internal(keys, children)
+        raise StorageError(f"corrupt page {page_id}: type {node_type}")
+
+    def _serialize_leaf(self, node: _Leaf) -> bytes:
+        link = _NO_PAGE if node.next_leaf is None else node.next_leaf
+        parts = [_HEADER.pack(_LEAF, len(node.entries), link)]
+        for key, value in node.entries:
+            parts.append(_LEN.pack(len(key)))
+            parts.append(key)
+            parts.append(_LEN.pack(len(value)))
+            parts.append(value)
+        return b"".join(parts)
+
+    def _serialize_internal(self, node: _Internal) -> bytes:
+        parts = [_HEADER.pack(_INTERNAL, len(node.keys), node.children[0])]
+        for key, child in zip(node.keys, node.children[1:]):
+            parts.append(_LEN.pack(len(key)))
+            parts.append(key)
+            parts.append(_CHILD.pack(child))
+        return b"".join(parts)
+
+    def _write_leaf(self, page: Page, node: _Leaf) -> None:
+        raw = self._serialize_leaf(node)
+        if len(raw) > self.pager.page_size:
+            raise PageOverflowError("leaf does not fit a page after split")
+        page.data[: len(raw)] = raw
+        self.pager.mark_dirty(page)
+
+    def _write_internal(self, page: Page, node: _Internal) -> None:
+        raw = self._serialize_internal(node)
+        if len(raw) > self.pager.page_size:
+            raise PageOverflowError("internal node does not fit a page after split")
+        page.data[: len(raw)] = raw
+        self.pager.mark_dirty(page)
+
+    def _fits_leaf(self, node: _Leaf) -> bool:
+        return len(self._serialize_leaf(node)) <= self.pager.page_size
+
+    def _fits_internal(self, node: _Internal) -> bool:
+        return len(self._serialize_internal(node)) <= self.pager.page_size
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Value stored under *key*, or None."""
+        leaf = self._descend(key)
+        index = bisect_left(leaf.entries, key, key=lambda e: e[0])
+        if index < len(leaf.entries) and leaf.entries[index][0] == key:
+            return leaf.entries[index][1]
+        return None
+
+    def contains(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def _descend(self, key: bytes) -> _Leaf:
+        node = self._read_node(self.root_page_id)
+        while isinstance(node, _Internal):
+            index = bisect_right(node.keys, key)
+            node = self._read_node(node.children[index])
+        return node
+
+    def _descend_for_scan(self, key: bytes) -> _Leaf:
+        """Leftmost leaf that may contain *key* — duplicates equal to a
+        separator live in the right sibling, but a scan tolerates
+        starting early (it skips keys below the bound) and must not
+        start late, so descend with bisect_left."""
+        node = self._read_node(self.root_page_id)
+        while isinstance(node, _Internal):
+            index = bisect_left(node.keys, key)
+            node = self._read_node(node.children[index])
+        return node
+
+    def insert(self, key: bytes, value: bytes, replace: bool = False) -> None:
+        """Insert *key* → *value*; duplicate keys raise unless *replace*
+        (unique index) or the tree was created non-unique (the pair is
+        stored once per distinct (key, value))."""
+        record_budget = self.pager.page_size - _HEADER.size
+        if len(key) + len(value) + 2 * _LEN.size > record_budget // 2:
+            raise PageOverflowError("record larger than half a page")
+        split = self._insert_into(self.root_page_id, key, value, replace)
+        if split is not None:
+            middle_key, right_page_id = split
+            new_root = _Internal([middle_key], [self.root_page_id, right_page_id])
+            page = self.pager.allocate()
+            self._write_internal(page, new_root)
+            self.root_page_id = page.page_id
+
+    def _insert_into(
+        self, page_id: int, key: bytes, value: bytes, replace: bool
+    ) -> Optional[Tuple[bytes, int]]:
+        node = self._read_node(page_id)
+        if isinstance(node, _Leaf):
+            return self._insert_into_leaf(page_id, node, key, value, replace)
+        index = bisect_right(node.keys, key)
+        split = self._insert_into(node.children[index], key, value, replace)
+        if split is None:
+            return None
+        middle_key, right_page_id = split
+        node.keys.insert(index, middle_key)
+        node.children.insert(index + 1, right_page_id)
+        if self._fits_internal(node):
+            self._write_internal(self.pager.read(page_id), node)
+            return None
+        return self._split_internal(page_id, node)
+
+    def _insert_into_leaf(
+        self, page_id: int, node: _Leaf, key: bytes, value: bytes, replace: bool
+    ) -> Optional[Tuple[bytes, int]]:
+        if self.unique:
+            index = bisect_left(node.entries, key, key=lambda e: e[0])
+            if index < len(node.entries) and node.entries[index][0] == key:
+                if not replace:
+                    raise DuplicateKeyError(f"duplicate key {key!r}")
+                node.entries[index] = (key, value)
+                self._write_leaf(self.pager.read(page_id), node)
+                return None
+            node.entries.insert(index, (key, value))
+        else:
+            insort(node.entries, (key, value))
+        if self._fits_leaf(node):
+            self._write_leaf(self.pager.read(page_id), node)
+            return None
+        return self._split_leaf(page_id, node)
+
+    def _split_leaf(self, page_id: int, node: _Leaf) -> Tuple[bytes, int]:
+        middle = len(node.entries) // 2
+        right = _Leaf(node.entries[middle:], node.next_leaf)
+        right_page = self.pager.allocate()
+        self._write_leaf(right_page, right)
+        left = _Leaf(node.entries[:middle], right_page.page_id)
+        self._write_leaf(self.pager.read(page_id), left)
+        return right.entries[0][0], right_page.page_id
+
+    def _split_internal(self, page_id: int, node: _Internal) -> Tuple[bytes, int]:
+        middle = len(node.keys) // 2
+        middle_key = node.keys[middle]
+        right = _Internal(node.keys[middle + 1 :], node.children[middle + 1 :])
+        right_page = self.pager.allocate()
+        self._write_internal(right_page, right)
+        left = _Internal(node.keys[:middle], node.children[: middle + 1])
+        self._write_internal(self.pager.read(page_id), left)
+        return middle_key, right_page.page_id
+
+    def delete(self, key: bytes, value: Optional[bytes] = None) -> bool:
+        """Remove *key* (and, for non-unique trees, the specific
+        (key, value) pair). Returns True if something was removed.
+        Pages are allowed to go underfull."""
+        path: List[int] = []
+        node = self._read_node(self.root_page_id)
+        page_id = self.root_page_id
+        while isinstance(node, _Internal):
+            index = bisect_right(node.keys, key)
+            path.append(page_id)
+            page_id = node.children[index]
+            node = self._read_node(page_id)
+        for index, (entry_key, entry_value) in enumerate(node.entries):
+            if entry_key == key and (value is None or entry_value == value):
+                del node.entries[index]
+                self._write_leaf(self.pager.read(page_id), node)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, value) pairs in key order."""
+        return self.range(None, None)
+
+    def range(
+        self, low: Optional[bytes], high: Optional[bytes]
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Pairs with ``low <= key <= high`` (either bound may be None)."""
+        if low is None:
+            node = self._leftmost_leaf()
+        else:
+            node = self._descend_for_scan(low)
+        while node is not None:
+            for key, value in node.entries:
+                if low is not None and key < low:
+                    continue
+                if high is not None and key > high:
+                    return
+                yield key, value
+            node = self._read_node(node.next_leaf) if node.next_leaf is not None else None
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._read_node(self.root_page_id)
+        while isinstance(node, _Internal):
+            node = self._read_node(node.children[0])
+        return node
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def __repr__(self) -> str:
+        return f"<BPlusTree root={self.root_page_id} unique={self.unique}>"

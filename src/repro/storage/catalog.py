@@ -1,0 +1,56 @@
+"""Table catalog: name → table, with shared pager bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro.errors import StorageError, TableNotFoundError
+from repro.storage.pager import Pager
+from repro.storage.table import Column, Schema, Table
+
+
+class Catalog:
+    """All tables of one database instance."""
+
+    def __init__(self, pager: Pager):
+        self.pager = pager
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str],
+    ) -> Table:
+        """Create and register a table."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(name, Schema(columns), self.pager, primary_key)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableNotFoundError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return f"<Catalog tables={len(self._tables)}>"

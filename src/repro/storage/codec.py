@@ -1,0 +1,249 @@
+"""Order-preserving key/value encoding ("memcomparable" codec).
+
+B+-tree keys must compare as raw bytes in the same order as their
+typed values. The codec supports ``None``, booleans, arbitrary-
+precision integers (UID identifiers overflow 64 bits by design — the
+very problem the paper discusses), strings, byte strings and tuples,
+with the usual guarantees:
+
+* ``encode_key(a) < encode_key(b)`` iff ``a < b`` under the type-aware
+  ordering (values of different types order by a fixed type rank);
+* tuples compare lexicographically, and a tuple's encoding is a prefix
+  of the encoding of any tuple it prefixes.
+
+Values (non-key payloads) use a compact tagged format via
+:func:`encode_value` / :func:`decode_value`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+from repro.errors import StorageError
+
+# Type tags chosen so that byte order = type rank order.
+_TAG_NONE = 0x01
+_TAG_FALSE = 0x02
+_TAG_TRUE = 0x03
+_TAG_INT_NEG = 0x04
+_TAG_INT_POS = 0x05
+_TAG_STR = 0x06
+_TAG_BYTES = 0x07
+_TAG_TUPLE_START = 0x08
+# Tuple elements are concatenated between an explicit start tag and a
+# low end sentinel, so (a,) sorts before (a, b) and decoding is
+# unambiguous.
+_TUPLE_END = 0x00
+
+
+def _encode_unsigned(magnitude: int) -> bytes:
+    """Length-prefixed big-endian magnitude; order-preserving for
+    non-negative integers of any size."""
+    if magnitude == 0:
+        return b"\x00\x00"
+    raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+    if len(raw) > 0xFFFF:
+        raise StorageError("integer too large to encode")
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _decode_unsigned(buffer: bytes, offset: int) -> Tuple[int, int]:
+    (length,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    if length == 0:
+        return 0, offset
+    value = int.from_bytes(buffer[offset : offset + length], "big")
+    return value, offset + length
+
+
+def _invert(raw: bytes) -> bytes:
+    return bytes(0xFF - b for b in raw)
+
+
+def _encode_scalar(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(bytes([_TAG_NONE]))
+    elif value is True:
+        out.append(bytes([_TAG_TRUE]))
+    elif value is False:
+        out.append(bytes([_TAG_FALSE]))
+    elif isinstance(value, int):
+        if value >= 0:
+            out.append(bytes([_TAG_INT_POS]) + _encode_unsigned(value))
+        else:
+            # Complemented encoding: more-negative sorts earlier.
+            out.append(bytes([_TAG_INT_NEG]) + _invert(_encode_unsigned(-value)))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8").replace(b"\x00", b"\x00\xff") + b"\x00\x00"
+        out.append(bytes([_TAG_STR]) + encoded)
+    elif isinstance(value, bytes):
+        encoded = value.replace(b"\x00", b"\x00\xff") + b"\x00\x00"
+        out.append(bytes([_TAG_BYTES]) + encoded)
+    else:
+        raise StorageError(f"unsupported key component type {type(value).__name__}")
+
+
+def encode_key(value: Any) -> bytes:
+    """Encode a scalar or (possibly nested) tuple as a comparable key."""
+    out: List[bytes] = []
+    _encode_key_part(value, out)
+    return b"".join(out)
+
+
+def _encode_key_part(value: Any, out: List[bytes]) -> None:
+    if isinstance(value, tuple):
+        out.append(bytes([_TAG_TUPLE_START]))
+        for element in value:
+            _encode_key_part(element, out)
+        out.append(bytes([_TUPLE_END]))
+    else:
+        _encode_scalar(value, out)
+
+
+def decode_key(buffer: bytes) -> Any:
+    """Decode a key produced by :func:`encode_key`.
+
+    Top-level tuples round-trip as tuples; a single scalar round-trips
+    as itself.
+    """
+    value, offset = _decode_key_part(buffer, 0)
+    if offset != len(buffer):
+        raise StorageError("trailing bytes after key")
+    return value
+
+
+def _decode_key_part(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(buffer):
+        raise StorageError("truncated key")
+    tag = buffer[offset]
+    if tag == _TAG_NONE:
+        return None, offset + 1
+    if tag == _TAG_TRUE:
+        return True, offset + 1
+    if tag == _TAG_FALSE:
+        return False, offset + 1
+    if tag == _TAG_INT_POS:
+        value, end = _decode_unsigned(buffer, offset + 1)
+        return value, end
+    if tag == _TAG_INT_NEG:
+        # Find the inverted length to know how far to invert back.
+        inverted_len = _invert(buffer[offset + 1 : offset + 3])
+        (length,) = struct.unpack(">H", inverted_len)
+        end = offset + 3 + length
+        restored = _invert(buffer[offset + 1 : end])
+        value, _ = _decode_unsigned(restored, 0)
+        return -value, end
+    if tag in (_TAG_STR, _TAG_BYTES):
+        raw, end = _decode_escaped(buffer, offset + 1)
+        return (raw.decode("utf-8") if tag == _TAG_STR else raw), end
+    if tag == _TAG_TUPLE_START:
+        offset += 1
+        elements: List[Any] = []
+        while offset < len(buffer) and buffer[offset] != _TUPLE_END:
+            element, offset = _decode_key_part(buffer, offset)
+            elements.append(element)
+        if offset >= len(buffer):
+            raise StorageError("unterminated tuple key")
+        return tuple(elements), offset + 1
+    raise StorageError(f"unknown key tag {tag}")
+
+
+def _decode_escaped(buffer: bytes, offset: int) -> Tuple[bytes, int]:
+    parts: List[int] = []
+    index = offset
+    while index < len(buffer) - 1:
+        if buffer[index] == 0x00:
+            if buffer[index + 1] == 0x00:
+                return bytes(parts), index + 2
+            if buffer[index + 1] == 0xFF:
+                parts.append(0x00)
+                index += 2
+                continue
+            raise StorageError("bad escape in string key")
+        parts.append(buffer[index])
+        index += 1
+    raise StorageError("unterminated string key")
+
+
+# ----------------------------------------------------------------------
+# Compact (non-comparable) value encoding
+# ----------------------------------------------------------------------
+
+_VTAG_NONE = 0
+_VTAG_INT = 1
+_VTAG_STR = 2
+_VTAG_BYTES = 3
+_VTAG_BOOL = 4
+_VTAG_TUPLE = 5
+_VTAG_FLOAT = 6
+
+
+def encode_value(value: Any) -> bytes:
+    """Tagged compact encoding for record payloads."""
+    if value is None:
+        return bytes([_VTAG_NONE])
+    if isinstance(value, bool):
+        return bytes([_VTAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        sign = 1 if value < 0 else 0
+        magnitude = -value if sign else value
+        raw = magnitude.to_bytes(max(1, (magnitude.bit_length() + 7) // 8), "big")
+        return bytes([_VTAG_INT, sign]) + struct.pack(">I", len(raw)) + raw
+    if isinstance(value, float):
+        return bytes([_VTAG_FLOAT]) + struct.pack(">d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_VTAG_STR]) + struct.pack(">I", len(raw)) + raw
+    if isinstance(value, bytes):
+        return bytes([_VTAG_BYTES]) + struct.pack(">I", len(value)) + value
+    if isinstance(value, tuple):
+        parts = [bytes([_VTAG_TUPLE]), struct.pack(">I", len(value))]
+        for element in value:
+            encoded = encode_value(element)
+            parts.append(struct.pack(">I", len(encoded)))
+            parts.append(encoded)
+        return b"".join(parts)
+    raise StorageError(f"unsupported value type {type(value).__name__}")
+
+
+def decode_value(buffer: bytes) -> Any:
+    value, offset = _decode_value_at(buffer, 0)
+    if offset != len(buffer):
+        raise StorageError("trailing bytes after value")
+    return value
+
+
+def _decode_value_at(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    tag = buffer[offset]
+    offset += 1
+    if tag == _VTAG_NONE:
+        return None, offset
+    if tag == _VTAG_BOOL:
+        return bool(buffer[offset]), offset + 1
+    if tag == _VTAG_INT:
+        sign = buffer[offset]
+        (length,) = struct.unpack_from(">I", buffer, offset + 1)
+        start = offset + 5
+        magnitude = int.from_bytes(buffer[start : start + length], "big")
+        return (-magnitude if sign else magnitude), start + length
+    if tag == _VTAG_FLOAT:
+        (value,) = struct.unpack_from(">d", buffer, offset)
+        return value, offset + 8
+    if tag in (_VTAG_STR, _VTAG_BYTES):
+        (length,) = struct.unpack_from(">I", buffer, offset)
+        start = offset + 4
+        raw = bytes(buffer[start : start + length])
+        return (raw.decode("utf-8") if tag == _VTAG_STR else raw), start + length
+    if tag == _VTAG_TUPLE:
+        (count,) = struct.unpack_from(">I", buffer, offset)
+        offset += 4
+        elements: List[Any] = []
+        for _ in range(count):
+            (length,) = struct.unpack_from(">I", buffer, offset)
+            offset += 4
+            element, _ = _decode_value_at(buffer[offset : offset + length], 0)
+            elements.append(element)
+            offset += length
+        return tuple(elements), offset
+    raise StorageError(f"unknown value tag {tag}")

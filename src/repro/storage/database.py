@@ -1,0 +1,194 @@
+"""The XML database facade — the RDBMS deployment of §2.1 and §4–5.
+
+Documents are shredded into a node table keyed by the numbering-scheme
+label ("the data items are sorted first by the global index, and then
+by local index", §2.1), with a secondary index on tags. The facade
+exposes the access paths the experiments compare:
+
+* label → row fetch (one primary-index descent);
+* parent fetch: arithmetic schemes compute the parent label in memory
+  and pay one fetch; index-dependent schemes (pre/post, region,
+  position/depth) pay index probes *before* the fetch;
+* tag lookups with and without the §4 *table routing* trick (one table
+  per UID-local area, selected by the label's global index).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.labels import MultiLabel, Ruid2Label
+from repro.core.scheme import Labeling
+from repro.errors import StorageError, UnknownLabelError
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import IoStats
+from repro.storage.pager import Pager
+from repro.storage.table import Column, Table
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+
+def label_key(label: Any) -> Tuple[Any, ...]:
+    """Flatten any scheme's label into a storable key tuple.
+
+    rUID triples become (global, local, flag) — exactly the three
+    RDBMS fields the paper proposes; multilevel labels flatten their
+    components; scalar/tuple labels pass through.
+    """
+    if isinstance(label, Ruid2Label):
+        return (label.global_index, label.local_index, label.is_area_root)
+    if isinstance(label, MultiLabel):
+        flat: List[Any] = [label.theta]
+        for alpha, beta in label.components:
+            flat.extend((alpha, beta))
+        return tuple(flat)
+    if isinstance(label, tuple):
+        return label
+    if isinstance(label, int):
+        return (label,)
+    raise StorageError(f"cannot derive a storage key from {type(label).__name__}")
+
+
+_NODE_COLUMNS = [
+    Column("label", "any"),  # flattened label tuple
+    Column("tag", "str"),
+    Column("kind", "str"),
+    Column("text", "any"),
+]
+
+
+class StoredDocument:
+    """One shredded document plus its labeling."""
+
+    def __init__(
+        self,
+        name: str,
+        tree: XmlTree,
+        labeling: Labeling,
+        catalog: Catalog,
+        partition_by_area: bool = False,
+    ):
+        self.name = name
+        self.tree = tree
+        self.labeling = labeling
+        self.catalog = catalog
+        self.partition_by_area = partition_by_area
+        self._area_tables: Dict[int, Table] = {}
+        self.table = catalog.create_table(
+            f"{name}__nodes", _NODE_COLUMNS, primary_key=["label"]
+        )
+        self.table.create_index("tag", ["tag"])
+        self._load()
+        if partition_by_area:
+            self._load_area_tables()
+
+    def _row_for(self, node: XmlNode) -> Tuple[Any, ...]:
+        label = self.labeling.label_of(node)
+        return (label_key(label), node.tag, node.kind.value, node.text)
+
+    def _load(self) -> None:
+        for node in self.tree.preorder():
+            self.table.insert(self._row_for(node))
+
+    def _load_area_tables(self) -> None:
+        """§4's "database file/table selection": one table per UID-local
+        area, named by the area's global index."""
+        for node in self.tree.preorder():
+            label = self.labeling.label_of(node)
+            if not isinstance(label, Ruid2Label):
+                raise StorageError("area partitioning requires 2-level rUID labels")
+            area = label.global_index
+            table = self._area_tables.get(area)
+            if table is None:
+                table = self.catalog.create_table(
+                    f"{self.name}__area_{area}", _NODE_COLUMNS, primary_key=["label"]
+                )
+                table.create_index("tag", ["tag"])
+                self._area_tables[area] = table
+            table.insert(self._row_for(node))
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def fetch(self, label: Any) -> Tuple[Any, ...]:
+        """Row for *label* (one primary-index descent)."""
+        row = self.table.get(label_key(label))
+        if row is None:
+            raise UnknownLabelError(f"label {label!r} not stored")
+        return row
+
+    def fetch_parent(self, label: Any) -> Tuple[Any, ...]:
+        """Parent row: label arithmetic (or index probes) + one fetch."""
+        return self.fetch(self.labeling.parent_label(label))
+
+    def nodes_with_tag(self, tag: str) -> List[Tuple[Any, ...]]:
+        """All rows with *tag*, via the tag index on the single table."""
+        return list(self.table.lookup("tag", tag))
+
+    def nodes_with_tag_routed(
+        self, tag: str, areas: Optional[List[int]] = None
+    ) -> Tuple[List[Tuple[Any, ...]], int]:
+        """Tag lookup against the per-area tables.
+
+        When *areas* is given (e.g. from a structural pre-filter on the
+        frame), only those tables are consulted — the §4 routing win.
+        Returns (rows, number of tables scanned).
+        """
+        if not self.partition_by_area:
+            raise StorageError("document was stored without area partitioning")
+        if areas is None:
+            targets = sorted(self._area_tables)
+        else:
+            targets = [a for a in sorted(areas) if a in self._area_tables]
+        rows: List[Tuple[Any, ...]] = []
+        for area in targets:
+            rows.extend(self._area_tables[area].lookup("tag", tag))
+        return rows, len(targets)
+
+    def scan_document_order(self) -> Iterator[Tuple[Any, ...]]:
+        """All rows in primary-key (global, then local) order."""
+        return self.table.scan_pk_order()
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class XmlDatabase:
+    """A database instance: pager + catalog + stored documents."""
+
+    def __init__(self, page_size: int = 4096, pool_pages: int = 128):
+        self.stats = IoStats()
+        self.pager = Pager(page_size=page_size, pool_pages=pool_pages, stats=self.stats)
+        self.catalog = Catalog(self.pager)
+        self._documents: Dict[str, StoredDocument] = {}
+
+    def store_document(
+        self,
+        name: str,
+        tree: XmlTree,
+        labeling: Labeling,
+        partition_by_area: bool = False,
+    ) -> StoredDocument:
+        """Shred *tree* under *labeling* into tables."""
+        if name in self._documents:
+            raise StorageError(f"document {name!r} already stored")
+        document = StoredDocument(
+            name, tree, labeling, self.catalog, partition_by_area=partition_by_area
+        )
+        self._documents[name] = document
+        return document
+
+    def document(self, name: str) -> StoredDocument:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise StorageError(f"no document named {name!r}") from None
+
+    def io_snapshot(self) -> Dict[str, int]:
+        return self.stats.snapshot()
+
+    def io_delta(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        return self.stats.delta_since(earlier)
+
+    def __repr__(self) -> str:
+        return f"<XmlDatabase documents={len(self._documents)} {self.stats!r}>"

@@ -1,0 +1,172 @@
+"""Federated deployment simulation — the paper's §4 distribution claim.
+
+"We believe that this property enables management of various data
+sources scattered over several sites on a network." The enabling
+property is that the coordinator needs only the *global parameters*
+(κ and table K, a few KB) to do structural reasoning; node content
+lives wherever its UID-local area was placed.
+
+:class:`FederatedDocument` places each area on one of N sites, keeps a
+:class:`~repro.core.persist.GlobalParameters` replica at the
+coordinator, and counts the network messages each operation costs —
+the measurable consequence of label arithmetic being site-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.labels import Ruid2Label
+from repro.core.persist import GlobalParameters, dump_parameters, load_parameters
+from repro.core.ruid import Ruid2Labeling
+from repro.errors import StorageError, UnknownLabelError
+from repro.query.synopsis import TagAreaSynopsis
+from repro.xmltree.node import XmlNode
+
+
+@dataclass
+class Site:
+    """One storage site: the areas it owns and its node rows."""
+
+    name: str
+    areas: List[int] = field(default_factory=list)
+    #: (global, local, flag) key → (tag, kind, text)
+    rows: Dict[Tuple[int, int, bool], Tuple[str, str, Optional[str]]] = field(
+        default_factory=dict
+    )
+    messages_received: int = 0
+
+    def store(self, label: Ruid2Label, node: XmlNode) -> None:
+        self.rows[label.as_tuple()] = (node.tag, node.kind.value, node.text)
+
+    def fetch(self, label: Ruid2Label) -> Tuple[str, str, Optional[str]]:
+        self.messages_received += 1
+        try:
+            return self.rows[label.as_tuple()]
+        except KeyError:
+            raise UnknownLabelError(f"site {self.name}: no row for {label}") from None
+
+    def rows_with_tag(self, tag: str) -> List[Tuple[Ruid2Label, Tuple]]:
+        self.messages_received += 1
+        return [
+            (Ruid2Label(*key), row)
+            for key, row in self.rows.items()
+            if row[0] == tag
+        ]
+
+
+class FederatedDocument:
+    """A labeled document scattered over N sites by UID-local area.
+
+    Placement is controlled by *placement*: a callable mapping an area
+    global index to a site index (defaults to round-robin over the
+    frame's document order, which keeps sibling areas spread out).
+    """
+
+    def __init__(
+        self,
+        labeling: Ruid2Labeling,
+        site_count: int = 3,
+        placement: Optional[Callable[[int], int]] = None,
+    ):
+        if site_count < 1:
+            raise StorageError("need at least one site")
+        self.sites = [Site(f"site{i}") for i in range(site_count)]
+        # Coordinator state: the serialized global parameters — exactly
+        # what the paper says must be "loaded into the main memory".
+        self.parameters: GlobalParameters = load_parameters(dump_parameters(labeling))
+        self.synopsis = TagAreaSynopsis(labeling)
+        self._site_of_area: Dict[int, int] = {}
+
+        area_globals = [
+            labeling.global_of_area_root(root)
+            for root in labeling.frame.frame_preorder()
+        ]
+        for position, area in enumerate(area_globals):
+            site_index = placement(area) if placement else position % site_count
+            if not 0 <= site_index < site_count:
+                raise StorageError(f"placement sent area {area} to bad site {site_index}")
+            self._site_of_area[area] = site_index
+            self.sites[site_index].areas.append(area)
+
+        for node, label in labeling.items():
+            self.sites[self._site_of_area[label.global_index]].store(label, node)
+
+    # ------------------------------------------------------------------
+    @property
+    def coordinator_bytes(self) -> int:
+        """Main-memory footprint of the coordinator's replica."""
+        return self.parameters.memory_bytes()
+
+    def site_of(self, label: Ruid2Label) -> Site:
+        try:
+            return self.sites[self._site_of_area[label.global_index]]
+        except KeyError:
+            raise UnknownLabelError(f"no site owns area {label.global_index}") from None
+
+    def total_messages(self) -> int:
+        return sum(site.messages_received for site in self.sites)
+
+    def reset_messages(self) -> None:
+        for site in self.sites:
+            site.messages_received = 0
+
+    # ------------------------------------------------------------------
+    # Operations (each returns (result, messages_used))
+    # ------------------------------------------------------------------
+    def fetch(self, label: Ruid2Label) -> Tuple[Tuple, int]:
+        """One row fetch: a single message to the owning site."""
+        before = self.total_messages()
+        row = self.site_of(label).fetch(label)
+        return row, self.total_messages() - before
+
+    def fetch_parent(self, label: Ruid2Label) -> Tuple[Tuple, int]:
+        """Parent row: the coordinator computes the parent label with
+        zero messages (Fig. 6 arithmetic on its κ/K replica), then one
+        fetch."""
+        before = self.total_messages()
+        parent_label = self.parameters.parent(label)
+        row = self.site_of(parent_label).fetch(parent_label)
+        return row, self.total_messages() - before
+
+    def ancestry_check(self, candidate: Ruid2Label, label: Ruid2Label) -> Tuple[bool, int]:
+        """Ancestor test: **zero** messages — pure coordinator arithmetic."""
+        before = self.total_messages()
+        answer = self.parameters.is_ancestor(candidate, label)
+        return answer, self.total_messages() - before
+
+    def find_tag(self, tag: str, routed: bool = True) -> Tuple[List, int]:
+        """Tag search. Routed mode consults only the sites owning areas
+        the synopsis admits; broadcast mode asks every site."""
+        before = self.total_messages()
+        if routed:
+            target_sites = sorted(
+                {self._site_of_area[a] for a in self.synopsis.areas_for(tag)}
+            )
+        else:
+            target_sites = range(len(self.sites))
+        matches: List = []
+        for index in target_sites:
+            matches.extend(self.sites[index].rows_with_tag(tag))
+        matches = self._document_sorted(matches)
+        return matches, self.total_messages() - before
+
+    def _document_sorted(self, matches: List) -> List:
+        labels = [pair[0] for pair in matches]
+        ordered = self.parameters.sort(labels)
+        rank = {label: index for index, label in enumerate(ordered)}
+        return sorted(matches, key=lambda pair: rank[pair[0]])
+
+    def site_loads(self) -> List[Tuple[str, int, int]]:
+        """(site, areas, rows) distribution summary."""
+        return [
+            (site.name, len(site.areas), len(site.rows)) for site in self.sites
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<FederatedDocument sites={len(self.sites)} "
+            f"areas={len(self._site_of_area)} "
+            f"coordinator={self.coordinator_bytes}B>"
+        )

@@ -1,0 +1,210 @@
+"""Slotted-page heap file for variable-length records.
+
+Records are byte strings addressed by a :class:`Rid` (page id, slot).
+Pages use the classic slotted layout: a slot directory growing from
+the header and record bytes growing from the end of the page. Deleted
+slots become tombstones (marked by record offset 0 — impossible for a
+live record, whose bytes always sit above the header); their space is
+reclaimed by per-page compaction, and a free-space map lets inserts
+first-fit into earlier pages.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PageOverflowError, StorageError
+from repro.storage.pager import Page, Pager
+
+_PAGE_HEADER = struct.Struct(">HH")  # slot count, free-space offset
+_SLOT = struct.Struct(">HH")  # record offset (0 = tombstone), record length
+_TOMBSTONE_OFFSET = 0
+
+
+@dataclass(frozen=True, order=True)
+class Rid:
+    """Record identifier: (page id, slot index)."""
+
+    page_id: int
+    slot: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.page_id, self.slot)
+
+
+class HeapFile:
+    """A record store with slot reuse and first-fit page selection."""
+
+    def __init__(self, pager: Pager):
+        self.pager = pager
+        self._page_ids: List[int] = []
+        #: conservative free-byte estimate per page (header excluded)
+        self._free_bytes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> Rid:
+        """Store *record*, returning its Rid."""
+        needed = len(record) + _SLOT.size
+        if needed > self.pager.page_size - _PAGE_HEADER.size:
+            raise PageOverflowError(
+                f"record of {len(record)} bytes exceeds page capacity"
+            )
+        for page_id in self._candidate_pages(needed):
+            page = self.pager.read(page_id)
+            rid = self._try_insert(page, record)
+            if rid is not None:
+                return rid
+            self._free_bytes[page_id] = self._measure_free(page)
+        page = self.pager.allocate()
+        _PAGE_HEADER.pack_into(page.data, 0, 0, self.pager.page_size)
+        self.pager.mark_dirty(page)
+        self._page_ids.append(page.page_id)
+        self._free_bytes[page.page_id] = self.pager.page_size - _PAGE_HEADER.size
+        rid = self._try_insert(page, record)
+        if rid is None:  # pragma: no cover - guarded by the size check
+            raise StorageError("fresh page rejected a record")
+        return rid
+
+    def _candidate_pages(self, needed: int) -> List[int]:
+        """Pages whose free estimate can host the record, last first
+        (the most recently used page is the usual winner)."""
+        return [
+            page_id
+            for page_id in reversed(self._page_ids)
+            if self._free_bytes.get(page_id, 0) >= needed
+        ]
+
+    @staticmethod
+    def _measure_free(page: Page) -> int:
+        slot_count, free_offset = _PAGE_HEADER.unpack_from(page.data, 0)
+        live_bytes = 0
+        tombstones = 0
+        for index in range(slot_count):
+            offset, length = _SLOT.unpack_from(
+                page.data, _PAGE_HEADER.size + index * _SLOT.size
+            )
+            if offset == _TOMBSTONE_OFFSET:
+                tombstones += 1
+            else:
+                live_bytes += length
+        directory = _PAGE_HEADER.size + slot_count * _SLOT.size
+        # After compaction the reusable space is everything that is not
+        # header, live directory entries, or live record bytes; a
+        # tombstone's directory entry is reusable for the next record.
+        total = len(page.data)
+        return total - directory - live_bytes + tombstones * _SLOT.size
+
+    def _try_insert(self, page: Page, record: bytes) -> Optional[Rid]:
+        slot_count, free_offset = _PAGE_HEADER.unpack_from(page.data, 0)
+        directory_end = _PAGE_HEADER.size + slot_count * _SLOT.size
+        slot_index = self._find_tombstone(page, slot_count)
+        extra_slot = _SLOT.size if slot_index is None else 0
+        if free_offset - directory_end < len(record) + extra_slot:
+            self._compact(page)
+            slot_count, free_offset = _PAGE_HEADER.unpack_from(page.data, 0)
+            directory_end = _PAGE_HEADER.size + slot_count * _SLOT.size
+            slot_index = self._find_tombstone(page, slot_count)
+            extra_slot = _SLOT.size if slot_index is None else 0
+            if free_offset - directory_end < len(record) + extra_slot:
+                return None
+        if slot_index is None:
+            slot_index = slot_count
+            slot_count += 1
+        record_offset = free_offset - len(record)
+        page.data[record_offset:free_offset] = record
+        _SLOT.pack_into(
+            page.data,
+            _PAGE_HEADER.size + slot_index * _SLOT.size,
+            record_offset,
+            len(record),
+        )
+        _PAGE_HEADER.pack_into(page.data, 0, slot_count, record_offset)
+        self.pager.mark_dirty(page)
+        self._free_bytes[page.page_id] = self._measure_free(page)
+        return Rid(page.page_id, slot_index)
+
+    @staticmethod
+    def _find_tombstone(page: Page, slot_count: int) -> Optional[int]:
+        for index in range(slot_count):
+            offset, _ = _SLOT.unpack_from(
+                page.data, _PAGE_HEADER.size + index * _SLOT.size
+            )
+            if offset == _TOMBSTONE_OFFSET:
+                return index
+        return None
+
+    def _compact(self, page: Page) -> None:
+        """Slide live records to the end of the page, squeezing out the
+        holes left by deletions."""
+        slot_count, _free_offset = _PAGE_HEADER.unpack_from(page.data, 0)
+        live: List[Tuple[int, bytes]] = []
+        for index in range(slot_count):
+            offset, length = _SLOT.unpack_from(
+                page.data, _PAGE_HEADER.size + index * _SLOT.size
+            )
+            if offset != _TOMBSTONE_OFFSET:
+                live.append((index, bytes(page.data[offset : offset + length])))
+        write_offset = self.pager.page_size
+        for index, record in live:
+            write_offset -= len(record)
+            page.data[write_offset : write_offset + len(record)] = record
+            _SLOT.pack_into(
+                page.data, _PAGE_HEADER.size + index * _SLOT.size, write_offset, len(record)
+            )
+        _PAGE_HEADER.pack_into(page.data, 0, slot_count, write_offset)
+        self.pager.mark_dirty(page)
+
+    # ------------------------------------------------------------------
+    def _read_slot(self, page: Page, slot: int) -> Tuple[int, int]:
+        slot_count, _ = _PAGE_HEADER.unpack_from(page.data, 0)
+        if slot >= slot_count:
+            raise StorageError(f"slot {slot} out of range on page {page.page_id}")
+        return _SLOT.unpack_from(page.data, _PAGE_HEADER.size + slot * _SLOT.size)
+
+    def get(self, rid: Rid) -> bytes:
+        """Fetch the record at *rid*."""
+        page = self.pager.read(rid.page_id)
+        offset, length = self._read_slot(page, rid.slot)
+        if offset == _TOMBSTONE_OFFSET:
+            raise StorageError(f"rid {rid} was deleted")
+        return bytes(page.data[offset : offset + length])
+
+    def delete(self, rid: Rid) -> None:
+        """Tombstone the record at *rid*."""
+        page = self.pager.read(rid.page_id)
+        offset, _length = self._read_slot(page, rid.slot)
+        if offset == _TOMBSTONE_OFFSET:
+            raise StorageError(f"rid {rid} was already deleted")
+        _SLOT.pack_into(
+            page.data,
+            _PAGE_HEADER.size + rid.slot * _SLOT.size,
+            _TOMBSTONE_OFFSET,
+            0,
+        )
+        self.pager.mark_dirty(page)
+        self._free_bytes[rid.page_id] = self._measure_free(page)
+
+    def update(self, rid: Rid, record: bytes) -> Rid:
+        """Replace the record; may move it (returns the new Rid)."""
+        self.delete(rid)
+        return self.insert(record)
+
+    def scan(self) -> Iterator[Tuple[Rid, bytes]]:
+        """All live records in file order."""
+        for page_id in self._page_ids:
+            page = self.pager.read(page_id)
+            slot_count, _ = _PAGE_HEADER.unpack_from(page.data, 0)
+            for slot in range(slot_count):
+                offset, length = _SLOT.unpack_from(
+                    page.data, _PAGE_HEADER.size + slot * _SLOT.size
+                )
+                if offset != _TOMBSTONE_OFFSET:
+                    yield Rid(page_id, slot), bytes(page.data[offset : offset + length])
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def __repr__(self) -> str:
+        return f"<HeapFile pages={len(self._page_ids)}>"

@@ -1,0 +1,76 @@
+"""I/O accounting.
+
+The paper's systems argument is *where* computation happens: rUID's
+parent/axis arithmetic runs in main memory, while interval/position
+schemes must consult disk-resident indexes (§2.2, §5 observation 2).
+:class:`IoStats` is the ledger every storage component charges, so
+experiments report disk reads/writes alongside wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class IoStats:
+    """Counters for simulated disk traffic and buffer-pool behaviour."""
+
+    disk_reads: int = 0
+    disk_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    evictions: int = 0
+
+    def record_hit(self) -> None:
+        self.buffer_hits += 1
+
+    def record_miss(self) -> None:
+        self.buffer_misses += 1
+        self.disk_reads += 1
+
+    def record_write(self) -> None:
+        self.disk_writes += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    @property
+    def total_io(self) -> int:
+        """Physical page transfers (reads + writes)."""
+        return self.disk_reads + self.disk_writes
+
+    @property
+    def hit_ratio(self) -> float:
+        accesses = self.buffer_hits + self.buffer_misses
+        if not accesses:
+            return 1.0
+        return self.buffer_hits / accesses
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "disk_reads": self.disk_reads,
+            "disk_writes": self.disk_writes,
+            "buffer_hits": self.buffer_hits,
+            "buffer_misses": self.buffer_misses,
+            "evictions": self.evictions,
+        }
+
+    def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Difference between now and an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}
+
+    def reset(self) -> None:
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<IoStats reads={self.disk_reads} writes={self.disk_writes} "
+            f"hit_ratio={self.hit_ratio:.2f}>"
+        )

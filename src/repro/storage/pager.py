@@ -1,0 +1,132 @@
+"""Paged storage with an LRU buffer pool.
+
+The "disk" is an in-process page store (a dict of immutable byte
+blocks); every page access goes through the buffer pool and is charged
+to :class:`~repro.storage.iostats.IoStats`. This is the substitution
+documented in DESIGN.md for the paper's RDBMS: what the experiments
+need is the *count* of page transfers, not a physical spindle.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.errors import StorageError
+from repro.storage.iostats import IoStats
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class Page:
+    """A mutable page held in the buffer pool."""
+
+    __slots__ = ("page_id", "data", "dirty")
+
+    def __init__(self, page_id: int, data: bytearray):
+        self.page_id = page_id
+        self.data = data
+        self.dirty = False
+
+    def __repr__(self) -> str:
+        return f"<Page {self.page_id}{' dirty' if self.dirty else ''}>"
+
+
+class Pager:
+    """Allocates pages, caches them LRU, and counts the traffic.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page; every page has exactly this size.
+    pool_pages:
+        Buffer-pool capacity in pages. Accesses beyond the pool evict
+        the least recently used page (writing it back if dirty).
+    stats:
+        Shared :class:`IoStats` ledger; a fresh one is created if not
+        supplied.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pool_pages: int = 64,
+        stats: Optional[IoStats] = None,
+    ):
+        if page_size < 64:
+            raise StorageError(f"page size {page_size} too small")
+        if pool_pages < 1:
+            raise StorageError("buffer pool needs at least one page")
+        self.page_size = page_size
+        self.pool_pages = pool_pages
+        self.stats = stats if stats is not None else IoStats()
+        self._disk: Dict[int, bytes] = {}
+        self._pool: "OrderedDict[int, Page]" = OrderedDict()
+        self._next_page_id = 0
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> Page:
+        """Allocate a fresh zeroed page (counts as a buffered write)."""
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        page = Page(page_id, bytearray(self.page_size))
+        page.dirty = True
+        self._disk[page_id] = bytes(self.page_size)
+        self._admit(page)
+        return page
+
+    def read(self, page_id: int) -> Page:
+        """Fetch a page through the buffer pool."""
+        page = self._pool.get(page_id)
+        if page is not None:
+            self._pool.move_to_end(page_id)
+            self.stats.record_hit()
+            return page
+        try:
+            raw = self._disk[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} was never allocated") from None
+        self.stats.record_miss()
+        page = Page(page_id, bytearray(raw))
+        self._admit(page)
+        return page
+
+    def mark_dirty(self, page: Page) -> None:
+        """Record that the caller mutated the page's bytes."""
+        page.dirty = True
+
+    def flush(self) -> None:
+        """Write back every dirty pooled page."""
+        for page in self._pool.values():
+            if page.dirty:
+                self._write_back(page)
+
+    # ------------------------------------------------------------------
+    def _admit(self, page: Page) -> None:
+        while len(self._pool) >= self.pool_pages:
+            _evicted_id, evicted = self._pool.popitem(last=False)
+            self.stats.record_eviction()
+            if evicted.dirty:
+                self._write_back(evicted)
+        self._pool[page.page_id] = page
+
+    def _write_back(self, page: Page) -> None:
+        self._disk[page.page_id] = bytes(page.data)
+        page.dirty = False
+        self.stats.record_write()
+
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Total pages ever allocated."""
+        return self._next_page_id
+
+    def disk_bytes(self) -> int:
+        """Size of the simulated disk image."""
+        return len(self._disk) * self.page_size
+
+    def __repr__(self) -> str:
+        return (
+            f"<Pager pages={self.page_count} pooled={len(self._pool)}/"
+            f"{self.pool_pages} page_size={self.page_size}>"
+        )

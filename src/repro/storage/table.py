@@ -1,0 +1,220 @@
+"""Typed tables over the heap file + B+-tree substrate.
+
+A :class:`Table` stores tuples described by a :class:`Schema`, keeps a
+unique primary-key index, and supports additional secondary indexes
+(implemented as unique composite-key B+-trees whose key appends the
+Rid, the standard trick that makes duplicates unique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import DuplicateKeyError, StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.codec import decode_key, decode_value, encode_key, encode_value
+from repro.storage.heapfile import HeapFile, Rid
+from repro.storage.pager import Pager
+
+Row = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and an advisory kind tag."""
+
+    name: str
+    kind: str = "any"  # int | str | bool | bytes | any
+
+    _CHECKS = {
+        "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "str": lambda v: isinstance(v, str),
+        "bool": lambda v: isinstance(v, bool),
+        "bytes": lambda v: isinstance(v, bytes),
+        "any": lambda v: True,
+    }
+
+    def validate(self, value: Any) -> None:
+        if value is None:
+            return  # all columns are nullable
+        check = self._CHECKS.get(self.kind)
+        if check is None:
+            raise StorageError(f"unknown column kind {self.kind!r}")
+        if not check(value):
+            raise StorageError(
+                f"column {self.name!r} expects {self.kind}, got {type(value).__name__}"
+            )
+
+
+class Schema:
+    """Ordered column list with name→position lookup."""
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise StorageError("a schema needs at least one column")
+        self.columns = list(columns)
+        self.position: Dict[str, int] = {}
+        for index, column in enumerate(self.columns):
+            if column.name in self.position:
+                raise StorageError(f"duplicate column {column.name!r}")
+            self.position[column.name] = index
+
+    def validate(self, row: Row) -> None:
+        if len(row) != len(self.columns):
+            raise StorageError(
+                f"row has {len(row)} values, schema has {len(self.columns)} columns"
+            )
+        for column, value in zip(self.columns, row):
+            column.validate(value)
+
+    def project(self, row: Row, names: Sequence[str]) -> Tuple[Any, ...]:
+        return tuple(row[self.position[name]] for name in names)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        return f"<Schema {[c.name for c in self.columns]}>"
+
+
+class _SecondaryIndex:
+    """Composite-key index: encode(col values + rid pair) → b''.
+
+    Appending the Rid makes duplicate column values unique, the
+    standard secondary-index trick.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str], tree: BPlusTree):
+        self.name = name
+        self.columns = list(columns)
+        self.tree = tree
+
+    def key_for(self, values: Tuple[Any, ...], rid: Rid) -> bytes:
+        return encode_key(values + rid.as_tuple())
+
+    def prefix_bounds(self, values: Tuple[Any, ...]) -> Tuple[bytes, bytes]:
+        """Byte range covering every composite key starting with *values*."""
+        prefix = encode_key(values)[:-1]  # keep the start tag, drop the end
+        return prefix, prefix + b"\xff"
+
+    def split(self, flat: Tuple[Any, ...]) -> Tuple[Tuple[Any, ...], Rid]:
+        return flat[: len(self.columns)], Rid(*flat[len(self.columns) :])
+
+
+class Table:
+    """A heap-backed table with a primary key and secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        pager: Pager,
+        primary_key: Sequence[str],
+    ):
+        if not primary_key:
+            raise StorageError("a table needs a primary key")
+        for column in primary_key:
+            if column not in schema.position:
+                raise StorageError(f"primary key column {column!r} not in schema")
+        self.name = name
+        self.schema = schema
+        self.pager = pager
+        self.primary_key = list(primary_key)
+        self.heap = HeapFile(pager)
+        self.pk_index = BPlusTree(pager, unique=True)
+        self.indexes: Dict[str, _SecondaryIndex] = {}
+        self._row_count = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, row: Row) -> Rid:
+        """Insert *row*; duplicate primary keys raise."""
+        self.schema.validate(row)
+        key_values = self.schema.project(row, self.primary_key)
+        key = encode_key(key_values)
+        if self.pk_index.contains(key):
+            raise DuplicateKeyError(
+                f"duplicate primary key {key_values!r} in table {self.name!r}"
+            )
+        rid = self.heap.insert(encode_value(row))
+        self.pk_index.insert(key, encode_value(rid.as_tuple()))
+        for index in self.indexes.values():
+            values = self.schema.project(row, index.columns)
+            index.tree.insert(index.key_for(values, rid), b"")
+        self._row_count += 1
+        return rid
+
+    def get(self, *key_values: Any) -> Optional[Row]:
+        """Row with the given primary-key values, or None."""
+        raw = self.pk_index.get(encode_key(tuple(key_values)))
+        if raw is None:
+            return None
+        rid = Rid(*decode_value(raw))
+        return decode_value(self.heap.get(rid))
+
+    def delete(self, *key_values: Any) -> bool:
+        """Delete by primary key; returns True if a row was removed."""
+        key = encode_key(tuple(key_values))
+        raw = self.pk_index.get(key)
+        if raw is None:
+            return False
+        rid = Rid(*decode_value(raw))
+        row = decode_value(self.heap.get(rid))
+        self.heap.delete(rid)
+        self.pk_index.delete(key)
+        for index in self.indexes.values():
+            values = self.schema.project(row, index.columns)
+            index.tree.delete(index.key_for(values, rid))
+        self._row_count -= 1
+        return True
+
+    def scan(self) -> Iterator[Row]:
+        """All rows in heap order."""
+        for _rid, raw in self.heap.scan():
+            yield decode_value(raw)
+
+    def scan_pk_order(self) -> Iterator[Row]:
+        """All rows in primary-key order (an index-order scan)."""
+        for _key, raw in self.pk_index.items():
+            rid = Rid(*decode_value(raw))
+            yield decode_value(self.heap.get(rid))
+
+    def range_pk(self, low: Optional[Tuple], high: Optional[Tuple]) -> Iterator[Row]:
+        """Rows whose primary key lies in [low, high] (either may be None)."""
+        low_key = encode_key(low) if low is not None else None
+        high_key = encode_key(high) if high is not None else None
+        for _key, raw in self.pk_index.range(low_key, high_key):
+            rid = Rid(*decode_value(raw))
+            yield decode_value(self.heap.get(rid))
+
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, columns: Sequence[str]) -> None:
+        """Build a secondary index over *columns* (backfills existing rows)."""
+        if name in self.indexes:
+            raise StorageError(f"index {name!r} already exists")
+        for column in columns:
+            if column not in self.schema.position:
+                raise StorageError(f"index column {column!r} not in schema")
+        index = _SecondaryIndex(name, columns, BPlusTree(self.pager, unique=True))
+        for rid, raw in self.heap.scan():
+            row = decode_value(raw)
+            values = self.schema.project(row, index.columns)
+            index.tree.insert(index.key_for(values, rid), b"")
+        self.indexes[name] = index
+
+    def lookup(self, index_name: str, *values: Any) -> Iterator[Row]:
+        """Rows matching *values* on the named secondary index."""
+        try:
+            index = self.indexes[index_name]
+        except KeyError:
+            raise StorageError(f"no index {index_name!r} on {self.name!r}") from None
+        low, high = index.prefix_bounds(tuple(values))
+        for key, _ in index.tree.range(low, high):
+            _decoded, rid = index.split(decode_key(key))
+            yield decode_value(self.heap.get(rid))
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name!r} rows={self._row_count}>"

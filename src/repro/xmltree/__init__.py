@@ -1,0 +1,46 @@
+"""XML document-tree substrate: node model, parser, serializer, builders.
+
+Public surface::
+
+    from repro.xmltree import XmlNode, XmlTree, NodeKind, parse, serialize, build
+"""
+
+from repro.xmltree.builder import TreeBuilder, build, build_node, complete_kary_tree
+from repro.xmltree.diff import (
+    EditOp,
+    apply_edit_script,
+    apply_through_labeling,
+    diff_trees,
+)
+from repro.xmltree.etree_adapter import from_etree, to_etree
+from repro.xmltree.node import NodeKind, XmlNode, attribute, comment, element, text
+from repro.xmltree.parser import parse, parse_file
+from repro.xmltree.serializer import serialize, write_file
+from repro.xmltree.stats import TreeStats, compute_stats
+from repro.xmltree.tree import XmlTree
+
+__all__ = [
+    "EditOp",
+    "NodeKind",
+    "TreeBuilder",
+    "apply_edit_script",
+    "apply_through_labeling",
+    "diff_trees",
+    "TreeStats",
+    "XmlNode",
+    "XmlTree",
+    "attribute",
+    "build",
+    "build_node",
+    "comment",
+    "complete_kary_tree",
+    "compute_stats",
+    "element",
+    "from_etree",
+    "parse",
+    "parse_file",
+    "serialize",
+    "text",
+    "to_etree",
+    "write_file",
+]

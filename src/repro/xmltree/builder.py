@@ -1,0 +1,159 @@
+"""Programmatic tree construction helpers.
+
+Two styles are offered:
+
+* :func:`build` — build a tree from a nested-tuple/py-literal spec,
+  handy in tests and for the paper's worked examples;
+* :class:`TreeBuilder` — an imperative push/pop builder matching the
+  event stream of the parser.
+
+Spec grammar for :func:`build`::
+
+    spec  := tag                          # leaf element
+           | (tag, [spec, ...])           # element with children
+           | (tag, {attr: value}, [spec, ...])
+           | ("#text", "content")         # text node
+
+Example
+-------
+>>> tree = build(("a", [("b", ["c", "d"]), "e"]))
+>>> [n.tag for n in tree.preorder()]
+['a', 'b', 'c', 'd', 'e']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import TreeStructureError
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+Spec = Union[str, tuple]
+
+
+def build(spec: Spec) -> XmlTree:
+    """Build an :class:`XmlTree` from a nested spec (see module docs)."""
+    return XmlTree(build_node(spec))
+
+
+def build_node(spec: Spec) -> XmlNode:
+    """Build a single (sub)tree node from a spec."""
+    if isinstance(spec, str):
+        return XmlNode(spec, NodeKind.ELEMENT)
+    if not isinstance(spec, tuple) or not spec:
+        raise TreeStructureError(f"invalid tree spec: {spec!r}")
+
+    tag = spec[0]
+    if not isinstance(tag, str):
+        raise TreeStructureError(f"spec tag must be a string, got {tag!r}")
+
+    if tag == "#text":
+        if len(spec) != 2 or not isinstance(spec[1], str):
+            raise TreeStructureError("#text spec must be ('#text', content)")
+        return XmlNode("#text", NodeKind.TEXT, text=spec[1])
+
+    attributes: Optional[Dict[str, str]] = None
+    children: Sequence[Spec] = ()
+    rest = spec[1:]
+    if len(rest) == 1:
+        if isinstance(rest[0], dict):
+            attributes = rest[0]
+        elif isinstance(rest[0], (list, tuple)):
+            children = rest[0]
+        elif isinstance(rest[0], str):
+            # (tag, "text") shorthand: element with a single text child.
+            node = XmlNode(tag, NodeKind.ELEMENT)
+            node.append_child(XmlNode("#text", NodeKind.TEXT, text=rest[0]))
+            return node
+        else:
+            raise TreeStructureError(f"invalid spec tail for {tag!r}: {rest[0]!r}")
+    elif len(rest) == 2:
+        attributes, children = rest
+        if not isinstance(attributes, dict) or not isinstance(children, (list, tuple)):
+            raise TreeStructureError(f"invalid 3-tuple spec for {tag!r}")
+    elif len(rest) > 2:
+        raise TreeStructureError(f"spec tuple too long for {tag!r}")
+
+    node = XmlNode(tag, NodeKind.ELEMENT, attributes=attributes)
+    for child_spec in children:
+        node.append_child(build_node(child_spec))
+    return node
+
+
+class TreeBuilder:
+    """Imperative builder: ``start(tag)`` / ``text(data)`` / ``end()``.
+
+    >>> b = TreeBuilder()
+    >>> b.start("a"); b.start("b"); b.end(); b.end()
+    >>> tree = b.finish()
+    >>> tree.root.tag
+    'a'
+    """
+
+    def __init__(self):
+        self._root: Optional[XmlNode] = None
+        self._stack: List[XmlNode] = []
+
+    def start(self, tag: str, attributes: Optional[Dict[str, str]] = None) -> XmlNode:
+        """Open an element; it becomes the current insertion point."""
+        node = XmlNode(tag, NodeKind.ELEMENT, attributes=attributes)
+        if self._stack:
+            self._stack[-1].append_child(node)
+        elif self._root is None:
+            self._root = node
+        else:
+            raise TreeStructureError("document already has a root element")
+        self._stack.append(node)
+        return node
+
+    def text(self, data: str) -> XmlNode:
+        """Append a text node under the current element."""
+        if not self._stack:
+            raise TreeStructureError("text outside any element")
+        node = XmlNode("#text", NodeKind.TEXT, text=data)
+        self._stack[-1].append_child(node)
+        return node
+
+    def end(self) -> XmlNode:
+        """Close the current element and return it."""
+        if not self._stack:
+            raise TreeStructureError("end() without a matching start()")
+        return self._stack.pop()
+
+    def element(self, tag: str, attributes: Optional[Dict[str, str]] = None) -> XmlNode:
+        """Convenience: ``start`` + immediate ``end`` (a leaf element)."""
+        node = self.start(tag, attributes)
+        self.end()
+        return node
+
+    def finish(self) -> XmlTree:
+        """Return the built tree; all elements must be closed."""
+        if self._stack:
+            raise TreeStructureError(
+                f"unclosed element <{self._stack[-1].tag}> at finish()"
+            )
+        if self._root is None:
+            raise TreeStructureError("no root element was built")
+        return XmlTree(self._root)
+
+
+def complete_kary_tree(fan_out: int, height: int, tag: str = "n") -> XmlTree:
+    """A complete *fan_out*-ary tree with *height* levels (height >= 1).
+
+    Every node carries the same tag; useful for worst-case UID studies
+    (UID is "tight" exactly on complete k-ary trees).
+    """
+    if fan_out < 0 or height < 1:
+        raise TreeStructureError("need fan_out >= 0 and height >= 1")
+    root = XmlNode(tag, NodeKind.ELEMENT)
+    frontier = [root]
+    for _ in range(height - 1):
+        next_frontier: List[XmlNode] = []
+        for node in frontier:
+            for _ in range(fan_out):
+                child = XmlNode(tag, NodeKind.ELEMENT)
+                node.append_child(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return XmlTree(root)

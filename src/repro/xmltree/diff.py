@@ -1,0 +1,265 @@
+"""Structural diff between two XML trees.
+
+Change management is one of the motivating applications of XML node
+identification (the paper's related work cites the XID-map of Marian
+et al. [8]); what a change manager needs from a numbering scheme is
+cheap relabeling under the edit scripts diffs produce. This module
+computes such scripts: a sequence of subtree inserts and deletes that
+transforms one tree into another, replayable through any scheme's
+``insert``/``delete`` updaters so the relabel cost of realistic
+document evolution can be measured.
+
+The algorithm is a recursive LCS match: children of matched nodes are
+aligned by *signature* (tag + attributes + text, hashed over the whole
+subtree); same-tag pairs whose subtrees differ are matched shallowly
+and recursed into, everything unmatched becomes a delete (old side) or
+an insert (new side). The script is correct by construction — tests
+apply it and compare — though not guaranteed minimal (classic tree
+edit distance is cubic; this is O(n·m) per sibling list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One step of an edit script, positioned by child-ordinal path.
+
+    Paths address the *current* state of the tree being transformed:
+    apply ops strictly in order. ``insert`` carries a subtree spec
+    (produced by :func:`_spec_of`) to materialise; ``patch`` carries a
+    (text, attributes) pair applied in place — only ever emitted for
+    the document root, whose own content cannot be replaced by
+    delete+insert. Patches change no identifiers.
+    """
+
+    kind: str  # "delete" | "insert" | "patch"
+    path: Tuple[int, ...]  # target node (delete/patch) / parent (insert)
+    position: int = 0  # insert position among the parent's children
+    spec: object = None  # subtree to insert / (text, attrs) to patch
+
+
+def _signature(node: XmlNode, memo: Dict[int, int]) -> int:
+    """Order-sensitive hash of a whole subtree."""
+    cached = memo.get(node.node_id)
+    if cached is None:
+        cached = hash(
+            (
+                node.tag,
+                node.kind.value,
+                node.text,
+                tuple(sorted(node.attributes.items())),
+                tuple(_signature(child, memo) for child in node.children),
+            )
+        )
+        memo[node.node_id] = cached
+    return cached
+
+
+def _shallow_key(node: XmlNode) -> Tuple:
+    """Key for non-exact matching: everything except the children.
+
+    Text and attributes are included, so a node whose own content
+    changed is replaced (delete+insert) rather than silently kept —
+    the script stays correct at the cost of coarser granularity.
+    """
+    return (
+        node.tag,
+        node.kind.value,
+        node.text,
+        tuple(sorted(node.attributes.items())),
+    )
+
+
+def _spec_of(node: XmlNode):
+    """Nested-tuple spec of a subtree, materialisable by _build_spec."""
+    return (
+        node.tag,
+        node.kind.value,
+        node.text,
+        tuple(sorted(node.attributes.items())),
+        tuple(_spec_of(child) for child in node.children),
+    )
+
+
+def build_from_spec(spec) -> XmlNode:
+    """Materialise a subtree from a spec produced by the differ."""
+    tag, kind, text, attributes, children = spec
+    node = XmlNode(tag, NodeKind(kind), attributes=dict(attributes), text=text)
+    for child_spec in children:
+        node.append_child(build_from_spec(child_spec))
+    return node
+
+
+def _lcs(keys_old: Sequence, keys_new: Sequence) -> List[Tuple[int, int]]:
+    """Index pairs of a longest common subsequence (monotone on both
+    sides by construction)."""
+    rows, cols = len(keys_old), len(keys_new)
+    table = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for i in range(rows - 1, -1, -1):
+        for j in range(cols - 1, -1, -1):
+            if keys_old[i] == keys_new[j]:
+                table[i][j] = table[i + 1][j + 1] + 1
+            else:
+                table[i][j] = max(table[i + 1][j], table[i][j + 1])
+    pairs: List[Tuple[int, int]] = []
+    i = j = 0
+    while i < rows and j < cols:
+        if keys_old[i] == keys_new[j]:
+            pairs.append((i, j))
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return pairs
+
+
+def _lcs_pairs(
+    old: Sequence[XmlNode],
+    new: Sequence[XmlNode],
+    old_memo: Dict[int, int],
+    new_memo: Dict[int, int],
+) -> List[Tuple[int, int, bool]]:
+    """Two-phase alignment of two sibling lists.
+
+    Phase 1 matches identical subtrees (LCS over full-subtree
+    signatures). Phase 2 aligns the leftovers between consecutive
+    exact matches by an LCS over *shallow* keys — also monotone, so
+    the combined pair list never crosses (survivors keep their
+    relative order, which the insert-position arithmetic relies on).
+    Returns (old index, new index, exact) triples sorted on both sides.
+    """
+    old_keys = [_signature(node, old_memo) for node in old]
+    new_keys = [_signature(node, new_memo) for node in new]
+    exact = [(i, j, True) for i, j in _lcs(old_keys, new_keys)]
+
+    pairs = list(exact)
+    boundaries = [(-1, -1)] + [(i, j) for i, j, _ in exact] + [(len(old), len(new))]
+    for (lo_i, lo_j), (hi_i, hi_j) in zip(boundaries, boundaries[1:]):
+        free_old = list(range(lo_i + 1, hi_i))
+        free_new = list(range(lo_j + 1, hi_j))
+        if not free_old or not free_new:
+            continue
+        shallow = _lcs(
+            [_shallow_key(old[i]) for i in free_old],
+            [_shallow_key(new[j]) for j in free_new],
+        )
+        pairs.extend((free_old[a], free_new[b], False) for a, b in shallow)
+    pairs.sort()
+    return pairs
+
+
+def diff_trees(old: XmlTree, new: XmlTree) -> List[EditOp]:
+    """Edit script transforming *old* into (a structural copy of) *new*.
+
+    Root tags must match (documents with different roots are not
+    edits of each other). The returned ops are valid when applied in
+    order via :func:`apply_edit_script` or through scheme updaters.
+    """
+    ops: List[EditOp] = []
+    old_memo: Dict[int, int] = {}
+    new_memo: Dict[int, int] = {}
+
+    def recurse(old_node: XmlNode, new_node: XmlNode, path: Tuple[int, ...]) -> None:
+        pairs = _lcs_pairs(old_node.children, new_node.children, old_memo, new_memo)
+        matched_old = {i for i, _, _ in pairs}
+        # Deletes, right-to-left so earlier ordinals stay valid.
+        for index in range(len(old_node.children) - 1, -1, -1):
+            if index not in matched_old:
+                ops.append(EditOp("delete", path + (index,)))
+        # After deletions, the surviving old children sit at ordinals
+        # 0..len(pairs)-1 in their original relative order.
+        survivors = sorted(i for i, _, _ in pairs)
+        position_of = {orig: rank for rank, orig in enumerate(survivors)}
+        # Inserts, left-to-right at the *new* (final) positions: when
+        # position j is reached, every earlier new position is already
+        # occupied (either a survivor — relative order preserved by the
+        # monotone match — or a fresh insert), so j is correct as-is.
+        matched_new = {j: i for i, j, _exact in pairs}
+        for j, new_child in enumerate(new_node.children):
+            if j not in matched_new:
+                ops.append(
+                    EditOp("insert", path, position=j, spec=_spec_of(new_child))
+                )
+            else:
+                position_of[matched_new[j]] = j  # the survivor's final slot
+        # Recurse into shallow matches (exact ones are already equal).
+        for i, j, exact in pairs:
+            if not exact:
+                recurse(
+                    old_node.children[i], new_node.children[j], path + (position_of[i],)
+                )
+
+    if old.root.tag != new.root.tag:
+        raise ValueError("cannot diff documents with different root tags")
+    if (old.root.text, old.root.attributes) != (new.root.text, new.root.attributes):
+        ops.append(
+            EditOp(
+                "patch",
+                (),
+                spec=(new.root.text, tuple(sorted(new.root.attributes.items()))),
+            )
+        )
+    recurse(old.root, new.root, ())
+    return ops
+
+
+def apply_edit_script(tree: XmlTree, ops: Sequence[EditOp]) -> XmlTree:
+    """Apply an edit script in place (structure only); returns *tree*."""
+    for op in ops:
+        if op.kind == "delete":
+            tree.delete_subtree(_locate(tree, op.path))
+        elif op.kind == "insert":
+            parent = _locate(tree, op.path)
+            tree.insert_node(parent, op.position, build_from_spec(op.spec))
+        else:  # patch
+            node = _locate(tree, op.path)
+            text, attributes = op.spec
+            node.text = text
+            node.attributes = dict(attributes)
+    return tree
+
+
+def apply_through_labeling(labeling, ops: Sequence[EditOp]) -> List:
+    """Replay an edit script through a scheme labeling's updaters,
+    returning the RelabelReports — the change-management cost metric."""
+    from repro.core.update import RelabelReport
+
+    reports = []
+    tree = labeling.tree
+    for op in ops:
+        if op.kind == "delete":
+            reports.append(labeling.delete(_locate(tree, op.path)))
+        elif op.kind == "insert":
+            parent = _locate(tree, op.path)
+            reports.append(
+                labeling.insert(parent, op.position, build_from_spec(op.spec))
+            )
+        else:  # patch: content only, no identifier changes
+            node = _locate(tree, op.path)
+            text, attributes = op.spec
+            node.text = text
+            node.attributes = dict(attributes)
+            reports.append(
+                RelabelReport(
+                    scheme=labeling.scheme_name,
+                    operation="patch",
+                    surviving_nodes=tree.size(),
+                )
+            )
+    return reports
+
+
+def _locate(tree: XmlTree, path: Tuple[int, ...]) -> XmlNode:
+    node = tree.root
+    for ordinal in path:
+        node = node.children[ordinal]
+    return node

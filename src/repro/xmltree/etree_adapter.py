@@ -1,0 +1,68 @@
+"""Bridge between :class:`~repro.xmltree.tree.XmlTree` and
+:mod:`xml.etree.ElementTree`.
+
+The library's own parser (:mod:`repro.xmltree.parser`) is the default
+substrate, but interoperability with the stdlib DOM is convenient for
+users who already hold ``Element`` objects. Conversion is structural:
+attributes stay in dicts, text/tail become ``#text`` children so that
+document order is preserved.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+
+def from_element(element: ET.Element, keep_whitespace_text: bool = False) -> XmlNode:
+    """Convert an ElementTree element (recursively) to an :class:`XmlNode`."""
+    node = XmlNode(element.tag, NodeKind.ELEMENT, attributes=dict(element.attrib))
+    if element.text and (keep_whitespace_text or element.text.strip()):
+        node.append_child(XmlNode("#text", NodeKind.TEXT, text=element.text))
+    for child in element:
+        node.append_child(from_element(child, keep_whitespace_text))
+        if child.tail and (keep_whitespace_text or child.tail.strip()):
+            node.append_child(XmlNode("#text", NodeKind.TEXT, text=child.tail))
+    return node
+
+
+def from_etree(tree_or_root, keep_whitespace_text: bool = False) -> XmlTree:
+    """Convert an ``ElementTree`` or root ``Element`` to an :class:`XmlTree`."""
+    root = tree_or_root.getroot() if hasattr(tree_or_root, "getroot") else tree_or_root
+    return XmlTree(from_element(root, keep_whitespace_text))
+
+
+def to_element(node: XmlNode) -> ET.Element:
+    """Convert an :class:`XmlNode` subtree to an ElementTree element.
+
+    ``#text`` children are folded back into ``text``/``tail`` strings;
+    materialised attribute nodes are folded into the attribute dict.
+    """
+    element = ET.Element(node.tag, dict(node.attributes))
+    if node.text:
+        element.text = node.text
+    last_child: ET.Element | None = None
+    for child in node.children:
+        if child.kind is NodeKind.TEXT:
+            if last_child is None:
+                element.text = (element.text or "") + (child.text or "")
+            else:
+                last_child.tail = (last_child.tail or "") + (child.text or "")
+        elif child.kind is NodeKind.ATTRIBUTE:
+            element.set(child.tag, child.text or "")
+        elif child.kind is NodeKind.COMMENT:
+            comment = ET.Comment(child.text or "")
+            element.append(comment)
+            last_child = comment
+        else:
+            sub = to_element(child)
+            element.append(sub)
+            last_child = sub
+    return element
+
+
+def to_etree(tree: XmlTree) -> ET.ElementTree:
+    """Convert an :class:`XmlTree` to an ``xml.etree.ElementTree.ElementTree``."""
+    return ET.ElementTree(to_element(tree.root))

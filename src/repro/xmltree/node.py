@@ -1,0 +1,251 @@
+"""Document node model.
+
+An XML document is modelled as a tree of :class:`XmlNode` objects. The
+model is deliberately DOM-like (the paper assumes a DOM parser, section
+4) but trimmed to what numbering schemes care about: element structure,
+attributes, and text content. Attributes and text can optionally be
+*materialised* as child nodes so that schemes which must label every
+addressable item (the paper enumerates "all components of XML document
+trees", section 4) can do so.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TreeStructureError
+
+
+class NodeKind(Enum):
+    """The kind of a document node, mirroring the XPath data model subset."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+    DOCUMENT = "document"  # the virtual node above the root element (XPath '/')
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeKind.{self.name}"
+
+
+_node_counter = itertools.count(1)
+
+
+class XmlNode:
+    """A single node of an XML document tree.
+
+    Parameters
+    ----------
+    tag:
+        Element/attribute name; for text and comment nodes the
+        conventional XPath names ``#text`` / ``#comment`` are used.
+    kind:
+        The :class:`NodeKind` of the node.
+    attributes:
+        Name → value mapping (elements only). Stored as a plain dict;
+        use :meth:`materialise_attributes` on the owning tree to turn
+        them into child nodes when a scheme must label them.
+    text:
+        Character content for TEXT/COMMENT/ATTRIBUTE nodes; for
+        elements this holds the concatenated immediate text, if the
+        builder chose not to materialise text children.
+    """
+
+    __slots__ = (
+        "tag",
+        "kind",
+        "attributes",
+        "text",
+        "parent",
+        "children",
+        "node_id",
+    )
+
+    def __init__(
+        self,
+        tag: str,
+        kind: NodeKind = NodeKind.ELEMENT,
+        attributes: Optional[Dict[str, str]] = None,
+        text: Optional[str] = None,
+    ):
+        self.tag = tag
+        self.kind = kind
+        self.attributes: Dict[str, str] = dict(attributes) if attributes else {}
+        self.text = text
+        self.parent: Optional[XmlNode] = None
+        self.children: List[XmlNode] = []
+        #: Stable per-process identity, independent of any numbering
+        #: scheme; used by labelings as the node key.
+        self.node_id: int = next(_node_counter)
+
+    # ------------------------------------------------------------------
+    # Structure manipulation
+    # ------------------------------------------------------------------
+    def append_child(self, child: "XmlNode") -> "XmlNode":
+        """Attach *child* as the last child of this node and return it."""
+        return self.insert_child(len(self.children), child)
+
+    def insert_child(self, position: int, child: "XmlNode") -> "XmlNode":
+        """Attach *child* at *position* among this node's children.
+
+        Raises
+        ------
+        TreeStructureError
+            If *child* already has a parent or the insertion would
+            create a cycle.
+        """
+        if child.parent is not None:
+            raise TreeStructureError(
+                f"node <{child.tag}> already has a parent <{child.parent.tag}>"
+            )
+        ancestor: Optional[XmlNode] = self
+        while ancestor is not None:
+            if ancestor is child:
+                raise TreeStructureError("insertion would create a cycle")
+            ancestor = ancestor.parent
+        if not 0 <= position <= len(self.children):
+            raise TreeStructureError(
+                f"insert position {position} out of range 0..{len(self.children)}"
+            )
+        self.children.insert(position, child)
+        child.parent = self
+        return child
+
+    def detach(self) -> "XmlNode":
+        """Remove this node (and its subtree) from its parent; return self."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Navigation helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def fan_out(self) -> int:
+        """Number of children."""
+        return len(self.children)
+
+    @property
+    def depth(self) -> int:
+        """Distance to the root; the root has depth 0."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def child_position(self) -> int:
+        """0-based position among siblings; 0 for the root."""
+        if self.parent is None:
+            return 0
+        return self.parent.children.index(self)
+
+    def ancestors(self) -> Iterator["XmlNode"]:
+        """Yield ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["XmlNode"]:
+        """Yield descendants in document (preorder) order, excluding self."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_subtree(self) -> Iterator["XmlNode"]:
+        """Yield this node then its descendants in document order."""
+        yield self
+        yield from self.descendants()
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (including self)."""
+        return sum(1 for _ in self.iter_subtree())
+
+    def following_siblings(self) -> List["XmlNode"]:
+        """Siblings after this node, in document order."""
+        if self.parent is None:
+            return []
+        position = self.child_position()
+        return self.parent.children[position + 1 :]
+
+    def preceding_siblings(self) -> List["XmlNode"]:
+        """Siblings before this node, in document order."""
+        if self.parent is None:
+            return []
+        position = self.child_position()
+        return self.parent.children[:position]
+
+    def is_ancestor_of(self, other: "XmlNode") -> bool:
+        """True iff this node is a proper ancestor of *other*."""
+        return any(anc is self for anc in other.ancestors())
+
+    # ------------------------------------------------------------------
+    # Content helpers
+    # ------------------------------------------------------------------
+    def text_content(self) -> str:
+        """Concatenated text of this node and its descendants."""
+        parts: List[str] = []
+        for node in self.iter_subtree():
+            if node.kind is NodeKind.TEXT and node.text:
+                parts.append(node.text)
+            elif node.kind is NodeKind.ELEMENT and node.text:
+                parts.append(node.text)
+            elif node.kind is NodeKind.ATTRIBUTE and node.text:
+                # Attribute values are not part of element text content.
+                continue
+        return "".join(parts)
+
+    def get(self, attribute: str, default: Optional[str] = None) -> Optional[str]:
+        """Attribute lookup, dict-style."""
+        return self.attributes.get(attribute, default)
+
+    def path(self) -> str:
+        """Simple slash path from the root, e.g. ``/site/people/person``."""
+        parts: List[str] = []
+        node: Optional[XmlNode] = self
+        while node is not None:
+            parts.append(node.tag)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    def __repr__(self) -> str:
+        if self.kind is NodeKind.ELEMENT:
+            return f"<XmlNode element {self.tag!r} children={len(self.children)}>"
+        return f"<XmlNode {self.kind.value} {self.tag!r} text={self.text!r}>"
+
+
+def element(tag: str, attributes: Optional[Dict[str, str]] = None) -> XmlNode:
+    """Convenience constructor for an element node."""
+    return XmlNode(tag, NodeKind.ELEMENT, attributes=attributes)
+
+
+def text(content: str) -> XmlNode:
+    """Convenience constructor for a text node."""
+    return XmlNode("#text", NodeKind.TEXT, text=content)
+
+
+def comment(content: str) -> XmlNode:
+    """Convenience constructor for a comment node."""
+    return XmlNode("#comment", NodeKind.COMMENT, text=content)
+
+
+def attribute(name: str, value: str) -> XmlNode:
+    """Convenience constructor for a materialised attribute node."""
+    return XmlNode(name, NodeKind.ATTRIBUTE, text=value)

@@ -1,0 +1,381 @@
+"""A from-scratch XML parser.
+
+The parser implements the subset of XML 1.0 needed for document trees:
+elements, attributes, character data, CDATA sections, comments,
+processing instructions, the XML declaration, a DOCTYPE skip, and the
+five predefined entities plus numeric character references.
+
+It is written as a hand-rolled single-pass scanner producing events,
+with a small DOM builder on top — no dependency on ``xml.etree``. The
+paper's experiments assume a DOM parser (section 4); this module is that
+substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import XmlSyntaxError
+from repro.xmltree.node import NodeKind, XmlNode
+from repro.xmltree.tree import XmlTree
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:-."
+
+
+class EventKind(Enum):
+    """Kinds of low-level parse events."""
+
+    START_ELEMENT = "start"
+    END_ELEMENT = "end"
+    TEXT = "text"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "pi"
+
+
+@dataclass
+class ParseEvent:
+    """A single event from the streaming scanner."""
+
+    kind: EventKind
+    name: str = ""
+    attributes: Optional[Dict[str, str]] = None
+    text: str = ""
+    line: int = 0
+    column: int = 0
+
+
+class _Scanner:
+    """Character-level cursor with line/column tracking."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.source)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def advance(self, count: int = 1) -> str:
+        consumed = self.source[self.position : self.position + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return consumed
+
+    def startswith(self, prefix: str) -> bool:
+        return self.source.startswith(prefix, self.position)
+
+    def consume(self, literal: str) -> None:
+        if not self.startswith(literal):
+            self.error(f"expected {literal!r}")
+        self.advance(len(literal))
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.peek() in " \t\r\n":
+            self.advance()
+
+    def read_until(self, terminator: str) -> str:
+        index = self.source.find(terminator, self.position)
+        if index < 0:
+            self.error(f"unterminated construct, expected {terminator!r}")
+        content = self.source[self.position : index]
+        self.advance(index - self.position)
+        self.advance(len(terminator))
+        return content
+
+    def error(self, message: str) -> None:
+        raise XmlSyntaxError(message, self.line, self.column)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+def _read_name(scanner: _Scanner) -> str:
+    if not _is_name_start(scanner.peek()):
+        scanner.error(f"expected a name, found {scanner.peek()!r}")
+    start = scanner.position
+    scanner.advance()
+    while not scanner.at_end() and _is_name_char(scanner.peek()):
+        scanner.advance()
+    return scanner.source[start : scanner.position]
+
+
+def decode_entities(raw: str, scanner: Optional[_Scanner] = None) -> str:
+    """Replace predefined entities and character references in *raw*."""
+    if "&" not in raw:
+        return raw
+    parts: List[str] = []
+    index = 0
+    while index < len(raw):
+        amp = raw.find("&", index)
+        if amp < 0:
+            parts.append(raw[index:])
+            break
+        parts.append(raw[index:amp])
+        semi = raw.find(";", amp + 1)
+        if semi < 0:
+            _entity_error("unterminated entity reference", scanner)
+        name = raw[amp + 1 : semi]
+        parts.append(_decode_entity(name, scanner))
+        index = semi + 1
+    return "".join(parts)
+
+
+def _decode_entity(name: str, scanner: Optional[_Scanner]) -> str:
+    if name.startswith("#x") or name.startswith("#X"):
+        try:
+            return chr(int(name[2:], 16))
+        except ValueError:
+            _entity_error(f"bad hex character reference &{name};", scanner)
+    if name.startswith("#"):
+        try:
+            return chr(int(name[1:]))
+        except ValueError:
+            _entity_error(f"bad character reference &{name};", scanner)
+    if name in _PREDEFINED_ENTITIES:
+        return _PREDEFINED_ENTITIES[name]
+    _entity_error(f"unknown entity &{name};", scanner)
+    return ""  # unreachable
+
+
+def _entity_error(message: str, scanner: Optional[_Scanner]) -> None:
+    if scanner is not None:
+        scanner.error(message)
+    raise XmlSyntaxError(message)
+
+
+def _read_attributes(scanner: _Scanner) -> Dict[str, str]:
+    attributes: Dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/", "?", ""):
+            return attributes
+        name = _read_name(scanner)
+        scanner.skip_whitespace()
+        scanner.consume("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            scanner.error("attribute value must be quoted")
+        scanner.advance()
+        value = scanner.read_until(quote)
+        if "<" in value:
+            scanner.error("'<' is not allowed in attribute values")
+        if name in attributes:
+            scanner.error(f"duplicate attribute {name!r}")
+        attributes[name] = decode_entities(value, scanner)
+
+
+def iter_events(source: str) -> Iterator[ParseEvent]:
+    """Stream :class:`ParseEvent` objects from XML *source* text.
+
+    The stream is well-formedness checked as far as tag balance and
+    single-root structure go; content outside the root must be
+    whitespace, comments or PIs.
+    """
+    scanner = _Scanner(source)
+    open_tags: List[str] = []
+    seen_root = False
+
+    # Optional XML declaration.
+    if scanner.startswith("<?xml"):
+        scanner.read_until("?>")
+
+    while not scanner.at_end():
+        if scanner.peek() != "<":
+            start_line, start_col = scanner.line, scanner.column
+            index = scanner.source.find("<", scanner.position)
+            if index < 0:
+                index = len(scanner.source)
+            raw = scanner.source[scanner.position : index]
+            scanner.advance(index - scanner.position)
+            if open_tags:
+                yield ParseEvent(
+                    EventKind.TEXT,
+                    text=decode_entities(raw, scanner),
+                    line=start_line,
+                    column=start_col,
+                )
+            elif raw.strip():
+                raise XmlSyntaxError(
+                    "character data outside the document element",
+                    start_line,
+                    start_col,
+                )
+            continue
+
+        line, column = scanner.line, scanner.column
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            body = scanner.read_until("-->")
+            yield ParseEvent(EventKind.COMMENT, text=body, line=line, column=column)
+        elif scanner.startswith("<![CDATA["):
+            if not open_tags:
+                scanner.error("CDATA outside the document element")
+            scanner.advance(9)
+            body = scanner.read_until("]]>")
+            yield ParseEvent(EventKind.TEXT, text=body, line=line, column=column)
+        elif scanner.startswith("<!DOCTYPE"):
+            _skip_doctype(scanner)
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            body = scanner.read_until("?>")
+            target, _, data = body.partition(" ")
+            yield ParseEvent(
+                EventKind.PROCESSING_INSTRUCTION,
+                name=target,
+                text=data,
+                line=line,
+                column=column,
+            )
+        elif scanner.startswith("</"):
+            scanner.advance(2)
+            name = _read_name(scanner)
+            scanner.skip_whitespace()
+            scanner.consume(">")
+            if not open_tags:
+                raise XmlSyntaxError(f"unexpected closing tag </{name}>", line, column)
+            expected = open_tags.pop()
+            if expected != name:
+                raise XmlSyntaxError(
+                    f"mismatched closing tag </{name}>, expected </{expected}>",
+                    line,
+                    column,
+                )
+            yield ParseEvent(EventKind.END_ELEMENT, name=name, line=line, column=column)
+        else:
+            scanner.advance(1)  # '<'
+            name = _read_name(scanner)
+            attributes = _read_attributes(scanner)
+            scanner.skip_whitespace()
+            if not open_tags:
+                if seen_root:
+                    raise XmlSyntaxError("multiple document elements", line, column)
+                seen_root = True
+            if scanner.startswith("/>"):
+                scanner.advance(2)
+                yield ParseEvent(
+                    EventKind.START_ELEMENT,
+                    name=name,
+                    attributes=attributes,
+                    line=line,
+                    column=column,
+                )
+                yield ParseEvent(EventKind.END_ELEMENT, name=name, line=line, column=column)
+            else:
+                scanner.consume(">")
+                open_tags.append(name)
+                yield ParseEvent(
+                    EventKind.START_ELEMENT,
+                    name=name,
+                    attributes=attributes,
+                    line=line,
+                    column=column,
+                )
+
+    if open_tags:
+        raise XmlSyntaxError(f"unclosed element <{open_tags[-1]}>")
+    if not seen_root:
+        raise XmlSyntaxError("document has no root element")
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE declaration, honouring a bracketed internal subset."""
+    depth = 0
+    while not scanner.at_end():
+        ch = scanner.advance()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return
+    scanner.error("unterminated DOCTYPE")
+
+
+def parse(
+    source: str,
+    keep_whitespace_text: bool = False,
+    keep_comments: bool = False,
+    materialise_text: bool = True,
+) -> XmlTree:
+    """Parse XML *source* text into an :class:`XmlTree`.
+
+    Parameters
+    ----------
+    keep_whitespace_text:
+        Keep text nodes that consist solely of whitespace (defaults to
+        dropping them, the usual choice for data-centric XML).
+    keep_comments:
+        Materialise comments as ``#comment`` nodes.
+    materialise_text:
+        When true (default), character data becomes ``#text`` child
+        nodes; when false it is folded into the parent element's
+        ``text`` attribute (adjacent runs concatenated).
+    """
+    root: Optional[XmlNode] = None
+    stack: List[XmlNode] = []
+
+    for event in iter_events(source):
+        if event.kind is EventKind.START_ELEMENT:
+            node = XmlNode(event.name, NodeKind.ELEMENT, attributes=event.attributes)
+            if stack:
+                stack[-1].append_child(node)
+            else:
+                root = node
+            stack.append(node)
+        elif event.kind is EventKind.END_ELEMENT:
+            stack.pop()
+        elif event.kind is EventKind.TEXT:
+            if not stack:
+                continue
+            if not keep_whitespace_text and not event.text.strip():
+                continue
+            if materialise_text:
+                stack[-1].append_child(XmlNode("#text", NodeKind.TEXT, text=event.text))
+            else:
+                stack[-1].text = (stack[-1].text or "") + event.text
+        elif event.kind is EventKind.COMMENT:
+            if keep_comments and stack:
+                stack[-1].append_child(
+                    XmlNode("#comment", NodeKind.COMMENT, text=event.text)
+                )
+        # Processing instructions are scanned but not materialised: the
+        # numbering experiments never address them.
+
+    assert root is not None  # iter_events guarantees a root
+    return XmlTree(root)
+
+
+def parse_file(path: str, **options) -> XmlTree:
+    """Parse the XML file at *path*; options as for :func:`parse`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), **options)

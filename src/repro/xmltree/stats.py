@@ -1,0 +1,128 @@
+"""Topology statistics for XML trees.
+
+The paper's motivation hinges on tree *shape*: fan-out disparity drives
+UID identifier explosion (section 1), recursion depth drives the
+enumeration capacity argument (observation 1, section 5). This module
+computes the shape descriptors the experiments sweep over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.xmltree.node import NodeKind
+from repro.xmltree.tree import XmlTree
+
+
+@dataclass
+class TreeStats:
+    """Shape summary of a document tree."""
+
+    node_count: int
+    element_count: int
+    text_count: int
+    attribute_count: int
+    height: int
+    max_fan_out: int
+    mean_fan_out: float
+    leaf_count: int
+    internal_count: int
+    fan_out_histogram: Dict[int, int] = field(default_factory=dict)
+    level_widths: List[int] = field(default_factory=list)
+    max_tag_recursion: int = 0
+    distinct_tags: int = 0
+
+    @property
+    def fan_out_disparity(self) -> float:
+        """max fan-out divided by mean fan-out (1.0 = perfectly regular).
+
+        High disparity is exactly the regime where the original UID
+        wastes identifier space on virtual nodes (paper section 3.1).
+        """
+        if self.mean_fan_out == 0:
+            return 0.0
+        return self.max_fan_out / self.mean_fan_out
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict suitable for report tables."""
+        return {
+            "nodes": self.node_count,
+            "height": self.height,
+            "max_fanout": self.max_fan_out,
+            "mean_fanout": round(self.mean_fan_out, 2),
+            "disparity": round(self.fan_out_disparity, 2),
+            "recursion": self.max_tag_recursion,
+            "tags": self.distinct_tags,
+        }
+
+
+def compute_stats(tree: XmlTree) -> TreeStats:
+    """Compute a :class:`TreeStats` summary of *tree* in one pass."""
+    node_count = 0
+    element_count = 0
+    text_count = 0
+    attribute_count = 0
+    leaf_count = 0
+    internal_count = 0
+    fan_out_total = 0
+    max_fan_out = 0
+    histogram: Dict[int, int] = {}
+    tags: set = set()
+    max_recursion = 0
+
+    # Recursion degree: maximum number of same-tag ancestors-or-self on
+    # any root-to-node path ("high degree of recursion", observation 1).
+    def walk(node, tag_counts: Dict[str, int]) -> None:
+        nonlocal node_count, element_count, text_count, attribute_count
+        nonlocal leaf_count, internal_count, fan_out_total, max_fan_out, max_recursion
+        node_count += 1
+        if node.kind is NodeKind.ELEMENT:
+            element_count += 1
+        elif node.kind is NodeKind.TEXT:
+            text_count += 1
+        elif node.kind is NodeKind.ATTRIBUTE:
+            attribute_count += 1
+        tags.add(node.tag)
+        fan_out = len(node.children)
+        if fan_out:
+            internal_count += 1
+            fan_out_total += fan_out
+            histogram[fan_out] = histogram.get(fan_out, 0) + 1
+            if fan_out > max_fan_out:
+                max_fan_out = fan_out
+        else:
+            leaf_count += 1
+        tag_counts[node.tag] = tag_counts.get(node.tag, 0) + 1
+        if tag_counts[node.tag] > max_recursion:
+            max_recursion = tag_counts[node.tag]
+        for child in node.children:
+            walk(child, tag_counts)
+        tag_counts[node.tag] -= 1
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, tree.height() + 100))
+    try:
+        walk(tree.root, {})
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    level_widths = [len(level) for level in tree.levels()]
+    mean_fan_out = fan_out_total / internal_count if internal_count else 0.0
+    return TreeStats(
+        node_count=node_count,
+        element_count=element_count,
+        text_count=text_count,
+        attribute_count=attribute_count,
+        height=len(level_widths),
+        max_fan_out=max_fan_out,
+        mean_fan_out=mean_fan_out,
+        leaf_count=leaf_count,
+        internal_count=internal_count,
+        fan_out_histogram=histogram,
+        level_widths=level_widths,
+        max_tag_recursion=max_recursion,
+        distinct_tags=len(tags),
+    )

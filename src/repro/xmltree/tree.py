@@ -1,0 +1,234 @@
+"""The :class:`XmlTree` document container.
+
+``XmlTree`` wraps a root :class:`~repro.xmltree.node.XmlNode` and offers
+whole-document services that numbering schemes and the query engine rely
+on: document-order traversals, structural queries (LCA, document-order
+comparison), structural editing with notification, and fan-out /
+topology statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import TreeStructureError
+from repro.xmltree.node import NodeKind, XmlNode
+
+
+class XmlTree:
+    """An XML document tree rooted at a single element.
+
+    The tree is an in-memory DOM; all traversals are defined in
+    *document order* (preorder, attributes before children when
+    materialised — the builder controls placement).
+    """
+
+    def __init__(self, root: XmlNode):
+        if root.parent is not None:
+            raise TreeStructureError("tree root must not have a parent")
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def preorder(self) -> Iterator[XmlNode]:
+        """All nodes in document order (root first)."""
+        return self.root.iter_subtree()
+
+    def postorder(self) -> Iterator[XmlNode]:
+        """All nodes in postorder (root last)."""
+        # Iterative postorder: push (node, expanded) pairs.
+        stack: List[Tuple[XmlNode, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+
+    def levelorder(self) -> Iterator[XmlNode]:
+        """All nodes level by level, left to right — the UID visit order."""
+        frontier: List[XmlNode] = [self.root]
+        while frontier:
+            next_frontier: List[XmlNode] = []
+            for node in frontier:
+                yield node
+                next_frontier.extend(node.children)
+            frontier = next_frontier
+
+    def levels(self) -> Iterator[List[XmlNode]]:
+        """Yield the list of nodes of each level, top to bottom."""
+        frontier: List[XmlNode] = [self.root]
+        while frontier:
+            yield frontier
+            frontier = [c for node in frontier for c in node.children]
+
+    def nodes(self) -> List[XmlNode]:
+        """All nodes as a list, in document order."""
+        return list(self.preorder())
+
+    def elements(self) -> Iterator[XmlNode]:
+        """Element nodes only, in document order."""
+        return (n for n in self.preorder() if n.kind is NodeKind.ELEMENT)
+
+    def find_all(self, predicate: Callable[[XmlNode], bool]) -> List[XmlNode]:
+        """All nodes satisfying *predicate*, in document order."""
+        return [n for n in self.preorder() if predicate(n)]
+
+    def find_by_tag(self, tag: str) -> List[XmlNode]:
+        """All nodes whose tag equals *tag*, in document order."""
+        return self.find_all(lambda n: n.tag == tag)
+
+    # ------------------------------------------------------------------
+    # Size / shape queries
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Total number of nodes."""
+        return sum(1 for _ in self.preorder())
+
+    def height(self) -> int:
+        """Number of levels; a single-node tree has height 1."""
+        return sum(1 for _ in self.levels())
+
+    def max_fan_out(self) -> int:
+        """Maximal number of children over all nodes (0 for a leaf-only tree)."""
+        return max((node.fan_out for node in self.preorder()), default=0)
+
+    def fan_out_histogram(self) -> Dict[int, int]:
+        """fan-out value → number of internal nodes with that fan-out."""
+        histogram: Dict[int, int] = {}
+        for node in self.preorder():
+            if node.children:
+                histogram[node.fan_out] = histogram.get(node.fan_out, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Structural relationships
+    # ------------------------------------------------------------------
+    def contains(self, node: XmlNode) -> bool:
+        """True iff *node* belongs to this tree."""
+        current: Optional[XmlNode] = node
+        while current.parent is not None:
+            current = current.parent
+        return current is self.root
+
+    def lowest_common_ancestor(self, first: XmlNode, second: XmlNode) -> XmlNode:
+        """The lowest common ancestor of two nodes of this tree.
+
+        If one node is an ancestor-or-self of the other, that node is
+        returned (consistent with the usual LCA convention; the paper's
+        Fig. 10 routine then reports ``null`` for the preceding test).
+        """
+        first_chain = [first, *first.ancestors()]
+        ancestors_of_first = {id(n) for n in first_chain}
+        current: Optional[XmlNode] = second
+        while current is not None:
+            if id(current) in ancestors_of_first:
+                return current
+            current = current.parent
+        raise TreeStructureError("nodes do not share a root")
+
+    def document_order_index(self) -> Dict[int, int]:
+        """node_id → preorder rank; a fresh snapshot on every call."""
+        return {node.node_id: rank for rank, node in enumerate(self.preorder())}
+
+    def compare_document_order(self, first: XmlNode, second: XmlNode) -> int:
+        """-1/0/+1 as *first* precedes/equals/follows *second* in document order.
+
+        Computed structurally (no global index): walk to the LCA and
+        compare child branches — this is exactly the projection argument
+        of the paper's Lemma 2.
+        """
+        if first is second:
+            return 0
+        lca = self.lowest_common_ancestor(first, second)
+        if lca is first:
+            return -1  # ancestor precedes descendant
+        if lca is second:
+            return 1
+        branch_first = self._child_branch(lca, first)
+        branch_second = self._child_branch(lca, second)
+        pos_first = branch_first.child_position()
+        pos_second = branch_second.child_position()
+        return -1 if pos_first < pos_second else 1
+
+    @staticmethod
+    def _child_branch(ancestor: XmlNode, descendant: XmlNode) -> XmlNode:
+        """The child of *ancestor* on the path to *descendant* (Lemma 2's c1/c2)."""
+        node = descendant
+        while node.parent is not None and node.parent is not ancestor:
+            node = node.parent
+        if node.parent is not ancestor:
+            raise TreeStructureError("descendant does not lie under ancestor")
+        return node
+
+    # ------------------------------------------------------------------
+    # Editing
+    # ------------------------------------------------------------------
+    def insert_node(
+        self, parent: XmlNode, position: int, node: XmlNode
+    ) -> XmlNode:
+        """Insert *node* as child of *parent* at *position* and return it."""
+        if not self.contains(parent):
+            raise TreeStructureError("parent does not belong to this tree")
+        return parent.insert_child(position, node)
+
+    def delete_subtree(self, node: XmlNode) -> List[XmlNode]:
+        """Delete *node* and its subtree; return the removed nodes.
+
+        Node deletion in XML is cascading (paper 3.2): the whole
+        induced subtree goes.
+        """
+        if node is self.root:
+            raise TreeStructureError("cannot delete the document root")
+        if not self.contains(node):
+            raise TreeStructureError("node does not belong to this tree")
+        removed = list(node.iter_subtree())
+        node.detach()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def materialise_attributes(self) -> int:
+        """Convert every element attribute into an ATTRIBUTE child node.
+
+        Attribute children are placed before element children, in
+        attribute-name order (deterministic). Returns the number of
+        nodes created. Existing dict entries are kept (they remain the
+        authoritative value store); materialisation is for schemes that
+        must assign identifiers to attributes (paper section 3.5 lists
+        the ``attribute`` axis).
+        """
+        created = 0
+        for node in list(self.preorder()):
+            if node.kind is not NodeKind.ELEMENT or not node.attributes:
+                continue
+            already = {
+                child.tag
+                for child in node.children
+                if child.kind is NodeKind.ATTRIBUTE
+            }
+            for position, (name, value) in enumerate(sorted(node.attributes.items())):
+                if name in already:
+                    continue
+                attr_node = XmlNode(name, NodeKind.ATTRIBUTE, text=value)
+                node.insert_child(position, attr_node)
+                created += 1
+        return created
+
+    def copy(self) -> "XmlTree":
+        """Deep structural copy (fresh node identities)."""
+
+        def clone(node: XmlNode) -> XmlNode:
+            new = XmlNode(node.tag, node.kind, attributes=node.attributes, text=node.text)
+            for child in node.children:
+                new.append_child(clone(child))
+            return new
+
+        return XmlTree(clone(self.root))
+
+    def __repr__(self) -> str:
+        return f"<XmlTree root={self.root.tag!r} size={self.size()}>"

@@ -1,0 +1,68 @@
+"""Tests for identifier-size analysis (E4/E9 machinery)."""
+
+from repro.analysis import (
+    capacity_grid,
+    measure_bits,
+    ruid_capacity_estimate,
+    sweep_schemes,
+    uid_capacity_height,
+    uid_max_bits,
+)
+from repro.baselines import all_schemes
+from repro.core import Ruid2Scheme, UidScheme
+from repro.generator import skewed_tree
+
+
+class TestMeasureBits:
+    def test_fields(self, small_tree):
+        row = measure_bits(UidScheme().build(small_tree))
+        assert row.scheme == "uid"
+        assert row.nodes == small_tree.size()
+        assert row.max_bits >= row.mean_bits
+        assert row.total_bits >= row.max_bits
+        assert row.fits_32 and row.fits_64 and row.fits_128
+
+    def test_skewed_tree_uid_explodes_ruid_does_not(self):
+        tree = skewed_tree(depth=30, heavy_fan_out=50)
+        uid_row = measure_bits(UidScheme().build(tree))
+        ruid_row = measure_bits(Ruid2Scheme(max_area_size=8).build(tree))
+        assert not uid_row.fits_64  # identifier explosion (paper section 1)
+        assert ruid_row.fits_64
+        assert ruid_row.max_bits < uid_row.max_bits / 3
+
+    def test_sweep_all_schemes(self, small_tree):
+        rows = sweep_schemes(small_tree, all_schemes())
+        assert len(rows) == len(all_schemes())
+        assert len({row.scheme for row in rows}) == len(rows)
+
+    def test_as_row_matches_headers(self, small_tree):
+        from repro.analysis import BIT_SIZE_HEADERS
+
+        row = measure_bits(UidScheme().build(small_tree))
+        assert len(row.as_row()) == len(BIT_SIZE_HEADERS)
+
+
+class TestCapacity:
+    def test_uid_max_bits_monotone(self):
+        bits = [uid_max_bits(5, h) for h in range(1, 12)]
+        assert bits == sorted(bits)
+
+    def test_capacity_height_is_tight(self):
+        budget = 64
+        for fan_out in (2, 5, 16, 100):
+            height = uid_capacity_height(fan_out, budget)
+            assert uid_max_bits(fan_out, height) <= budget
+            assert uid_max_bits(fan_out, height + 1) > budget
+
+    def test_capacity_height_unary(self):
+        # fan-out 1: identifier == height, so 2^32 - 1 levels fit 32 bits
+        assert uid_capacity_height(1, 8) >= 100
+
+    def test_multilevel_multiplies_height(self):
+        assert ruid_capacity_estimate(10, 64, 3) == 3 * uid_capacity_height(10, 64)
+
+    def test_capacity_grid(self):
+        rows = capacity_grid([2, 10], 64, levels=(1, 2))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["height@m=2"] == 2 * row["height@m=1"]

@@ -1,0 +1,50 @@
+"""Tests for table rendering."""
+
+from repro.analysis import format_markdown, format_table, rows_from_dicts
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [("a", 1), ("longer", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "longer" in lines[3]
+
+    def test_title(self):
+        assert format_table(["h"], [("x",)], title="T").splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [(0.123456,), (12345.6,), (0.0,)])
+        assert "0.12" in table
+        assert "0" in table
+
+    def test_bool_formatting(self):
+        table = format_table(["v"], [(True,), (False,)])
+        assert "yes" in table and "no" in table
+
+
+class TestMarkdown:
+    def test_structure(self):
+        markdown = format_markdown(["a", "b"], [(1, 2)])
+        lines = markdown.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestRowsFromDicts:
+    def test_basic(self):
+        headers, rows = rows_from_dicts([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert headers == ("x", "y")
+        assert rows == ((1, 2), (3, 4))
+
+    def test_column_selection(self):
+        headers, rows = rows_from_dicts([{"x": 1, "y": 2}], columns=["y"])
+        assert headers == ("y",)
+        assert rows == ((2,),)
+
+    def test_empty(self):
+        headers, rows = rows_from_dicts([], columns=["a"])
+        assert headers == ("a",)
+        assert rows == ()

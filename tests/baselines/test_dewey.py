@@ -1,0 +1,88 @@
+"""Tests for Dewey-order labeling."""
+
+import pytest
+
+from repro.baselines import DeweyLabeling, DeweyScheme
+from repro.core import Relation
+from repro.errors import NoParentError
+from repro.generator import random_document
+from repro.xmltree import build, element, parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c/><d/></b><e/></a>")
+
+
+class TestBuild:
+    def test_paths(self, tree):
+        labeling = DeweyScheme().build(tree)
+        by_tag = {n.tag: labeling.label_of(n) for n in tree.preorder()}
+        assert by_tag == {"a": (), "b": (1,), "c": (1, 1), "d": (1, 2), "e": (2,)}
+
+    def test_roundtrip(self, tree):
+        labeling = DeweyScheme().build(tree)
+        for node in tree.preorder():
+            assert labeling.node_of(labeling.label_of(node)) is node
+
+
+class TestStructure:
+    def test_parent_drops_last(self, tree):
+        labeling = DeweyScheme().build(tree)
+        assert labeling.parent_label((1, 2)) == (1,)
+        with pytest.raises(NoParentError):
+            labeling.parent_label(())
+
+    def test_relation(self, tree):
+        labeling = DeweyScheme().build(tree)
+        assert labeling.relation((), (1, 2)) is Relation.ANCESTOR
+        assert labeling.relation((1, 2), (1,)) is Relation.DESCENDANT
+        assert labeling.relation((1, 1), (1, 2)) is Relation.PRECEDING
+        assert labeling.relation((2,), (1, 2)) is Relation.FOLLOWING
+        assert labeling.relation((2,), (2,)) is Relation.SELF
+
+    def test_relation_matches_tree(self):
+        tree = random_document(150, seed=51)
+        labeling = DeweyScheme().build(tree)
+        nodes = tree.nodes()
+        for first in nodes[::4]:
+            for second in nodes[::5]:
+                got = labeling.relation(labeling.label_of(first), labeling.label_of(second))
+                if first is second:
+                    assert got is Relation.SELF
+                elif first.is_ancestor_of(second):
+                    assert got is Relation.ANCESTOR
+                elif second.is_ancestor_of(first):
+                    assert got is Relation.DESCENDANT
+                else:
+                    want = tree.compare_document_order(first, second)
+                    assert (got is Relation.PRECEDING) == (want < 0)
+
+
+class TestUpdate:
+    def test_insert_shifts_right_sibling_subtrees(self, tree):
+        labeling = DeweyScheme().build(tree)
+        b = tree.root.children[0]
+        report = labeling.insert(tree.root, 0, element("new"))
+        # b's subtree (3 nodes) and e all shift
+        assert report.relabeled_count == 4
+        assert labeling.label_of(b) == (2,)
+
+    def test_append_is_free(self, tree):
+        labeling = DeweyScheme().build(tree)
+        report = labeling.insert(tree.root, 2, element("tail"))
+        assert report.relabeled_count == 0
+
+    def test_delete(self, tree):
+        labeling = DeweyScheme().build(tree)
+        report = labeling.delete(tree.root.children[0])
+        assert report.deleted_count == 3
+        assert report.relabeled_count == 1  # e shifts left
+
+    def test_bits_grow_with_depth(self):
+        from repro.generator import path_tree
+
+        labeling = DeweyScheme().build(path_tree(64))
+        deepest = max(labeling.tree.preorder(), key=lambda n: n.depth)
+        assert labeling.label_bits(labeling.label_of(deepest)) >= 63
+        assert labeling.label_bits(()) == 1

@@ -1,0 +1,156 @@
+"""Tests for the ORDPATH-style extension baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import OrdpathScheme
+from repro.baselines.ordpath import _between, parent_of
+from repro.core import Relation
+from repro.errors import NoParentError
+from repro.generator import random_document
+from repro.xmltree import element, parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c/><d/></b><e/></a>")
+
+
+class TestBetween:
+    def test_first_child(self):
+        assert _between(None, None) == (1,)
+
+    def test_after_last(self):
+        assert _between((5,), None) == (7,)
+        assert _between((4, 1), None) == (5,)
+
+    def test_before_first(self):
+        assert _between(None, (1,)) == (-1,)
+        assert _between(None, (2, 1)) == (1,)
+
+    def test_adjacent_odds_open_caret(self):
+        assert _between((5,), (7,)) == (6, 1)
+        assert _between((1,), (3,)) == (2, 1)
+
+    def test_wide_gap_picks_odd(self):
+        assert _between((1,), (5,)) == (3,)
+        assert _between((2, 1), (7,)) == (3,)
+
+    def test_shared_head_recursion(self):
+        assert _between((6, 1), (6, 3)) == (6, 2, 1)
+
+    def test_dive_under_continuing_low(self):
+        result = _between((5, 2, 1), (6, 1))
+        assert (5, 2, 1) < result < (6, 1)
+        assert result[-1] % 2 == 1
+
+    def test_dive_under_caret_high(self):
+        result = _between((5,), (6, 3))
+        assert (5,) < result < (6, 3)
+        assert result[-1] % 2 == 1
+
+    @pytest.mark.parametrize("rounds", [200])
+    def test_randomised_midpoint_invariants(self, rounds):
+        rng = random.Random(0)
+        labels = [(1,), (3,)]
+        for _ in range(rounds):
+            index = rng.randrange(len(labels) + 1)
+            low = labels[index - 1] if index > 0 else None
+            high = labels[index] if index < len(labels) else None
+            fresh = _between(low, high)
+            if low is not None:
+                assert fresh > low
+            if high is not None:
+                assert fresh < high
+            assert fresh[-1] % 2 == 1  # ends odd
+            labels.insert(index, fresh)
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+
+
+class TestParentOf:
+    def test_plain(self):
+        assert parent_of((1, 3)) == (1,)
+        assert parent_of((1,)) == ()
+
+    def test_strips_carets(self):
+        assert parent_of((1, 6, 1)) == (1,)
+        assert parent_of((1, 6, 2, 1)) == (1,)
+
+    def test_root_raises(self):
+        with pytest.raises(NoParentError):
+            parent_of(())
+
+
+class TestLabeling:
+    def test_fresh_assignment_odd(self, tree):
+        labeling = OrdpathScheme().build(tree)
+        by_tag = {n.tag: labeling.label_of(n) for n in tree.preorder()}
+        assert by_tag == {"a": (), "b": (1,), "c": (1, 1), "d": (1, 3), "e": (3,)}
+
+    def test_relations_match_tree(self):
+        tree = random_document(150, seed=151)
+        labeling = OrdpathScheme().build(tree)
+        nodes = tree.nodes()
+        for first in nodes[::4]:
+            for second in nodes[::5]:
+                got = labeling.relation(labeling.label_of(first), labeling.label_of(second))
+                if first is second:
+                    assert got is Relation.SELF
+                elif first.is_ancestor_of(second):
+                    assert got is Relation.ANCESTOR
+                elif second.is_ancestor_of(first):
+                    assert got is Relation.DESCENDANT
+                else:
+                    want = tree.compare_document_order(first, second)
+                    assert (got is Relation.PRECEDING) == (want < 0)
+
+    def test_insert_never_relabels(self, tree):
+        labeling = OrdpathScheme().build(tree)
+        b = tree.root.children[0]
+        for step in range(20):
+            report = labeling.insert(b, step % (b.fan_out + 1), element(f"n{step}"))
+            assert report.relabeled_count == 0
+        # structure still fully consistent
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+    def test_adversarial_inserts_grow_label_bits_not_length(self, tree):
+        """Repeated insertion at one gap trades relabels for label
+        growth — the opposite trade from rUID. The midpoint rule is
+        growth-resistant: it extends component *values* (logarithmic
+        bit growth) rather than appending components."""
+        labeling = OrdpathScheme().build(tree)
+        b = tree.root.children[0]
+        initial_widest = max(
+            labeling.label_bits(labeling.label_of(n)) for n in tree.preorder()
+        )
+        last = None
+        for step in range(60):
+            position = (b.children.index(last) + 1) if last is not None else 1
+            last = element(f"g{step}")
+            labeling.insert(b, position, last)
+        widest = max(labeling.label_bits(labeling.label_of(n)) for n in tree.preorder())
+        longest = max(len(labeling.label_of(n)) for n in tree.preorder())
+        assert widest > initial_widest  # bits do grow...
+        assert longest <= 4  # ...but component count stays tiny
+
+    def test_delete_abandons_labels(self, tree):
+        labeling = OrdpathScheme().build(tree)
+        report = labeling.delete(tree.root.children[0])
+        assert report.relabeled_count == 0
+        assert report.deleted_count == 3
+
+    def test_insert_subtree(self, tree):
+        from repro.xmltree import build
+
+        labeling = OrdpathScheme().build(tree)
+        subtree = build(("s", ["t", "u"])).root
+        report = labeling.insert(tree.root, 1, subtree)
+        assert report.inserted_count == 3
+        for node in subtree.iter_subtree():
+            assert labeling.node_of(labeling.label_of(node)) is node

@@ -1,0 +1,64 @@
+"""Tests for position/depth labeling."""
+
+import pytest
+
+from repro.baselines import PosDepthScheme
+from repro.core import Relation
+from repro.errors import NoParentError
+from repro.generator import random_document
+from repro.xmltree import element, parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c/><d/></b><e/></a>")
+
+
+class TestBuild:
+    def test_positions_and_depths(self, tree):
+        labeling = PosDepthScheme().build(tree)
+        by_tag = {n.tag: labeling.label_of(n) for n in tree.preorder()}
+        assert by_tag == {"a": (1, 0), "b": (2, 1), "c": (3, 2), "d": (4, 2), "e": (5, 1)}
+
+
+class TestStructure:
+    def test_relation_charges_probes(self, tree):
+        labeling = PosDepthScheme().build(tree)
+        before = labeling.index_probes
+        assert labeling.relation((1, 0), (3, 2)) is Relation.ANCESTOR
+        assert labeling.index_probes > before
+
+    def test_relation_matches_tree(self):
+        tree = random_document(120, seed=54)
+        labeling = PosDepthScheme().build(tree)
+        nodes = tree.nodes()
+        for first in nodes[::4]:
+            for second in nodes[::3]:
+                got = labeling.relation(labeling.label_of(first), labeling.label_of(second))
+                if first is second:
+                    assert got is Relation.SELF
+                elif first.is_ancestor_of(second):
+                    assert got is Relation.ANCESTOR
+                elif second.is_ancestor_of(first):
+                    assert got is Relation.DESCENDANT
+                else:
+                    want = tree.compare_document_order(first, second)
+                    assert (got is Relation.PRECEDING) == (want < 0)
+
+    def test_parent_matches_tree(self, tree):
+        labeling = PosDepthScheme().build(tree)
+        for node in tree.preorder():
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    labeling.parent_label(labeling.label_of(node))
+            else:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+
+class TestUpdate:
+    def test_insert_shifts_positions(self, tree):
+        labeling = PosDepthScheme().build(tree)
+        report = labeling.insert(tree.root, 0, element("new"))
+        assert report.relabeled_count == 4  # b, c, d, e shift position

@@ -1,0 +1,78 @@
+"""Tests for Dietz pre/post labeling."""
+
+import pytest
+
+from repro.baselines import PrePostScheme
+from repro.core import Relation
+from repro.errors import NoParentError, UnknownLabelError
+from repro.generator import random_document
+from repro.xmltree import element, parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c/><d/></b><e/></a>")
+
+
+class TestBuild:
+    def test_pre_post_ranks(self, tree):
+        labeling = PrePostScheme().build(tree)
+        by_tag = {n.tag: labeling.label_of(n) for n in tree.preorder()}
+        assert by_tag["a"] == (1, 5)
+        assert by_tag["b"] == (2, 3)
+        assert by_tag["c"] == (3, 1)
+        assert by_tag["d"] == (4, 2)
+        assert by_tag["e"] == (5, 4)
+
+
+class TestStructure:
+    def test_dominance_relation(self, tree):
+        labeling = PrePostScheme().build(tree)
+        assert labeling.relation((1, 5), (3, 1)) is Relation.ANCESTOR
+        assert labeling.relation((3, 1), (2, 3)) is Relation.DESCENDANT
+        assert labeling.relation((3, 1), (4, 2)) is Relation.PRECEDING
+        assert labeling.relation((5, 4), (2, 3)) is Relation.FOLLOWING
+
+    def test_parent_needs_index_probes(self, tree):
+        labeling = PrePostScheme().build(tree)
+        assert labeling.parent_needs_index
+        before = labeling.index_probes
+        parent = labeling.parent_label(labeling.label_of(tree.find_by_tag("d")[0]))
+        assert parent == labeling.label_of(tree.find_by_tag("b")[0])
+        assert labeling.index_probes > before
+
+    def test_parent_matches_tree(self):
+        tree = random_document(200, seed=52)
+        labeling = PrePostScheme().build(tree)
+        for node in tree.preorder():
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    labeling.parent_label(labeling.label_of(node))
+            else:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+    def test_unknown_label_raises(self, tree):
+        labeling = PrePostScheme().build(tree)
+        with pytest.raises(UnknownLabelError):
+            labeling.parent_label((99, 99))
+
+
+class TestUpdate:
+    def test_insert_shifts_globally(self, tree):
+        labeling = PrePostScheme().build(tree)
+        report = labeling.insert(tree.root.children[0], 0, element("new"))
+        # c, d, e shift pre; b/a shift post; nearly everything changes
+        assert report.relabeled_count >= 4
+
+    def test_delete(self, tree):
+        labeling = PrePostScheme().build(tree)
+        report = labeling.delete(tree.find_by_tag("c")[0])
+        assert report.deleted_count == 1
+        assert report.relabeled_count >= 2
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )

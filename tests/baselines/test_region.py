@@ -1,0 +1,121 @@
+"""Tests for gapped region (start, end, level) labeling."""
+
+import pytest
+
+from repro.baselines import RegionScheme
+from repro.core import Relation
+from repro.errors import NoParentError
+from repro.generator import random_document
+from repro.xmltree import element, parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c/><d/></b><e/></a>")
+
+
+class TestBuild:
+    def test_intervals_nest(self, tree):
+        labeling = RegionScheme(gap=4).build(tree)
+        for node in tree.preorder():
+            start, end, level = labeling.label_of(node)
+            assert start < end
+            assert level == node.depth
+            for child in node.children:
+                child_start, child_end, _ = labeling.label_of(child)
+                assert start < child_start < child_end < end
+
+    def test_gap_one_is_tight(self, tree):
+        labeling = RegionScheme(gap=1).build(tree)
+        starts_ends = sorted(
+            value
+            for label in labeling.snapshot().values()
+            for value in label[:2]
+        )
+        assert starts_ends == list(range(1, 2 * tree.size() + 1))
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            RegionScheme(gap=0).build(parse("<a/>"))
+
+
+class TestStructure:
+    def test_relation(self, tree):
+        labeling = RegionScheme(gap=2).build(tree)
+        by_tag = {n.tag: labeling.label_of(n) for n in tree.preorder()}
+        assert labeling.relation(by_tag["a"], by_tag["c"]) is Relation.ANCESTOR
+        assert labeling.relation(by_tag["c"], by_tag["d"]) is Relation.PRECEDING
+        assert labeling.relation(by_tag["e"], by_tag["c"]) is Relation.FOLLOWING
+        assert labeling.relation(by_tag["d"], by_tag["b"]) is Relation.DESCENDANT
+
+    def test_parent_via_index(self):
+        tree = random_document(150, seed=53)
+        labeling = RegionScheme(gap=4).build(tree)
+        assert labeling.parent_needs_index
+        for node in tree.preorder():
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    labeling.parent_label(labeling.label_of(node))
+            else:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+        assert labeling.index_probes > 0
+
+
+class TestUpdate:
+    def test_insert_into_gap_is_free(self, tree):
+        labeling = RegionScheme(gap=8).build(tree)
+        report = labeling.insert(tree.root.children[0], 1, element("new"))
+        assert not report.overflow
+        assert report.relabeled_count == 0
+        # the new node's interval nests correctly
+        new = tree.root.children[0].children[1]
+        start, end, level = labeling.label_of(new)
+        parent_start, parent_end, _ = labeling.label_of(tree.root.children[0])
+        assert parent_start < start < end < parent_end
+        assert level == 2
+
+    def test_insert_overflow_when_gaps_exhausted(self, tree):
+        labeling = RegionScheme(gap=1).build(tree)
+        report = labeling.insert(tree.root.children[0], 1, element("new"))
+        assert report.overflow
+        assert report.relabeled_count > 0
+
+    def test_repeated_inserts_eventually_overflow(self, tree):
+        labeling = RegionScheme(gap=4).build(tree)
+        overflows = 0
+        b = tree.root.children[0]
+        for index in range(10):
+            report = labeling.insert(b, 1, element(f"n{index}"))
+            overflows += report.overflow
+        assert overflows >= 1
+        # structure still consistent
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+    def test_delete_abandons_interval(self, tree):
+        labeling = RegionScheme(gap=4).build(tree)
+        report = labeling.delete(tree.root.children[0])
+        assert report.relabeled_count == 0
+        assert report.deleted_count == 3
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+    def test_insert_subtree_into_gap(self, tree):
+        labeling = RegionScheme(gap=16).build(tree)
+        from repro.xmltree import build
+
+        subtree = build(("s", ["t", "u"])).root
+        report = labeling.insert(tree.root, 1, subtree)
+        assert not report.overflow
+        assert report.inserted_count == 3
+        for node in subtree.iter_subtree():
+            start, end, level = labeling.label_of(node)
+            assert start < end

@@ -1,0 +1,55 @@
+"""Tests for the scheme registry."""
+
+import pytest
+
+from repro.baselines import (
+    ARITHMETIC_PARENT,
+    UPDATABLE,
+    all_schemes,
+    get_scheme,
+    scheme_names,
+)
+from repro.core.scheme import NumberingScheme
+
+
+class TestRegistry:
+    def test_names(self):
+        names = scheme_names()
+        assert set(names) == {
+            "uid",
+            "ruid2",
+            "ruid-multi",
+            "dewey",
+            "ordpath",
+            "prepost",
+            "region",
+            "posdepth",
+        }
+
+    def test_get_scheme(self):
+        scheme = get_scheme("ruid2", max_area_size=16)
+        assert isinstance(scheme, NumberingScheme)
+        assert scheme.name == "ruid2"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_scheme("nope")
+
+    def test_all_schemes_with_options(self):
+        schemes = all_schemes(region={"gap": 2})
+        by_name = {s.name: s for s in schemes}
+        assert by_name["region"].gap == 2
+        assert len(schemes) == len(scheme_names())
+
+    def test_groups_are_registered(self):
+        names = set(scheme_names())
+        assert set(UPDATABLE) <= names
+        assert set(ARITHMETIC_PARENT) <= names
+
+    def test_parent_needs_index_flags(self, small_tree):
+        for scheme in all_schemes():
+            labeling = scheme.build(small_tree.copy())
+            if scheme.name in ARITHMETIC_PARENT:
+                assert not labeling.parent_needs_index
+            else:
+                assert labeling.parent_needs_index

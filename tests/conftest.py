@@ -1,0 +1,55 @@
+"""Shared fixtures and an import-path shim.
+
+The shim makes ``pytest`` work even when the package has not been
+installed (no-network environments cannot run PEP-517 editable
+installs; see setup.py).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.generator import generate_dblp, generate_xmark, random_document
+from repro.xmltree import build, parse
+
+
+@pytest.fixture
+def small_tree():
+    """A 9-node mixed-fan-out tree used across unit tests."""
+    return parse("<a><b><c/><c/><c/></b><d><e/><e/></d><f/></a>")
+
+
+@pytest.fixture
+def medium_tree():
+    """A ~500-node random tree (seeded, stable across runs)."""
+    return random_document(500, seed=11, fanout_kind="uniform", low=1, high=6)
+
+
+@pytest.fixture
+def deep_tree():
+    """A recursion-heavy tree: depth 5, breadth 3 (364 nodes)."""
+
+    def rec(depth):
+        if depth == 0:
+            return "leaf"
+        return ("n", [rec(depth - 1) for _ in range(3)])
+
+    return build(rec(5))
+
+
+@pytest.fixture(scope="session")
+def xmark_tree():
+    return generate_xmark(scale=0.05, seed=3)
+
+
+@pytest.fixture(scope="session")
+def dblp_tree():
+    return generate_dblp(entries=120, seed=4)

@@ -1,0 +1,153 @@
+"""Tests for the §3.5 axis routines."""
+
+import pytest
+
+from repro.core import (
+    AxisEngine,
+    Ruid2Labeling,
+    SizeCapPartitioner,
+    candidate_children,
+    candidate_siblings,
+)
+from repro.generator import generate_xmark, random_document
+from repro.xmltree import build
+
+
+@pytest.fixture
+def labeling():
+    tree = random_document(250, seed=21, fanout_kind="geometric", mean=3)
+    return Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+
+
+@pytest.fixture
+def engine(labeling):
+    return AxisEngine(labeling)
+
+
+def resolve(labeling, labels):
+    return [labeling.node_of(label) for label in labels]
+
+
+class TestCandidateRoutines:
+    def test_candidate_children_cover_real_children(self, labeling):
+        for node in labeling.tree.preorder():
+            label = labeling.label_of(node)
+            candidates = candidate_children(label, labeling.kappa, labeling.ktable)
+            real = {labeling.label_of(c) for c in node.children}
+            assert real <= set(candidates)
+
+    def test_candidate_count_equals_local_fanout(self, labeling):
+        root_label = labeling.label_of(labeling.tree.root)
+        candidates = candidate_children(root_label, labeling.kappa, labeling.ktable)
+        assert len(candidates) == labeling.ktable.fan_out(1)
+
+    def test_candidate_siblings_cover_real_siblings(self, labeling):
+        for node in labeling.tree.preorder():
+            label = labeling.label_of(node)
+            preceding = candidate_siblings(label, labeling.kappa, labeling.ktable, True)
+            following = candidate_siblings(label, labeling.kappa, labeling.ktable, False)
+            assert {labeling.label_of(s) for s in node.preceding_siblings()} <= set(preceding)
+            assert {labeling.label_of(s) for s in node.following_siblings()} <= set(following)
+
+    def test_document_root_has_no_siblings(self, labeling):
+        from repro.core import Ruid2Label
+
+        assert candidate_siblings(Ruid2Label.ROOT, labeling.kappa, labeling.ktable, True) == []
+
+
+class TestNodeLevelAxes:
+    def test_children(self, labeling, engine):
+        for node in labeling.tree.preorder():
+            got = resolve(labeling, engine.children(labeling.label_of(node)))
+            assert got == node.children
+
+    def test_descendants(self, labeling, engine):
+        for node in list(labeling.tree.preorder())[::3]:
+            got = resolve(labeling, engine.descendants(labeling.label_of(node)))
+            assert got == list(node.descendants())
+
+    def test_siblings(self, labeling, engine):
+        for node in labeling.tree.preorder():
+            label = labeling.label_of(node)
+            assert resolve(labeling, engine.preceding_siblings(label)) == node.preceding_siblings()
+            assert resolve(labeling, engine.following_siblings(label)) == node.following_siblings()
+
+    def test_parent_and_ancestors(self, labeling, engine):
+        for node in labeling.tree.preorder():
+            label = labeling.label_of(node)
+            parent_label = engine.parent(label)
+            if node.parent is None:
+                assert parent_label is None
+            else:
+                assert labeling.node_of(parent_label) is node.parent
+            assert resolve(labeling, engine.ancestors(label)) == list(node.ancestors())
+
+    def test_preceding_following(self, labeling, engine):
+        tree = labeling.tree
+        order = tree.document_order_index()
+        nodes = tree.nodes()
+        for node in nodes[::7]:
+            label = labeling.label_of(node)
+            preceding = resolve(labeling, engine.preceding(label))
+            following = resolve(labeling, engine.following(label))
+            want_preceding = [
+                other
+                for other in nodes
+                if order[other.node_id] < order[node.node_id]
+                and not other.is_ancestor_of(node)
+            ]
+            want_following = [
+                other
+                for other in nodes
+                if order[other.node_id] > order[node.node_id]
+                and not node.is_ancestor_of(other)
+            ]
+            assert preceding == want_preceding
+            assert following == want_following
+
+    def test_axis_dispatch(self, labeling, engine):
+        node = labeling.tree.root.children[0]
+        label = labeling.label_of(node)
+        assert resolve(labeling, engine.axis(label, "self")) == [node]
+        assert resolve(labeling, engine.axis(label, "parent")) == [labeling.tree.root]
+        assert resolve(labeling, engine.axis(label, "ancestor-or-self")) == [
+            node,
+            labeling.tree.root,
+        ]
+        combined = engine.axis(label, "descendant-or-self")
+        assert resolve(labeling, combined)[0] is node
+        with pytest.raises(ValueError):
+            engine.axis(label, "sideways")
+
+    def test_partition_where_axes_cross_areas(self):
+        # Tiny areas force every axis through the frame machinery.
+        tree = generate_xmark(0.02, seed=5)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(4))
+        engine = AxisEngine(labeling)
+        for node in list(tree.preorder())[::5]:
+            label = labeling.label_of(node)
+            assert resolve(labeling, engine.children(label)) == node.children
+            assert resolve(labeling, engine.descendants(label)) == list(node.descendants())
+
+
+class TestGrandparentIdiom:
+    def test_element_star_element_via_double_rparent(self):
+        # §3.5: element1/*/element2 answered by applying rparent twice
+        # to each element2 and filtering on the tag — no scan needed.
+        tree = build(
+            (
+                "lib",
+                [
+                    ("shelf", [("box", ["book", "book"]), ("bag", ["book"])]),
+                    ("desk", [("box", ["book"])]),
+                ],
+            )
+        )
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(4))
+        books = tree.find_by_tag("book")
+        grandparents = set()
+        for book in books:
+            grandparent_label = labeling.rparent(labeling.rparent(labeling.label_of(book)))
+            grandparents.add(labeling.node_of(grandparent_label))
+        tags = {g.tag for g in grandparents}
+        assert tags == {"shelf", "desk"}

@@ -1,0 +1,113 @@
+"""Tests for frames and UID-local areas (Definitions 1 and 2)."""
+
+import pytest
+
+from repro.core import Frame
+from repro.errors import PartitionError
+from repro.xmltree import build
+
+
+@pytest.fixture
+def tree():
+    # a(b(c(x, y), d), e(f), g)
+    return build(("a", [("b", [("c", ["x", "y"]), "d"]), ("e", ["f"]), "g"]))
+
+
+def by_tag(tree):
+    return {node.tag: node for node in tree.preorder()}
+
+
+class TestConstruction:
+    def test_root_must_be_area_root(self, tree):
+        nodes = by_tag(tree)
+        with pytest.raises(PartitionError):
+            Frame(tree, {nodes["b"].node_id})
+
+    def test_foreign_root_rejected(self, tree):
+        from repro.xmltree import element
+
+        with pytest.raises(PartitionError):
+            Frame(tree, {tree.root.node_id, element("zz").node_id})
+
+    def test_single_area(self, tree):
+        frame = Frame(tree, {tree.root.node_id})
+        assert frame.area_count() == 1
+        assert frame.root_area.size == tree.size()
+        assert frame.max_fan_out() == 0
+
+    def test_frame_edges_skip_non_roots(self, tree):
+        nodes = by_tag(tree)
+        # areas at a, c, f: frame edges a->c (through b) and a->f (through e)
+        frame = Frame(tree, {nodes["a"].node_id, nodes["c"].node_id, nodes["f"].node_id})
+        assert frame.frame_parent[nodes["c"].node_id] == nodes["a"].node_id
+        assert frame.frame_parent[nodes["f"].node_id] == nodes["a"].node_id
+        assert frame.max_fan_out() == 2
+
+    def test_area_membership(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(tree, {nodes["a"].node_id, nodes["c"].node_id})
+        root_area = frame.root_area
+        # c belongs to the root area as a leaf AND roots its own area
+        assert {n.tag for n in root_area.nodes} == {"a", "b", "c", "d", "e", "f", "g"}
+        c_area = frame.area_of_root(nodes["c"])
+        assert {n.tag for n in c_area.nodes} == {"c", "x", "y"}
+
+    def test_child_area_roots_in_doc_order(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(
+            tree, {nodes["a"].node_id, nodes["c"].node_id, nodes["f"].node_id}
+        )
+        assert [n.tag for n in frame.root_area.child_area_roots] == ["c", "f"]
+
+    def test_validate_covering(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(
+            tree, {nodes["a"].node_id, nodes["b"].node_id, nodes["e"].node_id}
+        )
+        frame.validate()  # must not raise
+
+
+class TestAccessors:
+    def test_area_containing(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(tree, {nodes["a"].node_id, nodes["c"].node_id})
+        assert frame.area_containing(nodes["x"]).root is nodes["c"]
+        # an area root is *contained* in the upper area
+        assert frame.area_containing(nodes["c"]).root is nodes["a"]
+        assert frame.area_containing(nodes["a"]).root is nodes["a"]
+
+    def test_area_of_root_requires_root(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(tree, {nodes["a"].node_id})
+        with pytest.raises(PartitionError):
+            frame.area_of_root(nodes["b"])
+
+    def test_frame_orders(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(
+            tree,
+            {nodes["a"].node_id, nodes["b"].node_id, nodes["c"].node_id, nodes["e"].node_id},
+        )
+        assert [n.tag for n in frame.frame_preorder()] == ["a", "b", "c", "e"]
+        assert [n.tag for n in frame.frame_levelorder()] == ["a", "b", "e", "c"]
+
+    def test_is_area_root(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(tree, {nodes["a"].node_id, nodes["c"].node_id})
+        assert frame.is_area_root(nodes["c"])
+        assert not frame.is_area_root(nodes["b"])
+
+
+class TestLocalFanOut:
+    def test_excludes_children_of_boundary_roots(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(tree, {nodes["a"].node_id, nodes["c"].node_id})
+        # In the root area, c is a leaf: its 2 children belong below.
+        assert frame.root_area.local_fan_out() == 3  # a has 3 children
+        assert frame.area_of_root(nodes["c"]).local_fan_out() == 2
+
+    def test_single_node_area(self, tree):
+        nodes = by_tag(tree)
+        frame = Frame(tree, {nodes["a"].node_id, nodes["g"].node_id})
+        assert frame.area_of_root(nodes["g"]).local_fan_out() == 0
+        assert frame.area_of_root(nodes["g"]).size == 1

@@ -1,0 +1,92 @@
+"""Tests for label value types and the Relation enum."""
+
+import pytest
+
+from repro.core import MultiLabel, Relation, Ruid2Label
+
+
+class TestRuid2Label:
+    def test_document_root(self):
+        assert Ruid2Label.ROOT == Ruid2Label(1, 1, True)
+        assert Ruid2Label.ROOT.is_document_root
+        assert not Ruid2Label(2, 1, True).is_document_root
+        assert not Ruid2Label(1, 2, False).is_document_root
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ruid2Label(0, 1, False)
+        with pytest.raises(ValueError):
+            Ruid2Label(1, 0, False)
+
+    def test_equality_and_hash(self):
+        assert Ruid2Label(2, 3, False) == Ruid2Label(2, 3, False)
+        assert Ruid2Label(2, 3, False) != Ruid2Label(2, 3, True)
+        assert len({Ruid2Label(2, 3, False), Ruid2Label(2, 3, False)}) == 1
+
+    def test_str_matches_paper_notation(self):
+        assert str(Ruid2Label(2, 7, False)) == "(2, 7, false)"
+        assert str(Ruid2Label(10, 9, True)) == "(10, 9, true)"
+
+    def test_bits(self):
+        assert Ruid2Label(1, 1, True).bits() == 3  # 1 + 1 + flag
+        assert Ruid2Label(8, 4, False).bits() == 4 + 3 + 1
+
+    def test_as_tuple(self):
+        assert Ruid2Label(2, 7, False).as_tuple() == (2, 7, False)
+
+
+class TestMultiLabel:
+    def test_levels(self):
+        assert MultiLabel(8, ((5, True),)).levels == 2
+        assert MultiLabel(2, ((4, False), (5, True))).levels == 3
+
+    def test_paper_example3_notation(self):
+        # n = {8, (a, true)} decomposed into {2, (4, false), (a, true)}
+        two_level = MultiLabel(8, ((7, True),))
+        three_level = MultiLabel(2, ((4, False), (7, True)))
+        assert str(two_level) == "{8, (7, true)}"
+        assert str(three_level) == "{2, (4, false), (7, true)}"
+
+    def test_alpha_beta_bottom(self):
+        label = MultiLabel(2, ((4, False), (7, True)))
+        assert label.alpha == 7
+        assert label.beta is True
+
+    def test_upper_strips_bottom(self):
+        label = MultiLabel(2, ((4, False), (7, True)))
+        assert label.upper() == MultiLabel(2, ((4, False),))
+
+    def test_extend(self):
+        upper = MultiLabel(2, ((4, False),))
+        assert upper.extend(7, True) == MultiLabel(2, ((4, False), (7, True)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiLabel(0, ())
+        with pytest.raises(ValueError):
+            MultiLabel(1, ((0, False),))
+
+    def test_one_level_has_no_component_access(self):
+        with pytest.raises(ValueError):
+            _ = MultiLabel(5, ()).alpha
+        with pytest.raises(ValueError):
+            MultiLabel(5, ()).upper()
+
+    def test_bits_accumulate(self):
+        assert MultiLabel(8, ((5, True),)).bits() == 4 + (3 + 1)
+
+
+class TestRelation:
+    def test_precedes(self):
+        assert Relation.ANCESTOR.precedes
+        assert Relation.PRECEDING.precedes
+        assert not Relation.FOLLOWING.precedes
+        assert not Relation.DESCENDANT.precedes
+        assert not Relation.SELF.precedes
+
+    def test_inverse(self):
+        assert Relation.ANCESTOR.inverse() is Relation.DESCENDANT
+        assert Relation.DESCENDANT.inverse() is Relation.ANCESTOR
+        assert Relation.PRECEDING.inverse() is Relation.FOLLOWING
+        assert Relation.FOLLOWING.inverse() is Relation.PRECEDING
+        assert Relation.SELF.inverse() is Relation.SELF

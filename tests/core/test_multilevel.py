@@ -1,0 +1,150 @@
+"""Tests for the multilevel rUID (Definition 4, §2.4, §3.1)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    MultiLabel,
+    MultilevelRuidLabeling,
+    Relation,
+    SizeCapPartitioner,
+)
+from repro.errors import NoParentError, NumberingError, UnknownLabelError
+from repro.generator import generate_xmark, path_tree, random_document
+
+
+@pytest.fixture
+def labeled3():
+    tree = random_document(300, seed=31, fanout_kind="uniform", low=1, high=5)
+    return MultilevelRuidLabeling(tree, levels=3, partitioners=SizeCapPartitioner(8))
+
+
+class TestBuild:
+    def test_levels_validation(self):
+        with pytest.raises(NumberingError):
+            MultilevelRuidLabeling(path_tree(5), levels=1)
+
+    def test_partitioner_count_validation(self):
+        with pytest.raises(NumberingError):
+            MultilevelRuidLabeling(
+                path_tree(5), levels=3, partitioners=[SizeCapPartitioner(4)]
+            )
+
+    def test_component_count_matches_levels(self, labeled3):
+        for node in labeled3.tree.preorder():
+            assert labeled3.label_of(node).levels == 3
+
+    def test_labels_unique_roundtrip(self, labeled3):
+        seen = set()
+        for node in labeled3.tree.preorder():
+            label = labeled3.label_of(node)
+            assert label not in seen
+            seen.add(label)
+            assert labeled3.node_of(label) is node
+
+    def test_two_level_packaging_matches_ruid2(self):
+        from repro.core import Ruid2Labeling
+
+        tree = random_document(150, seed=32)
+        strategy = SizeCapPartitioner(10)
+        multi = MultilevelRuidLabeling(tree, levels=2, partitioners=strategy)
+        flat = Ruid2Labeling(tree, partitioner=strategy)
+        for node in tree.preorder():
+            two = flat.label_of(node)
+            packed = multi.label_of(node)
+            assert packed == MultiLabel(
+                two.global_index, ((two.local_index, two.is_area_root),)
+            )
+
+    def test_four_levels(self):
+        tree = random_document(400, seed=33, fanout_kind="geometric", mean=3)
+        labeling = MultilevelRuidLabeling(
+            tree, levels=4, partitioners=SizeCapPartitioner(6)
+        )
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeling.rparent(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+    def test_top_frame_shrinks_with_levels(self):
+        tree = random_document(500, seed=34, fanout_kind="uniform", low=1, high=4)
+        two = MultilevelRuidLabeling(tree, levels=2, partitioners=SizeCapPartitioner(6))
+        three = MultilevelRuidLabeling(tree, levels=3, partitioners=SizeCapPartitioner(6))
+        assert three.top_frame_size() <= two.top_frame_size()
+
+    def test_unknown_label_raises(self, labeled3):
+        with pytest.raises(UnknownLabelError):
+            labeled3.node_of(MultiLabel(99, ((99, False), (99, False))))
+
+
+class TestRparent:
+    def test_rparent_matches_tree(self, labeled3):
+        for node in labeled3.tree.preorder():
+            label = labeled3.label_of(node)
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    labeled3.rparent(label)
+            else:
+                assert labeled3.rparent(label) == labeled3.label_of(node.parent)
+
+    def test_rancestors(self, labeled3):
+        deepest = max(labeled3.tree.preorder(), key=lambda n: n.depth)
+        chain = labeled3.rancestors(labeled3.label_of(deepest))
+        assert chain == [labeled3.label_of(a) for a in deepest.ancestors()]
+
+    def test_rparent_on_xmark(self):
+        tree = generate_xmark(0.03, seed=7)
+        labeling = MultilevelRuidLabeling(
+            tree, levels=3, partitioners=SizeCapPartitioner(10)
+        )
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeling.rparent(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+
+class TestRelation:
+    def test_relation_agreement_sampled(self, labeled3):
+        tree = labeled3.tree
+        nodes = tree.nodes()
+        for first, second in itertools.product(nodes[::9], nodes[::11]):
+            got = labeled3.relation(
+                labeled3.label_of(first), labeled3.label_of(second)
+            )
+            if first is second:
+                assert got is Relation.SELF
+            elif first.is_ancestor_of(second):
+                assert got is Relation.ANCESTOR
+            elif second.is_ancestor_of(first):
+                assert got is Relation.DESCENDANT
+            elif tree.compare_document_order(first, second) < 0:
+                assert got is Relation.PRECEDING
+            else:
+                assert got is Relation.FOLLOWING
+
+    def test_is_ancestor(self, labeled3):
+        deepest = max(labeled3.tree.preorder(), key=lambda n: n.depth)
+        root_label = labeled3.label_of(labeled3.tree.root)
+        assert labeled3.is_ancestor(root_label, labeled3.label_of(deepest))
+        assert not labeled3.is_ancestor(labeled3.label_of(deepest), root_label)
+
+
+class TestScalability:
+    def test_deep_path_bits_shrink_vs_uid(self):
+        # On a long path with any heavy fan-out, UID identifiers explode;
+        # the multilevel labels stay polynomial in area dimensions.
+        from repro.core import UidLabeling
+        from repro.generator import skewed_tree
+
+        tree = skewed_tree(depth=40, heavy_fan_out=20)
+        plain = UidLabeling(tree)
+        multi = MultilevelRuidLabeling(
+            tree, levels=3, partitioners=SizeCapPartitioner(8)
+        )
+        uid_bits = max(plain.label_bits(l) for l in plain.labels())
+        multi_bits = multi.max_label_bits()
+        assert uid_bits > 150  # ~ depth * log2(fanout)
+        assert multi_bits < uid_bits / 3

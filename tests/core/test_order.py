@@ -1,0 +1,129 @@
+"""Tests for document-order determination (Lemmas 2-3, Fig. 10)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Relation,
+    Ruid2Labeling,
+    Ruid2Order,
+    SizeCapPartitioner,
+    UidLabeling,
+    uid_preceding,
+    uid_relation,
+)
+from repro.generator import generate_xmark, path_tree, random_document
+
+
+def expected_relation(tree, first, second) -> Relation:
+    if first is second:
+        return Relation.SELF
+    if first.is_ancestor_of(second):
+        return Relation.ANCESTOR
+    if second.is_ancestor_of(first):
+        return Relation.DESCENDANT
+    if tree.compare_document_order(first, second) < 0:
+        return Relation.PRECEDING
+    return Relation.FOLLOWING
+
+
+class TestUidRelation:
+    def test_complete_agreement_on_labeled_tree(self):
+        tree = random_document(120, seed=3, fanout_kind="uniform", low=1, high=4)
+        labeling = UidLabeling(tree)
+        for first, second in itertools.product(tree.nodes(), repeat=2):
+            got = uid_relation(
+                labeling.label_of(first), labeling.label_of(second), labeling.fan_out
+            )
+            assert got is expected_relation(tree, first, second)
+
+
+class TestFig10Routine:
+    def test_preceding_of_cousins(self):
+        # k = 3: 23 (under 8) precedes 26 (under 9)
+        assert uid_preceding(23, 26, 3) == 23
+        assert uid_preceding(26, 23, 3) == 23
+
+    def test_null_for_ancestor_pairs(self):
+        assert uid_preceding(3, 27, 3) is None
+        assert uid_preceding(27, 3, 3) is None
+        assert uid_preceding(5, 5, 3) is None
+
+    def test_siblings(self):
+        assert uid_preceding(8, 9, 3) == 8
+
+    def test_matches_document_compare(self):
+        tree = random_document(100, seed=4)
+        labeling = UidLabeling(tree)
+        nodes = tree.nodes()
+        for first, second in itertools.product(nodes[::3], nodes[::4]):
+            a = labeling.label_of(first)
+            b = labeling.label_of(second)
+            result = uid_preceding(a, b, labeling.fan_out)
+            if first is second or first.is_ancestor_of(second) or second.is_ancestor_of(first):
+                assert result is None
+            else:
+                want = a if tree.compare_document_order(first, second) < 0 else b
+                assert result == want
+
+
+class TestRuid2Order:
+    @pytest.mark.parametrize("cap", [4, 16, 300])
+    def test_relation_agreement(self, cap):
+        tree = random_document(150, seed=6, fanout_kind="geometric", mean=3)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(cap))
+        oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+        for first, second in itertools.product(tree.nodes(), repeat=2):
+            got = oracle.relation(labeling.label_of(first), labeling.label_of(second))
+            assert got is expected_relation(tree, first, second), (
+                first.tag,
+                second.tag,
+            )
+
+    def test_relation_on_xmark(self):
+        tree = generate_xmark(0.03, seed=8)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+        oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+        nodes = tree.nodes()
+        for first, second in itertools.product(nodes[::5], nodes[::7]):
+            got = oracle.relation(labeling.label_of(first), labeling.label_of(second))
+            assert got is expected_relation(tree, first, second)
+
+    def test_compare_is_total_order(self):
+        tree = random_document(80, seed=10)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(8))
+        oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+        labels = [labeling.label_of(node) for node in tree.preorder()]
+        shuffled = labels[::-1]
+        restored = sorted(shuffled, key=oracle.sort_key)
+        assert restored == labels  # document order restored from keys
+
+    def test_compare_sign_convention(self):
+        tree = path_tree(10)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(3))
+        oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+        root_label = labeling.label_of(tree.root)
+        leaf = max(tree.preorder(), key=lambda n: n.depth)
+        leaf_label = labeling.label_of(leaf)
+        assert oracle.compare(root_label, leaf_label) == -1
+        assert oracle.compare(leaf_label, root_label) == 1
+        assert oracle.compare(leaf_label, leaf_label) == 0
+
+    def test_is_ancestor_shortcut(self):
+        tree = random_document(60, seed=12)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(6))
+        oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert oracle.is_ancestor(
+                    labeling.label_of(tree.root), labeling.label_of(node)
+                )
+
+    def test_area_chain_roots_at_one(self):
+        tree = random_document(60, seed=14)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(6))
+        oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+        for node in tree.preorder():
+            chain = oracle.area_chain(labeling.label_of(node))
+            assert chain[-1] == 1

@@ -1,0 +1,152 @@
+"""Pin the paper's worked examples (experiments E1-E3).
+
+E1 — Fig. 1: original-UID identifiers before/after the insertion
+between nodes 2 and 3, including the exact relabel set
+{3, 8, 9, 23, 26, 27} → {4, 11, 12, 32, 35, 36}.
+
+E2 — Figs. 4-5: a 2-level rUID build with six areas, κ = 4 and the K
+table invariants of Fig. 5.
+
+E3 — Example 2: the rparent walkthrough (covered in detail in
+tests/core/test_ruid.py::TestPaperExample2; re-asserted here on the
+same fixture for the experiment index).
+"""
+
+import pytest
+
+from repro.core import (
+    ExplicitPartitioner,
+    KRow,
+    KTable,
+    Ruid2Label,
+    Ruid2Labeling,
+    UidLabeling,
+    UidUpdater,
+    rparent,
+)
+from repro.generator import fig1_tree, fig4_tree
+from repro.xmltree import element
+
+
+class TestFig1:
+    def test_initial_numbering(self):
+        tree = fig1_tree()
+        labeling = UidLabeling(tree, fan_out=3)
+        by_tag = {node.tag: labeling.label_of(node) for node in tree.preorder()}
+        assert by_tag == {
+            "n1": 1,
+            "n2": 2,
+            "n3": 3,
+            "n8": 8,
+            "n9": 9,
+            "n23": 23,
+            "n26": 26,
+            "n27": 27,
+        }
+
+    def test_insertion_relabels_exactly_the_papers_set(self):
+        tree = fig1_tree()
+        labeling = UidLabeling(tree, fan_out=3)
+        updater = UidUpdater(labeling)
+        report = updater.insert(tree.root, 1, element("inserted"))
+        assert not report.overflow  # the third child slot was virtual
+        moves = {
+            change.old_label: change.new_label for change in report.changed
+        }
+        assert moves == {3: 4, 8: 11, 9: 12, 23: 32, 26: 35, 27: 36}
+        assert labeling.label_of(tree.root.children[1]) == 3  # the new node
+
+    def test_second_insertion_forces_full_renumber(self):
+        # "If another node is inserted behind the new node 4 in
+        # Fig. 1(b), the entire tree must be re-numerated."
+        tree = fig1_tree()
+        labeling = UidLabeling(tree, fan_out=3)
+        updater = UidUpdater(labeling)
+        updater.insert(tree.root, 1, element("first"))
+        report = updater.insert(tree.root, 3, element("second"))
+        assert report.overflow
+        assert labeling.fan_out == 4
+
+
+class TestFig4And5:
+    def pick_partition(self, tree):
+        tags = {"r", "a2", "a3", "a4", "a5", "a6"}
+        return [node for node in tree.preorder() if node.tag in tags]
+
+    def test_six_areas(self):
+        tree = fig4_tree()
+        labeling = Ruid2Labeling(
+            tree, partitioner=ExplicitPartitioner(self.pick_partition(tree))
+        )
+        assert labeling.area_count() == 6
+
+    def test_kappa_is_four(self):
+        tree = fig4_tree()
+        labeling = Ruid2Labeling(
+            tree, partitioner=ExplicitPartitioner(self.pick_partition(tree))
+        )
+        assert labeling.kappa == 4
+
+    def test_root_row_and_identifier(self):
+        tree = fig4_tree()
+        labeling = Ruid2Labeling(
+            tree, partitioner=ExplicitPartitioner(self.pick_partition(tree))
+        )
+        assert labeling.label_of(tree.root) == Ruid2Label.ROOT
+        first_row = labeling.ktable.row(1)
+        assert (first_row.global_index, first_row.local_index) == (1, 1)
+
+    def test_k_table_consistency(self):
+        """Every K row's (upper, local) probe resolves to its area, and
+        every area root's identifier matches its row."""
+        tree = fig4_tree()
+        labeling = Ruid2Labeling(
+            tree, partitioner=ExplicitPartitioner(self.pick_partition(tree))
+        )
+        pair_index = labeling.ktable.build_pair_index(labeling.kappa)
+        for row in labeling.ktable:
+            root = labeling.area_root_node(row.global_index)
+            label = labeling.label_of(root)
+            assert label.global_index == row.global_index
+            assert label.local_index == row.local_index
+            if row.global_index != 1:
+                upper = (row.global_index - 2) // labeling.kappa + 1
+                assert pair_index[(upper, row.local_index)] == row.global_index
+
+    def test_rparent_consistency_on_fig4(self):
+        tree = fig4_tree()
+        labeling = Ruid2Labeling(
+            tree, partitioner=ExplicitPartitioner(self.pick_partition(tree))
+        )
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeling.rparent(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+
+class TestExample2:
+    """E3: the three rparent configurations of §2.2 Example 2."""
+
+    KAPPA = 4
+    TABLE = KTable(
+        [
+            KRow(1, 1, 4),
+            KRow(2, 2, 2),
+            KRow(3, 3, 3),
+            KRow(4, 4, 2),
+            KRow(10, 9, 2),
+            KRow(13, 5, 2),
+        ]
+    )
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (Ruid2Label(2, 7, False), Ruid2Label(2, 3, False)),
+            (Ruid2Label(10, 9, True), Ruid2Label(3, 3, False)),
+            (Ruid2Label(3, 3, False), Ruid2Label(3, 3, True)),
+        ],
+    )
+    def test_walkthrough(self, child, parent):
+        assert rparent(child, self.KAPPA, self.TABLE) == parent

@@ -1,0 +1,160 @@
+"""Tests for partition strategies and the §2.3 fan-out adjustment."""
+
+import pytest
+
+from repro.core import (
+    DepthStridePartitioner,
+    ExplicitPartitioner,
+    Frame,
+    SingleAreaPartitioner,
+    SizeCapPartitioner,
+    lca_closure,
+    partition_summary,
+)
+from repro.errors import PartitionError
+from repro.generator import path_tree, random_document, star_tree
+from repro.xmltree import build
+
+
+class TestSingleArea:
+    def test_only_root(self):
+        tree = random_document(100, seed=1)
+        roots = SingleAreaPartitioner().partition(tree)
+        assert roots == {tree.root.node_id}
+
+
+class TestExplicit:
+    def test_accepts_nodes_and_ids(self):
+        tree = build(("a", [("b", ["c"]), "d"]))
+        b = tree.root.children[0]
+        roots = ExplicitPartitioner([b]).partition(tree)
+        assert roots == {tree.root.node_id, b.node_id}
+        roots2 = ExplicitPartitioner([b.node_id]).partition(tree)
+        assert roots2 == roots
+
+    def test_root_always_added(self):
+        tree = build(("a", ["b"]))
+        roots = ExplicitPartitioner([]).partition(tree)
+        assert tree.root.node_id in roots
+
+
+class TestDepthStride:
+    def test_stride_two(self):
+        tree = path_tree(7)
+        roots = DepthStridePartitioner(2, adjust_fan_out=False).partition(tree)
+        depths = sorted(
+            node.depth for node in tree.preorder() if node.node_id in roots
+        )
+        assert depths == [0, 2, 4, 6]
+
+    def test_invalid_stride(self):
+        with pytest.raises(PartitionError):
+            DepthStridePartitioner(0)
+
+    def test_frame_height_shrinks(self):
+        tree = path_tree(40)
+        roots = DepthStridePartitioner(4).partition(tree)
+        assert len(roots) == 10
+
+
+class TestSizeCap:
+    def test_cap_respected_approximately(self):
+        tree = random_document(400, seed=5, fanout_kind="uniform", low=1, high=5)
+        cap = 20
+        roots = SizeCapPartitioner(cap, adjust_fan_out=False).partition(tree)
+        frame = Frame(tree, roots)
+        for area in frame.areas.values():
+            # the cap bounds the *interior*; boundary roots of child
+            # areas are area members by Definition 2 and sit on top
+            interior = area.size - len(area.child_area_roots)
+            assert interior <= cap + tree.max_fan_out()
+
+    def test_invalid_cap(self):
+        with pytest.raises(PartitionError):
+            SizeCapPartitioner(1)
+
+    def test_star_single_area_when_cap_large(self):
+        tree = star_tree(10)
+        roots = SizeCapPartitioner(64).partition(tree)
+        assert roots == {tree.root.node_id}
+
+
+class TestLcaClosure:
+    def test_fig7_scenario(self):
+        # Paper Fig. 7: u1, u2, u3 are area roots in separate paths below
+        # a non-root node n1; without adjustment the frame fan-out
+        # exceeds the tree fan-out. Closure promotes n1.
+        tree = build(
+            (
+                "r",
+                [
+                    (
+                        "n1",
+                        [
+                            ("p1", [("u1", ["l1"])]),
+                            ("p2", [("u2", ["l2"])]),
+                            ("p3", [("u3", ["l3"])]),
+                        ],
+                    ),
+                    "other",
+                ],
+            )
+        )
+        nodes = {n.tag: n for n in tree.preorder()}
+        raw = {
+            tree.root.node_id,
+            nodes["u1"].node_id,
+            nodes["u2"].node_id,
+            nodes["u3"].node_id,
+        }
+        raw_frame = Frame(tree, raw)
+        assert raw_frame.max_fan_out() == 3  # == tree max fan-out here, but:
+        closed = lca_closure(tree, raw)
+        assert nodes["n1"].node_id in closed
+        closed_frame = Frame(tree, closed)
+        # after closure, the root's frame children collapse to n1 alone
+        assert len(closed_frame.frame_children[tree.root.node_id]) == 1
+
+    def test_closure_bounds_frame_fanout(self):
+        for seed in range(5):
+            tree = random_document(300, seed=seed, fanout_kind="uniform", low=1, high=4)
+            import random
+
+            rng = random.Random(seed)
+            nodes = tree.nodes()
+            raw = {tree.root.node_id} | {
+                nodes[rng.randrange(len(nodes))].node_id for _ in range(25)
+            }
+            closed = lca_closure(tree, raw)
+            frame = Frame(tree, closed)
+            assert frame.max_fan_out() <= max(1, tree.max_fan_out())
+
+    def test_closure_is_superset_and_idempotent(self):
+        tree = random_document(200, seed=9)
+        import random
+
+        nodes = tree.nodes()
+        rng = random.Random(1)
+        raw = {tree.root.node_id} | {
+            nodes[rng.randrange(len(nodes))].node_id for _ in range(15)
+        }
+        closed = lca_closure(tree, raw)
+        assert raw <= closed
+        assert lca_closure(tree, closed) == closed
+
+    def test_foreign_node_rejected(self):
+        from repro.xmltree import element
+
+        tree = build(("a", ["b"]))
+        with pytest.raises(PartitionError):
+            lca_closure(tree, {tree.root.node_id, element("z").node_id})
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        tree = random_document(200, seed=2)
+        roots = SizeCapPartitioner(30).partition(tree)
+        summary = partition_summary(tree, roots)
+        assert summary["areas"] == len(roots)
+        assert summary["kappa"] <= summary["tree_max_fanout"]
+        assert summary["max_area_size"] >= summary["mean_area_size"]

@@ -1,0 +1,195 @@
+"""Tests for global-parameter persistence (Fig. 3's "Save κ and K")."""
+
+import pytest
+
+from repro.core import (
+    GlobalParameters,
+    Relation,
+    Ruid2Labeling,
+    SizeCapPartitioner,
+    dump_parameters,
+    load_parameters,
+)
+from repro.errors import NoParentError, StorageError
+from repro.generator import generate_xmark, random_document
+
+
+@pytest.fixture
+def labeling():
+    tree = random_document(250, seed=121, fanout_kind="geometric", mean=3)
+    return Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+
+
+class TestRoundTrip:
+    def test_kappa_and_table_survive(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        assert params.kappa == labeling.kappa
+        assert [r.as_tuple() for r in params.ktable] == [
+            r.as_tuple() for r in labeling.ktable
+        ]
+        assert params.tags is None
+
+    def test_directory_survives(self, labeling):
+        params = load_parameters(dump_parameters(labeling, include_directory=True))
+        for node, label in labeling.items():
+            assert params.tag_of(label) == node.tag
+
+    def test_bad_blob_rejected(self):
+        from repro.storage.codec import encode_value
+
+        with pytest.raises(StorageError):
+            load_parameters(encode_value(("nope", 1, 2, (), ())))
+        with pytest.raises(StorageError):
+            load_parameters(encode_value(("ruid2-params", 99, 2, (), ())))
+
+
+class TestLabelOnlyClient:
+    """The deployment §2.2 argues for: a client holding only κ and K."""
+
+    def test_parent_without_document(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        for node in labeling.tree.preorder():
+            label = labeling.label_of(node)
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    params.parent(label)
+            else:
+                assert params.parent(label) == labeling.label_of(node.parent)
+
+    def test_relations_without_document(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        tree = labeling.tree
+        nodes = tree.nodes()
+        for first in nodes[::9]:
+            for second in nodes[::7]:
+                got = params.relation(
+                    labeling.label_of(first), labeling.label_of(second)
+                )
+                if first is second:
+                    assert got is Relation.SELF
+                elif first.is_ancestor_of(second):
+                    assert got is Relation.ANCESTOR
+                elif second.is_ancestor_of(first):
+                    assert got is Relation.DESCENDANT
+                else:
+                    want = tree.compare_document_order(first, second)
+                    assert (got is Relation.PRECEDING) == (want < 0)
+
+    def test_sort_restores_document_order(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        labels = [labeling.label_of(node) for node in labeling.tree.preorder()]
+        assert params.sort(labels[::-1]) == labels
+
+    def test_candidates_cover_real_children(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        for node in list(labeling.tree.preorder())[::5]:
+            candidates = set(params.child_candidates(labeling.label_of(node)))
+            real = {labeling.label_of(c) for c in node.children}
+            assert real <= candidates
+
+    def test_tag_search_via_directory(self):
+        tree = generate_xmark(0.03, seed=5)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(10))
+        params = load_parameters(dump_parameters(labeling, include_directory=True))
+        found = params.labels_with_tag("person")
+        want = [labeling.label_of(n) for n in tree.find_by_tag("person")]
+        assert found == want  # document order, thanks to sort()
+
+    def test_tag_search_requires_directory(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        with pytest.raises(StorageError):
+            params.labels_with_tag("anything")
+
+    def test_ancestors_chain(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        deepest = max(labeling.tree.preorder(), key=lambda n: n.depth)
+        chain = params.ancestors(labeling.label_of(deepest))
+        assert chain == [labeling.label_of(a) for a in deepest.ancestors()]
+
+    def test_memory_accounting(self, labeling):
+        bare = load_parameters(dump_parameters(labeling))
+        rich = load_parameters(dump_parameters(labeling, include_directory=True))
+        assert rich.memory_bytes() > bare.memory_bytes() > 0
+
+
+class TestMultilevelParameters:
+    """Label-only client for Definition 4's multilevel identifiers."""
+
+    @pytest.fixture
+    def multi(self):
+        from repro.core import MultilevelRuidLabeling
+
+        tree = random_document(300, seed=122, fanout_kind="uniform", low=1, high=5)
+        return MultilevelRuidLabeling(
+            tree, levels=3, partitioners=SizeCapPartitioner(8)
+        )
+
+    def test_roundtrip(self, multi):
+        from repro.core import dump_multilevel_parameters, load_multilevel_parameters
+
+        params = load_multilevel_parameters(dump_multilevel_parameters(multi))
+        assert params.levels == multi.levels
+        assert params.memory_bytes() > 0
+
+    def test_parent_without_document(self, multi):
+        from repro.core import dump_multilevel_parameters, load_multilevel_parameters
+        from repro.errors import NoParentError
+
+        params = load_multilevel_parameters(dump_multilevel_parameters(multi))
+        for node in multi.tree.preorder():
+            label = multi.label_of(node)
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    params.parent(label)
+            else:
+                assert params.parent(label) == multi.label_of(node.parent)
+
+    def test_relation_without_document(self, multi):
+        from repro.core import dump_multilevel_parameters, load_multilevel_parameters
+
+        params = load_multilevel_parameters(dump_multilevel_parameters(multi))
+        tree = multi.tree
+        nodes = tree.nodes()
+        for first in nodes[::11]:
+            for second in nodes[::13]:
+                got = params.relation(multi.label_of(first), multi.label_of(second))
+                if first is second:
+                    assert got is Relation.SELF
+                elif first.is_ancestor_of(second):
+                    assert got is Relation.ANCESTOR
+                elif second.is_ancestor_of(first):
+                    assert got is Relation.DESCENDANT
+                else:
+                    want = tree.compare_document_order(first, second)
+                    assert (got is Relation.PRECEDING) == (want < 0)
+
+    def test_ancestors_chain(self, multi):
+        from repro.core import dump_multilevel_parameters, load_multilevel_parameters
+
+        params = load_multilevel_parameters(dump_multilevel_parameters(multi))
+        deepest = max(multi.tree.preorder(), key=lambda n: n.depth)
+        chain = params.ancestors(multi.label_of(deepest))
+        assert chain == [multi.label_of(a) for a in deepest.ancestors()]
+
+    def test_bad_blob_rejected(self):
+        from repro.core import load_multilevel_parameters
+        from repro.storage.codec import encode_value
+
+        with pytest.raises(StorageError):
+            load_multilevel_parameters(encode_value(("nope", 1, (), ())))
+
+    def test_two_level_case(self):
+        from repro.core import (
+            MultilevelRuidLabeling,
+            dump_multilevel_parameters,
+            load_multilevel_parameters,
+        )
+
+        tree = random_document(100, seed=123)
+        multi = MultilevelRuidLabeling(
+            tree, levels=2, partitioners=SizeCapPartitioner(8)
+        )
+        params = load_multilevel_parameters(dump_multilevel_parameters(multi))
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert params.parent(multi.label_of(node)) == multi.label_of(node.parent)

@@ -1,0 +1,195 @@
+"""Tests for the 2-level rUID engine: build invariants and rparent."""
+
+import pytest
+
+from repro.core import (
+    DepthStridePartitioner,
+    KRow,
+    KTable,
+    Ruid2Label,
+    Ruid2Labeling,
+    SingleAreaPartitioner,
+    SizeCapPartitioner,
+    UidLabeling,
+    rparent,
+)
+from repro.errors import NoParentError, UnknownLabelError
+from repro.generator import generate_xmark, path_tree, random_document, star_tree
+from repro.xmltree import build, parse
+
+
+@pytest.fixture
+def labeled(medium_tree):
+    return Ruid2Labeling(medium_tree, partitioner=SizeCapPartitioner(16))
+
+
+class TestBuildInvariants:
+    def test_root_label(self, labeled):
+        assert labeled.label_of(labeled.tree.root) == Ruid2Label.ROOT
+
+    def test_labels_unique(self, labeled):
+        labels = [labeled.label_of(node) for node in labeled.tree.preorder()]
+        assert len(set(labels)) == len(labels)
+
+    def test_node_of_roundtrip(self, labeled):
+        for node in labeled.tree.preorder():
+            assert labeled.node_of(labeled.label_of(node)) is node
+
+    def test_area_roots_flagged(self, labeled):
+        frame = labeled.frame
+        for node in labeled.tree.preorder():
+            assert labeled.label_of(node).is_area_root == frame.is_area_root(node)
+
+    def test_ktable_row_per_area(self, labeled):
+        assert len(labeled.ktable) == labeled.area_count()
+        assert labeled.ktable.row(1).local_index == 1
+
+    def test_kappa_bounded_by_tree_fanout(self, labeled):
+        # SizeCapPartitioner applies the §2.3 LCA-closure adjustment.
+        assert labeled.kappa <= max(1, labeled.tree.max_fan_out())
+
+    def test_unknown_lookups_raise(self, labeled):
+        with pytest.raises(UnknownLabelError):
+            labeled.node_of(Ruid2Label(999, 999, False))
+        from repro.xmltree import element
+
+        with pytest.raises(UnknownLabelError):
+            labeled.label_of(element("foreign"))
+
+    def test_items_document_order(self, labeled):
+        nodes = [node for node, _ in labeled.items()]
+        assert nodes == labeled.tree.nodes()
+
+    def test_single_node_tree(self):
+        labeling = Ruid2Labeling(build("solo"))
+        assert labeling.label_of(labeling.tree.root) == Ruid2Label.ROOT
+        assert labeling.area_count() == 1
+
+
+class TestDegenerateEqualsUid:
+    def test_single_area_matches_original_uid(self):
+        tree = random_document(200, seed=7, fanout_kind="uniform", low=1, high=5)
+        ruid = Ruid2Labeling(tree, partitioner=SingleAreaPartitioner())
+        plain = UidLabeling(tree)
+        assert ruid.area_count() == 1
+        for node in tree.preorder():
+            label = ruid.label_of(node)
+            if node is tree.root:
+                assert label == Ruid2Label.ROOT
+            else:
+                assert label.global_index == 1
+                assert not label.is_area_root
+                assert label.local_index == plain.label_of(node)
+
+
+class TestRparent:
+    @pytest.mark.parametrize("partitioner", [
+        SingleAreaPartitioner(),
+        SizeCapPartitioner(8),
+        SizeCapPartitioner(64),
+        DepthStridePartitioner(2),
+        DepthStridePartitioner(3),
+    ])
+    def test_rparent_matches_tree_everywhere(self, partitioner):
+        tree = random_document(300, seed=13, fanout_kind="geometric", mean=3)
+        labeling = Ruid2Labeling(tree, partitioner=partitioner)
+        for node in tree.preorder():
+            label = labeling.label_of(node)
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    labeling.rparent(label)
+            else:
+                assert labeling.rparent(label) == labeling.label_of(node.parent)
+
+    def test_rparent_on_shapes(self):
+        for tree in (path_tree(60), star_tree(40), generate_xmark(0.03, seed=2)):
+            labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(10))
+            for node in tree.preorder():
+                if node.parent is not None:
+                    assert labeling.rparent(labeling.label_of(node)) == labeling.label_of(
+                        node.parent
+                    )
+
+    def test_rancestors_chain(self, labeled):
+        deepest = max(labeled.tree.preorder(), key=lambda n: n.depth)
+        chain = labeled.rancestors(labeled.label_of(deepest))
+        expected = [labeled.label_of(a) for a in deepest.ancestors()]
+        assert chain == expected
+
+    def test_is_ancestor_via_chain(self, labeled):
+        tree = labeled.tree
+        deepest = max(tree.preorder(), key=lambda n: n.depth)
+        for ancestor in deepest.ancestors():
+            assert labeled.is_ancestor(labeled.label_of(ancestor), labeled.label_of(deepest))
+        sibling_branch = [
+            n for n in tree.preorder()
+            if not n.is_ancestor_of(deepest) and n is not deepest
+        ]
+        if sibling_branch:
+            assert not labeled.is_ancestor(
+                labeled.label_of(sibling_branch[-1]), labeled.label_of(deepest)
+            )
+
+
+class TestPaperExample2:
+    """The rparent walkthrough of §2.2, Example 2: κ = 4 and Fig. 5's K."""
+
+    KAPPA = 4
+    TABLE = KTable(
+        [
+            KRow(1, 1, 4),
+            KRow(2, 2, 2),
+            KRow(3, 3, 3),
+            KRow(4, 4, 2),
+            KRow(10, 9, 2),
+            KRow(13, 5, 2),
+        ]
+    )
+
+    def test_non_root_child_same_area(self):
+        # c = (2, 7, false): local fan-out of area 2 is 2, so the
+        # parent's local index is (7-2)//2 + 1 = 3 -> (2, 3, false).
+        assert rparent(Ruid2Label(2, 7, False), self.KAPPA, self.TABLE) == Ruid2Label(
+            2, 3, False
+        )
+
+    def test_area_root_child(self):
+        # c = (10, 9, true): upper area (10-2)//4 + 1 = 3 with local
+        # fan-out 3; parent local (9-2)//3 + 1 = 3 > 1 -> (3, 3, false).
+        assert rparent(Ruid2Label(10, 9, True), self.KAPPA, self.TABLE) == Ruid2Label(
+            3, 3, False
+        )
+
+    def test_parent_is_area_root(self):
+        # c = (3, 3, false): (3-2)//3 + 1 = 1, so the parent is the
+        # area root; its local index comes from K -> (3, 3, true).
+        assert rparent(Ruid2Label(3, 3, False), self.KAPPA, self.TABLE) == Ruid2Label(
+            3, 3, True
+        )
+
+    def test_document_root_raises(self):
+        with pytest.raises(NoParentError):
+            rparent(Ruid2Label.ROOT, self.KAPPA, self.TABLE)
+
+
+class TestMaintenance:
+    def test_reenumerate_is_stable_without_changes(self, labeled):
+        before = labeled.snapshot()
+        labeled.reenumerate()
+        assert labeled.snapshot() == before
+
+    def test_rebuild_after_structural_change(self, labeled):
+        from repro.xmltree import element
+
+        tree = labeled.tree
+        tree.insert_node(tree.root, 0, element("fresh"))
+        labeled.rebuild()
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert labeled.rparent(labeled.label_of(node)) == labeled.label_of(node.parent)
+
+    def test_memory_bytes_tracks_table(self, labeled):
+        assert labeled.memory_bytes() == 8 + 24 * labeled.area_count()
+
+    def test_max_label_bits_positive(self, labeled):
+        assert labeled.max_label_bits() >= 3

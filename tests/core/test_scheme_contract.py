@@ -1,0 +1,105 @@
+"""Explicit contract tests for the uniform Labeling interface.
+
+Every registered scheme must satisfy the same observable contract on
+the same document; the sweeps in benchmarks rely on it.
+"""
+
+import pytest
+
+from repro.baselines import UPDATABLE, all_schemes, get_scheme, scheme_names
+from repro.core import Relation
+from repro.core.scheme import Labeling, NumberingScheme
+from repro.errors import NumberingError
+from repro.generator import random_document
+from repro.xmltree import element
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return random_document(120, seed=141, fanout_kind="uniform", low=1, high=4)
+
+
+@pytest.fixture(scope="module", params=scheme_names())
+def labeling(request, tree):
+    return get_scheme(request.param).build(tree.copy())
+
+
+class TestContract:
+    def test_is_abc_instances(self, labeling):
+        assert isinstance(labeling, Labeling)
+
+    def test_scheme_name_matches_factory(self):
+        for scheme in all_schemes():
+            assert isinstance(scheme, NumberingScheme)
+            built = scheme.build(random_document(20, seed=1))
+            assert built.scheme_name == scheme.name
+
+    def test_labels_iterate_in_document_order(self, labeling):
+        labels = list(labeling.labels())
+        nodes = labeling.tree.nodes()
+        assert len(labels) == len(nodes)
+        assert labels == [labeling.label_of(n) for n in nodes]
+
+    def test_doc_compare_total_order(self, labeling):
+        labels = list(labeling.labels())
+        sample = labels[:: max(1, len(labels) // 15)]
+        for first in sample:
+            assert labeling.doc_compare(first, first) == 0
+            for second in sample:
+                forward = labeling.doc_compare(first, second)
+                backward = labeling.doc_compare(second, first)
+                assert forward == -backward
+
+    def test_relation_inverse(self, labeling):
+        labels = list(labeling.labels())
+        sample = labels[:: max(1, len(labels) // 12)]
+        for first in sample:
+            for second in sample:
+                forward = labeling.relation(first, second)
+                backward = labeling.relation(second, first)
+                assert backward is forward.inverse()
+
+    def test_bits_accounting(self, labeling):
+        assert labeling.max_label_bits() >= 1
+        assert labeling.total_label_bits() >= labeling.max_label_bits()
+        assert labeling.memory_bytes() >= 0
+
+    def test_snapshot_covers_all_nodes(self, labeling):
+        snapshot = labeling.snapshot()
+        assert set(snapshot) == {n.node_id for n in labeling.tree.preorder()}
+
+
+class TestUpdateContract:
+    @pytest.mark.parametrize("scheme_name", UPDATABLE)
+    def test_insert_report_consistency(self, tree, scheme_name):
+        working = tree.copy()
+        labeling = get_scheme(scheme_name).build(working)
+        target = working.root.children[0]
+        before = len(labeling.snapshot())
+        report = labeling.insert(target, 0, element("fresh"))
+        assert report.scheme == labeling.scheme_name
+        assert report.operation == "insert"
+        assert report.inserted_count == 1
+        assert report.surviving_nodes == before
+        assert len(labeling.snapshot()) == before + 1
+
+    @pytest.mark.parametrize("scheme_name", UPDATABLE)
+    def test_delete_report_consistency(self, tree, scheme_name):
+        working = tree.copy()
+        labeling = get_scheme(scheme_name).build(working)
+        victim = working.root.children[0]
+        size = victim.subtree_size()
+        before = len(labeling.snapshot())
+        report = labeling.delete(victim)
+        assert report.operation == "delete"
+        assert report.deleted_count == size
+        assert report.surviving_nodes == before - size
+        assert len(labeling.snapshot()) == before - size
+
+    def test_multilevel_updates_rejected(self, tree):
+        working = tree.copy()
+        labeling = get_scheme("ruid-multi").build(working)
+        with pytest.raises(NumberingError):
+            labeling.insert(working.root, 0, element("x"))
+        with pytest.raises(NumberingError):
+            labeling.delete(working.root.children[0])

@@ -1,0 +1,146 @@
+"""Tests for the materialised original-UID labeling."""
+
+import pytest
+
+from repro.core import UidLabeling
+from repro.errors import FanOutOverflowError, NoParentError, UnknownLabelError
+from repro.generator import star_tree
+from repro.xmltree import build, parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c/><c/><c/></b><d><e/><e/></d><f/></a>")
+
+
+class TestBuild:
+    def test_levelorder_assignment(self, tree):
+        labeling = UidLabeling(tree)
+        uids = {node.tag + str(i): labeling.label_of(node)
+                for i, node in enumerate(tree.preorder())}
+        assert labeling.label_of(tree.root) == 1
+        # root children: b, d, f -> 2, 3, 4 (k = 3)
+        assert [labeling.label_of(c) for c in tree.root.children] == [2, 3, 4]
+        # b's children occupy 5..7
+        b = tree.root.children[0]
+        assert [labeling.label_of(c) for c in b.children] == [5, 6, 7]
+
+    def test_default_fanout_is_tree_max(self, tree):
+        assert UidLabeling(tree).fan_out == 3
+
+    def test_explicit_larger_fanout(self, tree):
+        labeling = UidLabeling(tree, fan_out=5)
+        assert labeling.fan_out == 5
+        assert [labeling.label_of(c) for c in tree.root.children] == [2, 3, 4]
+
+    def test_too_small_fanout_raises(self, tree):
+        with pytest.raises(FanOutOverflowError):
+            UidLabeling(tree, fan_out=2)
+
+    def test_single_node(self):
+        labeling = UidLabeling(build("solo"))
+        assert labeling.label_of(labeling.tree.root) == 1
+        assert len(labeling) == 1
+
+
+class TestLookups:
+    def test_node_of_roundtrip(self, tree):
+        labeling = UidLabeling(tree)
+        for node in tree.preorder():
+            assert labeling.node_of(labeling.label_of(node)) is node
+
+    def test_virtual_identifier_raises(self, tree):
+        labeling = UidLabeling(tree)
+        # slot under the leaf f (uid 4): children at 11..13, all virtual
+        assert not labeling.exists(11)
+        with pytest.raises(UnknownLabelError):
+            labeling.node_of(11)
+
+    def test_unlabeled_node_raises(self, tree):
+        from repro.xmltree import element
+
+        labeling = UidLabeling(tree)
+        with pytest.raises(UnknownLabelError):
+            labeling.label_of(element("foreign"))
+
+    def test_items_in_document_order(self, tree):
+        labeling = UidLabeling(tree)
+        nodes = [node for node, _ in labeling.items()]
+        assert nodes == tree.nodes()
+
+
+class TestArithmeticAccessors:
+    def test_parent_label_matches_tree(self, tree):
+        labeling = UidLabeling(tree)
+        for node in tree.preorder():
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    labeling.parent_label(labeling.label_of(node))
+            else:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+    def test_ancestor_labels(self, tree):
+        labeling = UidLabeling(tree)
+        deepest = tree.find_by_tag("e")[1]
+        chain = labeling.ancestor_labels(labeling.label_of(deepest))
+        assert chain == [labeling.label_of(deepest.parent), 1]
+
+    def test_children_labels_only_real(self, tree):
+        labeling = UidLabeling(tree)
+        d = tree.root.children[1]  # two children
+        assert labeling.children_labels(labeling.label_of(d)) == [
+            labeling.label_of(c) for c in d.children
+        ]
+        assert len(labeling.candidate_children(labeling.label_of(d))) == 3
+
+    def test_document_compare_matches_tree(self, tree):
+        labeling = UidLabeling(tree)
+        nodes = tree.nodes()
+        for first in nodes:
+            for second in nodes:
+                want = tree.compare_document_order(first, second)
+                got = labeling.document_compare(
+                    labeling.label_of(first), labeling.label_of(second)
+                )
+                assert got == want
+
+
+class TestMeasurements:
+    def test_max_label_and_bits(self, tree):
+        labeling = UidLabeling(tree)
+        assert labeling.max_label() == max(labeling.labels())
+        assert labeling.label_bits(1) == 1
+        assert labeling.label_bits(7) == 3
+
+    def test_star_tree_is_compact(self):
+        labeling = UidLabeling(star_tree(100))
+        assert labeling.max_label() == 101
+
+    def test_bit_budget_enforced(self):
+        from repro.errors import IdentifierOverflowError
+        from repro.generator import skewed_tree
+
+        hard = skewed_tree(depth=30, heavy_fan_out=50)
+        with pytest.raises(IdentifierOverflowError) as excinfo:
+            UidLabeling(hard, bit_budget=64)
+        assert excinfo.value.bits_required > 64
+        assert excinfo.value.bits_allowed == 64
+        # unlimited budget still works (Python big ints)
+        unlimited = UidLabeling(hard)
+        assert unlimited.max_label().bit_length() > 64
+
+    def test_bit_budget_permissive_when_small(self, tree):
+        labeling = UidLabeling(tree, bit_budget=32)
+        assert labeling.max_label() < 2**32
+
+    def test_reassign_sticky_fanout(self, tree):
+        from repro.xmltree import element
+
+        labeling = UidLabeling(tree)
+        # deleting children cannot shrink the committed fan-out
+        tree.delete_subtree(tree.root.children[0])
+        overflow = labeling.reassign()
+        assert not overflow
+        assert labeling.fan_out == 3

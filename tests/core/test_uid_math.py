@@ -1,0 +1,124 @@
+"""Unit tests for the pure k-ary UID arithmetic (paper formula (1))."""
+
+import pytest
+
+from repro.core import uid
+from repro.errors import NoParentError, NumberingError
+
+
+class TestParentFormula:
+    def test_paper_formula_examples(self):
+        # Fig. 1 arithmetic, k = 3: 23 -> 8, 26 -> 9, 27 -> 9, 8 -> 3, 9 -> 3.
+        assert uid.parent(23, 3) == 8
+        assert uid.parent(26, 3) == 9
+        assert uid.parent(27, 3) == 9
+        assert uid.parent(8, 3) == 3
+        assert uid.parent(9, 3) == 3
+        assert uid.parent(3, 3) == 1
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(NoParentError):
+            uid.parent(1, 3)
+
+    def test_parent_child_inverse(self):
+        for k in (1, 2, 3, 7):
+            for identifier in range(1, 200):
+                for ordinal in range(k):
+                    child = uid.child(identifier, k, ordinal)
+                    assert uid.parent(child, k) == identifier
+                    assert uid.child_ordinal(child, k) == ordinal
+
+    def test_invalid_arguments(self):
+        with pytest.raises(NumberingError):
+            uid.parent(0, 3)
+        with pytest.raises(NumberingError):
+            uid.parent(5, 0)
+        with pytest.raises(NumberingError):
+            uid.child(1, 3, 3)
+        with pytest.raises(NoParentError):
+            uid.child_ordinal(1, 3)
+
+
+class TestChildrenRange:
+    def test_formula(self):
+        # children of i in [(i-1)k+2, ik+1]
+        assert uid.children_range(1, 3) == (2, 4)
+        assert uid.children_range(2, 3) == (5, 7)
+        assert uid.children_range(3, 3) == (8, 10)
+        assert uid.children_range(9, 3) == (26, 28)
+
+    def test_ranges_tile_the_level(self):
+        k = 4
+        previous_end = uid.children_range(1, k)[1]
+        for identifier in range(2, 50):
+            low, high = uid.children_range(identifier, k)
+            assert low == previous_end + 1
+            previous_end = high
+
+
+class TestLevels:
+    def test_level_of(self):
+        assert uid.level_of(1, 3) == 1
+        for identifier in range(2, 5):
+            assert uid.level_of(identifier, 3) == 2
+        for identifier in range(5, 14):
+            assert uid.level_of(identifier, 3) == 3
+
+    def test_level_unary(self):
+        assert uid.level_of(5, 1) == 5
+
+    def test_capacity(self):
+        assert uid.subtree_capacity(3, 0) == 0
+        assert uid.subtree_capacity(3, 1) == 1
+        assert uid.subtree_capacity(3, 2) == 4
+        assert uid.subtree_capacity(3, 3) == 13
+        assert uid.subtree_capacity(1, 7) == 7
+        assert uid.max_identifier(2, 4) == 15
+
+    def test_capacity_growth_is_exponential(self):
+        assert uid.max_identifier(10, 10) > 10**9
+
+
+class TestAncestry:
+    def test_ancestors_chain(self):
+        assert list(uid.ancestors(27, 3)) == [9, 3, 1]
+
+    def test_is_ancestor(self):
+        assert uid.is_ancestor(3, 27, 3)
+        assert uid.is_ancestor(1, 27, 3)
+        assert uid.is_ancestor(9, 27, 3)
+        assert not uid.is_ancestor(8, 27, 3)
+        assert not uid.is_ancestor(27, 9, 3)
+        assert not uid.is_ancestor(27, 27, 3)  # proper
+
+    def test_document_compare(self):
+        # ancestors precede descendants
+        assert uid.document_compare(3, 27, 3) == -1
+        assert uid.document_compare(27, 3, 3) == 1
+        # siblings compare left to right
+        assert uid.document_compare(8, 9, 3) == -1
+        # cousins: subtree of 8 precedes subtree of 9
+        assert uid.document_compare(23, 26, 3) == -1
+        # 2's subtree precedes 3's subtree entirely
+        assert uid.document_compare(7, 8, 3) == -1
+        assert uid.document_compare(1, 1, 3) == 0
+
+    def test_document_compare_matches_preorder_enumeration(self):
+        # Enumerate a complete 2-ary tree of height 4 in preorder and
+        # check pairwise agreement.
+        k, height = 2, 4
+        order = []
+
+        def visit(identifier, level):
+            order.append(identifier)
+            if level < height:
+                low, high = uid.children_range(identifier, k)
+                for child in range(low, high + 1):
+                    visit(child, level + 1)
+
+        visit(1, 1)
+        rank = {identifier: index for index, identifier in enumerate(order)}
+        for a in order:
+            for b in order:
+                want = (rank[a] > rank[b]) - (rank[a] < rank[b])
+                assert uid.document_compare(a, b, k) == want

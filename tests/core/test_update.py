@@ -1,0 +1,259 @@
+"""Tests for structural update and relabel accounting (§3.2)."""
+
+import pytest
+
+from repro.core import (
+    Ruid2Labeling,
+    Ruid2Updater,
+    SizeCapPartitioner,
+    UidLabeling,
+    UidUpdater,
+    diff_snapshots,
+)
+from repro.generator import random_document
+from repro.xmltree import build, element, parse
+
+
+def assert_consistent(labeling):
+    """Every node's computed parent label matches its tree parent."""
+    for node in labeling.tree.preorder():
+        if node.parent is None:
+            continue
+        if isinstance(labeling, UidLabeling):
+            got = labeling.parent_label(labeling.label_of(node))
+        else:
+            got = labeling.rparent(labeling.label_of(node))
+        assert got == labeling.label_of(node.parent), node.tag
+
+
+class TestDiff:
+    def test_diff_snapshots(self):
+        before = {1: "a", 2: "b", 3: "c"}
+        after = {1: "a", 2: "B", 4: "d"}
+        changes = diff_snapshots(before, after)
+        assert [(c.node_id, c.old_label, c.new_label) for c in changes] == [(2, "b", "B")]
+
+
+class TestUidUpdater:
+    def test_insert_shifts_right_siblings_subtrees(self):
+        # a(b, c(d, e)) with k=2; inserting before b relabels b and the
+        # whole subtree of c.
+        tree = build(("a", ["b", ("c", ["d", "e"])]))
+        labeling = UidLabeling(tree, fan_out=3)  # headroom: no overflow
+        updater = UidUpdater(labeling)
+        report = updater.insert(tree.root, 0, element("new"))
+        assert not report.overflow
+        assert report.inserted_count == 1
+        # b, c, d, e all shift
+        assert report.relabeled_count == 4
+        assert_consistent(labeling)
+
+    def test_append_at_end_relabels_nothing(self):
+        tree = build(("a", ["b", "c"]))
+        labeling = UidLabeling(tree, fan_out=3)
+        report = UidUpdater(labeling).insert(tree.root, 2, element("tail"))
+        assert report.relabeled_count == 0
+        assert_consistent(labeling)
+
+    def test_overflow_renumbers_everything(self):
+        tree = build(("a", ["b", "c", "d"]))  # k = 3, root full
+        for leaf_parent in tree.root.children:
+            leaf_parent.append_child(element("x"))
+        labeling = UidLabeling(tree)
+        assert labeling.fan_out == 3
+        report = UidUpdater(labeling).insert(tree.root, 0, element("burst"))
+        assert report.overflow
+        assert labeling.fan_out == 4
+        # every pre-existing non-root node changes identifier
+        assert report.full_renumber
+        assert_consistent(labeling)
+
+    def test_delete_shifts_left(self):
+        tree = build(("a", ["b", ("c", ["d"]), ("e", ["f"])]))
+        labeling = UidLabeling(tree)
+        report = UidUpdater(labeling).delete(tree.root.children[1])
+        assert report.deleted_count == 2
+        assert report.relabeled_count == 2  # e and f shift left
+        assert_consistent(labeling)
+
+    def test_insert_subtree_counts_all_new_nodes(self):
+        tree = build(("a", ["b"]))
+        labeling = UidLabeling(tree, fan_out=3)
+        subtree = build(("s", ["t", "u"])).root
+        report = UidUpdater(labeling).insert(tree.root, 1, subtree)
+        assert report.inserted_count == 3
+        assert_consistent(labeling)
+
+
+class TestRuid2Updater:
+    def test_insert_confined_to_one_area(self):
+        tree = random_document(300, seed=41, fanout_kind="uniform", low=1, high=4)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(10))
+        updater = Ruid2Updater(labeling)
+        target = tree.root.children[0]
+        # children live in the area the target roots (if any), else in
+        # the target's containing area
+        if labeling.frame.is_area_root(target):
+            target_area = labeling.frame.area_of_root(target)
+        else:
+            target_area = labeling.frame.area_containing(target)
+        member_ids = {n.node_id for n in target_area.nodes}
+        report = updater.insert(target, 0, element("new"))
+        # every relabeled node is a member of the insertion area (its
+        # child-area roots included — they are members by Definition 2)
+        assert all(change.node_id in member_ids for change in report.changed)
+        assert report.relabeled_count < 40  # bounded by area size, not doc size
+        assert_consistent(labeling)
+
+    def test_insert_never_changes_other_areas_globals(self):
+        tree = random_document(200, seed=42, fanout_kind="uniform", low=1, high=4)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(8))
+        updater = Ruid2Updater(labeling)
+        target = max(tree.preorder(), key=lambda n: n.depth).parent
+        report = updater.insert(target, 0, element("new"))
+        # insertion cannot move the frame: global indices are stable
+        for change in report.changed:
+            assert change.old_label.global_index == change.new_label.global_index
+        assert not report.kappa_changed
+        assert_consistent(labeling)
+
+    def test_local_overflow_renumbers_area_only(self):
+        tree = parse("<a><b><c/><c/><c/></b><d><e/><e/></d><f/></a>")
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(4))
+        updater = Ruid2Updater(labeling)
+        b = tree.root.children[0]
+        report = updater.insert(b, 0, element("n4"))  # b now has 4 children
+        assert report.overflow
+        assert report.relabeled_count < len(labeling.snapshot())
+        assert_consistent(labeling)
+
+    def test_delete_leaf_area(self):
+        tree = random_document(200, seed=43, fanout_kind="uniform", low=1, high=4)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(8))
+        updater = Ruid2Updater(labeling)
+        deepest = max(tree.preorder(), key=lambda n: n.depth)
+        report = updater.delete(deepest)
+        assert report.deleted_count == 1
+        assert_consistent(labeling)
+
+    def test_delete_subtree_with_areas(self):
+        tree = random_document(300, seed=44, fanout_kind="uniform", low=2, high=4)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(6))
+        updater = Ruid2Updater(labeling)
+        victim = tree.root.children[0]
+        size = victim.subtree_size()
+        report = updater.delete(victim)
+        assert report.deleted_count == size
+        assert_consistent(labeling)
+
+    def test_delete_is_frame_stable(self):
+        """§3.2: deleting a subtree (even one containing whole areas)
+        must not shift the global indices of surviving areas — 'the
+        nodes in the descendant areas are not affected because the
+        frame F is unchanged'."""
+        tree = random_document(300, seed=44, fanout_kind="uniform", low=2, high=4)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(6))
+        updater = Ruid2Updater(labeling)
+        victim = tree.root.children[0]
+        report = updater.delete(victim)
+        assert not report.frame_renumbered
+        assert all(
+            change.old_label.global_index == change.new_label.global_index
+            for change in report.changed
+        )
+        # scope confined to the deletion area's members
+        area = labeling.frame.area_containing(victim.parent or tree.root)
+        assert report.relabeled_count <= area.size + len(area.child_area_roots)
+        assert_consistent(labeling)
+
+    def test_sticky_global_conflict_falls_back(self):
+        """Pinning inconsistent globals triggers the fallback path."""
+        from repro.core.ruid import StickyGlobalConflict, enumerate_ruid2
+
+        tree = random_document(100, seed=47, fanout_kind="uniform", low=1, high=4)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(8))
+        some_root_id = next(
+            rid for rid in labeling.area_root_ids if rid != tree.root.node_id
+        )
+        with pytest.raises(StickyGlobalConflict):
+            enumerate_ruid2(
+                tree,
+                labeling.area_root_ids,
+                min_kappa=labeling.kappa,
+                fixed_globals={some_root_id: 10**9},  # hangs under nothing
+            )
+        with pytest.raises(StickyGlobalConflict):
+            enumerate_ruid2(
+                tree,
+                labeling.area_root_ids,
+                fixed_globals={tree.root.node_id: 2},
+            )
+
+    def test_order_oracle_survives_frame_stable_deletes(self):
+        """After frame-stable deletions the frame ordinals may disagree
+        with document order; the order oracle must not care (it uses
+        local indices, not ordinals)."""
+        import itertools
+
+        from repro.core import Relation, Ruid2Order
+
+        tree = random_document(200, seed=48, fanout_kind="uniform", low=2, high=4)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(5))
+        updater = Ruid2Updater(labeling)
+        # delete a couple of area-bearing subtrees
+        for _ in range(2):
+            candidates = [
+                c for c in tree.root.children if c.subtree_size() > 10
+            ]
+            if not candidates:
+                break
+            updater.delete(candidates[0])
+        oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+        nodes = tree.nodes()
+        for first, second in itertools.product(nodes[::5], nodes[::7]):
+            got = oracle.relation(labeling.label_of(first), labeling.label_of(second))
+            if first is second:
+                assert got is Relation.SELF
+            elif first.is_ancestor_of(second):
+                assert got is Relation.ANCESTOR
+            elif second.is_ancestor_of(first):
+                assert got is Relation.DESCENDANT
+            else:
+                want = tree.compare_document_order(first, second)
+                assert (got is Relation.PRECEDING) == (want < 0)
+
+    def test_area_split_on_threshold(self):
+        tree = random_document(120, seed=45, fanout_kind="uniform", low=1, high=3)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(500))
+        assert labeling.area_count() == 1
+        updater = Ruid2Updater(labeling, split_threshold=50)
+        target = max(tree.preorder(), key=lambda n: n.depth).parent
+        updater.insert(target, 0, element("trigger"))
+        assert labeling.area_count() >= 1  # may split if parent qualifies
+        assert_consistent(labeling)
+
+    def test_workload_consistency(self):
+        import random
+
+        tree = random_document(250, seed=46, fanout_kind="geometric", mean=3)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+        updater = Ruid2Updater(labeling)
+        rng = random.Random(0)
+        for step in range(30):
+            nodes = tree.nodes()
+            node = nodes[rng.randrange(len(nodes))]
+            if rng.random() < 0.7 or node is tree.root:
+                updater.insert(node, rng.randint(0, node.fan_out), element(f"w{step}"))
+            else:
+                updater.delete(node)
+            assert_consistent(labeling)
+
+
+class TestReportProperties:
+    def test_relabeled_fraction(self):
+        tree = build(("a", ["b", "c"]))
+        labeling = UidLabeling(tree, fan_out=3)
+        report = UidUpdater(labeling).insert(tree.root, 0, element("n"))
+        assert 0 <= report.relabeled_fraction <= 1
+        assert report.surviving_nodes == 3
+        assert "insert" in report.summary()

@@ -1,0 +1,110 @@
+"""Tests for the parametric random tree generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.generator import (
+    FanOutDistribution,
+    RandomTreeConfig,
+    generate_tree,
+    random_document,
+    random_node,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        first = random_document(300, seed=5)
+        second = random_document(300, seed=5)
+        assert [n.tag for n in first.preorder()] == [n.tag for n in second.preorder()]
+
+    def test_different_seed_differs(self):
+        first = random_document(300, seed=5)
+        second = random_document(300, seed=6)
+        assert [n.tag for n in first.preorder()] != [n.tag for n in second.preorder()]
+
+
+class TestBudget:
+    @pytest.mark.parametrize("count", [1, 2, 50, 500])
+    def test_exact_node_count(self, count):
+        tree = random_document(count, seed=1)
+        assert tree.size() == count
+
+    def test_invalid_count(self):
+        with pytest.raises(ReproError):
+            generate_tree(RandomTreeConfig(node_count=0))
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        config = RandomTreeConfig(
+            node_count=500, fan_out=FanOutDistribution(kind="uniform", low=2, high=4)
+        )
+        tree = generate_tree(config, seed=3)
+        for node in tree.preorder():
+            if node.children and node.fan_out < 2:
+                # only budget exhaustion can undercut the minimum
+                assert tree.size() == 500
+
+    def test_constant(self):
+        config = RandomTreeConfig(
+            node_count=40, fan_out=FanOutDistribution(kind="constant", value=3)
+        )
+        tree = generate_tree(config, seed=1)
+        internal = [n for n in tree.preorder() if n.children]
+        assert all(n.fan_out == 3 for n in internal[:-1])
+
+    def test_zipf_produces_disparity(self):
+        config = RandomTreeConfig(
+            node_count=2000,
+            fan_out=FanOutDistribution(kind="zipf", exponent=1.2, maximum=80),
+        )
+        tree = generate_tree(config, seed=7)
+        from repro.xmltree import compute_stats
+
+        assert compute_stats(tree).fan_out_disparity > 3
+
+    def test_geometric_mean(self):
+        distribution = FanOutDistribution(kind="geometric", mean=4.0)
+        rng = random.Random(0)
+        samples = [distribution.sample(rng) for _ in range(3000)]
+        assert 3.0 < sum(samples) / len(samples) < 5.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            FanOutDistribution(kind="cauchy").sample(random.Random(0))
+
+
+class TestOptions:
+    def test_max_depth_respected(self):
+        config = RandomTreeConfig(node_count=1000, max_depth=4)
+        tree = generate_tree(config, seed=2)
+        assert tree.height() <= 4
+
+    def test_text_sprinkling(self):
+        config = RandomTreeConfig(node_count=200, text_probability=1.0)
+        tree = generate_tree(config, seed=2)
+        from repro.xmltree import NodeKind
+
+        texts = [n for n in tree.preorder() if n.kind is NodeKind.TEXT]
+        assert texts
+
+    def test_attributes(self):
+        config = RandomTreeConfig(node_count=100, attribute_probability=1.0)
+        tree = generate_tree(config, seed=2)
+        assert all("id" in n.attributes for n in tree.preorder() if n.parent is not None)
+
+    def test_random_node(self):
+        tree = random_document(50, seed=8)
+        rng = random.Random(0)
+        picked = {random_node(tree, rng).node_id for _ in range(60)}
+        assert len(picked) > 5
+        assert tree.root.node_id not in picked
+
+    def test_random_node_single_node_tree(self):
+        from repro.xmltree import build
+
+        with pytest.raises(ReproError):
+            random_node(build("solo"), random.Random(0))

@@ -1,0 +1,72 @@
+"""Tests for canonical shapes."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.generator import (
+    comb_tree,
+    fig1_tree,
+    fig4_tree,
+    kary_tree,
+    path_tree,
+    shape_catalog,
+    skewed_tree,
+    star_tree,
+)
+
+
+class TestBasicShapes:
+    def test_path(self):
+        tree = path_tree(10)
+        assert tree.size() == 10
+        assert tree.height() == 10
+        assert tree.max_fan_out() == 1
+
+    def test_star(self):
+        tree = star_tree(25)
+        assert tree.size() == 26
+        assert tree.height() == 2
+        assert tree.max_fan_out() == 25
+
+    def test_comb(self):
+        tree = comb_tree(10)
+        assert tree.height() == 10
+        assert tree.max_fan_out() == 2
+
+    def test_skewed(self):
+        tree = skewed_tree(depth=15, heavy_fan_out=40)
+        assert tree.max_fan_out() == 41  # heavy leaves + the chain child
+        assert tree.height() == 15
+
+    def test_kary(self):
+        tree = kary_tree(3, 4)
+        assert tree.size() == 40
+
+    @pytest.mark.parametrize("factory,args", [
+        (path_tree, (0,)),
+        (star_tree, (-1,)),
+        (comb_tree, (0,)),
+        (skewed_tree, (0, 5)),
+    ])
+    def test_validation(self, factory, args):
+        with pytest.raises(ReproError):
+            factory(*args)
+
+    def test_catalog(self):
+        catalog = shape_catalog(100)
+        assert set(catalog) == {"path", "star", "comb", "skewed", "binary"}
+        for tree in catalog.values():
+            assert tree.size() > 10
+
+
+class TestPaperTrees:
+    def test_fig1_tags_carry_uids(self):
+        tree = fig1_tree()
+        tags = {n.tag for n in tree.preorder()}
+        assert tags == {"n1", "n2", "n3", "n8", "n9", "n23", "n26", "n27"}
+
+    def test_fig4_has_expected_marked_nodes(self):
+        tree = fig4_tree()
+        tags = {n.tag for n in tree.preorder()}
+        assert {"r", "a2", "a3", "a4", "a5", "a6"} <= tags
+        assert tree.root.fan_out == 4

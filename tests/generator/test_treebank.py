@@ -1,0 +1,54 @@
+"""Tests for the treebank-like generator."""
+
+from repro.core import Ruid2Scheme, UidScheme
+from repro.generator import TREEBANK_QUERIES, generate_treebank
+from repro.query import XPathEngine
+from repro.xmltree import compute_stats
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        first = generate_treebank(sentences=8, seed=3)
+        second = generate_treebank(sentences=8, seed=3)
+        assert [n.tag for n in first.preorder()] == [n.tag for n in second.preorder()]
+
+    def test_recursion_heavy(self):
+        tree = generate_treebank(sentences=15, max_depth=16, seed=4)
+        stats = compute_stats(tree)
+        assert stats.max_tag_recursion >= 3  # same category nests
+        assert stats.height > 8
+        assert stats.max_fan_out <= 20  # small fan-outs throughout
+
+    def test_depth_cap_respected(self):
+        tree = generate_treebank(sentences=10, max_depth=6, seed=5)
+        # grammar tails can add a few levels past the cap before
+        # collapsing; the bound is cap + longest forced chain
+        assert tree.height() <= 6 + 8
+
+    def test_text_toggle(self):
+        with_text = generate_treebank(sentences=3, seed=6, with_text=True)
+        without = generate_treebank(sentences=3, seed=6, with_text=False)
+        from repro.xmltree import NodeKind
+
+        assert any(n.kind is NodeKind.TEXT for n in with_text.preorder())
+        assert not any(n.kind is NodeKind.TEXT for n in without.preorder())
+
+
+class TestObservationOne:
+    def test_ruid_labels_narrower_than_uid_on_recursion(self):
+        """Observation 1: recursion-heavy trees are where rUID beats
+        UID on identifier width."""
+        tree = generate_treebank(sentences=25, max_depth=18, seed=7)
+        uid_bits = UidScheme().build(tree).max_label_bits()
+        ruid_bits = Ruid2Scheme(max_area_size=12).build(tree).max_label_bits()
+        assert ruid_bits < uid_bits
+
+    def test_queries_agree_across_strategies(self):
+        tree = generate_treebank(sentences=12, seed=8)
+        engine = XPathEngine(tree)
+        for query in TREEBANK_QUERIES:
+            navigational = engine.select(query, "navigational")
+            ruid = engine.select(query, "ruid")
+            assert [n.node_id for n in navigational] == [
+                n.node_id for n in ruid
+            ], query

@@ -1,0 +1,88 @@
+"""Tests for update workload generation and replay."""
+
+import pytest
+
+from repro.core import Ruid2Scheme, UidScheme
+from repro.errors import ReproError
+from repro.generator import (
+    UpdateWorkloadConfig,
+    apply_workload,
+    generate_update_workload,
+    random_document,
+)
+
+
+class TestGeneration:
+    def test_op_count(self):
+        tree = random_document(200, seed=71)
+        ops = generate_update_workload(tree, UpdateWorkloadConfig(operations=25), seed=1)
+        assert len(ops) == 25
+
+    def test_deterministic(self):
+        tree = random_document(200, seed=71)
+        first = generate_update_workload(tree, UpdateWorkloadConfig(operations=20), seed=2)
+        second = generate_update_workload(tree, UpdateWorkloadConfig(operations=20), seed=2)
+        assert first == second
+
+    def test_insert_fraction(self):
+        tree = random_document(300, seed=72)
+        ops = generate_update_workload(
+            tree, UpdateWorkloadConfig(operations=60, insert_fraction=1.0), seed=3
+        )
+        assert all(op.kind == "insert" for op in ops)
+
+    @pytest.mark.parametrize("bias", ["uniform", "shallow", "deep"])
+    def test_biases_run(self, bias):
+        tree = random_document(150, seed=73)
+        ops = generate_update_workload(
+            tree, UpdateWorkloadConfig(operations=15, depth_bias=bias), seed=4
+        )
+        assert len(ops) == 15
+
+    def test_unknown_bias(self):
+        tree = random_document(50, seed=74)
+        with pytest.raises(ReproError):
+            generate_update_workload(
+                tree, UpdateWorkloadConfig(operations=5, depth_bias="sideways"), seed=5
+            )
+
+    def test_source_tree_untouched(self):
+        tree = random_document(100, seed=75)
+        size_before = tree.size()
+        generate_update_workload(tree, UpdateWorkloadConfig(operations=30), seed=6)
+        assert tree.size() == size_before
+
+
+class TestReplay:
+    def test_replay_identical_across_schemes(self):
+        base = random_document(200, seed=76, fanout_kind="uniform", low=1, high=4)
+        ops = generate_update_workload(base, UpdateWorkloadConfig(operations=30), seed=7)
+
+        def replay(scheme):
+            tree = base.copy()
+            labeling = scheme.build(tree)
+            reports = list(apply_workload(tree, ops, labeling.insert, labeling.delete))
+            return tree, reports
+
+        tree_uid, reports_uid = replay(UidScheme())
+        tree_ruid, reports_ruid = replay(Ruid2Scheme(max_area_size=10))
+        # both replays converge to the same document shape
+        assert [n.tag for n in tree_uid.preorder()] == [n.tag for n in tree_ruid.preorder()]
+        assert len(reports_uid) == len(reports_ruid) == 30
+
+    def test_op_paths_stable(self):
+        base = random_document(100, seed=77)
+        ops = generate_update_workload(
+            base, UpdateWorkloadConfig(operations=10, insert_fraction=0.5), seed=8
+        )
+        tree = base.copy()
+        for op in ops:
+            node = op.locate(tree)
+            if op.kind == "insert":
+                from repro.xmltree import element
+
+                tree.insert_node(node, op.position, element(op.tag))
+            else:
+                tree.delete_subtree(node)
+        # replay completed without path errors
+        assert tree.size() > 0

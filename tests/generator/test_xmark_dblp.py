@@ -1,0 +1,63 @@
+"""Tests for the XMark-like and DBLP-like document generators."""
+
+from repro.generator import DBLP_QUERIES, XMARK_QUERIES, generate_dblp, generate_xmark
+from repro.query import XPathEngine
+from repro.xmltree import compute_stats
+
+
+class TestXmark:
+    def test_deterministic(self):
+        first = generate_xmark(0.03, seed=1)
+        second = generate_xmark(0.03, seed=1)
+        assert [n.tag for n in first.preorder()] == [n.tag for n in second.preorder()]
+
+    def test_scale_grows_document(self):
+        small = generate_xmark(0.02, seed=1).size()
+        large = generate_xmark(0.1, seed=1).size()
+        assert large > small * 2
+
+    def test_expected_sections(self):
+        tree = generate_xmark(0.03, seed=2)
+        top = [n.tag for n in tree.root.children]
+        assert top == ["regions", "categories", "people", "open_auctions", "closed_auctions"]
+
+    def test_references_are_valid(self):
+        tree = generate_xmark(0.05, seed=3)
+        person_ids = {n.attributes["id"] for n in tree.find_by_tag("person")}
+        for ref in tree.find_by_tag("personref"):
+            assert ref.attributes["person"] in person_ids
+        item_ids = {n.attributes["id"] for n in tree.find_by_tag("item")}
+        for ref in tree.find_by_tag("itemref"):
+            assert ref.attributes["item"] in item_ids
+
+    def test_queries_run_and_agree(self):
+        tree = generate_xmark(0.04, seed=4)
+        engine = XPathEngine(tree)
+        for query in XMARK_QUERIES:
+            navigational = engine.select(query, "navigational")
+            ruid = engine.select(query, "ruid")
+            assert [n.node_id for n in navigational] == [n.node_id for n in ruid], query
+
+
+class TestDblp:
+    def test_shallow_wide_shape(self):
+        tree = generate_dblp(entries=200, seed=1)
+        stats = compute_stats(tree)
+        assert stats.height <= 4
+        assert tree.root.fan_out == 200
+
+    def test_entry_fields(self):
+        tree = generate_dblp(entries=50, seed=2)
+        for entry in tree.root.children:
+            child_tags = {c.tag for c in entry.children}
+            assert "title" in child_tags
+            assert "year" in child_tags
+            assert "author" in child_tags
+
+    def test_queries_run_and_agree(self):
+        tree = generate_dblp(entries=80, seed=3)
+        engine = XPathEngine(tree)
+        for query in DBLP_QUERIES:
+            navigational = engine.select(query, "navigational")
+            ruid = engine.select(query, "ruid")
+            assert [n.node_id for n in navigational] == [n.node_id for n in ruid], query

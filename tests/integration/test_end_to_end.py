@@ -1,0 +1,81 @@
+"""End-to-end flows: parse → label → store → query → update."""
+
+import pytest
+
+from repro.baselines import get_scheme
+from repro.core import Ruid2Scheme, SizeCapPartitioner
+from repro.generator import generate_xmark
+from repro.query import XPathEngine
+from repro.storage import XmlDatabase
+from repro.xmltree import element, parse, serialize
+
+
+class TestFullPipeline:
+    def test_parse_label_store_query(self, xmark_tree):
+        tree = xmark_tree.copy()
+        labeling = Ruid2Scheme(max_area_size=24).build(tree)
+        database = XmlDatabase(page_size=1024, pool_pages=64)
+        document = database.store_document("auction", tree, labeling)
+
+        # every stored row fetches back and its parent resolves
+        for node in list(tree.preorder())[::13]:
+            label = labeling.label_of(node)
+            assert document.fetch(label)[1] == node.tag
+            if node.parent is not None:
+                assert document.fetch_parent(label)[1] == node.parent.tag
+
+        # XPath over the same labeling
+        engine = XPathEngine(tree, labeling=labeling)
+        people = engine.select("/site/people/person", "ruid")
+        assert people == tree.find_by_tag("person")
+
+    def test_serialize_reparse_relabel_consistency(self, xmark_tree):
+        text = serialize(xmark_tree)
+        again = parse(text)
+        labeling = Ruid2Scheme(max_area_size=16).build(again)
+        for node in again.preorder():
+            if node.parent is not None:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )
+
+    def test_update_then_query(self):
+        tree = parse("<lib><shelf><book>X</book></shelf></lib>")
+        labeling = Ruid2Scheme(max_area_size=4).build(tree)
+        shelf = tree.find_by_tag("shelf")[0]
+        for index in range(5):
+            new_book = element("book")
+            labeling.insert(shelf, index, new_book)
+        engine = XPathEngine(tree, labeling=labeling)
+        assert engine.count("//book", "ruid") == 6
+        assert engine.count("//book", "navigational") == 6
+
+    def test_query_agreement_after_update_workload(self):
+        from repro.generator import (
+            UpdateWorkloadConfig,
+            apply_workload,
+            generate_update_workload,
+            random_document,
+        )
+
+        tree = random_document(200, seed=91, fanout_kind="uniform", low=1, high=4)
+        labeling = Ruid2Scheme(max_area_size=8).build(tree)
+        ops = generate_update_workload(tree, UpdateWorkloadConfig(operations=20), seed=92)
+        list(apply_workload(tree, ops, labeling.insert, labeling.delete))
+        engine = XPathEngine(tree, labeling=labeling)
+        for query in ("//section", "//item/..", "//*[position() = 1]"):
+            assert [n.node_id for n in engine.select(query, "navigational")] == [
+                n.node_id for n in engine.select(query, "ruid")
+            ]
+
+
+class TestCrossSchemeStorage:
+    @pytest.mark.parametrize("scheme_name", ["uid", "ruid2", "dewey", "prepost", "region"])
+    def test_store_and_scan_every_scheme(self, scheme_name, dblp_tree):
+        tree = dblp_tree.copy()
+        labeling = get_scheme(scheme_name).build(tree)
+        database = XmlDatabase(page_size=1024, pool_pages=32)
+        document = database.store_document("bib", tree, labeling)
+        assert len(document) == tree.size()
+        titles = document.nodes_with_tag("title")
+        assert len(titles) == len(tree.find_by_tag("title"))

@@ -1,0 +1,57 @@
+"""Cross-scheme agreement: every scheme answers structure identically."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import all_schemes
+from repro.core import Relation
+from repro.generator import generate_xmark, random_document
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [
+        random_document(150, seed=101, fanout_kind="uniform", low=1, high=5),
+        random_document(150, seed=102, fanout_kind="zipf", exponent=1.3, maximum=30),
+        generate_xmark(scale=0.03, seed=103),
+    ]
+
+
+class TestAgreement:
+    def test_all_schemes_agree_on_relations(self, corpus):
+        for tree in corpus:
+            labelings = [scheme.build(tree) for scheme in all_schemes()]
+            nodes = tree.nodes()
+            sample = nodes[:: max(1, len(nodes) // 10)]
+            for first, second in itertools.product(sample, repeat=2):
+                relations = {
+                    labeling.scheme_name: labeling.relation(
+                        labeling.label_of(first), labeling.label_of(second)
+                    )
+                    for labeling in labelings
+                }
+                assert len(set(relations.values())) == 1, relations
+
+    def test_all_schemes_agree_on_doc_compare(self, corpus):
+        tree = corpus[0]
+        labelings = [scheme.build(tree) for scheme in all_schemes()]
+        nodes = tree.nodes()
+        for first, second in zip(nodes[::7], nodes[::5]):
+            signs = {
+                labeling.scheme_name: labeling.doc_compare(
+                    labeling.label_of(first), labeling.label_of(second)
+                )
+                for labeling in labelings
+            }
+            assert len(set(signs.values())) == 1, signs
+
+    def test_is_ancestor_consistency(self, corpus):
+        tree = corpus[1]
+        labelings = [scheme.build(tree) for scheme in all_schemes()]
+        deepest = max(tree.preorder(), key=lambda n: n.depth)
+        for labeling in labelings:
+            for ancestor in deepest.ancestors():
+                assert labeling.is_ancestor(
+                    labeling.label_of(ancestor), labeling.label_of(deepest)
+                ), labeling.scheme_name

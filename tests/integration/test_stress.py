@@ -1,0 +1,128 @@
+"""Stress tests for the trickiest interleavings.
+
+These are slow-ish (seconds) deliberate torture runs: long mixed
+update workloads with area splitting enabled, frame-stable deletions,
+and full structural re-verification (bijection, parents, order oracle,
+axes) after every burst.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    AxisEngine,
+    Relation,
+    Ruid2Labeling,
+    Ruid2Order,
+    Ruid2Updater,
+    SizeCapPartitioner,
+)
+from repro.generator import generate_xmark, path_tree, random_document, star_tree
+from repro.core.multilevel import MultilevelRuidLabeling
+from repro.xmltree import element
+
+
+def verify_everything(labeling: Ruid2Labeling, sample_stride: int = 7) -> None:
+    tree = labeling.tree
+    # bijection + parents
+    seen = set()
+    for node in tree.preorder():
+        label = labeling.label_of(node)
+        assert label not in seen
+        seen.add(label)
+        assert labeling.node_of(label) is node
+        if node.parent is not None:
+            assert labeling.rparent(label) == labeling.label_of(node.parent)
+    # order oracle
+    oracle = Ruid2Order(labeling.kappa, labeling.ktable)
+    nodes = tree.nodes()
+    for first, second in itertools.product(
+        nodes[::sample_stride], nodes[:: sample_stride + 2]
+    ):
+        got = oracle.relation(labeling.label_of(first), labeling.label_of(second))
+        if first is second:
+            assert got is Relation.SELF
+        elif first.is_ancestor_of(second):
+            assert got is Relation.ANCESTOR
+        elif second.is_ancestor_of(first):
+            assert got is Relation.DESCENDANT
+        else:
+            want = tree.compare_document_order(first, second)
+            assert (got is Relation.PRECEDING) == (want < 0)
+    # axes on a fresh engine
+    engine = AxisEngine(labeling)
+    for node in nodes[:: sample_stride * 3]:
+        label = labeling.label_of(node)
+        assert [labeling.node_of(c) for c in engine.children(label)] == node.children
+        assert [labeling.node_of(d) for d in engine.descendants(label)] == list(
+            node.descendants()
+        )
+
+
+class TestLongMixedWorkloadWithSplits:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_torture(self, seed):
+        tree = random_document(250, seed=300 + seed, fanout_kind="geometric", mean=3)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(10))
+        updater = Ruid2Updater(labeling, split_threshold=20)
+        rng = random.Random(seed)
+        for burst in range(6):
+            for step in range(15):
+                nodes = tree.nodes()
+                node = nodes[rng.randrange(len(nodes))]
+                roll = rng.random()
+                if roll < 0.6 or node is tree.root:
+                    updater.insert(
+                        node, rng.randint(0, node.fan_out), element(f"s{burst}_{step}")
+                    )
+                elif roll < 0.9 and node.subtree_size() <= 12:
+                    updater.delete(node)
+                else:
+                    # delete a potentially area-bearing subtree
+                    if node is not tree.root and node.subtree_size() <= 60:
+                        updater.delete(node)
+            verify_everything(labeling)
+
+
+class TestExtremeShapes:
+    def test_star_then_deepen(self):
+        tree = star_tree(150)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+        updater = Ruid2Updater(labeling)
+        # grow a deep chain out of one leaf of the star
+        current = tree.root.children[75]
+        for step in range(40):
+            fresh = element(f"deep{step}")
+            updater.insert(current, 0, fresh)
+            current = fresh
+        verify_everything(labeling, sample_stride=11)
+
+    def test_path_then_widen(self):
+        tree = path_tree(80)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(6))
+        updater = Ruid2Updater(labeling)
+        spine = [n for n in tree.preorder()][::10]
+        for index, node in enumerate(spine):
+            for j in range(4):
+                updater.insert(node, 0, element(f"w{index}_{j}"))
+        verify_everything(labeling, sample_stride=9)
+
+    def test_multilevel_on_star_and_path(self):
+        for tree in (star_tree(120), path_tree(120)):
+            multi = MultilevelRuidLabeling(
+                tree, levels=3, partitioners=SizeCapPartitioner(6)
+            )
+            for node in tree.preorder():
+                if node.parent is not None:
+                    assert multi.rparent(multi.label_of(node)) == multi.label_of(
+                        node.parent
+                    )
+
+
+class TestXmarkFullVerification:
+    def test_xmark_small_areas(self):
+        tree = generate_xmark(scale=0.06, seed=301)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(3))
+        verify_everything(labeling, sample_stride=13)

@@ -1,0 +1,84 @@
+"""Long-haul update consistency across the updatable schemes.
+
+The same seeded workload is replayed under every scheme; after every
+operation the labeling must remain a bijection with correct parents,
+and the relabel accounting must be internally consistent.
+"""
+
+import pytest
+
+from repro.baselines import UPDATABLE, get_scheme
+from repro.errors import NoParentError
+from repro.generator import (
+    UpdateWorkloadConfig,
+    apply_workload,
+    generate_update_workload,
+    random_document,
+)
+
+
+@pytest.fixture(scope="module")
+def base_tree():
+    return random_document(250, seed=111, fanout_kind="geometric", mean=3)
+
+
+@pytest.fixture(scope="module")
+def ops(base_tree):
+    return generate_update_workload(
+        base_tree, UpdateWorkloadConfig(operations=40, insert_fraction=0.7), seed=112
+    )
+
+
+def check_full_consistency(labeling):
+    seen = set()
+    for node in labeling.tree.preorder():
+        label = labeling.label_of(node)
+        assert label not in seen
+        seen.add(label)
+        assert labeling.node_of(label) is node
+        if node.parent is None:
+            with pytest.raises(NoParentError):
+                labeling.parent_label(label)
+        else:
+            assert labeling.parent_label(label) == labeling.label_of(node.parent)
+
+
+@pytest.mark.parametrize("scheme_name", UPDATABLE)
+class TestWorkloadConsistency:
+    def test_consistent_after_every_op(self, scheme_name, base_tree, ops):
+        tree = base_tree.copy()
+        labeling = get_scheme(scheme_name).build(tree)
+        for report in apply_workload(tree, ops, labeling.insert, labeling.delete):
+            assert report.relabeled_count <= report.surviving_nodes
+            assert report.scheme == labeling.scheme_name
+        check_full_consistency(labeling)
+
+    def test_reports_track_operations(self, scheme_name, base_tree, ops):
+        tree = base_tree.copy()
+        labeling = get_scheme(scheme_name).build(tree)
+        reports = list(apply_workload(tree, ops, labeling.insert, labeling.delete))
+        assert len(reports) == len(ops)
+        inserts = sum(1 for r in reports if r.operation == "insert")
+        deletes = sum(1 for r in reports if r.operation == "delete")
+        assert inserts == sum(1 for op in ops if op.kind == "insert")
+        assert deletes == sum(1 for op in ops if op.kind == "delete")
+
+
+class TestRelativeRobustness:
+    """The paper's §3.2 ordering, asserted as an integration invariant."""
+
+    def test_ruid_beats_uid_and_prepost(self, base_tree, ops):
+        from repro.analysis import run_workload_per_scheme
+
+        schemes = [
+            get_scheme("uid"),
+            get_scheme("ruid2", max_area_size=12),
+            get_scheme("prepost"),
+            get_scheme("posdepth"),
+        ]
+        summaries = {
+            s.scheme: s for s in run_workload_per_scheme(base_tree, schemes, ops)
+        }
+        assert summaries["ruid2"].mean_relabeled <= summaries["uid"].mean_relabeled
+        assert summaries["ruid2"].mean_relabeled < summaries["prepost"].mean_relabeled
+        assert summaries["ruid2"].mean_relabeled < summaries["posdepth"].mean_relabeled

@@ -1,0 +1,49 @@
+"""Property-based tests: the B+-tree behaves like a sorted dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BPlusTree, Pager, decode_key, decode_value, encode_key, encode_value
+
+keys = st.integers(min_value=0, max_value=10_000)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, st.integers()),
+        st.tuples(st.just("del"), keys),
+    ),
+    max_size=300,
+)
+
+
+class TestAgainstModel:
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops):
+        tree = BPlusTree(Pager(page_size=256, pool_pages=8))
+        model = {}
+        for op in ops:
+            if op[0] == "put":
+                _, key, value = op
+                tree.insert(encode_key(key), encode_value(value), replace=True)
+                model[key] = value
+            else:
+                _, key = op
+                removed = tree.delete(encode_key(key))
+                assert removed == (key in model)
+                model.pop(key, None)
+        # full agreement
+        assert len(tree) == len(model)
+        for key, value in model.items():
+            assert decode_value(tree.get(encode_key(key))) == value
+        ordered = [decode_key(k) for k, _ in tree.items()]
+        assert ordered == sorted(model)
+
+    @given(st.lists(keys, unique=True, min_size=1, max_size=200), keys, keys)
+    @settings(max_examples=60, deadline=None)
+    def test_range_matches_model(self, inserted, bound_a, bound_b):
+        low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+        tree = BPlusTree(Pager(page_size=256, pool_pages=8))
+        for key in inserted:
+            tree.insert(encode_key(key), encode_value(None))
+        got = [decode_key(k) for k, _ in tree.range(encode_key(low), encode_key(high))]
+        assert got == sorted(k for k in inserted if low <= k <= high)

@@ -1,0 +1,82 @@
+"""Property-based tests for the order-preserving codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import decode_key, decode_value, encode_key, encode_value
+
+key_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**128), max_value=2**128),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+key_values = st.one_of(
+    key_scalars,
+    st.tuples(key_scalars),
+    st.tuples(key_scalars, key_scalars),
+    st.tuples(key_scalars, key_scalars, key_scalars),
+)
+
+value_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**100), max_value=2**100),
+        st.floats(allow_nan=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda children: st.lists(children, max_size=4).map(tuple),
+    max_leaves=8,
+)
+
+_TYPE_RANK = {type(None): 0, bool: 1, int: 2, str: 3, bytes: 4, tuple: 5}
+
+
+def reference_compare(first, second) -> int:
+    """Type-ranked comparison mirroring the codec's documented order."""
+    rank_first, rank_second = _TYPE_RANK[type(first)], _TYPE_RANK[type(second)]
+    if rank_first != rank_second:
+        return -1 if rank_first < rank_second else 1
+    if isinstance(first, tuple):
+        for a, b in zip(first, second):
+            result = reference_compare(a, b)
+            if result:
+                return result
+        return (len(first) > len(second)) - (len(first) < len(second))
+    if first == second:
+        return 0
+    if first is None:
+        return 0
+    return -1 if first < second else 1
+
+
+class TestKeyCodec:
+    @given(key_values)
+    @settings(max_examples=150)
+    def test_roundtrip(self, value):
+        assert decode_key(encode_key(value)) == value
+
+    @given(key_values, key_values)
+    @settings(max_examples=300)
+    def test_order_preserved(self, first, second):
+        want = reference_compare(first, second)
+        encoded_first, encoded_second = encode_key(first), encode_key(second)
+        got = (encoded_first > encoded_second) - (encoded_first < encoded_second)
+        assert got == want
+
+    @given(st.tuples(key_scalars), key_scalars)
+    @settings(max_examples=100)
+    def test_prefix_extension_sorts_after(self, prefix, extra):
+        extended = prefix + (extra,)
+        assert encode_key(prefix) < encode_key(extended)
+
+
+class TestValueCodec:
+    @given(value_values)
+    @settings(max_examples=200)
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value

@@ -1,0 +1,78 @@
+"""Property-based test: diff(old, new) applied to old yields new."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import FanOutDistribution, RandomTreeConfig, generate_tree
+from repro.xmltree import NodeKind, XmlNode, apply_edit_script, diff_trees
+
+
+def structurally_equal(first, second) -> bool:
+    a_nodes, b_nodes = list(first.preorder()), list(second.preorder())
+    if len(a_nodes) != len(b_nodes):
+        return False
+    return all(
+        (a.tag, a.kind, a.text, a.attributes) == (b.tag, b.kind, b.text, b.attributes)
+        for a, b in zip(a_nodes, b_nodes)
+    )
+
+
+mutation_plans = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "retag", "attr"]),
+        st.integers(min_value=0, max_value=10**9),
+    ),
+    max_size=15,
+)
+
+
+class TestDiffRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=80),
+        mutation_plans,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_apply_diff_reaches_target(self, seed, size, plan):
+        old = generate_tree(
+            RandomTreeConfig(
+                node_count=size,
+                fan_out=FanOutDistribution(kind="uniform", low=1, high=4),
+            ),
+            seed=seed,
+        )
+        new = old.copy()
+        rng = random.Random(seed)
+        for step, (action, pick) in enumerate(plan):
+            nodes = new.nodes()
+            node = nodes[pick % len(nodes)]
+            if action == "insert" or node is new.root and action == "delete":
+                new.insert_node(
+                    node,
+                    rng.randint(0, node.fan_out),
+                    XmlNode(f"m{step}", NodeKind.ELEMENT),
+                )
+            elif action == "delete":
+                if new.size() - node.subtree_size() >= 1 and node is not new.root:
+                    new.delete_subtree(node)
+            elif action == "retag":
+                node.attributes["r"] = f"v{step}"
+            else:
+                node.attributes[f"a{step % 3}"] = str(step)
+        ops = diff_trees(old, new)
+        transformed = apply_edit_script(old, ops)
+        assert structurally_equal(transformed, new)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_trees_yield_empty_script(self, seed):
+        old = generate_tree(
+            RandomTreeConfig(
+                node_count=40,
+                fan_out=FanOutDistribution(kind="uniform", low=1, high=3),
+            ),
+            seed=seed,
+        )
+        assert diff_trees(old, old.copy()) == []

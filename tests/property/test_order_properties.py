@@ -1,0 +1,59 @@
+"""Property-based tests of the UID order arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import uid_relation
+from repro.core import uid as uid_math
+from repro.core.labels import Relation
+
+fan_outs = st.integers(min_value=1, max_value=8)
+identifiers = st.integers(min_value=1, max_value=5000)
+
+
+class TestUidOrderProperties:
+    @given(identifiers, fan_outs)
+    @settings(max_examples=200)
+    def test_parent_is_smaller(self, identifier, fan_out):
+        if identifier > 1:
+            assert uid_math.parent(identifier, fan_out) < identifier
+
+    @given(identifiers, fan_outs)
+    @settings(max_examples=200)
+    def test_level_consistency(self, identifier, fan_out):
+        level = uid_math.level_of(identifier, fan_out)
+        if identifier > 1:
+            assert uid_math.level_of(uid_math.parent(identifier, fan_out), fan_out) == level - 1
+        assert identifier <= uid_math.subtree_capacity(fan_out, level)
+
+    @given(identifiers, identifiers, fan_outs)
+    @settings(max_examples=300)
+    def test_antisymmetry(self, first, second, fan_out):
+        forward = uid_math.document_compare(first, second, fan_out)
+        backward = uid_math.document_compare(second, first, fan_out)
+        assert forward == -backward
+
+    @given(identifiers, identifiers, identifiers, fan_outs)
+    @settings(max_examples=300)
+    def test_transitivity(self, a, b, c, fan_out):
+        if (
+            uid_math.document_compare(a, b, fan_out) <= 0
+            and uid_math.document_compare(b, c, fan_out) <= 0
+        ):
+            assert uid_math.document_compare(a, c, fan_out) <= 0
+
+    @given(identifiers, identifiers, fan_outs)
+    @settings(max_examples=300)
+    def test_relation_inverse_symmetry(self, first, second, fan_out):
+        forward = uid_relation(first, second, fan_out)
+        backward = uid_relation(second, first, fan_out)
+        assert backward is forward.inverse()
+
+    @given(identifiers, fan_outs)
+    @settings(max_examples=100, deadline=None)
+    def test_ancestors_strictly_precede(self, identifier, fan_out):
+        # fan-out 1 yields O(n)-long chains; checking a prefix suffices
+        for index, ancestor in enumerate(uid_math.ancestors(identifier, fan_out)):
+            assert uid_relation(ancestor, identifier, fan_out) is Relation.ANCESTOR
+            if index >= 8:
+                break

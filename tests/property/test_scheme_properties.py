@@ -1,0 +1,113 @@
+"""Property-based tests of numbering-scheme invariants.
+
+Random trees are produced via seeded generation (a strategy over the
+generator's own parameter space); the invariants checked are exactly
+the ones the schemes exist to provide:
+
+* labels are unique and bijective with nodes;
+* the computed parent label equals the tree parent's label;
+* the pairwise structural relation matches the tree;
+* a random update sequence preserves all of the above.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import UPDATABLE, get_scheme, scheme_names
+from repro.core import Relation
+from repro.errors import NoParentError
+from repro.generator import FanOutDistribution, RandomTreeConfig, generate_tree
+from repro.xmltree import element
+
+tree_configs = st.builds(
+    RandomTreeConfig,
+    node_count=st.integers(min_value=1, max_value=120),
+    fan_out=st.builds(
+        FanOutDistribution,
+        kind=st.sampled_from(["uniform", "geometric", "zipf"]),
+        low=st.integers(min_value=1, max_value=2),
+        high=st.integers(min_value=2, max_value=6),
+        mean=st.floats(min_value=1.0, max_value=5.0),
+        exponent=st.floats(min_value=1.1, max_value=2.0),
+        maximum=st.integers(min_value=3, max_value=20),
+    ),
+)
+
+scheme_choices = st.sampled_from(scheme_names())
+updatable_choices = st.sampled_from(list(UPDATABLE))
+
+
+def expected_relation(tree, first, second):
+    if first is second:
+        return Relation.SELF
+    if first.is_ancestor_of(second):
+        return Relation.ANCESTOR
+    if second.is_ancestor_of(first):
+        return Relation.DESCENDANT
+    if tree.compare_document_order(first, second) < 0:
+        return Relation.PRECEDING
+    return Relation.FOLLOWING
+
+
+class TestLabelingInvariants:
+    @given(tree_configs, st.integers(min_value=0, max_value=10_000), scheme_choices)
+    @settings(max_examples=60, deadline=None)
+    def test_bijection_and_parent(self, config, seed, scheme_name):
+        tree = generate_tree(config, seed=seed)
+        labeling = get_scheme(scheme_name).build(tree)
+        seen = set()
+        for node in tree.preorder():
+            label = labeling.label_of(node)
+            assert label not in seen
+            seen.add(label)
+            assert labeling.node_of(label) is node
+            if node.parent is None:
+                try:
+                    labeling.parent_label(label)
+                    assert False, "root parent must raise"
+                except NoParentError:
+                    pass
+            else:
+                assert labeling.parent_label(label) == labeling.label_of(node.parent)
+
+    @given(tree_configs, st.integers(min_value=0, max_value=10_000), scheme_choices)
+    @settings(max_examples=30, deadline=None)
+    def test_relation_matches_tree(self, config, seed, scheme_name):
+        tree = generate_tree(config, seed=seed)
+        labeling = get_scheme(scheme_name).build(tree)
+        nodes = tree.nodes()
+        sample = nodes[:: max(1, len(nodes) // 12)]
+        for first in sample:
+            for second in sample:
+                got = labeling.relation(
+                    labeling.label_of(first), labeling.label_of(second)
+                )
+                assert got is expected_relation(tree, first, second)
+
+
+class TestUpdateInvariants:
+    @given(
+        tree_configs,
+        st.integers(min_value=0, max_value=10_000),
+        updatable_choices,
+        st.lists(st.tuples(st.booleans(), st.integers(0, 10**9)), max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_updates_keep_consistency(self, config, seed, scheme_name, plan):
+        tree = generate_tree(config, seed=seed)
+        labeling = get_scheme(scheme_name).build(tree)
+        rng = random.Random(seed)
+        for step, (is_insert, pick) in enumerate(plan):
+            nodes = tree.nodes()
+            node = nodes[pick % len(nodes)]
+            if is_insert or node is tree.root or tree.size() < 3:
+                labeling.insert(node, rng.randint(0, node.fan_out), element(f"u{step}"))
+            else:
+                labeling.delete(node)
+        for node in tree.preorder():
+            label = labeling.label_of(node)
+            assert labeling.node_of(label) is node
+            if node.parent is not None:
+                assert labeling.parent_label(label) == labeling.label_of(node.parent)

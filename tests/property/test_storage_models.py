@@ -1,0 +1,95 @@
+"""Property-based model tests for the heap file and table layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Column, HeapFile, Pager, Schema, Table
+
+records = st.binary(max_size=60)
+heap_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), records),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("update"), st.integers(min_value=0, max_value=200), records),
+    ),
+    max_size=120,
+)
+
+
+class TestHeapFileModel:
+    @given(heap_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops):
+        heap = HeapFile(Pager(page_size=256, pool_pages=4))
+        model = {}  # rid -> bytes
+        live_rids = []
+        for op in ops:
+            if op[0] == "insert":
+                rid = heap.insert(op[1])
+                assert rid not in model
+                model[rid] = op[1]
+                live_rids.append(rid)
+            elif op[0] == "delete" and live_rids:
+                rid = live_rids[op[1] % len(live_rids)]
+                heap.delete(rid)
+                del model[rid]
+                live_rids.remove(rid)
+            elif op[0] == "update" and live_rids:
+                rid = live_rids[op[1] % len(live_rids)]
+                new_rid = heap.update(rid, op[2])
+                del model[rid]
+                live_rids.remove(rid)
+                model[new_rid] = op[2]
+                live_rids.append(new_rid)
+        for rid, payload in model.items():
+            assert heap.get(rid) == payload
+        scanned = dict(heap.scan())
+        assert scanned == model
+
+
+row_keys = st.integers(min_value=0, max_value=500)
+table_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), row_keys, st.text(max_size=8), st.integers(0, 99)),
+        st.tuples(st.just("delete"), row_keys),
+    ),
+    max_size=100,
+)
+
+
+class TestTableModel:
+    @given(table_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, ops):
+        table = Table(
+            "t",
+            Schema([Column("id", "int"), Column("name", "str"), Column("age", "int")]),
+            Pager(page_size=512, pool_pages=8),
+            primary_key=["id"],
+        )
+        table.create_index("by_name", ["name"])
+        model = {}
+        for op in ops:
+            if op[0] == "insert":
+                _, key, name, age = op
+                if key in model:
+                    continue
+                table.insert((key, name, age))
+                model[key] = (key, name, age)
+            else:
+                _, key = op
+                removed = table.delete(key)
+                assert removed == (key in model)
+                model.pop(key, None)
+        assert len(table) == len(model)
+        for key, row in model.items():
+            assert table.get(key) == row
+        # index agreement per name
+        names = {row[1] for row in model.values()}
+        for name in names:
+            got = sorted(r[0] for r in table.lookup("by_name", name))
+            want = sorted(k for k, row in model.items() if row[1] == name)
+            assert got == want
+        # pk-order scan sorted
+        keys = [row[0] for row in table.scan_pk_order()]
+        assert keys == sorted(model)

@@ -1,0 +1,52 @@
+"""Property-based test: twig matching agrees with XPath filtering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Ruid2Scheme
+from repro.generator import RandomTreeConfig, FanOutDistribution, generate_tree
+from repro.query import TwigMatcher, XPathEngine
+
+TAGS = ("section", "item", "entry", "record", "list", "group", "node", "block")
+
+tree_seeds = st.integers(min_value=0, max_value=5000)
+tag_choices = st.sampled_from(TAGS)
+
+
+@st.composite
+def twig_and_xpath(draw):
+    """A random 1-2 branch twig plus the equivalent XPath expression."""
+    root_tag = draw(tag_choices)
+    branch_count = draw(st.integers(1, 2))
+    twig_parts = [root_tag]
+    predicates = []
+    for _ in range(branch_count):
+        tag = draw(tag_choices)
+        descendant = draw(st.booleans())
+        if descendant:
+            twig_parts.append(f"[//{tag}]")
+            predicates.append(f"[descendant::{tag}]")
+        else:
+            twig_parts.append(f"[{tag}]")
+            predicates.append(f"[{tag}]")
+    return "".join(twig_parts), f"//{root_tag}" + "".join(predicates)
+
+
+class TestTwigAgainstXPath:
+    @given(tree_seeds, twig_and_xpath())
+    @settings(max_examples=40, deadline=None)
+    def test_agreement(self, seed, patterns):
+        twig_pattern, xpath = patterns
+        tree = generate_tree(
+            RandomTreeConfig(
+                node_count=80,
+                fan_out=FanOutDistribution(kind="uniform", low=1, high=4),
+            ),
+            seed=seed,
+        )
+        labeling = Ruid2Scheme(max_area_size=8).build(tree)
+        matcher = TwigMatcher(labeling)
+        engine = XPathEngine(tree, labeling=labeling)
+        twig_nodes = matcher.match(twig_pattern)
+        xpath_nodes = engine.select(xpath, "navigational")
+        assert [n.node_id for n in twig_nodes] == [n.node_id for n in xpath_nodes]

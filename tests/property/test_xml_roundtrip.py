@@ -1,0 +1,80 @@
+"""Property-based tests: random documents survive serialize→parse."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree import NodeKind, XmlNode, XmlTree, parse, serialize
+
+tag_names = st.from_regex(r"[A-Za-z][A-Za-z0-9_-]{0,6}", fullmatch=True)
+attr_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=10
+)
+# Text avoiding pure whitespace (dropped on re-parse) and control chars.
+text_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), min_size=1, max_size=20
+).filter(lambda s: s.strip())
+
+
+@st.composite
+def xml_trees(draw, max_depth=4):
+    def node(depth):
+        tag = draw(tag_names)
+        attributes = draw(
+            st.dictionaries(tag_names, attr_values, max_size=2)
+        )
+        element = XmlNode(tag, NodeKind.ELEMENT, attributes=attributes)
+        if depth < max_depth:
+            for kind in draw(
+                st.lists(st.sampled_from(["element", "text"]), max_size=3)
+            ):
+                if kind == "element":
+                    element.append_child(node(depth + 1))
+                else:
+                    element.append_child(
+                        XmlNode("#text", NodeKind.TEXT, text=draw(text_values))
+                    )
+        return element
+
+    return XmlTree(node(0))
+
+
+def normalised(tree: XmlTree):
+    """Flatten to comparable shape, merging adjacent text children —
+    XML cannot represent the boundary between adjacent text nodes, so
+    they lawfully coalesce on re-parse."""
+
+    def walk(node):
+        children = []
+        for child in node.children:
+            if (
+                child.kind is NodeKind.TEXT
+                and children
+                and isinstance(children[-1], str)
+            ):
+                children[-1] += child.text or ""
+            elif child.kind is NodeKind.TEXT:
+                children.append(child.text or "")
+            else:
+                children.append(walk(child))
+        return (node.tag, tuple(sorted(node.attributes.items())), tuple(children))
+
+    return walk(tree.root)
+
+
+def structurally_equal(first: XmlTree, second: XmlTree) -> bool:
+    return normalised(first) == normalised(second)
+
+
+class TestRoundTrip:
+    @given(xml_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_serialize_parse_identity(self, tree):
+        again = parse(serialize(tree), keep_whitespace_text=True)
+        assert structurally_equal(tree, again)
+
+    @given(xml_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_double_roundtrip_fixpoint(self, tree):
+        once = serialize(parse(serialize(tree), keep_whitespace_text=True))
+        twice = serialize(parse(once, keep_whitespace_text=True))
+        assert once == twice

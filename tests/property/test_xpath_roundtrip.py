@@ -1,0 +1,86 @@
+"""Property-based test: AST → str → AST is the identity.
+
+The AST's ``__str__`` renders canonical (unabbreviated) XPath; parsing
+that rendering must reproduce the AST exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.ast import (
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    Number,
+    Step,
+)
+from repro.query.parser import parse_xpath
+
+axis_names = st.sampled_from(
+    [
+        "child",
+        "descendant",
+        "parent",
+        "ancestor",
+        "self",
+        "descendant-or-self",
+        "ancestor-or-self",
+        "following-sibling",
+        "preceding-sibling",
+        "following",
+        "preceding",
+        "attribute",
+    ]
+)
+tags = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+node_tests = st.one_of(
+    tags.map(lambda t: NodeTest(name=t)),
+    st.just(NodeTest(name=None)),  # '*'
+    st.sampled_from(["text", "node", "comment"]).map(
+        lambda t: NodeTest(node_type=t)
+    ),
+)
+
+
+@st.composite
+def predicates(draw, depth=0):
+    choice = draw(st.integers(0, 3 if depth < 1 else 1))
+    if choice == 0:
+        return Number(float(draw(st.integers(1, 9))))
+    if choice == 1:
+        return Literal(draw(st.from_regex(r"[a-z]{0,6}", fullmatch=True)))
+    if choice == 2:
+        return BinaryOp(
+            draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="])),
+            draw(location_paths(max_steps=2)),
+            draw(predicates(depth + 1)),
+        )
+    return FunctionCall(
+        draw(st.sampled_from(["position", "last", "true", "false"])), ()
+    )
+
+
+@st.composite
+def steps(draw, allow_predicates=True):
+    preds = ()
+    if allow_predicates and draw(st.booleans()):
+        preds = (draw(predicates()),)
+    return Step(draw(axis_names), draw(node_tests), preds)
+
+
+@st.composite
+def location_paths(draw, max_steps=3):
+    count = draw(st.integers(1, max_steps))
+    return LocationPath(
+        draw(st.booleans()),
+        tuple(draw(steps(allow_predicates=(i == 0))) for i in range(count)),
+    )
+
+
+class TestAstRoundTrip:
+    @given(location_paths())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_of_str_is_identity(self, path):
+        assert parse_xpath(str(path)) == path

@@ -1,0 +1,54 @@
+"""Tests for the XPathEngine facade."""
+
+import pytest
+
+from repro.core import Ruid2Scheme
+from repro.errors import QueryError
+from repro.query import XPathEngine
+from repro.xmltree import parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c>one</c></b><b><c>two</c></b></a>")
+
+
+class TestFacade:
+    def test_compile_is_memoised(self, tree):
+        engine = XPathEngine(tree)
+        first = engine.compile("//c")
+        second = engine.compile("//c")
+        assert first is second
+
+    def test_unknown_strategy(self, tree):
+        with pytest.raises(QueryError):
+            XPathEngine(tree).select("//c", strategy="quantum")
+
+    def test_labeling_built_on_demand(self, tree):
+        engine = XPathEngine(tree)
+        assert engine.select("//c", "ruid")  # triggers labeling build
+        assert engine.labeling() is engine.labeling()
+
+    def test_prebuilt_labeling_reused(self, tree):
+        labeling = Ruid2Scheme(max_area_size=4).build(tree)
+        engine = XPathEngine(tree, labeling=labeling)
+        assert engine.labeling() is labeling
+        assert engine.count("//c", "ruid") == 2
+
+    def test_select_strings(self, tree):
+        assert XPathEngine(tree).select_strings("//c") == ["one", "two"]
+
+    def test_context_node(self, tree):
+        engine = XPathEngine(tree)
+        second_b = tree.root.children[1]
+        got = engine.select("c", context=second_b)
+        assert [n.text_content() for n in got] == ["two"]
+
+    def test_scalar_result_rejected_by_select(self, tree):
+        with pytest.raises(QueryError):
+            XPathEngine(tree).select("count(//c)", "navigational")
+
+    def test_evaluate_scalar(self, tree):
+        engine = XPathEngine(tree)
+        value = engine.evaluator("navigational").evaluate(engine.compile("count(//c)"))
+        assert value == 2.0

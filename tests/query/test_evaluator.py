@@ -1,0 +1,188 @@
+"""Tests for XPath evaluation semantics (both strategies)."""
+
+import pytest
+
+from repro.query import XPathEngine
+from repro.xmltree import parse
+
+DOC = """<site>
+ <people>
+  <person id="p1"><name>Alice</name><age>31</age></person>
+  <person id="p2"><name>Bob</name><age>17</age></person>
+  <person id="p3"><name>Cara</name><age>44</age></person>
+ </people>
+ <items>
+  <item id="i1"><name>Lamp</name><price>19</price></item>
+  <item id="i2"><name>Desk</name><price>140</price></item>
+ </items>
+</site>"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return XPathEngine(parse(DOC))
+
+
+BOTH = pytest.mark.parametrize("strategy", ["navigational", "ruid"])
+
+
+class TestSelection:
+    @BOTH
+    def test_absolute_child_path(self, engine, strategy):
+        assert [n.tag for n in engine.select("/site/people/person", strategy)] == [
+            "person"
+        ] * 3
+
+    @BOTH
+    def test_descendant_shorthand(self, engine, strategy):
+        assert engine.count("//name") == 5
+
+    @BOTH
+    def test_root_element_matched_by_descendants(self, engine, strategy):
+        assert engine.count("//site") == 1
+
+    @BOTH
+    def test_wildcard(self, engine, strategy):
+        assert [n.tag for n in engine.select("/site/*", strategy)] == ["people", "items"]
+
+    @BOTH
+    def test_parent_step(self, engine, strategy):
+        result = engine.select("//age/..", strategy)
+        assert {n.tag for n in result} == {"person"}
+        assert len(result) == 3
+
+    @BOTH
+    def test_document_order_result(self, engine, strategy):
+        names = engine.select("//name", strategy)
+        values = [n.text_content() for n in names]
+        assert values == ["Alice", "Bob", "Cara", "Lamp", "Desk"]
+
+    @BOTH
+    def test_union(self, engine, strategy):
+        result = engine.select("//person/name | //item/price", strategy)
+        assert len(result) == 5
+
+
+class TestPredicates:
+    @BOTH
+    def test_position(self, engine, strategy):
+        person = engine.select("/site/people/person[2]", strategy)
+        assert engine.select_strings("/site/people/person[2]/name", strategy) == ["Bob"]
+        assert len(person) == 1
+
+    @BOTH
+    def test_last(self, engine, strategy):
+        assert engine.select_strings("//person[last()]/name", strategy) == ["Cara"]
+
+    @BOTH
+    def test_attribute_filter(self, engine, strategy):
+        assert engine.select_strings("//person[@id='p2']/name", strategy) == ["Bob"]
+
+    @BOTH
+    def test_numeric_comparison(self, engine, strategy):
+        assert engine.count("//person[age > 18]") == 2
+        assert engine.count("//item[price <= 19]") == 1
+
+    @BOTH
+    def test_string_comparison_on_child(self, engine, strategy):
+        assert engine.count("//person[name = 'Alice']") == 1
+        assert engine.count("//person[name != 'Alice']") == 2
+
+    @BOTH
+    def test_boolean_connectives(self, engine, strategy):
+        assert engine.count("//person[age > 18 and name != 'Cara']") == 1
+        assert engine.count("//person[age < 18 or name = 'Cara']") == 2
+
+    @BOTH
+    def test_existence_predicate(self, engine, strategy):
+        assert engine.count("//person[age]") == 3
+        assert engine.count("//person[profile]") == 0
+
+    @BOTH
+    def test_position_function(self, engine, strategy):
+        assert engine.count("//person[position() < 3]") == 2
+
+    @BOTH
+    def test_reverse_axis_positions(self, engine, strategy):
+        # preceding-sibling counts backwards from the context node
+        result = engine.select_strings(
+            "//person[3]/preceding-sibling::person[1]/name", strategy
+        )
+        assert result == ["Bob"]
+
+
+class TestFunctions:
+    def test_count(self, engine):
+        value = engine.evaluator("navigational").evaluate(engine.compile("count(//person)"))
+        assert value == 3.0
+
+    @BOTH
+    def test_contains(self, engine, strategy):
+        assert engine.count("//name[contains(., 'a')]") == 2  # Cara, Lamp
+
+    @BOTH
+    def test_starts_with(self, engine, strategy):
+        assert engine.count("//name[starts-with(., 'D')]") == 1
+
+    @BOTH
+    def test_not(self, engine, strategy):
+        assert engine.count("//person[not(age > 18)]") == 1
+
+    @BOTH
+    def test_name_function(self, engine, strategy):
+        assert engine.count("//*[name() = 'item']") == 2
+
+    @BOTH
+    def test_string_length(self, engine, strategy):
+        assert engine.count("//name[string-length() > 4]") == 1  # Alice
+
+    def test_unsupported_function(self, engine):
+        from repro.errors import UnsupportedFeatureError
+
+        with pytest.raises(UnsupportedFeatureError):
+            engine.select("//person[normalize-space(.)]")
+
+
+class TestAxes:
+    @BOTH
+    def test_ancestor(self, engine, strategy):
+        assert engine.count("//age/ancestor::site") == 1
+        # site + people + the three person elements (deduplicated)
+        assert engine.count("//age/ancestor::*") == 5
+
+    @BOTH
+    def test_following_preceding(self, engine, strategy):
+        assert engine.count("//person[1]/following::name") == 4
+        assert engine.count("//person[2]/preceding::name") == 1
+
+    @BOTH
+    def test_sibling_axes(self, engine, strategy):
+        assert engine.count("//person/following-sibling::person") == 2
+        assert engine.count("//item[2]/preceding-sibling::item") == 1
+
+    @BOTH
+    def test_descendant_or_self(self, engine, strategy):
+        assert engine.count("//people/descendant-or-self::*") == 10
+
+    @BOTH
+    def test_text_nodes(self, engine, strategy):
+        assert engine.count("//person/name/text()") == 3
+
+
+class TestStrategyAgreement:
+    QUERIES = [
+        "/site/people/person",
+        "//name",
+        "//person[age > 20]/name",
+        "//item/following-sibling::*",
+        "//price/ancestor::item",
+        "//person[2]/preceding::*",
+        "//people/descendant::name[2]",
+        "//*[name() != 'site']",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_nav_equals_ruid(self, engine, query):
+        navigational = engine.select(query, "navigational")
+        ruid = engine.select(query, "ruid")
+        assert [n.node_id for n in navigational] == [n.node_id for n in ruid]

@@ -1,0 +1,108 @@
+"""Edge-case tests for XPath value semantics (coercions, comparisons)."""
+
+import math
+
+import pytest
+
+from repro.query import XPathEngine
+from repro.query.evaluator import _compare, _number, _string, _truth, string_value
+from repro.xmltree import parse
+
+
+@pytest.fixture
+def engine():
+    return parse_engine(
+        "<r><a>1</a><a>2</a><a>3</a><b>x</b><empty/>"
+        "<n>007</n><neg>-4</neg><f>2.5</f></r>"
+    )
+
+
+def parse_engine(source):
+    return XPathEngine(parse(source))
+
+
+class TestCoercions:
+    def test_truth(self):
+        assert _truth("x") and not _truth("")
+        assert _truth(1.0) and not _truth(0.0)
+        assert _truth([object()]) and not _truth([])
+        assert _truth(True) and not _truth(False)
+
+    def test_string(self):
+        assert _string(True) == "true"
+        assert _string(False) == "false"
+        assert _string(3.0) == "3"
+        assert _string(3.5) == "3.5"
+        assert _string([]) == ""
+
+    def test_number(self):
+        assert _number("42") == 42.0
+        assert _number("  ") != _number("  ")  # NaN
+        assert math.isnan(_number("abc"))
+        assert _number(True) == 1.0
+        assert _number(False) == 0.0
+
+
+class TestExistentialComparison:
+    def test_nodeset_vs_literal_any_match(self, engine):
+        # //a = '2' is true because SOME a equals '2'
+        assert engine.count("/r[a = '2']") == 1
+        assert engine.count("/r[a = '9']") == 0
+
+    def test_nodeset_vs_nodeset(self, engine):
+        # exists a, n with equal string values? '007' != any of 1,2,3
+        assert engine.count("/r[a = n]") == 0
+        assert engine.count("/r[a != a]") == 1  # 1 != 2 exists
+
+    def test_numeric_comparisons(self, engine):
+        assert engine.count("/r[a > 2]") == 1
+        assert engine.count("/r[a >= 3]") == 1
+        assert engine.count("/r[neg < 0]") == 1
+        assert engine.count("/r[f = 2.5]") == 1
+
+    def test_number_string_equality_coerces(self, engine):
+        # '007' = 7 numerically
+        assert engine.count("/r[n = 7]") == 1
+        # but string-compared against another node-set it stays '007'
+        assert engine.count("/r[n = '007']") == 1
+
+    def test_empty_nodeset_never_compares_true(self, engine):
+        assert engine.count("/r[ghost = ghost]") == 0
+        assert engine.count("/r[ghost != ghost]") == 0
+
+    def test_compare_helper_direct(self):
+        assert _compare("=", 2.0, "2")
+        assert _compare("!=", "a", "b")
+        assert not _compare("<", "5", 2.0)
+        assert _compare(">=", 2.0, 2.0)
+
+
+class TestStringValue:
+    def test_element_concatenates_descendant_text(self):
+        tree = parse("<a>x<b>y</b>z</a>")
+        assert string_value(tree.root) == "xyz"
+
+    def test_empty_element(self, engine):
+        empty = engine.tree.find_by_tag("empty")[0]
+        assert string_value(empty) == ""
+
+    def test_predicates_on_empty_string_value(self, engine):
+        assert engine.count("//empty[. = '']") == 1
+        assert engine.count("//b[. = 'x']") == 1
+
+
+class TestPositionEdgeCases:
+    def test_position_beyond_size(self, engine):
+        assert engine.count("//a[9]") == 0
+
+    def test_fractional_position_never_matches(self, engine):
+        # position() == 1.5 is false for every integer position
+        assert engine.count("//a[position() = 1.5]") == 0
+
+    def test_last_on_singleton(self, engine):
+        assert engine.count("//b[last()]") == 1
+
+    def test_chained_predicates_renumber(self, engine):
+        # [position() > 1][1] selects the second a
+        result = engine.select_strings("//a[position() > 1][1]")
+        assert result == ["2"]

@@ -1,0 +1,93 @@
+"""Tests for structural joins over labels."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import get_scheme, scheme_names
+from repro.generator import generate_xmark, random_document
+from repro.query import join_nodes, nested_loop_join, stack_tree_join
+
+
+def reference_pairs(tree, ancestors, descendants, self_or=False):
+    pairs = []
+    order = tree.document_order_index()
+    sorted_d = sorted(descendants, key=lambda n: order[n.node_id])
+    sorted_a = sorted(ancestors, key=lambda n: order[n.node_id])
+    for d in sorted_d:
+        for a in sorted_a:
+            if a.is_ancestor_of(d) or (self_or and a is d):
+                pairs.append((a, d))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_document(200, seed=131, fanout_kind="uniform", low=1, high=4)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("algorithm", ["stack", "nested"])
+    @pytest.mark.parametrize("self_or", [False, True])
+    def test_matches_reference(self, corpus, algorithm, self_or):
+        labeling = get_scheme("ruid2", max_area_size=8).build(corpus)
+        nodes = corpus.nodes()
+        ancestors = nodes[::3]
+        descendants = nodes[::2]
+        got = join_nodes(
+            labeling, ancestors, descendants, algorithm=algorithm, self_or=self_or
+        )
+        want = reference_pairs(corpus, ancestors, descendants, self_or=self_or)
+        assert [(id(a), id(d)) for a, d in got] == [(id(a), id(d)) for a, d in want]
+
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    def test_every_scheme_joins_identically(self, corpus, scheme_name):
+        labeling = get_scheme(scheme_name).build(corpus)
+        nodes = corpus.nodes()
+        ancestors = nodes[::5]
+        descendants = nodes[::4]
+        got = join_nodes(labeling, ancestors, descendants, algorithm="stack")
+        want = reference_pairs(corpus, ancestors, descendants)
+        assert len(got) == len(want)
+        assert [(id(a), id(d)) for a, d in got] == [(id(a), id(d)) for a, d in want]
+
+
+class TestAlgorithms:
+    def test_stack_equals_nested(self, corpus):
+        labeling = get_scheme("ruid2", max_area_size=16).build(corpus)
+        nodes = corpus.nodes()
+        a_labels = [labeling.label_of(n) for n in nodes[::4]]
+        d_labels = [labeling.label_of(n) for n in nodes[::3]]
+        stack = stack_tree_join(labeling, a_labels, d_labels)
+        nested = nested_loop_join(labeling, a_labels, d_labels)
+        assert stack == nested
+
+    def test_empty_inputs(self, corpus):
+        labeling = get_scheme("ruid2").build(corpus)
+        some = [labeling.label_of(corpus.root)]
+        assert stack_tree_join(labeling, [], some) == []
+        assert stack_tree_join(labeling, some, []) == []
+
+    def test_unknown_algorithm(self, corpus):
+        labeling = get_scheme("ruid2").build(corpus)
+        with pytest.raises(ValueError):
+            join_nodes(labeling, [], [], algorithm="quantum")
+
+    def test_typical_query_shape(self):
+        """person ⋈ name on the auction corpus — the standard use."""
+        tree = generate_xmark(scale=0.05, seed=16)
+        labeling = get_scheme("ruid2", max_area_size=16).build(tree)
+        persons = tree.find_by_tag("person")
+        names = tree.find_by_tag("name")
+        pairs = join_nodes(labeling, persons, names, algorithm="stack")
+        # every person contributes exactly one (person, name) pair
+        assert len(pairs) == len(persons)
+        assert all(a.tag == "person" and d.tag == "name" for a, d in pairs)
+
+    def test_output_in_descendant_document_order(self, corpus):
+        labeling = get_scheme("dewey").build(corpus)
+        nodes = corpus.nodes()
+        pairs = join_nodes(labeling, nodes[::6], nodes[::2], algorithm="stack")
+        order = corpus.document_order_index()
+        d_ranks = [order[d.node_id] for _a, d in pairs]
+        assert d_ranks == sorted(d_ranks)

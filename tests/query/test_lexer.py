@@ -1,0 +1,91 @@
+"""Tests for the XPath lexer."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.query import tokenize
+from repro.query.tokens import TokenKind
+
+
+def kinds(expression):
+    return [token.kind for token in tokenize(expression)][:-1]  # drop END
+
+
+class TestTokens:
+    def test_simple_path(self):
+        assert kinds("/a/b") == [
+            TokenKind.SLASH,
+            TokenKind.NAME,
+            TokenKind.SLASH,
+            TokenKind.NAME,
+        ]
+
+    def test_double_slash(self):
+        assert kinds("//a") == [TokenKind.DOUBLE_SLASH, TokenKind.NAME]
+
+    def test_axis_separator(self):
+        assert kinds("child::a") == [TokenKind.NAME, TokenKind.AXIS_SEP, TokenKind.NAME]
+
+    def test_predicate_tokens(self):
+        assert kinds("a[@x='1']") == [
+            TokenKind.NAME,
+            TokenKind.LBRACKET,
+            TokenKind.AT,
+            TokenKind.NAME,
+            TokenKind.EQUALS,
+            TokenKind.STRING,
+            TokenKind.RBRACKET,
+        ]
+
+    def test_comparators(self):
+        assert kinds("a != b <= c >= d < e > f") == [
+            TokenKind.NAME, TokenKind.NOT_EQUALS,
+            TokenKind.NAME, TokenKind.LESS_EQUAL,
+            TokenKind.NAME, TokenKind.GREATER_EQUAL,
+            TokenKind.NAME, TokenKind.LESS,
+            TokenKind.NAME, TokenKind.GREATER,
+            TokenKind.NAME,
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", ".75"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_dots(self):
+        assert kinds(". ..") == [TokenKind.DOT, TokenKind.DOTDOT]
+
+    def test_keywords(self):
+        assert kinds("a and b or c") == [
+            TokenKind.NAME,
+            TokenKind.AND,
+            TokenKind.NAME,
+            TokenKind.OR,
+            TokenKind.NAME,
+        ]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'single' \"double\"")
+        assert [t.text for t in tokens[:-1]] == ["single", "double"]
+
+    def test_union_and_star(self):
+        assert kinds("a|*") == [TokenKind.NAME, TokenKind.PIPE, TokenKind.STAR]
+
+    def test_hyphenated_names(self):
+        tokens = tokenize("preceding-sibling::a")
+        assert tokens[0].text == "preceding-sibling"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")

@@ -1,0 +1,137 @@
+"""Tests for the XPath parser / AST."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError, XPathSyntaxError
+from repro.query import parse_xpath
+from repro.query.ast import (
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+    Step,
+    Union_,
+)
+
+
+class TestPaths:
+    def test_absolute_path(self):
+        path = parse_xpath("/a/b")
+        assert isinstance(path, LocationPath)
+        assert path.absolute
+        assert [s.axis for s in path.steps] == ["child", "child"]
+        assert [str(s.test) for s in path.steps] == ["a", "b"]
+
+    def test_relative_path(self):
+        path = parse_xpath("a/b")
+        assert not path.absolute
+
+    def test_root_only(self):
+        path = parse_xpath("/")
+        assert path.absolute
+        assert path.steps == ()
+
+    def test_double_slash_expansion(self):
+        path = parse_xpath("//b")
+        assert [s.axis for s in path.steps] == ["descendant-or-self", "child"]
+        assert path.steps[0].test.node_type == "node"
+
+    def test_internal_double_slash(self):
+        path = parse_xpath("a//b")
+        assert [s.axis for s in path.steps] == ["child", "descendant-or-self", "child"]
+
+    def test_explicit_axes(self):
+        path = parse_xpath("ancestor::x/following-sibling::y")
+        assert [s.axis for s in path.steps] == ["ancestor", "following-sibling"]
+
+    def test_attribute_abbreviation(self):
+        path = parse_xpath("@id")
+        assert path.steps[0].axis == "attribute"
+        assert path.steps[0].test.name == "id"
+
+    def test_dot_and_dotdot(self):
+        path = parse_xpath("./..")
+        assert [s.axis for s in path.steps] == ["self", "parent"]
+
+    def test_star_test(self):
+        path = parse_xpath("/*")
+        assert path.steps[0].test.name is None
+        assert path.steps[0].test.node_type is None
+
+    def test_node_type_tests(self):
+        path = parse_xpath("text()")
+        assert path.steps[0].test.node_type == "text"
+
+    def test_unknown_axis(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_xpath("sideways::a")
+
+
+class TestPredicates:
+    def test_position_predicate(self):
+        path = parse_xpath("a[2]")
+        assert path.steps[0].predicates == (Number(2.0),)
+
+    def test_attribute_comparison(self):
+        path = parse_xpath("a[@id='x']")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, BinaryOp)
+        assert predicate.op == "="
+        assert isinstance(predicate.left, LocationPath)
+        assert predicate.right == Literal("x")
+
+    def test_boolean_connectives(self):
+        predicate = parse_xpath("a[b and c or d]").steps[0].predicates[0]
+        assert isinstance(predicate, BinaryOp)
+        assert predicate.op == "or"
+        assert predicate.left.op == "and"
+
+    def test_parenthesised(self):
+        predicate = parse_xpath("a[(b or c) and d]").steps[0].predicates[0]
+        assert predicate.op == "and"
+        assert predicate.left.op == "or"
+
+    def test_function_call(self):
+        predicate = parse_xpath("a[contains(b, 'x')]").steps[0].predicates[0]
+        assert isinstance(predicate, FunctionCall)
+        assert predicate.name == "contains"
+        assert len(predicate.arguments) == 2
+
+    def test_nested_path_predicate(self):
+        predicate = parse_xpath("a[b/c = 1]").steps[0].predicates[0]
+        assert isinstance(predicate.left, LocationPath)
+        assert len(predicate.left.steps) == 2
+
+    def test_multiple_predicates(self):
+        step = parse_xpath("a[b][2]").steps[0]
+        assert len(step.predicates) == 2
+
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            predicate = parse_xpath(f"a[b {op} 1]").steps[0].predicates[0]
+            assert predicate.op == op
+
+
+class TestUnion:
+    def test_union(self):
+        union = parse_xpath("a | b | c")
+        assert isinstance(union, Union_)
+        assert len(union.paths) == 3
+
+    def test_no_union_returns_path(self):
+        assert isinstance(parse_xpath("a"), LocationPath)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "expression",
+        ["", "a[", "a]", "a[]", "a[@]", "/a/", "a::", "::a", "a b", "a[1", "position(])"],
+    )
+    def test_malformed(self, expression):
+        with pytest.raises((XPathSyntaxError, UnsupportedFeatureError)):
+            parse_xpath(expression)
+
+    def test_str_roundtrip_smoke(self):
+        for expression in ("/a/b[2]", "//x[@y='1']", "a | b"):
+            assert str(parse_xpath(expression))

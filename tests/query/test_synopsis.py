@@ -1,0 +1,126 @@
+"""Tests for the path summary (DataGuide) and tag→area synopsis."""
+
+import pytest
+
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.generator import generate_xmark
+from repro.query import PathSummary, TagAreaSynopsis
+from repro.xmltree import parse
+
+
+@pytest.fixture
+def tree():
+    return parse(
+        "<site><people><person><name>A</name></person>"
+        "<person><name>B</name><age>9</age></person></people>"
+        "<items><item><name>L</name></item></items></site>"
+    )
+
+
+class TestPathSummary:
+    def test_distinct_paths(self, tree):
+        summary = PathSummary(tree)
+        expected = {
+            ("site",),
+            ("site", "people"),
+            ("site", "people", "person"),
+            ("site", "people", "person", "name"),
+            ("site", "people", "person", "age"),
+            ("site", "items"),
+            ("site", "items", "item"),
+            ("site", "items", "item", "name"),
+        }
+        assert set(summary.paths()) == expected
+        assert summary.distinct_paths == len(expected)
+
+    def test_counts(self, tree):
+        summary = PathSummary(tree)
+        assert summary.count(("site", "people", "person")) == 2
+        assert summary.count(("site", "people", "person", "name")) == 2
+        assert summary.count(("site", "people", "person", "age")) == 1
+        assert summary.count(("site", "nope")) == 0
+        assert summary.count(("wrongroot",)) == 0
+
+    def test_contains(self, tree):
+        summary = PathSummary(tree)
+        assert ("site", "items", "item") in summary
+        assert ("site", "items", "person") not in summary
+
+    def test_paths_ending_with(self, tree):
+        summary = PathSummary(tree)
+        endings = summary.paths_ending_with("name")
+        assert set(endings) == {
+            ("site", "people", "person", "name"),
+            ("site", "items", "item", "name"),
+        }
+
+    def test_text_nodes_excluded_by_default(self, tree):
+        summary = PathSummary(tree)
+        assert all("#text" not in path for path in summary.paths())
+
+    def test_summary_is_much_smaller_than_document(self):
+        tree = generate_xmark(scale=0.2, seed=13)
+        summary = PathSummary(tree)
+        assert summary.distinct_paths < tree.size() / 5
+
+
+class TestTagAreaSynopsis:
+    def test_areas_cover_all_occurrences(self, tree):
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(4))
+        synopsis = TagAreaSynopsis(labeling)
+        for node in tree.preorder():
+            label = labeling.label_of(node)
+            assert label.global_index in synopsis.areas_for(node.tag)
+
+    def test_unknown_tag(self, tree):
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(4))
+        synopsis = TagAreaSynopsis(labeling)
+        assert synopsis.areas_for("ghost") == []
+        assert synopsis.selectivity("ghost") == 0.0
+
+    def test_selectivity_bounds(self):
+        tree = generate_xmark(scale=0.1, seed=14)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(16))
+        synopsis = TagAreaSynopsis(labeling)
+        for tag in ("person", "item", "city"):
+            assert 0.0 < synopsis.selectivity(tag) <= 1.0
+        # a rare tag should be much more selective than a ubiquitous one
+        assert synopsis.selectivity("city") < 1.0
+
+    def test_intersection(self, tree):
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(4))
+        synopsis = TagAreaSynopsis(labeling)
+        both = synopsis.areas_for_all(iter(["person", "age"]))
+        assert set(both) <= set(synopsis.areas_for("person"))
+        assert synopsis.areas_for_all(iter(["person", "ghost"])) == []
+
+    def test_refresh_after_update(self, tree):
+        from repro.core import Ruid2Updater
+        from repro.xmltree import element
+
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(4))
+        synopsis = TagAreaSynopsis(labeling)
+        updater = Ruid2Updater(labeling)
+        people = tree.find_by_tag("people")[0]
+        updater.insert(people, 0, element("robot"))
+        assert synopsis.areas_for("robot") == []  # stale until refresh
+        synopsis.refresh()
+        robot = tree.find_by_tag("robot")[0]
+        assert labeling.label_of(robot).global_index in synopsis.areas_for("robot")
+
+    def test_routing_integration(self):
+        """The synopsis drives §4 routing end-to-end."""
+        from repro.storage import XmlDatabase
+        from repro.core.scheme import Ruid2SchemeLabeling
+
+        tree = generate_xmark(scale=0.08, seed=15)
+        adapter = Ruid2SchemeLabeling(tree, partitioner=SizeCapPartitioner(16))
+        synopsis = TagAreaSynopsis(adapter.core)
+        database = XmlDatabase(page_size=1024, pool_pages=64)
+        document = database.store_document("d", tree, adapter, partition_by_area=True)
+        blind_rows, blind_count = document.nodes_with_tag_routed("person")
+        routed_rows, routed_count = document.nodes_with_tag_routed(
+            "person", synopsis.areas_for("person")
+        )
+        assert len(routed_rows) == len(blind_rows)
+        assert routed_count <= blind_count

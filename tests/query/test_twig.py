@@ -1,0 +1,125 @@
+"""Tests for twig-pattern matching."""
+
+import pytest
+
+from repro.baselines import get_scheme, scheme_names
+from repro.core import Ruid2Scheme
+from repro.errors import QueryError
+from repro.generator import generate_xmark
+from repro.query import TwigMatcher, TwigNode, XPathEngine, parse_twig
+from repro.xmltree import parse
+
+
+@pytest.fixture
+def tree():
+    return parse(
+        "<site><people>"
+        "<person><name>A</name><profile><interest/></profile></person>"
+        "<person><name>B</name></person>"
+        "<person><age>5</age></person>"
+        "</people><items><item><name>L</name></item></items></site>"
+    )
+
+
+class TestParser:
+    def test_simple_chain(self):
+        twig = parse_twig("a/b/c")
+        assert twig.tag == "a"
+        assert twig.branches[0].tag == "b"
+        assert twig.branches[0].branches[0].tag == "c"
+        assert twig.branches[0].axis == "child"
+
+    def test_descendant_edges(self):
+        twig = parse_twig("a//c")
+        assert twig.branches[0].axis == "descendant"
+
+    def test_branches(self):
+        twig = parse_twig("person[name][profile//interest]")
+        assert len(twig.branches) == 2
+        assert twig.branches[0].tag == "name"
+        assert twig.branches[1].tag == "profile"
+        assert twig.branches[1].branches[0].axis == "descendant"
+
+    def test_star(self):
+        assert parse_twig("*").tag is None
+
+    def test_leading_slashes(self):
+        assert parse_twig("//person").tag == "person"
+        assert parse_twig("/site").tag == "site"
+
+    @pytest.mark.parametrize("bad", ["", "a[", "a]", "a[]", "a/", "[a]", "a b"])
+    def test_malformed(self, bad):
+        with pytest.raises(QueryError):
+            parse_twig(bad)
+
+    def test_str_reparses(self):
+        for pattern in ("a/b", "person[name][profile]", "a//b[c]"):
+            twig = parse_twig(pattern)
+            assert parse_twig(str(twig)) == twig
+
+
+class TestMatching:
+    def test_child_branch_filter(self, tree):
+        matcher = TwigMatcher(Ruid2Scheme(max_area_size=4).build(tree))
+        persons = matcher.match("person[name]")
+        assert len(persons) == 2
+        assert all(n.tag == "person" for n in persons)
+
+    def test_descendant_branch(self, tree):
+        matcher = TwigMatcher(Ruid2Scheme(max_area_size=4).build(tree))
+        assert matcher.count("person[//interest]") == 1
+        assert matcher.count("people[//interest]") == 1
+        assert matcher.count("site[//interest]") == 1
+
+    def test_multi_branch(self, tree):
+        matcher = TwigMatcher(Ruid2Scheme(max_area_size=4).build(tree))
+        assert matcher.count("person[name][profile]") == 1
+        assert matcher.count("person[name][age]") == 0
+
+    def test_star_patterns(self, tree):
+        matcher = TwigMatcher(Ruid2Scheme(max_area_size=4).build(tree))
+        # any element with a name child: 2 persons + 1 item
+        assert matcher.count("*[name]") == 3
+
+    def test_document_order(self, tree):
+        matcher = TwigMatcher(Ruid2Scheme(max_area_size=4).build(tree))
+        matches = matcher.match("person[name]")
+        order = tree.document_order_index()
+        ranks = [order[n.node_id] for n in matches]
+        assert ranks == sorted(ranks)
+
+    def test_no_match(self, tree):
+        matcher = TwigMatcher(Ruid2Scheme(max_area_size=4).build(tree))
+        assert matcher.match("ghost[anything]") == []
+
+
+class TestAgainstXPath:
+    """Twig root bindings must agree with the equivalent XPath filter."""
+
+    CASES = (
+        ("person[name]", "//person[name]"),
+        ("person[profile/interest]", "//person[profile/interest]"),
+        ("open_auction[bidder]", "//open_auction[bidder]"),
+        ("person[address/city]", "//person[address/city]"),
+        ("site[//city]", "//site[descendant::city]"),
+    )
+
+    @pytest.mark.parametrize("twig_pattern,xpath", CASES)
+    def test_agreement_on_xmark(self, twig_pattern, xpath):
+        tree = generate_xmark(scale=0.06, seed=171)
+        labeling = Ruid2Scheme(max_area_size=16).build(tree)
+        matcher = TwigMatcher(labeling)
+        engine = XPathEngine(tree, labeling=labeling)
+        twig_nodes = matcher.match(twig_pattern)
+        xpath_nodes = engine.select(xpath, "navigational")
+        assert [n.node_id for n in twig_nodes] == [n.node_id for n in xpath_nodes]
+
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    def test_every_scheme_matches_identically(self, scheme_name):
+        tree = generate_xmark(scale=0.04, seed=172)
+        matcher = TwigMatcher(get_scheme(scheme_name).build(tree))
+        reference = TwigMatcher(get_scheme("dewey").build(tree))
+        for pattern in ("person[name]", "open_auction[bidder][seller]"):
+            got = [n.node_id for n in matcher.match(pattern)]
+            want = [n.node_id for n in reference.match(pattern)]
+            assert got == want, (scheme_name, pattern)

@@ -1,0 +1,153 @@
+"""Tests for the paged B+-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError, PageOverflowError
+from repro.storage import BPlusTree, Pager, decode_key, decode_value, encode_key, encode_value
+
+
+@pytest.fixture
+def tree():
+    return BPlusTree(Pager(page_size=256, pool_pages=16))
+
+
+def put(tree, key, value):
+    tree.insert(encode_key(key), encode_value(value))
+
+
+def get(tree, key):
+    raw = tree.get(encode_key(key))
+    return None if raw is None else decode_value(raw)
+
+
+class TestBasics:
+    def test_empty(self, tree):
+        assert get(tree, 1) is None
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_insert_get(self, tree):
+        put(tree, 5, "five")
+        put(tree, 3, "three")
+        assert get(tree, 5) == "five"
+        assert get(tree, 3) == "three"
+        assert get(tree, 4) is None
+
+    def test_duplicate_rejected(self, tree):
+        put(tree, 1, "a")
+        with pytest.raises(DuplicateKeyError):
+            put(tree, 1, "b")
+
+    def test_replace(self, tree):
+        put(tree, 1, "a")
+        tree.insert(encode_key(1), encode_value("b"), replace=True)
+        assert get(tree, 1) == "b"
+
+    def test_oversized_record_rejected(self, tree):
+        with pytest.raises(PageOverflowError):
+            tree.insert(encode_key("k"), b"x" * 4096)
+
+
+class TestSplitsAndScale:
+    @pytest.mark.parametrize("count,seed", [(200, 0), (1000, 1)])
+    def test_random_inserts(self, count, seed):
+        tree = BPlusTree(Pager(page_size=256, pool_pages=8))
+        rng = random.Random(seed)
+        keys = list(range(count))
+        rng.shuffle(keys)
+        for key in keys:
+            put(tree, key, key * 3)
+        for key in range(count):
+            assert get(tree, key) == key * 3
+        ordered = [decode_key(k) for k, _ in tree.items()]
+        assert ordered == sorted(ordered)
+        assert len(ordered) == count
+
+    def test_sequential_inserts(self):
+        tree = BPlusTree(Pager(page_size=256, pool_pages=8))
+        for key in range(500):
+            put(tree, key, None)
+        assert len(tree) == 500
+
+    def test_string_keys(self):
+        tree = BPlusTree(Pager(page_size=512, pool_pages=8))
+        words = [f"word-{i:04d}" for i in range(300)]
+        random.Random(2).shuffle(words)
+        for word in words:
+            put(tree, word, word.upper())
+        assert get(tree, "word-0123") == "WORD-0123"
+        ordered = [decode_key(k) for k, _ in tree.items()]
+        assert ordered == sorted(words)
+
+
+class TestRange:
+    def test_range_bounds(self, tree):
+        for key in range(0, 100, 2):
+            put(tree, key, key)
+        got = [decode_key(k) for k, _ in tree.range(encode_key(10), encode_key(20))]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_open_ends(self, tree):
+        for key in range(10):
+            put(tree, key, key)
+        assert len(list(tree.range(None, encode_key(4)))) == 5
+        assert len(list(tree.range(encode_key(5), None))) == 5
+
+    def test_range_missing_bounds(self, tree):
+        for key in range(0, 20, 2):
+            put(tree, key, key)
+        got = [decode_key(k) for k, _ in tree.range(encode_key(3), encode_key(9))]
+        assert got == [4, 6, 8]
+
+    def test_range_across_splits(self):
+        tree = BPlusTree(Pager(page_size=256, pool_pages=8))
+        for key in range(400):
+            put(tree, key, None)
+        got = [decode_key(k) for k, _ in tree.range(encode_key(100), encode_key(299))]
+        assert got == list(range(100, 300))
+
+
+class TestDelete:
+    def test_delete_existing(self, tree):
+        for key in range(50):
+            put(tree, key, key)
+        assert tree.delete(encode_key(25))
+        assert get(tree, 25) is None
+        assert len(tree) == 49
+
+    def test_delete_missing(self, tree):
+        put(tree, 1, "a")
+        assert not tree.delete(encode_key(9))
+
+    def test_delete_all_then_reinsert(self):
+        tree = BPlusTree(Pager(page_size=256, pool_pages=8))
+        for key in range(200):
+            put(tree, key, key)
+        for key in range(200):
+            assert tree.delete(encode_key(key))
+        assert len(tree) == 0
+        put(tree, 5, "back")
+        assert get(tree, 5) == "back"
+
+
+class TestIoAccounting:
+    def test_operations_charge_io(self):
+        pager = Pager(page_size=256, pool_pages=2)
+        tree = BPlusTree(pager)
+        for key in range(300):
+            put(tree, key, key)
+        assert pager.stats.disk_reads > 0
+        assert pager.stats.disk_writes > 0
+
+    def test_point_lookup_io_bounded_by_height(self):
+        pager = Pager(page_size=256, pool_pages=4)
+        tree = BPlusTree(pager)
+        for key in range(2000):
+            put(tree, key, None)
+        snapshot = pager.stats.snapshot()
+        get(tree, 1234)
+        delta = pager.stats.delta_since(snapshot)
+        # a point lookup touches at most the tree height in pages
+        assert delta["buffer_misses"] + delta["buffer_hits"] <= 8

@@ -1,0 +1,120 @@
+"""Tests for the order-preserving key codec and value codec."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import decode_key, decode_value, encode_key, encode_value
+
+
+class TestKeyRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            255,
+            256,
+            -256,
+            2**100,
+            -(2**100),
+            "",
+            "hello",
+            "with\x00null",
+            "unicode — 世界",
+            b"",
+            b"raw\x00bytes\xff",
+            (),
+            (1, 2, 3),
+            ("a", 1, True),
+            ((1, 2), (3, (4,))),
+            (None, False, ""),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_key(encode_key(value)) == value
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            decode_key(encode_key(5) + b"\x01")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(StorageError):
+            decode_key(encode_key("hello")[:-1])
+
+
+class TestKeyOrdering:
+    def test_integer_order(self):
+        values = [-(2**70), -1000, -256, -2, -1, 0, 1, 2, 255, 256, 2**70]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_string_order(self):
+        values = ["", "a", "a\x00", "a\x01", "aa", "ab", "b"]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_tuple_lexicographic(self):
+        values = [(1,), (1, 1), (1, 2), (2,), (2, 0)]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_tuple_prefix_sorts_first(self):
+        assert encode_key(("a",)) < encode_key(("a", "b"))
+        assert encode_key((1, 2)) < encode_key((1, 2, 0))
+
+    def test_type_rank(self):
+        # None < bool < int < str < bytes
+        values = [None, False, True, -5, 10, "x", b"x"]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_mixed_label_tuples(self):
+        # The (global, local, flag) rUID storage key
+        labels = [(1, 1, True), (2, 2, False), (2, 2, True), (2, 7, False), (10, 9, True)]
+        encoded = [encode_key(l) for l in labels]
+        assert encoded == sorted(encoded)
+
+    def test_unsupported_type(self):
+        with pytest.raises(StorageError):
+            encode_key(3.14)  # floats are not comparable keys here
+        with pytest.raises(StorageError):
+            encode_key([1, 2])
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -42,
+            2**80,
+            3.5,
+            -0.25,
+            "",
+            "text",
+            b"blob",
+            (),
+            (1, "a", None, (2.5, b"x")),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_nested_row(self):
+        row = ((2, 7, False), "person", "element", None)
+        assert decode_value(encode_value(row)) == row
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_unsupported_type(self):
+        with pytest.raises(StorageError):
+            encode_value({"a": 1})

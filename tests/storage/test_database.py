@@ -1,0 +1,139 @@
+"""Tests for the XML database facade."""
+
+import pytest
+
+from repro.core import MultiRuidScheme, Ruid2Label, Ruid2Scheme, UidScheme
+from repro.errors import StorageError, UnknownLabelError
+from repro.storage import XmlDatabase, label_key
+from repro.xmltree import parse
+
+
+@pytest.fixture
+def doc_tree():
+    return parse(
+        "<site><people><person><name>A</name></person>"
+        "<person><name>B</name></person></people><items><item/></items></site>"
+    )
+
+
+class TestLabelKey:
+    def test_ruid2(self):
+        assert label_key(Ruid2Label(2, 7, False)) == (2, 7, False)
+
+    def test_multilabel(self):
+        from repro.core import MultiLabel
+
+        assert label_key(MultiLabel(2, ((4, False), (7, True)))) == (2, 4, False, 7, True)
+
+    def test_int_and_tuple(self):
+        assert label_key(5) == (5,)
+        assert label_key((1, 2)) == (1, 2)
+
+    def test_unsupported(self):
+        with pytest.raises(StorageError):
+            label_key(3.14)
+
+
+class TestStoreAndFetch:
+    @pytest.mark.parametrize("scheme", [UidScheme(), Ruid2Scheme(max_area_size=4), MultiRuidScheme(levels=2)])
+    def test_roundtrip_all_schemes(self, doc_tree, scheme):
+        tree = doc_tree.copy()
+        labeling = scheme.build(tree)
+        database = XmlDatabase(page_size=512, pool_pages=32)
+        document = database.store_document("d", tree, labeling)
+        for node in tree.preorder():
+            row = document.fetch(labeling.label_of(node))
+            assert row[1] == node.tag
+
+    def test_fetch_parent(self, doc_tree):
+        labeling = Ruid2Scheme(max_area_size=4).build(doc_tree)
+        database = XmlDatabase()
+        document = database.store_document("d", doc_tree, labeling)
+        person = doc_tree.find_by_tag("person")[0]
+        row = document.fetch_parent(labeling.label_of(person))
+        assert row[1] == "people"
+
+    def test_fetch_unknown_label(self, doc_tree):
+        labeling = Ruid2Scheme().build(doc_tree)
+        database = XmlDatabase()
+        document = database.store_document("d", doc_tree, labeling)
+        with pytest.raises(UnknownLabelError):
+            document.fetch(Ruid2Label(99, 99, False))
+
+    def test_duplicate_document_name(self, doc_tree):
+        labeling = Ruid2Scheme().build(doc_tree)
+        database = XmlDatabase()
+        database.store_document("d", doc_tree, labeling)
+        with pytest.raises(StorageError):
+            database.store_document("d", doc_tree, labeling)
+
+    def test_document_lookup(self, doc_tree):
+        labeling = Ruid2Scheme().build(doc_tree)
+        database = XmlDatabase()
+        stored = database.store_document("d", doc_tree, labeling)
+        assert database.document("d") is stored
+        with pytest.raises(StorageError):
+            database.document("missing")
+
+
+class TestQueriesAndOrder:
+    def test_nodes_with_tag(self, doc_tree):
+        labeling = Ruid2Scheme(max_area_size=4).build(doc_tree)
+        database = XmlDatabase()
+        document = database.store_document("d", doc_tree, labeling)
+        rows = document.nodes_with_tag("person")
+        assert len(rows) == 2
+
+    def test_scan_document_order_sorted_by_global_then_local(self, doc_tree):
+        labeling = Ruid2Scheme(max_area_size=3).build(doc_tree)
+        database = XmlDatabase()
+        document = database.store_document("d", doc_tree, labeling)
+        keys = [row[0] for row in document.scan_document_order()]
+        assert keys == sorted(keys)  # the paper's (global, local) sort
+
+    def test_area_routing(self, doc_tree):
+        labeling = Ruid2Scheme(max_area_size=3).build(doc_tree)
+        database = XmlDatabase()
+        document = database.store_document(
+            "d", doc_tree, labeling, partition_by_area=True
+        )
+        all_rows, scanned_all = document.nodes_with_tag_routed("person")
+        assert len(all_rows) == 2
+        # route to only the areas that contain 'person' labels
+        target_areas = {
+            labeling.label_of(n).global_index for n in doc_tree.find_by_tag("person")
+        }
+        routed_rows, scanned_routed = document.nodes_with_tag_routed(
+            "person", areas=sorted(target_areas)
+        )
+        assert len(routed_rows) == 2
+        assert scanned_routed <= scanned_all
+
+    def test_routing_requires_partitioned_store(self, doc_tree):
+        labeling = Ruid2Scheme().build(doc_tree)
+        database = XmlDatabase()
+        document = database.store_document("d", doc_tree, labeling)
+        with pytest.raises(StorageError):
+            document.nodes_with_tag_routed("person")
+
+    def test_routing_requires_ruid_labels(self, doc_tree):
+        labeling = UidScheme().build(doc_tree)
+        database = XmlDatabase()
+        with pytest.raises(StorageError):
+            database.store_document("d", doc_tree, labeling, partition_by_area=True)
+
+
+class TestIoAccounting:
+    def test_parent_fetch_io(self):
+        from repro.generator import random_document
+
+        tree = random_document(400, seed=61)
+        labeling = Ruid2Scheme(max_area_size=16).build(tree)
+        database = XmlDatabase(page_size=512, pool_pages=4)
+        document = database.store_document("d", tree, labeling)
+        node = max(tree.preorder(), key=lambda n: n.depth)
+        snapshot = database.io_snapshot()
+        document.fetch_parent(labeling.label_of(node))
+        delta = database.io_delta(snapshot)
+        # the label arithmetic is free; only the row fetch pays pages
+        assert delta["disk_reads"] <= 10

@@ -1,0 +1,96 @@
+"""Tests for the federated deployment simulation (§4)."""
+
+import pytest
+
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.errors import StorageError, UnknownLabelError
+from repro.generator import generate_xmark
+from repro.storage import FederatedDocument
+
+
+@pytest.fixture(scope="module")
+def labeling():
+    tree = generate_xmark(scale=0.08, seed=161)
+    return Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+
+
+@pytest.fixture
+def federation(labeling):
+    return FederatedDocument(labeling, site_count=4)
+
+
+class TestPlacement:
+    def test_every_area_owned_once(self, labeling, federation):
+        owned = [area for site in federation.sites for area in site.areas]
+        assert sorted(owned) == sorted(
+            labeling.global_of_area_root(r)
+            for r in labeling.frame.frame_preorder()
+        )
+
+    def test_every_node_stored(self, labeling, federation):
+        stored = sum(len(site.rows) for site in federation.sites)
+        assert stored == len(labeling.snapshot())
+
+    def test_round_robin_balances(self, federation):
+        loads = [rows for _name, _areas, rows in federation.site_loads()]
+        assert max(loads) < sum(loads)  # no site holds everything
+
+    def test_custom_placement(self, labeling):
+        federation = FederatedDocument(labeling, site_count=2, placement=lambda a: 0)
+        assert len(federation.sites[0].rows) == len(labeling.snapshot())
+        assert len(federation.sites[1].rows) == 0
+
+    def test_bad_placement_rejected(self, labeling):
+        with pytest.raises(StorageError):
+            FederatedDocument(labeling, site_count=2, placement=lambda a: 7)
+        with pytest.raises(StorageError):
+            FederatedDocument(labeling, site_count=0)
+
+    def test_coordinator_footprint_is_small(self, labeling, federation):
+        document_rows = len(labeling.snapshot())
+        # κ+K is per-area, not per-node
+        assert federation.coordinator_bytes < document_rows * 24
+
+
+class TestOperationCosts:
+    def test_fetch_costs_one_message(self, labeling, federation):
+        node = labeling.tree.find_by_tag("person")[0]
+        row, messages = federation.fetch(labeling.label_of(node))
+        assert row[0] == "person"
+        assert messages == 1
+
+    def test_parent_fetch_costs_one_message(self, labeling, federation):
+        node = max(labeling.tree.preorder(), key=lambda n: n.depth)
+        row, messages = federation.fetch_parent(labeling.label_of(node))
+        assert row[0] == node.parent.tag
+        assert messages == 1  # the arithmetic is coordinator-local
+
+    def test_ancestry_check_costs_zero_messages(self, labeling, federation):
+        deepest = max(labeling.tree.preorder(), key=lambda n: n.depth)
+        root_label = labeling.label_of(labeling.tree.root)
+        answer, messages = federation.ancestry_check(
+            root_label, labeling.label_of(deepest)
+        )
+        assert answer is True
+        assert messages == 0
+
+    def test_routed_tag_search_contacts_fewer_sites(self, labeling, federation):
+        routed, routed_messages = federation.find_tag("city", routed=True)
+        federation.reset_messages()
+        broadcast, broadcast_messages = federation.find_tag("city", routed=False)
+        assert [pair[0] for pair in routed] == [pair[0] for pair in broadcast]
+        assert routed_messages <= broadcast_messages
+        assert broadcast_messages == len(federation.sites)
+
+    def test_tag_results_in_document_order(self, labeling, federation):
+        matches, _ = federation.find_tag("person")
+        labels = [pair[0] for pair in matches]
+        assert labels == federation.parameters.sort(labels)
+        want = [labeling.label_of(n) for n in labeling.tree.find_by_tag("person")]
+        assert labels == want
+
+    def test_unknown_label_raises(self, federation):
+        from repro.core import Ruid2Label
+
+        with pytest.raises(UnknownLabelError):
+            federation.fetch(Ruid2Label(10**6, 1, False))

@@ -1,0 +1,80 @@
+"""Tests for the slotted-page heap file."""
+
+import pytest
+
+from repro.errors import PageOverflowError, StorageError
+from repro.storage import HeapFile, Pager, Rid
+
+
+@pytest.fixture
+def heap():
+    return HeapFile(Pager(page_size=256, pool_pages=8))
+
+
+class TestInsertGet:
+    def test_roundtrip(self, heap):
+        rid = heap.insert(b"hello")
+        assert heap.get(rid) == b"hello"
+
+    def test_many_records_span_pages(self, heap):
+        rids = [heap.insert(f"record-{i:03d}".encode()) for i in range(200)]
+        pages = {rid.page_id for rid in rids}
+        assert len(pages) > 1
+        for index, rid in enumerate(rids):
+            assert heap.get(rid) == f"record-{index:03d}".encode()
+
+    def test_oversized_record_rejected(self, heap):
+        with pytest.raises(PageOverflowError):
+            heap.insert(b"x" * 1000)
+
+    def test_empty_record(self, heap):
+        rid = heap.insert(b"")
+        assert heap.get(rid) == b""
+
+
+class TestDelete:
+    def test_delete_then_get_raises(self, heap):
+        rid = heap.insert(b"gone")
+        heap.delete(rid)
+        with pytest.raises(StorageError):
+            heap.get(rid)
+
+    def test_slot_reuse(self, heap):
+        rid = heap.insert(b"first")
+        heap.delete(rid)
+        rid2 = heap.insert(b"second")
+        assert rid2.page_id == rid.page_id
+        assert rid2.slot == rid.slot
+
+    def test_bad_rid(self, heap):
+        heap.insert(b"x")
+        with pytest.raises(StorageError):
+            heap.get(Rid(0, 99))
+
+    def test_compaction_reclaims_space(self, heap):
+        # fill a page, delete everything, verify new records fit again
+        rids = []
+        while True:
+            rid = heap.insert(b"y" * 40)
+            if rid.page_id != 0:
+                break
+            rids.append(rid)
+        for rid in rids:
+            heap.delete(rid)
+        fresh = [heap.insert(b"z" * 40) for _ in range(len(rids))]
+        assert {r.page_id for r in fresh} <= {0, 1}
+
+
+class TestUpdateScan:
+    def test_update_moves_record(self, heap):
+        rid = heap.insert(b"old")
+        new_rid = heap.update(rid, b"new-value")
+        assert heap.get(new_rid) == b"new-value"
+
+    def test_scan_returns_live_records(self, heap):
+        rids = [heap.insert(f"r{i}".encode()) for i in range(10)]
+        heap.delete(rids[3])
+        heap.delete(rids[7])
+        records = {raw for _, raw in heap.scan()}
+        assert records == {f"r{i}".encode() for i in range(10) if i not in (3, 7)}
+        assert len(heap) == 8

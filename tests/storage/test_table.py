@@ -1,0 +1,128 @@
+"""Tests for typed tables, primary keys, and secondary indexes."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, StorageError
+from repro.storage import Column, Pager, Schema, Table
+
+
+@pytest.fixture
+def table():
+    pager = Pager(page_size=512, pool_pages=16)
+    return Table(
+        "people",
+        Schema([Column("id", "int"), Column("name", "str"), Column("age", "int")]),
+        pager,
+        primary_key=["id"],
+    )
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(StorageError):
+            Schema([Column("a"), Column("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(StorageError):
+            Schema([])
+
+    def test_validate_row_arity(self, table):
+        with pytest.raises(StorageError):
+            table.insert((1, "too-short"))
+
+    def test_validate_kind(self, table):
+        with pytest.raises(StorageError):
+            table.insert((1, 42, 30))  # name must be str
+
+    def test_nullable(self, table):
+        table.insert((1, None, None))
+        assert table.get(1) == (1, None, None)
+
+    def test_project(self):
+        schema = Schema([Column("a"), Column("b"), Column("c")])
+        assert schema.project((1, 2, 3), ["c", "a"]) == (3, 1)
+
+
+class TestCrud:
+    def test_insert_get(self, table):
+        table.insert((1, "ada", 36))
+        table.insert((2, "bob", 17))
+        assert table.get(1) == (1, "ada", 36)
+        assert table.get(2) == (2, "bob", 17)
+        assert table.get(99) is None
+        assert len(table) == 2
+
+    def test_duplicate_pk(self, table):
+        table.insert((1, "ada", 36))
+        with pytest.raises(DuplicateKeyError):
+            table.insert((1, "imposter", 0))
+
+    def test_delete(self, table):
+        table.insert((1, "ada", 36))
+        assert table.delete(1)
+        assert table.get(1) is None
+        assert not table.delete(1)
+        assert len(table) == 0
+
+    def test_scan(self, table):
+        for i in range(20):
+            table.insert((i, f"p{i}", i))
+        assert len(list(table.scan())) == 20
+
+    def test_scan_pk_order(self, table):
+        for i in (5, 1, 9, 3):
+            table.insert((i, f"p{i}", i))
+        assert [row[0] for row in table.scan_pk_order()] == [1, 3, 5, 9]
+
+    def test_range_pk(self, table):
+        for i in range(10):
+            table.insert((i, f"p{i}", i))
+        rows = list(table.range_pk((3,), (6,)))
+        assert [row[0] for row in rows] == [3, 4, 5, 6]
+
+
+class TestSecondaryIndex:
+    def test_lookup(self, table):
+        table.insert((1, "ada", 36))
+        table.insert((2, "bob", 17))
+        table.insert((3, "ada", 80))
+        table.create_index("by_name", ["name"])
+        rows = list(table.lookup("by_name", "ada"))
+        assert sorted(row[0] for row in rows) == [1, 3]
+        assert list(table.lookup("by_name", "nobody")) == []
+
+    def test_index_backfills(self, table):
+        table.insert((1, "ada", 36))
+        table.create_index("by_name", ["name"])
+        assert [row[0] for row in table.lookup("by_name", "ada")] == [1]
+
+    def test_index_maintained_on_insert_delete(self, table):
+        table.create_index("by_age", ["age"])
+        table.insert((1, "ada", 36))
+        table.insert((2, "bob", 36))
+        table.delete(1)
+        rows = list(table.lookup("by_age", 36))
+        assert [row[0] for row in rows] == [2]
+
+    def test_composite_index_prefix(self, table):
+        table.create_index("by_name_age", ["name", "age"])
+        table.insert((1, "ada", 36))
+        table.insert((2, "ada", 17))
+        table.insert((3, "bob", 36))
+        # full composite
+        assert [r[0] for r in table.lookup("by_name_age", "ada", 17)] == [2]
+        # prefix on name alone
+        assert sorted(r[0] for r in table.lookup("by_name_age", "ada")) == [1, 2]
+
+    def test_duplicate_index_name(self, table):
+        table.create_index("i", ["name"])
+        with pytest.raises(StorageError):
+            table.create_index("i", ["age"])
+
+    def test_unknown_index_column(self, table):
+        with pytest.raises(StorageError):
+            table.create_index("bad", ["missing"])
+
+    def test_unknown_index_lookup(self, table):
+        with pytest.raises(StorageError):
+            list(table.lookup("nope", 1))

@@ -1,0 +1,111 @@
+"""Gap-filling tests for public API surface not covered elsewhere."""
+
+import pytest
+
+from repro.core import (
+    Ruid2Labeling,
+    SizeCapPartitioner,
+    dump_parameters,
+    load_parameters,
+)
+from repro.generator import random_document
+from repro.xmltree import parse
+
+
+@pytest.fixture(scope="module")
+def labeling():
+    tree = random_document(150, seed=181, fanout_kind="uniform", low=1, high=4)
+    return Ruid2Labeling(tree, partitioner=SizeCapPartitioner(8))
+
+
+class TestGlobalParametersCandidates:
+    def test_sibling_candidates_cover_real_siblings(self, labeling):
+        params = load_parameters(dump_parameters(labeling))
+        for node in list(labeling.tree.preorder())[::4]:
+            label = labeling.label_of(node)
+            preceding = set(params.sibling_candidates(label, preceding=True))
+            following = set(params.sibling_candidates(label, preceding=False))
+            assert {
+                labeling.label_of(s) for s in node.preceding_siblings()
+            } <= preceding
+            assert {
+                labeling.label_of(s) for s in node.following_siblings()
+            } <= following
+
+    def test_document_root_has_no_sibling_candidates(self, labeling):
+        from repro.core import Ruid2Label
+
+        params = load_parameters(dump_parameters(labeling))
+        assert params.sibling_candidates(Ruid2Label.ROOT, preceding=True) == []
+        assert params.sibling_candidates(Ruid2Label.ROOT, preceding=False) == []
+
+
+class TestTreeUtilities:
+    def test_find_all(self):
+        tree = parse("<a><b x='1'/><b/><c x='1'/></a>")
+        hits = tree.find_all(lambda n: n.get("x") == "1")
+        assert [n.tag for n in hits] == ["b", "c"]
+
+    def test_elements_excludes_text(self):
+        tree = parse("<a>hi<b/></a>")
+        assert [n.tag for n in tree.elements()] == ["a", "b"]
+
+    def test_node_repr_forms(self):
+        tree = parse("<a>hi<b/></a>", keep_comments=True)
+        for node in tree.preorder():
+            assert repr(node)
+        assert repr(tree)
+
+
+class TestCliMultilevel:
+    def test_label_with_multilevel_scheme(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.generator import generate_xmark
+        from repro.xmltree import write_file
+
+        path = str(tmp_path / "doc.xml")
+        write_file(generate_xmark(scale=0.02, seed=19), path)
+        assert main(["label", path, "--scheme", "ruid-multi", "--limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "max label bits" in out
+
+
+class TestAxisEngineIndexes:
+    def test_labels_in_area_covers_every_node(self, labeling):
+        from repro.core import AxisEngine
+
+        engine = AxisEngine(labeling)
+        seen = set()
+        for root in labeling.frame.frame_preorder():
+            g = labeling.global_of_area_root(root)
+            seen.update(engine.labels_in_area(g))
+        assert seen == set(labeling.labels())
+
+    def test_slot_map_matches_candidates(self, labeling):
+        from repro.core import AxisEngine, candidate_children
+
+        engine = AxisEngine(labeling)
+        for node in list(labeling.tree.preorder())[::5]:
+            label = labeling.label_of(node)
+            fast = engine.children(label)
+            slow = [
+                c
+                for c in candidate_children(label, labeling.kappa, labeling.ktable)
+                if labeling.exists(c)
+            ]
+            assert fast == slow
+
+
+class TestOrdpathParentStripsNestedCarets:
+    def test_multi_caret(self):
+        from repro.baselines.ordpath import parent_of
+
+        # a deeply careted component chain still strips to the parent
+        assert parent_of((1, 2, 4, 6, 1)) == (1,)
+        assert parent_of((3, 0, -2, 5)) == (3,)
+
+    def test_parent_of_caret_label(self):
+        from repro.baselines.ordpath import parent_of
+
+        # (5, 2, 1) is a child of (5): strip 1, then carets 2
+        assert parent_of((5, 2, 1)) == (5,)

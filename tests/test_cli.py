@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.generator import generate_xmark
+from repro.xmltree import write_file
+
+
+@pytest.fixture
+def doc_path(tmp_path):
+    path = tmp_path / "doc.xml"
+    write_file(generate_xmark(scale=0.03, seed=9), str(path))
+    return str(path)
+
+
+class TestStats:
+    def test_prints_metrics(self, doc_path, capsys):
+        assert main(["stats", doc_path]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "max_fanout" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent.xml"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestLabel:
+    def test_ruid2_shows_k_table(self, doc_path, capsys):
+        assert main(["label", doc_path, "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "kappa" in out
+        assert "(1, 1, true)" in out
+
+    @pytest.mark.parametrize("scheme", ["uid", "dewey", "prepost"])
+    def test_other_schemes(self, doc_path, capsys, scheme):
+        assert main(["label", doc_path, "--scheme", scheme, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "max label bits" in out
+
+
+class TestQuery:
+    def test_paths_output(self, doc_path, capsys):
+        assert main(["query", doc_path, "/site/people/person"]) == 0
+        captured = capsys.readouterr()
+        assert "/site/people/person" in captured.out
+        assert "node(s)" in captured.err
+
+    def test_values_output(self, doc_path, capsys):
+        assert main(["query", doc_path, "//person[1]/name", "--values"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out  # a person name
+
+    def test_strategies_agree(self, doc_path, capsys):
+        main(["query", doc_path, "//item/name", "--strategy", "ruid"])
+        ruid_out = capsys.readouterr().out
+        main(["query", doc_path, "//item/name", "--strategy", "navigational"])
+        nav_out = capsys.readouterr().out
+        assert ruid_out == nav_out
+
+    def test_bad_xpath(self, doc_path, capsys):
+        assert main(["query", doc_path, "//["]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFragment:
+    def test_fragment_is_xml(self, doc_path, capsys):
+        assert main(["fragment", doc_path, "//person[1]/name"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("<site")
+        assert "<name" in out  # skeleton only: the name element, childless
+
+    def test_fragment_with_descendants_carries_text(self, doc_path, capsys):
+        assert main(
+            ["fragment", doc_path, "//person[1]/name", "--descendants"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<name>" in out  # now the text child is included
+
+
+class TestUpdateBench:
+    def test_table_printed(self, doc_path, capsys):
+        assert main(
+            ["update-bench", doc_path, "--ops", "10", "--schemes", "uid", "ruid2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "relabel scope" in out
+        assert "ruid2" in out
+
+
+class TestSaveParams:
+    def test_roundtrip(self, doc_path, tmp_path, capsys):
+        out_path = str(tmp_path / "params.bin")
+        assert main(["save-params", doc_path, out_path, "--directory"]) == 0
+        assert "saved kappa" in capsys.readouterr().out
+        from repro.core import load_parameters
+
+        with open(out_path, "rb") as handle:
+            params = load_parameters(handle.read())
+        assert params.kappa >= 1
+        assert params.tags

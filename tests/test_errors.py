@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.XmlSyntaxError,
+            errors.TreeStructureError,
+            errors.NumberingError,
+            errors.StorageError,
+            errors.QueryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_numbering_subtypes(self):
+        for subtype in (
+            errors.IdentifierOverflowError,
+            errors.FanOutOverflowError,
+            errors.UnknownLabelError,
+            errors.NoParentError,
+            errors.PartitionError,
+        ):
+            assert issubclass(subtype, errors.NumberingError)
+
+    def test_storage_subtypes(self):
+        for subtype in (
+            errors.PageOverflowError,
+            errors.DuplicateKeyError,
+            errors.TableNotFoundError,
+        ):
+            assert issubclass(subtype, errors.StorageError)
+
+    def test_query_subtypes(self):
+        assert issubclass(errors.XPathSyntaxError, errors.QueryError)
+        assert issubclass(errors.UnsupportedFeatureError, errors.QueryError)
+
+
+class TestMessages:
+    def test_xml_syntax_error_position(self):
+        error = errors.XmlSyntaxError("bad", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+
+    def test_xml_syntax_error_without_position(self):
+        assert "line" not in str(errors.XmlSyntaxError("bad"))
+
+    def test_xpath_syntax_error_offset(self):
+        error = errors.XPathSyntaxError("bad", position=5)
+        assert "offset 5" in str(error)
+        assert error.position == 5
+
+    def test_overflow_carries_budgets(self):
+        error = errors.IdentifierOverflowError("too big", bits_required=80, bits_allowed=64)
+        assert error.bits_required == 80
+        assert error.bits_allowed == 64
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DuplicateKeyError("dup")

@@ -1,0 +1,104 @@
+"""Tests for the spec builder and imperative TreeBuilder."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.xmltree import NodeKind, TreeBuilder, build, complete_kary_tree
+
+
+class TestSpecBuilder:
+    def test_leaf_string(self):
+        tree = build("solo")
+        assert tree.root.tag == "solo"
+        assert tree.size() == 1
+
+    def test_children_list(self):
+        tree = build(("a", ["b", "c"]))
+        assert [n.tag for n in tree.preorder()] == ["a", "b", "c"]
+
+    def test_attributes_only(self):
+        tree = build(("a", {"x": "1"}))
+        assert tree.root.attributes == {"x": "1"}
+
+    def test_attributes_and_children(self):
+        tree = build(("a", {"x": "1"}, ["b"]))
+        assert tree.root.attributes == {"x": "1"}
+        assert tree.root.children[0].tag == "b"
+
+    def test_text_shorthand(self):
+        tree = build(("a", "hello"))
+        assert tree.root.children[0].kind is NodeKind.TEXT
+        assert tree.root.children[0].text == "hello"
+
+    def test_explicit_text_node(self):
+        tree = build(("a", [("#text", "hi"), "b"]))
+        assert tree.root.children[0].kind is NodeKind.TEXT
+        assert tree.root.children[1].tag == "b"
+
+    def test_nested(self):
+        tree = build(("a", [("b", [("c", ["d"])])]))
+        assert tree.height() == 4
+
+    @pytest.mark.parametrize("bad", [(), 42, ("a", 42), ("a", {}, [], "extra"), ("#text",)])
+    def test_invalid_specs(self, bad):
+        with pytest.raises(TreeStructureError):
+            build(bad)
+
+
+class TestTreeBuilder:
+    def test_basic_sequence(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.start("b")
+        builder.text("hi")
+        builder.end()
+        builder.element("c", {"x": "1"})
+        builder.end()
+        tree = builder.finish()
+        assert [n.tag for n in tree.preorder()] == ["a", "b", "#text", "c"]
+        assert tree.find_by_tag("c")[0].attributes == {"x": "1"}
+
+    def test_unclosed_raises(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        with pytest.raises(TreeStructureError):
+            builder.finish()
+
+    def test_end_without_start_raises(self):
+        with pytest.raises(TreeStructureError):
+            TreeBuilder().end()
+
+    def test_text_outside_element_raises(self):
+        with pytest.raises(TreeStructureError):
+            TreeBuilder().text("floating")
+
+    def test_second_root_raises(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.end()
+        with pytest.raises(TreeStructureError):
+            builder.start("b")
+
+    def test_empty_finish_raises(self):
+        with pytest.raises(TreeStructureError):
+            TreeBuilder().finish()
+
+
+class TestCompleteKary:
+    def test_sizes(self):
+        tree = complete_kary_tree(2, 4)
+        assert tree.size() == 15
+        assert tree.height() == 4
+        assert tree.max_fan_out() == 2
+
+    def test_height_one(self):
+        tree = complete_kary_tree(5, 1)
+        assert tree.size() == 1
+
+    def test_fanout_zero(self):
+        tree = complete_kary_tree(0, 3)
+        assert tree.size() == 1
+
+    def test_invalid(self):
+        with pytest.raises(TreeStructureError):
+            complete_kary_tree(2, 0)

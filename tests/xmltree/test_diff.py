@@ -1,0 +1,147 @@
+"""Tests for the structural differ (self-verifying: apply and compare)."""
+
+import random
+
+import pytest
+
+from repro.baselines import get_scheme
+from repro.generator import random_document
+from repro.xmltree import (
+    NodeKind,
+    XmlNode,
+    apply_edit_script,
+    apply_through_labeling,
+    diff_trees,
+    parse,
+)
+
+
+def structurally_equal(first, second) -> bool:
+    a_nodes, b_nodes = list(first.preorder()), list(second.preorder())
+    if len(a_nodes) != len(b_nodes):
+        return False
+    return all(
+        (a.tag, a.kind, a.text, a.attributes) == (b.tag, b.kind, b.text, b.attributes)
+        for a, b in zip(a_nodes, b_nodes)
+    )
+
+
+def check_roundtrip(old_source, new_source):
+    old = parse(old_source)
+    new = parse(new_source)
+    ops = diff_trees(old, new)
+    transformed = apply_edit_script(old, ops)
+    assert structurally_equal(transformed, new), [str(o) for o in ops]
+    return ops
+
+
+class TestBasicDiffs:
+    def test_identical_trees_empty_script(self):
+        ops = check_roundtrip("<a><b/><c/></a>", "<a><b/><c/></a>")
+        assert ops == []
+
+    def test_single_insert(self):
+        ops = check_roundtrip("<a><b/></a>", "<a><b/><c/></a>")
+        assert len(ops) == 1
+        assert ops[0].kind == "insert"
+
+    def test_single_delete(self):
+        ops = check_roundtrip("<a><b/><c/></a>", "<a><b/></a>")
+        assert len(ops) == 1
+        assert ops[0].kind == "delete"
+
+    def test_insert_in_middle(self):
+        check_roundtrip("<a><b/><d/></a>", "<a><b/><c/><d/></a>")
+
+    def test_subtree_replacement(self):
+        check_roundtrip(
+            "<a><b><x/><y/></b></a>",
+            "<a><b><x/><z/></b></a>",
+        )
+
+    def test_text_change_is_replace(self):
+        check_roundtrip("<a><b>old</b></a>", "<a><b>new</b></a>")
+
+    def test_attribute_change_is_replace(self):
+        check_roundtrip('<a><b x="1"/></a>', '<a><b x="2"/></a>')
+
+    def test_reorder(self):
+        check_roundtrip("<a><b/><c/><d/></a>", "<a><d/><b/><c/></a>")
+
+    def test_deep_nested_edit(self):
+        check_roundtrip(
+            "<a><b><c><d>1</d></c></b><e/></a>",
+            "<a><b><c><d>1</d><d>2</d></c></b><e/></a>",
+        )
+
+    def test_different_roots_rejected(self):
+        with pytest.raises(ValueError):
+            diff_trees(parse("<a/>"), parse("<b/>"))
+
+    def test_duplicate_siblings(self):
+        check_roundtrip(
+            "<a><p>x</p><p>x</p><p>y</p></a>",
+            "<a><p>x</p><p>y</p><p>x</p></a>",
+        )
+
+    def test_root_attribute_change_is_patched(self):
+        # found by hypothesis: the root cannot be replaced, so its own
+        # content changes travel as a 'patch' op (zero relabeling)
+        ops = check_roundtrip('<a x="1"><b/></a>', '<a x="2"><b/></a>')
+        assert [op.kind for op in ops] == ["patch"]
+
+    def test_root_patch_through_labeling_relabels_nothing(self):
+        old = parse('<a x="1"><b/></a>')
+        new = parse('<a x="2"><b/></a>')
+        ops = diff_trees(old, new)
+        labeling = get_scheme("ruid2").build(old)
+        reports = apply_through_labeling(labeling, ops)
+        assert all(r.relabeled_count == 0 for r in reports)
+        assert old.root.attributes == {"x": "2"}
+
+
+class TestRandomisedRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_mutations(self, seed):
+        rng = random.Random(seed)
+        old = random_document(120, seed=seed, fanout_kind="uniform", low=1, high=4)
+        new = old.copy()
+        # random structural mutations on the copy
+        for step in range(12):
+            nodes = new.nodes()
+            node = nodes[rng.randrange(len(nodes))]
+            action = rng.random()
+            if action < 0.5 or node is new.root:
+                fresh = XmlNode(f"m{step}", NodeKind.ELEMENT)
+                new.insert_node(node, rng.randint(0, node.fan_out), fresh)
+            elif action < 0.8 and node.subtree_size() < 15:
+                new.delete_subtree(node)
+            else:
+                node.attributes["touched"] = str(step)
+        ops = diff_trees(old, new)
+        transformed = apply_edit_script(old, ops)
+        assert structurally_equal(transformed, new)
+
+
+class TestThroughLabelings:
+    @pytest.mark.parametrize("scheme_name", ["uid", "ruid2", "dewey", "ordpath"])
+    def test_replay_through_scheme(self, scheme_name):
+        old = random_document(100, seed=31, fanout_kind="uniform", low=1, high=4)
+        new = old.copy()
+        rng = random.Random(31)
+        for step in range(8):
+            nodes = new.nodes()
+            node = nodes[rng.randrange(len(nodes))]
+            new.insert_node(node, rng.randint(0, node.fan_out),
+                            XmlNode(f"n{step}", NodeKind.ELEMENT))
+        ops = diff_trees(old, new)
+        labeling = get_scheme(scheme_name).build(old)
+        reports = apply_through_labeling(labeling, ops)
+        assert len(reports) == len(ops)
+        assert structurally_equal(old, new)
+        # labeling still consistent after the whole script
+        for node in old.preorder():
+            if node.parent is not None:
+                assert labeling.parent_label(labeling.label_of(node)) == labeling.label_of(
+                    node.parent
+                )

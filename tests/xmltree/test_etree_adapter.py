@@ -1,0 +1,51 @@
+"""Tests for the ElementTree bridge."""
+
+import xml.etree.ElementTree as ET
+
+from repro.xmltree import NodeKind, from_etree, parse, to_etree
+
+
+class TestFromEtree:
+    def test_structure(self):
+        element = ET.fromstring('<a x="1"><b>hi</b><c/></a>')
+        tree = from_etree(element)
+        assert [n.tag for n in tree.elements()] == ["a", "b", "c"]
+        assert tree.root.attributes == {"x": "1"}
+
+    def test_text_and_tail(self):
+        element = ET.fromstring("<a>head<b/>tail</a>")
+        tree = from_etree(element)
+        texts = [n.text for n in tree.preorder() if n.kind is NodeKind.TEXT]
+        assert texts == ["head", "tail"]
+
+    def test_whitespace_dropped_by_default(self):
+        element = ET.fromstring("<a>\n  <b/>\n</a>")
+        tree = from_etree(element)
+        assert tree.size() == 2
+
+    def test_accepts_elementtree_object(self):
+        doc = ET.ElementTree(ET.fromstring("<a><b/></a>"))
+        tree = from_etree(doc)
+        assert tree.root.tag == "a"
+
+
+class TestToEtree:
+    def test_roundtrip(self):
+        tree = parse('<a x="1">head<b y="2">inner</b>tail<c/></a>')
+        doc = to_etree(tree)
+        back = from_etree(doc)
+        assert [n.tag for n in back.preorder()] == [n.tag for n in tree.preorder()]
+        assert back.root.attributes == tree.root.attributes
+
+    def test_text_folding(self):
+        tree = parse("<a>head<b/>tail</a>")
+        root = to_etree(tree).getroot()
+        assert root.text == "head"
+        assert root[0].tail == "tail"
+
+    def test_materialised_attributes_fold_back(self):
+        tree = parse('<a x="1"/>')
+        tree.materialise_attributes()
+        root = to_etree(tree).getroot()
+        assert root.get("x") == "1"
+        assert len(root) == 0

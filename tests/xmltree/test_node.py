@@ -1,0 +1,142 @@
+"""Unit tests for the node model."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.xmltree import NodeKind, XmlNode, element, text
+
+
+def make_family():
+    parent = element("parent")
+    first = parent.append_child(element("first"))
+    second = parent.append_child(element("second"))
+    third = parent.append_child(element("third"))
+    return parent, first, second, third
+
+
+class TestStructure:
+    def test_append_child_sets_parent(self):
+        parent, first, *_ = make_family()
+        assert first.parent is parent
+        assert parent.children[0] is first
+
+    def test_insert_child_at_position(self):
+        parent, first, second, third = make_family()
+        new = element("new")
+        parent.insert_child(1, new)
+        assert [c.tag for c in parent.children] == ["first", "new", "second", "third"]
+
+    def test_insert_rejects_attached_node(self):
+        parent, first, *_ = make_family()
+        other = element("other")
+        with pytest.raises(TreeStructureError):
+            other.append_child(first)
+
+    def test_insert_rejects_cycle(self):
+        parent, first, *_ = make_family()
+        with pytest.raises(TreeStructureError):
+            first.append_child(parent)
+
+    def test_insert_rejects_self_cycle(self):
+        node = element("n")
+        with pytest.raises(TreeStructureError):
+            node.append_child(node)
+
+    def test_insert_position_out_of_range(self):
+        parent, *_ = make_family()
+        with pytest.raises(TreeStructureError):
+            parent.insert_child(99, element("x"))
+
+    def test_detach(self):
+        parent, first, second, third = make_family()
+        second.detach()
+        assert second.parent is None
+        assert [c.tag for c in parent.children] == ["first", "third"]
+
+    def test_detach_root_is_noop(self):
+        node = element("solo")
+        assert node.detach() is node
+
+
+class TestNavigation:
+    def test_depth(self):
+        parent, first, *_ = make_family()
+        grand = first.append_child(element("grand"))
+        assert parent.depth == 0
+        assert first.depth == 1
+        assert grand.depth == 2
+
+    def test_child_position(self):
+        parent, first, second, third = make_family()
+        assert parent.child_position() == 0  # root convention
+        assert first.child_position() == 0
+        assert third.child_position() == 2
+
+    def test_ancestors(self):
+        parent, first, *_ = make_family()
+        grand = first.append_child(element("grand"))
+        assert [a.tag for a in grand.ancestors()] == ["first", "parent"]
+
+    def test_descendants_preorder(self):
+        parent, first, second, third = make_family()
+        first.append_child(element("grand"))
+        tags = [d.tag for d in parent.descendants()]
+        assert tags == ["first", "grand", "second", "third"]
+
+    def test_subtree_size(self):
+        parent, first, *_ = make_family()
+        first.append_child(element("grand"))
+        assert parent.subtree_size() == 5
+        assert first.subtree_size() == 2
+
+    def test_siblings(self):
+        parent, first, second, third = make_family()
+        assert second.preceding_siblings() == [first]
+        assert second.following_siblings() == [third]
+        assert parent.preceding_siblings() == []
+        assert parent.following_siblings() == []
+
+    def test_is_ancestor_of(self):
+        parent, first, second, _ = make_family()
+        grand = first.append_child(element("grand"))
+        assert parent.is_ancestor_of(grand)
+        assert first.is_ancestor_of(grand)
+        assert not grand.is_ancestor_of(parent)
+        assert not second.is_ancestor_of(grand)
+        assert not parent.is_ancestor_of(parent)  # proper ancestry
+
+    def test_fan_out_and_leaf(self):
+        parent, first, *_ = make_family()
+        assert parent.fan_out == 3
+        assert not parent.is_leaf
+        assert first.is_leaf
+        assert parent.is_root
+        assert not first.is_root
+
+
+class TestContent:
+    def test_text_content_concatenates(self):
+        node = element("p")
+        node.append_child(text("hello "))
+        child = node.append_child(element("b"))
+        child.append_child(text("world"))
+        assert node.text_content() == "hello world"
+
+    def test_attribute_get(self):
+        node = XmlNode("n", attributes={"id": "x1"})
+        assert node.get("id") == "x1"
+        assert node.get("missing") is None
+        assert node.get("missing", "d") == "d"
+
+    def test_path(self):
+        parent, first, *_ = make_family()
+        grand = first.append_child(element("grand"))
+        assert grand.path() == "/parent/first/grand"
+
+    def test_node_ids_unique(self):
+        nodes = [element("x") for _ in range(100)]
+        assert len({n.node_id for n in nodes}) == 100
+
+    def test_kind_constructors(self):
+        assert text("hi").kind is NodeKind.TEXT
+        assert element("e").kind is NodeKind.ELEMENT

@@ -1,0 +1,147 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmltree import NodeKind, parse
+from repro.xmltree.parser import EventKind, decode_entities, iter_events
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        tree = parse("<root/>")
+        assert tree.root.tag == "root"
+        assert tree.root.is_leaf
+
+    def test_nested_elements(self):
+        tree = parse("<a><b><c/></b><d/></a>")
+        assert [n.tag for n in tree.preorder()] == ["a", "b", "c", "d"]
+
+    def test_attributes(self):
+        tree = parse('<a x="1" y=\'two\'/>')
+        assert tree.root.attributes == {"x": "1", "y": "two"}
+
+    def test_text_nodes(self):
+        tree = parse("<a>hello <b>world</b>!</a>")
+        texts = [n.text for n in tree.preorder() if n.kind is NodeKind.TEXT]
+        assert texts == ["hello ", "world", "!"]
+
+    def test_whitespace_text_dropped_by_default(self):
+        tree = parse("<a>\n  <b/>\n</a>")
+        assert tree.size() == 2
+
+    def test_whitespace_text_kept_on_request(self):
+        tree = parse("<a>\n  <b/>\n</a>", keep_whitespace_text=True)
+        assert tree.size() == 4
+
+    def test_text_folded_when_not_materialised(self):
+        tree = parse("<a>hi</a>", materialise_text=False)
+        assert tree.size() == 1
+        assert tree.root.text == "hi"
+
+    def test_xml_declaration(self):
+        tree = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert tree.root.tag == "a"
+
+    def test_doctype_skipped(self):
+        tree = parse('<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>')
+        assert tree.root.tag == "a"
+
+    def test_comments_dropped_by_default(self):
+        tree = parse("<a><!-- note --><b/></a>")
+        assert tree.size() == 2
+
+    def test_comments_kept_on_request(self):
+        tree = parse("<a><!-- note --><b/></a>", keep_comments=True)
+        kinds = [n.kind for n in tree.preorder()]
+        assert NodeKind.COMMENT in kinds
+
+    def test_cdata(self):
+        tree = parse("<a><![CDATA[<not a tag> & raw]]></a>")
+        assert tree.root.children[0].text == "<not a tag> & raw"
+
+    def test_processing_instruction_skipped(self):
+        tree = parse("<a><?target data?><b/></a>")
+        assert tree.size() == 2
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        tree = parse("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert tree.root.children[0].text == "<>&'\""
+
+    def test_numeric_references(self):
+        tree = parse("<a>&#65;&#x42;</a>")
+        assert tree.root.children[0].text == "AB"
+
+    def test_entities_in_attributes(self):
+        tree = parse('<a x="&amp;&#33;"/>')
+        assert tree.root.attributes["x"] == "&!"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse("<a>&nope;</a>")
+
+    def test_decode_entities_plain(self):
+        assert decode_entities("no entities") == "no entities"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a>",  # unclosed
+            "<a></b>",  # mismatched
+            "<a/><b/>",  # two roots
+            "text only",  # no root
+            "",  # empty
+            "</a>",  # closing without opening
+            '<a x="1" x="2"/>',  # duplicate attribute
+            "<a x=1/>",  # unquoted attribute
+            '<a x="<"/>',  # '<' in attribute value
+            "<a><!-- unterminated </a>",
+            "<1bad/>",  # bad name start
+        ],
+    )
+    def test_malformed_raises(self, source):
+        with pytest.raises(XmlSyntaxError):
+            parse(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlSyntaxError) as excinfo:
+            parse("<a>\n<b></c></a>")
+        assert excinfo.value.line == 2
+
+
+class TestEventStream:
+    def test_events_for_simple_document(self):
+        events = list(iter_events('<a x="1">t<b/></a>'))
+        kinds = [e.kind for e in events]
+        assert kinds == [
+            EventKind.START_ELEMENT,
+            EventKind.TEXT,
+            EventKind.START_ELEMENT,
+            EventKind.END_ELEMENT,
+            EventKind.END_ELEMENT,
+        ]
+        assert events[0].attributes == {"x": "1"}
+
+    def test_self_closing_produces_start_end(self):
+        events = list(iter_events("<a/>"))
+        assert [e.kind for e in events] == [EventKind.START_ELEMENT, EventKind.END_ELEMENT]
+
+    def test_comment_and_pi_events(self):
+        events = list(iter_events("<a><!--c--><?pi data?></a>"))
+        kinds = [e.kind for e in events]
+        assert EventKind.COMMENT in kinds
+        assert EventKind.PROCESSING_INSTRUCTION in kinds
+
+
+class TestUnicode:
+    def test_unicode_content(self):
+        tree = parse("<a>héllo — 世界</a>")
+        assert tree.root.children[0].text == "héllo — 世界"
+
+    def test_unicode_tag_names(self):
+        tree = parse("<café/>")
+        assert tree.root.tag == "café"

@@ -1,0 +1,115 @@
+"""Serializer tests, including the parse/serialize round-trip."""
+
+import pytest
+
+from repro.xmltree import build, parse, serialize
+from repro.xmltree.serializer import escape_attribute, escape_text
+
+
+def structurally_equal(first, second) -> bool:
+    nodes_first = list(first.preorder())
+    nodes_second = list(second.preorder())
+    if len(nodes_first) != len(nodes_second):
+        return False
+    for a, b in zip(nodes_first, nodes_second):
+        if (a.tag, a.kind, a.text, a.attributes) != (b.tag, b.kind, b.text, b.attributes):
+            return False
+    return True
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attribute(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go>"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse("<a/>")) == "<a/>"
+
+    def test_attributes_rendered(self):
+        out = serialize(parse('<a x="1"/>'))
+        assert out == '<a x="1"/>'
+
+    def test_text_rendered(self):
+        assert serialize(parse("<a>hi</a>")) == "<a>hi</a>"
+
+    def test_declaration(self):
+        out = serialize(parse("<a/>"), declaration=True)
+        assert out.startswith("<?xml")
+
+    def test_pretty_print_indents(self):
+        out = serialize(parse("<a><b><c/></b></a>"), indent="  ")
+        assert "\n  <b>" in out
+        assert "\n    <c/>" in out
+
+    def test_special_chars_roundtrip(self):
+        source = "<a>&lt;tag&gt; &amp; more</a>"
+        assert serialize(parse(source)) == source
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a/>",
+            "<a><b/><c/></a>",
+            '<a x="1" y="2"><b z="&quot;"/></a>',
+            "<a>text <b>inner</b> tail</a>",
+            "<a>&amp;&lt;&gt;</a>",
+            "<root><x><y><z>deep</z></y></x></root>",
+        ],
+    )
+    def test_parse_serialize_parse(self, source):
+        tree = parse(source)
+        again = parse(serialize(tree))
+        assert structurally_equal(tree, again)
+
+    def test_pretty_roundtrip_data_centric(self):
+        tree = parse("<a><b><c/></b><d/></a>")
+        pretty = serialize(tree, indent="    ")
+        again = parse(pretty)  # whitespace text dropped on re-parse
+        assert structurally_equal(tree, again)
+
+    def test_generated_trees_roundtrip(self):
+        from repro.generator import generate_xmark
+
+        tree = generate_xmark(scale=0.02, seed=9)
+        again = parse(serialize(tree))
+        assert structurally_equal(tree, again)
+
+
+class TestSpecialNodes:
+    def test_comment_rendered(self):
+        tree = parse("<a><!-- note --><b/></a>", keep_comments=True)
+        assert "<!-- note -->" in serialize(tree)
+
+    def test_materialised_attribute_node_standalone(self):
+        from repro.xmltree import XmlTree, attribute
+
+        from repro.xmltree import element
+
+        root = element("holder")
+        root.append_child(attribute("id", 'x"y'))
+        out = serialize(XmlTree(root))
+        # attribute children are folded into the element's dict form on
+        # real documents; standalone rendering is a debug view
+        assert "holder" in out
+
+    def test_mixed_content_no_indent_inside(self):
+        tree = parse("<p>one <b>two</b> three</p>")
+        pretty = serialize(tree, indent="  ")
+        assert "one <b>two</b> three" in pretty
+
+
+class TestWriteFile(object):
+    def test_write_file(self, tmp_path):
+        from repro.xmltree import parse_file, write_file
+
+        tree = parse('<a x="1"><b>t</b></a>')
+        path = str(tmp_path / "doc.xml")
+        write_file(tree, path, declaration=True)
+        again = parse_file(path)
+        assert structurally_equal(tree, again)

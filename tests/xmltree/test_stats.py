@@ -1,0 +1,61 @@
+"""Tests for topology statistics."""
+
+from repro.generator import path_tree, skewed_tree, star_tree
+from repro.xmltree import build, compute_stats, parse
+
+
+class TestComputeStats:
+    def test_counts(self):
+        tree = parse('<a x="1"><b>hi</b><c/></a>')
+        stats = compute_stats(tree)
+        assert stats.node_count == 4  # a, b, #text, c
+        assert stats.element_count == 3
+        assert stats.text_count == 1
+        assert stats.leaf_count == 2  # #text and c
+        assert stats.internal_count == 2
+
+    def test_fan_out(self):
+        tree = build(("a", [("b", ["c", "d", "e"]), "f"]))
+        stats = compute_stats(tree)
+        assert stats.max_fan_out == 3
+        assert stats.mean_fan_out == 2.5
+        assert stats.fan_out_histogram == {2: 1, 3: 1}
+
+    def test_levels(self):
+        tree = build(("a", [("b", ["c"]), "d"]))
+        stats = compute_stats(tree)
+        assert stats.height == 3
+        assert stats.level_widths == [1, 2, 1]
+
+    def test_recursion_degree(self):
+        tree = path_tree(50)  # all nodes share a tag
+        stats = compute_stats(tree)
+        assert stats.max_tag_recursion == 50
+
+    def test_no_recursion(self):
+        tree = build(("a", ["b", "c"]))
+        assert compute_stats(tree).max_tag_recursion == 1
+
+    def test_disparity_star(self):
+        stats = compute_stats(star_tree(99))
+        assert stats.fan_out_disparity == 1.0  # single internal node
+
+    def test_disparity_skewed(self):
+        stats = compute_stats(skewed_tree(depth=20, heavy_fan_out=100))
+        assert stats.fan_out_disparity > 10
+
+    def test_as_row_keys(self):
+        row = compute_stats(parse("<a/>")).as_row()
+        assert set(row) == {
+            "nodes",
+            "height",
+            "max_fanout",
+            "mean_fanout",
+            "disparity",
+            "recursion",
+            "tags",
+        }
+
+    def test_deep_tree_no_recursion_error(self):
+        stats = compute_stats(path_tree(3000))
+        assert stats.height == 3000

@@ -1,0 +1,129 @@
+"""Unit tests for XmlTree traversals and structural queries."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.xmltree import XmlTree, build, element, parse
+
+
+@pytest.fixture
+def tree():
+    # a(b(c, d(e)), f(g), h)
+    return build(("a", [("b", ["c", ("d", ["e"])]), ("f", ["g"]), "h"]))
+
+
+class TestTraversals:
+    def test_preorder(self, tree):
+        assert [n.tag for n in tree.preorder()] == list("abcdefgh")
+
+    def test_postorder(self, tree):
+        assert [n.tag for n in tree.postorder()] == list("cedbgfha")
+
+    def test_levelorder(self, tree):
+        assert [n.tag for n in tree.levelorder()] == list("abfhcdge")
+
+    def test_levels(self, tree):
+        levels = [[n.tag for n in level] for level in tree.levels()]
+        assert levels == [["a"], ["b", "f", "h"], ["c", "d", "g"], ["e"]]
+
+    def test_find_by_tag(self, tree):
+        assert [n.tag for n in tree.find_by_tag("g")] == ["g"]
+        assert tree.find_by_tag("nope") == []
+
+    def test_postorder_matches_reversed_structure(self, tree):
+        pre = [n.node_id for n in tree.preorder()]
+        post = [n.node_id for n in tree.postorder()]
+        assert sorted(pre) == sorted(post)
+        assert pre[0] == post[-1]  # root first / last
+
+
+class TestShape:
+    def test_size_height_fanout(self, tree):
+        assert tree.size() == 8
+        assert tree.height() == 4
+        assert tree.max_fan_out() == 3
+
+    def test_fan_out_histogram(self, tree):
+        histogram = tree.fan_out_histogram()
+        assert histogram == {3: 1, 2: 1, 1: 2}
+
+    def test_single_node_tree(self):
+        tree = XmlTree(element("solo"))
+        assert tree.size() == 1
+        assert tree.height() == 1
+        assert tree.max_fan_out() == 0
+
+
+class TestRelationships:
+    def test_contains(self, tree):
+        inner = tree.find_by_tag("e")[0]
+        assert tree.contains(inner)
+        assert not tree.contains(element("foreign"))
+
+    def test_lca(self, tree):
+        by = {n.tag: n for n in tree.preorder()}
+        assert tree.lowest_common_ancestor(by["c"], by["e"]) is by["b"]
+        assert tree.lowest_common_ancestor(by["c"], by["g"]) is by["a"]
+        assert tree.lowest_common_ancestor(by["b"], by["e"]) is by["b"]
+        assert tree.lowest_common_ancestor(by["e"], by["e"]) is by["e"]
+
+    def test_lca_foreign_node_raises(self, tree):
+        with pytest.raises(TreeStructureError):
+            tree.lowest_common_ancestor(tree.root, element("foreign"))
+
+    def test_compare_document_order_total(self, tree):
+        nodes = tree.nodes()
+        order = tree.document_order_index()
+        for first in nodes:
+            for second in nodes:
+                got = tree.compare_document_order(first, second)
+                want = (order[first.node_id] > order[second.node_id]) - (
+                    order[first.node_id] < order[second.node_id]
+                )
+                assert got == want
+
+    def test_document_order_index_is_snapshot(self, tree):
+        index = tree.document_order_index()
+        assert index[tree.root.node_id] == 0
+        assert len(index) == tree.size()
+
+
+class TestEditing:
+    def test_insert_node(self, tree):
+        target = tree.find_by_tag("f")[0]
+        new = tree.insert_node(target, 0, element("new"))
+        assert target.children[0] is new
+        assert tree.size() == 9
+
+    def test_insert_foreign_parent_raises(self, tree):
+        with pytest.raises(TreeStructureError):
+            tree.insert_node(element("foreign"), 0, element("new"))
+
+    def test_delete_subtree(self, tree):
+        target = tree.find_by_tag("b")[0]
+        removed = tree.delete_subtree(target)
+        assert {n.tag for n in removed} == {"b", "c", "d", "e"}
+        assert tree.size() == 4
+
+    def test_delete_root_raises(self, tree):
+        with pytest.raises(TreeStructureError):
+            tree.delete_subtree(tree.root)
+
+
+class TestUtility:
+    def test_copy_is_deep(self, tree):
+        clone = tree.copy()
+        assert clone.size() == tree.size()
+        assert [n.tag for n in clone.preorder()] == [n.tag for n in tree.preorder()]
+        original_ids = {n.node_id for n in tree.preorder()}
+        clone_ids = {n.node_id for n in clone.preorder()}
+        assert not original_ids & clone_ids
+
+    def test_materialise_attributes(self):
+        tree = parse('<a x="1" y="2"><b z="3"/></a>')
+        created = tree.materialise_attributes()
+        assert created == 3
+        attrs = [n.tag for n in tree.preorder() if n.kind.value == "attribute"]
+        assert attrs == ["x", "y", "z"]
+        # idempotent
+        assert tree.materialise_attributes() == 0
