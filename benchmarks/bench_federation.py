@@ -9,6 +9,7 @@ import pytest
 
 from conftest import emit, emits_table
 from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.errors import SiteUnavailableError
 from repro.storage import FederatedDocument
 
 
@@ -61,6 +62,58 @@ def test_federation_message_table(federation):
     )
     assert parent_messages == 50  # arithmetic is free, fetch costs 1
     assert ancestry_messages == 0
+
+
+@emits_table
+def test_federation_availability_table(federation):
+    """Degraded-mode cost: replication factor x sites down, 4 sites.
+
+    Reads fall over along each area's replica chain; the table shows
+    what an outage costs in failed messages/retries and when rf is too
+    low to survive it at all.
+    """
+    _, labeling = federation
+    # one probe per UID-local area, so every replica chain is exercised
+    probes_by_area = {}
+    for label in labeling.snapshot().values():
+        probes_by_area.setdefault(label.global_index, label)
+    probes = list(probes_by_area.values())
+
+    rows = []
+    for rf in (1, 2, 3):
+        for down in (0, 1, 2):
+            fed = FederatedDocument(labeling, site_count=4, replication_factor=rf)
+            for index in range(down):
+                fed.take_site_down(f"site{index}")
+            try:
+                for label in probes:
+                    fed.fetch(label)
+                fed.find_tag("city", routed=True)
+                snapshot = fed.stats_snapshot()
+                rows.append(
+                    (
+                        rf,
+                        down,
+                        int(snapshot["messages"]),
+                        int(snapshot["messages_failed"]),
+                        int(snapshot["retries"]),
+                        int(snapshot["failovers"]),
+                    )
+                )
+            except SiteUnavailableError:
+                rows.append((rf, down, "-", "-", "-", "unavailable"))
+    emit(
+        "E13_availability",
+        ("rf", "sites down", "messages", "failed", "retries", "failovers"),
+        rows,
+        "E13: availability under outages — one fetch per area + find //city, "
+        "4 sites",
+    )
+    # rf=1 cannot survive an outage; rf>=2 survives one, rf>=3 two
+    outcomes = {(rf, down): row[-1] for rf, down, *row in rows}
+    assert outcomes[(1, 1)] == "unavailable"
+    assert isinstance(outcomes[(2, 1)], int)
+    assert isinstance(outcomes[(3, 2)], int)
 
 
 @pytest.mark.parametrize("site_count", [2, 8])

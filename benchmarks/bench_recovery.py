@@ -1,0 +1,144 @@
+"""E13 — crash-recovery cost of the WAL robustness layer.
+
+Measures, per document size: the WAL's byte overhead relative to the
+disk image, full-log replay time, and how a checkpoint bounds it.
+Runs under pytest (``pytest benchmarks/bench_recovery.py``) and as a
+standalone script for CI smoke::
+
+    python benchmarks/bench_recovery.py --quick
+"""
+
+import argparse
+import time
+
+from conftest import emit, emits_table
+from repro.analysis import format_table
+from repro.core import Ruid2SchemeLabeling, SizeCapPartitioner
+from repro.generator import generate_xmark
+from repro.storage import XmlDatabase
+
+PAGE_SIZE = 1024
+POOL_PAGES = 64
+SCALES = (0.05, 0.1, 0.2, 0.4)
+QUICK_SCALES = (0.02, 0.05)
+
+
+def _print_only(experiment, headers, rows, title):
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def _build_durable(scale):
+    tree = generate_xmark(scale=scale, seed=13)
+    labeling = Ruid2SchemeLabeling(tree, partitioner=SizeCapPartitioner(16))
+    database = XmlDatabase(
+        page_size=PAGE_SIZE, pool_pages=POOL_PAGES, durable=True
+    )
+    database.store_document("doc", tree, labeling)
+    return tree, database
+
+
+def _recover_ms(wal):
+    started = time.perf_counter()
+    recovered = XmlDatabase.recover(wal, page_size=PAGE_SIZE, pool_pages=POOL_PAGES)
+    elapsed = (time.perf_counter() - started) * 1000.0
+    return recovered, elapsed
+
+
+def run_recovery_table(scales, sink=emit):
+    """WAL overhead + replay time as the document grows."""
+    rows = []
+    for scale in scales:
+        tree, database = _build_durable(scale)
+        disk_bytes = database.pager.disk_bytes()
+        wal_bytes = database.wal.size_bytes()
+        records = database.wal.record_count
+        database.crash(tear_bytes=0)
+        recovered, elapsed_ms = _recover_ms(database.wal)
+        assert len(recovered.document("doc")) == tree.size()
+        rows.append(
+            (
+                tree.size(),
+                records,
+                wal_bytes,
+                f"{wal_bytes / disk_bytes:.2f}x",
+                f"{elapsed_ms:.1f}",
+            )
+        )
+    sink(
+        "E13_recovery",
+        ("nodes", "wal records", "wal bytes", "wal/disk", "recover (ms)"),
+        rows,
+        "E13: redo-log overhead and full-log replay time "
+        f"(page {PAGE_SIZE}B, pool {POOL_PAGES})",
+    )
+    return rows
+
+
+def run_checkpoint_table(scales, sink=emit):
+    """Replay cost with and without a checkpoint before the crash."""
+    rows = []
+    for scale in scales:
+        tree, database = _build_durable(scale)
+        database.crash(tear_bytes=0)
+        full_records = database.wal.record_count  # before replay truncates
+        _, full_ms = _recover_ms(database.wal)
+
+        tree, database = _build_durable(scale)
+        database.checkpoint()
+        database.crash(tear_bytes=0)
+        truncated_records = database.wal.record_count
+        recovered, truncated_ms = _recover_ms(database.wal)
+        assert len(recovered.document("doc")) == tree.size()
+        rows.append(
+            (
+                tree.size(),
+                full_records,
+                f"{full_ms:.1f}",
+                truncated_records,
+                f"{truncated_ms:.1f}",
+            )
+        )
+    sink(
+        "E13_checkpoint",
+        (
+            "nodes",
+            "records (no ckpt)",
+            "recover ms",
+            "records (after ckpt)",
+            "recover ms ",
+        ),
+        rows,
+        "E13: checkpointing bounds recovery (log truncated to a base image)",
+    )
+    return rows
+
+
+@emits_table
+def test_recovery_table():
+    run_recovery_table(SCALES)
+
+
+@emits_table
+def test_checkpoint_table():
+    run_checkpoint_table(SCALES)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small documents only (CI smoke; does not overwrite results)",
+    )
+    args = parser.parse_args()
+    # smoke mode prints but must not clobber the checked-in tables
+    sink = _print_only if args.quick else emit
+    scales = QUICK_SCALES if args.quick else SCALES
+    run_recovery_table(scales, sink=sink)
+    run_checkpoint_table(scales, sink=sink)
+    print("\nok")
+
+
+if __name__ == "__main__":
+    main()

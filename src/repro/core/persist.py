@@ -25,11 +25,19 @@ from repro.core.ruid import Ruid2Labeling, rparent
 from repro.errors import StorageError, UnknownLabelError
 
 _MAGIC = "ruid2-params"
-_VERSION = 1
+#: v1 blobs carried (magic, version, kappa, rows, directory); v2 adds
+#: the replication epoch the parameters were dumped at.
+_VERSION = 2
 
 
-def dump_parameters(labeling: Ruid2Labeling, include_directory: bool = False) -> bytes:
-    """Serialise κ and table K (and optionally the label→tag directory)."""
+def dump_parameters(
+    labeling: Ruid2Labeling, include_directory: bool = False, epoch: int = 0
+) -> bytes:
+    """Serialise κ and table K (and optionally the label→tag directory).
+
+    *epoch* stamps the blob with the document's structural-change
+    epoch, so a coordinator can tell a stale replica from a fresh one.
+    """
     # Imported lazily: repro.storage imports this module (federation),
     # so a module-level import would be circular.
     from repro.storage.codec import encode_value
@@ -41,27 +49,48 @@ def dump_parameters(labeling: Ruid2Labeling, include_directory: bool = False) ->
             (label.global_index, label.local_index, label.is_area_root, node.tag)
             for node, label in labeling.items()
         )
-    payload = (_MAGIC, _VERSION, labeling.kappa, rows, directory)
+    payload = (_MAGIC, _VERSION, labeling.kappa, rows, directory, epoch)
     return encode_value(payload)
 
 
 def load_parameters(data: bytes) -> "GlobalParameters":
-    """Deserialise into a :class:`GlobalParameters` client."""
+    """Deserialise into a :class:`GlobalParameters` client.
+
+    Malformed or truncated input raises
+    :class:`~repro.errors.StorageError` — never a bare struct/index
+    error — so callers can treat any bad blob uniformly.
+    """
     from repro.storage.codec import decode_value
 
-    payload = decode_value(data)
-    if not isinstance(payload, tuple) or len(payload) != 5 or payload[0] != _MAGIC:
+    payload = decode_value(data)  # raises StorageError on garbage bytes
+    if (
+        not isinstance(payload, tuple)
+        or len(payload) not in (5, 6)
+        or payload[0] != _MAGIC
+    ):
         raise StorageError("not a rUID global-parameter blob")
-    _magic, version, kappa, rows, directory = payload
-    if version != _VERSION:
-        raise StorageError(f"unsupported parameter version {version}")
-    table = KTable([KRow(*row) for row in rows])
-    tags: Optional[Dict[Ruid2Label, str]] = None
-    if directory:
-        tags = {
-            Ruid2Label(g, l, flag): tag for g, l, flag, tag in directory
-        }
-    return GlobalParameters(kappa, table, tags)
+    version = payload[1]
+    if version == 1 and len(payload) == 5:
+        _magic, _version, kappa, rows, directory = payload
+        epoch = 0
+    elif version == _VERSION and len(payload) == 6:
+        _magic, _version, kappa, rows, directory, epoch = payload
+    else:
+        raise StorageError(f"unsupported parameter version {version!r}")
+    try:
+        if not isinstance(kappa, int) or not isinstance(epoch, int):
+            raise StorageError("kappa/epoch must be integers")
+        table = KTable([KRow(*row) for row in rows])
+        tags: Optional[Dict[Ruid2Label, str]] = None
+        if directory:
+            tags = {
+                Ruid2Label(g, l, flag): tag for g, l, flag, tag in directory
+            }
+    except StorageError:
+        raise
+    except (TypeError, ValueError, IndexError) as exc:
+        raise StorageError(f"malformed rUID parameter blob: {exc}") from None
+    return GlobalParameters(kappa, table, tags, epoch=epoch)
 
 
 @dataclass
@@ -75,6 +104,10 @@ class GlobalParameters:
     kappa: int
     ktable: KTable
     tags: Optional[Dict[Ruid2Label, str]] = None
+    #: structural-change epoch this replica was dumped at; a federation
+    #: coordinator compares it against the document's current epoch to
+    #: detect a stale synopsis/parameter replica
+    epoch: int = 0
 
     def __post_init__(self):
         self._order = Ruid2Order(self.kappa, self.ktable)
@@ -186,15 +219,18 @@ def load_multilevel_parameters(data: bytes) -> "MultilevelParameters":
     ):
         raise StorageError("not a multilevel rUID parameter blob")
     _magic, version, stages, links = payload
-    if version != _VERSION:
-        raise StorageError(f"unsupported parameter version {version}")
-    stage_params = [
-        (kappa, KTable([KRow(*row) for row in rows])) for kappa, rows in stages
-    ]
-    link_maps = [
-        {entry[0]: (entry[1], entry[2], entry[3]) for entry in link}
-        for link in links
-    ]
+    if version not in (1, _VERSION):
+        raise StorageError(f"unsupported parameter version {version!r}")
+    try:
+        stage_params = [
+            (kappa, KTable([KRow(*row) for row in rows])) for kappa, rows in stages
+        ]
+        link_maps = [
+            {entry[0]: (entry[1], entry[2], entry[3]) for entry in link}
+            for link in links
+        ]
+    except (TypeError, ValueError, IndexError) as exc:
+        raise StorageError(f"malformed multilevel parameter blob: {exc}") from None
     return MultilevelParameters(stage_params, link_maps)
 
 

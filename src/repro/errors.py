@@ -80,6 +80,45 @@ class PageOverflowError(StorageError):
     """A record does not fit into a single page."""
 
 
+class ChecksumError(StorageError):
+    """A page read back from disk failed its CRC32 verification.
+
+    Attributes
+    ----------
+    page_id:
+        The page whose stored checksum did not match its bytes.
+    """
+
+    def __init__(self, message: str, page_id: int = -1):
+        self.page_id = page_id
+        super().__init__(message)
+
+
+class WalCorruptionError(StorageError):
+    """The write-ahead log itself is unreadable beyond quarantine.
+
+    Recovery normally *quarantines* a torn or corrupt tail and carries
+    on from the last commit; this error is reserved for logs whose
+    committed prefix cannot be trusted either.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent database."""
+
+
+class InjectedFaultError(StorageError):
+    """A deterministic fault scheduled by a FaultInjector fired.
+
+    Tests catch this to simulate a crash at a precise point; it never
+    occurs outside fault-injection runs.
+    """
+
+
+class SiteUnavailableError(StorageError):
+    """A federation operation exhausted every replica of an area."""
+
+
 class DuplicateKeyError(StorageError):
     """A unique index rejected a duplicate key."""
 

@@ -1,30 +1,36 @@
-"""Storage substrate: pager, B+-tree, heap files, tables, XML database."""
+"""Storage substrate: pager, B+-tree, heap files, tables, XML database,
+write-ahead logging and deterministic fault injection."""
 
 from repro.storage.btree import BPlusTree
 from repro.storage.catalog import Catalog
 from repro.storage.codec import decode_key, decode_value, encode_key, encode_value
 from repro.storage.database import StoredDocument, XmlDatabase, label_key
+from repro.storage.faults import FaultInjector
 from repro.storage.federation import FederatedDocument, Site
 from repro.storage.heapfile import HeapFile, Rid
 from repro.storage.iostats import IoStats
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Page, Pager
 from repro.storage.table import Column, Schema, Table
+from repro.storage.wal import RecoveryResult, Wal
 
 __all__ = [
     "BPlusTree",
     "Catalog",
     "Column",
     "DEFAULT_PAGE_SIZE",
+    "FaultInjector",
     "FederatedDocument",
     "HeapFile",
     "Site",
     "IoStats",
     "Page",
     "Pager",
+    "RecoveryResult",
     "Rid",
     "Schema",
     "StoredDocument",
     "Table",
+    "Wal",
     "XmlDatabase",
     "decode_key",
     "decode_value",

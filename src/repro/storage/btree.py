@@ -66,6 +66,15 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def _read_node(self, page_id: int):
         page = self.pager.read(page_id)
+        try:
+            return self._parse_node(page)
+        except (struct.error, IndexError) as exc:
+            # A page that deserializes out of bounds is corrupt in a way
+            # the CRC could not see (e.g. a stale-but-valid image).
+            raise StorageError(f"corrupt page {page_id}: {exc}") from None
+
+    def _parse_node(self, page: Page):
+        page_id = page.page_id
         node_type, count, link = _HEADER.unpack_from(page.data, 0)
         offset = _HEADER.size
         if node_type == _LEAF:

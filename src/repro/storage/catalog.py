@@ -29,6 +29,14 @@ class Catalog:
         self._tables[name] = table
         return table
 
+    def adopt(self, table: Table) -> Table:
+        """Register an already-built table (crash recovery rebinds
+        tables with :meth:`Table.attach` and adopts them here)."""
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
     def table(self, name: str) -> Table:
         try:
             return self._tables[name]

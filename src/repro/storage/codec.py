@@ -107,7 +107,10 @@ def decode_key(buffer: bytes) -> Any:
     Top-level tuples round-trip as tuples; a single scalar round-trips
     as itself.
     """
-    value, offset = _decode_key_part(buffer, 0)
+    try:
+        value, offset = _decode_key_part(buffer, 0)
+    except (struct.error, IndexError) as exc:
+        raise StorageError(f"truncated key: {exc}") from None
     if offset != len(buffer):
         raise StorageError("trailing bytes after key")
     return value
@@ -208,42 +211,81 @@ def encode_value(value: Any) -> bytes:
 
 
 def decode_value(buffer: bytes) -> Any:
+    """Decode one value; malformed or truncated input always raises
+    :class:`~repro.errors.StorageError` with the failing offset (never
+    a bare ``struct.error`` / ``IndexError`` / ``TypeError``)."""
+    if not isinstance(buffer, (bytes, bytearray, memoryview)):
+        raise StorageError(
+            f"value buffer must be bytes, not {type(buffer).__name__}"
+        )
     value, offset = _decode_value_at(buffer, 0)
     if offset != len(buffer):
-        raise StorageError("trailing bytes after value")
+        raise StorageError(
+            f"trailing bytes after value (offset {offset} of {len(buffer)})"
+        )
     return value
 
 
+def _need(buffer: bytes, offset: int, count: int, what: str) -> None:
+    if offset + count > len(buffer):
+        raise StorageError(
+            f"truncated value: need {count} byte(s) for {what} at offset "
+            f"{offset}, have {len(buffer) - offset}"
+        )
+
+
 def _decode_value_at(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    _need(buffer, offset, 1, "tag")
     tag = buffer[offset]
     offset += 1
     if tag == _VTAG_NONE:
         return None, offset
     if tag == _VTAG_BOOL:
+        _need(buffer, offset, 1, "bool")
         return bool(buffer[offset]), offset + 1
     if tag == _VTAG_INT:
+        _need(buffer, offset, 5, "int header")
         sign = buffer[offset]
         (length,) = struct.unpack_from(">I", buffer, offset + 1)
         start = offset + 5
+        _need(buffer, start, length, "int magnitude")
         magnitude = int.from_bytes(buffer[start : start + length], "big")
         return (-magnitude if sign else magnitude), start + length
     if tag == _VTAG_FLOAT:
+        _need(buffer, offset, 8, "float")
         (value,) = struct.unpack_from(">d", buffer, offset)
         return value, offset + 8
     if tag in (_VTAG_STR, _VTAG_BYTES):
+        _need(buffer, offset, 4, "length")
         (length,) = struct.unpack_from(">I", buffer, offset)
         start = offset + 4
+        _need(buffer, start, length, "string/bytes body")
         raw = bytes(buffer[start : start + length])
-        return (raw.decode("utf-8") if tag == _VTAG_STR else raw), start + length
+        if tag == _VTAG_BYTES:
+            return raw, start + length
+        try:
+            return raw.decode("utf-8"), start + length
+        except UnicodeDecodeError as exc:
+            raise StorageError(
+                f"invalid UTF-8 in string value at offset {start}: {exc}"
+            ) from None
     if tag == _VTAG_TUPLE:
+        _need(buffer, offset, 4, "tuple count")
         (count,) = struct.unpack_from(">I", buffer, offset)
         offset += 4
         elements: List[Any] = []
-        for _ in range(count):
+        for index in range(count):
+            _need(buffer, offset, 4, f"tuple element {index} length")
             (length,) = struct.unpack_from(">I", buffer, offset)
             offset += 4
-            element, _ = _decode_value_at(buffer[offset : offset + length], 0)
+            _need(buffer, offset, length, f"tuple element {index} body")
+            element, used = _decode_value_at(buffer[offset : offset + length], 0)
+            if used != length:
+                raise StorageError(
+                    f"tuple element {index} at offset {offset} decodes to "
+                    f"{used} byte(s) but claims {length}"
+                )
             elements.append(element)
             offset += length
         return tuple(elements), offset
-    raise StorageError(f"unknown value tag {tag}")
+    raise StorageError(f"unknown value tag {tag} at offset {offset - 1}")

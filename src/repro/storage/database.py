@@ -18,14 +18,36 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.labels import MultiLabel, Ruid2Label
+from repro.core.persist import GlobalParameters, dump_parameters, load_parameters
 from repro.core.scheme import Labeling
-from repro.errors import StorageError, UnknownLabelError
+from repro.errors import RecoveryError, StorageError, UnknownLabelError
 from repro.storage.catalog import Catalog
+from repro.storage.codec import decode_value, encode_value
 from repro.storage.iostats import IoStats
 from repro.storage.pager import Pager
 from repro.storage.table import Column, Table
+from repro.storage.wal import RecoveryResult, Wal
 from repro.xmltree.node import XmlNode
 from repro.xmltree.tree import XmlTree
+
+_META_MAGIC = "xmldb-meta"
+_META_VERSION = 1
+
+
+def _parameter_source(labeling: Any) -> Optional[Any]:
+    """Whatever object carries (kappa, ktable) for *labeling*, if any.
+
+    Accepts a core Ruid2Labeling, the scheme adapter wrapping one
+    (``.core``), or an already-loaded GlobalParameters.
+    """
+    for candidate in (labeling, getattr(labeling, "core", None)):
+        if (
+            candidate is not None
+            and hasattr(candidate, "kappa")
+            and hasattr(candidate, "ktable")
+        ):
+            return candidate
+    return None
 
 
 def label_key(label: Any) -> Tuple[Any, ...]:
@@ -71,6 +93,9 @@ class StoredDocument:
         self.name = name
         self.tree = tree
         self.labeling = labeling
+        #: label-arithmetic fallback when the labeling itself is gone
+        #: (a recovered document restores κ/K from the commit metadata)
+        self.parameters: Optional[GlobalParameters] = None
         self.catalog = catalog
         self.partition_by_area = partition_by_area
         self._area_tables: Dict[int, Table] = {}
@@ -81,6 +106,52 @@ class StoredDocument:
         self._load()
         if partition_by_area:
             self._load_area_tables()
+
+    # ------------------------------------------------------------------
+    # Crash-recovery support
+    # ------------------------------------------------------------------
+    def describe(self) -> Tuple[Any, ...]:
+        """Codec-encodable registry entry for the commit metadata."""
+        params_blob: Optional[bytes] = None
+        source = self.parameters if self.labeling is None else _parameter_source(
+            self.labeling
+        )
+        if source is not None:
+            params_blob = dump_parameters(source)
+        return (
+            self.name,
+            self.partition_by_area,
+            tuple(sorted(self._area_tables)),
+            params_blob,
+        )
+
+    @classmethod
+    def attach(cls, description: Tuple[Any, ...], catalog: Catalog) -> "StoredDocument":
+        """Rebind a document to already-recovered tables.
+
+        The recovered document has no tree and no labeling; fetches and
+        tag lookups work directly, and parent arithmetic works whenever
+        the commit metadata carried a (κ, K) parameter blob. Call
+        :meth:`XmlDatabase.attach_labeling` to restore full service.
+        """
+        try:
+            name, partition_by_area, areas, params_blob = description
+        except (TypeError, ValueError) as exc:
+            raise RecoveryError(f"malformed document description: {exc}") from None
+        document = cls.__new__(cls)
+        document.name = name
+        document.tree = None
+        document.labeling = None
+        document.parameters = (
+            load_parameters(params_blob) if params_blob else None
+        )
+        document.catalog = catalog
+        document.partition_by_area = partition_by_area
+        document.table = catalog.table(f"{name}__nodes")
+        document._area_tables = {
+            area: catalog.table(f"{name}__area_{area}") for area in areas
+        }
+        return document
 
     def _row_for(self, node: XmlNode) -> Tuple[Any, ...]:
         label = self.labeling.label_of(node)
@@ -119,7 +190,17 @@ class StoredDocument:
 
     def fetch_parent(self, label: Any) -> Tuple[Any, ...]:
         """Parent row: label arithmetic (or index probes) + one fetch."""
-        return self.fetch(self.labeling.parent_label(label))
+        return self.fetch(self._parent_label(label))
+
+    def _parent_label(self, label: Any) -> Any:
+        if self.labeling is not None:
+            return self.labeling.parent_label(label)
+        if self.parameters is not None:
+            return self.parameters.parent(label)
+        raise StorageError(
+            f"document {self.name!r} was recovered without parameters; "
+            "attach a labeling for parent arithmetic"
+        )
 
     def nodes_with_tag(self, tag: str) -> List[Tuple[Any, ...]]:
         """All rows with *tag*, via the tag index on the single table."""
@@ -154,13 +235,38 @@ class StoredDocument:
 
 
 class XmlDatabase:
-    """A database instance: pager + catalog + stored documents."""
+    """A database instance: pager + catalog + stored documents.
 
-    def __init__(self, page_size: int = 4096, pool_pages: int = 128):
+    With ``durable=True`` (or an explicit ``wal``), every write-back is
+    WAL-logged, :meth:`commit` makes the current state recoverable, and
+    :meth:`recover` rebuilds a queryable database from a (possibly
+    torn) log after :meth:`crash`.
+    """
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        pool_pages: int = 128,
+        durable: bool = False,
+        wal: Optional[Wal] = None,
+        faults=None,
+    ):
         self.stats = IoStats()
-        self.pager = Pager(page_size=page_size, pool_pages=pool_pages, stats=self.stats)
+        self.wal = wal if wal is not None else (Wal() if durable else None)
+        self.pager = Pager(
+            page_size=page_size,
+            pool_pages=pool_pages,
+            stats=self.stats,
+            wal=self.wal,
+            faults=faults,
+        )
         self.catalog = Catalog(self.pager)
         self._documents: Dict[str, StoredDocument] = {}
+        self.last_recovery: Optional[RecoveryResult] = None
+
+    @property
+    def durable(self) -> bool:
+        return self.wal is not None
 
     def store_document(
         self,
@@ -169,14 +275,39 @@ class XmlDatabase:
         labeling: Labeling,
         partition_by_area: bool = False,
     ) -> StoredDocument:
-        """Shred *tree* under *labeling* into tables."""
+        """Shred *tree* under *labeling* into tables.
+
+        Atomic at the catalog level: if shredding fails partway (e.g. a
+        FanOutOverflowError surfacing from the labeling), the partially
+        created ``{name}__nodes`` / ``{name}__area_*`` tables are
+        dropped and the document is not registered.
+        """
         if name in self._documents:
             raise StorageError(f"document {name!r} already stored")
-        document = StoredDocument(
-            name, tree, labeling, self.catalog, partition_by_area=partition_by_area
-        )
+        try:
+            document = StoredDocument(
+                name, tree, labeling, self.catalog, partition_by_area=partition_by_area
+            )
+        except BaseException:
+            self._drop_document_tables(name)
+            raise
         self._documents[name] = document
+        if self.wal is not None:
+            self.commit()
         return document
+
+    def _drop_document_tables(self, name: str) -> None:
+        prefix = f"{name}__area_"
+        for table_name in self.catalog.table_names():
+            if table_name == f"{name}__nodes" or table_name.startswith(prefix):
+                self.catalog.drop_table(table_name)
+
+    def drop_document(self, name: str) -> None:
+        """Unregister a document and drop its tables."""
+        if name not in self._documents:
+            raise StorageError(f"no document named {name!r}")
+        del self._documents[name]
+        self._drop_document_tables(name)
 
     def document(self, name: str) -> StoredDocument:
         try:
@@ -184,6 +315,88 @@ class XmlDatabase:
         except KeyError:
             raise StorageError(f"no document named {name!r}") from None
 
+    def document_names(self) -> List[str]:
+        return sorted(self._documents)
+
+    # ------------------------------------------------------------------
+    # Crash-safety lifecycle
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Flush and write a commit record carrying the full catalog
+        bookkeeping, making the current state the recovery target."""
+        self.pager.commit(self._metadata_blob())
+
+    def checkpoint(self) -> None:
+        """Commit, then truncate the WAL (bounded-recovery point)."""
+        self.pager.checkpoint(self._metadata_blob())
+
+    def crash(self, tear_bytes: Optional[int] = None) -> int:
+        """Simulate a crash (see :meth:`Pager.crash`). The in-memory
+        objects of this instance are dead afterwards; use
+        :meth:`recover` on the surviving WAL."""
+        return self.pager.crash(tear_bytes)
+
+    @classmethod
+    def recover(
+        cls,
+        wal: Wal,
+        page_size: int = 4096,
+        pool_pages: int = 128,
+        faults=None,
+    ) -> "XmlDatabase":
+        """Rebuild a queryable database from a surviving WAL.
+
+        Replays committed page images, then rebinds tables and
+        documents from the last commit's metadata blob. A log with no
+        valid commit yields an empty (but usable) database; the replay
+        report is available as :attr:`last_recovery`.
+        """
+        database = cls(
+            page_size=page_size, pool_pages=pool_pages, wal=wal, faults=faults
+        )
+        result = database.pager.recover()
+        database.last_recovery = result
+        if result.metadata:
+            database._restore_metadata(result.metadata)
+        return database
+
+    def _metadata_blob(self) -> bytes:
+        return encode_value(
+            (
+                _META_MAGIC,
+                _META_VERSION,
+                self.pager.page_count,
+                tuple(table.describe() for table in self.catalog),
+                tuple(doc.describe() for doc in self._documents.values()),
+            )
+        )
+
+    def _restore_metadata(self, blob: bytes) -> None:
+        payload = decode_value(blob)
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 5
+            or payload[0] != _META_MAGIC
+        ):
+            raise RecoveryError("commit metadata is not an XmlDatabase blob")
+        _magic, version, next_page_id, tables, documents = payload
+        if version != _META_VERSION:
+            raise RecoveryError(f"unsupported metadata version {version}")
+        self.pager._next_page_id = max(self.pager._next_page_id, next_page_id)
+        for description in tables:
+            self.catalog.adopt(Table.attach(self.pager, description))
+        for description in documents:
+            document = StoredDocument.attach(description, self.catalog)
+            self._documents[document.name] = document
+
+    def attach_labeling(self, name: str, labeling: Labeling) -> StoredDocument:
+        """Rebind a labeling (and its tree) to a recovered document."""
+        document = self.document(name)
+        document.labeling = labeling
+        document.tree = getattr(labeling, "tree", None)
+        return document
+
+    # ------------------------------------------------------------------
     def io_snapshot(self) -> Dict[str, int]:
         return self.stats.snapshot()
 
@@ -191,4 +404,7 @@ class XmlDatabase:
         return self.stats.delta_since(earlier)
 
     def __repr__(self) -> str:
-        return f"<XmlDatabase documents={len(self._documents)} {self.stats!r}>"
+        return (
+            f"<XmlDatabase documents={len(self._documents)}"
+            f"{' durable' if self.durable else ''} {self.stats!r}>"
+        )

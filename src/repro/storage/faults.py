@@ -1,0 +1,131 @@
+"""Deterministic fault injection for the storage and federation stacks.
+
+Every fault a robustness test wants to provoke is scheduled through a
+single seeded :class:`FaultInjector`, so a failing run reproduces from
+its seed alone:
+
+* **write failures** — arm :meth:`fail_after_writes` and the pager's
+  Nth subsequent write-back raises
+  :class:`~repro.errors.InjectedFaultError` before touching disk or
+  WAL (the device vanished mid-operation);
+* **media corruption** — :meth:`flip_page_bit` XORs one randomly
+  chosen (or caller-pinned) bit of an on-disk page image, which the
+  pager's CRC32 check must catch on the next cold read;
+* **site outages** — :meth:`take_site_down` / :meth:`restore_site`
+  drive the federation's degraded mode; placement-aware helpers pick
+  victims reproducibly.
+
+The injector is passive: components consult it at their fault points
+(`Pager._write_back`, `FederatedDocument._site_is_down`), so wiring it
+in costs nothing when no faults are armed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.errors import InjectedFaultError, StorageError
+
+
+class FaultInjector:
+    """Seeded scheduler of storage/federation faults."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._writes_seen = 0
+        self._fail_at_write: Optional[int] = None
+        self._down_sites: Set[str] = set()
+        #: how many injected faults actually fired, by kind
+        self.fired = {"write": 0, "bitflip": 0}
+
+    # ------------------------------------------------------------------
+    # Write failures
+    # ------------------------------------------------------------------
+    def fail_after_writes(self, n: int) -> None:
+        """Arm a one-shot failure on the *n*-th write-back from now
+        (n=1 fails the very next write)."""
+        if n < 1:
+            raise StorageError("write-failure countdown must be >= 1")
+        self._writes_seen = 0
+        self._fail_at_write = n
+
+    def disarm_write_failure(self) -> None:
+        self._fail_at_write = None
+
+    def before_page_write(self, page_id: int) -> None:
+        """Pager hook: called before every write-back."""
+        if self._fail_at_write is None:
+            return
+        self._writes_seen += 1
+        if self._writes_seen >= self._fail_at_write:
+            self._fail_at_write = None
+            self.fired["write"] += 1
+            raise InjectedFaultError(
+                f"injected write failure on page {page_id} "
+                f"(write #{self._writes_seen}, seed {self.seed})"
+            )
+
+    # ------------------------------------------------------------------
+    # Media corruption
+    # ------------------------------------------------------------------
+    def flip_page_bit(
+        self,
+        pager,
+        page_id: Optional[int] = None,
+        offset: Optional[int] = None,
+        bit: Optional[int] = None,
+    ) -> Tuple[int, int, int]:
+        """Flip one bit of an on-disk page image.
+
+        Unpinned coordinates are drawn from the injector's RNG; returns
+        the (page_id, offset, bit) actually damaged so tests can assert
+        against it. The page is evicted from the buffer pool so the
+        next read re-checks the checksum.
+        """
+        candidates = pager.stored_page_ids()
+        if not candidates:
+            raise StorageError("no pages on disk to corrupt")
+        if page_id is None:
+            page_id = candidates[self.rng.randrange(len(candidates))]
+        if offset is None:
+            offset = self.rng.randrange(pager.page_size)
+        if bit is None:
+            bit = self.rng.randrange(8)
+        pager.damage(page_id, offset, 1 << bit)
+        self.fired["bitflip"] += 1
+        return page_id, offset, bit
+
+    # ------------------------------------------------------------------
+    # Federation outages
+    # ------------------------------------------------------------------
+    def take_site_down(self, name: str) -> None:
+        self._down_sites.add(name)
+
+    def restore_site(self, name: str) -> None:
+        self._down_sites.discard(name)
+
+    def restore_all_sites(self) -> None:
+        self._down_sites.clear()
+
+    def site_is_down(self, name: str) -> bool:
+        return name in self._down_sites
+
+    def down_sites(self) -> Set[str]:
+        return set(self._down_sites)
+
+    def take_random_site_down(self, names: Iterable[str]) -> str:
+        """Deterministically pick one of *names* and take it down."""
+        pool = sorted(names)
+        if not pool:
+            raise StorageError("no sites to take down")
+        victim = pool[self.rng.randrange(len(pool))]
+        self.take_site_down(victim)
+        return victim
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector seed={self.seed} down={sorted(self._down_sites)} "
+            f"fired={self.fired}>"
+        )

@@ -10,18 +10,28 @@ lives wherever its UID-local area was placed.
 :class:`~repro.core.persist.GlobalParameters` replica at the
 coordinator, and counts the network messages each operation costs —
 the measurable consequence of label arithmetic being site-local.
+
+Fault tolerance (docs/ROBUSTNESS.md): each area can be replicated on
+``replication_factor`` sites. When a site is down (via
+:meth:`take_site_down` or an attached
+:class:`~repro.storage.faults.FaultInjector`), reads retry against the
+replica chain with exponential backoff, and the coordinator's ledger
+records the degraded-mode cost: failed messages, retries, failovers
+and accumulated backoff. Tag routing degrades from the synopsis to a
+broadcast when the synopsis replica's epoch is stale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.labels import Ruid2Label
 from repro.core.persist import GlobalParameters, dump_parameters, load_parameters
 from repro.core.ruid import Ruid2Labeling
-from repro.errors import StorageError, UnknownLabelError
+from repro.errors import SiteUnavailableError, StorageError, UnknownLabelError
 from repro.query.synopsis import TagAreaSynopsis
+from repro.storage.iostats import IoStats
 from repro.xmltree.node import XmlNode
 
 
@@ -30,29 +40,44 @@ class Site:
     """One storage site: the areas it owns and its node rows."""
 
     name: str
+    #: areas this site is the primary for
     areas: List[int] = field(default_factory=list)
+    #: areas this site holds replica copies of
+    replica_areas: List[int] = field(default_factory=list)
     #: (global, local, flag) key → (tag, kind, text)
     rows: Dict[Tuple[int, int, bool], Tuple[str, str, Optional[str]]] = field(
         default_factory=dict
     )
     messages_received: int = 0
+    down: bool = False
 
     def store(self, label: Ruid2Label, node: XmlNode) -> None:
         self.rows[label.as_tuple()] = (node.tag, node.kind.value, node.text)
 
     def fetch(self, label: Ruid2Label) -> Tuple[str, str, Optional[str]]:
+        if self.down:
+            raise SiteUnavailableError(f"site {self.name} is down")
         self.messages_received += 1
         try:
             return self.rows[label.as_tuple()]
         except KeyError:
             raise UnknownLabelError(f"site {self.name}: no row for {label}") from None
 
-    def rows_with_tag(self, tag: str) -> List[Tuple[Ruid2Label, Tuple]]:
+    def rows_with_tag(
+        self, tag: str, areas: Optional[Sequence[int]] = None
+    ) -> List[Tuple[Ruid2Label, Tuple]]:
+        """Rows carrying *tag*; with *areas*, only rows from those
+        UID-local areas (the coordinator ships the area predicate so a
+        replica-holding site does not answer for areas assigned to
+        another site)."""
+        if self.down:
+            raise SiteUnavailableError(f"site {self.name} is down")
         self.messages_received += 1
+        wanted = None if areas is None else set(areas)
         return [
             (Ruid2Label(*key), row)
             for key, row in self.rows.items()
-            if row[0] == tag
+            if row[0] == tag and (wanted is None or key[0] in wanted)
         ]
 
 
@@ -62,6 +87,9 @@ class FederatedDocument:
     Placement is controlled by *placement*: a callable mapping an area
     global index to a site index (defaults to round-robin over the
     frame's document order, which keeps sibling areas spread out).
+    With ``replication_factor`` r > 1 each area is additionally copied
+    to the r-1 sites following its primary, and every read falls over
+    along that chain when sites are down.
     """
 
     def __init__(
@@ -69,15 +97,44 @@ class FederatedDocument:
         labeling: Ruid2Labeling,
         site_count: int = 3,
         placement: Optional[Callable[[int], int]] = None,
+        replication_factor: int = 1,
+        faults=None,
+        backoff_base: float = 0.01,
+        max_rounds: int = 3,
     ):
         if site_count < 1:
             raise StorageError("need at least one site")
+        if replication_factor < 1:
+            raise StorageError("replication factor must be >= 1")
+        if replication_factor > site_count:
+            raise StorageError(
+                f"replication factor {replication_factor} exceeds "
+                f"{site_count} sites"
+            )
         self.sites = [Site(f"site{i}") for i in range(site_count)]
+        self.replication_factor = replication_factor
+        self.faults = faults
+        self.backoff_base = backoff_base
+        self.max_rounds = max_rounds
+        #: structural-change epoch of the document itself
+        self.epoch = 0
         # Coordinator state: the serialized global parameters — exactly
         # what the paper says must be "loaded into the main memory".
-        self.parameters: GlobalParameters = load_parameters(dump_parameters(labeling))
+        self.parameters: GlobalParameters = load_parameters(
+            dump_parameters(labeling, epoch=self.epoch)
+        )
         self.synopsis = TagAreaSynopsis(labeling)
-        self._site_of_area: Dict[int, int] = {}
+        self._synopsis_epoch = self.epoch
+        self._labeling = labeling
+        self._sites_of_area: Dict[int, List[int]] = {}
+        #: coordinator-side ledger; retries land in IoStats.retries
+        self.stats = IoStats()
+        self.degraded: Dict[str, float] = {
+            "messages_failed": 0,
+            "failovers": 0,
+            "stale_fallbacks": 0,
+            "backoff_seconds": 0.0,
+        }
 
         area_globals = [
             labeling.global_of_area_root(root)
@@ -87,11 +144,18 @@ class FederatedDocument:
             site_index = placement(area) if placement else position % site_count
             if not 0 <= site_index < site_count:
                 raise StorageError(f"placement sent area {area} to bad site {site_index}")
-            self._site_of_area[area] = site_index
-            self.sites[site_index].areas.append(area)
+            chain = [
+                (site_index + offset) % site_count
+                for offset in range(replication_factor)
+            ]
+            self._sites_of_area[area] = chain
+            self.sites[chain[0]].areas.append(area)
+            for replica_index in chain[1:]:
+                self.sites[replica_index].replica_areas.append(area)
 
         for node, label in labeling.items():
-            self.sites[self._site_of_area[label.global_index]].store(label, node)
+            for site_index in self._sites_of_area[label.global_index]:
+                self.sites[site_index].store(label, node)
 
     # ------------------------------------------------------------------
     @property
@@ -100,10 +164,14 @@ class FederatedDocument:
         return self.parameters.memory_bytes()
 
     def site_of(self, label: Ruid2Label) -> Site:
+        """The primary site of a label's area."""
+        return self.sites[self._replica_chain(label.global_index)[0]]
+
+    def _replica_chain(self, area: int) -> List[int]:
         try:
-            return self.sites[self._site_of_area[label.global_index]]
+            return self._sites_of_area[area]
         except KeyError:
-            raise UnknownLabelError(f"no site owns area {label.global_index}") from None
+            raise UnknownLabelError(f"no site owns area {area}") from None
 
     def total_messages(self) -> int:
         return sum(site.messages_received for site in self.sites)
@@ -111,14 +179,94 @@ class FederatedDocument:
     def reset_messages(self) -> None:
         for site in self.sites:
             site.messages_received = 0
+        self.stats.reset()
+        self.degraded = {
+            "messages_failed": 0,
+            "failovers": 0,
+            "stale_fallbacks": 0,
+            "backoff_seconds": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Fault control
+    # ------------------------------------------------------------------
+    def take_site_down(self, name: str) -> None:
+        self._site_by_name(name).down = True
+
+    def restore_site(self, name: str) -> None:
+        self._site_by_name(name).down = False
+
+    def _site_by_name(self, name: str) -> Site:
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise StorageError(f"no site named {name!r}")
+
+    def _is_down(self, site: Site) -> bool:
+        if site.down:
+            return True
+        return self.faults is not None and self.faults.site_is_down(site.name)
+
+    def bump_epoch(self) -> int:
+        """Record a structural change: the coordinator's synopsis
+        replica is stale until :meth:`resync` runs."""
+        self.epoch += 1
+        return self.epoch
+
+    def resync(self) -> None:
+        """Refresh the synopsis and parameter replicas to the current
+        epoch (what a coordinator does after pulling new (κ, K))."""
+        self.synopsis.refresh()
+        self._synopsis_epoch = self.epoch
+        self.parameters = load_parameters(
+            dump_parameters(self._labeling, epoch=self.epoch)
+        )
+
+    @property
+    def synopsis_is_stale(self) -> bool:
+        return self._synopsis_epoch != self.epoch
+
+    # ------------------------------------------------------------------
+    # Degraded-mode plumbing
+    # ------------------------------------------------------------------
+    def _live_site_for_area(self, area: int) -> Site:
+        """First reachable site in the area's replica chain.
+
+        Walks the chain up to ``max_rounds`` times; every contact with
+        a down site costs a failed message, every re-attempt after the
+        first counts as a retry with exponentially growing (simulated)
+        backoff. Success on a non-primary replica is a failover.
+        """
+        chain = self._replica_chain(area)
+        attempt = 0
+        for _round in range(self.max_rounds):
+            for position, site_index in enumerate(chain):
+                site = self.sites[site_index]
+                if attempt > 0:
+                    self.stats.record_retry()
+                    self.degraded["backoff_seconds"] += self.backoff_base * (
+                        2 ** (attempt - 1)
+                    )
+                attempt += 1
+                if self._is_down(site):
+                    self.degraded["messages_failed"] += 1
+                    continue
+                if position > 0:
+                    self.degraded["failovers"] += 1
+                return site
+        raise SiteUnavailableError(
+            f"area {area}: all {len(chain)} replica(s) down after "
+            f"{attempt} attempts"
+        )
 
     # ------------------------------------------------------------------
     # Operations (each returns (result, messages_used))
     # ------------------------------------------------------------------
     def fetch(self, label: Ruid2Label) -> Tuple[Tuple, int]:
-        """One row fetch: a single message to the owning site."""
+        """One row fetch: a single message to the first live replica."""
         before = self.total_messages()
-        row = self.site_of(label).fetch(label)
+        site = self._live_site_for_area(label.global_index)
+        row = site.fetch(label)
         return row, self.total_messages() - before
 
     def fetch_parent(self, label: Ruid2Label) -> Tuple[Tuple, int]:
@@ -127,7 +275,8 @@ class FederatedDocument:
         fetch."""
         before = self.total_messages()
         parent_label = self.parameters.parent(label)
-        row = self.site_of(parent_label).fetch(parent_label)
+        site = self._live_site_for_area(parent_label.global_index)
+        row = site.fetch(parent_label)
         return row, self.total_messages() - before
 
     def ancestry_check(self, candidate: Ruid2Label, label: Ruid2Label) -> Tuple[bool, int]:
@@ -138,17 +287,27 @@ class FederatedDocument:
 
     def find_tag(self, tag: str, routed: bool = True) -> Tuple[List, int]:
         """Tag search. Routed mode consults only the sites owning areas
-        the synopsis admits; broadcast mode asks every site."""
+        the synopsis admits; broadcast mode (or a routed call whose
+        synopsis replica is stale) asks every area's site. Each target
+        area is served by its first live replica; one message per
+        distinct site contacted."""
         before = self.total_messages()
+        if routed and self.synopsis_is_stale:
+            self.degraded["stale_fallbacks"] += 1
+            routed = False
         if routed:
-            target_sites = sorted(
-                {self._site_of_area[a] for a in self.synopsis.areas_for(tag)}
-            )
+            target_areas = self.synopsis.areas_for(tag)
         else:
-            target_sites = range(len(self.sites))
+            target_areas = sorted(self._sites_of_area)
+        assignment: Dict[int, List[int]] = {}
+        for area in target_areas:
+            site = self._live_site_for_area(area)
+            assignment.setdefault(self.sites.index(site), []).append(area)
         matches: List = []
-        for index in target_sites:
-            matches.extend(self.sites[index].rows_with_tag(tag))
+        for site_index in sorted(assignment):
+            matches.extend(
+                self.sites[site_index].rows_with_tag(tag, areas=assignment[site_index])
+            )
         matches = self._document_sorted(matches)
         return matches, self.total_messages() - before
 
@@ -158,15 +317,34 @@ class FederatedDocument:
         rank = {label: index for index, label in enumerate(ordered)}
         return sorted(matches, key=lambda pair: rank[pair[0]])
 
-    def site_loads(self) -> List[Tuple[str, int, int]]:
-        """(site, areas, rows) distribution summary."""
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def site_loads(self) -> List[Tuple[str, int, int, str]]:
+        """(site, areas incl. replicas, rows, up/down) distribution."""
         return [
-            (site.name, len(site.areas), len(site.rows)) for site in self.sites
+            (
+                site.name,
+                len(site.areas) + len(site.replica_areas),
+                len(site.rows),
+                "down" if self._is_down(site) else "up",
+            )
+            for site in self.sites
         ]
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Degraded-mode ledger: IoStats retries + federation counters."""
+        snapshot: Dict[str, float] = {
+            "messages": self.total_messages(),
+            "retries": self.stats.retries,
+        }
+        snapshot.update(self.degraded)
+        return snapshot
 
     def __repr__(self) -> str:
         return (
             f"<FederatedDocument sites={len(self.sites)} "
-            f"areas={len(self._site_of_area)} "
+            f"areas={len(self._sites_of_area)} "
+            f"rf={self.replication_factor} "
             f"coordinator={self.coordinator_bytes}B>"
         )

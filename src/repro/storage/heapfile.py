@@ -44,6 +44,20 @@ class HeapFile:
         self._free_bytes: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
+    def describe(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+        """Serializable bookkeeping: (page ids, free-space map)."""
+        return (
+            tuple(self._page_ids),
+            tuple(sorted(self._free_bytes.items())),
+        )
+
+    def restore(self, page_ids, free_bytes) -> None:
+        """Rebind the in-memory bookkeeping after crash recovery; the
+        pages themselves already live in the (recovered) pager."""
+        self._page_ids = list(page_ids)
+        self._free_bytes = dict(free_bytes)
+
+    # ------------------------------------------------------------------
     def insert(self, record: bytes) -> Rid:
         """Store *record*, returning its Rid."""
         needed = len(record) + _SLOT.size

@@ -22,6 +22,11 @@ class IoStats:
     buffer_hits: int = 0
     buffer_misses: int = 0
     evictions: int = 0
+    wal_appends: int = 0
+    wal_bytes: int = 0
+    recoveries: int = 0
+    checksum_failures: int = 0
+    retries: int = 0
 
     def record_hit(self) -> None:
         self.buffer_hits += 1
@@ -35,6 +40,19 @@ class IoStats:
 
     def record_eviction(self) -> None:
         self.evictions += 1
+
+    def record_wal_append(self, nbytes: int) -> None:
+        self.wal_appends += 1
+        self.wal_bytes += nbytes
+
+    def record_recovery(self) -> None:
+        self.recoveries += 1
+
+    def record_checksum_failure(self) -> None:
+        self.checksum_failures += 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
 
     @property
     def total_io(self) -> int:
@@ -55,6 +73,11 @@ class IoStats:
             "buffer_hits": self.buffer_hits,
             "buffer_misses": self.buffer_misses,
             "evictions": self.evictions,
+            "wal_appends": self.wal_appends,
+            "wal_bytes": self.wal_bytes,
+            "recoveries": self.recoveries,
+            "checksum_failures": self.checksum_failures,
+            "retries": self.retries,
         }
 
     def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
@@ -68,6 +91,11 @@ class IoStats:
         self.buffer_hits = 0
         self.buffer_misses = 0
         self.evictions = 0
+        self.wal_appends = 0
+        self.wal_bytes = 0
+        self.recoveries = 0
+        self.checksum_failures = 0
+        self.retries = 0
 
     def __repr__(self) -> str:
         return (

@@ -1,19 +1,32 @@
-"""Paged storage with an LRU buffer pool.
+"""Paged storage with an LRU buffer pool, page checksums and a WAL.
 
 The "disk" is an in-process page store (a dict of immutable byte
 blocks); every page access goes through the buffer pool and is charged
 to :class:`~repro.storage.iostats.IoStats`. This is the substitution
 documented in DESIGN.md for the paper's RDBMS: what the experiments
 need is the *count* of page transfers, not a physical spindle.
+
+Robustness layer (see docs/ROBUSTNESS.md):
+
+* every on-disk page carries a CRC32 checksum, verified on every cold
+  read — a mismatch raises :class:`~repro.errors.ChecksumError`;
+* when a :class:`~repro.storage.wal.Wal` is attached, every write-back
+  logs the full page image *before* touching disk, and
+  :meth:`commit` / :meth:`checkpoint` / :meth:`crash` / :meth:`recover`
+  implement the redo-only crash-consistency protocol;
+* a :class:`~repro.storage.faults.FaultInjector` may be attached to
+  fail writes or corrupt pages at deterministic points.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import ChecksumError, StorageError
 from repro.storage.iostats import IoStats
+from repro.storage.wal import RecoveryResult, Wal
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -45,6 +58,12 @@ class Pager:
     stats:
         Shared :class:`IoStats` ledger; a fresh one is created if not
         supplied.
+    wal:
+        Optional write-ahead log. When present, write-backs are logged
+        first and the crash/recover lifecycle becomes available.
+    faults:
+        Optional :class:`~repro.storage.faults.FaultInjector` consulted
+        before every write-back.
     """
 
     def __init__(
@@ -52,6 +71,8 @@ class Pager:
         page_size: int = DEFAULT_PAGE_SIZE,
         pool_pages: int = 64,
         stats: Optional[IoStats] = None,
+        wal: Optional[Wal] = None,
+        faults=None,
     ):
         if page_size < 64:
             raise StorageError(f"page size {page_size} too small")
@@ -60,7 +81,12 @@ class Pager:
         self.page_size = page_size
         self.pool_pages = pool_pages
         self.stats = stats if stats is not None else IoStats()
+        self.wal = wal
+        if wal is not None and wal.stats is None:
+            wal.stats = self.stats
+        self.faults = faults
         self._disk: Dict[int, bytes] = {}
+        self._checksums: Dict[int, int] = {}
         self._pool: "OrderedDict[int, Page]" = OrderedDict()
         self._next_page_id = 0
 
@@ -71,12 +97,15 @@ class Pager:
         self._next_page_id += 1
         page = Page(page_id, bytearray(self.page_size))
         page.dirty = True
-        self._disk[page_id] = bytes(self.page_size)
+        zeros = bytes(self.page_size)
+        self._disk[page_id] = zeros
+        self._checksums[page_id] = zlib.crc32(zeros)
         self._admit(page)
         return page
 
     def read(self, page_id: int) -> Page:
-        """Fetch a page through the buffer pool."""
+        """Fetch a page through the buffer pool, verifying its CRC on a
+        cold read."""
         page = self._pool.get(page_id)
         if page is not None:
             self._pool.move_to_end(page_id)
@@ -86,6 +115,14 @@ class Pager:
             raw = self._disk[page_id]
         except KeyError:
             raise StorageError(f"page {page_id} was never allocated") from None
+        expected = self._checksums.get(page_id)
+        if expected is not None and zlib.crc32(raw) != expected:
+            self.stats.record_checksum_failure()
+            raise ChecksumError(
+                f"page {page_id} failed CRC32 verification "
+                f"(stored {expected:#010x}, computed {zlib.crc32(raw):#010x})",
+                page_id=page_id,
+            )
         self.stats.record_miss()
         page = Page(page_id, bytearray(raw))
         self._admit(page)
@@ -111,9 +148,86 @@ class Pager:
         self._pool[page.page_id] = page
 
     def _write_back(self, page: Page) -> None:
+        if self.faults is not None:
+            self.faults.before_page_write(page.page_id)
+        if self.wal is not None:
+            self.wal.append_page(page.page_id, bytes(page.data))
         self._disk[page.page_id] = bytes(page.data)
+        self._checksums[page.page_id] = zlib.crc32(page.data)
         page.dirty = False
         self.stats.record_write()
+
+    # ------------------------------------------------------------------
+    # Crash-safety lifecycle
+    # ------------------------------------------------------------------
+    def commit(self, metadata: bytes = b"") -> Optional[int]:
+        """Flush all dirty pages, then log a commit marker carrying
+        *metadata*. Without a WAL this degrades to a plain flush."""
+        self.flush()
+        if self.wal is None:
+            return None
+        return self.wal.append_commit(metadata)
+
+    def checkpoint(self, metadata: bytes = b"") -> None:
+        """Commit, then truncate the WAL against the current disk image
+        (which, after the flush, *is* the committed state)."""
+        self.flush()
+        if self.wal is None:
+            return
+        self.wal.checkpoint(self._disk, metadata)
+
+    def crash(self, tear_bytes: Optional[int] = None) -> int:
+        """Simulate a process crash: the buffer pool (all un-written
+        dirty pages) evaporates and, by default, the last WAL record is
+        torn mid-write. Pass ``tear_bytes=0`` for a clean power-cut
+        after a completed write. Returns the bytes torn off the log."""
+        self._pool.clear()
+        if self.wal is None or tear_bytes == 0:
+            return 0
+        return self.wal.tear(tear_bytes)
+
+    def recover(self) -> RecoveryResult:
+        """Replay the WAL into a fresh disk image (last committed
+        state), discarding whatever the crashed disk held."""
+        if self.wal is None:
+            raise StorageError("recovery requires a WAL")
+        result = self.wal.replay()
+        self._pool.clear()
+        self._disk = dict(result.pages)
+        self._checksums = {
+            page_id: zlib.crc32(raw) for page_id, raw in self._disk.items()
+        }
+        self._next_page_id = max(self._disk, default=-1) + 1
+        self.stats.record_recovery()
+        # Post-recovery checkpoint: quarantined/uncommitted records must
+        # not linger beneath future appends (replay halts at a torn tail,
+        # so commits logged after it would be unreachable). The recovered
+        # image becomes the new replay base and the log restarts empty.
+        self.wal.checkpoint(self._disk, result.metadata)
+        return result
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface
+    # ------------------------------------------------------------------
+    def damage(self, page_id: int, offset: int, xor_mask: int) -> None:
+        """Corrupt one on-disk byte without updating its checksum, and
+        evict the page so the next read takes the cold path. This is
+        the media-fault hook used by :class:`FaultInjector`."""
+        try:
+            raw = bytearray(self._disk[page_id])
+        except KeyError:
+            raise StorageError(f"page {page_id} was never allocated") from None
+        if not 0 <= offset < len(raw):
+            raise StorageError(f"offset {offset} outside page {page_id}")
+        if not 0 < xor_mask <= 0xFF:
+            raise StorageError("xor mask must flip at least one bit")
+        raw[offset] ^= xor_mask
+        self._disk[page_id] = bytes(raw)
+        self._pool.pop(page_id, None)
+
+    def stored_page_ids(self) -> List[int]:
+        """Sorted ids of every page currently on disk."""
+        return sorted(self._disk)
 
     # ------------------------------------------------------------------
     @property
@@ -128,5 +242,6 @@ class Pager:
     def __repr__(self) -> str:
         return (
             f"<Pager pages={self.page_count} pooled={len(self._pool)}/"
-            f"{self.pool_pages} page_size={self.page_size}>"
+            f"{self.pool_pages} page_size={self.page_size}"
+            f"{' wal' if self.wal is not None else ''}>"
         )

@@ -127,6 +127,59 @@ class Table:
         self._row_count = 0
 
     # ------------------------------------------------------------------
+    # Crash-recovery support
+    # ------------------------------------------------------------------
+    def describe(self) -> Tuple[Any, ...]:
+        """Codec-encodable bookkeeping snapshot.
+
+        Captures everything needed to rebind a Table to its pages after
+        a crash: schema, heap bookkeeping, index root page ids, and the
+        cached row count. Page *contents* are the WAL's problem.
+        """
+        heap_pages, heap_free = self.heap.describe()
+        return (
+            self.name,
+            tuple((column.name, column.kind) for column in self.schema.columns),
+            tuple(self.primary_key),
+            heap_pages,
+            heap_free,
+            self._row_count,
+            self.pk_index.root_page_id,
+            tuple(
+                (index.name, tuple(index.columns), index.tree.root_page_id)
+                for index in self.indexes.values()
+            ),
+        )
+
+    @classmethod
+    def attach(cls, pager: Pager, description: Tuple[Any, ...]) -> "Table":
+        """Rebind a table to recovered pages from a :meth:`describe`
+        snapshot, without allocating anything."""
+        try:
+            (name, columns, primary_key, heap_pages, heap_free,
+             row_count, pk_root, indexes) = description
+            table = cls.__new__(cls)
+            table.name = name
+            table.schema = Schema([Column(n, kind) for n, kind in columns])
+            table.pager = pager
+            table.primary_key = list(primary_key)
+            table.heap = HeapFile(pager)
+            table.heap.restore(heap_pages, dict(heap_free))
+            table.pk_index = BPlusTree(pager, root_page_id=pk_root, unique=True)
+            table.indexes = {
+                index_name: _SecondaryIndex(
+                    index_name,
+                    list(index_columns),
+                    BPlusTree(pager, root_page_id=root, unique=True),
+                )
+                for index_name, index_columns, root in indexes
+            }
+            table._row_count = row_count
+        except (TypeError, ValueError) as exc:
+            raise StorageError(f"malformed table description: {exc}") from None
+        return table
+
+    # ------------------------------------------------------------------
     def insert(self, row: Row) -> Rid:
         """Insert *row*; duplicate primary keys raise."""
         self.schema.validate(row)

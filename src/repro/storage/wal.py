@@ -1,0 +1,246 @@
+"""Write-ahead log for the simulated storage engine.
+
+The pager's "disk" is an in-process page store; this module gives it
+the durability discipline a real deployment of §4 would need. Every
+page write-back first appends a full page image to the log; a *commit*
+record carries an application metadata blob (the database's catalog
+snapshot) and marks everything logged so far as durable. Recovery
+replays page images **up to the last valid commit record** — images
+after it belong to an uncommitted mutation and are discarded, and a
+torn or bit-flipped tail is quarantined rather than replayed.
+
+Record wire format (all big-endian)::
+
+    +-------+------+-----+-------------+-------------+---------+
+    | magic | kind | lsn | payload len | payload crc | payload |
+    | 4B    | 1B   | 8B  | 4B          | 4B          | ...     |
+    +-------+------+-----+-------------+-------------+---------+
+
+``kind`` is 1 for a page image (payload = 8-byte page id + image) and
+2 for a commit (payload = opaque metadata blob). The CRC covers the
+payload, so both torn writes (short tail) and in-place corruption
+(bad CRC) are detected and quarantined at the same point.
+
+:meth:`Wal.checkpoint` snapshots the current disk image as the new
+replay *base* and truncates the log — the standard trade between log
+length and recovery time, measured by ``benchmarks/bench_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+_RECORD_HEADER = struct.Struct(">4sBQII")  # magic, kind, lsn, length, crc32
+_PAGE_ID = struct.Struct(">Q")
+_MAGIC = b"WALR"
+
+REC_PAGE = 1
+REC_COMMIT = 2
+
+
+@dataclass
+class RecoveryResult:
+    """What :meth:`Wal.replay` reconstructed.
+
+    ``pages`` is the committed disk image, ``metadata`` the blob of the
+    last commit record (None when nothing ever committed), and the
+    counters report how much of the log survived: a non-None ``halt``
+    names why scanning stopped early ("torn-record" / "corrupt-record"),
+    with ``quarantined_bytes`` of unreplayable tail left behind.
+    """
+
+    pages: Dict[int, bytes] = field(default_factory=dict)
+    metadata: Optional[bytes] = None
+    records_scanned: int = 0
+    commits_applied: int = 0
+    pages_replayed: int = 0
+    discarded_uncommitted: int = 0
+    quarantined_bytes: int = 0
+    halt: Optional[str] = None
+
+
+class Wal:
+    """Append-only page-image log with commit markers.
+
+    The log lives in memory, like the pager's disk; ``stats`` (an
+    :class:`~repro.storage.iostats.IoStats`) is charged one append and
+    the record's bytes per :meth:`append_page` / :meth:`append_commit`.
+    """
+
+    def __init__(self, stats=None):
+        self.stats = stats
+        self._buf = bytearray()
+        self._offsets: List[int] = []  # start offset of every record
+        self._next_lsn = 1
+        self._base_pages: Dict[int, bytes] = {}
+        self._base_metadata: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append_page(self, page_id: int, image: bytes) -> int:
+        """Log a full page image prior to its write-back; returns lsn."""
+        return self._append(REC_PAGE, _PAGE_ID.pack(page_id) + bytes(image))
+
+    def append_commit(self, metadata: bytes = b"") -> int:
+        """Log a commit marker carrying *metadata*; returns its lsn."""
+        return self._append(REC_COMMIT, bytes(metadata))
+
+    def _append(self, kind: int, payload: bytes) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        header = _RECORD_HEADER.pack(
+            _MAGIC, kind, lsn, len(payload), zlib.crc32(payload)
+        )
+        self._offsets.append(len(self._buf))
+        self._buf += header
+        self._buf += payload
+        if self.stats is not None:
+            self.stats.record_wal_append(len(header) + len(payload))
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        return len(self._offsets)
+
+    def size_bytes(self) -> int:
+        return len(self._buf)
+
+    # ------------------------------------------------------------------
+    # Crash simulation
+    # ------------------------------------------------------------------
+    def tear(self, drop_bytes: Optional[int] = None) -> int:
+        """Simulate a torn last write: chop bytes off the final record.
+
+        With no argument, half the last record is lost. Returns how
+        many bytes were actually dropped (0 on an empty log). The torn
+        record stops being counted by :attr:`record_count`; its
+        remaining bytes are what recovery will quarantine.
+        """
+        if not self._offsets:
+            return 0
+        last_len = len(self._buf) - self._offsets[-1]
+        if drop_bytes is None:
+            drop_bytes = (last_len + 1) // 2
+        drop = max(1, min(drop_bytes, last_len))
+        del self._buf[len(self._buf) - drop :]
+        self._offsets.pop()
+        return drop
+
+    def damage(self, offset: int, xor_mask: int = 0xFF) -> None:
+        """Flip bits of one log byte in place (media-corruption hook)."""
+        if not 0 <= offset < len(self._buf):
+            raise StorageError(f"log offset {offset} out of range")
+        if not 0 < xor_mask <= 0xFF:
+            raise StorageError("xor mask must flip at least one bit")
+        self._buf[offset] ^= xor_mask
+
+    def prefix(self, record_count: int, torn_tail_bytes: int = 0) -> "Wal":
+        """A copy of this log containing only the first *record_count*
+        records — the crash-at-every-point harness' time machine. With
+        *torn_tail_bytes* > 0, that many bytes of the next record are
+        included as a torn tail."""
+        if not 0 <= record_count <= len(self._offsets):
+            raise StorageError(
+                f"prefix of {record_count} records from a "
+                f"{len(self._offsets)}-record log"
+            )
+        end = (
+            self._offsets[record_count]
+            if record_count < len(self._offsets)
+            else len(self._buf)
+        )
+        clone = Wal()
+        clone._buf = bytearray(self._buf[:end])
+        clone._offsets = list(self._offsets[:record_count])
+        clone._next_lsn = record_count + 1
+        clone._base_pages = dict(self._base_pages)
+        clone._base_metadata = self._base_metadata
+        if torn_tail_bytes > 0 and record_count < len(self._offsets):
+            next_end = (
+                self._offsets[record_count + 1]
+                if record_count + 1 < len(self._offsets)
+                else len(self._buf)
+            )
+            tail = self._buf[end : min(end + torn_tail_bytes, next_end - 1)]
+            clone._buf += tail
+        return clone
+
+    # ------------------------------------------------------------------
+    # Checkpoint + recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self, pages: Dict[int, bytes], metadata: Optional[bytes]) -> None:
+        """Adopt *pages* as the new replay base and truncate the log.
+
+        The caller (the pager) must have flushed every dirty page
+        first, so *pages* is exactly the committed state.
+        """
+        self._base_pages = {pid: bytes(raw) for pid, raw in pages.items()}
+        self._base_metadata = metadata
+        self._buf = bytearray()
+        self._offsets = []
+
+    def replay(self) -> RecoveryResult:
+        """Reconstruct the last-committed disk image.
+
+        Scans forward verifying each record; page images accumulate in
+        a pending set that is applied atomically at each commit marker.
+        A short or CRC-failing record halts the scan: everything from
+        it onward is quarantined, and pending (uncommitted) images are
+        discarded.
+        """
+        result = RecoveryResult(pages=dict(self._base_pages), metadata=self._base_metadata)
+        pending: Dict[int, Tuple[int, bytes]] = {}
+        offset = 0
+        while offset < len(self._buf):
+            record = self._read_record(offset)
+            if isinstance(record, str):  # halt reason
+                result.halt = record
+                break
+            kind, _lsn, payload, next_offset = record
+            result.records_scanned += 1
+            if kind == REC_PAGE:
+                page_id = _PAGE_ID.unpack_from(payload, 0)[0]
+                pending[page_id] = (result.records_scanned, payload[_PAGE_ID.size :])
+            else:
+                for page_id, (_seq, image) in pending.items():
+                    result.pages[page_id] = image
+                result.pages_replayed += len(pending)
+                pending.clear()
+                result.metadata = payload
+                result.commits_applied += 1
+            offset = next_offset
+        result.discarded_uncommitted = len(pending)
+        result.quarantined_bytes = len(self._buf) - offset
+        return result
+
+    def _read_record(self, offset: int):
+        """One verified record at *offset*, or a halt-reason string."""
+        if offset + _RECORD_HEADER.size > len(self._buf):
+            return "torn-record"
+        magic, kind, lsn, length, crc = _RECORD_HEADER.unpack_from(self._buf, offset)
+        if magic != _MAGIC or kind not in (REC_PAGE, REC_COMMIT):
+            return "corrupt-record"
+        start = offset + _RECORD_HEADER.size
+        if start + length > len(self._buf):
+            return "torn-record"
+        payload = bytes(self._buf[start : start + length])
+        if zlib.crc32(payload) != crc:
+            return "corrupt-record"
+        if kind == REC_PAGE and len(payload) < _PAGE_ID.size:
+            return "corrupt-record"
+        return kind, lsn, payload, start + length
+
+    def __repr__(self) -> str:
+        return (
+            f"<Wal records={len(self._offsets)} bytes={len(self._buf)} "
+            f"base_pages={len(self._base_pages)}>"
+        )

@@ -1,0 +1,140 @@
+"""Adversarial fuzzing of the storage codec and parameter loaders.
+
+The robustness contract (docs/ROBUSTNESS.md): whatever bytes arrive —
+truncated, bit-flipped, or pure noise — the decoders either return a
+value or raise :class:`~repro.errors.StorageError`. A bare
+``struct.error`` / ``IndexError`` / ``TypeError`` / ``UnicodeDecodeError``
+leaking out is a bug, because recovery code treats StorageError as the
+single "this blob is bad" signal.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.core.persist import (
+    dump_multilevel_parameters,
+    dump_parameters,
+    load_multilevel_parameters,
+    load_parameters,
+)
+from repro.errors import StorageError
+from repro.generator import generate_xmark
+from repro.storage import decode_key, decode_value, encode_key, encode_value
+
+values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**80), max_value=2**80),
+        st.floats(allow_nan=False),
+        st.text(max_size=16),
+        st.binary(max_size=16),
+    ),
+    lambda children: st.lists(children, max_size=3).map(tuple),
+    max_leaves=6,
+)
+
+
+def _decode_or_storage_error(decoder, blob):
+    try:
+        decoder(bytes(blob))
+    except StorageError:
+        pass  # the only exception allowed out
+
+
+class TestValueFuzz:
+    @given(values, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=300)
+    def test_truncation_never_leaks(self, value, cut):
+        blob = encode_value(value)
+        _decode_or_storage_error(decode_value, blob[: min(cut, len(blob))])
+
+    @given(values, st.data())
+    @settings(max_examples=300)
+    def test_bitflip_decodes_or_raises_storage_error(self, value, data):
+        blob = bytearray(encode_value(value))
+        index = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        blob[index] ^= 1 << bit
+        _decode_or_storage_error(decode_value, blob)
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=300)
+    def test_noise_never_leaks(self, blob):
+        _decode_or_storage_error(decode_value, blob)
+
+    def test_non_bytes_input_rejected(self):
+        with pytest.raises(StorageError):
+            decode_value("not bytes")
+        with pytest.raises(StorageError):
+            decode_value(None)
+
+    def test_error_messages_carry_offsets(self):
+        blob = encode_value(("abc", 42))
+        with pytest.raises(StorageError, match="offset"):
+            decode_value(blob[:-3])
+
+
+class TestKeyFuzz:
+    @given(st.binary(max_size=48))
+    @settings(max_examples=300)
+    def test_noise_never_leaks(self, blob):
+        _decode_or_storage_error(decode_key, blob)
+
+    @given(st.tuples(st.integers(min_value=0, max_value=2**64), st.text(max_size=8)))
+    @settings(max_examples=150)
+    def test_truncation_never_leaks(self, key):
+        blob = encode_key(key)
+        for cut in range(len(blob)):
+            _decode_or_storage_error(decode_key, blob[:cut])
+
+
+class TestParameterBlobFuzz:
+    @pytest.fixture(scope="class")
+    def blob(self):
+        tree = generate_xmark(scale=0.02, seed=7)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(10))
+        return dump_parameters(labeling, include_directory=True, epoch=3)
+
+    def test_roundtrip(self, blob):
+        parameters = load_parameters(blob)
+        assert parameters.epoch == 3
+        assert parameters.tags
+
+    def test_every_truncation_raises_storage_error(self, blob):
+        for cut in range(len(blob)):
+            with pytest.raises(StorageError):
+                load_parameters(blob[:cut])
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_bitflips_load_or_raise_storage_error(self, blob, data):
+        damaged = bytearray(blob)
+        index = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        damaged[index] ^= 1 << data.draw(st.integers(min_value=0, max_value=7))
+        _decode_or_storage_error(load_parameters, damaged)
+
+    def test_wrong_shape_rejected(self):
+        for payload in (None, 17, ("ruid2-params",), ("wrong", 2, 1, (), (), 0)):
+            with pytest.raises(StorageError):
+                load_parameters(encode_value(payload))
+
+
+class TestMultilevelBlobFuzz:
+    @pytest.fixture(scope="class")
+    def blob(self):
+        from repro.core import MultilevelRuidLabeling
+
+        tree = generate_xmark(scale=0.02, seed=7)
+        labeling = MultilevelRuidLabeling(tree, levels=3)
+        return dump_multilevel_parameters(labeling)
+
+    def test_roundtrip(self, blob):
+        assert load_multilevel_parameters(blob).levels == 3
+
+    def test_truncations_raise_storage_error(self, blob):
+        for cut in range(0, len(blob), 7):
+            with pytest.raises(StorageError):
+                load_multilevel_parameters(blob[:cut])

@@ -137,3 +137,61 @@ class TestIoAccounting:
         delta = database.io_delta(snapshot)
         # the label arithmetic is free; only the row fetch pays pages
         assert delta["disk_reads"] <= 10
+
+
+class _ExplodingLabeling:
+    """Labeling stub that fails after labeling a few nodes, the way a
+    FanOutOverflowError surfaces from a real scheme mid-shred."""
+
+    def __init__(self, inner, explode_after):
+        self.inner = inner
+        self.remaining = explode_after
+
+    def label_of(self, node):
+        from repro.errors import FanOutOverflowError
+
+        if self.remaining <= 0:
+            raise FanOutOverflowError("injected mid-shred overflow")
+        self.remaining -= 1
+        return self.inner.label_of(node)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestStoreDocumentRollback:
+    def test_failed_shred_leaves_no_orphan_tables(self, doc_tree):
+        from repro.errors import FanOutOverflowError
+
+        labeling = Ruid2Scheme(max_area_size=4).build(doc_tree)
+        database = XmlDatabase()
+        exploding = _ExplodingLabeling(labeling, explode_after=3)
+        with pytest.raises(FanOutOverflowError):
+            database.store_document("doc", doc_tree, exploding)
+        assert database.catalog.table_names() == []
+        with pytest.raises(StorageError):
+            database.document("doc")
+
+    def test_failed_area_shred_drops_area_tables_too(self, doc_tree):
+        from repro.errors import FanOutOverflowError
+
+        labeling = Ruid2Scheme(max_area_size=2).build(doc_tree)
+        size = doc_tree.size()
+        database = XmlDatabase()
+        # explode during the per-area pass, after the node table loaded
+        exploding = _ExplodingLabeling(labeling, explode_after=size + 2)
+        with pytest.raises(FanOutOverflowError):
+            database.store_document("doc", doc_tree, exploding, partition_by_area=True)
+        assert database.catalog.table_names() == []
+
+    def test_store_succeeds_after_rollback(self, doc_tree):
+        from repro.errors import FanOutOverflowError
+
+        labeling = Ruid2Scheme(max_area_size=4).build(doc_tree)
+        database = XmlDatabase()
+        with pytest.raises(FanOutOverflowError):
+            database.store_document(
+                "doc", doc_tree, _ExplodingLabeling(labeling, explode_after=1)
+            )
+        document = database.store_document("doc", doc_tree, labeling)
+        assert len(document) == doc_tree.size()

@@ -1,0 +1,108 @@
+"""Unit tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.errors import ChecksumError, InjectedFaultError, StorageError
+from repro.storage import FaultInjector, Pager
+
+
+def _pager_with_pages(pages=3, faults=None):
+    pager = Pager(page_size=128, pool_pages=8, faults=faults)
+    for index in range(pages):
+        page = pager.allocate()
+        page.data[0] = index + 1
+        pager.mark_dirty(page)
+    return pager
+
+
+class TestWriteFailures:
+    def test_nth_write_fails_once(self):
+        faults = FaultInjector(seed=7)
+        pager = _pager_with_pages(faults=faults)
+        faults.fail_after_writes(2)
+        with pytest.raises(InjectedFaultError):
+            pager.flush()
+        assert faults.fired["write"] == 1
+        # one-shot: the retry goes through
+        pager.flush()
+        assert faults.fired["write"] == 1
+
+    def test_failed_write_leaves_wal_untouched(self):
+        from repro.storage import Wal
+
+        wal = Wal()
+        faults = FaultInjector(seed=7)
+        pager = Pager(page_size=128, pool_pages=8, wal=wal, faults=faults)
+        page = pager.allocate()
+        page.data[0] = 0xAB
+        pager.mark_dirty(page)
+        faults.fail_after_writes(1)
+        with pytest.raises(InjectedFaultError):
+            pager.flush()
+        assert wal.record_count == 0  # fault fires before the append
+
+    def test_disarm(self):
+        faults = FaultInjector()
+        pager = _pager_with_pages(faults=faults)
+        faults.fail_after_writes(1)
+        faults.disarm_write_failure()
+        pager.flush()
+        assert faults.fired["write"] == 0
+
+    def test_countdown_validated(self):
+        with pytest.raises(StorageError):
+            FaultInjector().fail_after_writes(0)
+
+
+class TestBitFlips:
+    def test_flip_is_caught_by_checksum(self):
+        faults = FaultInjector(seed=11)
+        pager = _pager_with_pages(faults=faults)
+        pager.flush()
+        page_id, _offset, _bit = faults.flip_page_bit(pager)
+        with pytest.raises(ChecksumError):
+            pager.read(page_id)
+        assert pager.stats.checksum_failures == 1
+        assert faults.fired["bitflip"] == 1
+
+    def test_same_seed_same_damage(self):
+        first = FaultInjector(seed=42).flip_page_bit(_pager_with_pages())
+        second = FaultInjector(seed=42).flip_page_bit(_pager_with_pages())
+        assert first == second
+
+    def test_pinned_coordinates(self):
+        faults = FaultInjector()
+        pager = _pager_with_pages()
+        pager.flush()
+        assert faults.flip_page_bit(pager, page_id=1, offset=3, bit=6) == (1, 3, 6)
+        with pytest.raises(ChecksumError):
+            pager.read(1)
+
+    def test_empty_disk_rejected(self):
+        with pytest.raises(StorageError):
+            FaultInjector().flip_page_bit(Pager(page_size=128, pool_pages=2))
+
+
+class TestSiteOutages:
+    def test_registry_round_trip(self):
+        faults = FaultInjector()
+        faults.take_site_down("site1")
+        assert faults.site_is_down("site1")
+        assert not faults.site_is_down("site0")
+        faults.restore_site("site1")
+        assert not faults.site_is_down("site1")
+
+    def test_restore_all(self):
+        faults = FaultInjector()
+        faults.take_site_down("a")
+        faults.take_site_down("b")
+        faults.restore_all_sites()
+        assert faults.down_sites() == set()
+
+    def test_random_victim_is_deterministic(self):
+        names = ["site0", "site1", "site2"]
+        first = FaultInjector(seed=3).take_random_site_down(names)
+        second = FaultInjector(seed=3).take_random_site_down(names)
+        assert first == second
+        with pytest.raises(StorageError):
+            FaultInjector().take_random_site_down([])

@@ -1,0 +1,144 @@
+"""Fault-tolerant federation: replication, failover and stale-synopsis
+degradation (the ISSUE's federation acceptance scenario)."""
+
+import pytest
+
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.errors import SiteUnavailableError, StorageError
+from repro.generator import generate_xmark
+from repro.storage import FaultInjector, FederatedDocument
+
+
+@pytest.fixture(scope="module")
+def labeling():
+    tree = generate_xmark(scale=0.05, seed=97)
+    return Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+
+
+@pytest.fixture
+def degraded(labeling):
+    """Three sites, rf=2, site1 down via the fault injector."""
+    faults = FaultInjector(seed=5)
+    federation = FederatedDocument(
+        labeling, site_count=3, replication_factor=2, faults=faults
+    )
+    faults.take_site_down("site1")
+    return federation
+
+
+def _all_tags(labeling):
+    return sorted({node.tag for node in labeling.tree.preorder()})
+
+
+class TestReplication:
+    def test_every_area_on_rf_sites(self, labeling):
+        federation = FederatedDocument(labeling, site_count=3, replication_factor=2)
+        holders = {area: 0 for area in federation._sites_of_area}
+        for site in federation.sites:
+            for area in site.areas + site.replica_areas:
+                holders[area] += 1
+        assert set(holders.values()) == {2}
+
+    def test_rf_validated(self, labeling):
+        with pytest.raises(StorageError):
+            FederatedDocument(labeling, site_count=3, replication_factor=4)
+        with pytest.raises(StorageError):
+            FederatedDocument(labeling, site_count=3, replication_factor=0)
+
+    def test_rf1_site_down_is_fatal(self, labeling):
+        federation = FederatedDocument(labeling, site_count=3, replication_factor=1)
+        federation.take_site_down("site0")
+        victim_area = federation.sites[0].areas[0]
+        victim = next(
+            label
+            for label in labeling.snapshot().values()
+            if label.global_index == victim_area
+        )
+        with pytest.raises(SiteUnavailableError):
+            federation.fetch(victim)
+
+
+class TestDegradedReads:
+    def test_every_label_fetchable_with_one_site_down(self, labeling, degraded):
+        reference = FederatedDocument(labeling, site_count=3)
+        for label in labeling.snapshot().values():
+            row, messages = degraded.fetch(label)
+            assert row == reference.fetch(label)[0]
+            assert messages >= 1
+
+    def test_parent_fetch_survives_outage(self, labeling, degraded):
+        deepest = max(labeling.tree.preorder(), key=lambda n: n.depth)
+        row, _messages = degraded.fetch_parent(labeling.label_of(deepest))
+        assert row[0] == deepest.parent.tag
+
+    def test_degraded_cost_is_ledgered(self, labeling, degraded):
+        for label in labeling.snapshot().values():
+            degraded.fetch(label)
+        snapshot = degraded.stats_snapshot()
+        # site1 owned primaries, so some fetches must have failed over
+        assert snapshot["failovers"] > 0
+        assert snapshot["messages_failed"] == snapshot["failovers"]
+        assert snapshot["retries"] == snapshot["failovers"]
+        assert snapshot["backoff_seconds"] > 0
+        assert degraded.sites[1].messages_received == 0
+
+    def test_no_ledger_noise_when_healthy(self, labeling):
+        federation = FederatedDocument(labeling, site_count=3, replication_factor=2)
+        for label in labeling.snapshot().values():
+            federation.fetch(label)
+        snapshot = federation.stats_snapshot()
+        assert snapshot["failovers"] == 0
+        assert snapshot["retries"] == 0
+        assert snapshot["backoff_seconds"] == 0
+
+    def test_all_replicas_down_raises(self, labeling):
+        federation = FederatedDocument(labeling, site_count=3, replication_factor=2)
+        for site in federation.sites:
+            federation.take_site_down(site.name)
+        root_label = labeling.label_of(labeling.tree.root)
+        with pytest.raises(SiteUnavailableError):
+            federation.fetch(root_label)
+
+    def test_restore_ends_degradation(self, labeling, degraded):
+        degraded.faults.restore_site("site1")
+        degraded.reset_messages()
+        for label in labeling.snapshot().values():
+            degraded.fetch(label)
+        assert degraded.stats_snapshot()["failovers"] == 0
+
+
+class TestDegradedTagSearch:
+    def test_find_tag_correct_for_every_label(self, labeling, degraded):
+        reference = FederatedDocument(labeling, site_count=3)
+        for tag in _all_tags(labeling):
+            rows, _messages = degraded.find_tag(tag)
+            want, _ = reference.find_tag(tag)
+            assert rows == want  # same rows, same document order
+
+    def test_replicas_do_not_duplicate_matches(self, labeling):
+        # healthy rf=2: each area answered exactly once despite 2 copies
+        federation = FederatedDocument(labeling, site_count=3, replication_factor=2)
+        reference = FederatedDocument(labeling, site_count=3)
+        for tag in _all_tags(labeling):
+            assert federation.find_tag(tag)[0] == reference.find_tag(tag)[0]
+
+    def test_stale_synopsis_falls_back_to_broadcast(self, labeling, degraded):
+        tag = _all_tags(labeling)[0]
+        want, _ = degraded.find_tag(tag)
+        degraded.bump_epoch()
+        assert degraded.synopsis_is_stale
+        degraded.reset_messages()
+        rows, _messages = degraded.find_tag(tag, routed=True)
+        assert rows == want
+        assert degraded.stats_snapshot()["stale_fallbacks"] == 1
+        degraded.resync()
+        assert not degraded.synopsis_is_stale
+        assert degraded.parameters.epoch == degraded.epoch
+        degraded.reset_messages()
+        degraded.find_tag(tag, routed=True)
+        assert degraded.stats_snapshot()["stale_fallbacks"] == 0
+
+    def test_site_loads_reports_status(self, degraded):
+        status = {name: state for name, _areas, _rows, state in degraded.site_loads()}
+        assert status["site1"] == "down"
+        assert status["site0"] == status["site2"] == "up"

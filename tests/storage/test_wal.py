@@ -1,0 +1,220 @@
+"""Unit tests for the write-ahead log and the pager's crash lifecycle."""
+
+import zlib
+
+import pytest
+
+from repro.errors import ChecksumError, StorageError
+from repro.storage import Pager, Wal
+
+
+def _filled_pager(pages=4, page_size=128, pool_pages=2, wal=None):
+    pager = Pager(page_size=page_size, pool_pages=pool_pages, wal=wal)
+    for index in range(pages):
+        page = pager.allocate()
+        page.data[0] = index + 1
+        pager.mark_dirty(page)
+    return pager
+
+
+class TestWalAppendReplay:
+    def test_pages_before_commit_are_not_replayed(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        result = wal.replay()
+        assert result.pages == {}
+        assert result.commits_applied == 0
+        assert result.discarded_uncommitted == 1
+
+    def test_commit_makes_pages_durable(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        wal.append_page(1, b"b" * 16)
+        wal.append_commit(b"meta")
+        result = wal.replay()
+        assert result.pages == {0: b"a" * 16, 1: b"b" * 16}
+        assert result.metadata == b"meta"
+        assert result.commits_applied == 1
+        assert result.halt is None
+
+    def test_later_image_wins(self):
+        wal = Wal()
+        wal.append_page(0, b"old!" * 4)
+        wal.append_commit()
+        wal.append_page(0, b"new!" * 4)
+        wal.append_commit()
+        assert wal.replay().pages[0] == b"new!" * 4
+
+    def test_uncommitted_tail_discarded(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        wal.append_commit(b"m1")
+        wal.append_page(0, b"z" * 16)  # never committed
+        result = wal.replay()
+        assert result.pages[0] == b"a" * 16
+        assert result.metadata == b"m1"
+        assert result.discarded_uncommitted == 1
+
+    def test_torn_tail_quarantined(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        wal.append_commit(b"m1")
+        wal.append_page(0, b"z" * 16)
+        wal.append_commit(b"m2")
+        torn = wal.tear()
+        assert torn > 0
+        result = wal.replay()
+        # the second commit was torn: state rolls back to the first
+        assert result.pages[0] == b"a" * 16
+        assert result.metadata == b"m1"
+        assert result.halt == "torn-record"
+        assert result.quarantined_bytes > 0
+
+    def test_bitflip_in_log_quarantines_from_there(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        wal.append_commit(b"m1")
+        committed_size = wal.size_bytes()
+        wal.append_page(0, b"z" * 16)
+        wal.append_commit(b"m2")
+        wal.damage(committed_size + 30)  # inside the second page image
+        result = wal.replay()
+        assert result.pages[0] == b"a" * 16
+        assert result.metadata == b"m1"
+        assert result.halt == "corrupt-record"
+
+    def test_prefix_replays_like_the_original(self):
+        wal = Wal()
+        for index in range(4):
+            wal.append_page(index, bytes([index]) * 8)
+            wal.append_commit(str(index).encode())
+        full = wal.replay()
+        again = wal.prefix(wal.record_count).replay()
+        assert again.pages == full.pages
+        assert again.metadata == full.metadata
+        half = wal.prefix(4).replay()  # two page records + two commits
+        assert half.metadata == b"1"
+        assert half.pages == {0: bytes([0]) * 8, 1: bytes([1]) * 8}
+
+    def test_prefix_with_torn_tail_halts(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 8)
+        wal.append_commit(b"m")
+        wal.append_page(0, b"b" * 8)
+        torn = wal.prefix(2, torn_tail_bytes=10)
+        result = torn.replay()
+        assert result.metadata == b"m"
+        assert result.halt == "torn-record"
+
+    def test_prefix_bounds_checked(self):
+        with pytest.raises(StorageError):
+            Wal().prefix(1)
+
+
+class TestWalCheckpoint:
+    def test_checkpoint_truncates_and_rebases(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 8)
+        wal.append_commit(b"m1")
+        wal.checkpoint({0: b"a" * 8}, b"m1")
+        assert wal.record_count == 0
+        result = wal.replay()
+        assert result.pages == {0: b"a" * 8}
+        assert result.metadata == b"m1"
+
+    def test_appends_after_checkpoint_layer_on_base(self):
+        wal = Wal()
+        wal.checkpoint({0: b"a" * 8, 1: b"b" * 8}, b"base")
+        wal.append_page(1, b"B" * 8)
+        wal.append_commit(b"m2")
+        result = wal.replay()
+        assert result.pages == {0: b"a" * 8, 1: b"B" * 8}
+        assert result.metadata == b"m2"
+
+
+class TestPagerChecksums:
+    def test_damage_is_caught_on_cold_read(self):
+        pager = _filled_pager()
+        pager.flush()
+        pager.damage(0, 5, 0x40)
+        with pytest.raises(ChecksumError) as exc_info:
+            pager.read(0)
+        assert exc_info.value.page_id == 0
+        assert pager.stats.checksum_failures == 1
+
+    def test_clean_pages_read_fine(self):
+        pager = _filled_pager()
+        pager.flush()
+        pager._pool.clear()
+        for page_id in pager.stored_page_ids():
+            pager.read(page_id)
+        assert pager.stats.checksum_failures == 0
+
+    def test_damage_validates_arguments(self):
+        pager = _filled_pager()
+        with pytest.raises(StorageError):
+            pager.damage(99, 0, 0xFF)
+        with pytest.raises(StorageError):
+            pager.damage(0, 10_000, 0xFF)
+        with pytest.raises(StorageError):
+            pager.damage(0, 0, 0)
+
+
+class TestPagerCrashRecover:
+    def test_crash_discards_dirty_pool(self):
+        wal = Wal()
+        pager = _filled_pager(wal=wal)
+        pager.commit(b"m")
+        committed = dict(pager._disk)
+        page = pager.read(0)
+        page.data[1] = 0xEE
+        pager.mark_dirty(page)
+        pager.crash(tear_bytes=0)
+        result = pager.recover()
+        assert result.metadata == b"m"
+        assert pager._disk == committed
+        assert pager.stats.recoveries == 1
+
+    def test_recover_requires_wal(self):
+        with pytest.raises(StorageError):
+            Pager(page_size=128, pool_pages=2).recover()
+
+    def test_wal_counters_charged(self):
+        wal = Wal()
+        pager = _filled_pager(wal=wal)
+        pager.commit(b"")
+        assert pager.stats.wal_appends == wal.record_count
+        assert pager.stats.wal_bytes == wal.size_bytes()
+
+    def test_commits_after_recovery_are_durable(self):
+        """Recovery truncates the quarantined tail: a commit logged
+        after recovering from a torn log must itself be replayable."""
+        wal = Wal()
+        pager = _filled_pager(wal=wal)
+        pager.commit(b"m1")
+        page = pager.read(0)
+        page.data[2] = 7
+        pager.mark_dirty(page)
+        pager.commit(b"m2")
+        wal.tear()  # m2 torn mid-write
+        pager.crash(tear_bytes=0)
+        assert pager.recover().metadata == b"m1"
+        page = pager.read(1)
+        page.data[2] = 9
+        pager.mark_dirty(page)
+        pager.commit(b"m3")
+        pager.crash(tear_bytes=0)
+        result = pager.recover()
+        assert result.metadata == b"m3"
+        assert pager._disk[1][2] == 9
+
+    def test_recovered_pages_pass_checksums(self):
+        wal = Wal()
+        pager = _filled_pager(wal=wal)
+        pager.commit(b"m")
+        pager.crash(tear_bytes=0)
+        pager.recover()
+        for page_id in pager.stored_page_ids():
+            raw = pager._disk[page_id]
+            assert zlib.crc32(raw) == pager._checksums[page_id]
+            pager.read(page_id)
