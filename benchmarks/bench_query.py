@@ -1,4 +1,4 @@
-"""E8 + E12 — query evaluation (paper §3.5, §4, observation 3).
+"""E8 + E12 + E14 — query evaluation (paper §3.5, §4, observation 3).
 
 E8 holds the XPath query set fixed and swaps the evaluation strategy:
 rUID identifier arithmetic vs navigational DOM walking. The paper's
@@ -9,22 +9,38 @@ the identifier arithmetic pays off.
 E12 regenerates the §4 "database file/table selection" idea: tag
 lookups routed to per-area tables via a structural pre-filter touch a
 fraction of the tables a blind scan does.
+
+E14 measures the query fast path: the legacy node-at-a-time scheme
+evaluator vs the batched set-at-a-time one (rank index + synopsis
+pruning + axis memo) vs the navigational baseline. Runs under pytest
+and as a standalone CI smoke::
+
+    python benchmarks/bench_query.py --quick
 """
 
+import argparse
 import time
 
 import pytest
 
 from conftest import emit, emits_table
+from repro.analysis import format_table
 from repro.core import Ruid2Scheme
 from repro.generator import (
     DBLP_QUERIES,
     TREEBANK_QUERIES,
     XMARK_QUERIES,
+    generate_dblp,
     generate_treebank,
+    generate_xmark,
 )
-from repro.query import XPathEngine
+from repro.query import SchemeEvaluator, XPathEngine
 from repro.storage import XmlDatabase
+
+
+def _print_only(experiment, headers, rows, title):
+    print()
+    print(format_table(headers, rows, title=title))
 
 
 @pytest.fixture(scope="module")
@@ -119,6 +135,79 @@ def test_e8_table(xmark_engine, dblp_engine, treebank_engine):
     )
 
 
+def _time_queries(evaluator, compiled, repeats=3):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for expression in compiled:
+            evaluator.select(expression)
+    return (time.perf_counter() - start) * 1e3 / repeats
+
+
+def run_fastpath_table(corpora, sink=emit, repeats=3):
+    """Legacy per-node vs batched set-at-a-time vs navigational."""
+    rows = []
+    for corpus, tree, queries in corpora:
+        labeling = Ruid2Scheme(max_area_size=24).build(tree)
+        engine = XPathEngine(tree, labeling=labeling)
+        compiled = [engine.compile(q) for q in queries]
+        legacy = SchemeEvaluator(labeling, batched=False, memoize=False)
+        fast = engine.evaluator("ruid")
+        nav = engine.evaluator("navigational")
+        for evaluator in (legacy, fast, nav):  # warm every cache
+            for expression in compiled:
+                evaluator.select(expression)
+        legacy_ms = _time_queries(legacy, compiled, repeats)
+        fast_ms = _time_queries(fast, compiled, repeats)
+        nav_ms = _time_queries(nav, compiled, repeats)
+        for expression in compiled:  # all three agree, node for node
+            expected = [n.node_id for n in nav.select(expression)]
+            assert [n.node_id for n in legacy.select(expression)] == expected
+            assert [n.node_id for n in fast.select(expression)] == expected
+        counters = engine.stats.snapshot()
+        rows.append(
+            (
+                corpus,
+                len(queries),
+                round(legacy_ms, 2),
+                round(fast_ms, 2),
+                round(nav_ms, 2),
+                round(legacy_ms / fast_ms, 1),
+                counters["batched_steps"],
+                counters["synopsis_skips"],
+            )
+        )
+    sink(
+        "E14_fastpath",
+        (
+            "corpus",
+            "queries",
+            "legacy_ms",
+            "fast_ms",
+            "nav_ms",
+            "speedup",
+            "batched",
+            "skips",
+        ),
+        rows,
+        f"E14: scheme evaluator fast path, full query set ({repeats}-run mean)",
+    )
+    return rows
+
+
+@emits_table
+def test_e14_fastpath_table(xmark_bench_tree, dblp_bench_tree):
+    treebank = generate_treebank(sentences=40, max_depth=16, seed=2002)
+    rows = run_fastpath_table(
+        (
+            ("xmark", xmark_bench_tree, XMARK_QUERIES),
+            ("dblp", dblp_bench_tree, DBLP_QUERIES),
+            ("treebank", treebank, TREEBANK_QUERIES),
+        )
+    )
+    # the tentpole claim: batched beats legacy by >= 2x on every corpus
+    assert all(row[2] / row[3] >= 2.0 for row in rows)
+
+
 @emits_table
 def test_e12_table_routing(xmark_bench_tree):
     from repro.query import TagAreaSynopsis
@@ -154,3 +243,45 @@ def test_e12_table_routing(xmark_bench_tree):
     )
     # routing must never scan more tables than the blind approach
     assert all(row[3] <= row[2] for row in rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small documents only (CI smoke; does not overwrite results)",
+    )
+    args = parser.parse_args()
+    # smoke mode prints but must not clobber the checked-in tables
+    sink = _print_only if args.quick else emit
+    if args.quick:
+        corpora = (
+            ("xmark", generate_xmark(scale=0.1, seed=2002), XMARK_QUERIES),
+            ("dblp", generate_dblp(entries=150, seed=2002), DBLP_QUERIES),
+        )
+    else:
+        corpora = (
+            ("xmark", generate_xmark(scale=0.3, seed=2002), XMARK_QUERIES),
+            ("dblp", generate_dblp(entries=600, seed=2002), DBLP_QUERIES),
+            (
+                "treebank",
+                generate_treebank(sentences=40, max_depth=16, seed=2002),
+                TREEBANK_QUERIES,
+            ),
+        )
+    rows = run_fastpath_table(corpora, sink=sink)
+    # CI gate: the warm scheme evaluator must not be slower than the
+    # navigational baseline, and must beat its own legacy form >= 2x.
+    for corpus, _queries, legacy_ms, fast_ms, nav_ms, _s, _b, _k in rows:
+        assert fast_ms <= nav_ms, (
+            f"{corpus}: fast path {fast_ms}ms slower than navigational {nav_ms}ms"
+        )
+        assert legacy_ms / fast_ms >= 2.0, (
+            f"{corpus}: fast path only {legacy_ms / fast_ms:.1f}x over legacy"
+        )
+    print("\nok")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ class RebuildOnUpdateLabeling(Labeling[LabelT], Generic[LabelT]):
         self._node_by_label = {}
         for node in self.tree.preorder():
             self._node_by_label[self._label_by_node[node.node_id]] = node
+        self.bump_generation()
 
     # -- lookups --------------------------------------------------------
     def label_of(self, node: XmlNode) -> LabelT:

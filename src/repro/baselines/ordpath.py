@@ -159,6 +159,7 @@ class OrdpathLabeling(Labeling[OrdpathLabel]):
         self._put(node, new_label)
         for ordinal, child in enumerate(node.children):
             self._assign_fresh(child, new_label + (2 * ordinal + 1,))
+        self.bump_generation()
         return RelabelReport(
             scheme=self.scheme_name,
             operation="insert",
@@ -173,6 +174,7 @@ class OrdpathLabeling(Labeling[OrdpathLabel]):
         for gone in removed:
             label = self._label_by_node.pop(gone.node_id)
             self._node_by_label.pop(label, None)
+        self.bump_generation()
         return RelabelReport(
             scheme=self.scheme_name,
             operation="delete",

@@ -97,6 +97,21 @@ class AxisEngine:
         self._area_doc_order: Optional[List[int]] = None
         self._sort_keys: Dict[Ruid2Label, tuple] = {}
         self._slots: Optional[Dict[Tuple[int, int], Ruid2Label]] = None
+        # Prebuilt axis-name dispatch (constructing it per call showed
+        # up in profiles of axis-heavy query workloads).
+        self._dispatch = {
+            "parent": self._parent_list,
+            "ancestor": self.ancestors,
+            "ancestor-or-self": self._ancestor_or_self,
+            "child": self.children,
+            "descendant": self.descendants,
+            "descendant-or-self": self._descendant_or_self,
+            "preceding-sibling": self.preceding_siblings,
+            "following-sibling": self.following_siblings,
+            "preceding": self.preceding,
+            "following": self.following,
+            "self": self._self_list,
+        }
 
     # -- indexes --------------------------------------------------------
     def labels_in_area(self, global_index: int) -> List[Ruid2Label]:
@@ -293,22 +308,24 @@ class AxisEngine:
 
         return sorted(labels, key=key_of)
 
+    def _parent_list(self, label: Ruid2Label) -> List[Ruid2Label]:
+        parent = self.parent(label)
+        return [parent] if parent is not None else []
+
+    def _ancestor_or_self(self, label: Ruid2Label) -> List[Ruid2Label]:
+        return [label, *self.ancestors(label)]
+
+    def _descendant_or_self(self, label: Ruid2Label) -> List[Ruid2Label]:
+        return [label, *self.descendants(label)]
+
+    @staticmethod
+    def _self_list(label: Ruid2Label) -> List[Ruid2Label]:
+        return [label]
+
     def axis(self, label: Ruid2Label, name: str) -> List[Ruid2Label]:
         """Dispatch by XPath axis name (hyphenated, as in expressions)."""
-        table = {
-            "parent": lambda l: [p] if (p := self.parent(l)) is not None else [],
-            "ancestor": self.ancestors,
-            "ancestor-or-self": lambda l: [l, *self.ancestors(l)],
-            "child": self.children,
-            "descendant": self.descendants,
-            "descendant-or-self": lambda l: [l, *self.descendants(l)],
-            "preceding-sibling": self.preceding_siblings,
-            "following-sibling": self.following_siblings,
-            "preceding": self.preceding,
-            "following": self.following,
-            "self": lambda l: [l],
-        }
         try:
-            return table[name](label)
+            handler = self._dispatch[name]
         except KeyError:
             raise ValueError(f"unknown axis {name!r}") from None
+        return handler(label)

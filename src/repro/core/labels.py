@@ -121,7 +121,7 @@ class Ruid2Label:
 Ruid2Label.ROOT = Ruid2Label(1, 1, True)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MultiLabel:
     """A multilevel rUID identifier — Definition 4.
 

@@ -1,0 +1,106 @@
+"""Precomputed document-order rank index over a labeling.
+
+The paper's point is that structural relationships are computable from
+labels in memory; this module takes the next step the accelerator
+literature (Grust's pre/post view, the ancestry-labeling line) takes:
+*materialise* the document order once so that every later comparison is
+a plain integer comparison instead of label arithmetic.
+
+A :class:`RankIndex` maps every label to its preorder rank and to the
+rank of the last node in its subtree. With those two integers,
+
+* document order is ``rank[a] < rank[b]``;
+* ancestry is the interval test ``rank[a] < rank[d] <= end[a]``;
+
+both O(1), no ancestor-chain walks. The index is stamped with the
+labeling *generation* that produced it: any structural update bumps
+the generation, and stale indexes are discarded rather than consulted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.scheme import Labeling
+
+
+class RankIndex:
+    """label → (preorder rank, subtree-end rank), one enumeration pass.
+
+    ``rank`` and ``end`` are plain dicts so hot paths can grab them and
+    use ``dict.__getitem__`` directly as a sort key.
+    """
+
+    __slots__ = ("rank", "end", "generation", "size")
+
+    def __init__(
+        self,
+        rank: Dict[Hashable, int],
+        end: Dict[Hashable, int],
+        generation: int,
+    ):
+        self.rank = rank
+        self.end = end
+        self.generation = generation
+        self.size = len(rank)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, labeling: "Labeling", generation: int) -> "RankIndex":
+        """One DFS over the labeled tree assigning preorder ranks and
+        subtree-end ranks to every label."""
+        rank: Dict[Hashable, int] = {}
+        end: Dict[Hashable, int] = {}
+        label_of = labeling.label_of
+        counter = 0
+        # Stack entries: (node, None) to enter, (None, label) to exit.
+        stack = [(labeling.tree.root, None)]
+        while stack:
+            node, exit_label = stack.pop()
+            if node is None:
+                end[exit_label] = counter - 1
+                continue
+            label = label_of(node)
+            rank[label] = counter
+            counter += 1
+            stack.append((None, label))
+            for child in reversed(node.children):
+                stack.append((child, None))
+        return cls(rank, end, generation)
+
+    # ------------------------------------------------------------------
+    def rank_of(self, label) -> Optional[int]:
+        """Preorder rank, or None for a label this index does not know
+        (stale label from before an update, synthetic test label, ...)."""
+        return self.rank.get(label)
+
+    def covers(self, upper, lower, self_or: bool = False) -> bool:
+        """Interval ancestry test: is *upper* an ancestor(-or-self) of
+        *lower*? Both labels must be present in the index."""
+        r_u = self.rank[upper]
+        r_l = self.rank[lower]
+        if r_u == r_l:
+            return self_or
+        return r_u < r_l <= self.end[upper]
+
+    def try_ranks(self, labels: Sequence) -> Optional[List[int]]:
+        """Ranks for *labels*, or None if any label is unknown —
+        callers fall back to comparator-based code in that case."""
+        rank = self.rank
+        out: List[int] = []
+        for label in labels:
+            r = rank.get(label)
+            if r is None:
+                return None
+            out.append(r)
+        return out
+
+    def __contains__(self, label) -> bool:
+        return label in self.rank
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"<RankIndex labels={self.size} generation={self.generation}>"

@@ -205,6 +205,11 @@ class Ruid2Labeling:
             tree, self.area_root_ids, min_kappa=min_kappa
         )
         self._sticky_local = dict(self._state.local_fanout_used)
+        #: enumeration generation: bumped whenever the label assignment
+        #: may have changed (reenumerate/rebuild). Generation-stamped
+        #: caches (rank index, rparent memo, axis/plan caches) key off it.
+        self.generation = 0
+        self._parent_memo: Dict[Ruid2Label, Ruid2Label] = {}
 
     # ------------------------------------------------------------------
     # Re-enumeration (used by incremental update, §3.2)
@@ -249,7 +254,12 @@ class Ruid2Labeling:
         self._sticky_local = {
             rid: k for rid, k in self._sticky_local.items() if rid in live
         }
+        self._invalidate_memos()
         return frame_renumbered
+
+    def _invalidate_memos(self) -> None:
+        self.generation += 1
+        self._parent_memo.clear()
 
     def snapshot(self) -> Dict[int, Ruid2Label]:
         """node_id → label copy, for update-scope diffing."""
@@ -267,6 +277,7 @@ class Ruid2Labeling:
             self.tree, self.area_root_ids, min_kappa=self._min_kappa
         )
         self._sticky_local = dict(self._state.local_fanout_used)
+        self._invalidate_memos()
 
     # ------------------------------------------------------------------
     # Global parameters (the in-memory state, §2.1)
@@ -331,8 +342,17 @@ class Ruid2Labeling:
     # ------------------------------------------------------------------
     def rparent(self, label: Ruid2Label) -> Ruid2Label:
         """Identifier of the parent node, computed entirely from κ and
-        table K (Lemma 1). Raises :class:`NoParentError` at the root."""
-        return rparent(label, self.kappa, self.ktable)
+        table K (Lemma 1). Raises :class:`NoParentError` at the root.
+
+        Memoised per enumeration generation: the result is a pure
+        function of (label, κ, K), and the memo is cleared whenever a
+        re-enumeration can change κ or K."""
+        memo = self._parent_memo
+        parent = memo.get(label)
+        if parent is None:
+            parent = rparent(label, self.kappa, self.ktable)
+            memo[label] = parent
+        return parent
 
     def rancestors(self, label: Ruid2Label) -> List[Ruid2Label]:
         """Proper ancestors bottom-up (repetition of rparent, §3.5)."""

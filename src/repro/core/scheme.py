@@ -23,6 +23,7 @@ from repro.core.labels import Relation, Ruid2Label
 from repro.core.multilevel import MultilevelRuidLabeling
 from repro.core.order import Ruid2Order, uid_relation
 from repro.core.partition import Partitioner, SizeCapPartitioner
+from repro.core.rankindex import RankIndex
 from repro.core.ruid import Ruid2Labeling
 from repro.core.uid import UidLabeling
 from repro.core.update import RelabelReport, Ruid2Updater, UidUpdater
@@ -44,6 +45,41 @@ class Labeling(ABC, Generic[LabelT]):
 
     def __init__(self, tree: XmlTree):
         self.tree = tree
+        self._generation = 0
+        self._rank_index: Optional[RankIndex] = None
+
+    # -- cache generations ----------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of structural states. Every mutation that
+        can change labels (insert/delete/reenumerate/rebuild) advances
+        it; derived caches (rank index, axis memos, compiled plans) are
+        stamped with the generation they were built from and must be
+        discarded on mismatch."""
+        return self._generation
+
+    def bump_generation(self) -> None:
+        """Invalidate every generation-stamped cache."""
+        self._generation += 1
+        self._rank_index = None
+
+    def rank_index(self) -> RankIndex:
+        """The document-order rank index for the current generation.
+
+        Built lazily, once per generation; a label's preorder rank and
+        subtree-end rank turn document-order sorts and ancestry tests
+        into integer comparisons (the query fast path)."""
+        index = self._rank_index
+        generation = self.generation
+        if index is None or index.generation != generation:
+            index = RankIndex.build(self, generation)
+            self._rank_index = index
+        return index
+
+    def doc_rank(self) -> Dict:
+        """label → preorder rank for the current generation (the raw
+        dict, suitable as a ``sorted`` key via ``__getitem__``)."""
+        return self.rank_index().rank
 
     # -- lookups --------------------------------------------------------
     @abstractmethod
@@ -153,10 +189,14 @@ class UidSchemeLabeling(Labeling[int]):
         return self.core.snapshot()
 
     def insert(self, parent: XmlNode, position: int, node: XmlNode) -> RelabelReport:
-        return self._updater.insert(parent, position, node)
+        report = self._updater.insert(parent, position, node)
+        self.bump_generation()
+        return report
 
     def delete(self, node: XmlNode) -> RelabelReport:
-        return self._updater.delete(node)
+        report = self._updater.delete(node)
+        self.bump_generation()
+        return report
 
 
 class Ruid2SchemeLabeling(Labeling[Ruid2Label]):
@@ -191,6 +231,15 @@ class Ruid2SchemeLabeling(Labeling[Ruid2Label]):
         adapter._order = None
         adapter._axes = None
         return adapter
+
+    @property
+    def generation(self) -> int:
+        """Track the core labeling's generation: callers may mutate the
+        shared core directly (``LabeledDocument`` does), and every such
+        mutation re-enumerates — bumping the core counter — so derived
+        caches invalidate regardless of which handle performed the
+        update."""
+        return self.core.generation
 
     def _order_oracle(self) -> Ruid2Order:
         # κ/K change on overflow; rebuild the oracle lazily per state.

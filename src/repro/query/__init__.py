@@ -17,10 +17,16 @@ from repro.query.evaluator import (
     node_test_matches,
     string_value,
 )
-from repro.query.joins import join_nodes, nested_loop_join, stack_tree_join
+from repro.query.joins import (
+    choose_join_algorithm,
+    join_nodes,
+    nested_loop_join,
+    stack_tree_join,
+)
 from repro.query.lexer import tokenize
 from repro.query.parser import parse_xpath
-from repro.query.synopsis import PathSummary, TagAreaSynopsis
+from repro.query.stats import QueryStats
+from repro.query.synopsis import PathSummary, TagAreaSynopsis, TagStatistics
 from repro.query.twig import TwigMatcher, TwigNode, parse_twig
 
 __all__ = [
@@ -32,13 +38,16 @@ __all__ = [
     "NodeTest",
     "Number",
     "PathSummary",
+    "QueryStats",
     "SchemeEvaluator",
     "Step",
     "TagAreaSynopsis",
+    "TagStatistics",
     "TwigMatcher",
     "TwigNode",
     "Union_",
     "XPathEngine",
+    "choose_join_algorithm",
     "join_nodes",
     "nested_loop_join",
     "node_test_matches",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeTest:
     """A name test (``chapter``, ``*``) or node-type test (``text()``)."""
 
@@ -26,7 +26,7 @@ class NodeTest:
         return self.name or "*"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Step:
     """One location step: ``axis::test[pred]...``."""
 
@@ -39,7 +39,7 @@ class Step:
         return f"{self.axis}::{self.test}{preds}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocationPath:
     """A (possibly absolute) chain of steps."""
 
@@ -51,7 +51,7 @@ class LocationPath:
         return ("/" + body) if self.absolute else body
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal:
     value: str
 
@@ -59,7 +59,7 @@ class Literal:
         return f"'{self.value}'"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Number:
     value: float
 
@@ -69,7 +69,7 @@ class Number:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp:
     """Comparison or boolean connective over two expressions."""
 
@@ -81,7 +81,7 @@ class BinaryOp:
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionCall:
     name: str
     arguments: tuple = ()
@@ -91,7 +91,7 @@ class FunctionCall:
         return f"{self.name}({args})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Union_:
     """``|`` of location paths (top level only)."""
 

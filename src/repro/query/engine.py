@@ -4,11 +4,19 @@ Compiles XPath-subset expressions once and evaluates them under a
 chosen strategy — navigational DOM walking or rUID identifier
 arithmetic — so experiments can hold the query fixed and swap the
 engine (observation 3, §5).
+
+Compiled plans live in a bounded LRU cache keyed by the query string;
+hits, misses and evictions are charged to a shared
+:class:`~repro.query.stats.QueryStats` ledger (the query-layer
+counterpart of the storage layer's ``IoStats``). Evaluators are
+re-created when the labeling's generation advances, so no evaluator
+ever serves labels from before a structural update.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import List, Optional
 
 from repro.core.partition import Partitioner
 from repro.core.scheme import Ruid2SchemeLabeling
@@ -21,8 +29,12 @@ from repro.query.evaluator import (
     string_value,
 )
 from repro.query.parser import parse_xpath
+from repro.query.stats import QueryStats
 from repro.xmltree.node import XmlNode
 from repro.xmltree.tree import XmlTree
+
+#: default number of compiled plans kept
+PLAN_CACHE_SIZE = 128
 
 
 class XPathEngine:
@@ -37,6 +49,8 @@ class XPathEngine:
         ``"ruid"`` strategy (one is built on demand otherwise).
     partitioner:
         Partition strategy used if a labeling must be built.
+    plan_cache_size:
+        Maximum number of compiled plans retained (LRU eviction).
     """
 
     def __init__(
@@ -44,12 +58,16 @@ class XPathEngine:
         tree: XmlTree,
         labeling: Optional[Ruid2SchemeLabeling] = None,
         partitioner: Optional[Partitioner] = None,
+        plan_cache_size: int = PLAN_CACHE_SIZE,
     ):
         self.tree = tree
+        self.stats = QueryStats()
         self._labeling = labeling
         self._partitioner = partitioner
-        self._compiled: Dict[str, Expr] = {}
-        self._evaluators: Dict[str, BaseEvaluator] = {}
+        self._plan_cache_size = max(1, plan_cache_size)
+        self._compiled: "OrderedDict[str, Expr]" = OrderedDict()
+        self._evaluators: dict = {}
+        self._evaluator_generation: Optional[int] = None
 
     # ------------------------------------------------------------------
     def labeling(self) -> Ruid2SchemeLabeling:
@@ -60,21 +78,45 @@ class XPathEngine:
         return self._labeling
 
     def compile(self, expression: str) -> Expr:
-        """Parse (with memoisation) an expression."""
-        compiled = self._compiled.get(expression)
-        if compiled is None:
-            compiled = parse_xpath(expression)
-            self._compiled[expression] = compiled
+        """Parse an expression through the LRU plan cache.
+
+        Repeated compilations of the same string return the identical
+        plan object; the least recently used plan is evicted once the
+        cache is full.
+        """
+        cache = self._compiled
+        compiled = cache.get(expression)
+        if compiled is not None:
+            self.stats.plan_hits += 1
+            cache.move_to_end(expression)
+            return compiled
+        self.stats.plan_misses += 1
+        compiled = parse_xpath(expression)
+        cache[expression] = compiled
+        if len(cache) > self._plan_cache_size:
+            cache.popitem(last=False)
+            self.stats.plan_evictions += 1
         return compiled
 
     def evaluator(self, strategy: str = "ruid") -> BaseEvaluator:
-        """The evaluator for *strategy* ("ruid" or "navigational")."""
+        """The evaluator for *strategy* ("ruid" or "navigational").
+
+        Evaluators are cached per strategy but dropped wholesale when
+        the labeling's generation advances — a structural update must
+        never be answered from pre-update state.
+        """
+        if self._labeling is not None:
+            generation = self._labeling.generation
+            if generation != self._evaluator_generation:
+                self._evaluators.clear()
+                self._evaluator_generation = generation
         evaluator = self._evaluators.get(strategy)
         if evaluator is None:
             if strategy == "ruid":
-                evaluator = SchemeEvaluator(self.labeling())
+                evaluator = SchemeEvaluator(self.labeling(), stats=self.stats)
+                self._evaluator_generation = self._labeling.generation
             elif strategy == "navigational":
-                evaluator = NavigationalEvaluator(self.tree)
+                evaluator = NavigationalEvaluator(self.tree, stats=self.stats)
             else:
                 raise QueryError(f"unknown strategy {strategy!r}")
             self._evaluators[strategy] = evaluator

@@ -13,15 +13,31 @@ Semantics follow XPath 1.0 for the supported core: node-sets are kept
 in document order, predicates are evaluated with axis-order positions
 (reverse axes count backwards), numeric predicates are position tests,
 and comparisons use the existential node-set semantics.
+
+The scheme evaluator additionally implements the query fast path:
+
+* predicate-free steps over the main structural axes are evaluated
+  **set-at-a-time** — candidates come from per-tag label lists in
+  document-rank order and are filtered against the whole context
+  frontier at once (memoised parents for ``child``, rank-interval
+  containment for ``descendant``), so no per-step resort is needed;
+* a **tag synopsis** short-circuits steps whose node test cannot match
+  anywhere in the document;
+* per-(node, axis) results are memoised for the per-context fallback
+  path.
+
+All caches are stamped with the labeling's generation and rebuilt when
+a structural update advances it; cache traffic is counted in a
+:class:`~repro.query.stats.QueryStats` ledger.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.scheme import Ruid2SchemeLabeling
-from repro.errors import QueryError, UnsupportedFeatureError
+from repro.errors import QueryError, UnknownLabelError, UnsupportedFeatureError
 from repro.query.ast import (
     BinaryOp,
     Expr,
@@ -33,6 +49,8 @@ from repro.query.ast import (
     Step,
     Union_,
 )
+from repro.query.stats import QueryStats
+from repro.query.synopsis import TagStatistics
 from repro.xmltree.node import NodeKind, XmlNode
 from repro.xmltree.tree import XmlTree
 
@@ -67,8 +85,9 @@ def node_test_matches(node: XmlNode, test: NodeTest, axis: str) -> bool:
 class BaseEvaluator:
     """Shared expression semantics; subclasses supply the axis step."""
 
-    def __init__(self, tree: XmlTree):
+    def __init__(self, tree: XmlTree, stats: Optional[QueryStats] = None):
         self.tree = tree
+        self.stats = stats if stats is not None else QueryStats()
         self._doc_order: Optional[Dict[int, int]] = None
         #: the virtual document node above the root element; absolute
         #: paths start here so that ``/site`` and ``//site`` can match
@@ -82,11 +101,32 @@ class BaseEvaluator:
         return self._doc_order
 
     def sort_nodes(self, nodes: Sequence[XmlNode]) -> List[XmlNode]:
+        """Sort into document order, deduplicating by node identity.
+
+        Every node gets an explicit, stable rank: the document node
+        sorts before the root element; nodes outside the index
+        (transient attribute nodes) sort directly after their parent
+        element, keyed by name — never interleaved with indexed nodes
+        at an arbitrary position.
+        """
         order = self.doc_order()
         unique = {node.node_id: node for node in nodes}
-        return sorted(
-            unique.values(), key=lambda n: order.get(n.node_id, -1)
-        )  # the document node sorts first
+        after_all = len(order)
+
+        def key(node: XmlNode) -> Tuple[int, int, str]:
+            rank = order.get(node.node_id)
+            if rank is not None:
+                return (rank, 0, "")
+            if node.kind is NodeKind.DOCUMENT:
+                return (-1, 0, "")
+            parent = node.parent
+            if parent is not None:
+                parent_rank = order.get(parent.node_id, after_all)
+            else:
+                parent_rank = after_all
+            return (parent_rank, 1, node.tag or "")
+
+        return sorted(unique.values(), key=key)
 
     # -- axis step (strategy hook) -----------------------------------------
     def axis_nodes(self, node: XmlNode, axis: str) -> List[XmlNode]:
@@ -379,21 +419,312 @@ class SchemeEvaluator(BaseEvaluator):
     Structural axes run through :class:`AxisEngine`; the ``attribute``
     axis (a value, not structure, concern) reuses the navigational
     fallback.
+
+    On top of the per-context strategy this evaluator carries the
+    query fast path (set-at-a-time steps, synopsis pruning, axis
+    memos); pass ``batched=False`` to benchmark the legacy
+    node-at-a-time behaviour. All derived state is generation-stamped:
+    a structural update through the labeling invalidates it wholesale,
+    so stale labels are never served.
     """
 
     strategy_name = "ruid"
 
-    def __init__(self, labeling: Ruid2SchemeLabeling):
-        super().__init__(labeling.tree)
-        self.labeling = labeling
-        self._fallback = NavigationalEvaluator(labeling.tree)
+    #: axes the batched (set-at-a-time) path implements
+    _BATCHED_AXES = frozenset(
+        {
+            "self",
+            "child",
+            "parent",
+            "descendant",
+            "descendant-or-self",
+            "ancestor",
+            "ancestor-or-self",
+        }
+    )
+    #: every axis this evaluator supports at all; synopsis pruning is
+    #: restricted to these so unsupported axes still raise
+    _KNOWN_AXES = _BATCHED_AXES | frozenset(
+        {
+            "preceding-sibling",
+            "following-sibling",
+            "preceding",
+            "following",
+            "attribute",
+        }
+    )
+    #: per-(node, axis) memo entries kept before the cache stops growing
+    _AXIS_CACHE_LIMIT = 8192
+    #: a batched child step scans every candidate with a matching test;
+    #: when the frontier is much smaller than that candidate list
+    #: (single-context predicate evaluation, typically) the memoised
+    #: per-node path is cheaper — this factor picks the crossover
+    _CHILD_SCAN_FACTOR = 16
 
+    def __init__(
+        self,
+        labeling: Ruid2SchemeLabeling,
+        stats: Optional[QueryStats] = None,
+        batched: bool = True,
+        memoize: bool = True,
+    ):
+        super().__init__(labeling.tree, stats=stats)
+        self.labeling = labeling
+        self.batched = batched
+        #: False disables the per-(node, axis) memo — with ``batched``
+        #: also False this reproduces the legacy node-at-a-time
+        #: behaviour for before/after benchmarking
+        self.memoize = memoize
+        self._fallback = NavigationalEvaluator(labeling.tree)
+        self._cache_generation: Optional[int] = None
+        self._rank: Dict = {}
+        self._end: Dict = {}
+        self._synopsis: Optional[TagStatistics] = None
+        self._axis_cache: Dict[Tuple[int, str], List[XmlNode]] = {}
+        self._doc_axis_cache: Dict[str, List[XmlNode]] = {}
+        # candidate label lists (document-rank order), built lazily on
+        # the first batched step of a generation
+        self._tag_labels: Optional[Dict[str, List]] = None
+        self._element_labels: Optional[List] = None
+        self._text_labels: Optional[List] = None
+        self._comment_labels: Optional[List] = None
+        self._node_labels: Optional[List] = None
+
+    # -- generation-stamped caches -----------------------------------------
+    def _ensure_caches(self) -> None:
+        """(Re)bind every derived structure to the labeling's current
+        generation; a no-op (one int compare) when nothing changed."""
+        generation = self.labeling.generation
+        if generation == self._cache_generation:
+            return
+        index = self.labeling.rank_index()
+        self._rank = index.rank
+        self._end = index.end
+        self._synopsis = TagStatistics(self.tree)
+        self._axis_cache = {}
+        self._doc_axis_cache = {}
+        self._doc_order = None
+        self._fallback = NavigationalEvaluator(self.tree)
+        self._tag_labels = None
+        self._element_labels = None
+        self._text_labels = None
+        self._comment_labels = None
+        self._node_labels = None
+        self._cache_generation = generation
+        self.stats.rank_index_builds += 1
+
+    def _build_candidates(self) -> None:
+        """Per-kind label lists in document-rank order (attributes are
+        not part of the main structural document; the navigational
+        evaluator's axes skip them identically)."""
+        label_of = self.labeling.label_of
+        tag_labels: Dict[str, List] = {}
+        element_labels: List = []
+        text_labels: List = []
+        comment_labels: List = []
+        node_labels: List = []
+        for node in self.tree.preorder():
+            kind = node.kind
+            if kind is NodeKind.ATTRIBUTE:
+                continue
+            label = label_of(node)
+            node_labels.append(label)
+            if kind is NodeKind.ELEMENT:
+                element_labels.append(label)
+                bucket = tag_labels.get(node.tag)
+                if bucket is None:
+                    tag_labels[node.tag] = bucket = []
+                bucket.append(label)
+            elif kind is NodeKind.TEXT:
+                text_labels.append(label)
+            elif kind is NodeKind.COMMENT:
+                comment_labels.append(label)
+        self._tag_labels = tag_labels
+        self._element_labels = element_labels
+        self._text_labels = text_labels
+        self._comment_labels = comment_labels
+        self._node_labels = node_labels
+
+    def _candidates_for_test(self, test: NodeTest) -> Optional[Sequence]:
+        """All labels that can satisfy *test* on an element-principal
+        axis, in document-rank order (None: test not expressible)."""
+        node_type = test.node_type
+        if node_type is None:
+            if test.name is None:
+                return self._element_labels
+            return self._tag_labels.get(test.name, [])
+        if node_type == "node":
+            return self._node_labels
+        if node_type == "text":
+            return self._text_labels
+        if node_type == "comment":
+            return self._comment_labels
+        return None
+
+    # -- step evaluation ----------------------------------------------------
+    def _eval_step(self, nodes: List[XmlNode], step: Step) -> List[XmlNode]:
+        self._ensure_caches()
+        if self._prunable(step):
+            self.stats.synopsis_skips += 1
+            return []
+        if self.batched and not step.predicates and step.axis in self._BATCHED_AXES:
+            result = self._eval_step_batched(nodes, step)
+            if result is not None:
+                self.stats.batched_steps += 1
+                return result
+        self.stats.fallback_steps += 1
+        return super()._eval_step(nodes, step)
+
+    def _prunable(self, step: Step) -> bool:
+        """True when the synopsis proves the step's name test matches
+        nothing anywhere in the document."""
+        test = step.test
+        if test.name is None or test.node_type is not None:
+            return False
+        if step.axis not in self._KNOWN_AXES:
+            return False  # let the unsupported-axis error surface
+        if step.axis == "attribute":
+            return not self._synopsis.can_match_attribute(test.name)
+        return not self._synopsis.can_match_element(test.name)
+
+    def _eval_step_batched(
+        self, nodes: List[XmlNode], step: Step
+    ) -> Optional[List[XmlNode]]:
+        """Set-at-a-time step over the whole frontier; None means the
+        contexts cannot be labeled (transient nodes) — fall back."""
+        if self._node_labels is None:
+            self._build_candidates()
+        has_doc = False
+        labels: List = []
+        label_of = self.labeling.label_of
+        try:
+            for node in nodes:
+                if node is self.document_node:
+                    has_doc = True
+                else:
+                    labels.append(label_of(node))
+        except (KeyError, UnknownLabelError):
+            return None
+        axis = step.axis
+        test = step.test
+        candidates = self._candidates_for_test(test)
+        if candidates is None:
+            return None
+        node_of = self.labeling.node_of
+        rank = self._rank
+
+        if axis == "self":
+            out: List[XmlNode] = []
+            if has_doc and node_test_matches(self.document_node, test, axis):
+                out.append(self.document_node)
+            ranked = []
+            for label in set(labels):
+                node = node_of(label)
+                if node_test_matches(node, test, axis):
+                    ranked.append((rank[label], node))
+            ranked.sort(key=lambda pair: pair[0])
+            out.extend(node for _, node in ranked)
+            return out
+
+        if axis == "child":
+            context = set(labels)
+            frontier = len(context) + (1 if has_doc else 0)
+            if not frontier:
+                return []
+            if len(candidates) > self._CHILD_SCAN_FACTOR * frontier:
+                return None  # candidate scan dearer than per-node memo
+            parent_of = self.labeling.axes.parent
+            out = []
+            for cand in candidates:
+                parent = parent_of(cand)
+                if parent is None:
+                    if has_doc:  # the root element, child of the doc node
+                        out.append(node_of(cand))
+                elif parent in context:
+                    out.append(node_of(cand))
+            return out
+
+        if axis in ("parent", "ancestor", "ancestor-or-self"):
+            # The virtual document node has no parent/ancestors and is
+            # never an ancestor result (matching the per-context path).
+            parent_of = self.labeling.axes.parent
+            found: set = set()
+            if axis == "parent":
+                for label in labels:
+                    parent = parent_of(label)
+                    if parent is not None:
+                        found.add(parent)
+            else:
+                or_self = axis == "ancestor-or-self"
+                for label in set(labels):
+                    current = label if or_self else parent_of(label)
+                    while current is not None and current not in found:
+                        found.add(current)
+                        current = parent_of(current)
+            ranked = []
+            for label in found:
+                node = node_of(label)
+                if node_test_matches(node, test, axis):
+                    ranked.append((rank[label], node))
+            ranked.sort(key=lambda pair: pair[0])
+            return [node for _, node in ranked]
+
+        # descendant / descendant-or-self
+        or_self = axis == "descendant-or-self"
+        if has_doc:
+            out = []
+            if or_self and node_test_matches(self.document_node, test, axis):
+                out.append(self.document_node)
+            out.extend(node_of(cand) for cand in candidates)
+            return out
+        if not labels:
+            return []
+        end = self._end
+        # Contexts sorted by rank with a running max of subtree ends:
+        # candidate x descends from some context iff the best end among
+        # contexts at/before x's rank reaches x.
+        context_spans = sorted((rank[label], end[label]) for label in set(labels))
+        context_ranks = [r for r, _ in context_spans]
+        prefix_max = []
+        best = -1
+        for _, subtree_end in context_spans:
+            if subtree_end > best:
+                best = subtree_end
+            prefix_max.append(best)
+        locate = bisect_right if or_self else bisect_left
+        out = []
+        for cand in candidates:
+            cand_rank = rank[cand]
+            j = locate(context_ranks, cand_rank) - 1
+            if j >= 0 and prefix_max[j] >= cand_rank:
+                out.append(node_of(cand))
+        return out
+
+    # -- per-context axis step (memoised) -----------------------------------
     def axis_nodes(self, node: XmlNode, axis: str) -> List[XmlNode]:
         if axis == "attribute":
             return self._fallback.axis_nodes(node, axis)
+        self._ensure_caches()
+        if self.memoize:
+            cache = self._axis_cache
+            key = (node.node_id, axis)
+            cached = cache.get(key)
+            if cached is not None:
+                self.stats.axis_cache_hits += 1
+                return cached
+            self.stats.axis_cache_misses += 1
         engine = self.labeling.axes
         labels = engine.axis(self.labeling.label_of(node), axis)
         resolved = [self.labeling.node_of(label) for label in labels]
         if axis in ("ancestor", "ancestor-or-self"):
             resolved.reverse()  # engine returns nearest-first
+        if self.memoize and len(cache) < self._AXIS_CACHE_LIMIT:
+            cache[key] = resolved
         return resolved
+
+    def _document_axis(self, axis: str) -> List[XmlNode]:
+        cached = self._doc_axis_cache.get(axis)
+        if cached is None:
+            cached = super()._document_axis(axis)
+            self._doc_axis_cache[axis] = cached
+        return cached

@@ -7,24 +7,72 @@ descendants D, emit every (a, d) with a an ancestor of d — using only
 the labels.
 
 Two algorithms are provided, both generic over any
-:class:`~repro.core.scheme.Labeling` (they consume only ``relation`` /
-``doc_compare``):
+:class:`~repro.core.scheme.Labeling`:
 
 * :func:`nested_loop_join` — the O(|A|·|D|) baseline;
 * :func:`stack_tree_join` — the sort-merge "stack-tree" join: one
   pass over both lists in document order with a stack of nested
   ancestors, O(|A| + |D| + output).
+
+Both consult the labeling's precomputed document-order
+:class:`~repro.core.rankindex.RankIndex` when every input label is
+known to it: sorting keys off integer ranks and (for the stack-tree
+join) ancestry becomes the interval test ``rank(a) < rank(d) <=
+end(a)``, so the merge does no label arithmetic at all. Unknown labels
+(stale after an update, synthetic) drop back to the generic
+``doc_compare`` / ``relation`` path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from bisect import bisect_left, bisect_right
+from functools import cmp_to_key
+from typing import Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.labels import Relation
+from repro.core.rankindex import RankIndex
 from repro.core.scheme import Labeling
 
 LabelT = TypeVar("LabelT")
 Pair = Tuple[LabelT, LabelT]
+
+#: below this many candidate pairs the quadratic join's lower constant
+#: beats the sort-merge machinery
+NESTED_LOOP_CUTOFF = 64
+
+
+def choose_join_algorithm(ancestor_count: int, descendant_count: int) -> str:
+    """Pick a join algorithm from input cardinalities: tiny inputs run
+    the nested loop (no sort, no stack), everything else stack-tree."""
+    if ancestor_count * descendant_count <= NESTED_LOOP_CUTOFF:
+        return "nested"
+    return "stack"
+
+
+def _rank_index_of(labeling: Labeling) -> Optional[RankIndex]:
+    try:
+        return labeling.rank_index()
+    except Exception:  # labeling cannot enumerate (partial/stub) — fall back
+        return None
+
+
+def _try_ranks(index: Optional[RankIndex], labels: Sequence) -> Optional[List[int]]:
+    if index is None:
+        return None
+    try:
+        return index.try_ranks(labels)
+    except TypeError:  # unhashable label type
+        return None
+
+
+def _ordered_by_document(labeling: Labeling, labels: Sequence) -> List:
+    """Labels sorted into document order — integer ranks when the rank
+    index knows every label, ``doc_compare`` otherwise."""
+    ranks = _try_ranks(_rank_index_of(labeling), labels)
+    if ranks is not None:
+        order = sorted(range(len(labels)), key=ranks.__getitem__)
+        return [labels[i] for i in order]
+    return sorted(labels, key=cmp_to_key(labeling.doc_compare))
 
 
 def nested_loop_join(
@@ -42,8 +90,8 @@ def nested_loop_join(
     if self_or:
         wanted.add(Relation.SELF)
     pairs: List[Pair] = []
-    ordered_d = sorted(descendants, key=_order_key(labeling))
-    ordered_a = sorted(ancestors, key=_order_key(labeling))
+    ordered_d = _ordered_by_document(labeling, descendants)
+    ordered_a = _ordered_by_document(labeling, ancestors)
     for d in ordered_d:
         for a in ordered_a:
             if labeling.relation(a, d) in wanted:
@@ -51,28 +99,12 @@ def nested_loop_join(
     return pairs
 
 
-class _OrderKey:
-    """Total-order wrapper turning doc_compare into a sort key."""
-
-    __slots__ = ("label", "labeling")
-
-    def __init__(self, label, labeling: Labeling):
-        self.label = label
-        self.labeling = labeling
-
-    def __lt__(self, other: "_OrderKey") -> bool:
-        return self.labeling.doc_compare(self.label, other.label) < 0
-
-
-def _order_key(labeling: Labeling) -> Callable:
-    return lambda label: _OrderKey(label, labeling)
-
-
 def stack_tree_join(
     labeling: Labeling,
     ancestors: Sequence,
     descendants: Sequence,
     self_or: bool = False,
+    use_rank_index: bool = True,
 ) -> List[Pair]:
     """Sort-merge structural join (Stack-Tree-Desc).
 
@@ -83,9 +115,81 @@ def stack_tree_join(
     processed; popping the entries that are not ancestors of ``d``
     leaves exactly the nested chain of matches.
 
-    Complexity O(|A| + |D| + output) label comparisons.
+    Complexity O(|A| + |D| + output) label comparisons; with the rank
+    index, O(|A| + |D| + output) *integer* comparisons plus one bisect
+    per descendant to skip ahead over the A-list.
+    ``use_rank_index=False`` forces the comparator path (benchmarks).
     """
-    key = _order_key(labeling)
+    index = _rank_index_of(labeling) if use_rank_index else None
+    a_ranks = _try_ranks(index, ancestors)
+    d_ranks = _try_ranks(index, descendants) if a_ranks is not None else None
+    if a_ranks is not None and d_ranks is not None:
+        return _stack_tree_join_ranked(
+            index, ancestors, a_ranks, descendants, d_ranks, self_or
+        )
+    return _stack_tree_join_compare(labeling, ancestors, descendants, self_or)
+
+
+def _stack_tree_join_ranked(
+    index: RankIndex,
+    ancestors: Sequence,
+    a_ranks: List[int],
+    descendants: Sequence,
+    d_ranks: List[int],
+    self_or: bool,
+) -> List[Pair]:
+    """The merge over (rank, subtree-end) integers only."""
+    end = index.end
+    a_order = sorted(range(len(ancestors)), key=a_ranks.__getitem__)
+    sorted_a = [ancestors[i] for i in a_order]
+    sorted_ra = [a_ranks[i] for i in a_order]
+    sorted_ea = [end[label] for label in sorted_a]
+    d_order = sorted(range(len(descendants)), key=d_ranks.__getitem__)
+
+    # With self_or, an A equal to d is admitted (and matches as SELF).
+    admit = bisect_right if self_or else bisect_left
+
+    pairs: List[Pair] = []
+    stack: List[Tuple[int, int, object]] = []  # (rank, subtree end, label)
+    idx = 0
+    total_a = len(sorted_a)
+    for j in d_order:
+        d = descendants[j]
+        rd = d_ranks[j]
+        if not stack and idx >= total_a:
+            break  # skip-ahead: no open ancestors and none left to admit
+        # Admit every A-label at or before d in document order; the
+        # boundary is one integer bisect instead of per-label compares.
+        boundary = admit(sorted_ra, rd, idx)
+        while idx < boundary:
+            ra = sorted_ra[idx]
+            ea = sorted_ea[idx]
+            while stack:
+                r_top, e_top, _ = stack[-1]
+                if (r_top < ra <= e_top) or (self_or and r_top == ra):
+                    break
+                stack.pop()
+            stack.append((ra, ea, sorted_a[idx]))
+            idx += 1
+        # Keep only the open ancestors of d (interval containment).
+        while stack:
+            r_top, e_top, _ = stack[-1]
+            if (r_top < rd <= e_top) or (self_or and r_top == rd):
+                break
+            stack.pop()
+        for _ra, _ea, a in stack:
+            pairs.append((a, d))
+    return pairs
+
+
+def _stack_tree_join_compare(
+    labeling: Labeling,
+    ancestors: Sequence,
+    descendants: Sequence,
+    self_or: bool,
+) -> List[Pair]:
+    """Generic fallback: label comparisons through the scheme."""
+    key = cmp_to_key(labeling.doc_compare)
     ordered_a = sorted(ancestors, key=key)
     ordered_d = sorted(descendants, key=key)
 
@@ -124,9 +228,15 @@ def join_nodes(
     algorithm: str = "stack",
     self_or: bool = False,
 ) -> List[Tuple]:
-    """Node-level convenience: join two node sets, return node pairs."""
+    """Node-level convenience: join two node sets, return node pairs.
+
+    ``algorithm="auto"`` picks nested-loop vs stack-tree from the input
+    cardinalities (:func:`choose_join_algorithm`).
+    """
     a_labels = [labeling.label_of(n) for n in ancestor_nodes]
     d_labels = [labeling.label_of(n) for n in descendant_nodes]
+    if algorithm == "auto":
+        algorithm = choose_join_algorithm(len(a_labels), len(d_labels))
     if algorithm == "stack":
         pairs = stack_tree_join(labeling, a_labels, d_labels, self_or=self_or)
     elif algorithm == "nested":

@@ -1,0 +1,87 @@
+"""Query-layer cache and planning counters.
+
+The storage layer charges :class:`~repro.storage.iostats.IoStats` for
+every simulated disk touch; :class:`QueryStats` is the same ledger for
+the query fast path, so experiments can report cache effectiveness
+(plan cache, axis memo, synopsis pruning) alongside the I/O numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class QueryStats:
+    """Counters for the query fast path's caches and planner."""
+
+    #: compiled-plan LRU cache
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
+    #: per-(label, axis) memo inside the scheme evaluator
+    axis_cache_hits: int = 0
+    axis_cache_misses: int = 0
+    #: steps answered without touching data because the tag synopsis
+    #: proves the node test cannot match
+    synopsis_skips: int = 0
+    #: steps evaluated set-at-a-time over the whole frontier
+    batched_steps: int = 0
+    #: steps that fell back to the per-context path (predicates,
+    #: sibling/horizontal axes, attribute axis)
+    fallback_steps: int = 0
+    #: document-order rank indexes (re)built
+    rank_index_builds: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def plan_hit_ratio(self) -> float:
+        lookups = self.plan_hits + self.plan_misses
+        if not lookups:
+            return 1.0
+        return self.plan_hits / lookups
+
+    @property
+    def axis_hit_ratio(self) -> float:
+        lookups = self.axis_cache_hits + self.axis_cache_misses
+        if not lookups:
+            return 1.0
+        return self.axis_cache_hits / lookups
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_evictions": self.plan_evictions,
+            "axis_cache_hits": self.axis_cache_hits,
+            "axis_cache_misses": self.axis_cache_misses,
+            "synopsis_skips": self.synopsis_skips,
+            "batched_steps": self.batched_steps,
+            "fallback_steps": self.fallback_steps,
+            "rank_index_builds": self.rank_index_builds,
+        }
+
+    def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Difference between now and an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}
+
+    def reset(self) -> None:
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_evictions = 0
+        self.axis_cache_hits = 0
+        self.axis_cache_misses = 0
+        self.synopsis_skips = 0
+        self.batched_steps = 0
+        self.fallback_steps = 0
+        self.rank_index_builds = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryStats plans {self.plan_hits}/{self.plan_hits + self.plan_misses}"
+            f" axes {self.axis_cache_hits}/"
+            f"{self.axis_cache_hits + self.axis_cache_misses}"
+            f" skips={self.synopsis_skips}>"
+        )

@@ -19,16 +19,21 @@ candidate), descendant edges through the stack-tree join.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cmp_to_key
 from typing import Dict, List, Optional, Set, Tuple
 
 
 from repro.core.scheme import Labeling
 from repro.errors import NoParentError, QueryError
-from repro.query.joins import stack_tree_join
+from repro.query.joins import (
+    choose_join_algorithm,
+    nested_loop_join,
+    stack_tree_join,
+)
 from repro.xmltree.node import NodeKind, XmlNode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TwigNode:
     """One pattern node: a tag test plus branch patterns."""
 
@@ -138,9 +143,17 @@ class TwigMatcher:
 
     def match_labels(self, pattern: TwigNode) -> List:
         """Labels of the nodes matching the *root* of the pattern, in
-        document order."""
-        matched = self._match(pattern)
-        return sorted(matched, key=_OrderAdapter(self.labeling))
+        document order (integer ranks when the labeling's rank index
+        knows every label, comparator sort otherwise)."""
+        matched = list(self._match(pattern))
+        try:
+            ranks = self.labeling.rank_index().try_ranks(matched)
+        except Exception:  # labeling cannot enumerate — comparator path
+            ranks = None
+        if ranks is not None:
+            order = sorted(range(len(matched)), key=ranks.__getitem__)
+            return [matched[i] for i in order]
+        return sorted(matched, key=cmp_to_key(self.labeling.doc_compare))
 
     def match(self, pattern) -> List[XmlNode]:
         """Nodes matching the pattern root; accepts a TwigNode or the
@@ -184,29 +197,11 @@ class TwigMatcher:
 
     def _ancestors_with_descendant(self, candidates: Set, descendants: Set) -> Set:
         """Candidates that have at least one descendant in the set,
-        via the stack-tree structural join."""
-        pairs = stack_tree_join(self.labeling, list(candidates), list(descendants))
+        via a structural join picked by input cardinality."""
+        upper = list(candidates)
+        lower = list(descendants)
+        if choose_join_algorithm(len(upper), len(lower)) == "nested":
+            pairs = nested_loop_join(self.labeling, upper, lower)
+        else:
+            pairs = stack_tree_join(self.labeling, upper, lower)
         return {a for a, _d in pairs}
-
-
-class _OrderAdapter:
-    """Document-order sort key over any scheme's labels."""
-
-    __slots__ = ("labeling",)
-
-    def __init__(self, labeling: Labeling):
-        self.labeling = labeling
-
-    def __call__(self, label):
-        return _OrderKeyed(label, self.labeling)
-
-
-class _OrderKeyed:
-    __slots__ = ("label", "labeling")
-
-    def __init__(self, label, labeling: Labeling):
-        self.label = label
-        self.labeling = labeling
-
-    def __lt__(self, other: "_OrderKeyed") -> bool:
-        return self.labeling.doc_compare(self.label, other.label) < 0

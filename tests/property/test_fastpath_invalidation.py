@@ -1,0 +1,101 @@
+"""Property tests: fast-path caches never serve stale state.
+
+Random update sequences (inserts/deletes through the labeling) are
+interleaved with queries through one long-lived :class:`XPathEngine`.
+After every update the rUID strategy — rank index, plan cache, axis
+memos, batched steps and all — must agree node-for-node with the
+navigational baseline, and the labeling's generation must have
+advanced so every stamped cache was discarded.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import get_scheme
+from repro.generator import FanOutDistribution, RandomTreeConfig, generate_tree
+from repro.query import XPathEngine
+from repro.xmltree import element
+
+QUERIES = (
+    "//*",
+    "/*",
+    "//*/*",
+    "//*/..",
+    "//node()",
+    "//*/ancestor::*",
+)
+
+tree_configs = st.builds(
+    RandomTreeConfig,
+    node_count=st.integers(min_value=2, max_value=60),
+    fan_out=st.builds(
+        FanOutDistribution,
+        kind=st.just("uniform"),
+        low=st.integers(min_value=1, max_value=2),
+        high=st.integers(min_value=2, max_value=4),
+    ),
+)
+
+
+def _assert_strategies_agree(engine, extra=()):
+    for query in (*QUERIES, *extra):
+        ruid = [n.node_id for n in engine.select(query, "ruid")]
+        nav = [n.node_id for n in engine.select(query, "navigational")]
+        assert ruid == nav, query
+
+
+class TestInvalidation:
+    @given(
+        tree_configs,
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(st.tuples(st.booleans(), st.integers(0, 10**9)), max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_updates_never_serve_stale_answers(self, config, seed, plan):
+        tree = generate_tree(config, seed=seed)
+        labeling = get_scheme("ruid2", max_area_size=8).build(tree)
+        engine = XPathEngine(tree, labeling=labeling)
+        rng = random.Random(seed)
+        _assert_strategies_agree(engine)
+        inserted_tags = []
+        for step, (is_insert, pick) in enumerate(plan):
+            generation = labeling.generation
+            nodes = tree.nodes()
+            node = nodes[pick % len(nodes)]
+            if is_insert or node is tree.root or tree.size() < 3:
+                tag = f"u{step}"
+                labeling.insert(node, rng.randint(0, node.fan_out), element(tag))
+                inserted_tags.append(tag)
+            else:
+                labeling.delete(node)
+            # every structural update must advance the cache generation
+            assert labeling.generation > generation
+            _assert_strategies_agree(
+                engine, extra=[f"//{tag}" for tag in inserted_tags[-2:]]
+            )
+
+    @given(
+        tree_configs,
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_rank_memo_consistent_after_reenumerate(self, config, seed):
+        """rparent memos and rank indexes rebuilt by ``reenumerate``
+        must match the tree, not the pre-update labels."""
+        tree = generate_tree(config, seed=seed)
+        labeling = get_scheme("ruid2", max_area_size=8).build(tree)
+        # warm the parent memo and rank index, then force a relabel
+        index = labeling.rank_index()
+        for node in tree.preorder():
+            labeling.parent_label(labeling.label_of(node)) if node.parent else None
+        labeling.insert(tree.root, 0, element("fresh"))
+        rebuilt = labeling.rank_index()
+        assert rebuilt is not index
+        order = tree.document_order_index()
+        for node in tree.preorder():
+            label = labeling.label_of(node)
+            assert rebuilt.rank_of(label) == order[node.node_id]
+            if node.parent is not None:
+                assert labeling.parent_label(label) == labeling.label_of(node.parent)
