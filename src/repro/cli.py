@@ -5,6 +5,8 @@
     python -m repro stats DOC.xml
     python -m repro label DOC.xml --scheme ruid2 --max-area-size 32
     python -m repro query DOC.xml "//person[age > 18]/name" --values
+    python -m repro explain DOC.xml "//person/name" --analyze
+    python -m repro metrics DOC.xml "//person" "//name" --repeat 3
     python -m repro fragment DOC.xml "//name" --descendants
     python -m repro update-bench DOC.xml --ops 50
     python -m repro save-params DOC.xml params.bin --directory
@@ -30,6 +32,7 @@ from repro.core.document import LabeledDocument
 from repro.core.persist import dump_parameters
 from repro.errors import ReproError
 from repro.generator import UpdateWorkloadConfig, generate_update_workload
+from repro.obs import MetricsRegistry, SlowQueryLog, Tracer
 from repro.query import XPathEngine
 from repro.xmltree import compute_stats, parse_file, serialize
 
@@ -87,6 +90,47 @@ def cmd_query(args: argparse.Namespace) -> int:
         for node in nodes:
             print(node.path())
     print(f"-- {len(nodes)} node(s) [{args.strategy}]", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    engine = XPathEngine(tree)
+    plan = engine.explain(args.xpath, strategy=args.strategy, analyze=args.analyze)
+    print(plan.format())
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    slow_log = SlowQueryLog(threshold_ms=args.slow_ms)
+    engine = XPathEngine(tree, tracer=tracer, registry=registry, slow_log=slow_log)
+    for _ in range(max(1, args.repeat)):
+        for expression in args.xpath:
+            engine.select(expression, args.strategy)
+    print(
+        format_table(
+            ("metric", "value"),
+            registry.rows(),
+            title=f"{len(args.xpath)} expression(s) x {args.repeat}",
+        )
+    )
+    if slow_log.entries():
+        print()
+        print(
+            format_table(
+                ("ms", "strategy", "expression"),
+                [
+                    (f"{rec.elapsed_ms:.3f}", rec.strategy, rec.expression)
+                    for rec in slow_log.entries()
+                ],
+                title=f"slow queries (>= {args.slow_ms} ms)",
+            )
+        )
+    else:
+        print(f"\nno queries slower than {args.slow_ms} ms", file=sys.stderr)
     return 0
 
 
@@ -160,6 +204,29 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--strategy", choices=("ruid", "navigational"), default="ruid")
     query.add_argument("--values", action="store_true", help="print string-values")
     query.set_defaults(handler=cmd_query)
+
+    explain = commands.add_parser(
+        "explain", help="show the compiled plan for an XPath expression"
+    )
+    explain.add_argument("file")
+    explain.add_argument("xpath")
+    explain.add_argument("--strategy", choices=("ruid", "navigational"), default="ruid")
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="run the query and report per-step timings and cardinalities",
+    )
+    explain.set_defaults(handler=cmd_explain)
+
+    metrics = commands.add_parser(
+        "metrics", help="run expressions under full instrumentation and dump metrics"
+    )
+    metrics.add_argument("file")
+    metrics.add_argument("xpath", nargs="+")
+    metrics.add_argument("--strategy", choices=("ruid", "navigational"), default="ruid")
+    metrics.add_argument("--repeat", type=int, default=1)
+    metrics.add_argument("--slow-ms", type=float, default=10.0,
+                         help="slow-query log threshold in milliseconds")
+    metrics.set_defaults(handler=cmd_metrics)
 
     fragment = commands.add_parser(
         "fragment", help="reconstruct the fragment spanned by a query (section 3.3)"

@@ -22,7 +22,7 @@ from repro.core.order import Ruid2Order
 from repro.core.partition import Partitioner
 from repro.core.ruid import Ruid2Labeling
 from repro.core.update import RelabelReport, Ruid2Updater
-from repro.errors import UnknownLabelError
+from repro.errors import QueryError, UnknownLabelError
 from repro.xmltree.node import XmlNode
 from repro.xmltree.tree import XmlTree
 
@@ -53,8 +53,12 @@ def reconstruct_fragment(
     ------
     UnknownLabelError
         If any label names no real node.
+    QueryError
+        If *labels* is empty — there is no fragment to reconstruct.
     """
     selected = list(labels)
+    if not selected:
+        raise QueryError("cannot reconstruct a fragment from an empty selection")
     for label in selected:
         labeling.node_of(label)  # validate early
 

@@ -1,0 +1,52 @@
+"""Unified observability layer: metrics, trace spans, plans, slow log.
+
+One subsystem answers "where did this query spend its time and which
+cache saved it":
+
+* :class:`MetricsRegistry` — named counters/gauges/histograms plus
+  pull sources, so the existing ``IoStats``/``QueryStats`` dataclass
+  ledgers surface through one snapshot without API changes;
+* :class:`Tracer` / :data:`NULL_TRACER` — hierarchical ns-resolution
+  spans with a ring-buffer recorder and JSON/pretty-tree exporters;
+* :class:`QueryPlan` / :class:`TwigPlan` — EXPLAIN / EXPLAIN ANALYZE
+  output shapes (built by the query layer);
+* :class:`SlowQueryLog` — threshold-filtered worst-N query log.
+
+See docs/OBSERVABILITY.md for the metric catalogue and span names.
+"""
+
+from repro.obs.explain import (
+    PathPlan,
+    QueryPlan,
+    StepPlan,
+    TwigNodePlan,
+    TwigPlan,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PathPlan",
+    "QueryPlan",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "StepPlan",
+    "Timer",
+    "Tracer",
+    "TwigNodePlan",
+    "TwigPlan",
+]

@@ -1,0 +1,292 @@
+"""Named counters, gauges and fixed-bucket latency histograms.
+
+:class:`MetricsRegistry` is the single place every subsystem's numbers
+meet. It holds three instrument kinds plus *sources* — callables (the
+``as_dict`` of an :class:`~repro.storage.iostats.IoStats` or
+:class:`~repro.query.stats.QueryStats`) pulled at snapshot time, so the
+existing dataclass ledgers keep their APIs and can never drift from
+what the registry reports.
+
+Histograms use fixed exponential nanosecond buckets and answer
+p50/p95/p99 by linear interpolation inside the bucket, the classic
+Prometheus-style estimate: cheap to record (one bisect per observation)
+and accurate enough to rank query latencies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from time import perf_counter_ns
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Timer"]
+
+#: default latency buckets: 1us .. 10s, decade-spaced (upper bounds, ns)
+DEFAULT_BUCKETS_NS: Tuple[int, ...] = (
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can go up and down (pool occupancy, cache size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``bounds`` are inclusive upper bounds per bucket; one overflow
+    bucket catches everything beyond the last bound. Minimum, maximum
+    and sum are tracked exactly; percentiles are estimated.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[int] = DEFAULT_BUCKETS_NS):
+        self.name = name
+        self.bounds: Tuple[int, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated value at *fraction* (0..1) of the distribution."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"percentile fraction {fraction} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0
+                if index < len(self.bounds):
+                    upper = self.bounds[index]
+                else:  # overflow bucket: capped by the observed maximum
+                    upper = max(self.max or lower, lower)
+                position = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * position
+                # exact extremes beat interpolation at the tails
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+            cumulative += bucket_count
+        return float(self.max or 0)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def summary(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} p50={self.p50:.0f}>"
+
+
+class Timer:
+    """Context manager observing elapsed ``perf_counter_ns`` into a
+    histogram."""
+
+    __slots__ = ("histogram", "start_ns", "elapsed_ns")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self.start_ns = 0
+        self.elapsed_ns = 0
+
+    def __enter__(self) -> "Timer":
+        self.start_ns = perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed_ns = perf_counter_ns() - self.start_ns
+        self.histogram.observe(self.elapsed_ns)
+        return False
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store plus pull-based stat sources."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: Dict[str, Callable[[], Dict[str, Number]]] = {}
+
+    # -- instruments --------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._counters[name] = instrument = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._gauges[name] = instrument = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Iterable[int] = DEFAULT_BUCKETS_NS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._histograms[name] = instrument = Histogram(name, bounds)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        """``with registry.timer("q"): ...`` — observe into histogram *name*."""
+        return Timer(self.histogram(name))
+
+    # -- sources ------------------------------------------------------------
+    def register_source(
+        self, prefix: str, snapshot: Callable[[], Dict[str, Number]]
+    ) -> None:
+        """Register a pull source; its entries appear in snapshots as
+        ``prefix.key``. Re-registering a prefix replaces the source, so
+        a rebuilt component simply re-binds itself."""
+        self._sources[prefix] = snapshot
+
+    def unregister_source(self, prefix: str) -> None:
+        self._sources.pop(prefix, None)
+
+    # -- export -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat name → value map: counters, gauges, histogram summaries
+        (``name.count`` … ``name.p99``) and every registered source."""
+        out: Dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.summary().items():
+                out[f"{name}.{key}"] = value
+        for prefix, source in self._sources.items():
+            for key, value in source().items():
+                out[f"{prefix}.{key}"] = value
+        return out
+
+    def rows(self) -> List[Tuple[str, Number]]:
+        """Sorted (metric, value) rows for table rendering."""
+        snapshot = self.snapshot()
+        return [
+            (
+                name,
+                round(value, 1) if isinstance(value, float) else value,
+            )
+            for name, value in sorted(snapshot.items())
+        ]
+
+    def reset(self) -> None:
+        """Zero every instrument (sources are *not* reset — they belong
+        to their owners; call the owner's ``reset()``)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)} "
+            f"sources={len(self._sources)}>"
+        )

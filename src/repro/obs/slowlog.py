@@ -1,0 +1,109 @@
+"""Slow-query log: the worst N queries over a threshold, with plans.
+
+A bounded min-heap keyed by elapsed time: once full, a new slow query
+evicts the *fastest* retained entry, so the log always holds the worst
+offenders seen so far — the production-debugging view ("which queries
+hurt, and what plan did they run").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class SlowQueryRecord:
+    """One retained slow query."""
+
+    expression: str
+    strategy: str
+    elapsed_ns: int
+    sequence: int  # admission order, tie-breaker
+    plan: Optional[Any] = None  # a QueryPlan when the caller supplies one
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ns / 1e6
+
+
+class SlowQueryLog:
+    """Threshold-filtered, bounded log of the slowest queries."""
+
+    def __init__(self, threshold_ms: float = 10.0, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be >= 1")
+        if threshold_ms < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.threshold_ns = int(threshold_ms * 1e6)
+        self.capacity = capacity
+        #: queries that crossed the threshold (including evicted ones)
+        self.slow_count = 0
+        #: every query offered to the log
+        self.seen_count = 0
+        self._heap: List[Tuple[int, int, SlowQueryRecord]] = []
+        self._sequence = count()
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        expression: str,
+        strategy: str,
+        elapsed_ns: int,
+        plan: Optional[Any] = None,
+        **attrs: Any,
+    ) -> Optional[SlowQueryRecord]:
+        """Offer a query; returns the retained record or None (fast or
+        displaced by worse entries)."""
+        self.seen_count += 1
+        if elapsed_ns < self.threshold_ns:
+            return None
+        self.slow_count += 1
+        entry = SlowQueryRecord(
+            expression, strategy, elapsed_ns, next(self._sequence), plan, attrs
+        )
+        key = (elapsed_ns, entry.sequence, entry)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, key)
+            return entry
+        if elapsed_ns <= self._heap[0][0]:
+            return None  # faster than everything retained
+        heapq.heapreplace(self._heap, key)
+        return entry
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[SlowQueryRecord]:
+        """Retained records, slowest first."""
+        return [
+            item[2]
+            for item in sorted(self._heap, key=lambda t: (-t[0], t[1]))
+        ]
+
+    def worst(self) -> Optional[SlowQueryRecord]:
+        records = self.entries()
+        return records[0] if records else None
+
+    def rows(self) -> List[Tuple[str, str, float]]:
+        """(expression, strategy, elapsed ms) rows, slowest first."""
+        return [
+            (record.expression, record.strategy, round(record.elapsed_ms, 3))
+            for record in self.entries()
+        ]
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self.slow_count = 0
+        self.seen_count = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlowQueryLog {len(self._heap)}/{self.capacity} "
+            f"threshold={self.threshold_ns / 1e6:.1f}ms "
+            f"slow={self.slow_count}/{self.seen_count}>"
+        )

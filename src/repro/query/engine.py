@@ -16,12 +16,17 @@ ever serves labels from before a structural update.
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter_ns
 from typing import List, Optional
 
 from repro.core.partition import Partitioner
 from repro.core.scheme import Ruid2SchemeLabeling
 from repro.errors import QueryError
-from repro.query.ast import Expr
+from repro.obs.explain import PathPlan, QueryPlan, StepPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer
+from repro.query.ast import Expr, LocationPath, Union_
 from repro.query.evaluator import (
     BaseEvaluator,
     NavigationalEvaluator,
@@ -51,6 +56,17 @@ class XPathEngine:
         Partition strategy used if a labeling must be built.
     plan_cache_size:
         Maximum number of compiled plans retained (LRU eviction).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` (or
+        :data:`~repro.obs.trace.NULL_TRACER`). When set, every select
+        runs under a ``query`` span with per-step child spans.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
+        a private one is created otherwise. The engine's
+        :class:`QueryStats` ledger is bound into it as ``query.*``.
+    slow_log:
+        Optional :class:`~repro.obs.slowlog.SlowQueryLog`; selects
+        crossing its threshold are retained with their EXPLAIN plan.
     """
 
     def __init__(
@@ -59,15 +75,40 @@ class XPathEngine:
         labeling: Optional[Ruid2SchemeLabeling] = None,
         partitioner: Optional[Partitioner] = None,
         plan_cache_size: int = PLAN_CACHE_SIZE,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+        slow_log: Optional[SlowQueryLog] = None,
     ):
         self.tree = tree
         self.stats = QueryStats()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.stats.bind(self.metrics, "query")
+        self.tracer = tracer
+        self.slow_log = slow_log
         self._labeling = labeling
         self._partitioner = partitioner
         self._plan_cache_size = max(1, plan_cache_size)
         self._compiled: "OrderedDict[str, Expr]" = OrderedDict()
         self._evaluators: dict = {}
         self._evaluator_generation: Optional[int] = None
+        self._latency_histograms: dict = {}
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        tracer: Optional[Tracer] = None,
+        slow_log: Optional[SlowQueryLog] = None,
+    ) -> "XPathEngine":
+        """Attach (or replace) observability sinks after construction."""
+        if tracer is not None:
+            self.tracer = tracer
+        if slow_log is not None:
+            self.slow_log = slow_log
+        return self
+
+    @property
+    def _observing(self) -> bool:
+        return self.tracer is not None or self.slow_log is not None
 
     # ------------------------------------------------------------------
     def labeling(self) -> Ruid2SchemeLabeling:
@@ -130,7 +171,178 @@ class XPathEngine:
         context: Optional[XmlNode] = None,
     ) -> List[XmlNode]:
         """Node-set result of *expression* (document order)."""
-        return self.evaluator(strategy).select(self.compile(expression), context)
+        compiled = self.compile(expression)
+        evaluator = self.evaluator(strategy)
+        if not self._observing:
+            return evaluator.select(compiled, context)
+        return self._select_observed(expression, compiled, evaluator, strategy, context)
+
+    def _select_observed(
+        self,
+        expression: str,
+        compiled: Expr,
+        evaluator: BaseEvaluator,
+        strategy: str,
+        context: Optional[XmlNode],
+    ) -> List[XmlNode]:
+        """The instrumented select path: a ``query`` span around the
+        evaluation, a latency histogram observation, and a slow-log
+        offer (with the static plan attached when it qualifies)."""
+        tracer = self.tracer
+        previous = evaluator.tracer
+        if tracer is not None:
+            evaluator.tracer = tracer
+        start = perf_counter_ns()
+        try:
+            if tracer is not None:
+                with tracer.span(
+                    "query", expression=expression, strategy=strategy
+                ) as span:
+                    result = evaluator.select(compiled, context)
+                    span.set(results=len(result))
+            else:
+                result = evaluator.select(compiled, context)
+        finally:
+            evaluator.tracer = previous
+        elapsed = perf_counter_ns() - start
+        histogram = self._latency_histograms.get(strategy)
+        if histogram is None:
+            histogram = self.metrics.histogram(f"query.latency_ns.{strategy}")
+            self._latency_histograms[strategy] = histogram
+        histogram.observe(elapsed)
+        slow_log = self.slow_log
+        if slow_log is not None and elapsed >= slow_log.threshold_ns:
+            slow_log.record(
+                expression,
+                strategy,
+                elapsed,
+                plan=self.explain(expression, strategy),
+                results=len(result),
+            )
+        elif slow_log is not None:
+            slow_log.seen_count += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # EXPLAIN / EXPLAIN ANALYZE
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        expression: str,
+        strategy: str = "ruid",
+        analyze: bool = False,
+        context: Optional[XmlNode] = None,
+    ) -> QueryPlan:
+        """The compiled plan of *expression* — and, with ``analyze``,
+        the measured per-step cardinalities and timings of one run.
+
+        The static part reports, per location step, the route the
+        evaluator will dispatch to (``batched`` set-at-a-time,
+        ``per-node`` fallback, ``pruned`` by the tag synopsis, or
+        ``navigational``) plus the synopsis' candidate estimate. The
+        ANALYZE part executes the query under a private tracer and
+        folds the resulting span tree back onto the plan: per step the
+        call count, input/output node counts and wall time; the result
+        node-set itself is identical to a plain :meth:`select` and is
+        carried on ``plan.result``.
+        """
+        cached_before = expression in self._compiled
+        compiled = self.compile(expression)
+        evaluator = self.evaluator(strategy)
+        plan = self._static_plan(expression, compiled, evaluator, strategy)
+        plan.cache_hit = cached_before
+        if analyze:
+            self._analyze_into(plan, compiled, evaluator, context)
+        return plan
+
+    def _static_plan(
+        self,
+        expression: str,
+        compiled: Expr,
+        evaluator: BaseEvaluator,
+        strategy: str,
+    ) -> QueryPlan:
+        plan = QueryPlan(expression=expression, strategy=strategy, cache_hit=False)
+        if isinstance(compiled, Union_):
+            paths = list(compiled.paths)
+        elif isinstance(compiled, LocationPath):
+            paths = [compiled]
+        else:
+            plan.scalar = True
+            return plan
+        for path in paths:
+            path_plan = PathPlan(expression=str(path), absolute=path.absolute)
+            for index, step in enumerate(path.steps):
+                route, estimate = evaluator.plan_route(step)
+                path_plan.steps.append(
+                    StepPlan(
+                        index=index,
+                        axis=step.axis,
+                        test=str(step.test),
+                        predicates=len(step.predicates),
+                        route=route,
+                        estimate=estimate,
+                    )
+                )
+            plan.paths.append(path_plan)
+        return plan
+
+    def _analyze_into(
+        self,
+        plan: QueryPlan,
+        compiled: Expr,
+        evaluator: BaseEvaluator,
+        context: Optional[XmlNode],
+    ) -> None:
+        """Run the query under a private tracer and attribute the span
+        tree to the plan's steps."""
+        tracer = Tracer()
+        previous = evaluator.tracer
+        evaluator.tracer = tracer
+        start = perf_counter_ns()
+        try:
+            with tracer.span("query.analyze", expression=plan.expression):
+                if plan.scalar:
+                    result: List[XmlNode] = []
+                    plan.result_count = 0
+                    evaluator.evaluate(compiled, context)
+                else:
+                    result = evaluator.select(compiled, context)
+        finally:
+            evaluator.tracer = previous
+        plan.total_ns = perf_counter_ns() - start
+        plan.analyzed = True
+        if not plan.scalar:
+            plan.result = result
+            plan.result_count = len(result)
+        root = next(
+            (s for s in tracer.roots() if s.name == "query.analyze"), None
+        )
+        if root is None:  # ring buffer wrapped past the root: keep static plan
+            return
+        # Top-level path spans (direct children of the root) line up 1:1
+        # with the plan's paths; nested predicate paths hang off step
+        # spans and are deliberately excluded from step attribution.
+        top_paths = [
+            span
+            for span in tracer.children_of(root)
+            if span.name == "evaluator.path"
+        ]
+        for path_plan, path_span in zip(plan.paths, top_paths):
+            for step_span in tracer.children_of(path_span):
+                if step_span.name != "evaluator.step":
+                    continue
+                index = step_span.attrs.get("index")
+                if index is None or not 0 <= index < len(path_plan.steps):
+                    continue
+                step = path_plan.steps[index]
+                step.calls += 1
+                step.time_ns = (step.time_ns or 0) + step_span.duration_ns
+                step.in_count = step_span.attrs.get("in_count")
+                step.out_count = step_span.attrs.get("out_count")
+                observed = step_span.attrs.get("route")
+                if observed is not None:
+                    step.observed_route = observed
 
     def select_strings(
         self,

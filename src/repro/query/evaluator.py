@@ -88,6 +88,10 @@ class BaseEvaluator:
     def __init__(self, tree: XmlTree, stats: Optional[QueryStats] = None):
         self.tree = tree
         self.stats = stats if stats is not None else QueryStats()
+        #: optional trace recorder (``None`` keeps the step loop free of
+        #: any span machinery; a :class:`~repro.obs.trace.NullTracer`
+        #: keeps the machinery but makes every span a no-op)
+        self.tracer = None
         self._doc_order: Optional[Dict[int, int]] = None
         #: the virtual document node above the root element; absolute
         #: paths start here so that ``/site`` and ``//site`` can match
@@ -168,9 +172,54 @@ class BaseEvaluator:
 
     def _eval_path(self, path: LocationPath, context: XmlNode) -> List[XmlNode]:
         current = [self.document_node] if path.absolute else [context]
-        for step in path.steps:
-            current = self._eval_step(current, step)
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            # The zero-instrumentation hot path: no span machinery, no
+            # attribute stringification. A disabled (null) tracer lands
+            # here too, so "tracing off" costs one extra branch.
+            for step in path.steps:
+                current = self._eval_step(current, step)
+            return current
+        parent = tracer.current
+        if parent is not None and parent.name == "evaluator.step":
+            # Predicate sub-path: evaluated once per context node, so
+            # spanning it would dominate the cost being measured. It
+            # runs untraced under its step's span (docs/OBSERVABILITY.md);
+            # detaching the tracer makes the whole subtree take the
+            # zero-instrumentation branch.
+            self.tracer = None
+            try:
+                for step in path.steps:
+                    current = self._eval_step(current, step)
+                return current
+            finally:
+                self.tracer = tracer
+        # Step spans carry only what ANALYZE folds back onto the plan
+        # (index, cardinalities, route); the static plan already knows
+        # each step's test and predicate count. The path attribute
+        # stays a raw AST node — exporters stringify it lazily.
+        with tracer.span("evaluator.path", path=path):
+            for index, step in enumerate(path.steps):
+                with tracer.span(
+                    "evaluator.step",
+                    index=index,
+                    axis=step.axis,
+                    in_count=len(current),
+                ) as span:
+                    current = self._eval_step(current, step)
+                    span.set(out_count=len(current))
         return current
+
+    #: route label ANALYZE reports for this evaluator's steps
+    route_name = "navigational"
+
+    def plan_route(self, step: Step) -> Tuple[str, Optional[int]]:
+        """(route, candidate estimate) EXPLAIN predicts for *step*.
+
+        The base evaluator has one route and no synopsis, so no
+        estimate; the scheme evaluator overrides this with its actual
+        dispatch decision."""
+        return self.route_name, None
 
     def _document_axis(self, axis: str) -> List[XmlNode]:
         """Axes evaluated at the virtual document node."""
@@ -562,18 +611,59 @@ class SchemeEvaluator(BaseEvaluator):
         return None
 
     # -- step evaluation ----------------------------------------------------
+    route_name = "per-node"
+
     def _eval_step(self, nodes: List[XmlNode], step: Step) -> List[XmlNode]:
         self._ensure_caches()
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         if self._prunable(step):
             self.stats.synopsis_skips += 1
+            if tracing:
+                tracer.annotate_once(route="pruned")
             return []
         if self.batched and not step.predicates and step.axis in self._BATCHED_AXES:
             result = self._eval_step_batched(nodes, step)
             if result is not None:
                 self.stats.batched_steps += 1
+                if tracing:
+                    tracer.annotate_once(route="batched")
                 return result
         self.stats.fallback_steps += 1
+        if tracing:
+            # first write wins: predicate sub-paths re-enter this
+            # dispatcher under the same open step span
+            tracer.annotate_once(route="per-node")
         return super()._eval_step(nodes, step)
+
+    def candidate_estimate(self, test: NodeTest) -> Optional[int]:
+        """Synopsis cardinality of the nodes passing *test* on an
+        element-principal axis (None when the synopsis cannot say)."""
+        self._ensure_caches()
+        synopsis = self._synopsis
+        if test.node_type is None:
+            if test.name is None:
+                return synopsis.total_elements
+            return synopsis.count(test.name)
+        if test.node_type == "node":
+            return None  # text/comment nodes are outside the synopsis
+        return None
+
+    def plan_route(self, step: Step) -> Tuple[str, Optional[int]]:
+        """Predict the dispatch decision :meth:`_eval_step` will make.
+
+        Mirrors the runtime logic exactly: synopsis pruning first, then
+        the batched set-at-a-time path for predicate-free structural
+        axes, else the per-node fallback. (A batched ``child`` step may
+        still fall back at runtime when the frontier is tiny — ANALYZE
+        reports the observed route alongside.)"""
+        self._ensure_caches()
+        if self._prunable(step):
+            return "pruned", 0
+        estimate = self.candidate_estimate(step.test)
+        if self.batched and not step.predicates and step.axis in self._BATCHED_AXES:
+            return "batched", estimate
+        return "per-node", estimate
 
     def _prunable(self, step: Step) -> bool:
         """True when the synopsis proves the step's name test matches

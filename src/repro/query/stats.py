@@ -8,8 +8,11 @@ the query fast path, so experiments can report cache effectiveness
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -49,18 +52,14 @@ class QueryStats:
             return 1.0
         return self.axis_cache_hits / lookups
 
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter field, derived from the dataclass fields —
+        adding a field can never silently drift out of the exported
+        dict (or out of a registry this ledger is bound to)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "plan_hits": self.plan_hits,
-            "plan_misses": self.plan_misses,
-            "plan_evictions": self.plan_evictions,
-            "axis_cache_hits": self.axis_cache_hits,
-            "axis_cache_misses": self.axis_cache_misses,
-            "synopsis_skips": self.synopsis_skips,
-            "batched_steps": self.batched_steps,
-            "fallback_steps": self.fallback_steps,
-            "rank_index_builds": self.rank_index_builds,
-        }
+        return self.as_dict()
 
     def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
         """Difference between now and an earlier :meth:`snapshot`."""
@@ -68,15 +67,15 @@ class QueryStats:
         return {key: now[key] - earlier.get(key, 0) for key in now}
 
     def reset(self) -> None:
-        self.plan_hits = 0
-        self.plan_misses = 0
-        self.plan_evictions = 0
-        self.axis_cache_hits = 0
-        self.axis_cache_misses = 0
-        self.synopsis_skips = 0
-        self.batched_steps = 0
-        self.fallback_steps = 0
-        self.rank_index_builds = 0
+        """Zero every counter field (field-driven, like :meth:`as_dict`)."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    def bind(self, registry: "MetricsRegistry", prefix: str = "query") -> None:
+        """Expose this ledger through *registry* as ``prefix.*`` pull
+        metrics; the registry always reads live values, so the two can
+        never disagree."""
+        registry.register_source(prefix, self.as_dict)
 
     def __repr__(self) -> str:
         return (

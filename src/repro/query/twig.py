@@ -20,11 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cmp_to_key
+from time import perf_counter_ns
 from typing import Dict, List, Optional, Set, Tuple
 
 
 from repro.core.scheme import Labeling
 from repro.errors import NoParentError, QueryError
+from repro.obs.explain import TwigNodePlan, TwigPlan
+from repro.obs.trace import NULL_TRACER
 from repro.query.joins import (
     choose_join_algorithm,
     nested_loop_join,
@@ -117,10 +120,16 @@ class _TwigParser:
 
 
 class TwigMatcher:
-    """Match twig patterns against a labeled document."""
+    """Match twig patterns against a labeled document.
 
-    def __init__(self, labeling: Labeling):
+    ``tracer`` (default: the shared no-op) receives one ``twig.node``
+    span per pattern node and a ``twig.join`` span per structural join,
+    annotated with the chosen algorithm.
+    """
+
+    def __init__(self, labeling: Labeling, tracer=NULL_TRACER):
         self.labeling = labeling
+        self.tracer = tracer
         self._by_tag: Optional[Dict[str, List]] = None
         self._elements: Optional[List] = None
 
@@ -168,20 +177,115 @@ class TwigMatcher:
         return len(self._match(pattern))
 
     # ------------------------------------------------------------------
-    def _match(self, pattern: TwigNode) -> Set:
-        """Bottom-up semi-join evaluation: the set of labels whose
-        subtree embeds the pattern."""
-        survivors = set(self._candidates(pattern))
+    # EXPLAIN / EXPLAIN ANALYZE
+    # ------------------------------------------------------------------
+    def explain(self, pattern, analyze: bool = False,
+                scheme: Optional[str] = None) -> TwigPlan:
+        """The match plan for *pattern*: per pattern node its candidate
+        cardinality and the join algorithm each edge will use
+        (``rparent`` arithmetic for child edges, ``nested`` vs
+        ``stack`` for descendant edges by the cardinality cutoff).
+        With ``analyze``, one run is executed and surviving-match
+        counts plus per-node timings are recorded; branches skipped by
+        an empty intermediate result are marked."""
+        if isinstance(pattern, str):
+            text, parsed = pattern, parse_twig(pattern)
+        else:
+            text, parsed = str(pattern), pattern
+        plan = TwigPlan(
+            pattern=text, scheme=scheme or type(self.labeling).__name__
+        )
+        if not analyze:
+            self._static_plan(parsed, plan.nodes, 0)
+            return plan
+        start = perf_counter_ns()
+        survivors = self._match(parsed, plan.nodes)
+        plan.total_ns = perf_counter_ns() - start
+        plan.analyzed = True
+        plan.match_count = len(survivors)
+        return plan
+
+    def _static_plan(self, pattern: TwigNode, out: List[TwigNodePlan],
+                     depth: int) -> None:
+        """Preorder candidate/algorithm estimates without running."""
+        node_plan = TwigNodePlan(
+            tag=pattern.tag or "*",
+            axis="-" if depth == 0 else pattern.axis,
+            depth=depth,
+            candidates=len(self._candidates(pattern)),
+        )
+        out.append(node_plan)
         for branch in pattern.branches:
-            if not survivors:
-                return survivors
-            branch_matches = self._match(branch)
+            index = len(out)
+            self._static_plan(branch, out, depth + 1)
             if branch.axis == "child":
-                survivors &= self._parents_of(branch_matches)
+                out[index].algorithm = "rparent"
             else:
-                survivors &= self._ancestors_with_descendant(
-                    survivors, branch_matches
+                out[index].algorithm = choose_join_algorithm(
+                    node_plan.candidates, out[index].candidates
                 )
+
+    def _plan_skipped(self, pattern: TwigNode, out: List[TwigNodePlan],
+                      depth: int) -> None:
+        before = len(out)
+        self._static_plan(pattern, out, depth)
+        for node_plan in out[before:]:
+            node_plan.skipped = True
+
+    # ------------------------------------------------------------------
+    def _match(
+        self,
+        pattern: TwigNode,
+        _plan: Optional[List[TwigNodePlan]] = None,
+        _depth: int = 0,
+    ) -> Set:
+        """Bottom-up semi-join evaluation: the set of labels whose
+        subtree embeds the pattern. With ``_plan``, each evaluated
+        pattern node appends a :class:`TwigNodePlan` (preorder)."""
+        record = _plan is not None
+        start = perf_counter_ns() if record else 0
+        with self.tracer.span(
+            "twig.node", tag=pattern.tag or "*", axis=pattern.axis
+        ) as span:
+            survivors = set(self._candidates(pattern))
+            node_plan: Optional[TwigNodePlan] = None
+            if record:
+                node_plan = TwigNodePlan(
+                    tag=pattern.tag or "*",
+                    axis="-" if _depth == 0 else pattern.axis,
+                    depth=_depth,
+                    candidates=len(survivors),
+                )
+                _plan.append(node_plan)
+            for position, branch in enumerate(pattern.branches):
+                if not survivors:
+                    if record:
+                        for remaining in pattern.branches[position:]:
+                            self._plan_skipped(remaining, _plan, _depth + 1)
+                        node_plan.survivors = 0
+                        node_plan.time_ns = perf_counter_ns() - start
+                    span.set(survivors=0)
+                    return survivors
+                branch_index = len(_plan) if record else 0
+                branch_matches = self._match(branch, _plan, _depth + 1)
+                branch_plan = _plan[branch_index] if record else None
+                if branch.axis == "child":
+                    if branch_plan is not None:
+                        branch_plan.algorithm = "rparent"
+                    survivors &= self._parents_of(branch_matches)
+                else:
+                    algorithm = choose_join_algorithm(
+                        len(survivors), len(branch_matches)
+                    )
+                    if branch_plan is not None:
+                        branch_plan.algorithm = algorithm
+                    survivors &= self._ancestors_with_descendant(
+                        survivors, branch_matches, algorithm
+                    )
+            if record:
+                node_plan.survivors = len(survivors)
+                node_plan.time_ns = perf_counter_ns() - start
+            span.set(survivors=len(survivors))
         return survivors
 
     def _parents_of(self, labels: Set) -> Set:
@@ -195,13 +299,24 @@ class TwigMatcher:
                 continue
         return parents
 
-    def _ancestors_with_descendant(self, candidates: Set, descendants: Set) -> Set:
+    def _ancestors_with_descendant(
+        self, candidates: Set, descendants: Set,
+        algorithm: Optional[str] = None,
+    ) -> Set:
         """Candidates that have at least one descendant in the set,
         via a structural join picked by input cardinality."""
         upper = list(candidates)
         lower = list(descendants)
-        if choose_join_algorithm(len(upper), len(lower)) == "nested":
-            pairs = nested_loop_join(self.labeling, upper, lower)
-        else:
-            pairs = stack_tree_join(self.labeling, upper, lower)
-        return {a for a, _d in pairs}
+        if algorithm is None:
+            algorithm = choose_join_algorithm(len(upper), len(lower))
+        with self.tracer.span(
+            "twig.join", algorithm=algorithm,
+            ancestors=len(upper), descendants=len(lower),
+        ) as span:
+            if algorithm == "nested":
+                pairs = nested_loop_join(self.labeling, upper, lower)
+            else:
+                pairs = stack_tree_join(self.labeling, upper, lower)
+            out = {a for a, _d in pairs}
+            span.set(pairs=len(pairs), survivors=len(out))
+        return out

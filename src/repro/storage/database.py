@@ -250,8 +250,12 @@ class XmlDatabase:
         durable: bool = False,
         wal: Optional[Wal] = None,
         faults=None,
+        tracer=None,
+        registry=None,
     ):
         self.stats = IoStats()
+        if registry is not None:
+            self.stats.bind(registry, "io")
         self.wal = wal if wal is not None else (Wal() if durable else None)
         self.pager = Pager(
             page_size=page_size,
@@ -259,6 +263,7 @@ class XmlDatabase:
             stats=self.stats,
             wal=self.wal,
             faults=faults,
+            tracer=tracer,
         )
         self.catalog = Catalog(self.pager)
         self._documents: Dict[str, StoredDocument] = {}

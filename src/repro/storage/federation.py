@@ -30,6 +30,7 @@ from repro.core.labels import Ruid2Label
 from repro.core.persist import GlobalParameters, dump_parameters, load_parameters
 from repro.core.ruid import Ruid2Labeling
 from repro.errors import SiteUnavailableError, StorageError, UnknownLabelError
+from repro.obs.trace import NULL_TRACER
 from repro.query.synopsis import TagAreaSynopsis
 from repro.storage.iostats import IoStats
 from repro.xmltree.node import XmlNode
@@ -101,6 +102,7 @@ class FederatedDocument:
         faults=None,
         backoff_base: float = 0.01,
         max_rounds: int = 3,
+        tracer=NULL_TRACER,
     ):
         if site_count < 1:
             raise StorageError("need at least one site")
@@ -113,6 +115,9 @@ class FederatedDocument:
             )
         self.sites = [Site(f"site{i}") for i in range(site_count)]
         self.replication_factor = replication_factor
+        #: degraded-mode decisions are published as zero-duration trace
+        #: events (federation.message_failed / failover / stale_fallback)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = faults
         self.backoff_base = backoff_base
         self.max_rounds = max_rounds
@@ -250,9 +255,18 @@ class FederatedDocument:
                 attempt += 1
                 if self._is_down(site):
                     self.degraded["messages_failed"] += 1
+                    self.tracer.event(
+                        "federation.message_failed", area=area, site=site.name
+                    )
                     continue
                 if position > 0:
                     self.degraded["failovers"] += 1
+                    self.tracer.event(
+                        "federation.failover",
+                        area=area,
+                        site=site.name,
+                        replica_position=position,
+                    )
                 return site
         raise SiteUnavailableError(
             f"area {area}: all {len(chain)} replica(s) down after "
@@ -294,6 +308,9 @@ class FederatedDocument:
         before = self.total_messages()
         if routed and self.synopsis_is_stale:
             self.degraded["stale_fallbacks"] += 1
+            self.tracer.event(
+                "federation.stale_fallback", tag=tag, epoch=self.epoch
+            )
             routed = False
         if routed:
             target_areas = self.synopsis.areas_for(tag)
@@ -340,6 +357,11 @@ class FederatedDocument:
         }
         snapshot.update(self.degraded)
         return snapshot
+
+    def bind(self, registry, prefix: str = "federation") -> None:
+        """Expose the coordinator ledger through a
+        :class:`~repro.obs.metrics.MetricsRegistry` as ``prefix.*``."""
+        registry.register_source(prefix, self.stats_snapshot)
 
     def __repr__(self) -> str:
         return (

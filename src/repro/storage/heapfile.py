@@ -152,6 +152,7 @@ class HeapFile:
     def _compact(self, page: Page) -> None:
         """Slide live records to the end of the page, squeezing out the
         holes left by deletions."""
+        self.tracer.event("heapfile.compact", page=page.page_id)
         slot_count, _free_offset = _PAGE_HEADER.unpack_from(page.data, 0)
         live: List[Tuple[int, bytes]] = []
         for index in range(slot_count):
@@ -205,17 +206,31 @@ class HeapFile:
         self.delete(rid)
         return self.insert(record)
 
+    @property
+    def tracer(self):
+        """The pager's tracer — the heap file never outlives its pager."""
+        return self.pager.tracer
+
     def scan(self) -> Iterator[Tuple[Rid, bytes]]:
         """All live records in file order."""
-        for page_id in self._page_ids:
-            page = self.pager.read(page_id)
-            slot_count, _ = _PAGE_HEADER.unpack_from(page.data, 0)
-            for slot in range(slot_count):
-                offset, length = _SLOT.unpack_from(
-                    page.data, _PAGE_HEADER.size + slot * _SLOT.size
-                )
-                if offset != _TOMBSTONE_OFFSET:
-                    yield Rid(page_id, slot), bytes(page.data[offset : offset + length])
+        with self.tracer.span(
+            "heapfile.scan", pages=len(self._page_ids)
+        ) as span:
+            records = 0
+            for page_id in self._page_ids:
+                page = self.pager.read(page_id)
+                slot_count, _ = _PAGE_HEADER.unpack_from(page.data, 0)
+                for slot in range(slot_count):
+                    offset, length = _SLOT.unpack_from(
+                        page.data, _PAGE_HEADER.size + slot * _SLOT.size
+                    )
+                    if offset != _TOMBSTONE_OFFSET:
+                        records += 1
+                        yield (
+                            Rid(page_id, slot),
+                            bytes(page.data[offset : offset + length]),
+                        )
+            span.set(records=records)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.scan())

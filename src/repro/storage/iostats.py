@@ -9,8 +9,11 @@ experiments report disk reads/writes alongside wall time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -66,19 +69,14 @@ class IoStats:
             return 1.0
         return self.buffer_hits / accesses
 
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter field, derived from the dataclass fields —
+        adding a field can never silently drift out of the exported
+        dict (or out of a registry this ledger is bound to)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "disk_reads": self.disk_reads,
-            "disk_writes": self.disk_writes,
-            "buffer_hits": self.buffer_hits,
-            "buffer_misses": self.buffer_misses,
-            "evictions": self.evictions,
-            "wal_appends": self.wal_appends,
-            "wal_bytes": self.wal_bytes,
-            "recoveries": self.recoveries,
-            "checksum_failures": self.checksum_failures,
-            "retries": self.retries,
-        }
+        return self.as_dict()
 
     def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
         """Difference between now and an earlier :meth:`snapshot`."""
@@ -86,16 +84,15 @@ class IoStats:
         return {key: now[key] - earlier.get(key, 0) for key in now}
 
     def reset(self) -> None:
-        self.disk_reads = 0
-        self.disk_writes = 0
-        self.buffer_hits = 0
-        self.buffer_misses = 0
-        self.evictions = 0
-        self.wal_appends = 0
-        self.wal_bytes = 0
-        self.recoveries = 0
-        self.checksum_failures = 0
-        self.retries = 0
+        """Zero every counter field (field-driven, like :meth:`as_dict`)."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    def bind(self, registry: "MetricsRegistry", prefix: str = "io") -> None:
+        """Expose this ledger through *registry* as ``prefix.*`` pull
+        metrics; the registry always reads live values, so the two can
+        never disagree."""
+        registry.register_source(prefix, self.as_dict)
 
     def __repr__(self) -> str:
         return (

@@ -25,6 +25,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.errors import ChecksumError, StorageError
+from repro.obs.trace import NULL_TRACER
 from repro.storage.iostats import IoStats
 from repro.storage.wal import RecoveryResult, Wal
 
@@ -64,6 +65,11 @@ class Pager:
     faults:
         Optional :class:`~repro.storage.faults.FaultInjector` consulted
         before every write-back.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; cold reads,
+        write-backs and recovery are recorded as spans. Defaults to
+        the shared no-op tracer (the hot buffer-hit path never touches
+        it). An attached WAL without its own tracer inherits this one.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class Pager:
         stats: Optional[IoStats] = None,
         wal: Optional[Wal] = None,
         faults=None,
+        tracer=NULL_TRACER,
     ):
         if page_size < 64:
             raise StorageError(f"page size {page_size} too small")
@@ -81,9 +88,12 @@ class Pager:
         self.page_size = page_size
         self.pool_pages = pool_pages
         self.stats = stats if stats is not None else IoStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.wal = wal
         if wal is not None and wal.stats is None:
             wal.stats = self.stats
+        if wal is not None and wal.tracer is NULL_TRACER:
+            wal.tracer = self.tracer
         self.faults = faults
         self._disk: Dict[int, bytes] = {}
         self._checksums: Dict[int, int] = {}
@@ -111,21 +121,22 @@ class Pager:
             self._pool.move_to_end(page_id)
             self.stats.record_hit()
             return page
-        try:
-            raw = self._disk[page_id]
-        except KeyError:
-            raise StorageError(f"page {page_id} was never allocated") from None
-        expected = self._checksums.get(page_id)
-        if expected is not None and zlib.crc32(raw) != expected:
-            self.stats.record_checksum_failure()
-            raise ChecksumError(
-                f"page {page_id} failed CRC32 verification "
-                f"(stored {expected:#010x}, computed {zlib.crc32(raw):#010x})",
-                page_id=page_id,
-            )
-        self.stats.record_miss()
-        page = Page(page_id, bytearray(raw))
-        self._admit(page)
+        with self.tracer.span("pager.read_miss", page=page_id):
+            try:
+                raw = self._disk[page_id]
+            except KeyError:
+                raise StorageError(f"page {page_id} was never allocated") from None
+            expected = self._checksums.get(page_id)
+            if expected is not None and zlib.crc32(raw) != expected:
+                self.stats.record_checksum_failure()
+                raise ChecksumError(
+                    f"page {page_id} failed CRC32 verification "
+                    f"(stored {expected:#010x}, computed {zlib.crc32(raw):#010x})",
+                    page_id=page_id,
+                )
+            self.stats.record_miss()
+            page = Page(page_id, bytearray(raw))
+            self._admit(page)
         return page
 
     def mark_dirty(self, page: Page) -> None:
@@ -148,14 +159,15 @@ class Pager:
         self._pool[page.page_id] = page
 
     def _write_back(self, page: Page) -> None:
-        if self.faults is not None:
-            self.faults.before_page_write(page.page_id)
-        if self.wal is not None:
-            self.wal.append_page(page.page_id, bytes(page.data))
-        self._disk[page.page_id] = bytes(page.data)
-        self._checksums[page.page_id] = zlib.crc32(page.data)
-        page.dirty = False
-        self.stats.record_write()
+        with self.tracer.span("pager.write_back", page=page.page_id):
+            if self.faults is not None:
+                self.faults.before_page_write(page.page_id)
+            if self.wal is not None:
+                self.wal.append_page(page.page_id, bytes(page.data))
+            self._disk[page.page_id] = bytes(page.data)
+            self._checksums[page.page_id] = zlib.crc32(page.data)
+            page.dirty = False
+            self.stats.record_write()
 
     # ------------------------------------------------------------------
     # Crash-safety lifecycle
@@ -191,14 +203,16 @@ class Pager:
         state), discarding whatever the crashed disk held."""
         if self.wal is None:
             raise StorageError("recovery requires a WAL")
-        result = self.wal.replay()
-        self._pool.clear()
-        self._disk = dict(result.pages)
-        self._checksums = {
-            page_id: zlib.crc32(raw) for page_id, raw in self._disk.items()
-        }
-        self._next_page_id = max(self._disk, default=-1) + 1
-        self.stats.record_recovery()
+        with self.tracer.span("pager.recover") as span:
+            result = self.wal.replay()
+            self._pool.clear()
+            self._disk = dict(result.pages)
+            self._checksums = {
+                page_id: zlib.crc32(raw) for page_id, raw in self._disk.items()
+            }
+            self._next_page_id = max(self._disk, default=-1) + 1
+            self.stats.record_recovery()
+            span.set(pages=len(self._disk))
         # Post-recovery checkpoint: quarantined/uncommitted records must
         # not linger beneath future appends (replay halts at a torn tail,
         # so commits logged after it would be unreachable). The recovered

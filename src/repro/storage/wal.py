@@ -72,8 +72,11 @@ class Wal:
     the record's bytes per :meth:`append_page` / :meth:`append_commit`.
     """
 
-    def __init__(self, stats=None):
+    def __init__(self, stats=None, tracer=None):
+        from repro.obs.trace import NULL_TRACER
+
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._buf = bytearray()
         self._offsets: List[int] = []  # start offset of every record
         self._next_lsn = 1
@@ -92,16 +95,17 @@ class Wal:
         return self._append(REC_COMMIT, bytes(metadata))
 
     def _append(self, kind: int, payload: bytes) -> int:
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        header = _RECORD_HEADER.pack(
-            _MAGIC, kind, lsn, len(payload), zlib.crc32(payload)
-        )
-        self._offsets.append(len(self._buf))
-        self._buf += header
-        self._buf += payload
-        if self.stats is not None:
-            self.stats.record_wal_append(len(header) + len(payload))
+        with self.tracer.span("wal.append", kind=kind, bytes=len(payload)):
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            header = _RECORD_HEADER.pack(
+                _MAGIC, kind, lsn, len(payload), zlib.crc32(payload)
+            )
+            self._offsets.append(len(self._buf))
+            self._buf += header
+            self._buf += payload
+            if self.stats is not None:
+                self.stats.record_wal_append(len(header) + len(payload))
         return lsn
 
     # ------------------------------------------------------------------
@@ -197,29 +201,40 @@ class Wal:
         it onward is quarantined, and pending (uncommitted) images are
         discarded.
         """
-        result = RecoveryResult(pages=dict(self._base_pages), metadata=self._base_metadata)
-        pending: Dict[int, Tuple[int, bytes]] = {}
-        offset = 0
-        while offset < len(self._buf):
-            record = self._read_record(offset)
-            if isinstance(record, str):  # halt reason
-                result.halt = record
-                break
-            kind, _lsn, payload, next_offset = record
-            result.records_scanned += 1
-            if kind == REC_PAGE:
-                page_id = _PAGE_ID.unpack_from(payload, 0)[0]
-                pending[page_id] = (result.records_scanned, payload[_PAGE_ID.size :])
-            else:
-                for page_id, (_seq, image) in pending.items():
-                    result.pages[page_id] = image
-                result.pages_replayed += len(pending)
-                pending.clear()
-                result.metadata = payload
-                result.commits_applied += 1
-            offset = next_offset
-        result.discarded_uncommitted = len(pending)
-        result.quarantined_bytes = len(self._buf) - offset
+        with self.tracer.span("wal.replay", log_bytes=len(self._buf)) as span:
+            result = RecoveryResult(
+                pages=dict(self._base_pages), metadata=self._base_metadata
+            )
+            pending: Dict[int, Tuple[int, bytes]] = {}
+            offset = 0
+            while offset < len(self._buf):
+                record = self._read_record(offset)
+                if isinstance(record, str):  # halt reason
+                    result.halt = record
+                    break
+                kind, _lsn, payload, next_offset = record
+                result.records_scanned += 1
+                if kind == REC_PAGE:
+                    page_id = _PAGE_ID.unpack_from(payload, 0)[0]
+                    pending[page_id] = (
+                        result.records_scanned,
+                        payload[_PAGE_ID.size :],
+                    )
+                else:
+                    for page_id, (_seq, image) in pending.items():
+                        result.pages[page_id] = image
+                    result.pages_replayed += len(pending)
+                    pending.clear()
+                    result.metadata = payload
+                    result.commits_applied += 1
+                offset = next_offset
+            result.discarded_uncommitted = len(pending)
+            result.quarantined_bytes = len(self._buf) - offset
+            span.set(
+                records=result.records_scanned,
+                commits=result.commits_applied,
+                halt=result.halt or "-",
+            )
         return result
 
     def _read_record(self, offset: int):

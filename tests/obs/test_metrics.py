@@ -1,0 +1,170 @@
+"""Tests for the metrics instruments and registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS_NS
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_can_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(3)
+        assert gauge.value == -3
+
+
+class TestHistogram:
+    def test_counts_land_in_decade_buckets(self):
+        histogram = Histogram("h")
+        histogram.observe(500)        # <= 1_000
+        histogram.observe(5_000)      # <= 10_000
+        histogram.observe(10_000)     # inclusive upper bound
+        assert histogram.counts[0] == 1
+        assert histogram.counts[1] == 2
+        assert histogram.count == 3
+        assert histogram.total == 15_500
+
+    def test_overflow_bucket(self):
+        histogram = Histogram("h")
+        histogram.observe(DEFAULT_BUCKETS_NS[-1] + 1)
+        assert histogram.counts[-1] == 1
+
+    def test_exact_min_max_mean(self):
+        histogram = Histogram("h")
+        for value in (100, 900, 2_000):
+            histogram.observe(value)
+        assert histogram.min == 100
+        assert histogram.max == 2_000
+        assert histogram.mean == pytest.approx(1_000)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        histogram = Histogram("h")
+        for value in (100, 200, 300):
+            histogram.observe(value)
+        for fraction in (0.0, 0.5, 0.95, 0.99, 1.0):
+            estimate = histogram.percentile(fraction)
+            assert 100 <= estimate <= 300
+
+    def test_percentiles_ordered(self):
+        histogram = Histogram("h")
+        for value in (500, 5_000, 50_000, 500_000, 5_000_000):
+            histogram.observe(value)
+        assert histogram.p50 <= histogram.p95 <= histogram.p99 <= histogram.max
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").p50 == 0.0
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+    def test_summary_keys(self):
+        histogram = Histogram("h")
+        histogram.observe(42)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99"
+        }
+        assert summary["count"] == 1
+        assert summary["p99"] == 42
+
+    def test_reset(self):
+        histogram = Histogram("h")
+        histogram.observe(7)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.min is None
+        assert histogram.summary()["max"] == 0
+
+    def test_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+
+class TestTimer:
+    def test_observes_elapsed_ns(self):
+        registry = MetricsRegistry()
+        with registry.timer("op") as timer:
+            pass
+        assert timer.elapsed_ns > 0
+        assert registry.histogram("op").count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_flattens_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("pool").set(7)
+        registry.histogram("lat").observe(1_000)
+        registry.register_source("io", lambda: {"reads": 9})
+        snapshot = registry.snapshot()
+        assert snapshot["hits"] == 3
+        assert snapshot["pool"] == 7
+        assert snapshot["lat.count"] == 1
+        assert snapshot["io.reads"] == 9
+
+    def test_source_is_pulled_live(self):
+        registry = MetricsRegistry()
+        ledger = {"x": 1}
+        registry.register_source("s", lambda: dict(ledger))
+        assert registry.snapshot()["s.x"] == 1
+        ledger["x"] = 5
+        assert registry.snapshot()["s.x"] == 5
+
+    def test_reregister_replaces_unregister_removes(self):
+        registry = MetricsRegistry()
+        registry.register_source("s", lambda: {"x": 1})
+        registry.register_source("s", lambda: {"x": 2})
+        assert registry.snapshot()["s.x"] == 2
+        registry.unregister_source("s")
+        assert "s.x" not in registry.snapshot()
+
+    def test_rows_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        names = [name for name, _ in registry.rows()]
+        assert names == sorted(names)
+
+    def test_reset_zeroes_instruments_but_not_sources(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.histogram("h").observe(1)
+        registry.register_source("s", lambda: {"x": 11})
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == 0
+        assert snapshot["h.count"] == 0
+        assert snapshot["s.x"] == 11

@@ -1,0 +1,80 @@
+"""Tests for the slow-query log."""
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+MS = 1_000_000  # ns per millisecond
+
+
+class TestThreshold:
+    def test_fast_queries_are_dropped_but_counted(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.record("//a", "ruid", 1 * MS) is None
+        assert log.seen_count == 1
+        assert log.slow_count == 0
+        assert len(log) == 0
+
+    def test_slow_queries_are_retained(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        record = log.record("//a", "ruid", 25 * MS, results=3)
+        assert record is not None
+        assert record.elapsed_ms == pytest.approx(25.0)
+        assert record.attrs == {"results": 3}
+        assert log.slow_count == 1
+
+    def test_zero_threshold_retains_everything(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        assert log.record("//a", "ruid", 1) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+
+
+class TestBoundedWorstN:
+    def test_keeps_the_worst_when_full(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for elapsed in (5, 1, 9, 3, 7):
+            log.record(f"q{elapsed}", "ruid", elapsed * MS)
+        retained = [record.expression for record in log.entries()]
+        assert retained == ["q9", "q7", "q5"]
+        assert log.slow_count == 5  # evicted entries still counted
+
+    def test_faster_than_everything_retained_is_dropped(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        log.record("a", "ruid", 10 * MS)
+        log.record("b", "ruid", 20 * MS)
+        assert log.record("c", "ruid", 1 * MS) is None
+        assert [r.expression for r in log.entries()] == ["b", "a"]
+
+    def test_entries_sorted_slowest_first_with_stable_ties(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=4)
+        log.record("first", "ruid", 5 * MS)
+        log.record("second", "ruid", 5 * MS)
+        expressions = [record.expression for record in log.entries()]
+        assert expressions == ["first", "second"]
+
+    def test_worst(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        assert log.worst() is None
+        log.record("a", "ruid", 2 * MS)
+        log.record("b", "ruid", 8 * MS)
+        assert log.worst().expression == "b"
+
+    def test_rows_and_clear(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("a", "ruid", int(1.5 * MS))
+        assert log.rows() == [("a", "ruid", 1.5)]
+        log.clear()
+        assert log.rows() == []
+        assert log.seen_count == 0
+        assert log.slow_count == 0
+
+    def test_plan_is_carried(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        plan = object()
+        record = log.record("a", "ruid", 1 * MS, plan=plan)
+        assert record.plan is plan

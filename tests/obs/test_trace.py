@@ -1,0 +1,160 @@
+"""Tests for hierarchical trace spans and the ring-buffer recorder."""
+
+import json
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpans:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="test") as span:
+            pass
+        assert span.end_ns is not None
+        assert span.duration_ns >= 0
+        assert span.attrs == {"kind": "test"}
+        assert tracer.finished() == [span]
+
+    def test_nesting_sets_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == outer.depth + 1
+        assert tracer.current is None
+
+    def test_children_are_inside_parent_interval(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_set_updates_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set(b=2)
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_event_is_zero_duration_and_recorded(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            event = tracer.event("ping", reason="x")
+        assert event.parent_id == outer.span_id
+        assert event.end_ns is not None
+        assert event in tracer.finished()
+
+    def test_annotate_targets_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                tracer.annotate(route="batched")
+        assert inner.attrs["route"] == "batched"
+
+    def test_annotate_once_first_write_wins(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            tracer.annotate_once(route="per-node")
+            tracer.annotate_once(route="batched")
+        assert span.attrs["route"] == "per-node"
+
+    def test_annotate_without_open_span_is_noop(self):
+        tracer = Tracer()
+        tracer.annotate(x=1)
+        tracer.annotate_once(x=1)
+        assert tracer.finished() == []
+
+
+class TestRingBuffer:
+    def test_capacity_caps_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            tracer.event("e", index=index)
+        finished = tracer.finished()
+        assert len(finished) == 3
+        assert tracer.dropped == 2
+        # newest spans win
+        assert [span.attrs["index"] for span in finished] == [2, 3, 4]
+
+    def test_clear(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(4):
+            tracer.event("e")
+        tracer.clear()
+        assert tracer.finished() == []
+        assert tracer.dropped == 0
+
+
+class TestExporters:
+    def test_roots_and_children(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+            with tracer.span("child"):
+                pass
+        assert tracer.roots() == [root]
+        assert len(tracer.children_of(root)) == 2
+
+    def test_to_json_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("s", n=1):
+            pass
+        decoded = json.loads(tracer.to_json())
+        assert decoded[0]["name"] == "s"
+        assert decoded[0]["attrs"] == {"n": 1}
+
+    def test_to_json_stringifies_foreign_attrs(self):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        tracer = Tracer()
+        with tracer.span("s", thing=Odd()):
+            pass
+        decoded = json.loads(tracer.to_json())
+        assert decoded[0]["attrs"]["thing"] == "odd!"
+
+    def test_format_tree_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf", axis="child"):
+                pass
+        rendering = tracer.format_tree()
+        lines = rendering.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+        assert "axis=child" in lines[1]
+
+
+class TestNullTracer:
+    def test_shared_singleton_is_disabled(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+
+    def test_all_operations_are_noops(self):
+        tracer = NullTracer()
+        with tracer.span("anything", x=1) as span:
+            span.set(y=2)
+        tracer.annotate(z=3)
+        tracer.annotate_once(z=3)
+        tracer.event("e")
+        assert tracer.finished() == []
+        assert tracer.roots() == []
+        assert tracer.to_json() == "[]"
+        assert tracer.format_tree() == ""
+        assert tracer.current is None
+        assert tracer.dropped == 0
+
+    def test_span_is_shared_instance(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_capacity_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)

@@ -1,0 +1,186 @@
+"""Property-based tests: the observability layer never lies.
+
+Four invariants over randomized query workloads:
+
+* **Registry bookkeeping** — ``plan_hits + plan_misses`` equals the
+  number of compilations requested (every ``select`` and ``explain``
+  compiles exactly once), and the registry snapshot always equals the
+  live ledger, because the ledger is a pull source, not a copy.
+* **Well-nested spans** — every recorded span's interval lies inside
+  its parent's, one depth level down.
+* **ANALYZE honesty** — the per-step output cardinalities reported by
+  EXPLAIN ANALYZE equal the true result cardinality of the query.
+* **Observation is inert** — running under the no-op tracer (or a live
+  one) returns exactly the node-set the bare engine returns.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Ruid2Scheme
+from repro.obs import NULL_TRACER, MetricsRegistry, SlowQueryLog, Tracer
+from repro.query import XPathEngine
+from repro.xmltree import parse
+
+DOCUMENT = (
+    "<site><people>"
+    "<person><name>A</name><age>30</age></person>"
+    "<person><name>B</name><profile><interest/><interest/></profile></person>"
+    "<person><age>7</age></person>"
+    "</people>"
+    "<items><item><name>L</name></item><item><name>M</name></item></items>"
+    "</site>"
+)
+
+QUERY_POOL = (
+    "/site/people/person",
+    "//person",
+    "//person/name",
+    "//person[name]",
+    "//person[age]/age",
+    "//item/name",
+    "//ghost",
+    "//person/name | //item/name",
+    "//profile/interest",
+)
+
+# one workload action: (query index, use explain-analyze instead of select)
+actions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(QUERY_POOL) - 1),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _build_engine(tree=None, **kwargs):
+    tree = tree if tree is not None else parse(DOCUMENT)
+    labeling = Ruid2Scheme(max_area_size=8).build(tree)
+    return XPathEngine(tree, labeling=labeling, **kwargs)
+
+
+class TestRegistryConsistency:
+    @given(actions)
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_compilations(self, workload):
+        engine = _build_engine()
+        compilations = 0
+        for index, analyze in workload:
+            query = QUERY_POOL[index]
+            if analyze:
+                engine.explain(query, analyze=True)
+            else:
+                engine.select(query)
+            compilations += 1
+        snapshot = engine.metrics.snapshot()
+        assert snapshot["query.plan_hits"] + snapshot["query.plan_misses"] == (
+            compilations
+        )
+        # the pool never overflows the plan cache in these workloads
+        assert snapshot["query.plan_misses"] <= len(QUERY_POOL)
+
+    @given(actions)
+    @settings(max_examples=25, deadline=None)
+    def test_snapshot_equals_ledger_always(self, workload):
+        engine = _build_engine()
+        for index, _analyze in workload:
+            engine.select(QUERY_POOL[index])
+            snapshot = engine.metrics.snapshot()
+            for key, value in engine.stats.as_dict().items():
+                assert snapshot[f"query.{key}"] == value
+
+    @given(actions)
+    @settings(max_examples=25, deadline=None)
+    def test_ledger_reset_reflected_immediately(self, workload):
+        engine = _build_engine()
+        for index, _analyze in workload:
+            engine.select(QUERY_POOL[index])
+        engine.stats.reset()
+        snapshot = engine.metrics.snapshot()
+        for key in engine.stats.as_dict():
+            assert snapshot[f"query.{key}"] == 0
+
+    @given(actions)
+    @settings(max_examples=25, deadline=None)
+    def test_slow_log_sees_every_query(self, workload):
+        slow_log = SlowQueryLog(threshold_ms=0.0)
+        engine = _build_engine(slow_log=slow_log)
+        selects = 0
+        for index, _analyze in workload:
+            engine.select(QUERY_POOL[index])
+            selects += 1
+        assert slow_log.seen_count == selects
+        assert slow_log.slow_count == selects  # zero threshold
+        latency = engine.metrics.histogram("query.latency_ns.ruid")
+        assert latency.count == selects
+
+
+class TestSpanTrees:
+    @given(actions)
+    @settings(max_examples=25, deadline=None)
+    def test_spans_well_nested(self, workload):
+        tracer = Tracer()
+        engine = _build_engine(tracer=tracer)
+        for index, _analyze in workload:
+            engine.select(QUERY_POOL[index])
+        spans = tracer.finished()
+        by_id = {span.span_id: span for span in spans}
+        assert tracer.current is None  # every span was closed
+        for span in spans:
+            assert span.end_ns is not None
+            assert span.start_ns <= span.end_ns
+            if span.parent_id is None:
+                assert span.depth == 0
+                continue
+            parent = by_id[span.parent_id]
+            assert span.depth == parent.depth + 1
+            assert parent.start_ns <= span.start_ns
+            assert span.end_ns <= parent.end_ns
+
+
+class TestAnalyzeHonesty:
+    @given(actions)
+    @settings(max_examples=30, deadline=None)
+    def test_step_counts_equal_true_cardinalities(self, workload):
+        engine = _build_engine()
+        for index, _analyze in workload:
+            query = QUERY_POOL[index]
+            plan = engine.explain(query, analyze=True)
+            expected = engine.select(query)
+            assert plan.result_count == len(expected)
+            assert [n.node_id for n in plan.result] == [
+                n.node_id for n in expected
+            ]
+            # final out_counts across paths sum to >= the deduplicated
+            # result; for a single path they are exactly equal
+            if len(plan.paths) == 1:
+                assert plan.paths[0].steps[-1].out_count == len(expected)
+            # step chaining: each step's input is the previous output
+            for path_plan in plan.paths:
+                for previous, step in zip(path_plan.steps, path_plan.steps[1:]):
+                    assert step.in_count == previous.out_count
+
+
+class TestObservationInert:
+    @given(actions)
+    @settings(max_examples=25, deadline=None)
+    def test_disabled_and_live_tracers_change_nothing(self, workload):
+        tree = parse(DOCUMENT)
+        bare = _build_engine(tree)
+        noop = _build_engine(tree, tracer=NULL_TRACER)
+        full = _build_engine(
+            tree,
+            tracer=Tracer(),
+            registry=MetricsRegistry(),
+            slow_log=SlowQueryLog(threshold_ms=0.0),
+        )
+        for index, analyze in workload:
+            query = QUERY_POOL[index]
+            expected = [n.node_id for n in bare.select(query)]
+            assert [n.node_id for n in noop.select(query)] == expected
+            assert [n.node_id for n in full.select(query)] == expected
+            if analyze:
+                plan = full.explain(query, analyze=True)
+                assert [n.node_id for n in plan.result] == expected

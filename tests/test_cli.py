@@ -64,6 +64,62 @@ class TestQuery:
         assert "error" in capsys.readouterr().err
 
 
+class TestExplain:
+    def test_static_plan(self, doc_path, capsys):
+        assert main(["explain", doc_path, "//person/name"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN '//person/name'")
+        assert "route" in out
+        assert "batched" in out
+
+    def test_analyze_reports_measurements(self, doc_path, capsys):
+        assert main(["explain", doc_path, "//person/name", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "results:" in out
+        assert "observed" in out
+
+    def test_navigational_strategy(self, doc_path, capsys):
+        assert main(
+            ["explain", doc_path, "//person", "--strategy", "navigational"]
+        ) == 0
+        assert "navigational" in capsys.readouterr().out
+
+    def test_bad_xpath(self, doc_path, capsys):
+        assert main(["explain", doc_path, "//["]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMetrics:
+    def test_registry_table(self, doc_path, capsys):
+        assert main(
+            ["metrics", doc_path, "//person", "//item/name", "--repeat", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "query.plan_misses" in out
+        assert "query.latency_ns.ruid.count" in out
+
+    def test_slow_query_table_with_zero_threshold(self, doc_path, capsys):
+        assert main(
+            ["metrics", doc_path, "//person", "--slow-ms", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slow queries" in out
+        assert "//person" in out
+
+    def test_quiet_when_nothing_slow(self, doc_path, capsys):
+        assert main(
+            ["metrics", doc_path, "//person", "--slow-ms", "10000"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "no queries slower" in captured.err
+        assert "slow queries" not in captured.out
+
+    def test_bad_xpath(self, doc_path, capsys):
+        assert main(["metrics", doc_path, "//["]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestFragment:
     def test_fragment_is_xml(self, doc_path, capsys):
         assert main(["fragment", doc_path, "//person[1]/name"]) == 0
@@ -77,6 +133,30 @@ class TestFragment:
         ) == 0
         out = capsys.readouterr().out
         assert "<name>" in out  # now the text child is included
+
+    def test_empty_selection_is_a_clean_error(self, doc_path, capsys):
+        assert main(["fragment", doc_path, "//ghost_tag"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "empty selection" in err
+
+    def test_bad_xpath(self, doc_path, capsys):
+        assert main(["fragment", doc_path, "//["]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    def test_unknown_scheme_rejected_by_parser(self, doc_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["label", doc_path, "--scheme", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected_by_parser(self, doc_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", doc_path, "//person", "--strategy", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
 
 
 class TestUpdateBench:
