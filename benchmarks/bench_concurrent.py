@@ -1,0 +1,257 @@
+"""E16 — concurrent access layer (docs/CONCURRENCY.md).
+
+Three tables:
+
+* **E16_concurrent** — batch-query throughput vs thread count over one
+  pinned snapshot. Pure-CPU evaluation is GIL-bound, so this table is
+  the *honest* row: on a stock interpreter it shows threading costs a
+  little rather than helps. Zero result divergence from the
+  single-threaded run is asserted either way.
+* **E16_fanout** — the same thread sweep where it genuinely pays:
+  fanning tag lookups across federation sites whose (simulated)
+  message latency dominates. Sleeps release the GIL, so the per-site
+  waits overlap and throughput scales with threads until the site
+  count caps it.
+* **E16_readers_writer** — N snapshot readers against the single
+  writer replaying an update workload: reader/writer wait time,
+  snapshot pins, builds and reclaims from the ``concurrent.*`` metrics
+  source.
+
+Runs under pytest and as a standalone CI smoke::
+
+    python benchmarks/bench_concurrent.py --quick
+
+``--quick`` asserts the E16_fanout gate: batch throughput at 4 threads
+>= 2x the single-threaded run, with node-for-node identical results.
+"""
+
+import argparse
+import threading
+import time
+
+import pytest
+
+from conftest import emit, emits_table
+from repro.analysis import format_table
+from repro.concurrent import ConcurrentDocument, ParallelQueryExecutor
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.generator import (
+    UpdateWorkloadConfig,
+    XMARK_QUERIES,
+    generate_update_workload,
+    generate_xmark,
+)
+from repro.storage import FederatedDocument
+
+THREAD_SWEEP = (1, 2, 4, 8)
+FANOUT_TAGS = ("item", "person", "name", "price", "keyword", "bidder",
+               "quantity", "description", "listitem", "incategory", "seller", "city")
+
+
+def _print_only(experiment, headers, rows, title):
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+@pytest.fixture(scope="module")
+def xmark_doc(xmark_bench_tree):
+    return ConcurrentDocument(xmark_bench_tree, scheme="ruid2")
+
+
+def _ids(results):
+    return [[n.node_id for n in result] for result in results]
+
+
+# ----------------------------------------------------------------------
+# E16_concurrent: local batch sweep (GIL-bound, honest numbers)
+# ----------------------------------------------------------------------
+def run_local_sweep(doc, queries, sink=emit, repeats=3):
+    executor = ParallelQueryExecutor(doc)
+    with doc.pin() as snap:
+        baseline = _ids(executor.select_batch(queries, threads=1, snapshot=snap))
+        rows = []
+        base_qps = None
+        for threads in THREAD_SWEEP:
+            executor.select_batch(queries, threads=threads, snapshot=snap)  # warm
+            start = time.perf_counter()
+            for _ in range(repeats):
+                results = executor.select_batch(queries, threads=threads, snapshot=snap)
+            elapsed = (time.perf_counter() - start) / repeats
+            assert _ids(results) == baseline, "parallel run diverged"
+            qps = len(queries) / elapsed
+            if base_qps is None:
+                base_qps = qps
+            rows.append(
+                (threads, len(queries), round(elapsed * 1e3, 2),
+                 round(qps, 1), round(qps / base_qps, 2), "yes")
+            )
+    sink(
+        "E16_concurrent",
+        ("threads", "queries", "batch_ms", "queries_per_s", "scaling", "identical"),
+        rows,
+        f"E16: snapshot batch queries vs threads, pure CPU / GIL-bound "
+        f"({repeats}-run mean)",
+    )
+    return rows
+
+
+@emits_table
+def test_e16_local_sweep(xmark_doc):
+    rows = run_local_sweep(xmark_doc, XMARK_QUERIES)
+    # no divergence at any thread count (asserted inside) and the
+    # sweep covers the whole ladder
+    assert [row[0] for row in rows] == list(THREAD_SWEEP)
+
+
+# ----------------------------------------------------------------------
+# E16_fanout: federated tag search, latency-dominated
+# ----------------------------------------------------------------------
+def run_fanout_sweep(tree, sink=emit, site_latency=0.004, repeats=3):
+    labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(24))
+    federated = FederatedDocument(
+        labeling, site_count=4, site_latency=site_latency
+    )
+    doc = ConcurrentDocument(tree, scheme="ruid2")
+    executor = ParallelQueryExecutor(doc)
+    baseline = executor.federated_find_tags(federated, FANOUT_TAGS, threads=1)
+    rows = []
+    base_qps = None
+    for threads in THREAD_SWEEP:
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fanned = executor.federated_find_tags(
+                federated, FANOUT_TAGS, threads=threads
+            )
+        elapsed = (time.perf_counter() - start) / repeats
+        assert fanned == baseline, "fan-out diverged from serial lookups"
+        qps = len(FANOUT_TAGS) / elapsed
+        if base_qps is None:
+            base_qps = qps
+        rows.append(
+            (threads, len(FANOUT_TAGS), round(site_latency * 1e3, 1),
+             round(elapsed * 1e3, 1), round(qps, 1),
+             round(qps / base_qps, 2), "yes")
+        )
+    sink(
+        "E16_fanout",
+        ("threads", "tags", "site_ms", "batch_ms", "lookups_per_s",
+         "scaling", "identical"),
+        rows,
+        f"E16: federated tag search fan-out, {site_latency * 1e3:.0f}ms "
+        f"simulated site latency ({repeats}-run mean)",
+    )
+    return rows
+
+
+@emits_table
+def test_e16_fanout_sweep(xmark_bench_tree):
+    rows = run_fanout_sweep(xmark_bench_tree)
+    scaling = {row[0]: row[5] for row in rows}
+    # the tentpole claim: latency-bound fan-out scales >= 2x from 1 to
+    # 4 threads (sleep overlap; identical results asserted inside)
+    assert scaling[4] >= 2.0, f"1->4 threads scaled only {scaling[4]}x"
+
+
+# ----------------------------------------------------------------------
+# E16_readers_writer: contention profile
+# ----------------------------------------------------------------------
+def run_readers_writer(tree_factory, sink=emit, reader_counts=(1, 2, 4, 8),
+                       operations=20):
+    rows = []
+    for readers in reader_counts:
+        tree = tree_factory()
+        doc = ConcurrentDocument(tree, scheme="ruid2")
+        ops = generate_update_workload(
+            tree, UpdateWorkloadConfig(operations=operations), seed=7
+        )
+        stop = threading.Event()
+        reads = [0] * readers
+
+        def read_loop(slot):
+            while not stop.is_set():
+                with doc.pin() as snap:
+                    snap.select_ids("//item")
+                reads[slot] += 1
+
+        threads = [
+            threading.Thread(target=read_loop, args=(i,)) for i in range(readers)
+        ]
+        for t in threads:
+            t.start()
+        from repro.generator import apply_workload
+
+        start = time.perf_counter()
+        for _report in apply_workload(
+            tree, ops, doc.insert, doc.delete
+        ):
+            pass
+        writer_s = time.perf_counter() - start
+        stop.set()
+        for t in threads:
+            t.join(30.0)
+        stats = doc.stats_snapshot()
+        rows.append(
+            (
+                readers,
+                operations,
+                round(writer_s * 1e3, 1),
+                round(stats["writer_wait_ns"] / 1e6, 2),
+                round(stats["reader_wait_ns"] / 1e6, 2),
+                int(stats["snapshot_pins"]),
+                int(stats["snapshot_builds"]),
+                int(stats["snapshots_reclaimed"]),
+                sum(reads),
+            )
+        )
+    sink(
+        "E16_readers_writer",
+        ("readers", "ops", "writer_ms", "writer_wait_ms", "reader_wait_ms",
+         "pins", "builds", "reclaimed", "reads"),
+        rows,
+        f"E16: {operations}-op update workload against snapshot readers",
+    )
+    return rows
+
+
+@emits_table
+def test_e16_readers_writer():
+    rows = run_readers_writer(lambda: generate_xmark(scale=0.15, seed=2002))
+    for readers, ops, *_rest, pins, builds, reclaimed, reads in [
+        (r[0], r[1], *r[2:]) for r in rows
+    ]:
+        assert reads > 0 and pins >= reads
+        # every superseded generation was reclaimed; only the live one remains
+        assert reclaimed == builds - 1 or builds == 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small documents only (CI smoke; does not overwrite results)",
+    )
+    args = parser.parse_args()
+    sink = _print_only if args.quick else emit
+    tree = generate_xmark(scale=0.1 if args.quick else 0.3, seed=2002)
+    doc = ConcurrentDocument(tree, scheme="ruid2")
+
+    run_local_sweep(doc, XMARK_QUERIES, sink=sink)
+    fanout_rows = run_fanout_sweep(tree, sink=sink)
+    run_readers_writer(
+        lambda: generate_xmark(scale=0.08 if args.quick else 0.15, seed=2002),
+        sink=sink,
+        operations=10 if args.quick else 20,
+    )
+    if args.quick:
+        scaling = {row[0]: row[5] for row in fanout_rows}
+        # CI gate: latency-bound batch fan-out >= 2x from 1 to 4 threads,
+        # zero divergence (identical results asserted in the sweeps)
+        assert scaling[4] >= 2.0, (
+            f"fan-out scaled only {scaling[4]}x from 1 to 4 threads"
+        )
+    print("\nok")
+
+
+if __name__ == "__main__":
+    main()

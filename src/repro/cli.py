@@ -7,6 +7,7 @@
     python -m repro query DOC.xml "//person[age > 18]/name" --values
     python -m repro explain DOC.xml "//person/name" --analyze
     python -m repro metrics DOC.xml "//person" "//name" --repeat 3
+    python -m repro concurrent DOC.xml "//person" "//name" --threads 4
     python -m repro fragment DOC.xml "//name" --descendants
     python -m repro update-bench DOC.xml --ops 50
     python -m repro save-params DOC.xml params.bin --directory
@@ -134,6 +135,47 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_concurrent(args: argparse.Namespace) -> int:
+    from repro.concurrent import ConcurrentDocument, ParallelQueryExecutor
+
+    tree = _load(args.file)
+    document = ConcurrentDocument(tree, scheme=args.scheme)
+    executor = ParallelQueryExecutor(document, threads=args.threads)
+    with document.pin() as snapshot:
+        serial = executor.select_batch(args.xpath, threads=1, snapshot=snapshot)
+        for _ in range(max(1, args.repeat)):
+            parallel = executor.select_batch(args.xpath, snapshot=snapshot)
+        divergent = sum(
+            [n.node_id for n in par] != [n.node_id for n in seq]
+            for par, seq in zip(parallel, serial)
+        )
+        rows = [
+            (expression, len(result)) for expression, result in zip(args.xpath, parallel)
+        ]
+    print(
+        format_table(
+            ("expression", "results"),
+            rows,
+            title=f"snapshot batch, generation {snapshot.generation} "
+            f"x{args.threads} threads",
+        )
+    )
+    stats = document.stats_snapshot()
+    print()
+    print(
+        format_table(
+            ("metric", "value"),
+            [(key, stats[key]) for key in sorted(stats)],
+            title="concurrent.*",
+        )
+    )
+    if divergent:
+        print(f"error: {divergent} result(s) diverged from serial run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_fragment(args: argparse.Namespace) -> int:
     tree = _load(args.file)
     document = LabeledDocument(tree, partitioner=SizeCapPartitioner(args.max_area_size))
@@ -227,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--slow-ms", type=float, default=10.0,
                          help="slow-query log threshold in milliseconds")
     metrics.set_defaults(handler=cmd_metrics)
+
+    concurrent = commands.add_parser(
+        "concurrent",
+        help="evaluate a query batch in parallel over one pinned snapshot",
+    )
+    concurrent.add_argument("file")
+    concurrent.add_argument("xpath", nargs="+")
+    concurrent.add_argument("--scheme", choices=scheme_names(), default="ruid2")
+    concurrent.add_argument("--threads", type=int, default=4)
+    concurrent.add_argument("--repeat", type=int, default=1)
+    concurrent.set_defaults(handler=cmd_concurrent)
 
     fragment = commands.add_parser(
         "fragment", help="reconstruct the fragment spanned by a query (section 3.3)"

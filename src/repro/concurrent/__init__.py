@@ -1,0 +1,20 @@
+"""Concurrent access layer: snapshot reads, a single writer, and
+parallel query fan-out (docs/CONCURRENCY.md)."""
+
+from repro.concurrent.database import ConcurrentXmlDatabase
+from repro.concurrent.document import ConcurrentDocument, PinnedSnapshot
+from repro.concurrent.epoch import EpochReclaimer
+from repro.concurrent.parallel import ParallelQueryExecutor
+from repro.concurrent.rwlock import ReadWriteLock
+from repro.concurrent.snapshot import SnapshotEvaluator, StructuralView
+
+__all__ = [
+    "ConcurrentDocument",
+    "ConcurrentXmlDatabase",
+    "EpochReclaimer",
+    "ParallelQueryExecutor",
+    "PinnedSnapshot",
+    "ReadWriteLock",
+    "SnapshotEvaluator",
+    "StructuralView",
+]

@@ -1,0 +1,99 @@
+"""Reader–writer concurrency wrapper for :class:`XmlDatabase`.
+
+The storage engine itself is single-threaded (pager, WAL and catalog
+share unguarded state); :class:`ConcurrentXmlDatabase` serialises
+mutation behind the write side of a :class:`ReadWriteLock` while
+letting any number of readers fetch rows, scan tags or run queries
+together. Readers can therefore never observe a torn checkpoint or a
+half-applied ``store_document``.
+
+This is deliberately a wrapper, not a rewrite: every method delegates
+to the wrapped database under the appropriate lock side, and the raw
+``read_locked()`` / ``write_locked()`` contexts are exposed for
+multi-call transactions (e.g. fetch-then-fetch-parent under one
+consistent read view).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.concurrent.rwlock import ReadWriteLock
+from repro.core.scheme import Labeling
+from repro.storage.database import StoredDocument, XmlDatabase
+from repro.xmltree.tree import XmlTree
+
+
+class ConcurrentXmlDatabase:
+    """Many concurrent readers, one writer, over an ``XmlDatabase``."""
+
+    def __init__(self, database: XmlDatabase):
+        self.database = database
+        self.lock = ReadWriteLock()
+
+    # ------------------------------------------------------------------
+    # Locking contexts (for multi-call units of work)
+    # ------------------------------------------------------------------
+    def read_locked(self):
+        return self.lock.read_locked()
+
+    def write_locked(self):
+        return self.lock.write_locked()
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def store_document(self, name: str, tree: XmlTree, labeling: Labeling, **kwargs):
+        with self.lock.write_locked():
+            return self.database.store_document(name, tree, labeling, **kwargs)
+
+    def drop_document(self, name: str) -> None:
+        with self.lock.write_locked():
+            self.database.drop_document(name)
+
+    def commit(self) -> None:
+        with self.lock.write_locked():
+            self.database.commit()
+
+    def checkpoint(self) -> None:
+        with self.lock.write_locked():
+            self.database.checkpoint()
+
+    def crash(self, tear_bytes: Optional[int] = None) -> int:
+        with self.lock.write_locked():
+            return self.database.crash(tear_bytes)
+
+    def recover(self, *args, **kwargs):
+        with self.lock.write_locked():
+            return self.database.recover(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def document(self, name: str) -> StoredDocument:
+        with self.lock.read_locked():
+            return self.database.document(name)
+
+    def document_names(self) -> List[str]:
+        with self.lock.read_locked():
+            return self.database.document_names()
+
+    def fetch(self, name: str, label: Any) -> Tuple[Any, ...]:
+        """One row of document *name* by label."""
+        with self.lock.read_locked():
+            return self.database.document(name).fetch(label)
+
+    def nodes_with_tag(self, name: str, tag: str) -> List[Tuple[Any, ...]]:
+        with self.lock.read_locked():
+            return self.database.document(name).nodes_with_tag(tag)
+
+    def io_snapshot(self) -> Dict[str, int]:
+        with self.lock.read_locked():
+            return self.database.io_snapshot()
+
+    @property
+    def durable(self) -> bool:
+        return self.database.durable
+
+    def __repr__(self) -> str:
+        return f"<ConcurrentXmlDatabase {self.database!r}>"

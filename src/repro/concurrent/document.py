@@ -1,0 +1,299 @@
+"""Concurrent document: snapshot reads beside a single writer.
+
+:class:`ConcurrentDocument` wraps any registered labeling behind the
+subsystem's locking discipline:
+
+* readers take the read side of a write-preferring RW lock just long
+  enough to *pin* the current generation's :class:`StructuralView`
+  (building it on first use), then evaluate entirely against the
+  frozen view — the lock is **not** held during query evaluation;
+* the single writer takes the write side for the whole structural
+  update, so a generation can never change underneath a pin
+  acquisition, and retires superseded views to the
+  :class:`~repro.concurrent.epoch.EpochReclaimer`, which frees each
+  one when its last pin drops.
+
+Lock ordering (docs/CONCURRENCY.md): RW lock → snapshot-cache lock →
+reclaimer lock → stats/ledger locks. Never acquire leftward while
+holding rightward.
+
+Metrics (``concurrent.*`` via the shared registry): ``snapshot_pins``,
+``snapshot_builds``, ``snapshots_reclaimed``, ``writer_wait_ns``,
+``reader_wait_ns``, ``parallel_chunks``, ``live_snapshots``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.baselines.registry import get_scheme
+from repro.concurrent.epoch import EpochReclaimer
+from repro.concurrent.rwlock import ReadWriteLock
+from repro.concurrent.snapshot import SnapshotEvaluator, StructuralView
+from repro.core.scheme import Labeling
+from repro.core.update import RelabelReport
+from repro.errors import NumberingError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.query.parser import parse_xpath
+from repro.query.stats import QueryStats
+from repro.xmltree.node import XmlNode
+from repro.xmltree.tree import XmlTree
+
+#: compiled plans retained by a concurrent document
+PLAN_CACHE_SIZE = 128
+
+
+class PinnedSnapshot:
+    """A reader's lease on one generation's view.
+
+    Context manager; release is idempotent. The evaluator is shared —
+    :class:`SnapshotEvaluator` keeps no mutable state, so one instance
+    serves every thread of a batch.
+    """
+
+    def __init__(self, document: "ConcurrentDocument", view: StructuralView):
+        self.document = document
+        self.view = view
+        self.generation = view.generation
+        self._evaluator: Optional[SnapshotEvaluator] = None
+        self._released = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def evaluator(self) -> SnapshotEvaluator:
+        with self._lock:
+            if self._evaluator is None:
+                self._evaluator = SnapshotEvaluator(
+                    self.view, stats=self.document.stats
+                )
+            return self._evaluator
+
+    def select(self, xpath: str, context: Optional[XmlNode] = None) -> List[XmlNode]:
+        """Node-set of *xpath* against the pinned generation."""
+        compiled = self.document.compile(xpath)
+        return self.evaluator().select(compiled, context)
+
+    def select_ids(self, xpath: str) -> List[int]:
+        """``node_id`` list of :meth:`select` — the stable way to
+        compare results across generations and evaluators."""
+        return [node.node_id for node in self.select(xpath)]
+
+    def release(self) -> None:
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        self.document._unpin(self.generation)
+
+    def __enter__(self) -> "PinnedSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "pinned"
+        return f"<PinnedSnapshot gen={self.generation} {state}>"
+
+
+class ConcurrentDocument:
+    """Snapshot-isolated reads and serialised writes over one labeling."""
+
+    def __init__(
+        self,
+        tree: Optional[XmlTree] = None,
+        labeling: Optional[Labeling] = None,
+        scheme: str = "ruid2",
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+        plan_cache_size: int = PLAN_CACHE_SIZE,
+        **scheme_options,
+    ):
+        if labeling is None:
+            if tree is None:
+                raise ValueError("need a tree or a prebuilt labeling")
+            labeling = get_scheme(scheme, **scheme_options).build(tree)
+        self.labeling = labeling
+        self.tree = labeling.tree
+        self.lock = ReadWriteLock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.stats = QueryStats()
+        #: generation → built view; guarded by _views_lock
+        self._views: Dict[int, StructuralView] = {}
+        self._views_lock = threading.Lock()
+        self._reclaimer = EpochReclaimer(self._drop_view)
+        self._snapshot_builds = 0
+        self._snapshots_reclaimed = 0
+        self._parallel_chunks = 0
+        self._compiled: "OrderedDict[str, object]" = OrderedDict()
+        self._compile_lock = threading.Lock()
+        self._plan_cache_size = max(1, plan_cache_size)
+        self.metrics.register_source("concurrent", self.stats_snapshot)
+        self.stats.bind(self.metrics, "concurrent.query")
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def pin(self) -> PinnedSnapshot:
+        """Pin the current generation; evaluation happens lock-free
+        against the returned snapshot."""
+        self.lock.acquire_read()
+        try:
+            generation = self.labeling.generation
+            view = self._view_for(generation)
+            self._reclaimer.pin(generation)
+        finally:
+            self.lock.release_read()
+        return PinnedSnapshot(self, view)
+
+    def _view_for(self, generation: int) -> StructuralView:
+        with self._views_lock:
+            view = self._views.get(generation)
+            if view is not None:
+                return view
+        with self.tracer.span("concurrent.snapshot_build", generation=generation):
+            built = StructuralView.from_labeling(self.labeling)
+        with self._views_lock:
+            # another reader may have built it while we did; keep one
+            view = self._views.setdefault(built.generation, built)
+            if view is built:
+                self._snapshot_builds += 1
+            return view
+
+    def _unpin(self, generation: int) -> None:
+        self._reclaimer.unpin(generation)
+
+    def select(self, xpath: str, context: Optional[XmlNode] = None) -> List[XmlNode]:
+        """One-shot snapshot query (pin, evaluate, unpin)."""
+        with self.pin() as snap:
+            return snap.select(xpath, context)
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def insert(self, parent: XmlNode, position: int, node: XmlNode) -> RelabelReport:
+        with self.write_locked():
+            return self.labeling.insert(parent, position, node)
+
+    def delete(self, node: XmlNode) -> RelabelReport:
+        with self.write_locked():
+            return self.labeling.delete(node)
+
+    def reenumerate(self, keep_globals: bool = True) -> bool:
+        """Force a fresh enumeration (2-level rUID only)."""
+        core = getattr(self.labeling, "core", None)
+        reenumerate = getattr(core, "reenumerate", None)
+        if reenumerate is None:
+            raise NumberingError(
+                f"{self.labeling.scheme_name} does not support reenumeration"
+            )
+        with self.write_locked():
+            return reenumerate(keep_globals=keep_globals)
+
+    def write_locked(self):
+        """Writer-side context: exclusive access, then retire the
+        views the mutation superseded."""
+        return _WriterContext(self)
+
+    def _retire_stale(self) -> None:
+        current = self.labeling.generation
+        with self._views_lock:
+            stale = [g for g in self._views if g != current]
+        for generation in stale:
+            self._reclaimer.retire(generation)
+
+    def _drop_view(self, generation: int) -> None:
+        with self._views_lock:
+            if self._views.pop(generation, None) is not None:
+                self._snapshots_reclaimed += 1
+
+    # ------------------------------------------------------------------
+    # Shared plan cache
+    # ------------------------------------------------------------------
+    def compile(self, expression: str):
+        """Parse through a lock-guarded LRU shared by all readers."""
+        cache = self._compiled
+        with self._compile_lock:
+            compiled = cache.get(expression)
+            if compiled is not None:
+                self.stats.count("plan_hits")
+                cache.move_to_end(expression)
+                return compiled
+        self.stats.count("plan_misses")
+        compiled = parse_xpath(expression)
+        with self._compile_lock:
+            existing = cache.get(expression)
+            if existing is not None:
+                return existing
+            cache[expression] = compiled
+            if len(cache) > self._plan_cache_size:
+                cache.popitem(last=False)
+                self.stats.count("plan_evictions")
+        return compiled
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _note_chunks(self, count: int) -> None:
+        with self._views_lock:
+            self._parallel_chunks += count
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """The ``concurrent.*`` pull source."""
+        with self._views_lock:
+            live = len(self._views)
+            builds = self._snapshot_builds
+            reclaimed = self._snapshots_reclaimed
+            chunks = self._parallel_chunks
+        return {
+            "snapshot_pins": self._reclaimer.total_pins,
+            "snapshot_builds": builds,
+            "snapshots_reclaimed": reclaimed,
+            "parallel_chunks": chunks,
+            "live_snapshots": live,
+            "pinned_generations": len(self._reclaimer.pinned_generations()),
+            "writer_wait_ns": self.lock.writer_wait_ns,
+            "reader_wait_ns": self.lock.reader_wait_ns,
+            "write_acquisitions": self.lock.write_acquisitions,
+            "read_acquisitions": self.lock.read_acquisitions,
+        }
+
+    @property
+    def generation(self) -> int:
+        return self.labeling.generation
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConcurrentDocument {self.labeling.scheme_name} "
+            f"gen={self.labeling.generation} views={len(self._views)}>"
+        )
+
+
+class _WriterContext:
+    """Write lock + span + post-mutation retirement."""
+
+    def __init__(self, document: ConcurrentDocument):
+        self.document = document
+        self._span = None
+
+    def __enter__(self) -> "_WriterContext":
+        self.document.lock.acquire_write()
+        self._span = self.document.tracer.span("concurrent.write")
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        document = self.document
+        try:
+            self._span.__exit__(exc_type, exc, tb)
+            # Successful or not, the labeling's generation is the truth:
+            # a failed mutation that bumped it still invalidates views.
+            document._retire_stale()
+        finally:
+            document.lock.release_write()
+        return False

@@ -1,0 +1,104 @@
+"""Epoch-based reclamation of superseded snapshots.
+
+Every pinned snapshot belongs to one labeling *generation* (the same
+counter that invalidates the rank index). A generation's snapshot may
+be dropped only once two things are true: a newer generation exists
+(the writer *retired* it) and no reader still holds a pin. This module
+tracks both conditions with plain refcounts — the single-writer design
+needs nothing fancier than that, but the discipline is the same as
+classic epoch reclamation: readers advertise the epoch they are in,
+and memory is freed only behind the slowest reader.
+
+The reclaim callback runs *outside* the reclaimer's own lock, so it
+may take the snapshot-cache lock (see the lock ordering in
+docs/CONCURRENCY.md) without risk of inversion.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Set
+
+
+class EpochReclaimer:
+    """Refcounted generation pins with deferred reclamation.
+
+    Parameters
+    ----------
+    reclaim:
+        Called with a generation number once that generation is both
+        retired and unpinned; frees whatever the owner cached for it.
+    """
+
+    def __init__(self, reclaim: Optional[Callable[[int], None]] = None):
+        self._lock = threading.Lock()
+        self._pins: Dict[int, int] = {}
+        self._retired: Set[int] = set()
+        self._reclaim = reclaim
+        #: generations actually freed through the callback
+        self.reclaimed = 0
+        #: total pins ever taken
+        self.total_pins = 0
+
+    # ------------------------------------------------------------------
+    def pin(self, generation: int) -> None:
+        """A reader enters *generation*."""
+        with self._lock:
+            self._pins[generation] = self._pins.get(generation, 0) + 1
+            self.total_pins += 1
+
+    def unpin(self, generation: int) -> None:
+        """A reader leaves *generation*; frees it if it was the last
+        pin of a retired generation."""
+        free = False
+        with self._lock:
+            count = self._pins.get(generation)
+            if not count:
+                raise RuntimeError(f"unpin of generation {generation} without a pin")
+            if count == 1:
+                del self._pins[generation]
+                if generation in self._retired:
+                    self._retired.discard(generation)
+                    free = True
+            else:
+                self._pins[generation] = count - 1
+        if free:
+            self._fire(generation)
+
+    def retire(self, generation: int) -> bool:
+        """The writer superseded *generation*. Frees it immediately when
+        unpinned; otherwise defers to the last :meth:`unpin`. Returns
+        True when the generation was freed synchronously."""
+        with self._lock:
+            if self._pins.get(generation):
+                self._retired.add(generation)
+                return False
+        self._fire(generation)
+        return True
+
+    def _fire(self, generation: int) -> None:
+        if self._reclaim is not None:
+            self._reclaim(generation)
+        with self._lock:
+            self.reclaimed += 1
+
+    # ------------------------------------------------------------------
+    def pin_count(self, generation: int) -> int:
+        with self._lock:
+            return self._pins.get(generation, 0)
+
+    def pinned_generations(self) -> List[int]:
+        with self._lock:
+            return sorted(self._pins)
+
+    def pending(self) -> List[int]:
+        """Retired generations still kept alive by pins."""
+        with self._lock:
+            return sorted(self._retired)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<EpochReclaimer pinned={sorted(self._pins)} "
+                f"pending={sorted(self._retired)} reclaimed={self.reclaimed}>"
+            )

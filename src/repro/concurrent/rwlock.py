@@ -1,0 +1,114 @@
+"""Write-preferring reader–writer lock with wait accounting.
+
+The concurrent access layer has exactly one writer (structural updates
+serialise anyway — every scheme relabels in place) and many readers.
+A plain mutex would serialise queries; this lock lets any number of
+readers proceed together while giving a waiting writer priority, so a
+steady stream of readers cannot starve updates.
+
+Waiting time is accounted per role (``writer_wait_ns`` /
+``reader_wait_ns``): the concurrent document exports these through the
+metrics registry, making reader/writer interference measurable rather
+than guessable.
+
+Lock ordering (docs/CONCURRENCY.md): this lock is the outermost lock
+of the subsystem — never acquire it while holding a snapshot-cache,
+reclaimer or stats lock. It is not reentrant in either role.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter_ns
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Many readers or one writer; waiting writers block new readers."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        #: cumulative nanoseconds spent blocked, per role (read these
+        #: under no particular lock — they are monitoring counters)
+        self.writer_wait_ns = 0
+        self.reader_wait_ns = 0
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        start = perf_counter_ns()
+        with self._cond:
+            # A waiting writer bars new readers (write preference):
+            # without this, 8 readers re-acquiring in a loop would keep
+            # ``_readers`` above zero forever and starve the writer.
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self.read_acquisitions += 1
+            self.reader_wait_ns += perf_counter_ns() - start
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        start = perf_counter_ns()
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            self.write_acquisitions += 1
+            self.writer_wait_ns += perf_counter_ns() - start
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Monitoring counters (cumulative, never reset)."""
+        return {
+            "reader_wait_ns": self.reader_wait_ns,
+            "writer_wait_ns": self.writer_wait_ns,
+            "read_acquisitions": self.read_acquisitions,
+            "write_acquisitions": self.write_acquisitions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReadWriteLock readers={self._readers} "
+            f"writer={self._writer_active} waiting={self._writers_waiting}>"
+        )

@@ -1,0 +1,376 @@
+"""Generation-stamped structural snapshots.
+
+A :class:`StructuralView` freezes everything a query needs from one
+labeling generation — document-order ranks, the parent/children maps,
+per-tag candidate lists and the XPath string-values — into plain dicts
+keyed by ``node_id``. Readers evaluate against the view while the
+writer mutates the live tree: the view never follows a live
+``parent``/``children`` pointer, so no interleaving of reader and
+writer can produce a torn result. ``XmlNode`` objects themselves are
+retained only for their immutable identity fields (``tag``, ``kind``,
+``node_id``); structural updates move nodes but never rewrite those.
+
+The build runs the numbering scheme's own machinery — the rank index
+comes from :meth:`Labeling.rank_index` and every parent edge from
+:meth:`Labeling.parent_label` arithmetic — so a view works for *any*
+registered scheme, and a scheme whose arithmetic is wrong produces a
+visibly wrong view. The differential test harness leans on exactly
+that property.
+
+:class:`SnapshotEvaluator` plugs a view under the shared
+:class:`~repro.query.evaluator.BaseEvaluator` semantics. It keeps no
+mutable per-query state, so one instance may serve many threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import NoParentError, QueryError
+from repro.query.evaluator import BaseEvaluator
+from repro.query.stats import QueryStats
+from repro.xmltree.node import NodeKind, XmlNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.scheme import Labeling
+
+
+class StructuralView:
+    """One labeling generation, frozen for lock-free reading."""
+
+    __slots__ = (
+        "generation",
+        "scheme_name",
+        "root",
+        "node_by_id",
+        "rank",
+        "end",
+        "parent",
+        "children",
+        "position",
+        "attr_children",
+        "attrs",
+        "ids_by_rank",
+        "tag_ids",
+        "element_ids",
+        "text_ids",
+        "comment_ids",
+        "structural_ids",
+        "string_values",
+    )
+
+    def __init__(self, generation: int, scheme_name: str):
+        self.generation = generation
+        self.scheme_name = scheme_name
+        self.root: Optional[XmlNode] = None
+        #: node_id → the (immutable parts of the) node itself
+        self.node_by_id: Dict[int, XmlNode] = {}
+        #: node_id → preorder rank / subtree-end rank
+        self.rank: Dict[int, int] = {}
+        self.end: Dict[int, int] = {}
+        #: node_id → parent node_id (None at the root), from scheme
+        #: arithmetic — not from live pointers
+        self.parent: Dict[int, Optional[int]] = {}
+        #: node_id → structural children ids in document order
+        self.children: Dict[int, List[int]] = {}
+        #: node_id → position among its structural siblings
+        self.position: Dict[int, int] = {}
+        #: node_id → materialised attribute-node children ids
+        self.attr_children: Dict[int, List[int]] = {}
+        #: node_id → frozen ((name, value), ...) attribute pairs
+        self.attrs: Dict[int, Tuple[Tuple[str, str], ...]] = {}
+        #: every node_id in rank order (attributes included)
+        self.ids_by_rank: List[int] = []
+        #: element ids per tag, rank order — the candidate lists the
+        #: batched evaluator and the parallel chunk scan consume
+        self.tag_ids: Dict[str, List[int]] = {}
+        self.element_ids: List[int] = []
+        self.text_ids: List[int] = []
+        self.comment_ids: List[int] = []
+        #: rank-ordered ids excluding attribute nodes (the structural
+        #: document the main axes range over)
+        self.structural_ids: List[int] = []
+        #: node_id → frozen XPath string-value
+        self.string_values: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_labeling(cls, labeling: "Labeling") -> "StructuralView":
+        """Freeze the current generation of *labeling*.
+
+        Must run while the structure is quiescent (single-threaded, or
+        under the concurrent document's read lock with the writer
+        excluded).
+        """
+        generation = labeling.generation
+        view = cls(generation, labeling.scheme_name)
+        index = labeling.rank_index()
+        size = len(index.rank)
+        node_of = labeling.node_of
+        parent_label = labeling.parent_label
+
+        node_by_label = {}
+        ids_by_rank: List[Optional[int]] = [None] * size
+        for label, r in index.rank.items():
+            node = node_of(label)
+            node_by_label[label] = node
+            nid = node.node_id
+            view.node_by_id[nid] = node
+            view.rank[nid] = r
+            view.end[nid] = index.end[label]
+            ids_by_rank[r] = nid
+        if any(nid is None for nid in ids_by_rank):
+            raise QueryError(
+                f"{labeling.scheme_name}: rank index is not a permutation "
+                f"of the document"
+            )
+        view.ids_by_rank = ids_by_rank  # type: ignore[assignment]
+
+        # Parent edges from label arithmetic. A buggy scheme shows up
+        # here (or as divergent query results), never as a torn view.
+        for label, node in node_by_label.items():
+            nid = node.node_id
+            try:
+                pl = parent_label(label)
+            except NoParentError:
+                view.parent[nid] = None
+                view.root = node
+                continue
+            view.parent[nid] = node_of(pl).node_id
+        if view.root is None:
+            raise QueryError(
+                f"{labeling.scheme_name}: no root label (parent_label "
+                f"never raised NoParentError)"
+            )
+
+        # Children / candidate lists, in rank (= document) order.
+        contribs: List[str] = []
+        for nid in view.ids_by_rank:
+            node = view.node_by_id[nid]
+            kind = node.kind
+            view.children[nid] = []
+            pid = view.parent[nid]
+            if kind is NodeKind.ATTRIBUTE:
+                if pid is not None:
+                    bucket = view.attr_children.setdefault(pid, [])
+                    view.position[nid] = len(bucket)
+                    bucket.append(nid)
+                contribs.append("")
+            else:
+                if pid is not None:
+                    siblings = view.children[pid]
+                    view.position[nid] = len(siblings)
+                    siblings.append(nid)
+                else:
+                    view.position[nid] = 0
+                view.structural_ids.append(nid)
+                if kind is NodeKind.ELEMENT:
+                    view.element_ids.append(nid)
+                    view.tag_ids.setdefault(node.tag, []).append(nid)
+                elif kind is NodeKind.TEXT:
+                    view.text_ids.append(nid)
+                elif kind is NodeKind.COMMENT:
+                    view.comment_ids.append(nid)
+                contribs.append(
+                    node.text
+                    if kind in (NodeKind.TEXT, NodeKind.ELEMENT) and node.text
+                    else ""
+                )
+            if kind is NodeKind.ELEMENT and node.attributes:
+                view.attrs[nid] = tuple(sorted(node.attributes.items()))
+
+        # Frozen string-values: rank order is document order, so an
+        # element's value is the join of its subtree's contributions.
+        for nid in view.ids_by_rank:
+            node = view.node_by_id[nid]
+            if node.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE, NodeKind.COMMENT):
+                view.string_values[nid] = node.text or ""
+            else:
+                view.string_values[nid] = "".join(
+                    contribs[view.rank[nid] : view.end[nid] + 1]
+                )
+        return view
+
+    # ------------------------------------------------------------------
+    def node(self, nid: int) -> XmlNode:
+        return self.node_by_id[nid]
+
+    def nodes(self, ids: Sequence[int]) -> List[XmlNode]:
+        node_by_id = self.node_by_id
+        return [node_by_id[nid] for nid in ids]
+
+    def __len__(self) -> int:
+        return len(self.node_by_id)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self.node_by_id
+
+    def descendant_slice(self, nid: int, or_self: bool = False) -> List[int]:
+        """Structural descendants of *nid* in document order."""
+        lo = self.rank[nid] + (0 if or_self else 1)
+        hi = self.end[nid] + 1
+        node_by_id = self.node_by_id
+        return [
+            i
+            for i in self.ids_by_rank[lo:hi]
+            if node_by_id[i].kind is not NodeKind.ATTRIBUTE
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<StructuralView {self.scheme_name} gen={self.generation} "
+            f"nodes={len(self.node_by_id)}>"
+        )
+
+
+class SnapshotEvaluator(BaseEvaluator):
+    """XPath evaluation against a frozen :class:`StructuralView`.
+
+    Every axis, order comparison and string-value is answered from the
+    view's dicts; the live tree is never consulted, so this evaluator
+    is safe to run while a writer mutates the document. It also keeps
+    no mutable caches, so a single instance may be shared by all the
+    threads of a batch.
+    """
+
+    strategy_name = "snapshot"
+    route_name = "snapshot"
+
+    def __init__(self, view: StructuralView, stats: Optional[QueryStats] = None):
+        # Deliberately no super().__init__: BaseEvaluator would bind a
+        # live tree; everything it reads through self.tree is
+        # overridden below.
+        self.view = view
+        self.tree = None  # any accidental live-tree access fails loudly
+        self.stats = stats if stats is not None else QueryStats()
+        self.tracer = None
+        self._doc_order = dict(view.rank)
+        self.document_node = XmlNode("#document", NodeKind.DOCUMENT)
+
+    # -- BaseEvaluator hooks ------------------------------------------------
+    def doc_order(self) -> Dict[int, int]:
+        return self._doc_order
+
+    def select(self, expr, context: Optional[XmlNode] = None) -> List[XmlNode]:
+        context = context if context is not None else self.view.root
+        result = self._eval(expr, context, 1, 1)
+        if not isinstance(result, list):
+            raise QueryError(f"expression yields a {type(result).__name__}, not nodes")
+        return result
+
+    def evaluate(self, expr, context: Optional[XmlNode] = None):
+        context = context if context is not None else self.view.root
+        return self._eval(expr, context, 1, 1)
+
+    def string_value_of(self, node: XmlNode) -> str:
+        frozen = self.view.string_values.get(node.node_id)
+        if frozen is not None:
+            return frozen
+        # Transient attribute node synthesized by this evaluator: its
+        # text was frozen at synthesis time.
+        return node.text or ""
+
+    def _document_axis(self, axis: str) -> List[XmlNode]:
+        view = self.view
+        if axis == "child":
+            return [view.root]
+        if axis == "descendant":
+            return view.nodes(view.structural_ids)
+        if axis == "descendant-or-self":
+            return [self.document_node, *view.nodes(view.structural_ids)]
+        if axis == "self":
+            return [self.document_node]
+        return []
+
+    # -- axes ---------------------------------------------------------------
+    def axis_nodes(self, node: XmlNode, axis: str) -> List[XmlNode]:
+        view = self.view
+        nid = node.node_id
+        if axis == "attribute":
+            return self._attribute_nodes(node)
+        if nid not in view.node_by_id:
+            return self._transient_axis(node, axis)
+        if axis == "self":
+            return [node]
+        if axis == "parent":
+            pid = view.parent[nid]
+            return [view.node(pid)] if pid is not None else []
+        if axis in ("ancestor", "ancestor-or-self"):
+            chain: List[XmlNode] = [node] if axis == "ancestor-or-self" else []
+            pid = view.parent[nid]
+            while pid is not None:
+                chain.append(view.node(pid))
+                pid = view.parent[pid]
+            chain.reverse()  # root first, matching the navigational axes
+            return chain
+        if axis == "child":
+            return view.nodes(view.children[nid])
+        if axis in ("descendant", "descendant-or-self"):
+            return view.nodes(
+                view.descendant_slice(nid, or_self=axis == "descendant-or-self")
+            )
+        if axis in ("following-sibling", "preceding-sibling"):
+            pid = view.parent[nid]
+            if pid is None:
+                return []
+            siblings = view.children[pid]
+            pos = view.position[nid]
+            if axis == "following-sibling":
+                return view.nodes(siblings[pos + 1 :])
+            return view.nodes(siblings[:pos])
+        if axis == "following":
+            after = view.end[nid] + 1
+            return view.nodes(
+                [
+                    i
+                    for i in view.ids_by_rank[after:]
+                    if view.node_by_id[i].kind is not NodeKind.ATTRIBUTE
+                ]
+            )
+        if axis == "preceding":
+            ancestors = set()
+            pid = view.parent[nid]
+            while pid is not None:
+                ancestors.add(pid)
+                pid = view.parent[pid]
+            before = view.rank[nid]
+            return view.nodes(
+                [
+                    i
+                    for i in view.ids_by_rank[:before]
+                    if i not in ancestors
+                    and view.node_by_id[i].kind is not NodeKind.ATTRIBUTE
+                ]
+            )
+        from repro.errors import UnsupportedFeatureError
+
+        raise UnsupportedFeatureError(f"unsupported axis {axis!r}")
+
+    def _transient_axis(self, node: XmlNode, axis: str) -> List[XmlNode]:
+        """Axes from a synthesized attribute node (outside the view)."""
+        if axis == "self":
+            return [node]
+        parent = node.parent
+        if parent is None:
+            return []
+        if axis == "parent":
+            return [parent]
+        if axis in ("ancestor", "ancestor-or-self"):
+            chain = self.axis_nodes(parent, "ancestor-or-self")
+            if axis == "ancestor-or-self":
+                chain = [*chain, node]
+            return chain
+        return []
+
+    def _attribute_nodes(self, node: XmlNode) -> List[XmlNode]:
+        view = self.view
+        nid = node.node_id
+        materialised = view.attr_children.get(nid)
+        if materialised:
+            return view.nodes(materialised)
+        created: List[XmlNode] = []
+        for name, value in view.attrs.get(nid, ()):
+            attr = XmlNode(name, NodeKind.ATTRIBUTE, text=value)
+            attr.parent = node  # navigable but not inserted as a child
+            created.append(attr)
+        return created

@@ -9,6 +9,7 @@ hurt, and what plan did they run").
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Dict, List, Optional, Tuple
@@ -46,8 +47,16 @@ class SlowQueryLog:
         self.seen_count = 0
         self._heap: List[Tuple[int, int, SlowQueryRecord]] = []
         self._sequence = count()
+        #: serialises heap/counter mutation — engines on several
+        #: threads may share one log
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def note_seen(self) -> None:
+        """Count a query that was offered but too fast to retain."""
+        with self._lock:
+            self.seen_count += 1
+
     def record(
         self,
         expression: str,
@@ -58,21 +67,22 @@ class SlowQueryLog:
     ) -> Optional[SlowQueryRecord]:
         """Offer a query; returns the retained record or None (fast or
         displaced by worse entries)."""
-        self.seen_count += 1
-        if elapsed_ns < self.threshold_ns:
-            return None
-        self.slow_count += 1
-        entry = SlowQueryRecord(
-            expression, strategy, elapsed_ns, next(self._sequence), plan, attrs
-        )
-        key = (elapsed_ns, entry.sequence, entry)
-        if len(self._heap) < self.capacity:
-            heapq.heappush(self._heap, key)
+        with self._lock:
+            self.seen_count += 1
+            if elapsed_ns < self.threshold_ns:
+                return None
+            self.slow_count += 1
+            entry = SlowQueryRecord(
+                expression, strategy, elapsed_ns, next(self._sequence), plan, attrs
+            )
+            key = (elapsed_ns, entry.sequence, entry)
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, key)
+                return entry
+            if elapsed_ns <= self._heap[0][0]:
+                return None  # faster than everything retained
+            heapq.heapreplace(self._heap, key)
             return entry
-        if elapsed_ns <= self._heap[0][0]:
-            return None  # faster than everything retained
-        heapq.heapreplace(self._heap, key)
-        return entry
 
     # ------------------------------------------------------------------
     def entries(self) -> List[SlowQueryRecord]:
@@ -94,9 +104,10 @@ class SlowQueryLog:
         ]
 
     def clear(self) -> None:
-        self._heap.clear()
-        self.slow_count = 0
-        self.seen_count = 0
+        with self._lock:
+            self._heap.clear()
+            self.slow_count = 0
+            self.seen_count = 0
 
     def __len__(self) -> int:
         return len(self._heap)

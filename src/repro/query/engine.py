@@ -15,6 +15,7 @@ ever serves labels from before a structural update.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from time import perf_counter_ns
 from typing import List, Optional
@@ -89,7 +90,12 @@ class XPathEngine:
         self._partitioner = partitioner
         self._plan_cache_size = max(1, plan_cache_size)
         self._compiled: "OrderedDict[str, Expr]" = OrderedDict()
+        #: guards the LRU plan cache: ``move_to_end`` / ``popitem``
+        #: interleaved from two threads corrupt an OrderedDict
+        self._compile_lock = threading.Lock()
         self._evaluators: dict = {}
+        #: guards evaluator construction + generation bookkeeping
+        self._evaluator_lock = threading.Lock()
         self._evaluator_generation: Optional[int] = None
         self._latency_histograms: dict = {}
 
@@ -126,17 +132,25 @@ class XPathEngine:
         cache is full.
         """
         cache = self._compiled
-        compiled = cache.get(expression)
-        if compiled is not None:
-            self.stats.plan_hits += 1
-            cache.move_to_end(expression)
-            return compiled
-        self.stats.plan_misses += 1
+        with self._compile_lock:
+            compiled = cache.get(expression)
+            if compiled is not None:
+                self.stats.count("plan_hits")
+                cache.move_to_end(expression)
+                return compiled
+        # parse outside the lock: plans are pure values, so two racing
+        # compilations of one new expression just do redundant work and
+        # the second insert wins the cache slot
+        self.stats.count("plan_misses")
         compiled = parse_xpath(expression)
-        cache[expression] = compiled
-        if len(cache) > self._plan_cache_size:
-            cache.popitem(last=False)
-            self.stats.plan_evictions += 1
+        with self._compile_lock:
+            existing = cache.get(expression)
+            if existing is not None:
+                return existing
+            cache[expression] = compiled
+            if len(cache) > self._plan_cache_size:
+                cache.popitem(last=False)
+                self.stats.count("plan_evictions")
         return compiled
 
     def evaluator(self, strategy: str = "ruid") -> BaseEvaluator:
@@ -146,22 +160,23 @@ class XPathEngine:
         the labeling's generation advances — a structural update must
         never be answered from pre-update state.
         """
-        if self._labeling is not None:
-            generation = self._labeling.generation
-            if generation != self._evaluator_generation:
-                self._evaluators.clear()
-                self._evaluator_generation = generation
-        evaluator = self._evaluators.get(strategy)
-        if evaluator is None:
-            if strategy == "ruid":
-                evaluator = SchemeEvaluator(self.labeling(), stats=self.stats)
-                self._evaluator_generation = self._labeling.generation
-            elif strategy == "navigational":
-                evaluator = NavigationalEvaluator(self.tree, stats=self.stats)
-            else:
-                raise QueryError(f"unknown strategy {strategy!r}")
-            self._evaluators[strategy] = evaluator
-        return evaluator
+        with self._evaluator_lock:
+            if self._labeling is not None:
+                generation = self._labeling.generation
+                if generation != self._evaluator_generation:
+                    self._evaluators.clear()
+                    self._evaluator_generation = generation
+            evaluator = self._evaluators.get(strategy)
+            if evaluator is None:
+                if strategy == "ruid":
+                    evaluator = SchemeEvaluator(self.labeling(), stats=self.stats)
+                    self._evaluator_generation = self._labeling.generation
+                elif strategy == "navigational":
+                    evaluator = NavigationalEvaluator(self.tree, stats=self.stats)
+                else:
+                    raise QueryError(f"unknown strategy {strategy!r}")
+                self._evaluators[strategy] = evaluator
+            return evaluator
 
     # ------------------------------------------------------------------
     def select(
@@ -205,10 +220,11 @@ class XPathEngine:
         finally:
             evaluator.tracer = previous
         elapsed = perf_counter_ns() - start
-        histogram = self._latency_histograms.get(strategy)
-        if histogram is None:
-            histogram = self.metrics.histogram(f"query.latency_ns.{strategy}")
-            self._latency_histograms[strategy] = histogram
+        with self._evaluator_lock:
+            histogram = self._latency_histograms.get(strategy)
+            if histogram is None:
+                histogram = self.metrics.histogram(f"query.latency_ns.{strategy}")
+                self._latency_histograms[strategy] = histogram
         histogram.observe(elapsed)
         slow_log = self.slow_log
         if slow_log is not None and elapsed >= slow_log.threshold_ns:
@@ -220,7 +236,7 @@ class XPathEngine:
                 results=len(result),
             )
         elif slow_log is not None:
-            slow_log.seen_count += 1
+            slow_log.note_seen()
         return result
 
     # ------------------------------------------------------------------

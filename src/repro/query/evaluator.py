@@ -137,6 +137,16 @@ class BaseEvaluator:
         """Nodes on *axis* from *node*, in document order."""
         raise NotImplementedError
 
+    # -- string-value (strategy hook) ---------------------------------------
+    def string_value_of(self, node: XmlNode) -> str:
+        """XPath string-value of *node*.
+
+        The default walks the live tree (:func:`string_value`); snapshot
+        evaluators override it to read values frozen at snapshot-build
+        time so comparisons never race a concurrent writer.
+        """
+        return string_value(node)
+
     # -- entry point --------------------------------------------------------
     def select(self, expr: Expr, context: Optional[XmlNode] = None) -> List[XmlNode]:
         """Evaluate *expr* to a node-set (document order)."""
@@ -287,7 +297,7 @@ class BaseEvaluator:
             )
         left = self._eval(expr.left, node, position, size)
         right = self._eval(expr.right, node, position, size)
-        return _compare(expr.op, left, right)
+        return _compare(expr.op, left, right, sv=self.string_value_of)
 
     def _eval_function(
         self, call: FunctionCall, node: XmlNode, position: int, size: int
@@ -312,16 +322,17 @@ class BaseEvaluator:
                 _require_nodeset(name, args, 0)
                 return args[0][0].tag if args[0] else ""
             return node.tag
+        sv = self.string_value_of
         if name == "contains":
-            return _string(args[0]) .find(_string(args[1])) >= 0
+            return _string(args[0], sv=sv).find(_string(args[1], sv=sv)) >= 0
         if name == "starts-with":
-            return _string(args[0]).startswith(_string(args[1]))
+            return _string(args[0], sv=sv).startswith(_string(args[1], sv=sv))
         if name == "string-length":
-            return float(len(_string(args[0]) if args else string_value(node)))
+            return float(len(_string(args[0], sv=sv) if args else sv(node)))
         if name == "string":
-            return _string(args[0]) if args else string_value(node)
+            return _string(args[0], sv=sv) if args else sv(node)
         if name == "number":
-            return _number(args[0]) if args else _number(string_value(node))
+            return _number(args[0], sv=sv) if args else _number(sv(node))
         raise UnsupportedFeatureError(f"unsupported function {name}()")
 
 
@@ -340,9 +351,9 @@ def _truth(value: Value) -> bool:
     return bool(value)
 
 
-def _string(value: Value) -> str:
+def _string(value: Value, sv=string_value) -> str:
     if isinstance(value, list):
-        return string_value(value[0]) if value else ""
+        return sv(value[0]) if value else ""
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, float):
@@ -350,9 +361,9 @@ def _string(value: Value) -> str:
     return value
 
 
-def _number(value: Value) -> float:
+def _number(value: Value, sv=string_value) -> float:
     if isinstance(value, list):
-        value = _string(value)
+        value = _string(value, sv=sv)
     if isinstance(value, bool):
         return 1.0 if value else 0.0
     if isinstance(value, str):
@@ -363,10 +374,10 @@ def _number(value: Value) -> float:
     return value
 
 
-def _compare(op: str, left: Value, right: Value) -> bool:
+def _compare(op: str, left: Value, right: Value, sv=string_value) -> bool:
     """XPath existential comparison over node-sets."""
-    left_values = _comparable_values(left)
-    right_values = _comparable_values(right)
+    left_values = _comparable_values(left, sv=sv)
+    right_values = _comparable_values(right, sv=sv)
     for lv in left_values:
         for rv in right_values:
             if _compare_scalars(op, lv, rv):
@@ -374,9 +385,9 @@ def _compare(op: str, left: Value, right: Value) -> bool:
     return False
 
 
-def _comparable_values(value: Value) -> List[Value]:
+def _comparable_values(value: Value, sv=string_value) -> List[Value]:
     if isinstance(value, list):
-        return [string_value(node) for node in value]
+        return [sv(node) for node in value]
     return [value]
 
 
@@ -560,7 +571,7 @@ class SchemeEvaluator(BaseEvaluator):
         self._comment_labels = None
         self._node_labels = None
         self._cache_generation = generation
-        self.stats.rank_index_builds += 1
+        self.stats.count("rank_index_builds")
 
     def _build_candidates(self) -> None:
         """Per-kind label lists in document-rank order (attributes are
@@ -618,18 +629,18 @@ class SchemeEvaluator(BaseEvaluator):
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
         if self._prunable(step):
-            self.stats.synopsis_skips += 1
+            self.stats.count("synopsis_skips")
             if tracing:
                 tracer.annotate_once(route="pruned")
             return []
         if self.batched and not step.predicates and step.axis in self._BATCHED_AXES:
             result = self._eval_step_batched(nodes, step)
             if result is not None:
-                self.stats.batched_steps += 1
+                self.stats.count("batched_steps")
                 if tracing:
                     tracer.annotate_once(route="batched")
                 return result
-        self.stats.fallback_steps += 1
+        self.stats.count("fallback_steps")
         if tracing:
             # first write wins: predicate sub-paths re-enter this
             # dispatcher under the same open step span
@@ -800,9 +811,9 @@ class SchemeEvaluator(BaseEvaluator):
             key = (node.node_id, axis)
             cached = cache.get(key)
             if cached is not None:
-                self.stats.axis_cache_hits += 1
+                self.stats.count("axis_cache_hits")
                 return cached
-            self.stats.axis_cache_misses += 1
+            self.stats.count("axis_cache_misses")
         engine = self.labeling.axes
         labels = engine.axis(self.labeling.label_of(node), axis)
         resolved = [self.labeling.node_of(label) for label in labels]

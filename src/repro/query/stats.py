@@ -8,7 +8,8 @@ the query fast path, so experiments can report cache effectiveness
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+import threading
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -17,7 +18,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class QueryStats:
-    """Counters for the query fast path's caches and planner."""
+    """Counters for the query fast path's caches and planner.
+
+    A ledger may be shared by several evaluators running on different
+    threads (the concurrent access layer does exactly that), so every
+    increment goes through :meth:`count`, which serialises the
+    read-modify-write under a per-ledger lock. ``+=`` on a plain
+    attribute is *not* atomic in CPython — two racing threads can lose
+    increments.
+    """
 
     #: compiled-plan LRU cache
     plan_hits: int = 0
@@ -36,6 +45,16 @@ class QueryStats:
     fallback_steps: int = 0
     #: document-order rank indexes (re)built
     rank_index_builds: int = 0
+    #: serialises counter mutation across threads (not a counter)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        """Atomically add *amount* to counter field *name*."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     # ------------------------------------------------------------------
     @property
@@ -56,7 +75,11 @@ class QueryStats:
         """Every counter field, derived from the dataclass fields —
         adding a field can never silently drift out of the exported
         dict (or out of a registry this ledger is bound to)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if not f.name.startswith("_")
+        }
 
     def snapshot(self) -> Dict[str, int]:
         return self.as_dict()
@@ -68,8 +91,10 @@ class QueryStats:
 
     def reset(self) -> None:
         """Zero every counter field (field-driven, like :meth:`as_dict`)."""
-        for f in fields(self):
-            setattr(self, f.name, f.default)
+        with self._lock:
+            for f in fields(self):
+                if not f.name.startswith("_"):
+                    setattr(self, f.name, f.default)
 
     def bind(self, registry: "MetricsRegistry", prefix: str = "query") -> None:
         """Expose this ledger through *registry* as ``prefix.*`` pull

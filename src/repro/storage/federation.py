@@ -23,6 +23,8 @@ broadcast when the synopsis replica's epoch is stale.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -51,14 +53,28 @@ class Site:
     )
     messages_received: int = 0
     down: bool = False
+    #: simulated one-way network latency per message, in seconds; the
+    #: sleep releases the GIL, so parallel fan-out genuinely overlaps
+    #: the waits of concurrently contacted sites
+    latency: float = 0.0
+    #: serialises the message counter across fan-out threads
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def store(self, label: Ruid2Label, node: XmlNode) -> None:
         self.rows[label.as_tuple()] = (node.tag, node.kind.value, node.text)
 
+    def _receive(self) -> None:
+        with self._lock:
+            self.messages_received += 1
+        if self.latency:
+            time.sleep(self.latency)
+
     def fetch(self, label: Ruid2Label) -> Tuple[str, str, Optional[str]]:
         if self.down:
             raise SiteUnavailableError(f"site {self.name} is down")
-        self.messages_received += 1
+        self._receive()
         try:
             return self.rows[label.as_tuple()]
         except KeyError:
@@ -73,7 +89,7 @@ class Site:
         another site)."""
         if self.down:
             raise SiteUnavailableError(f"site {self.name} is down")
-        self.messages_received += 1
+        self._receive()
         wanted = None if areas is None else set(areas)
         return [
             (Ruid2Label(*key), row)
@@ -103,6 +119,7 @@ class FederatedDocument:
         backoff_base: float = 0.01,
         max_rounds: int = 3,
         tracer=NULL_TRACER,
+        site_latency: float = 0.0,
     ):
         if site_count < 1:
             raise StorageError("need at least one site")
@@ -113,7 +130,9 @@ class FederatedDocument:
                 f"replication factor {replication_factor} exceeds "
                 f"{site_count} sites"
             )
-        self.sites = [Site(f"site{i}") for i in range(site_count)]
+        self.sites = [
+            Site(f"site{i}", latency=site_latency) for i in range(site_count)
+        ]
         self.replication_factor = replication_factor
         #: degraded-mode decisions are published as zero-duration trace
         #: events (federation.message_failed / failover / stale_fallback)
@@ -134,6 +153,9 @@ class FederatedDocument:
         self._sites_of_area: Dict[int, List[int]] = {}
         #: coordinator-side ledger; retries land in IoStats.retries
         self.stats = IoStats()
+        #: guards the degraded-mode dict — its ``+=`` updates are
+        #: read-modify-write and fan-out threads share the coordinator
+        self._ledger_lock = threading.Lock()
         self.degraded: Dict[str, float] = {
             "messages_failed": 0,
             "failovers": 0,
@@ -185,12 +207,18 @@ class FederatedDocument:
         for site in self.sites:
             site.messages_received = 0
         self.stats.reset()
-        self.degraded = {
-            "messages_failed": 0,
-            "failovers": 0,
-            "stale_fallbacks": 0,
-            "backoff_seconds": 0.0,
-        }
+        with self._ledger_lock:
+            self.degraded = {
+                "messages_failed": 0,
+                "failovers": 0,
+                "stale_fallbacks": 0,
+                "backoff_seconds": 0.0,
+            }
+
+    def _charge(self, key: str, amount: float = 1) -> None:
+        """Atomically add *amount* to a degraded-mode counter."""
+        with self._ledger_lock:
+            self.degraded[key] += amount
 
     # ------------------------------------------------------------------
     # Fault control
@@ -249,18 +277,19 @@ class FederatedDocument:
                 site = self.sites[site_index]
                 if attempt > 0:
                     self.stats.record_retry()
-                    self.degraded["backoff_seconds"] += self.backoff_base * (
-                        2 ** (attempt - 1)
+                    self._charge(
+                        "backoff_seconds",
+                        self.backoff_base * (2 ** (attempt - 1)),
                     )
                 attempt += 1
                 if self._is_down(site):
-                    self.degraded["messages_failed"] += 1
+                    self._charge("messages_failed")
                     self.tracer.event(
                         "federation.message_failed", area=area, site=site.name
                     )
                     continue
                 if position > 0:
-                    self.degraded["failovers"] += 1
+                    self._charge("failovers")
                     self.tracer.event(
                         "federation.failover",
                         area=area,
@@ -307,7 +336,7 @@ class FederatedDocument:
         distinct site contacted."""
         before = self.total_messages()
         if routed and self.synopsis_is_stale:
-            self.degraded["stale_fallbacks"] += 1
+            self._charge("stale_fallbacks")
             self.tracer.event(
                 "federation.stale_fallback", tag=tag, epoch=self.epoch
             )
@@ -355,7 +384,8 @@ class FederatedDocument:
             "messages": self.total_messages(),
             "retries": self.stats.retries,
         }
-        snapshot.update(self.degraded)
+        with self._ledger_lock:
+            snapshot.update(self.degraded)
         return snapshot
 
     def bind(self, registry, prefix: str = "federation") -> None:

@@ -9,7 +9,8 @@ experiments report disk reads/writes alongside wall time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+import threading
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -18,7 +19,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class IoStats:
-    """Counters for simulated disk traffic and buffer-pool behaviour."""
+    """Counters for simulated disk traffic and buffer-pool behaviour.
+
+    One ledger may be charged from several threads at once (the
+    concurrent access layer shares a database across readers), so the
+    ``record_*`` mutators serialise under a per-ledger lock — ``+=``
+    on an attribute is a read-modify-write and loses increments under
+    races.
+    """
 
     disk_reads: int = 0
     disk_writes: int = 0
@@ -30,32 +38,44 @@ class IoStats:
     recoveries: int = 0
     checksum_failures: int = 0
     retries: int = 0
+    #: serialises counter mutation across threads (not a counter)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_hit(self) -> None:
-        self.buffer_hits += 1
+        with self._lock:
+            self.buffer_hits += 1
 
     def record_miss(self) -> None:
-        self.buffer_misses += 1
-        self.disk_reads += 1
+        with self._lock:
+            self.buffer_misses += 1
+            self.disk_reads += 1
 
     def record_write(self) -> None:
-        self.disk_writes += 1
+        with self._lock:
+            self.disk_writes += 1
 
     def record_eviction(self) -> None:
-        self.evictions += 1
+        with self._lock:
+            self.evictions += 1
 
     def record_wal_append(self, nbytes: int) -> None:
-        self.wal_appends += 1
-        self.wal_bytes += nbytes
+        with self._lock:
+            self.wal_appends += 1
+            self.wal_bytes += nbytes
 
     def record_recovery(self) -> None:
-        self.recoveries += 1
+        with self._lock:
+            self.recoveries += 1
 
     def record_checksum_failure(self) -> None:
-        self.checksum_failures += 1
+        with self._lock:
+            self.checksum_failures += 1
 
     def record_retry(self) -> None:
-        self.retries += 1
+        with self._lock:
+            self.retries += 1
 
     @property
     def total_io(self) -> int:
@@ -73,7 +93,11 @@ class IoStats:
         """Every counter field, derived from the dataclass fields —
         adding a field can never silently drift out of the exported
         dict (or out of a registry this ledger is bound to)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if not f.name.startswith("_")
+        }
 
     def snapshot(self) -> Dict[str, int]:
         return self.as_dict()
@@ -85,8 +109,10 @@ class IoStats:
 
     def reset(self) -> None:
         """Zero every counter field (field-driven, like :meth:`as_dict`)."""
-        for f in fields(self):
-            setattr(self, f.name, f.default)
+        with self._lock:
+            for f in fields(self):
+                if not f.name.startswith("_"):
+                    setattr(self, f.name, f.default)
 
     def bind(self, registry: "MetricsRegistry", prefix: str = "io") -> None:
         """Expose this ledger through *registry* as ``prefix.*`` pull

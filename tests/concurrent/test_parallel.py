@@ -1,0 +1,111 @@
+"""Parallel fan-out must be result-identical to sequential execution:
+same snapshot, same document order, zero divergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrent import ConcurrentDocument, ParallelQueryExecutor
+from repro.concurrent.parallel import _split_chunks
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.generator import RandomTreeConfig, generate_tree, generate_xmark
+from repro.storage.federation import FederatedDocument
+
+QUERIES = (
+    "//item",
+    "//entry/ancestor::*",
+    "//group/descendant-or-self::*",
+    "//record/..",
+    "//*[2]/following-sibling::*",
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    tree = generate_tree(RandomTreeConfig(node_count=500), seed=13)
+    return ConcurrentDocument(tree)
+
+
+class TestSplitChunks:
+    def test_partitions_in_order(self):
+        items = list(range(10))
+        chunks = _split_chunks(items, 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [x for c in chunks for x in c] == items
+
+    def test_never_more_chunks_than_items(self):
+        assert len(_split_chunks([1, 2], 8)) == 2
+        assert _split_chunks([], 4) == [[]]
+
+
+class TestSelectBatch:
+    def test_matches_sequential(self, doc):
+        executor = ParallelQueryExecutor(doc, threads=4)
+        parallel = executor.select_batch(QUERIES)
+        sequential = executor.select_batch(QUERIES, threads=1)
+        for query, par, seq in zip(QUERIES, parallel, sequential):
+            assert [n.node_id for n in par] == [n.node_id for n in seq], query
+
+    def test_batch_reads_one_generation(self, doc):
+        executor = ParallelQueryExecutor(doc, threads=4)
+        with doc.pin() as snap:
+            first = executor.select_batch(QUERIES, snapshot=snap)
+            # a writer slips in between two batches on the same pin
+            parent = snap.select("//group")[0]
+            from repro.xmltree.node import NodeKind, XmlNode
+
+            doc.insert(parent, 0, XmlNode("item", NodeKind.ELEMENT))
+            second = executor.select_batch(QUERIES, snapshot=snap)
+        for par, seq in zip(first, second):
+            assert [n.node_id for n in par] == [n.node_id for n in seq]
+
+    def test_counts_chunks(self, doc):
+        before = doc.stats_snapshot()["parallel_chunks"]
+        ParallelQueryExecutor(doc, threads=2).select_batch(QUERIES)
+        assert doc.stats_snapshot()["parallel_chunks"] == before + len(QUERIES)
+
+
+class TestScanTag:
+    def test_matches_xpath_descendants(self, doc):
+        executor = ParallelQueryExecutor(doc, threads=4)
+        scanned = [n.node_id for n in executor.scan_tag("item")]
+        selected = [n.node_id for n in doc.select("//item")]
+        assert scanned == selected
+
+    def test_chunked_scan_preserves_document_order(self, doc):
+        executor = ParallelQueryExecutor(doc, threads=4)
+        for chunks in (1, 2, 3, 8):
+            scanned = [n.node_id for n in executor.scan_tag("item", chunks=chunks)]
+            assert scanned == [n.node_id for n in doc.select("//item")]
+
+    def test_scoped_to_context(self, doc):
+        executor = ParallelQueryExecutor(doc, threads=4)
+        with doc.pin() as snap:
+            context = snap.select("//group")[0]
+            scanned = executor.scan_tag("item", context=context, snapshot=snap)
+            expected = snap.select("descendant-or-self::item", context=context)
+        assert [n.node_id for n in scanned] == [n.node_id for n in expected]
+
+    def test_missing_tag_empty(self, doc):
+        assert ParallelQueryExecutor(doc).scan_tag("nosuchtag") == []
+
+
+class TestFederatedFanOut:
+    def test_matches_serial_lookup(self):
+        tree = generate_xmark(scale=0.05, seed=9)
+        labeling = Ruid2Labeling(tree, partitioner=SizeCapPartitioner(16))
+        doc = ConcurrentDocument(tree)
+        federated = FederatedDocument(labeling, site_count=3)
+        serial = {}
+        for tag in ("item", "person", "keyword"):
+            matches, _ = federated.find_tag(tag)
+            serial[tag] = matches
+        executor = ParallelQueryExecutor(doc, threads=3)
+        fanned = executor.federated_find_tags(
+            federated, ("item", "person", "keyword")
+        )
+        assert fanned == serial
+
+    def test_rejects_zero_threads(self, doc):
+        with pytest.raises(ValueError):
+            ParallelQueryExecutor(doc, threads=0)

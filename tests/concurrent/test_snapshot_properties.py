@@ -1,0 +1,121 @@
+"""Property: a pinned snapshot is immutable, whatever the writer does.
+
+Hypothesis drives a random interleaving of structural updates
+(insert / delete / reenumerate) with snapshot pin / unpin. Every held
+pin carries the fingerprint taken at pin time (generation, the full
+rank-ordered id sequence, and a query result); any later divergence —
+after any number of mutations — is a torn snapshot.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.concurrent import ConcurrentDocument
+from repro.errors import NumberingError
+from repro.generator import RandomTreeConfig, generate_tree
+from repro.xmltree.node import NodeKind, XmlNode
+
+FINGERPRINT_QUERY = "//item"
+
+ACTIONS = st.lists(
+    st.sampled_from(["insert", "delete", "reenumerate", "pin", "unpin"]),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _fingerprint(snap):
+    return (
+        snap.generation,
+        tuple(snap.view.ids_by_rank),
+        tuple(snap.select_ids(FINGERPRINT_QUERY)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(actions=ACTIONS, choices=st.data())
+def test_pinned_snapshots_are_immutable(actions, choices):
+    tree = generate_tree(RandomTreeConfig(node_count=60), seed=41)
+    doc = ConcurrentDocument(tree, scheme="ruid2")
+    held = []  # (snapshot, fingerprint-at-pin-time)
+
+    def check_all():
+        for snap, fingerprint in held:
+            assert _fingerprint(snap) == fingerprint, (
+                f"snapshot of generation {snap.generation} changed "
+                f"after later mutations"
+            )
+
+    try:
+        for action in actions:
+            if action == "pin":
+                snap = doc.pin()
+                held.append((snap, _fingerprint(snap)))
+            elif action == "unpin":
+                if held:
+                    index = choices.draw(
+                        st.integers(min_value=0, max_value=len(held) - 1)
+                    )
+                    snap, fingerprint = held.pop(index)
+                    assert _fingerprint(snap) == fingerprint
+                    snap.release()
+            elif action == "insert":
+                elements = [
+                    n for n in doc.tree.preorder() if n.kind == NodeKind.ELEMENT
+                ]
+                parent = elements[
+                    choices.draw(
+                        st.integers(min_value=0, max_value=len(elements) - 1)
+                    )
+                ]
+                position = choices.draw(
+                    st.integers(min_value=0, max_value=len(parent.children))
+                )
+                doc.insert(parent, position, XmlNode("item", NodeKind.ELEMENT))
+            elif action == "delete":
+                victims = [
+                    n
+                    for n in doc.tree.preorder()
+                    if n.parent is not None and n.kind == NodeKind.ELEMENT
+                ]
+                if victims:
+                    victim = victims[
+                        choices.draw(
+                            st.integers(min_value=0, max_value=len(victims) - 1)
+                        )
+                    ]
+                    doc.delete(victim)
+            else:  # reenumerate
+                try:
+                    doc.reenumerate()
+                except NumberingError:
+                    pass
+            check_all()
+    finally:
+        for snap, _fingerprint_ in held:
+            snap.release()
+
+    stats = doc.stats_snapshot()
+    assert stats["pinned_generations"] == 0
+    # a fresh pin of the current generation always works after the dust settles
+    with doc.pin() as snap:
+        assert snap.generation == doc.generation
+
+
+@settings(max_examples=20, deadline=None)
+@given(pins=st.integers(min_value=1, max_value=6))
+def test_reclaim_exactly_once_per_superseded_generation(pins):
+    tree = generate_tree(RandomTreeConfig(node_count=40), seed=43)
+    doc = ConcurrentDocument(tree)
+    snaps = [doc.pin() for _ in range(pins)]
+    root_child = doc.tree.root.children[0]
+    doc.insert(root_child, 0, XmlNode("item", NodeKind.ELEMENT))
+    # all pins share one generation: reclaim fires on the LAST release only
+    for snap in snaps[:-1]:
+        snap.release()
+        assert doc.stats_snapshot()["snapshots_reclaimed"] == 0
+    snaps[-1].release()
+    stats = doc.stats_snapshot()
+    assert stats["snapshots_reclaimed"] == 1
+    assert stats["live_snapshots"] == 0  # new generation not yet materialised

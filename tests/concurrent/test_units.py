@@ -1,0 +1,228 @@
+"""Unit coverage for the concurrency primitives: the RW lock, the
+epoch reclaimer, snapshot pin/release semantics, and the database
+wrapper."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.registry import get_scheme
+from repro.concurrent import (
+    ConcurrentDocument,
+    ConcurrentXmlDatabase,
+    EpochReclaimer,
+    ReadWriteLock,
+)
+from repro.errors import NumberingError
+from repro.generator import RandomTreeConfig, generate_tree
+from repro.storage.database import XmlDatabase
+from repro.xmltree import parse
+from repro.xmltree.node import NodeKind, XmlNode
+
+DOC = "<root><a><b/><b/></a><c><b/></c></root>"
+
+
+# ----------------------------------------------------------------------
+# ReadWriteLock
+# ----------------------------------------------------------------------
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.acquire_read()
+        lock.release_read()
+        lock.release_read()
+        assert lock.read_acquisitions == 2
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        entered = threading.Event()
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_locked():
+                entered.set()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        assert not entered.wait(0.05)
+        lock.release_write()
+        assert entered.wait(2.0)
+        t.join()
+
+    def test_write_preference_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_in = threading.Event()
+        late_reader_in = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+
+        def late_reader():
+            with lock.read_locked():
+                late_reader_in.set()
+
+        tw = threading.Thread(target=writer)
+        tw.start()
+        while not lock._writers_waiting:
+            time.sleep(0.001)
+        tr = threading.Thread(target=late_reader)
+        tr.start()
+        # the waiting writer bars the new reader even though a reader
+        # currently holds the lock
+        assert not late_reader_in.wait(0.05)
+        lock.release_read()
+        assert writer_in.wait(2.0)
+        assert late_reader_in.wait(2.0)
+        tw.join()
+        tr.join()
+        assert lock.writer_wait_ns > 0
+
+    def test_unmatched_release_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+# ----------------------------------------------------------------------
+# EpochReclaimer
+# ----------------------------------------------------------------------
+class TestEpochReclaimer:
+    def test_retire_unpinned_frees_immediately(self):
+        freed = []
+        r = EpochReclaimer(freed.append)
+        assert r.retire(3) is True
+        assert freed == [3]
+
+    def test_retire_pinned_waits_for_last_unpin(self):
+        freed = []
+        r = EpochReclaimer(freed.append)
+        r.pin(5)
+        r.pin(5)
+        assert r.retire(5) is False
+        r.unpin(5)
+        assert freed == []
+        r.unpin(5)
+        assert freed == [5]
+        assert r.pin_count(5) == 0
+        assert r.reclaimed == 1
+
+    def test_unpin_without_pin_raises(self):
+        r = EpochReclaimer()
+        with pytest.raises(RuntimeError):
+            r.unpin(1)
+
+    def test_callback_fired_outside_lock(self):
+        # re-entering the reclaimer from the callback must not deadlock
+        r = EpochReclaimer()
+        r._reclaim = lambda gen: r.pin_count(gen)
+        r.pin(1)
+        r.retire(1)
+        r.unpin(1)
+
+
+# ----------------------------------------------------------------------
+# Snapshot pin/release semantics
+# ----------------------------------------------------------------------
+class TestPinnedSnapshot:
+    def test_pin_survives_mutation(self):
+        doc = ConcurrentDocument(parse(DOC))
+        snap = doc.pin()
+        before = snap.select_ids("//b")
+        target = snap.select("//a")[0]
+        doc.insert(target, 0, XmlNode("b", NodeKind.ELEMENT))
+        assert snap.select_ids("//b") == before
+        assert len(doc.select("//b")) == len(before) + 1
+        snap.release()
+
+    def test_release_idempotent_and_reclaims(self):
+        doc = ConcurrentDocument(parse(DOC))
+        snap = doc.pin()
+        gen = snap.generation
+        doc.insert(doc.select("//c")[0], 0, XmlNode("b", NodeKind.ELEMENT))
+        snap.release()
+        snap.release()  # no error, no double-unpin
+        stats = doc.stats_snapshot()
+        assert stats["pinned_generations"] == 0
+        assert stats["snapshots_reclaimed"] == 1
+        assert gen not in doc._views
+
+    def test_same_generation_shares_one_view(self):
+        doc = ConcurrentDocument(parse(DOC))
+        with doc.pin() as a, doc.pin() as b:
+            assert a.view is b.view
+        assert doc.stats_snapshot()["snapshot_builds"] == 1
+
+    def test_reenumerate_requires_support(self):
+        doc = ConcurrentDocument(parse(DOC), scheme="dewey")
+        with pytest.raises(NumberingError):
+            doc.reenumerate()
+
+    def test_reenumerate_bumps_generation(self):
+        doc = ConcurrentDocument(parse(DOC), scheme="ruid2")
+        with doc.pin() as snap:
+            doc.reenumerate()
+            assert doc.generation > snap.generation
+            # the pinned view still answers from its own generation
+            assert snap.select_ids("//b") == [n.node_id for n in doc.select("//b")]
+
+    def test_plan_cache_shared_and_bounded(self):
+        doc = ConcurrentDocument(parse(DOC), plan_cache_size=2)
+        assert doc.compile("//a") is doc.compile("//a")
+        doc.compile("//b")
+        doc.compile("//c")  # evicts //a
+        assert doc.stats.as_dict().get("plan_evictions") == 1
+
+
+# ----------------------------------------------------------------------
+# ConcurrentXmlDatabase
+# ----------------------------------------------------------------------
+class TestConcurrentDatabase:
+    def _store(self, cdb, name="doc"):
+        tree = generate_tree(RandomTreeConfig(node_count=40), seed=2)
+        labeling = get_scheme("ruid2").build(tree)
+        cdb.store_document(name, tree, labeling)
+        return labeling
+
+    def test_round_trip(self):
+        cdb = ConcurrentXmlDatabase(XmlDatabase(durable=True))
+        self._store(cdb)
+        assert cdb.document_names() == ["doc"]
+        rows = cdb.nodes_with_tag("doc", "item")
+        assert rows
+        label = rows[0][0]
+        assert cdb.fetch("doc", label) == rows[0]
+
+    def test_concurrent_readers_during_store(self):
+        cdb = ConcurrentXmlDatabase(XmlDatabase(durable=True))
+        self._store(cdb, "first")
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    names = cdb.document_names()
+                    for name in names:
+                        cdb.nodes_with_tag(name, "item")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(3):
+            self._store(cdb, f"extra{i}")
+        stop.set()
+        for t in threads:
+            t.join(5.0)
+        assert not errors
+        assert len(cdb.document_names()) == 4
+        assert cdb.lock.write_acquisitions >= 4

@@ -1,0 +1,157 @@
+"""Shared machinery for the cross-scheme differential harness.
+
+One corpus = one document plus the query set exercised against it.
+For every corpus the navigational evaluator (plain DOM walking, no
+labels anywhere) is the ground truth; each numbering scheme answers
+the same queries through a :class:`StructuralView` built from *its
+own* rank index and parent arithmetic, so a wrong scheme produces
+divergent results rather than a crash.
+
+Everything expensive (trees, baselines, per-scheme views) is built
+once per session and memoised here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.baselines.registry import get_scheme
+from repro.concurrent import SnapshotEvaluator, StructuralView
+from repro.generator import (
+    DBLP_QUERIES,
+    RandomTreeConfig,
+    TREEBANK_QUERIES,
+    XMARK_QUERIES,
+    generate_dblp,
+    generate_treebank,
+    generate_tree,
+    generate_xmark,
+)
+from repro.query.engine import XPathEngine
+from repro.query.parser import parse_xpath
+from repro.xmltree import parse
+from repro.xmltree.tree import XmlTree
+
+SITE_DOC = """<site>
+ <people>
+  <person id="p1"><name>Alice</name><age>31</age></person>
+  <person id="p2"><name>Bob</name><age>17</age></person>
+  <person id="p3"><name>Cara</name><age>44</age></person>
+ </people>
+ <items>
+  <item id="i1"><name>Lamp</name><price>19</price></item>
+  <item id="i2"><name>Desk</name><price>140</price></item>
+ </items>
+</site>"""
+
+#: the former tests/query ad-hoc agreement queries, kept verbatim so
+#: the coverage that lived there moves here rather than disappearing
+SITE_QUERIES = (
+    "/site/people/person",
+    "//name",
+    "//person[age > 20]/name",
+    "//item/following-sibling::*",
+    "//price/ancestor::item",
+    "//person[2]/preceding::*",
+    "//people/descendant::name[2]",
+    "//*[name() != 'site']",
+    "//person[@id = 'p2']/name",
+    "//item/name/text()",
+)
+
+RANDOM_QUERIES = (
+    "//*",
+    "/*/*",
+    "//item",
+    "//entry/ancestor::*",
+    "//group/descendant-or-self::*",
+    "//*[2]/following-sibling::*",
+    "//record/..",
+)
+
+#: corpus name → (tree factory, query tuple)
+CORPORA = {
+    "site": (lambda: parse(SITE_DOC), SITE_QUERIES),
+    "random": (
+        lambda: generate_tree(RandomTreeConfig(node_count=400), seed=11),
+        RANDOM_QUERIES,
+    ),
+    "xmark": (lambda: generate_xmark(scale=0.08, seed=3), XMARK_QUERIES),
+    "dblp": (lambda: generate_dblp(entries=60, seed=7), DBLP_QUERIES),
+    "treebank": (
+        lambda: generate_treebank(sentences=6, max_depth=10, seed=5),
+        TREEBANK_QUERIES,
+    ),
+}
+
+_trees: Dict[str, XmlTree] = {}
+_engines: Dict[str, XPathEngine] = {}
+_baselines: Dict[Tuple[str, str], List] = {}
+_views: Dict[Tuple[str, str], StructuralView] = {}
+
+
+def corpus_tree(name: str) -> XmlTree:
+    tree = _trees.get(name)
+    if tree is None:
+        _trees[name] = tree = CORPORA[name][0]()
+    return tree
+
+
+def corpus_engine(name: str) -> XPathEngine:
+    engine = _engines.get(name)
+    if engine is None:
+        _engines[name] = engine = XPathEngine(corpus_tree(name))
+    return engine
+
+
+def result_keys(nodes, tree: XmlTree) -> List:
+    """Comparable identities for a result node-set.
+
+    Real document nodes compare by ``node_id``. Transient attribute
+    nodes (synthesized per evaluation, so ids differ between
+    evaluators) compare by (owner id, name, value).
+    """
+    order = tree.document_order_index()
+    keys = []
+    for node in nodes:
+        if node.node_id in order:
+            keys.append(node.node_id)
+        else:
+            owner = node.parent.node_id if node.parent is not None else None
+            keys.append(("attr", owner, node.tag, node.text))
+    return keys
+
+
+def baseline_keys(corpus: str, query: str) -> List:
+    key = (corpus, query)
+    cached = _baselines.get(key)
+    if cached is None:
+        engine = corpus_engine(corpus)
+        result = engine.select(query, strategy="navigational")
+        _baselines[key] = cached = result_keys(result, corpus_tree(corpus))
+    return cached
+
+
+def scheme_view(corpus: str, scheme: str) -> StructuralView:
+    key = (corpus, scheme)
+    view = _views.get(key)
+    if view is None:
+        labeling = get_scheme(scheme).build(corpus_tree(corpus))
+        _views[key] = view = StructuralView.from_labeling(labeling)
+    return view
+
+
+def snapshot_select(corpus: str, scheme: str, query: str) -> List:
+    evaluator = SnapshotEvaluator(scheme_view(corpus, scheme))
+    return evaluator.select(parse_xpath(query))
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _clear_caches_at_exit():
+    yield
+    _trees.clear()
+    _engines.clear()
+    _baselines.clear()
+    _views.clear()

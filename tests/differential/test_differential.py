@@ -1,0 +1,115 @@
+"""Cross-scheme differential harness.
+
+Every (corpus, query) pair runs through *all* numbering schemes (via
+structural snapshots built from each scheme's own rank index and
+parent arithmetic) plus the labeled fast path, and must return a
+node-for-node identical result to the navigational baseline. This
+replaces the ad-hoc per-scheme agreement assertions that used to live
+in ``tests/query/test_evaluator.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import UPDATABLE, get_scheme, scheme_names
+from repro.concurrent import SnapshotEvaluator, StructuralView
+from repro.generator import UpdateWorkloadConfig, apply_workload, generate_update_workload
+from repro.query.engine import XPathEngine
+from repro.query.parser import parse_xpath
+
+from .conftest import (
+    CORPORA,
+    baseline_keys,
+    corpus_engine,
+    corpus_tree,
+    result_keys,
+    snapshot_select,
+)
+
+CASES = [
+    pytest.param(corpus, query, id=f"{corpus}-{query}")
+    for corpus, (_, queries) in CORPORA.items()
+    for query in queries
+]
+
+SCHEMES = scheme_names()
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize(("corpus", "query"), CASES)
+class TestSchemeAgreement:
+    """All schemes answer every corpus query exactly like navigation."""
+
+    def test_snapshot_matches_navigational(self, corpus, query, scheme):
+        got = result_keys(snapshot_select(corpus, scheme, query), corpus_tree(corpus))
+        assert got == baseline_keys(corpus, query), (
+            f"scheme {scheme!r} diverged from navigational baseline "
+            f"on {corpus}:{query}"
+        )
+
+
+@pytest.mark.parametrize(("corpus", "query"), CASES)
+def test_fast_path_matches_navigational(corpus, query):
+    """The engine's labeled (rank-index) route agrees with navigation."""
+    engine = corpus_engine(corpus)
+    got = result_keys(engine.select(query, strategy="ruid"), corpus_tree(corpus))
+    assert got == baseline_keys(corpus, query)
+
+
+@pytest.mark.parametrize("corpus", list(CORPORA))
+def test_result_sets_preserve_document_order(corpus):
+    """Snapshot results come back in document order for every scheme."""
+    tree = corpus_tree(corpus)
+    order = tree.document_order_index()
+    for scheme in SCHEMES:
+        result = snapshot_select(corpus, scheme, "//*")
+        ranks = [order[node.node_id] for node in result]
+        assert ranks == sorted(ranks), f"{scheme} broke document order on {corpus}"
+
+
+@pytest.mark.parametrize("scheme", sorted(UPDATABLE))
+def test_post_update_agreement(scheme):
+    """After a recorded insert/delete workload, a fresh snapshot built
+    from the relabeled tree still agrees with navigation on that tree.
+
+    Each scheme replays the same ordinal-path workload against its own
+    copy of the corpus, so a relabeling bug shows up as divergence here
+    rather than in the static tests above.
+    """
+    tree = CORPORA["xmark"][0]()  # fresh copy; factories are deterministic
+    labeling = get_scheme(scheme).build(tree)
+    ops = generate_update_workload(
+        tree, UpdateWorkloadConfig(operations=40, insert_fraction=0.7), seed=19
+    )
+    for _report in apply_workload(tree, ops, labeling.insert, labeling.delete):
+        pass
+
+    view = StructuralView.from_labeling(labeling)
+    snapshot = SnapshotEvaluator(view)
+    engine = XPathEngine(tree)
+    for query in CORPORA["xmark"][1]:
+        want = result_keys(engine.select(query, strategy="navigational"), tree)
+        got = result_keys(snapshot.select(parse_xpath(query)), tree)
+        assert got == want, f"{scheme} diverged post-update on {query}"
+
+
+def test_post_update_cardinalities_agree_across_schemes():
+    """All updatable schemes, replaying the same workload on identical
+    tree copies, report identical result sizes for every query."""
+    counts = {}
+    for scheme in sorted(UPDATABLE):
+        tree = CORPORA["xmark"][0]()
+        labeling = get_scheme(scheme).build(tree)
+        ops = generate_update_workload(
+            tree, UpdateWorkloadConfig(operations=25), seed=23
+        )
+        for _report in apply_workload(tree, ops, labeling.insert, labeling.delete):
+            pass
+        snapshot = SnapshotEvaluator(StructuralView.from_labeling(labeling))
+        counts[scheme] = [
+            len(snapshot.select(parse_xpath(q))) for q in CORPORA["xmark"][1]
+        ]
+    baseline = counts.pop(sorted(UPDATABLE)[0])
+    for scheme, sizes in counts.items():
+        assert sizes == baseline, f"{scheme} cardinalities diverged: {sizes}"

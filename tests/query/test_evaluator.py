@@ -169,20 +169,6 @@ class TestAxes:
         assert engine.count("//person/name/text()") == 3
 
 
-class TestStrategyAgreement:
-    QUERIES = [
-        "/site/people/person",
-        "//name",
-        "//person[age > 20]/name",
-        "//item/following-sibling::*",
-        "//price/ancestor::item",
-        "//person[2]/preceding::*",
-        "//people/descendant::name[2]",
-        "//*[name() != 'site']",
-    ]
-
-    @pytest.mark.parametrize("query", QUERIES)
-    def test_nav_equals_ruid(self, engine, query):
-        navigational = engine.select(query, "navigational")
-        ruid = engine.select(query, "ruid")
-        assert [n.node_id for n in navigational] == [n.node_id for n in ruid]
+# Strategy-agreement coverage (navigational vs labeled vs every
+# numbering scheme, on this corpus and four generated ones) lives in
+# tests/differential/test_differential.py.

@@ -120,6 +120,28 @@ class TestMetrics:
         assert "error" in capsys.readouterr().err
 
 
+class TestConcurrent:
+    def test_batch_table_and_metrics(self, doc_path, capsys):
+        assert main(
+            ["concurrent", doc_path, "//person", "//item/name", "--threads", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "snapshot batch, generation" in out
+        assert "//item/name" in out
+        assert "snapshot_pins" in out
+        assert "parallel_chunks" in out
+
+    def test_scheme_selectable(self, doc_path, capsys):
+        assert main(
+            ["concurrent", doc_path, "//person", "--scheme", "dewey"]
+        ) == 0
+        assert "snapshot_builds" in capsys.readouterr().out
+
+    def test_bad_xpath(self, doc_path, capsys):
+        assert main(["concurrent", doc_path, "//["]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestFragment:
     def test_fragment_is_xml(self, doc_path, capsys):
         assert main(["fragment", doc_path, "//person[1]/name"]) == 0
