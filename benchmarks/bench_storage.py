@@ -4,11 +4,25 @@ Not tied to a single paper experiment; these pin the performance
 characteristics of the storage engine all the I/O-sensitive
 experiments (E6, E8, E12) stand on, and tabulate the buffer-pool
 behaviour that turns index probes into disk reads.
+
+E17 (``test_node_store_table`` / ``python benchmarks/bench_storage.py``)
+compares the two NodeStore deployments on the same query workload:
+the all-in-RAM MemoryNodeStore against PagedNodeStore through buffer
+pools of 8, 64 and 512 pages — queries/s and the page hit-rate each
+pool size sustains. ``--quick`` runs the CI smoke: a small document,
+one pool size, and a node-for-node agreement assertion between the
+memory and paged answers.
 """
+
+import argparse
+import time
 
 import pytest
 
 from conftest import emit, emits_table
+from repro.core.scheme import Ruid2Scheme
+from repro.generator import XMARK_QUERIES, generate_xmark
+from repro.query.engine import XPathEngine
 from repro.storage import (
     BPlusTree,
     Column,
@@ -19,6 +33,8 @@ from repro.storage import (
     encode_key,
     encode_value,
 )
+from repro.storage.database import XmlDatabase, label_key
+from repro.store import MemoryNodeStore, PagedNodeStore
 
 _N = 3000
 
@@ -114,3 +130,139 @@ def test_buffer_pool_table():
     # bigger pools must not hit less
     ratios = [row[3] for row in rows]
     assert ratios == sorted(ratios)
+
+
+# ----------------------------------------------------------------------
+# E17: memory vs paged NodeStore on one query workload
+# ----------------------------------------------------------------------
+E17_HEADERS = ("backend", "pool_pages", "queries_per_s", "hit_rate", "page_misses")
+
+#: element-result queries (attribute results have no stored label and
+#: would measure transient-node synthesis instead of store access)
+E17_QUERIES = tuple(q for q in XMARK_QUERIES if "@" not in q)
+
+
+def _result_keys(store, labeling, nodes):
+    """Flattened-label identities for cross-backend agreement checks."""
+    keys = []
+    for node in nodes:
+        try:
+            keys.append(label_key(store.label_for(node)))
+        except Exception:
+            try:  # memory stores hand back live nodes: go through the scheme
+                keys.append(label_key(labeling.label_of(node)))
+            except Exception:  # transient attribute node
+                keys.append(("attr", node.tag, node.text))
+    return keys
+
+
+def _time_queries(engine, queries, repeats):
+    """(queries/s) for *repeats* passes of the query set."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            engine.select(query, "store")
+    elapsed = time.perf_counter() - start
+    return (repeats * len(queries)) / elapsed if elapsed else float("inf")
+
+
+def run_node_store_table(tree, pool_sizes=(8, 64, 512), repeats=3, sink=emit):
+    """Memory vs paged queries/s plus per-pool-size page hit-rates.
+
+    Each paged pass attaches a *fresh* store to the shredded document,
+    so Python-side caches start cold and every pass pays real buffer-
+    pool traffic — the hit-rate column reflects the pool, not a dict.
+    """
+    labeling = Ruid2Scheme().build(tree)
+    rows = []
+
+    memory = MemoryNodeStore(labeling)
+    engine = XPathEngine(None, store=memory)
+    engine.select(E17_QUERIES[0], "store")  # build candidates once
+    rows.append(
+        ("memory", "-", round(_time_queries(engine, E17_QUERIES, repeats), 1), "-", "-")
+    )
+
+    for pool_pages in pool_sizes:
+        database = XmlDatabase(page_size=1024, pool_pages=pool_pages)
+        document = database.store_document("doc", tree, labeling)
+        PagedNodeStore(document)  # shred once; timed passes re-attach
+        before = database.io_snapshot()
+        start = time.perf_counter()
+        ran = 0
+        for _ in range(repeats):
+            store = PagedNodeStore(document)
+            paged_engine = XPathEngine(None, store=store)
+            for query in E17_QUERIES:
+                paged_engine.select(query, "store")
+                ran += 1
+        elapsed = time.perf_counter() - start
+        delta = database.io_delta(before)
+        hits, misses = delta["buffer_hits"], delta["buffer_misses"]
+        rows.append(
+            (
+                "paged",
+                pool_pages,
+                round(ran / elapsed, 1) if elapsed else float("inf"),
+                round(hits / (hits + misses), 3) if hits + misses else "-",
+                misses,
+            )
+        )
+    sink(
+        "e17_node_store",
+        E17_HEADERS,
+        rows,
+        f"E17: NodeStore backends, {len(E17_QUERIES)} queries x {repeats} "
+        f"passes on {tree.size()} nodes",
+    )
+    return rows
+
+
+@emits_table
+def test_node_store_table():
+    tree = generate_xmark(scale=0.2, seed=2002)
+    rows = run_node_store_table(tree, repeats=2)
+    # more pool must never mean a worse hit-rate
+    rates = [row[3] for row in rows if row[0] == "paged"]
+    assert rates == sorted(rates)
+
+
+def _print_only(experiment, headers, rows, title):
+    from repro.analysis import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small document, one pool size, plus a "
+        "node-for-node agreement check (does not overwrite results)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        tree = generate_xmark(scale=0.05, seed=2002)
+        run_node_store_table(tree, pool_sizes=(8,), repeats=1, sink=_print_only)
+        # agreement gate: paged answers == memory answers, node for node
+        labeling = Ruid2Scheme().build(tree)
+        memory_engine = XPathEngine(None, store=MemoryNodeStore(labeling))
+        database = XmlDatabase(page_size=1024, pool_pages=8)
+        store = PagedNodeStore(database.store_document("doc", tree, labeling))
+        paged_engine = XPathEngine(None, store=store)
+        for query in E17_QUERIES:
+            want = _result_keys(
+                memory_engine.store, labeling, memory_engine.select(query, "store")
+            )
+            got = _result_keys(store, labeling, paged_engine.select(query, "store"))
+            assert got == want, f"paged diverged from memory on {query}"
+        print(f"quick: paged == memory on {len(E17_QUERIES)} queries")
+        return
+    tree = generate_xmark(scale=0.3, seed=2002)
+    run_node_store_table(tree)
+
+
+if __name__ == "__main__":
+    main()

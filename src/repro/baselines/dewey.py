@@ -20,7 +20,6 @@ from repro.baselines.base import RebuildOnUpdateLabeling
 from repro.core.labels import Relation
 from repro.core.scheme import NumberingScheme
 from repro.errors import NoParentError
-from repro.xmltree.node import XmlNode
 from repro.xmltree.tree import XmlTree
 
 DeweyLabel = Tuple[int, ...]

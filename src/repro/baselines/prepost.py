@@ -22,7 +22,6 @@ from repro.baselines.base import RebuildOnUpdateLabeling
 from repro.core.labels import Relation
 from repro.core.scheme import NumberingScheme
 from repro.errors import NoParentError, UnknownLabelError
-from repro.xmltree.node import XmlNode
 from repro.xmltree.tree import XmlTree
 
 PrePostLabel = Tuple[int, int]

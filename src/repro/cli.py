@@ -80,17 +80,50 @@ def cmd_label(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_store(tree, kind: str):
+    """A NodeStore over *tree*: live labeling (memory) or a shredded
+    in-memory database queried through the buffer pool (paged)."""
+    labeling = Ruid2Scheme().build(tree)
+    if kind == "memory":
+        from repro.store import MemoryNodeStore
+
+        return MemoryNodeStore(labeling)
+    from repro.storage.database import XmlDatabase
+    from repro.store import PagedNodeStore
+
+    database = XmlDatabase()
+    document = database.store_document("doc", tree, labeling)
+    return PagedNodeStore(document)
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     tree = _load(args.file)
-    engine = XPathEngine(tree)
-    nodes = engine.select(args.xpath, args.strategy)
-    if args.values:
-        for value in (n.text_content() for n in nodes):
-            print(value)
-    else:
-        for node in nodes:
-            print(node.path())
-    print(f"-- {len(nodes)} node(s) [{args.strategy}]", file=sys.stderr)
+    store = getattr(args, "store", None)
+    if store is None:
+        engine = XPathEngine(tree)
+        nodes = engine.select(args.xpath, args.strategy)
+        if args.values:
+            for value in (n.text_content() for n in nodes):
+                print(value)
+        else:
+            for node in nodes:
+                print(node.path())
+        print(f"-- {len(nodes)} node(s) [{args.strategy}]", file=sys.stderr)
+        return 0
+    node_store = _make_store(tree, store)
+    engine = XPathEngine(tree, store=node_store)
+    nodes = engine.select(args.xpath, "store")
+    for node in nodes:
+        try:
+            label = node_store.label_for(node)
+        except ReproError:  # transient node (synthesized attribute)
+            print(node.text if args.values else node.path())
+            continue
+        if args.values:
+            print(node_store.string_value(label))
+        else:
+            print(node_store.path_of(label))
+    print(f"-- {len(nodes)} node(s) [store:{node_store.store_kind}]", file=sys.stderr)
     return 0
 
 
@@ -244,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("file")
     query.add_argument("xpath")
     query.add_argument("--strategy", choices=("ruid", "navigational"), default="ruid")
+    query.add_argument(
+        "--store", choices=("memory", "paged"), default=None,
+        help="evaluate through a NodeStore instead of the live tree "
+        "(paged: shred into an in-memory database and query "
+        "through the buffer pool)",
+    )
     query.add_argument("--values", action="store_true", help="print string-values")
     query.set_defaults(handler=cmd_query)
 

@@ -84,8 +84,10 @@ class ConcurrentXmlDatabase:
             return self.database.document(name).fetch(label)
 
     def nodes_with_tag(self, name: str, tag: str) -> List[Tuple[Any, ...]]:
+        # materialise inside the lock: the underlying lookup is lazy,
+        # and draining it after release would race the writer
         with self.lock.read_locked():
-            return self.database.document(name).nodes_with_tag(tag)
+            return list(self.database.document(name).nodes_with_tag(tag))
 
     def io_snapshot(self) -> Dict[str, int]:
         with self.lock.read_locked():

@@ -63,6 +63,16 @@ class PinnedSnapshot:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    @property
+    def store(self) -> StructuralView:
+        """The pinned view under its :class:`~repro.store.base.NodeStore`
+        identity (labels are ``node_id`` ints) — hand it to anything
+        protocol-typed: :class:`~repro.store.evaluator.StoreEvaluator`,
+        :class:`~repro.query.twig.TwigMatcher`,
+        :func:`~repro.core.document.reconstruct_fragment`. Valid only
+        while the pin is held."""
+        return self.view
+
     def evaluator(self) -> SnapshotEvaluator:
         with self._lock:
             if self._evaluator is None:

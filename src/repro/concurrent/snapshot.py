@@ -26,17 +26,28 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.errors import NoParentError, QueryError
+from repro.errors import NoParentError, QueryError, UnknownLabelError
 from repro.query.evaluator import BaseEvaluator
 from repro.query.stats import QueryStats
+from repro.store.base import NodeRecord, NodeStore
 from repro.xmltree.node import NodeKind, XmlNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.scheme import Labeling
 
 
-class StructuralView:
-    """One labeling generation, frozen for lock-free reading."""
+class StructuralView(NodeStore):
+    """One labeling generation, frozen for lock-free reading.
+
+    Also the frozen-snapshot implementation of the
+    :class:`~repro.store.base.NodeStore` protocol: labels are the
+    ``node_id`` ints the view is keyed by, so protocol consumers
+    (:class:`~repro.store.evaluator.StoreEvaluator`,
+    :class:`~repro.query.twig.TwigMatcher`, physical counters) run
+    against a pinned generation unchanged.
+    """
+
+    store_kind = "snapshot"
 
     __slots__ = (
         "generation",
@@ -60,6 +71,7 @@ class StructuralView:
     )
 
     def __init__(self, generation: int, scheme_name: str):
+        super().__init__()  # the stats ledger
         self.generation = generation
         self.scheme_name = scheme_name
         self.root: Optional[XmlNode] = None
@@ -215,6 +227,86 @@ class StructuralView:
             for i in self.ids_by_rank[lo:hi]
             if node_by_id[i].kind is not NodeKind.ATTRIBUTE
         ]
+
+    # ------------------------------------------------------------------
+    # NodeStore protocol (labels are node_ids)
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        return len(self.node_by_id)
+
+    def root_label(self) -> int:
+        return self.root.node_id
+
+    def rank_of(self, label: int) -> int:
+        try:
+            return self.rank[label]
+        except KeyError:
+            raise UnknownLabelError(f"node id {label!r} not in this view") from None
+
+    def end_of(self, label: int) -> int:
+        try:
+            return self.end[label]
+        except KeyError:
+            raise UnknownLabelError(f"node id {label!r} not in this view") from None
+
+    def label_at(self, rank: int) -> int:
+        try:
+            return self.ids_by_rank[rank]
+        except IndexError:
+            raise UnknownLabelError(f"no node at rank {rank}") from None
+
+    def parent_of(self, label: int) -> Optional[int]:
+        self.stats.parent_hops += 1
+        return self.parent[label]
+
+    def children_of(self, label: int) -> List[int]:
+        return self.children[label]
+
+    def record(self, label: int) -> NodeRecord:
+        self.stats.fetches += 1
+        node = self.node_by_id[label]
+        return NodeRecord(label, node.tag, node.kind, node.text)
+
+    def node_for(self, label: int) -> XmlNode:
+        self.stats.fetches += 1
+        return self.node_by_id[label]
+
+    def label_for(self, node: XmlNode) -> int:
+        nid = node.node_id
+        if nid not in self.node_by_id:
+            raise UnknownLabelError(f"node {node!r} is not in this view")
+        return nid
+
+    def labels_with_tag(self, tag: str) -> List[int]:
+        self.stats.tag_lookups += 1
+        return self.tag_ids.get(tag, [])
+
+    def element_labels(self) -> List[int]:
+        return self.element_ids
+
+    def text_labels(self) -> List[int]:
+        return self.text_ids
+
+    def comment_labels(self) -> List[int]:
+        return self.comment_ids
+
+    def structural_labels(self) -> List[int]:
+        return self.structural_ids
+
+    def attributes_of(self, label: int) -> Tuple[Tuple[str, str], ...]:
+        return self.attrs.get(label, ())
+
+    def attribute_labels(self, label: int) -> List[int]:
+        return self.attr_children.get(label, [])
+
+    def string_value(self, label: int) -> str:
+        return self.string_values[label]
+
+    def order_by_id(self) -> Dict[int, int]:
+        return self.rank
+
+    def descendant_labels(self, label: int, or_self: bool = False) -> List[int]:
+        return self.descendant_slice(label, or_self=or_self)
 
     def __repr__(self) -> str:
         return (

@@ -14,36 +14,49 @@ only to copy node content.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.axes import AxisEngine
 from repro.core.labels import Ruid2Label
-from repro.core.order import Ruid2Order
 from repro.core.partition import Partitioner
 from repro.core.ruid import Ruid2Labeling
 from repro.core.update import RelabelReport, Ruid2Updater
-from repro.errors import QueryError, UnknownLabelError
+from repro.errors import QueryError
 from repro.xmltree.node import XmlNode
 from repro.xmltree.tree import XmlTree
 
 
+def _as_store(source: Any):
+    """Coerce *source* to a NodeStore: pass stores through, wrap any
+    labeling (scheme adapter or bare core) in a MemoryNodeStore."""
+    from repro.store.base import NodeStore
+    from repro.store.memory import MemoryNodeStore
+
+    if isinstance(source, NodeStore):
+        return source
+    return MemoryNodeStore(source)
+
+
 def reconstruct_fragment(
-    labeling: Ruid2Labeling,
-    labels: Iterable[Ruid2Label],
+    source: Any,
+    labels: Iterable[Any],
     include_descendants: bool = False,
 ) -> XmlTree:
     """Rebuild a document fragment from a set of identifiers.
 
     The returned tree contains the selected nodes plus every ancestor
     needed to connect them, rooted at the document root, in source
-    document order. Ancestors are discovered by ``rparent`` chains
+    document order. Ancestors are discovered by parent-label chains
     (no tree navigation); node content (tag, attributes, text) is
-    copied from the source nodes.
+    copied from the store's records.
 
     Parameters
     ----------
-    labeling:
-        The built 2-level rUID labeling of the source document.
+    source:
+        A built labeling of the source document (any scheme, core or
+        adapter shape) or a :class:`~repro.store.base.NodeStore` —
+        fragments reconstruct identically from memory, paged, and
+        snapshot stores.
     labels:
         The selected identifiers (e.g. a query result).
     include_descendants:
@@ -56,43 +69,43 @@ def reconstruct_fragment(
     QueryError
         If *labels* is empty — there is no fragment to reconstruct.
     """
+    store = _as_store(source)
     selected = list(labels)
     if not selected:
         raise QueryError("cannot reconstruct a fragment from an empty selection")
     for label in selected:
-        labeling.node_of(label)  # validate early
+        store.rank_of(label)  # validate early
 
-    closure: Dict[Ruid2Label, None] = {}
+    closure: Dict[Any, None] = {}
     for label in selected:
         chain = [label]
-        current = label
-        while not current.is_document_root:
-            current = labeling.rparent(current)
+        current = store.parent_of(label)
+        while current is not None:
             chain.append(current)
+            current = store.parent_of(current)
         for entry in chain:
             closure.setdefault(entry, None)
 
     if include_descendants:
-        engine = AxisEngine(labeling)
         for label in selected:
-            for descendant in engine.descendants(label):
+            for descendant in store.descendant_labels(label):
                 closure.setdefault(descendant, None)
 
-    order = Ruid2Order(labeling.kappa, labeling.ktable)
-    ordered = sorted(closure, key=order.sort_key)
+    ordered = sorted(closure, key=store.rank_of)
 
-    clones: Dict[Ruid2Label, XmlNode] = {}
+    clones: Dict[Any, XmlNode] = {}
     root_clone: Optional[XmlNode] = None
     for label in ordered:
-        source = labeling.node_of(label)
+        node = store.node_for(label)
         clone = XmlNode(
-            source.tag, source.kind, attributes=source.attributes, text=source.text
+            node.tag, node.kind, attributes=node.attributes, text=node.text
         )
         clones[label] = clone
-        if label.is_document_root:
+        parent = store.parent_of(label)
+        if parent is None:
             root_clone = clone
         else:
-            clones[labeling.rparent(label)].append_child(clone)
+            clones[parent].append_child(clone)
     assert root_clone is not None  # the closure always contains the root
     return XmlTree(root_clone)
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core import uid as uid_math
 from repro.core.axes import candidate_children, candidate_siblings
 from repro.core.ktable import KRow, KTable
 from repro.core.labels import Relation, Ruid2Label
@@ -84,7 +83,8 @@ def load_parameters(data: bytes) -> "GlobalParameters":
         tags: Optional[Dict[Ruid2Label, str]] = None
         if directory:
             tags = {
-                Ruid2Label(g, l, flag): tag for g, l, flag, tag in directory
+                Ruid2Label(g, local, flag): tag
+                for g, local, flag, tag in directory
             }
     except StorageError:
         raise

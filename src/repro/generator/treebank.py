@@ -11,7 +11,6 @@ deterministically per seed.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.xmltree.node import NodeKind, XmlNode
 from repro.xmltree.tree import XmlTree

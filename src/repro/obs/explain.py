@@ -111,6 +111,9 @@ class QueryPlan:
     total_ns: Optional[int] = None
     #: the ANALYZE run's result node-set (not serialized)
     result: Optional[list] = None
+    #: physical access counters charged by the run (store fetches,
+    #: rank probes, buffer-pool page hits/misses for paged stores)
+    physical: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -121,6 +124,7 @@ class QueryPlan:
             "analyzed": self.analyzed,
             "result_count": self.result_count,
             "total_ns": self.total_ns,
+            "physical": self.physical,
             "paths": [path.as_dict() for path in self.paths],
         }
 
@@ -168,6 +172,11 @@ class QueryPlan:
                 f"\nresults: {self.result_count}"
                 f"   total: {_ns_to_ms(self.total_ns)} ms"
             )
+            if self.physical:
+                counters = "  ".join(
+                    f"{key}={value}" for key, value in sorted(self.physical.items())
+                )
+                footer += f"\nphysical: {counters}"
         return f"{header}\n{body}{footer}"
 
     def __str__(self) -> str:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from time import perf_counter_ns
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 

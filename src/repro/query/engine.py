@@ -68,19 +68,27 @@ class XPathEngine:
     slow_log:
         Optional :class:`~repro.obs.slowlog.SlowQueryLog`; selects
         crossing its threshold are retained with their EXPLAIN plan.
+    store:
+        Optional :class:`~repro.store.base.NodeStore` enabling the
+        ``"store"`` strategy — the protocol-only evaluator that runs
+        identically over memory, paged, and snapshot stores. ``tree``
+        may be ``None`` when a store is supplied and only the
+        ``"store"`` strategy is used.
     """
 
     def __init__(
         self,
-        tree: XmlTree,
+        tree: Optional[XmlTree],
         labeling: Optional[Ruid2SchemeLabeling] = None,
         partitioner: Optional[Partitioner] = None,
         plan_cache_size: int = PLAN_CACHE_SIZE,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
         slow_log: Optional[SlowQueryLog] = None,
+        store=None,
     ):
         self.tree = tree
+        self.store = store
         self.stats = QueryStats()
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.stats.bind(self.metrics, "query")
@@ -154,7 +162,8 @@ class XPathEngine:
         return compiled
 
     def evaluator(self, strategy: str = "ruid") -> BaseEvaluator:
-        """The evaluator for *strategy* ("ruid" or "navigational").
+        """The evaluator for *strategy* ("ruid", "navigational" or
+        "store").
 
         Evaluators are cached per strategy but dropped wholesale when
         the labeling's generation advances — a structural update must
@@ -172,7 +181,20 @@ class XPathEngine:
                     evaluator = SchemeEvaluator(self.labeling(), stats=self.stats)
                     self._evaluator_generation = self._labeling.generation
                 elif strategy == "navigational":
+                    if self.tree is None:
+                        raise QueryError("navigational strategy needs a tree")
                     evaluator = NavigationalEvaluator(self.tree, stats=self.stats)
+                elif strategy == "store":
+                    if self.store is None:
+                        raise QueryError(
+                            "store strategy needs a NodeStore "
+                            "(pass store= to XPathEngine)"
+                        )
+                    # local import: repro.store imports this package
+                    from repro.store.evaluator import StoreEvaluator
+
+                    evaluator = StoreEvaluator(self.store, stats=self.stats)
+                    self.store.bind(self.metrics, "store")
                 else:
                     raise QueryError(f"unknown strategy {strategy!r}")
                 self._evaluators[strategy] = evaluator
@@ -315,6 +337,11 @@ class XPathEngine:
         tracer = Tracer()
         previous = evaluator.tracer
         evaluator.tracer = tracer
+        # Physical counters: the evaluator's NodeStore (scheme and
+        # store strategies) charges fetches/rank probes as it runs, so
+        # a before/after delta is this query's physical footprint.
+        store = getattr(evaluator, "store", None)
+        physical_before = store.stats_snapshot() if store is not None else None
         start = perf_counter_ns()
         try:
             with tracer.span("query.analyze", expression=plan.expression):
@@ -328,6 +355,12 @@ class XPathEngine:
             evaluator.tracer = previous
         plan.total_ns = perf_counter_ns() - start
         plan.analyzed = True
+        if store is None:
+            # SchemeEvaluator binds its MemoryNodeStore on first use —
+            # created during this very run, so every count is ours.
+            store = getattr(evaluator, "store", None)
+        if store is not None:
+            plan.physical = store.stats_delta(physical_before or {})
         if not plan.scalar:
             plan.result = result
             plan.result_count = len(result)

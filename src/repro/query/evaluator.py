@@ -535,6 +535,10 @@ class SchemeEvaluator(BaseEvaluator):
         #: also False this reproduces the legacy node-at-a-time
         #: behaviour for before/after benchmarking
         self.memoize = memoize
+        #: the MemoryNodeStore this evaluator reads through; rebound
+        #: per generation by :meth:`_ensure_caches` and surfaced so
+        #: EXPLAIN ANALYZE can report physical access counters
+        self.store = None
         self._fallback = NavigationalEvaluator(labeling.tree)
         self._cache_generation: Optional[int] = None
         self._rank: Dict = {}
@@ -542,8 +546,8 @@ class SchemeEvaluator(BaseEvaluator):
         self._synopsis: Optional[TagStatistics] = None
         self._axis_cache: Dict[Tuple[int, str], List[XmlNode]] = {}
         self._doc_axis_cache: Dict[str, List[XmlNode]] = {}
-        # candidate label lists (document-rank order), built lazily on
-        # the first batched step of a generation
+        # candidate label lists (document-rank order), bound lazily
+        # from the store on the first batched step of a generation
         self._tag_labels: Optional[Dict[str, List]] = None
         self._element_labels: Optional[List] = None
         self._text_labels: Optional[List] = None
@@ -557,9 +561,18 @@ class SchemeEvaluator(BaseEvaluator):
         generation = self.labeling.generation
         if generation == self._cache_generation:
             return
-        index = self.labeling.rank_index()
-        self._rank = index.rank
-        self._end = index.end
+        # Local import: repro.store.evaluator pulls BaseEvaluator from
+        # this module, so a top-level import would be circular.
+        from repro.store.memory import MemoryNodeStore
+
+        store = self.store
+        if store is None or store.labeling is not self.labeling:
+            store = MemoryNodeStore(self.labeling)
+            self.store = store
+        else:
+            store.refresh()
+        self._rank = store.rank_map
+        self._end = store.end_map
         self._synopsis = TagStatistics(self.tree)
         self._axis_cache = {}
         self._doc_axis_cache = {}
@@ -574,36 +587,15 @@ class SchemeEvaluator(BaseEvaluator):
         self.stats.count("rank_index_builds")
 
     def _build_candidates(self) -> None:
-        """Per-kind label lists in document-rank order (attributes are
-        not part of the main structural document; the navigational
-        evaluator's axes skip them identically)."""
-        label_of = self.labeling.label_of
-        tag_labels: Dict[str, List] = {}
-        element_labels: List = []
-        text_labels: List = []
-        comment_labels: List = []
-        node_labels: List = []
-        for node in self.tree.preorder():
-            kind = node.kind
-            if kind is NodeKind.ATTRIBUTE:
-                continue
-            label = label_of(node)
-            node_labels.append(label)
-            if kind is NodeKind.ELEMENT:
-                element_labels.append(label)
-                bucket = tag_labels.get(node.tag)
-                if bucket is None:
-                    tag_labels[node.tag] = bucket = []
-                bucket.append(label)
-            elif kind is NodeKind.TEXT:
-                text_labels.append(label)
-            elif kind is NodeKind.COMMENT:
-                comment_labels.append(label)
-        self._tag_labels = tag_labels
-        self._element_labels = element_labels
-        self._text_labels = text_labels
-        self._comment_labels = comment_labels
-        self._node_labels = node_labels
+        """Bind the store's per-kind candidate lists (document-rank
+        order, attributes excluded) as local attributes — hot loops
+        index the raw lists without a method call per step."""
+        store = self.store
+        self._tag_labels = store.tag_labels()
+        self._element_labels = store.element_labels()
+        self._text_labels = store.text_labels()
+        self._comment_labels = store.comment_labels()
+        self._node_labels = store.structural_labels()
 
     def _candidates_for_test(self, test: NodeTest) -> Optional[Sequence]:
         """All labels that can satisfy *test* on an element-principal
@@ -637,6 +629,10 @@ class SchemeEvaluator(BaseEvaluator):
             result = self._eval_step_batched(nodes, step)
             if result is not None:
                 self.stats.count("batched_steps")
+                # bulk-account the label→node dereferences this step
+                # performed (one per emitted node) — the per-result
+                # cost the paper's one-fetch claim bounds
+                self.store.note_fetches(len(result))
                 if tracing:
                     tracer.annotate_once(route="batched")
                 return result
@@ -817,6 +813,7 @@ class SchemeEvaluator(BaseEvaluator):
         engine = self.labeling.axes
         labels = engine.axis(self.labeling.label_of(node), axis)
         resolved = [self.labeling.node_of(label) for label in labels]
+        self.store.note_fetches(len(resolved))
         if axis in ("ancestor", "ancestor-or-self"):
             resolved.reverse()  # engine returns nearest-first
         if self.memoize and len(cache) < self._AXIS_CACHE_LIMIT:

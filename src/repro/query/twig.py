@@ -18,14 +18,15 @@ candidate), descendant edges through the stack-tree join.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from functools import cmp_to_key
 from time import perf_counter_ns
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 
 from repro.core.scheme import Labeling
-from repro.errors import NoParentError, QueryError
+from repro.errors import QueryError
 from repro.obs.explain import TwigNodePlan, TwigPlan
 from repro.obs.trace import NULL_TRACER
 from repro.query.joins import (
@@ -33,7 +34,8 @@ from repro.query.joins import (
     nested_loop_join,
     stack_tree_join,
 )
-from repro.xmltree.node import NodeKind, XmlNode
+from repro.store.base import NodeStore
+from repro.xmltree.node import XmlNode
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,42 +124,42 @@ class _TwigParser:
 class TwigMatcher:
     """Match twig patterns against a labeled document.
 
+    Accepts either a scheme :class:`~repro.core.scheme.Labeling` (the
+    historical interface — candidates then come through a
+    :class:`~repro.store.memory.MemoryNodeStore` wrapped around it) or
+    any :class:`~repro.store.base.NodeStore` directly, so the same
+    matcher runs over paged documents and pinned snapshots.
+
     ``tracer`` (default: the shared no-op) receives one ``twig.node``
     span per pattern node and a ``twig.join`` span per structural join,
     annotated with the chosen algorithm.
     """
 
-    def __init__(self, labeling: Labeling, tracer=NULL_TRACER):
-        self.labeling = labeling
+    def __init__(self, source, tracer=NULL_TRACER):
+        if isinstance(source, NodeStore):
+            self.labeling: Optional[Labeling] = None
+            self.store: NodeStore = source
+        else:
+            self.labeling = source
+            from repro.store.memory import MemoryNodeStore
+
+            self.store = MemoryNodeStore(source)
         self.tracer = tracer
-        self._by_tag: Optional[Dict[str, List]] = None
-        self._elements: Optional[List] = None
 
     def _candidates(self, pattern: TwigNode) -> List:
         """Labels of the nodes passing the pattern's tag test."""
-        if self._by_tag is None:
-            by_tag: Dict[str, List] = {}
-            elements: List = []
-            for node in self.labeling.tree.preorder():
-                if node.kind is not NodeKind.ELEMENT:
-                    continue
-                label = self.labeling.label_of(node)
-                by_tag.setdefault(node.tag, []).append(label)
-                elements.append(label)
-            self._by_tag = by_tag
-            self._elements = elements
         if pattern.tag is None:
-            return list(self._elements)
-        return list(self._by_tag.get(pattern.tag, []))
+            return self.store.element_labels()
+        return self.store.labels_with_tag(pattern.tag)
 
     def match_labels(self, pattern: TwigNode) -> List:
         """Labels of the nodes matching the *root* of the pattern, in
-        document order (integer ranks when the labeling's rank index
-        knows every label, comparator sort otherwise)."""
+        document order (integer ranks when the store knows every label,
+        comparator sort otherwise)."""
         matched = list(self._match(pattern))
         try:
-            ranks = self.labeling.rank_index().try_ranks(matched)
-        except Exception:  # labeling cannot enumerate — comparator path
+            ranks = [self.store.rank_of(label) for label in matched]
+        except Exception:  # store cannot rank — comparator path
             ranks = None
         if ranks is not None:
             order = sorted(range(len(matched)), key=ranks.__getitem__)
@@ -169,7 +171,7 @@ class TwigMatcher:
         compact string syntax."""
         if isinstance(pattern, str):
             pattern = parse_twig(pattern)
-        return [self.labeling.node_of(label) for label in self.match_labels(pattern)]
+        return [self.store.node_for(label) for label in self.match_labels(pattern)]
 
     def count(self, pattern) -> int:
         if isinstance(pattern, str):
@@ -192,9 +194,13 @@ class TwigMatcher:
             text, parsed = pattern, parse_twig(pattern)
         else:
             text, parsed = str(pattern), pattern
-        plan = TwigPlan(
-            pattern=text, scheme=scheme or type(self.labeling).__name__
-        )
+        if scheme is None:
+            scheme = (
+                type(self.labeling).__name__
+                if self.labeling is not None
+                else f"{self.store.store_kind}:{self.store.scheme_name}"
+            )
+        plan = TwigPlan(pattern=text, scheme=scheme)
         if not analyze:
             self._static_plan(parsed, plan.nodes, 0)
             return plan
@@ -292,11 +298,11 @@ class TwigMatcher:
         """Parent labels of a set — one arithmetic step each (this is
         where rUID/Dewey shine: no index, no join)."""
         parents: Set = set()
+        parent_of = self.store.parent_of
         for label in labels:
-            try:
-                parents.add(self.labeling.parent_label(label))
-            except NoParentError:
-                continue
+            parent = parent_of(label)
+            if parent is not None:
+                parents.add(parent)
         return parents
 
     def _ancestors_with_descendant(
@@ -313,10 +319,31 @@ class TwigMatcher:
             "twig.join", algorithm=algorithm,
             ancestors=len(upper), descendants=len(lower),
         ) as span:
+            if self.labeling is None:
+                out = self._interval_semijoin(upper, lower)
+                span.set(pairs=len(out), survivors=len(out))
+                return out
             if algorithm == "nested":
                 pairs = nested_loop_join(self.labeling, upper, lower)
             else:
                 pairs = stack_tree_join(self.labeling, upper, lower)
             out = {a for a, _d in pairs}
             span.set(pairs=len(pairs), survivors=len(out))
+        return out
+
+    def _interval_semijoin(self, upper: List, lower: List) -> Set:
+        """Store-mode descendant semi-join: a candidate survives iff
+        some descendant's rank falls inside its subtree interval —
+        a bisect per candidate over the rank-sorted descendants."""
+        rank_of = self.store.rank_of
+        lower_ranks = sorted(rank_of(label) for label in lower)
+        out: Set = set()
+        for label in upper:
+            rank = rank_of(label)
+            position = bisect_right(lower_ranks, rank)
+            if (
+                position < len(lower_ranks)
+                and lower_ranks[position] <= self.store.end_of(label)
+            ):
+                out.add(label)
         return out

@@ -202,9 +202,12 @@ class StoredDocument:
             "attach a labeling for parent arithmetic"
         )
 
-    def nodes_with_tag(self, tag: str) -> List[Tuple[Any, ...]]:
-        """All rows with *tag*, via the tag index on the single table."""
-        return list(self.table.lookup("tag", tag))
+    def nodes_with_tag(self, tag: str) -> Iterator[Tuple[Any, ...]]:
+        """Rows with *tag*, lazily, via the tag index on the single
+        table. Consumers that stop early (EXISTS-style probes, top-k)
+        pay only for the index entries they pull; materialise with
+        ``list()`` when the full set is needed."""
+        return self.table.lookup("tag", tag)
 
     def nodes_with_tag_routed(
         self, tag: str, areas: Optional[List[int]] = None
@@ -322,6 +325,21 @@ class XmlDatabase:
 
     def document_names(self) -> List[str]:
         return sorted(self._documents)
+
+    def node_store(self, name: str):
+        """A :class:`~repro.store.paged.PagedNodeStore` over document
+        *name* — the protocol-typed read path (StoreEvaluator,
+        TwigMatcher, fragment reconstruction) against this database's
+        buffer pool. Builds the persisted ranks index on first call
+        (committed when durable); later calls re-attach to it.
+        """
+        # local import: repro.store pulls in the query layer
+        from repro.store.paged import PagedNodeStore
+
+        store = PagedNodeStore(self.document(name), io_stats=self.stats)
+        if store.built and self.durable:
+            self.commit()
+        return store
 
     # ------------------------------------------------------------------
     # Crash-safety lifecycle

@@ -1,0 +1,22 @@
+"""Unified node-access layer (docs/STORAGE_QUERY.md).
+
+One protocol, three deployments: in-memory (live tree + rank index),
+paged (shredded document through the buffer pool), and snapshot
+(:class:`~repro.concurrent.snapshot.StructuralView`, which implements
+the same protocol from its frozen maps).
+"""
+
+from repro.store.base import Label, NodeRecord, NodeStore, StoreStats
+from repro.store.evaluator import StoreEvaluator
+from repro.store.memory import MemoryNodeStore
+from repro.store.paged import PagedNodeStore
+
+__all__ = [
+    "Label",
+    "MemoryNodeStore",
+    "NodeRecord",
+    "NodeStore",
+    "PagedNodeStore",
+    "StoreEvaluator",
+    "StoreStats",
+]

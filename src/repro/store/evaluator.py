@@ -1,0 +1,179 @@
+"""XPath evaluation against any :class:`~repro.store.base.NodeStore`.
+
+:class:`StoreEvaluator` plugs the store protocol under the shared
+:class:`~repro.query.evaluator.BaseEvaluator` semantics: every axis is
+answered from ranks, intervals, parent arithmetic and candidate lists
+— the operations the protocol guarantees — and labels are dereferenced
+to nodes only for node tests and results, which is exactly the
+paper's one-fetch-per-node discipline made concrete.
+
+Against a :class:`~repro.store.memory.MemoryNodeStore` this behaves
+like the per-context scheme evaluator; against a
+:class:`~repro.store.paged.PagedNodeStore` the same code runs queries
+over a shredded document through the buffer pool, with no live DOM in
+sight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import QueryError, UnknownLabelError, UnsupportedFeatureError
+from repro.query.evaluator import BaseEvaluator
+from repro.query.stats import QueryStats
+from repro.store.base import Label, NodeStore
+from repro.xmltree.node import NodeKind, XmlNode
+
+
+class StoreEvaluator(BaseEvaluator):
+    """Axis steps from NodeStore primitives.
+
+    Keeps no generation-spanning caches of its own: every structural
+    question goes back to the store, which owns invalidation. One
+    evaluator instance therefore stays correct across updates as long
+    as the store does.
+    """
+
+    strategy_name = "store"
+    route_name = "store"
+
+    def __init__(self, store: NodeStore, stats: Optional[QueryStats] = None):
+        # Deliberately no super().__init__: BaseEvaluator would bind a
+        # live tree; everything it reads through self.tree is
+        # overridden below.
+        self.store = store
+        self.tree = None  # any accidental live-tree access fails loudly
+        self.stats = stats if stats is not None else QueryStats()
+        self.tracer = None
+        self.document_node = XmlNode("#document", NodeKind.DOCUMENT)
+
+    # -- BaseEvaluator hooks ------------------------------------------------
+    def doc_order(self) -> Dict[int, int]:
+        # The store's map, not a copy: a paged store grows it as nodes
+        # materialise, and sort_nodes must see those entries.
+        return self.store.order_by_id()
+
+    def select(self, expr, context: Optional[XmlNode] = None) -> List[XmlNode]:
+        if context is None:
+            context = self.store.node_for(self.store.root_label())
+        result = self._eval(expr, context, 1, 1)
+        if not isinstance(result, list):
+            raise QueryError(f"expression yields a {type(result).__name__}, not nodes")
+        return result
+
+    def evaluate(self, expr, context: Optional[XmlNode] = None):
+        if context is None:
+            context = self.store.node_for(self.store.root_label())
+        return self._eval(expr, context, 1, 1)
+
+    def string_value_of(self, node: XmlNode) -> str:
+        try:
+            label = self.store.label_for(node)
+        except UnknownLabelError:
+            # Transient attribute node synthesized by this evaluator:
+            # its text was frozen at synthesis time.
+            return node.text or ""
+        return self.store.string_value(label)
+
+    def _document_axis(self, axis: str) -> List[XmlNode]:
+        store = self.store
+        if axis == "child":
+            return [store.node_for(store.root_label())]
+        if axis == "descendant":
+            return self._nodes(store.structural_labels())
+        if axis == "descendant-or-self":
+            return [self.document_node, *self._nodes(store.structural_labels())]
+        if axis == "self":
+            return [self.document_node]
+        return []
+
+    # -- label plumbing -----------------------------------------------------
+    def _nodes(self, labels: List[Label]) -> List[XmlNode]:
+        node_for = self.store.node_for
+        return [node_for(label) for label in labels]
+
+    # -- axes ---------------------------------------------------------------
+    def axis_nodes(self, node: XmlNode, axis: str) -> List[XmlNode]:
+        store = self.store
+        if axis == "attribute":
+            return self._attribute_nodes(node)
+        try:
+            label = store.label_for(node)
+        except UnknownLabelError:
+            return self._transient_axis(node, axis)
+        if axis == "self":
+            return [node]
+        if axis == "parent":
+            parent = store.parent_of(label)
+            return [store.node_for(parent)] if parent is not None else []
+        if axis in ("ancestor", "ancestor-or-self"):
+            return self._nodes(
+                store.ancestor_labels(label, or_self=axis == "ancestor-or-self")
+            )
+        if axis == "child":
+            return self._nodes(store.children_of(label))
+        if axis in ("descendant", "descendant-or-self"):
+            return self._nodes(
+                store.descendant_labels(label, or_self=axis == "descendant-or-self")
+            )
+        if axis in ("following-sibling", "preceding-sibling"):
+            parent = store.parent_of(label)
+            if parent is None:
+                return []
+            siblings = store.children_of(parent)
+            position = siblings.index(label)
+            if axis == "following-sibling":
+                return self._nodes(siblings[position + 1 :])
+            return self._nodes(siblings[:position])
+        if axis == "following":
+            # Everything ranked after this subtree's interval.
+            end = store.end_of(label)
+            return self._nodes(
+                [
+                    candidate
+                    for candidate in store.structural_labels()
+                    if store.rank_of(candidate) > end
+                ]
+            )
+        if axis == "preceding":
+            rank = store.rank_of(label)
+            ancestors = set(store.ancestor_labels(label))
+            return self._nodes(
+                [
+                    candidate
+                    for candidate in store.structural_labels()
+                    if store.rank_of(candidate) < rank and candidate not in ancestors
+                ]
+            )
+        raise UnsupportedFeatureError(f"unsupported axis {axis!r}")
+
+    def _transient_axis(self, node: XmlNode, axis: str) -> List[XmlNode]:
+        """Axes from a synthesized attribute node (outside the store)."""
+        if axis == "self":
+            return [node]
+        parent = node.parent
+        if parent is None:
+            return []
+        if axis == "parent":
+            return [parent]
+        if axis in ("ancestor", "ancestor-or-self"):
+            chain = self.axis_nodes(parent, "ancestor-or-self")
+            if axis == "ancestor-or-self":
+                chain = [*chain, node]
+            return chain
+        return []
+
+    def _attribute_nodes(self, node: XmlNode) -> List[XmlNode]:
+        try:
+            label = self.store.label_for(node)
+        except UnknownLabelError:
+            return []
+        materialised = self.store.attribute_labels(label)
+        if materialised:
+            return self._nodes(materialised)
+        created: List[XmlNode] = []
+        for name, value in self.store.attributes_of(label):
+            attr = XmlNode(name, NodeKind.ATTRIBUTE, text=value)
+            attr.parent = node  # navigable but not inserted as a child
+            created.append(attr)
+        return created

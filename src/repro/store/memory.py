@@ -1,0 +1,289 @@
+"""In-memory NodeStore over a live tree and its labeling.
+
+This is the configuration every pre-E17 experiment ran on: the whole
+document in RAM, labels resolved to live :class:`XmlNode` objects in
+one dict lookup, document order from the labeling's
+:class:`~repro.core.rankindex.RankIndex`. The store is a thin,
+generation-aware view — it owns no structure of its own beyond the
+candidate lists, so wrapping a labeling costs nothing until the first
+tag lookup.
+
+All derived state is stamped with the labeling's generation and
+rebuilt wholesale after a structural update, mirroring the cache
+discipline of the scheme evaluator it now backs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.rankindex import RankIndex
+from repro.errors import NoParentError, UnknownLabelError
+from repro.store.base import Label, NodeRecord, NodeStore
+from repro.xmltree.node import NodeKind, XmlNode
+
+
+class MemoryNodeStore(NodeStore):
+    """Protocol adapter over a live ``(tree, labeling)`` pair.
+
+    Accepts any labeling shape in use across the codebase: the uniform
+    :class:`~repro.core.scheme.Labeling` adapters, or a bare core
+    labeling (e.g. :class:`~repro.core.ruid.Ruid2Labeling`) that
+    carries ``tree`` / ``label_of`` / ``node_of`` and parent arithmetic
+    under either the ``parent_label`` or ``rparent`` name.
+    """
+
+    store_kind = "memory"
+
+    def __init__(self, labeling: Any):
+        super().__init__()
+        self.labeling = labeling
+        self.tree = labeling.tree
+        self.scheme_name = getattr(labeling, "scheme_name", type(labeling).__name__)
+        parent = getattr(labeling, "parent_label", None)
+        self._parent_arithmetic = parent if parent is not None else labeling.rparent
+        self._bound_generation: Optional[int] = None
+        self.rank_map: Dict[Label, int] = {}
+        self.end_map: Dict[Label, int] = {}
+        self._labels_by_rank: Optional[List[Label]] = None
+        self._order_by_id: Optional[Dict[int, int]] = None
+        self._tag_labels: Optional[Dict[str, List[Label]]] = None
+        self._element_labels: Optional[List[Label]] = None
+        self._text_labels: Optional[List[Label]] = None
+        self._comment_labels: Optional[List[Label]] = None
+        self._structural_labels: Optional[List[Label]] = None
+        self._ensure()
+
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return getattr(self.labeling, "generation", 0)
+
+    def _rank_index(self) -> RankIndex:
+        builder = getattr(self.labeling, "rank_index", None)
+        if builder is not None:
+            return builder()
+        return RankIndex.build(self.labeling, self.generation)
+
+    def _ensure(self) -> None:
+        """Rebind every derived structure to the current generation; a
+        no-op (one int compare) when nothing changed."""
+        generation = self.generation
+        if generation == self._bound_generation:
+            return
+        index = self._rank_index()
+        self.rank_map = index.rank
+        self.end_map = index.end
+        self._labels_by_rank = None
+        self._order_by_id = None
+        self._tag_labels = None
+        self._element_labels = None
+        self._text_labels = None
+        self._comment_labels = None
+        self._structural_labels = None
+        self._bound_generation = generation
+
+    def refresh(self) -> "MemoryNodeStore":
+        """Re-validate against the labeling (cheap; call per query)."""
+        self._ensure()
+        return self
+
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        self._ensure()
+        return len(self.rank_map)
+
+    def root_label(self) -> Label:
+        return self.labeling.label_of(self.tree.root)
+
+    def rank_of(self, label: Label) -> int:
+        self._ensure()
+        try:
+            return self.rank_map[label]
+        except KeyError:
+            raise UnknownLabelError(f"label {label!r} not in this generation") from None
+
+    def end_of(self, label: Label) -> int:
+        self._ensure()
+        try:
+            return self.end_map[label]
+        except KeyError:
+            raise UnknownLabelError(f"label {label!r} not in this generation") from None
+
+    def label_at(self, rank: int) -> Label:
+        self._ensure()
+        by_rank = self._labels_by_rank
+        if by_rank is None:
+            by_rank = [None] * len(self.rank_map)
+            for label, r in self.rank_map.items():
+                by_rank[r] = label
+            self._labels_by_rank = by_rank
+        try:
+            return by_rank[rank]
+        except IndexError:
+            raise UnknownLabelError(f"no label at rank {rank}") from None
+
+    # ------------------------------------------------------------------
+    def parent_of(self, label: Label) -> Optional[Label]:
+        self.stats.parent_hops += 1
+        try:
+            return self._parent_arithmetic(label)
+        except NoParentError:
+            return None
+
+    def children_of(self, label: Label) -> List[Label]:
+        node = self.node_for(label)
+        label_of = self.labeling.label_of
+        return [
+            label_of(child)
+            for child in node.children
+            if child.kind is not NodeKind.ATTRIBUTE
+        ]
+
+    # ------------------------------------------------------------------
+    def record(self, label: Label) -> NodeRecord:
+        self.stats.fetches += 1
+        node = self.labeling.node_of(label)
+        return NodeRecord(label, node.tag, node.kind, node.text)
+
+    def node_for(self, label: Label) -> XmlNode:
+        self.stats.fetches += 1
+        return self.labeling.node_of(label)
+
+    def raw_node_of(self, label: Label) -> XmlNode:
+        """Uncounted dereference for hot loops that account fetches in
+        bulk via :meth:`note_fetches`."""
+        return self.labeling.node_of(label)
+
+    def note_fetches(self, count: int) -> None:
+        self.stats.fetches += count
+
+    def label_for(self, node: XmlNode) -> Label:
+        try:
+            return self.labeling.label_of(node)
+        except KeyError:
+            raise UnknownLabelError(
+                f"node {node!r} carries no label in this store"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _build_candidates(self) -> None:
+        """Per-kind label lists in document-rank order (attributes are
+        not part of the main structural document; the navigational
+        evaluator's axes skip them identically)."""
+        label_of = self.labeling.label_of
+        tag_labels: Dict[str, List[Label]] = {}
+        element_labels: List[Label] = []
+        text_labels: List[Label] = []
+        comment_labels: List[Label] = []
+        structural_labels: List[Label] = []
+        for node in self.tree.preorder():
+            kind = node.kind
+            if kind is NodeKind.ATTRIBUTE:
+                continue
+            label = label_of(node)
+            structural_labels.append(label)
+            if kind is NodeKind.ELEMENT:
+                element_labels.append(label)
+                bucket = tag_labels.get(node.tag)
+                if bucket is None:
+                    tag_labels[node.tag] = bucket = []
+                bucket.append(label)
+            elif kind is NodeKind.TEXT:
+                text_labels.append(label)
+            elif kind is NodeKind.COMMENT:
+                comment_labels.append(label)
+        self._tag_labels = tag_labels
+        self._element_labels = element_labels
+        self._text_labels = text_labels
+        self._comment_labels = comment_labels
+        self._structural_labels = structural_labels
+
+    def tag_labels(self) -> Dict[str, List[Label]]:
+        """The raw tag → labels map (hot paths index it directly)."""
+        self._ensure()
+        if self._tag_labels is None:
+            self._build_candidates()
+        return self._tag_labels
+
+    def labels_with_tag(self, tag: str) -> List[Label]:
+        self.stats.tag_lookups += 1
+        return self.tag_labels().get(tag, [])
+
+    def element_labels(self) -> List[Label]:
+        self._ensure()
+        if self._element_labels is None:
+            self._build_candidates()
+        return self._element_labels
+
+    def text_labels(self) -> List[Label]:
+        self._ensure()
+        if self._text_labels is None:
+            self._build_candidates()
+        return self._text_labels
+
+    def comment_labels(self) -> List[Label]:
+        self._ensure()
+        if self._comment_labels is None:
+            self._build_candidates()
+        return self._comment_labels
+
+    def structural_labels(self) -> List[Label]:
+        self._ensure()
+        if self._structural_labels is None:
+            self._build_candidates()
+        return self._structural_labels
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tag_labels()
+
+    # ------------------------------------------------------------------
+    def attributes_of(self, label: Label) -> Tuple[Tuple[str, str], ...]:
+        node = self.labeling.node_of(label)
+        if node.attributes:
+            return tuple(sorted(node.attributes.items()))
+        return ()
+
+    def attribute_labels(self, label: Label) -> List[Label]:
+        node = self.labeling.node_of(label)
+        label_of = self.labeling.label_of
+        return [
+            label_of(child)
+            for child in node.children
+            if child.kind is NodeKind.ATTRIBUTE
+        ]
+
+    def string_value(self, label: Label) -> str:
+        node = self.labeling.node_of(label)
+        if node.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE, NodeKind.COMMENT):
+            return node.text or ""
+        return node.text_content()
+
+    # ------------------------------------------------------------------
+    def order_by_id(self) -> Dict[int, int]:
+        self._ensure()
+        order = self._order_by_id
+        if order is None:
+            node_of = self.labeling.node_of
+            order = {
+                node_of(label).node_id: rank
+                for label, rank in self.rank_map.items()
+            }
+            self._order_by_id = order
+        return order
+
+    def descendant_labels(self, label: Label, or_self: bool = False) -> List[Label]:
+        """Rank-interval slice over the structural label list."""
+        from bisect import bisect_left, bisect_right
+
+        self._ensure()
+        labels = self.structural_labels()
+        rank_map = self.rank_map
+        ranks = getattr(self, "_structural_ranks", None)
+        if ranks is None or len(ranks) != len(labels):
+            ranks = [rank_map[lb] for lb in labels]
+            self._structural_ranks = ranks
+        locate = bisect_left if or_self else bisect_right
+        low = locate(ranks, rank_map[label])
+        high = bisect_right(ranks, self.end_map[label])
+        return labels[low:high]

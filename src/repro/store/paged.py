@@ -1,0 +1,409 @@
+"""NodeStore over a shredded document, read through the buffer pool.
+
+The missing half of the paper's deployment story: §2.1 shreds the
+document into a label-keyed node table, and §3.2 promises axes by
+label arithmetic plus one fetch per node — but until this store, the
+query stack could only evaluate over a fully materialised
+:class:`~repro.xmltree.tree.XmlTree`. :class:`PagedNodeStore` binds
+the two together: structure comes from a persisted **ranks table**
+(the on-disk analogue of the rank index, with parent arithmetic
+results frozen at shred time), records come from
+:meth:`StoredDocument.fetch` — one primary-index descent per node —
+and every byte moves through the pager's buffer pool, so a document
+larger than the pool stays queryable and the pool traffic shows up in
+``EXPLAIN ANALYZE`` as ``page_hits`` / ``page_misses``.
+
+Layout of ``{name}__ranks`` (primary key: preorder rank):
+
+====== ===== ==========================================================
+column kind  contents
+====== ===== ==========================================================
+rank   int   preorder rank (the pk; rank order = document order)
+label  any   flattened label key (what :func:`label_key` yields)
+end    int   rank of the last node in this subtree
+parent any   parent's label key, or None at the root
+tag    str   element/attribute name (``#text`` etc. for the rest)
+kind   str   :class:`NodeKind` value string
+contrib any  string-value contribution (text of TEXT/ELEMENT rows)
+attrs  any   sorted ((name, value), ...) pairs, or None
+====== ===== ==========================================================
+
+Secondary indexes on ``label`` (rank lookup), ``tag`` (candidate
+enumeration) and ``parent`` (child scans). A meta row at rank −1
+carries the generation and scheme name, so a store recovered from the
+WAL knows what it serves without a labeling attached.
+
+XmlNodes are materialised lazily, one canonical node per label, and
+never wired into a live DOM: parents stay None, ``children`` stays
+empty. Consumers navigate through the store, exactly as the protocol
+demands. The node cache holds only labels a query has touched.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.rankindex import RankIndex
+from repro.errors import NoParentError, StorageError, UnknownLabelError
+from repro.storage.database import StoredDocument, label_key
+from repro.storage.table import Column, Table
+from repro.store.base import Label, NodeRecord, NodeStore
+from repro.xmltree.node import NodeKind, XmlNode
+
+_RANK_COLUMNS = [
+    Column("rank", "int"),
+    Column("label", "any"),
+    Column("end", "int"),
+    Column("parent", "any"),
+    Column("tag", "str"),
+    Column("kind", "str"),
+    Column("contrib", "any"),
+    Column("attrs", "any"),
+]
+
+_META_RANK = -1
+_META_KIND = "#meta"
+
+#: bounded caches: ranks rows and child lists a query touches twice
+_ROW_CACHE_LIMIT = 4096
+
+
+class PagedNodeStore(NodeStore):
+    """Query access to one :class:`StoredDocument` generation.
+
+    Building requires the document's tree and labeling (the shred-time
+    state); attaching to an existing ranks table — e.g. after crash
+    recovery — requires neither.
+    """
+
+    store_kind = "paged"
+
+    def __init__(self, document: StoredDocument, io_stats=None):
+        super().__init__()
+        self.document = document
+        self.table_name = f"{document.name}__ranks"
+        catalog = document.catalog
+        self.io = io_stats if io_stats is not None else catalog.pager.stats
+        self.built = False
+        if catalog.has_table(self.table_name):
+            self.ranks = catalog.table(self.table_name)
+        else:
+            self.ranks = self._build()
+            self.built = True
+        meta = self.ranks.get(_META_RANK)
+        if meta is None or meta[5] != _META_KIND:
+            raise StorageError(
+                f"table {self.table_name!r} carries no ranks metadata"
+            )
+        self._generation = meta[2]
+        self.scheme_name = meta[4]
+        # bounded LRU caches over the hot probe paths
+        self._row_cache: "OrderedDict[Label, Tuple[Any, ...]]" = OrderedDict()
+        self._children_cache: "OrderedDict[Label, List[Label]]" = OrderedDict()
+        # canonical materialised nodes — only what queries touch
+        self._node_cache: Dict[Label, XmlNode] = {}
+        self._label_by_id: Dict[int, Label] = {}
+        self._order_by_id: Dict[int, int] = {}
+        # frozen candidate lists, built on first enumeration
+        self._tag_cache: Dict[str, List[Label]] = {}
+        self._element_labels: Optional[List[Label]] = None
+        self._text_labels: Optional[List[Label]] = None
+        self._comment_labels: Optional[List[Label]] = None
+        self._structural_labels: Optional[List[Label]] = None
+
+    # ------------------------------------------------------------------
+    # Shredding the structure index
+    # ------------------------------------------------------------------
+    def _build(self) -> Table:
+        document = self.document
+        labeling = document.labeling
+        if labeling is None or document.tree is None:
+            raise StorageError(
+                f"document {document.name!r} has no labeling attached; "
+                "a ranks table cannot be built (recover one from the WAL "
+                "or call XmlDatabase.attach_labeling first)"
+            )
+        builder = getattr(labeling, "rank_index", None)
+        generation = getattr(labeling, "generation", 0)
+        index = builder() if builder is not None else RankIndex.build(
+            labeling, generation
+        )
+        table = document.catalog.create_table(
+            self.table_name, _RANK_COLUMNS, primary_key=["rank"]
+        )
+        scheme = getattr(labeling, "scheme_name", type(labeling).__name__)
+        table.insert(
+            (_META_RANK, None, generation, None, scheme, _META_KIND, None, None)
+        )
+        labels_by_rank: List[Any] = [None] * len(index.rank)
+        for label, rank in index.rank.items():
+            labels_by_rank[rank] = label
+        node_of = labeling.node_of
+        parent_label = labeling.parent_label
+        for rank, label in enumerate(labels_by_rank):
+            node = node_of(label)
+            try:
+                parent = label_key(parent_label(label))
+            except NoParentError:
+                parent = None
+            kind = node.kind
+            contrib = (
+                node.text
+                if kind in (NodeKind.TEXT, NodeKind.ELEMENT) and node.text
+                else None
+            )
+            attrs = (
+                tuple(sorted(node.attributes.items()))
+                if kind is NodeKind.ELEMENT and node.attributes
+                else None
+            )
+            table.insert(
+                (
+                    rank,
+                    label_key(label),
+                    index.end[label],
+                    parent,
+                    node.tag,
+                    kind.value,
+                    contrib,
+                    attrs,
+                )
+            )
+        table.create_index("label", ["label"])
+        table.create_index("tag", ["tag"])
+        table.create_index("parent", ["parent"])
+        return table
+
+    # ------------------------------------------------------------------
+    # Probe plumbing
+    # ------------------------------------------------------------------
+    def _row(self, label: Label) -> Tuple[Any, ...]:
+        """The ranks row for *label*: one secondary-index probe, LRU
+        cached."""
+        cache = self._row_cache
+        row = cache.get(label)
+        if row is not None:
+            cache.move_to_end(label)
+            return row
+        self.stats.rank_probes += 1
+        for candidate in self.ranks.lookup("label", label):
+            cache[label] = candidate
+            if len(cache) > _ROW_CACHE_LIMIT:
+                cache.popitem(last=False)
+            return candidate
+        raise UnknownLabelError(f"label {label!r} not in {self.table_name}")
+
+    def _row_at(self, rank: int) -> Tuple[Any, ...]:
+        for row in self.ranks.range_pk((rank,), (rank,)):
+            return row
+        raise UnknownLabelError(f"no label at rank {rank}")
+
+    def _structural_rows(self):
+        """All non-meta rows in rank (= document) order."""
+        return self.ranks.range_pk((0,), None)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def size(self) -> int:
+        return len(self.ranks) - 1  # minus the meta row
+
+    def root_label(self) -> Label:
+        return self._row_at(0)[1]
+
+    def rank_of(self, label: Label) -> int:
+        return self._row(label)[0]
+
+    def end_of(self, label: Label) -> int:
+        return self._row(label)[2]
+
+    def label_at(self, rank: int) -> Label:
+        self.stats.rank_probes += 1
+        return self._row_at(rank)[1]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def parent_of(self, label: Label) -> Optional[Label]:
+        self.stats.parent_hops += 1
+        return self._row(label)[3]
+
+    def children_of(self, label: Label) -> List[Label]:
+        cache = self._children_cache
+        cached = cache.get(label)
+        if cached is not None:
+            cache.move_to_end(label)
+            return cached
+        ranked = sorted(
+            (row[0], row[1])
+            for row in self.ranks.lookup("parent", label)
+            if row[5] != NodeKind.ATTRIBUTE.value
+        )
+        labels = [lb for _rank, lb in ranked]
+        cache[label] = labels
+        if len(cache) > _ROW_CACHE_LIMIT:
+            cache.popitem(last=False)
+        return labels
+
+    def attribute_labels(self, label: Label) -> List[Label]:
+        ranked = sorted(
+            (row[0], row[1])
+            for row in self.ranks.lookup("parent", label)
+            if row[5] == NodeKind.ATTRIBUTE.value
+        )
+        return [lb for _rank, lb in ranked]
+
+    def descendant_labels(self, label: Label, or_self: bool = False) -> List[Label]:
+        """One pk range scan over the subtree's rank interval."""
+        row = self._row(label)
+        low = row[0] + (0 if or_self else 1)
+        return [
+            r[1]
+            for r in self.ranks.range_pk((low,), (row[2],))
+            if r[5] != NodeKind.ATTRIBUTE.value
+        ]
+
+    # ------------------------------------------------------------------
+    # Record fetch
+    # ------------------------------------------------------------------
+    def record(self, label: Label) -> NodeRecord:
+        self.stats.fetches += 1
+        row = self.document.fetch(label)
+        return NodeRecord(label, row[1], NodeKind(row[2]), row[3])
+
+    def node_for(self, label: Label) -> XmlNode:
+        node = self._node_cache.get(label)
+        if node is not None:
+            return node
+        self.stats.fetches += 1
+        row = self.document.fetch(label)  # the paper's one fetch
+        ranks_row = self._row(label)
+        node = XmlNode(
+            row[1],
+            NodeKind(row[2]),
+            attributes=dict(ranks_row[7]) if ranks_row[7] else None,
+            text=row[3],
+        )
+        self._node_cache[label] = node
+        self._label_by_id[node.node_id] = label
+        self._order_by_id[node.node_id] = ranks_row[0]
+        return node
+
+    def label_for(self, node: XmlNode) -> Label:
+        try:
+            return self._label_by_id[node.node_id]
+        except KeyError:
+            raise UnknownLabelError(
+                f"node {node!r} was not materialised by this store"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration
+    # ------------------------------------------------------------------
+    def labels_with_tag(self, tag: str) -> List[Label]:
+        self.stats.tag_lookups += 1
+        cached = self._tag_cache.get(tag)
+        if cached is not None:
+            return cached
+        ranked = sorted(
+            (row[0], row[1])
+            for row in self.ranks.lookup("tag", tag)
+            if row[5] == NodeKind.ELEMENT.value
+        )
+        labels = [lb for _rank, lb in ranked]
+        self._tag_cache[tag] = labels
+        return labels
+
+    def _scan_candidates(self) -> None:
+        element: List[Label] = []
+        text: List[Label] = []
+        comment: List[Label] = []
+        structural: List[Label] = []
+        for row in self._structural_rows():
+            kind = row[5]
+            if kind == NodeKind.ATTRIBUTE.value:
+                continue
+            structural.append(row[1])
+            if kind == NodeKind.ELEMENT.value:
+                element.append(row[1])
+            elif kind == NodeKind.TEXT.value:
+                text.append(row[1])
+            elif kind == NodeKind.COMMENT.value:
+                comment.append(row[1])
+        self._element_labels = element
+        self._text_labels = text
+        self._comment_labels = comment
+        self._structural_labels = structural
+
+    def element_labels(self) -> List[Label]:
+        if self._element_labels is None:
+            self._scan_candidates()
+        return self._element_labels
+
+    def text_labels(self) -> List[Label]:
+        if self._text_labels is None:
+            self._scan_candidates()
+        return self._text_labels
+
+    def comment_labels(self) -> List[Label]:
+        if self._comment_labels is None:
+            self._scan_candidates()
+        return self._comment_labels
+
+    def structural_labels(self) -> List[Label]:
+        if self._structural_labels is None:
+            self._scan_candidates()
+        return self._structural_labels
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def attributes_of(self, label: Label) -> Tuple[Tuple[str, str], ...]:
+        attrs = self._row(label)[7]
+        return tuple(attrs) if attrs else ()
+
+    def string_value(self, label: Label) -> str:
+        row = self._row(label)
+        kind = row[5]
+        if kind == NodeKind.TEXT.value:
+            return row[6] or ""
+        if kind in (NodeKind.ATTRIBUTE.value, NodeKind.COMMENT.value):
+            self.stats.fetches += 1
+            return self.document.fetch(label)[3] or ""
+        # Element: join the subtree's contributions in rank order —
+        # one range scan, no per-node fetch.
+        return "".join(
+            r[6]
+            for r in self.ranks.range_pk((row[0],), (row[2],))
+            if r[6]
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation support
+    # ------------------------------------------------------------------
+    def order_by_id(self) -> Dict[int, int]:
+        # Live and growing: new materialisations appear in place.
+        return self._order_by_id
+
+    def path_of(self, label: Label) -> str:
+        """Slash path from the root (matches :meth:`XmlNode.path` on
+        the live tree), computed from parent hops — materialised nodes
+        carry no parent pointers."""
+        parts: List[str] = []
+        current: Optional[Label] = label
+        while current is not None:
+            parts.append(self._row(current)[4])
+            current = self.parent_of(current)
+        return "/" + "/".join(reversed(parts))
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        physical = dict(self.stats.as_dict())
+        io = self.io.snapshot()
+        physical["page_hits"] = io["buffer_hits"]
+        physical["page_misses"] = io["buffer_misses"]
+        return physical

@@ -19,6 +19,9 @@ import pytest
 
 from repro.baselines.registry import get_scheme
 from repro.concurrent import SnapshotEvaluator, StructuralView
+from repro.errors import UnknownLabelError
+from repro.storage.database import XmlDatabase, label_key
+from repro.store import PagedNodeStore, StoreEvaluator
 from repro.generator import (
     DBLP_QUERIES,
     RandomTreeConfig,
@@ -148,6 +151,60 @@ def snapshot_select(corpus: str, scheme: str, query: str) -> List:
     return evaluator.select(parse_xpath(query))
 
 
+#: corpus → (paged store, evaluator, flattened label key → source node_id)
+_paged: Dict[str, Tuple[PagedNodeStore, StoreEvaluator, Dict]] = {}
+
+
+def build_paged(tree, labeling, name: str = "doc", pool_pages: int = 32):
+    """Shred (tree, labeling) and return (store, evaluator, key map).
+
+    The key map ties paged labels (flattened storage key tuples) back
+    to the source tree's node ids, so paged results are comparable to
+    the navigational baseline.
+    """
+    database = XmlDatabase(page_size=1024, pool_pages=pool_pages)
+    document = database.store_document(name, tree, labeling)
+    store = PagedNodeStore(document)
+    key_map = {
+        label_key(labeling.label_of(node)): node.node_id
+        for node in tree.preorder()
+    }
+    return store, StoreEvaluator(store), key_map
+
+
+def paged_stack(corpus: str):
+    stack = _paged.get(corpus)
+    if stack is None:
+        labeling = get_scheme("ruid2").build(corpus_tree(corpus))
+        _paged[corpus] = stack = build_paged(corpus_tree(corpus), labeling, corpus)
+    return stack
+
+
+def paged_result_keys(store, key_map, nodes) -> List:
+    """:func:`result_keys` semantics for a paged result set: stored
+    nodes map through their label to the source ``node_id``; transient
+    attribute nodes compare by (owner id, name, value)."""
+    keys = []
+    for node in nodes:
+        try:
+            label = store.label_for(node)
+        except UnknownLabelError:
+            owner = (
+                key_map.get(store.label_for(node.parent))
+                if node.parent is not None
+                else None
+            )
+            keys.append(("attr", owner, node.tag, node.text))
+            continue
+        keys.append(key_map[label])
+    return keys
+
+
+def paged_select_keys(corpus: str, query: str) -> List:
+    store, evaluator, key_map = paged_stack(corpus)
+    return paged_result_keys(store, key_map, evaluator.select(parse_xpath(query)))
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _clear_caches_at_exit():
     yield
@@ -155,3 +212,4 @@ def _clear_caches_at_exit():
     _engines.clear()
     _baselines.clear()
     _views.clear()
+    _paged.clear()

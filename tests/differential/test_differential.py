@@ -21,8 +21,11 @@ from repro.query.parser import parse_xpath
 from .conftest import (
     CORPORA,
     baseline_keys,
+    build_paged,
     corpus_engine,
     corpus_tree,
+    paged_result_keys,
+    paged_select_keys,
     result_keys,
     snapshot_select,
 )
@@ -55,6 +58,39 @@ def test_fast_path_matches_navigational(corpus, query):
     engine = corpus_engine(corpus)
     got = result_keys(engine.select(query, strategy="ruid"), corpus_tree(corpus))
     assert got == baseline_keys(corpus, query)
+
+
+@pytest.mark.parametrize(("corpus", "query"), CASES)
+def test_paged_store_matches_navigational(corpus, query):
+    """Every corpus query, shredded into the paged store and answered
+    through the buffer pool with no live DOM, returns a node-for-node
+    identical result to navigation."""
+    assert paged_select_keys(corpus, query) == baseline_keys(corpus, query)
+
+
+def test_paged_store_post_update_and_restore():
+    """After an insert/delete workload the relabeled tree re-shreds
+    into a fresh paged store that still agrees with navigation on the
+    updated document — the re-store path a frozen-generation store
+    requires after writes."""
+    from repro.query.parser import parse_xpath as compile_query
+
+    tree = CORPORA["xmark"][0]()  # fresh copy; factories are deterministic
+    labeling = get_scheme("ruid2").build(tree)
+    ops = generate_update_workload(
+        tree, UpdateWorkloadConfig(operations=30, insert_fraction=0.7), seed=29
+    )
+    for _report in apply_workload(tree, ops, labeling.insert, labeling.delete):
+        pass
+
+    store, evaluator, key_map = build_paged(tree, labeling, "updated")
+    engine = XPathEngine(tree)
+    for query in CORPORA["xmark"][1]:
+        want = result_keys(engine.select(query, strategy="navigational"), tree)
+        got = paged_result_keys(
+            store, key_map, evaluator.select(compile_query(query))
+        )
+        assert got == want, f"paged store diverged post-update on {query}"
 
 
 @pytest.mark.parametrize("corpus", list(CORPORA))

@@ -77,5 +77,5 @@ class TestCrossSchemeStorage:
         database = XmlDatabase(page_size=1024, pool_pages=32)
         document = database.store_document("bib", tree, labeling)
         assert len(document) == tree.size()
-        titles = document.nodes_with_tag("title")
+        titles = list(document.nodes_with_tag("title"))
         assert len(titles) == len(tree.find_by_tag("title"))

@@ -81,7 +81,7 @@ class TestQueriesAndOrder:
         labeling = Ruid2Scheme(max_area_size=4).build(doc_tree)
         database = XmlDatabase()
         document = database.store_document("d", doc_tree, labeling)
-        rows = document.nodes_with_tag("person")
+        rows = list(document.nodes_with_tag("person"))
         assert len(rows) == 2
 
     def test_scan_document_order_sorted_by_global_then_local(self, doc_tree):

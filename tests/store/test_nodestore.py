@@ -1,0 +1,330 @@
+"""Unit coverage for the NodeStore protocol and its implementations.
+
+One parametrized battery runs the protocol contract over all three
+stores — memory (live tree + rank index), paged (shredded document
+through the buffer pool) and snapshot (frozen StructuralView) — on the
+same document, so a divergent implementation fails the same assertion
+the conforming ones pass. Paged-only behavior (attach vs build, page
+traffic, lazy materialisation) is covered separately, including the
+acceptance case: a query over a document larger than the buffer pool
+completes correctly and reports ``page_misses > 0`` through EXPLAIN
+ANALYZE.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrent import ConcurrentDocument, StructuralView
+from repro.core.document import reconstruct_fragment
+from repro.core.scheme import Ruid2Scheme
+from repro.errors import StorageError, UnknownLabelError
+from repro.query.engine import XPathEngine
+from repro.query.twig import TwigMatcher
+from repro.storage.database import XmlDatabase, label_key
+from repro.store import MemoryNodeStore, PagedNodeStore, StoreEvaluator
+from repro.store.base import NodeRecord, NodeStore
+from repro.xmltree import parse, serialize
+from repro.xmltree.node import NodeKind
+
+DOC = """<site>
+ <people>
+  <person id="p1"><name>Alice</name><age>31</age></person>
+  <person id="p2"><name>Bob</name><age>17</age></person>
+ </people>
+ <items><item id="i1"><name>Lamp</name><price>19</price></item></items>
+</site>"""
+
+
+def _memory_store(tree, labeling):
+    return MemoryNodeStore(labeling)
+
+
+def _paged_store(tree, labeling):
+    database = XmlDatabase(page_size=1024, pool_pages=32)
+    document = database.store_document("doc", tree, labeling)
+    return PagedNodeStore(document)
+
+
+def _snapshot_store(tree, labeling):
+    return StructuralView.from_labeling(labeling)
+
+
+STORE_FACTORIES = {
+    "memory": _memory_store,
+    "paged": _paged_store,
+    "snapshot": _snapshot_store,
+}
+
+
+@pytest.fixture(params=sorted(STORE_FACTORIES), ids=sorted(STORE_FACTORIES))
+def stack(request):
+    """(store, tree, labeling) for each implementation over DOC."""
+    tree = parse(DOC)
+    labeling = Ruid2Scheme().build(tree)
+    store = STORE_FACTORIES[request.param](tree, labeling)
+    return store, tree, labeling
+
+
+class TestProtocolContract:
+    def test_is_a_node_store_with_stats(self, stack):
+        store, _tree, _labeling = stack
+        assert isinstance(store, NodeStore)
+        assert store.stats.fetches == 0
+        assert store.generation == 0
+
+    def test_size_counts_every_labeled_node(self, stack):
+        store, tree, _labeling = stack
+        assert store.size() == tree.size()
+
+    def test_root_rank_and_interval_span_the_document(self, stack):
+        store, tree, _labeling = stack
+        root = store.root_label()
+        assert store.rank_of(root) == 0
+        assert store.end_of(root) == tree.size() - 1
+        assert store.parent_of(root) is None
+        assert store.record(root).tag == "site"
+
+    def test_label_at_inverts_rank_of(self, stack):
+        store, _tree, _labeling = stack
+        for label in store.structural_labels():
+            assert store.label_at(store.rank_of(label)) == label
+
+    def test_children_agree_with_parent_arithmetic(self, stack):
+        store, _tree, _labeling = stack
+        for label in store.structural_labels():
+            for child in store.children_of(label):
+                assert store.parent_of(child) == label
+
+    def test_descendants_are_the_rank_interval(self, stack):
+        store, _tree, _labeling = stack
+        root = store.root_label()
+        descendants = store.descendant_labels(root)
+        assert len(descendants) == store.size() - 1
+        ranks = [store.rank_of(label) for label in descendants]
+        assert ranks == sorted(ranks)
+        assert store.descendant_labels(root, or_self=True)[0] == root
+
+    def test_ancestors_root_first(self, stack):
+        store, _tree, _labeling = stack
+        [price] = store.labels_with_tag("price")
+        tags = [store.record(label).tag for label in store.ancestor_labels(price)]
+        assert tags == ["site", "items", "item"]
+
+    def test_labels_with_tag_in_document_order(self, stack):
+        store, _tree, _labeling = stack
+        names = store.labels_with_tag("name")
+        assert len(names) == 3
+        ranks = [store.rank_of(label) for label in names]
+        assert ranks == sorted(ranks)
+        assert store.has_tag("person") and not store.has_tag("nope")
+        assert store.labels_with_tag("nope") == []
+
+    def test_candidate_lists_partition_the_structural_labels(self, stack):
+        store, _tree, _labeling = stack
+        elements = store.element_labels()
+        texts = store.text_labels()
+        assert store.comment_labels() == []
+        assert len(elements) + len(texts) == len(store.structural_labels())
+        for label in elements:
+            assert store.record(label).kind is NodeKind.ELEMENT
+
+    def test_string_values_match_the_live_tree(self, stack):
+        store, tree, labeling = stack
+        for node in tree.preorder():
+            label = _label_in(store, labeling, node)
+            assert store.string_value(label) == node.text_content()
+
+    def test_attributes_of(self, stack):
+        store, _tree, _labeling = stack
+        people = store.labels_with_tag("person")
+        assert store.attributes_of(people[0]) == (("id", "p1"),)
+        [site] = store.labels_with_tag("site")
+        assert store.attributes_of(site) == ()
+
+    def test_node_for_round_trips_label_for(self, stack):
+        store, _tree, _labeling = stack
+        for label in store.labels_with_tag("age"):
+            node = store.node_for(label)
+            assert node.tag == "age"
+            assert store.label_for(node) == label
+        assert store.stats.fetches > 0
+
+    def test_path_of(self, stack):
+        store, _tree, _labeling = stack
+        [price] = store.labels_with_tag("price")
+        assert store.path_of(price) == "/site/items/item/price"
+
+    def test_order_by_id_follows_ranks(self, stack):
+        store, _tree, _labeling = stack
+        labels = store.structural_labels()
+        nodes = [store.node_for(label) for label in labels]
+        order = store.order_by_id()
+        ranks = [order[node.node_id] for node in nodes]
+        assert ranks == sorted(ranks)
+
+    def test_unknown_labels_raise(self, stack):
+        store, _tree, _labeling = stack
+        with pytest.raises(UnknownLabelError):
+            store.rank_of(("bogus", 999, 999))
+
+    def test_stats_delta(self, stack):
+        store, _tree, _labeling = stack
+        before = store.stats_snapshot()
+        store.node_for(store.root_label())
+        delta = store.stats_delta(before)
+        assert delta["fetches"] >= 1
+
+
+def _label_in(store, labeling, node):
+    """The store's label for a source-tree node (paged stores use the
+    flattened key of the scheme label)."""
+    label = labeling.label_of(node)
+    if isinstance(store, PagedNodeStore):
+        return label_key(label)
+    if isinstance(store, StructuralView):
+        return node.node_id
+    return label
+
+
+class TestStoreEvaluatorAgreement:
+    QUERIES = (
+        "//person/name",
+        "//person[age > 18]/name",
+        "//item/ancestor::site",
+        "//name/..",
+        "//person[@id = 'p2']",
+        "count(//name)",
+    )
+
+    def test_all_stores_agree_with_navigation(self, stack):
+        store, tree, _labeling = stack
+        baseline = XPathEngine(tree)
+        engine = XPathEngine(None, store=store)
+        for query in self.QUERIES[:-1]:
+            want = [n.path() for n in baseline.select(query, "navigational")]
+            got = [
+                store.path_of(store.label_for(node))
+                for node in engine.select(query, "store")
+            ]
+            assert got == want, f"{store.store_kind} diverged on {query}"
+        evaluator = engine.evaluator("store")
+        assert evaluator.evaluate(baseline.compile("count(//name)")) == 3.0
+
+
+class TestFragmentsAndTwigs:
+    def test_fragments_identical_across_stores(self, stack):
+        store, tree, labeling = stack
+        fragment = reconstruct_fragment(store, store.labels_with_tag("name"))
+        memory = MemoryNodeStore(labeling)
+        reference = reconstruct_fragment(
+            memory, [labeling.label_of(n) for n in tree.find_by_tag("name")]
+        )
+        assert serialize(fragment) == serialize(reference)
+
+    def test_twig_matcher_over_any_store(self, stack):
+        store, _tree, _labeling = stack
+        matcher = TwigMatcher(store)
+        assert matcher.count("person[name][age]") == 2
+        matched = matcher.match("item[name]")  # pattern-root matches
+        assert [node.tag for node in matched] == ["item"]
+        plan = matcher.explain("person[age]", analyze=True)
+        assert plan.match_count == 2
+        assert store.store_kind in plan.scheme or plan.scheme
+
+
+class TestPagedSpecifics:
+    def test_attach_reuses_the_persisted_index(self):
+        tree = parse(DOC)
+        labeling = Ruid2Scheme().build(tree)
+        database = XmlDatabase(page_size=1024, pool_pages=16)
+        document = database.store_document("d", tree, labeling)
+        first = PagedNodeStore(document)
+        assert first.built
+        second = PagedNodeStore(document)
+        assert not second.built  # attached, not re-shredded
+        assert second.size() == first.size() == tree.size()
+        assert second.scheme_name == first.scheme_name
+
+    def test_build_requires_a_labeling(self):
+        tree = parse(DOC)
+        labeling = Ruid2Scheme().build(tree)
+        database = XmlDatabase(durable=True, page_size=1024, pool_pages=16)
+        database.store_document("d", tree, labeling)
+        database.crash(tear_bytes=0)
+        recovered = XmlDatabase.recover(database.wal)
+        with pytest.raises(StorageError, match="no labeling"):
+            PagedNodeStore(recovered.document("d"))
+
+    def test_node_store_survives_crash_recovery(self):
+        tree = parse(DOC)
+        labeling = Ruid2Scheme().build(tree)
+        database = XmlDatabase(durable=True, page_size=1024, pool_pages=16)
+        database.store_document("d", tree, labeling)
+        assert database.node_store("d").built
+        database.crash(tear_bytes=0)
+        recovered = XmlDatabase.recover(database.wal)
+        store = recovered.node_store("d")  # no labeling: must attach
+        assert not store.built
+        assert store.path_of(store.root_label()) == "/site"
+        assert [
+            store.string_value(label) for label in store.labels_with_tag("age")
+        ] == ["31", "17"]
+
+    def test_materialised_nodes_are_canonical(self):
+        tree = parse(DOC)
+        store = _paged_store(tree, Ruid2Scheme().build(tree))
+        label = store.labels_with_tag("person")[0]
+        assert store.node_for(label) is store.node_for(label)
+
+    def test_records_come_from_the_node_table(self):
+        tree = parse(DOC)
+        store = _paged_store(tree, Ruid2Scheme().build(tree))
+        [price] = store.labels_with_tag("price")
+        record = store.record(price)
+        assert isinstance(record, NodeRecord)
+        assert (record.tag, record.kind) == ("price", NodeKind.ELEMENT)
+
+    def test_pool_overflow_query_is_correct_with_page_misses(self, xmark_tree):
+        """Acceptance: a document whose pages exceed the buffer pool
+        still answers correctly, and EXPLAIN ANALYZE surfaces the
+        resulting ``page_misses``."""
+        tree = xmark_tree.copy()
+        labeling = Ruid2Scheme().build(tree)
+        database = XmlDatabase(page_size=1024, pool_pages=8)
+        document = database.store_document("auction", tree, labeling)
+        store = PagedNodeStore(document)
+        assert database.pager.page_count > 8  # genuinely bigger than the pool
+
+        engine = XPathEngine(None, store=store)
+        baseline = XPathEngine(tree)
+        query = "//item/name"
+        plan = engine.explain(query, strategy="store", analyze=True)
+        assert plan.analyzed
+        assert plan.physical is not None
+        assert plan.physical["page_misses"] > 0
+        want = [n.path() for n in baseline.select(query, "navigational")]
+        got = [store.path_of(store.label_for(n)) for n in plan.result]
+        assert got == want
+
+    def test_stats_snapshot_merges_buffer_traffic(self):
+        tree = parse(DOC)
+        store = _paged_store(tree, Ruid2Scheme().build(tree))
+        snapshot = store.stats_snapshot()
+        assert {"page_hits", "page_misses", "fetches"} <= set(snapshot)
+
+
+class TestConcurrentExposure:
+    def test_pinned_snapshot_store_property(self):
+        document = ConcurrentDocument(parse(DOC))
+        with document.pin() as pinned:
+            store = pinned.store
+            assert isinstance(store, NodeStore)
+            evaluator = StoreEvaluator(store)
+            result = evaluator.select(
+                XPathEngine(document.tree).compile("//person/name")
+            )
+            assert [store.string_value(store.label_for(n)) for n in result] == [
+                "Alice",
+                "Bob",
+            ]

@@ -59,6 +59,24 @@ class TestQuery:
         nav_out = capsys.readouterr().out
         assert ruid_out == nav_out
 
+    @pytest.mark.parametrize("store", ["memory", "paged"])
+    def test_store_paths_match_tree_run(self, doc_path, capsys, store):
+        assert main(["query", doc_path, "//item/name", "--store", store]) == 0
+        captured = capsys.readouterr()
+        store_out = captured.out
+        assert f"[store:{store}]" in captured.err
+        main(["query", doc_path, "//item/name"])
+        assert store_out == capsys.readouterr().out
+
+    def test_store_paged_values(self, doc_path, capsys):
+        assert main(
+            ["query", doc_path, "//person[1]/name", "--store", "paged", "--values"]
+        ) == 0
+        paged_value = capsys.readouterr().out
+        assert paged_value.strip()
+        main(["query", doc_path, "//person[1]/name", "--values"])
+        assert paged_value == capsys.readouterr().out
+
     def test_bad_xpath(self, doc_path, capsys):
         assert main(["query", doc_path, "//["]) == 1
         assert "error" in capsys.readouterr().err
