@@ -1,0 +1,223 @@
+"""E18: availability under read-path chaos, and what resilience costs.
+
+The serving path's robustness claim is behavioural, not just
+functional: under injected faults the resilient store must convert
+infrastructure failure into **correct answers** (retry + fallback) or
+**typed errors** (fail fast), never wrong answers, while keeping tail
+latency bounded. This bench measures that claim as a table — per
+fault rate: availability (fraction of queries answered correctly),
+typed-failure fraction, retry/fallback volume, and p99 latency — for
+the guarded store with and without its memory fallback.
+
+``--quick`` is the CI SLO gate:
+
+* zero wrong answers in every mode (the chaos invariant);
+* 100% availability with the fallback armed at a 30% transient rate;
+* every failure without the fallback is a typed ``ReproError``;
+* an expired deadline cancels with ``QueryTimeout`` (no runaway work);
+* a saturated admission controller sheds with typed ``Overloaded``.
+"""
+
+import argparse
+import time
+
+from conftest import emit, emits_table
+from repro.baselines.registry import get_scheme
+from repro.errors import Overloaded, QueryTimeout, ReproError
+from repro.generator import XMARK_QUERIES, generate_xmark
+from repro.query.parser import parse_xpath
+from repro.resilience import (
+    AdmissionController,
+    BackoffPolicy,
+    CircuitBreaker,
+    Deadline,
+    ResilientNodeStore,
+)
+from repro.storage.database import XmlDatabase, label_key
+from repro.storage.faults import FaultInjector
+from repro.store import MemoryNodeStore, PagedNodeStore, StoreEvaluator
+
+NO_SLEEP = lambda seconds: None  # noqa: E731
+
+#: (fault schedule label, transient rate, with fallback?)
+SCENARIOS = (
+    ("healthy", 0.0, True),
+    ("transient 10%", 0.1, True),
+    ("transient 30%", 0.3, True),
+    ("transient 30%, no fallback", 0.3, False),
+)
+
+
+def _build(tree, labeling, seed, with_fallback):
+    faults = FaultInjector(seed=seed)
+    database = XmlDatabase(page_size=1024, pool_pages=8, faults=faults)
+    document = database.store_document("doc", tree, labeling)
+    primary = PagedNodeStore(document)
+    resilient = ResilientNodeStore(
+        primary,
+        fallback=MemoryNodeStore(labeling) if with_fallback else None,
+        breaker=CircuitBreaker(
+            "paged-reads",
+            failure_threshold=5,
+            backoff=BackoffPolicy(base=0.01, cap=0.1, jitter="none"),
+        ),
+        sleep=NO_SLEEP,
+    )
+    database.pager.flush()
+    database.pager._pool.clear()
+    return resilient, faults, database
+
+
+def _result_labels(store, nodes):
+    return [store.label_for(node) for node in nodes]
+
+
+def _baselines(tree, labeling, queries):
+    memory = MemoryNodeStore(labeling)
+    evaluator = StoreEvaluator(memory)
+    return {
+        query: [
+            label_key(lb)
+            for lb in _result_labels(memory, evaluator.select(parse_xpath(query)))
+        ]
+        for query in queries
+    }
+
+
+def run_availability_table(tree, queries, repeats=3, sink=emit):
+    labeling = get_scheme("ruid2").build(tree)
+    want = _baselines(tree, labeling, queries)
+    rows = []
+    for name, rate, with_fallback in SCENARIOS:
+        correct = typed = wrong = 0
+        latencies = []
+        resilient, faults, database = _build(tree, labeling, 2002, with_fallback)
+        if rate:
+            faults.arm_read_faults(transient_rate=rate, sleep=NO_SLEEP)
+        evaluator = StoreEvaluator(resilient)
+        for _ in range(repeats):
+            for query in queries:
+                database.pager.flush()
+                database.pager._pool.clear()
+                resilient.breaker.reset()
+                start = time.perf_counter_ns()
+                try:
+                    result = evaluator.select(parse_xpath(query))
+                except ReproError:
+                    typed += 1
+                    latencies.append(time.perf_counter_ns() - start)
+                    continue
+                latencies.append(time.perf_counter_ns() - start)
+                got = _result_labels(resilient, result)
+                if got == want[query]:
+                    correct += 1
+                else:
+                    wrong += 1
+        total = correct + typed + wrong
+        counters = resilient.as_dict()
+        latencies.sort()
+        p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+        rows.append(
+            (
+                name,
+                f"{100.0 * correct / total:.1f}%",
+                f"{100.0 * typed / total:.1f}%",
+                wrong,
+                int(counters["retries"]),
+                int(counters["fallback_calls"]),
+                round(p99 / 1e6, 2),
+            )
+        )
+        assert wrong == 0, f"chaos produced wrong answers under {name!r}"
+    sink(
+        "E18_resilience",
+        ("scenario", "available", "typed err", "wrong", "retries",
+         "fallback", "p99 ms"),
+        rows,
+        "E18: availability under read-path chaos (correct-or-typed)",
+    )
+    return rows
+
+
+@emits_table
+def test_resilience_table(xmark_bench_tree):
+    run_availability_table(xmark_bench_tree, XMARK_QUERIES)
+
+
+def _print_only(experiment, headers, rows, title):
+    from repro.analysis import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+class _TickingClock:
+    """Advances a fixed step per read: timeouts depend on work done,
+    not host speed."""
+
+    def __init__(self, step_ms=1.0):
+        self.now_ns = 0
+        self.step_ns = int(step_ms * 1e6)
+
+    def __call__(self):
+        self.now_ns += self.step_ns
+        return self.now_ns
+
+
+def _gate_deadline(tree):
+    """An already-expired budget must cancel, typed, with work counted."""
+    from repro.query.engine import XPathEngine
+
+    engine = XPathEngine(tree)
+    deadline = Deadline(1, clock=_TickingClock(), check_interval=1)
+    try:
+        engine.select("//item", deadline=deadline)
+    except QueryTimeout as exc:
+        assert exc.steps >= 1
+        assert engine.stats.error_counts().get("QueryTimeout") == 1
+        return
+    raise AssertionError("expired deadline did not cancel the query")
+
+
+def _gate_admission():
+    """Beyond tokens + queue the controller sheds typed, immediately."""
+    controller = AdmissionController(
+        max_concurrent=1, max_queue=0, queue_timeout_s=0.05
+    )
+    with controller.admit():
+        try:
+            with controller.admit():
+                pass
+        except Overloaded:
+            return
+    raise AssertionError("saturated admission controller did not shed")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI SLO gate: small document, one repeat, plus deadline "
+        "and admission behaviour checks (does not overwrite results)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        tree = generate_xmark(scale=0.05, seed=2002)
+        rows = run_availability_table(
+            tree, XMARK_QUERIES[:6], repeats=1, sink=_print_only
+        )
+        # SLO: full availability while the fallback is armed
+        for name, available, _typed, wrong, _r, _f, _p99 in rows[:3]:
+            assert available == "100.0%", f"availability SLO missed: {name}"
+            assert wrong == 0
+        _gate_deadline(tree)
+        _gate_admission()
+        print("quick: SLO gate passed (correct-or-typed, cancel, shed)")
+        return
+    tree = generate_xmark(scale=0.3, seed=2002)
+    run_availability_table(tree, XMARK_QUERIES)
+
+
+if __name__ == "__main__":
+    main()

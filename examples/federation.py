@@ -23,7 +23,8 @@ def main() -> None:
     print(f"document: {tree.size()} nodes in {labeling.area_count()} areas")
     print(f"coordinator replica (kappa + K): {federation.coordinator_bytes} bytes\n")
 
-    print(format_table(("site", "areas", "rows", "status"), federation.site_loads(),
+    print(format_table(("site", "areas", "rows", "status", "backoff_s"),
+                       federation.site_loads(),
                        title="placement (round-robin by area)"))
 
     deepest = max(tree.preorder(), key=lambda n: n.depth)

@@ -5,9 +5,11 @@
     python -m repro stats DOC.xml
     python -m repro label DOC.xml --scheme ruid2 --max-area-size 32
     python -m repro query DOC.xml "//person[age > 18]/name" --values
+    python -m repro query DOC.xml "//name" --deadline-ms 250
     python -m repro explain DOC.xml "//person/name" --analyze
     python -m repro metrics DOC.xml "//person" "//name" --repeat 3
     python -m repro concurrent DOC.xml "//person" "//name" --threads 4
+    python -m repro chaos DOC.xml "//name" --transient 0.3 --repeat 5
     python -m repro fragment DOC.xml "//name" --descendants
     python -m repro update-bench DOC.xml --ops 50
     python -m repro save-params DOC.xml params.bin --directory
@@ -99,9 +101,14 @@ def _make_store(tree, kind: str):
 def cmd_query(args: argparse.Namespace) -> int:
     tree = _load(args.file)
     store = getattr(args, "store", None)
+    deadline = None
+    if getattr(args, "deadline_ms", None):
+        from repro.resilience import Deadline
+
+        deadline = Deadline(args.deadline_ms)
     if store is None:
         engine = XPathEngine(tree)
-        nodes = engine.select(args.xpath, args.strategy)
+        nodes = engine.select(args.xpath, args.strategy, deadline=deadline)
         if args.values:
             for value in (n.text_content() for n in nodes):
                 print(value)
@@ -112,7 +119,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         return 0
     node_store = _make_store(tree, store)
     engine = XPathEngine(tree, store=node_store)
-    nodes = engine.select(args.xpath, "store")
+    nodes = engine.select(args.xpath, "store", deadline=deadline)
     for node in nodes:
         try:
             label = node_store.label_for(node)
@@ -209,6 +216,97 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded read-path chaos: inject faults under the buffer pool and
+    report whether the resilient store held the correct-or-typed line."""
+    from repro.query.parser import parse_xpath
+    from repro.resilience import BackoffPolicy, CircuitBreaker, ResilientNodeStore
+    from repro.storage.database import XmlDatabase, label_key
+    from repro.storage.faults import FaultInjector
+    from repro.store import MemoryNodeStore, PagedNodeStore, StoreEvaluator
+
+    tree = _load(args.file)
+    labeling = Ruid2Scheme().build(tree)
+    memory = MemoryNodeStore(labeling)
+    baseline = StoreEvaluator(memory)
+    want = {
+        expression: [
+            label_key(memory.label_for(node))
+            for node in baseline.select(parse_xpath(expression))
+        ]
+        for expression in args.xpath
+    }
+
+    faults = FaultInjector(seed=args.seed)
+    database = XmlDatabase(page_size=1024, pool_pages=4, faults=faults)
+    document = database.store_document("doc", tree, labeling)
+    resilient = ResilientNodeStore(
+        PagedNodeStore(document),
+        fallback=None if args.no_fallback else MemoryNodeStore(labeling),
+        breaker=CircuitBreaker(
+            "paged-reads",
+            failure_threshold=5,
+            backoff=BackoffPolicy(base=0.001, cap=0.01, jitter="none"),
+        ),
+        sleep=lambda seconds: None,
+    )
+    database.pager.flush()
+    database.pager._pool.clear()
+    faults.arm_read_faults(
+        transient_rate=args.transient,
+        latency_rate=args.latency,
+        latency_s=0.001,
+        bitflip_rate=args.bitflip,
+        sleep=lambda seconds: None,
+    )
+    evaluator = StoreEvaluator(resilient)
+    rows, wrong_total = [], 0
+    for expression in args.xpath:
+        correct = typed = wrong = 0
+        error_names = set()
+        for _ in range(max(1, args.repeat)):
+            database.pager.flush()
+            database.pager._pool.clear()  # force cold reads each round
+            resilient.breaker.reset()
+            try:
+                result = evaluator.select(parse_xpath(expression))
+            except ReproError as error:
+                typed += 1
+                error_names.add(type(error).__name__)
+                continue
+            got = [resilient.label_for(node) for node in result]
+            if got == want[expression]:
+                correct += 1
+            else:
+                wrong += 1
+        wrong_total += wrong
+        rows.append(
+            (expression, correct, typed, wrong, " ".join(sorted(error_names)) or "-")
+        )
+    print(
+        format_table(
+            ("expression", "correct", "typed err", "wrong", "errors"),
+            rows,
+            title=f"chaos seed={args.seed} transient={args.transient} "
+            f"latency={args.latency} bitflip={args.bitflip} "
+            f"fallback={'off' if args.no_fallback else 'on'}",
+        )
+    )
+    counters = resilient.as_dict()
+    print()
+    print(
+        format_table(
+            ("counter", "value"),
+            [(key, counters[key]) for key in sorted(counters)],
+            title="resilience.store.*",
+        )
+    )
+    if wrong_total:
+        print(f"error: {wrong_total} wrong answer(s) under chaos", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_fragment(args: argparse.Namespace) -> int:
     tree = _load(args.file)
     document = LabeledDocument(tree, partitioner=SizeCapPartitioner(args.max_area_size))
@@ -284,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
         "through the buffer pool)",
     )
     query.add_argument("--values", action="store_true", help="print string-values")
+    query.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="cancel the query with a typed QueryTimeout once this "
+        "wall-clock budget is spent",
+    )
     query.set_defaults(handler=cmd_query)
 
     explain = commands.add_parser(
@@ -319,6 +422,26 @@ def build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--threads", type=int, default=4)
     concurrent.add_argument("--repeat", type=int, default=1)
     concurrent.set_defaults(handler=cmd_concurrent)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run queries under seeded read-path fault injection and "
+        "verify correct-or-typed behaviour",
+    )
+    chaos.add_argument("file")
+    chaos.add_argument("xpath", nargs="+")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--transient", type=float, default=0.3,
+                       help="transient fetch-error rate on cold page reads")
+    chaos.add_argument("--latency", type=float, default=0.0,
+                       help="latency-spike rate on cold page reads")
+    chaos.add_argument("--bitflip", type=float, default=0.0,
+                       help="fetch-time bit-flip rate on cold page reads")
+    chaos.add_argument("--repeat", type=int, default=5)
+    chaos.add_argument("--no-fallback", action="store_true",
+                       help="drop the memory fallback: failures surface "
+                       "as typed errors instead of degrading")
+    chaos.set_defaults(handler=cmd_chaos)
 
     fragment = commands.add_parser(
         "fragment", help="reconstruct the fragment spanned by a query (section 3.3)"

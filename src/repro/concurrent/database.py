@@ -12,10 +12,18 @@ to the wrapped database under the appropriate lock side, and the raw
 ``read_locked()`` / ``write_locked()`` contexts are exposed for
 multi-call transactions (e.g. fetch-then-fetch-parent under one
 consistent read view).
+
+An optional :class:`~repro.resilience.admission.AdmissionController`
+gates the read-side serving entry points (fetch, tag scans): when the
+token pool and its bounded wait queue are exhausted the call is shed
+with a typed :class:`~repro.errors.Overloaded` *before* it can pile
+onto the read lock — overload turns into fast typed rejection instead
+of unbounded queueing.
 """
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.concurrent.rwlock import ReadWriteLock
@@ -27,9 +35,16 @@ from repro.xmltree.tree import XmlTree
 class ConcurrentXmlDatabase:
     """Many concurrent readers, one writer, over an ``XmlDatabase``."""
 
-    def __init__(self, database: XmlDatabase):
+    def __init__(self, database: XmlDatabase, admission=None):
         self.database = database
         self.lock = ReadWriteLock()
+        #: optional AdmissionController shedding read-side overload
+        self.admission = admission
+
+    def _admitted(self):
+        if self.admission is None:
+            return contextlib.nullcontext()
+        return self.admission.admit()
 
     # ------------------------------------------------------------------
     # Locking contexts (for multi-call units of work)
@@ -80,13 +95,13 @@ class ConcurrentXmlDatabase:
 
     def fetch(self, name: str, label: Any) -> Tuple[Any, ...]:
         """One row of document *name* by label."""
-        with self.lock.read_locked():
+        with self._admitted(), self.lock.read_locked():
             return self.database.document(name).fetch(label)
 
     def nodes_with_tag(self, name: str, tag: str) -> List[Tuple[Any, ...]]:
         # materialise inside the lock: the underlying lookup is lazy,
         # and draining it after release would race the writer
-        with self.lock.read_locked():
+        with self._admitted(), self.lock.read_locked():
             return list(self.database.document(name).nodes_with_tag(tag))
 
     def io_snapshot(self) -> Dict[str, int]:

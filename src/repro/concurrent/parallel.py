@@ -17,10 +17,17 @@ bit-identical to a single-threaded run:
 
 Every dispatched work unit is counted in the document's
 ``concurrent.parallel_chunks`` metric.
+
+An optional :class:`~repro.resilience.admission.AdmissionController`
+gates each fan-out entry point: a batch that cannot get a token within
+the bounded queue is shed with a typed
+:class:`~repro.errors.Overloaded` before any threads are dispatched,
+so overload cannot multiply itself through the pool.
 """
 
 from __future__ import annotations
 
+import contextlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,11 +53,23 @@ def _split_chunks(items: Sequence, chunk_count: int) -> List[Sequence]:
 class ParallelQueryExecutor:
     """Thread-pool fan-out bound to one :class:`ConcurrentDocument`."""
 
-    def __init__(self, document: ConcurrentDocument, threads: int = 4):
+    def __init__(
+        self,
+        document: ConcurrentDocument,
+        threads: int = 4,
+        admission=None,
+    ):
         if threads < 1:
             raise ValueError("need at least one thread")
         self.document = document
         self.threads = threads
+        #: optional AdmissionController shedding whole batches
+        self.admission = admission
+
+    def _admitted(self):
+        if self.admission is None:
+            return contextlib.nullcontext()
+        return self.admission.admit()
 
     # ------------------------------------------------------------------
     def select_batch(
@@ -66,10 +85,11 @@ class ParallelQueryExecutor:
         produce at that generation — regardless of writer activity.
         """
         workers = threads if threads is not None else self.threads
-        if snapshot is not None:
-            return self._run_batch(snapshot, queries, workers)
-        with self.document.pin() as snap:
-            return self._run_batch(snap, queries, workers)
+        with self._admitted():
+            if snapshot is not None:
+                return self._run_batch(snapshot, queries, workers)
+            with self.document.pin() as snap:
+                return self._run_batch(snap, queries, workers)
 
     def _run_batch(
         self, snap: PinnedSnapshot, queries: Sequence[str], workers: int
@@ -99,10 +119,11 @@ class ParallelQueryExecutor:
         containment test on its own thread. Concatenating the filtered
         chunks preserves document order — no merge sort needed.
         """
-        if snapshot is not None:
-            return self._run_scan(snapshot, tag, context, chunks)
-        with self.document.pin() as snap:
-            return self._run_scan(snap, tag, context, chunks)
+        with self._admitted():
+            if snapshot is not None:
+                return self._run_scan(snapshot, tag, context, chunks)
+            with self.document.pin() as snap:
+                return self._run_scan(snap, tag, context, chunks)
 
     def _run_scan(
         self,
@@ -153,10 +174,11 @@ class ParallelQueryExecutor:
             matches, _messages = federated.find_tag(tag, routed=routed)
             return tag, matches
 
-        if workers == 1 or len(tags) <= 1:
-            pairs = [lookup(tag) for tag in tags]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                pairs = list(pool.map(lookup, tags))
-        self.document._note_chunks(len(tags))
+        with self._admitted():
+            if workers == 1 or len(tags) <= 1:
+                pairs = [lookup(tag) for tag in tags]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    pairs = list(pool.map(lookup, tags))
+            self.document._note_chunks(len(tags))
         return dict(pairs)

@@ -119,6 +119,37 @@ class SiteUnavailableError(StorageError):
     """A federation operation exhausted every replica of an area."""
 
 
+class TransientFetchError(StorageError):
+    """A read failed for a reason expected to clear on retry.
+
+    Raised by the fault injector's read-path faults (a dropped message,
+    a device momentarily busy). Unlike :class:`ChecksumError` the data
+    itself is fine — callers with a retry budget should retry; circuit
+    breakers count it as a failure.
+    """
+
+
+class CircuitOpen(StorageError):
+    """A circuit breaker refused the call without attempting it.
+
+    Raised when a breaker is open and no fallback exists: the guarded
+    dependency has failed repeatedly and the backoff window has not
+    elapsed. Retryable — but only after ``retry_after_s``.
+
+    Attributes
+    ----------
+    breaker:
+        Name of the breaker that short-circuited the call.
+    retry_after_s:
+        Seconds until the breaker will next allow a probe.
+    """
+
+    def __init__(self, message: str, breaker: str = "", retry_after_s: float = 0.0):
+        self.breaker = breaker
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
 class DuplicateKeyError(StorageError):
     """A unique index rejected a duplicate key."""
 
@@ -143,3 +174,65 @@ class XPathSyntaxError(QueryError):
 
 class UnsupportedFeatureError(QueryError):
     """The expression uses XPath features outside the supported core."""
+
+
+class QueryTimeout(QueryError):
+    """A query exceeded its :class:`~repro.resilience.Deadline`.
+
+    Carries the partial-work counters accumulated before the budget
+    ran out, so an operator can tell a query that was *almost done*
+    from one that had barely started.
+
+    Attributes
+    ----------
+    elapsed_ms, budget_ms:
+        Wall time spent vs. the budget that was granted.
+    steps:
+        Deadline ticks consumed (evaluator steps, store probes, twig
+        joins — every cancellation point counts one).
+    items:
+        Nodes/candidates processed across those ticks.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        elapsed_ms: float = 0.0,
+        budget_ms: float = 0.0,
+        steps: int = 0,
+        items: int = 0,
+    ):
+        self.elapsed_ms = elapsed_ms
+        self.budget_ms = budget_ms
+        self.steps = steps
+        self.items = items
+        super().__init__(message)
+
+
+class Overloaded(ReproError):
+    """Admission control shed this request instead of queueing it.
+
+    The serving tier is saturated: every execution token is in use and
+    the wait queue is full (or the queue wait timed out). The request
+    was *not* executed — retrying after ``retry_after_s`` with backoff
+    is safe.
+
+    Attributes
+    ----------
+    in_flight, queue_depth:
+        Saturation snapshot at rejection time.
+    retry_after_s:
+        Suggested client backoff before retrying.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        in_flight: int = 0,
+        queue_depth: int = 0,
+        retry_after_s: float = 0.0,
+    ):
+        self.in_flight = in_flight
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+        super().__init__(message)

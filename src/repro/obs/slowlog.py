@@ -4,12 +4,18 @@ A bounded min-heap keyed by elapsed time: once full, a new slow query
 evicts the *fastest* retained entry, so the log always holds the worst
 offenders seen so far — the production-debugging view ("which queries
 hurt, and what plan did they run").
+
+Failed queries (timeouts, typed storage errors, load sheds) are kept
+in a separate bounded ring via :meth:`record_failure` — a query that
+*raised* is interesting regardless of how fast it died, and its plan
+answers "what was it about to do".
 """
 
 from __future__ import annotations
 
 import heapq
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Dict, List, Optional, Tuple
@@ -30,6 +36,11 @@ class SlowQueryRecord:
     def elapsed_ms(self) -> float:
         return self.elapsed_ns / 1e6
 
+    @property
+    def error_type(self) -> Optional[str]:
+        """Exception class name for failure records, else None."""
+        return self.attrs.get("error_type")
+
 
 class SlowQueryLog:
     """Threshold-filtered, bounded log of the slowest queries."""
@@ -45,7 +56,11 @@ class SlowQueryLog:
         self.slow_count = 0
         #: every query offered to the log
         self.seen_count = 0
+        #: queries that raised (including ones aged out of the ring)
+        self.failure_count = 0
         self._heap: List[Tuple[int, int, SlowQueryRecord]] = []
+        #: most recent failed queries, oldest evicted first
+        self._failures: "deque[SlowQueryRecord]" = deque(maxlen=capacity)
         self._sequence = count()
         #: serialises heap/counter mutation — engines on several
         #: threads may share one log
@@ -84,6 +99,32 @@ class SlowQueryLog:
             heapq.heapreplace(self._heap, key)
             return entry
 
+    def record_failure(
+        self,
+        expression: str,
+        strategy: str,
+        elapsed_ns: int,
+        error: BaseException,
+        plan: Optional[Any] = None,
+        **attrs: Any,
+    ) -> SlowQueryRecord:
+        """Retain a query that raised, regardless of how fast it died.
+
+        The record lands in the failure ring (not the slow heap) with
+        ``error_type``/``error`` attrs; *plan* is whatever the engine
+        managed to compile before the failure, possibly None.
+        """
+        attrs.setdefault("error_type", type(error).__name__)
+        attrs.setdefault("error", str(error))
+        with self._lock:
+            self.seen_count += 1
+            self.failure_count += 1
+            entry = SlowQueryRecord(
+                expression, strategy, elapsed_ns, next(self._sequence), plan, attrs
+            )
+            self._failures.append(entry)
+            return entry
+
     # ------------------------------------------------------------------
     def entries(self) -> List[SlowQueryRecord]:
         """Retained records, slowest first."""
@@ -103,11 +144,18 @@ class SlowQueryLog:
             for record in self.entries()
         ]
 
+    def failures(self) -> List[SlowQueryRecord]:
+        """Retained failure records, most recent last."""
+        with self._lock:
+            return list(self._failures)
+
     def clear(self) -> None:
         with self._lock:
             self._heap.clear()
+            self._failures.clear()
             self.slow_count = 0
             self.seen_count = 0
+            self.failure_count = 0
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from repro.core.partition import Partitioner
 from repro.core.scheme import Ruid2SchemeLabeling
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.obs.explain import PathPlan, QueryPlan, StepPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
@@ -206,13 +206,36 @@ class XPathEngine:
         expression: str,
         strategy: str = "ruid",
         context: Optional[XmlNode] = None,
+        deadline=None,
     ) -> List[XmlNode]:
-        """Node-set result of *expression* (document order)."""
+        """Node-set result of *expression* (document order).
+
+        *deadline* bounds the evaluation: a
+        :class:`~repro.resilience.deadline.Deadline` (or a plain number
+        of milliseconds) after which the evaluator's cooperative checks
+        raise :class:`~repro.errors.QueryTimeout` with partial-work
+        counters. Any :class:`~repro.errors.ReproError` raised during
+        evaluation (timeout, storage fault, load shed) is counted in
+        ``stats.errors.<Type>`` and captured by the slow log's failure
+        ring before propagating.
+        """
         compiled = self.compile(expression)
         evaluator = self.evaluator(strategy)
-        if not self._observing:
-            return evaluator.select(compiled, context)
-        return self._select_observed(expression, compiled, evaluator, strategy, context)
+        if deadline is not None and not hasattr(deadline, "tick"):
+            # local import: repro.resilience imports repro.errors only,
+            # but keep the engine importable without the package loaded
+            from repro.resilience.deadline import Deadline
+
+            deadline = Deadline(float(deadline))
+        if deadline is None and not self._observing:
+            try:
+                return evaluator.select(compiled, context)
+            except ReproError as exc:
+                self._note_failure(expression, strategy, exc, 0)
+                raise
+        return self._select_observed(
+            expression, compiled, evaluator, strategy, context, deadline
+        )
 
     def _select_observed(
         self,
@@ -221,14 +244,20 @@ class XPathEngine:
         evaluator: BaseEvaluator,
         strategy: str,
         context: Optional[XmlNode],
+        deadline=None,
     ) -> List[XmlNode]:
         """The instrumented select path: a ``query`` span around the
         evaluation, a latency histogram observation, and a slow-log
-        offer (with the static plan attached when it qualifies)."""
+        offer (with the static plan attached when it qualifies).
+        Failures are ledgered per error type and retained in the slow
+        log's failure ring, then re-raised."""
         tracer = self.tracer
         previous = evaluator.tracer
         if tracer is not None:
             evaluator.tracer = tracer
+        if deadline is not None:
+            evaluator.set_deadline(deadline)
+        error: Optional[ReproError] = None
         start = perf_counter_ns()
         try:
             if tracer is not None:
@@ -239,8 +268,12 @@ class XPathEngine:
                     span.set(results=len(result))
             else:
                 result = evaluator.select(compiled, context)
+        except ReproError as exc:
+            error = exc
         finally:
             evaluator.tracer = previous
+            if deadline is not None:
+                evaluator.set_deadline(None)
         elapsed = perf_counter_ns() - start
         with self._evaluator_lock:
             histogram = self._latency_histograms.get(strategy)
@@ -248,6 +281,9 @@ class XPathEngine:
                 histogram = self.metrics.histogram(f"query.latency_ns.{strategy}")
                 self._latency_histograms[strategy] = histogram
         histogram.observe(elapsed)
+        if error is not None:
+            self._note_failure(expression, strategy, error, elapsed)
+            raise error
         slow_log = self.slow_log
         if slow_log is not None and elapsed >= slow_log.threshold_ns:
             slow_log.record(
@@ -260,6 +296,28 @@ class XPathEngine:
         elif slow_log is not None:
             slow_log.note_seen()
         return result
+
+    def _note_failure(
+        self,
+        expression: str,
+        strategy: str,
+        error: ReproError,
+        elapsed_ns: int,
+    ) -> None:
+        """Charge a failed select to the per-error-type ledger and the
+        slow log's failure ring (with the static plan when it can still
+        be produced — a broken store must not mask the original error)."""
+        self.stats.count_error(type(error).__name__)
+        slow_log = self.slow_log
+        if slow_log is None:
+            return
+        try:
+            plan = self.explain(expression, strategy)
+        except ReproError:
+            plan = None
+        slow_log.record_failure(
+            expression, strategy, elapsed_ns, error, plan=plan
+        )
 
     # ------------------------------------------------------------------
     # EXPLAIN / EXPLAIN ANALYZE

@@ -85,6 +85,11 @@ def node_test_matches(node: XmlNode, test: NodeTest, axis: str) -> bool:
 class BaseEvaluator:
     """Shared expression semantics; subclasses supply the axis step."""
 
+    #: cooperative-cancellation budget for the running query; a class
+    #: attribute (not set in __init__) because StoreEvaluator and
+    #: SnapshotEvaluator deliberately skip super().__init__
+    deadline = None
+
     def __init__(self, tree: XmlTree, stats: Optional[QueryStats] = None):
         self.tree = tree
         self.stats = stats if stats is not None else QueryStats()
@@ -131,6 +136,20 @@ class BaseEvaluator:
             return (parent_rank, 1, node.tag or "")
 
         return sorted(unique.values(), key=key)
+
+    # -- deadline plumbing -------------------------------------------------
+    def set_deadline(self, deadline) -> None:
+        """Attach (or clear, with None) the query's cancellation budget,
+        forwarding it to the evaluator's store so label probes become
+        cancellation points too. Slotted stores that cannot carry a
+        deadline attribute simply don't participate."""
+        self.deadline = deadline
+        store = getattr(self, "store", None)
+        if store is not None:
+            try:
+                store.deadline = deadline
+            except AttributeError:
+                pass
 
     # -- axis step (strategy hook) -----------------------------------------
     def axis_nodes(self, node: XmlNode, axis: str) -> List[XmlNode]:
@@ -253,11 +272,14 @@ class BaseEvaluator:
 
     def _eval_step(self, nodes: List[XmlNode], step: Step) -> List[XmlNode]:
         gathered: List[XmlNode] = []
+        deadline = self.deadline
         for node in nodes:
             if node is self.document_node:
                 axis_result = self._document_axis(step.axis)
             else:
                 axis_result = self.axis_nodes(node, step.axis)
+            if deadline is not None:
+                deadline.tick(len(axis_result))
             candidates = [
                 candidate
                 for candidate in axis_result
@@ -273,7 +295,10 @@ class BaseEvaluator:
     def _filter(self, candidates: List[XmlNode], predicate: Expr) -> List[XmlNode]:
         kept: List[XmlNode] = []
         size = len(candidates)
+        deadline = self.deadline
         for position, candidate in enumerate(candidates, start=1):
+            if deadline is not None:
+                deadline.tick()
             value = self._eval(predicate, candidate, position, size)
             if isinstance(value, float):
                 keep = position == int(value)
@@ -633,6 +658,11 @@ class SchemeEvaluator(BaseEvaluator):
                 # performed (one per emitted node) — the per-result
                 # cost the paper's one-fetch claim bounds
                 self.store.note_fetches(len(result))
+                if self.deadline is not None:
+                    # one weighted cancellation point per batched step:
+                    # the item count forces a clock check on the next
+                    # tick, bounding overrun to a single step's work
+                    self.deadline.tick(len(result))
                 if tracing:
                     tracer.annotate_once(route="batched")
                 return result

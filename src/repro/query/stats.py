@@ -45,6 +45,15 @@ class QueryStats:
     fallback_steps: int = 0
     #: document-order rank indexes (re)built
     rank_index_builds: int = 0
+    #: queries that raised (any ReproError), across all error types
+    queries_failed: int = 0
+    #: per-error-type failure counts, keyed by exception class name;
+    #: kept out of the dataclass fields (a dict field would break the
+    #: registry's number-only flattening) and merged into
+    #: :meth:`as_dict` as ``errors.<Type>`` scalars
+    _error_counts: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
     #: serialises counter mutation across threads (not a counter)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -55,6 +64,19 @@ class QueryStats:
         """Atomically add *amount* to counter field *name*."""
         with self._lock:
             setattr(self, name, getattr(self, name) + amount)
+
+    def count_error(self, error_type: str) -> None:
+        """Record one failed query of exception class *error_type*."""
+        with self._lock:
+            self.queries_failed += 1
+            self._error_counts[error_type] = (
+                self._error_counts.get(error_type, 0) + 1
+            )
+
+    def error_counts(self) -> Dict[str, int]:
+        """Per-error-type failure counts (copy)."""
+        with self._lock:
+            return dict(self._error_counts)
 
     # ------------------------------------------------------------------
     @property
@@ -74,12 +96,17 @@ class QueryStats:
     def as_dict(self) -> Dict[str, int]:
         """Every counter field, derived from the dataclass fields —
         adding a field can never silently drift out of the exported
-        dict (or out of a registry this ledger is bound to)."""
-        return {
+        dict (or out of a registry this ledger is bound to) — plus one
+        ``errors.<Type>`` scalar per error class seen."""
+        out = {
             f.name: getattr(self, f.name)
             for f in fields(self)
             if not f.name.startswith("_")
         }
+        with self._lock:
+            for error_type, count in self._error_counts.items():
+                out[f"errors.{error_type}"] = count
+        return out
 
     def snapshot(self) -> Dict[str, int]:
         return self.as_dict()
@@ -95,6 +122,7 @@ class QueryStats:
             for f in fields(self):
                 if not f.name.startswith("_"):
                     setattr(self, f.name, f.default)
+            self._error_counts.clear()
 
     def bind(self, registry: "MetricsRegistry", prefix: str = "query") -> None:
         """Expose this ledger through *registry* as ``prefix.*`` pull

@@ -135,6 +135,11 @@ class TwigMatcher:
     annotated with the chosen algorithm.
     """
 
+    #: cooperative-cancellation budget for the running match (set via
+    #: :meth:`set_deadline`); consulted in the bottom-up recursion and
+    #: inside the join loops
+    deadline = None
+
     def __init__(self, source, tracer=NULL_TRACER):
         if isinstance(source, NodeStore):
             self.labeling: Optional[Labeling] = None
@@ -145,6 +150,16 @@ class TwigMatcher:
 
             self.store = MemoryNodeStore(source)
         self.tracer = tracer
+
+    def set_deadline(self, deadline) -> None:
+        """Attach (or clear, with None) a
+        :class:`~repro.resilience.Deadline`, forwarding it to the
+        backing store so label probes tick as well."""
+        self.deadline = deadline
+        try:
+            self.store.deadline = deadline
+        except AttributeError:
+            pass  # slotted stores don't carry a deadline
 
     def _candidates(self, pattern: TwigNode) -> List:
         """Labels of the nodes passing the pattern's tag test."""
@@ -254,6 +269,9 @@ class TwigMatcher:
             "twig.node", tag=pattern.tag or "*", axis=pattern.axis
         ) as span:
             survivors = set(self._candidates(pattern))
+            if self.deadline is not None:
+                # one weighted cancellation point per pattern node
+                self.deadline.tick(len(survivors))
             node_plan: Optional[TwigNodePlan] = None
             if record:
                 node_plan = TwigNodePlan(
@@ -299,7 +317,10 @@ class TwigMatcher:
         where rUID/Dewey shine: no index, no join)."""
         parents: Set = set()
         parent_of = self.store.parent_of
+        deadline = self.deadline
         for label in labels:
+            if deadline is not None:
+                deadline.tick()
             parent = parent_of(label)
             if parent is not None:
                 parents.add(parent)
@@ -338,7 +359,10 @@ class TwigMatcher:
         rank_of = self.store.rank_of
         lower_ranks = sorted(rank_of(label) for label in lower)
         out: Set = set()
+        deadline = self.deadline
         for label in upper:
+            if deadline is not None:
+                deadline.tick()
             rank = rank_of(label)
             position = bisect_right(lower_ranks, rank)
             if (

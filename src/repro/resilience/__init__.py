@@ -1,0 +1,32 @@
+"""Resilient serving: deadlines, admission control, circuit breakers.
+
+The tail-at-scale discipline for the paper's query engine: every
+request carries a budget (:class:`Deadline`), an overloaded tier sheds
+load instead of congesting (:class:`AdmissionController`), a failing
+dependency is bypassed instead of hammered (:class:`CircuitBreaker`,
+:class:`BackoffPolicy`), and the disk read path degrades to RAM
+instead of erroring (:class:`ResilientNodeStore`). Failures that do
+surface are *typed* — ``QueryTimeout``, ``Overloaded``,
+``CircuitOpen`` in :mod:`repro.errors` — so callers can tell "retry
+later" from "never". docs/ROBUSTNESS.md has the full taxonomy; the
+chaos suite under tests/resilience asserts the invariant that no
+injected fault ever produces a silently wrong answer.
+"""
+
+from .admission import AdmissionController
+from .backoff import JITTER_MODES, BackoffPolicy
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .deadline import Deadline
+from .store import ResilientNodeStore
+
+__all__ = [
+    "AdmissionController",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "JITTER_MODES",
+    "ResilientNodeStore",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]

@@ -1,0 +1,168 @@
+"""Token-based admission control with a bounded wait queue.
+
+An engine that accepts unbounded concurrent work does not fail — it
+*congests*: every request slows down together until all of them miss
+their deadlines. Admission control converts that collapse into typed,
+fast rejections for the overflow while the admitted work keeps its
+latency. The model here is the classic token bucket over a bounded
+queue: ``max_concurrent`` execution tokens, up to ``max_queue``
+waiters, and beyond that an immediate
+:class:`~repro.errors.Overloaded` (load shedding).
+
+Use it as a context manager around the guarded section::
+
+    controller = AdmissionController(max_concurrent=4, max_queue=8)
+    with controller.admit():
+        ... do the work ...
+
+Saturation gauges (`in_flight`, `queue_depth`) and lifetime counters
+(`admitted`, `rejected`, `timed_out`) are exposed through
+:meth:`as_dict` and registered on a MetricsRegistry via :meth:`bind`
+under the ``resilience.admission`` prefix.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict
+
+
+class AdmissionController:
+    """Bounded-concurrency gate for a serving tier.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Execution tokens; this many requests run simultaneously.
+    max_queue:
+        Requests allowed to wait for a token; arrivals beyond
+        ``max_concurrent + max_queue`` are shed immediately.
+    queue_timeout_s:
+        Longest a queued request waits before being shed. Keeping this
+        finite is what bounds tail latency: a request that would wait
+        longer is better rejected (the client can back off) than served
+        late.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        max_queue: int = 16,
+        queue_timeout_s: float = 1.0,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self._lock = threading.Lock()
+        self._token_free = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._queued = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._timed_out = 0
+        self._peak_in_flight = 0
+        self._peak_queued = 0
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def admit(self):
+        """Acquire a token for the ``with`` body, queueing if needed.
+
+        Raises :class:`Overloaded` when the queue is full or the queue
+        wait exceeds ``queue_timeout_s``; the body never ran in that
+        case, so the caller may retry after ``retry_after_s``.
+        """
+        self._acquire()
+        try:
+            yield self
+        finally:
+            self._release()
+
+    def _acquire(self) -> None:
+        from repro.errors import Overloaded
+
+        with self._token_free:
+            if self._in_flight < self.max_concurrent:
+                self._in_flight += 1
+                self._admitted += 1
+                self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+                return
+            if self._queued >= self.max_queue:
+                self._rejected += 1
+                raise Overloaded(
+                    f"admission queue full ({self._in_flight} in flight, "
+                    f"{self._queued} queued)",
+                    in_flight=self._in_flight,
+                    queue_depth=self._queued,
+                    retry_after_s=self.queue_timeout_s,
+                )
+            self._queued += 1
+            self._peak_queued = max(self._peak_queued, self._queued)
+            deadline = self.queue_timeout_s
+            try:
+                # wait_for re-waits on spurious wakeups and tracks the
+                # remaining timeout itself
+                got_token = self._token_free.wait_for(
+                    lambda: self._in_flight < self.max_concurrent,
+                    timeout=deadline,
+                )
+            finally:
+                self._queued -= 1
+            if not got_token:
+                self._timed_out += 1
+                self._rejected += 1
+                raise Overloaded(
+                    f"queued {deadline:.3f}s without obtaining a token "
+                    f"({self._in_flight} in flight)",
+                    in_flight=self._in_flight,
+                    queue_depth=self._queued,
+                    retry_after_s=deadline,
+                )
+            self._in_flight += 1
+            self._admitted += 1
+            self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+
+    def _release(self) -> None:
+        with self._token_free:
+            self._in_flight -= 1
+            self._token_free.notify()
+
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queued
+
+    def as_dict(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "queue_depth": self._queued,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "timed_out": self._timed_out,
+                "peak_in_flight": self._peak_in_flight,
+                "peak_queued": self._peak_queued,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+            }
+
+    def bind(self, registry, prefix: str = "resilience.admission") -> None:
+        """Expose saturation gauges as a pull source on *registry*."""
+        registry.register_source(prefix, self.as_dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController {self.in_flight()}/{self.max_concurrent} "
+            f"in flight, {self.queue_depth()}/{self.max_queue} queued>"
+        )

@@ -1,0 +1,106 @@
+"""Retry backoff policies with jitter and an attempt budget.
+
+Deterministic exponential backoff synchronises retries: every client
+that failed together retries together, and the retry storm arrives as
+a wave (the thundering-herd problem the Dynamo and "Tail at Scale"
+literature warns about). The fix is jitter — spreading each delay over
+a random interval — plus a hard attempt budget so a dead dependency
+fails fast instead of consuming an unbounded retry allowance.
+
+:class:`BackoffPolicy` packages the three standard strategies behind
+one ``delay(attempt, previous)`` call:
+
+* ``none`` — classic ``base * 2**(attempt-1)``, capped;
+* ``full`` — AWS "full jitter": uniform over ``[0, exp_delay]``;
+* ``decorrelated`` — AWS "decorrelated jitter": uniform over
+  ``[base, 3 * previous_delay]``, which spreads retries *and* forgets
+  the attempt number, so long-lived loops do not re-synchronise.
+
+The RNG is injected (seeded) so every simulated schedule reproduces
+bit-for-bit from its seed — the same discipline as
+:class:`~repro.storage.faults.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import StorageError
+
+#: strategies :class:`BackoffPolicy` accepts
+JITTER_MODES = ("none", "full", "decorrelated")
+
+
+class BackoffPolicy:
+    """Delay generator for a retry loop.
+
+    Parameters
+    ----------
+    base:
+        First-attempt delay in seconds (also the decorrelated floor).
+    cap:
+        Upper bound every returned delay is clamped to.
+    jitter:
+        One of :data:`JITTER_MODES`.
+    max_attempts:
+        Total attempt budget (first try included); ``None`` leaves the
+        budget to the caller. :meth:`exhausted` answers the question.
+    rng:
+        Seeded :class:`random.Random`; a fresh ``Random(0)`` is created
+        if omitted so behaviour is deterministic by default.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.01,
+        cap: float = 1.0,
+        jitter: str = "decorrelated",
+        max_attempts: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if base <= 0:
+            raise StorageError(f"backoff base must be positive, got {base}")
+        if cap < base:
+            raise StorageError(f"backoff cap {cap} below base {base}")
+        if jitter not in JITTER_MODES:
+            raise StorageError(
+                f"unknown jitter mode {jitter!r}; pick one of {JITTER_MODES}"
+            )
+        if max_attempts is not None and max_attempts < 1:
+            raise StorageError("attempt budget must be >= 1")
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self.max_attempts = max_attempts
+        self.rng = rng if rng is not None else random.Random(0)
+
+    # ------------------------------------------------------------------
+    def delay(self, attempt: int, previous: float = 0.0) -> float:
+        """Seconds to wait before retry number *attempt* (1-based).
+
+        *previous* is the delay the caller last waited (used by the
+        decorrelated strategy; ignored otherwise).
+        """
+        if attempt < 1:
+            raise StorageError(f"attempt numbers are 1-based, got {attempt}")
+        exponential = min(self.cap, self.base * (2 ** (attempt - 1)))
+        if self.jitter == "none":
+            return exponential
+        if self.jitter == "full":
+            return self.rng.uniform(0.0, exponential)
+        # decorrelated: uniform over [base, 3 * previous], seeded by the
+        # last delay actually taken rather than the attempt counter
+        upper = max(self.base, 3.0 * (previous if previous > 0 else self.base))
+        return min(self.cap, self.rng.uniform(self.base, upper))
+
+    def exhausted(self, attempts_made: int) -> bool:
+        """True once *attempts_made* has consumed the whole budget."""
+        return self.max_attempts is not None and attempts_made >= self.max_attempts
+
+    def __repr__(self) -> str:
+        budget = self.max_attempts if self.max_attempts is not None else "inf"
+        return (
+            f"<BackoffPolicy {self.jitter} base={self.base} cap={self.cap} "
+            f"budget={budget}>"
+        )

@@ -1,0 +1,178 @@
+"""Circuit breaker: fail fast on a dependency that keeps failing.
+
+A retry loop against a dead dependency converts one outage into many
+slow failures — every caller pays the full retry budget before
+learning what the last caller already knew. A circuit breaker shares
+that knowledge: after ``failure_threshold`` consecutive failures the
+breaker *opens* and refuses calls instantly (typed
+:class:`~repro.errors.CircuitOpen`) until a backoff window elapses;
+then it admits a single probe (*half-open*) and either closes on
+success or re-opens with a longer, jittered window.
+
+The open-window schedule reuses :class:`BackoffPolicy` (decorrelated
+jitter by default) so a fleet of breakers guarding the same dependency
+does not re-probe in lockstep. Clock and RNG are injected for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import CircuitOpen
+
+from .backoff import BackoffPolicy
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-dependency failure gate with closed/open/half-open states.
+
+    Parameters
+    ----------
+    name:
+        Identifies the breaker in errors and metrics.
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    backoff:
+        Open-window schedule; defaults to decorrelated jitter over
+        ``[0.05s, 5s]``.
+    clock:
+        Monotonic seconds clock; defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        backoff: Optional[BackoffPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.backoff = backoff if backoff is not None else BackoffPolicy(
+            base=0.05, cap=5.0, jitter="decorrelated"
+        )
+        self.clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._open_window = 0.0
+        self._open_count = 0
+        #: a half-open probe is in flight; holds the slot until the
+        #: caller resolves it with record_success/record_failure
+        self._probing = False
+        # lifetime counters for metrics
+        self._stats = {
+            "calls_allowed": 0,
+            "calls_rejected": 0,
+            "failures": 0,
+            "successes": 0,
+            "opens": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        """State after applying window expiry (caller holds the lock)."""
+        if self._state == OPEN and not self._probing:
+            if self.clock() - self._opened_at >= self._open_window:
+                self._state = HALF_OPEN
+        return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """True if a call may proceed; False while the breaker is open.
+
+        In half-open state only the first caller gets the probe slot;
+        concurrent callers are rejected until the probe resolves.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                self._stats["calls_allowed"] += 1
+                return True
+            if state == HALF_OPEN:
+                # claim the single probe slot: the breaker reads as OPEN
+                # to everyone else until record_success/record_failure
+                # resolves the probe
+                self._state = OPEN
+                self._probing = True
+                self._stats["calls_allowed"] += 1
+                return True
+            self._stats["calls_rejected"] += 1
+            return False
+
+    def guard(self) -> None:
+        """Raise :class:`CircuitOpen` instead of returning False."""
+        if not self.allow():
+            raise CircuitOpen(
+                f"circuit {self.name!r} is open; retry in "
+                f"{self.retry_after_s():.3f}s",
+                breaker=self.name,
+                retry_after_s=self.retry_after_s(),
+            )
+
+    def record_success(self) -> None:
+        """A guarded call succeeded: close and reset the failure run."""
+        with self._lock:
+            self._stats["successes"] += 1
+            self._state = CLOSED
+            self._probing = False
+            self._consecutive_failures = 0
+            self._open_count = 0
+
+    def record_failure(self) -> None:
+        """A guarded call failed: count it, trip open past threshold."""
+        with self._lock:
+            self._stats["failures"] += 1
+            self._probing = False
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._open_count += 1
+                self._open_window = self.backoff.delay(
+                    self._open_count, previous=self._open_window
+                )
+                self._opened_at = self.clock()
+                if self._state != OPEN:
+                    self._stats["opens"] += 1
+                self._state = OPEN
+
+    def reset(self) -> None:
+        """Force-close (used when an operator restores a dependency)."""
+        with self._lock:
+            self._state = CLOSED
+            self._probing = False
+            self._consecutive_failures = 0
+            self._open_count = 0
+            self._open_window = 0.0
+
+    # ------------------------------------------------------------------
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self._open_window - (self.clock() - self._opened_at))
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            state = self._effective_state()
+            snapshot = dict(self._stats)
+        snapshot["is_open"] = 1 if state == OPEN else 0
+        return snapshot
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.name!r} {self.state}>"

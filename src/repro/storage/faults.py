@@ -13,19 +13,26 @@ its seed alone:
   pager's CRC32 check must catch on the next cold read;
 * **site outages** — :meth:`take_site_down` / :meth:`restore_site`
   drive the federation's degraded mode; placement-aware helpers pick
-  victims reproducibly.
+  victims reproducibly;
+* **read-path chaos** — :meth:`arm_read_faults` gives every cold page
+  read a seeded chance of a transient error
+  (:class:`~repro.errors.TransientFetchError`), a latency spike, or a
+  fetch-time bit flip (caught by the pager's CRC as a
+  :class:`~repro.errors.ChecksumError`). This is what the resilience
+  suite drives the differential harness with.
 
 The injector is passive: components consult it at their fault points
-(`Pager._write_back`, `FederatedDocument._site_is_down`), so wiring it
-in costs nothing when no faults are armed.
+(`Pager._write_back`, `Pager.read`, `FederatedDocument._site_is_down`),
+so wiring it in costs nothing when no faults are armed.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from typing import Iterable, Optional, Set, Tuple
 
-from repro.errors import InjectedFaultError, StorageError
+from repro.errors import InjectedFaultError, StorageError, TransientFetchError
 
 
 class FaultInjector:
@@ -37,8 +44,21 @@ class FaultInjector:
         self._writes_seen = 0
         self._fail_at_write: Optional[int] = None
         self._down_sites: Set[str] = set()
+        # read-path fault rates (all zero = disarmed)
+        self._read_transient_rate = 0.0
+        self._read_latency_rate = 0.0
+        self._read_latency_s = 0.0
+        self._read_bitflip_rate = 0.0
+        self._read_fires_left: Optional[int] = None
+        self._sleep = time.sleep
         #: how many injected faults actually fired, by kind
-        self.fired = {"write": 0, "bitflip": 0}
+        self.fired = {
+            "write": 0,
+            "bitflip": 0,
+            "read_transient": 0,
+            "read_latency": 0,
+            "read_bitflip": 0,
+        }
 
     # ------------------------------------------------------------------
     # Write failures
@@ -96,6 +116,87 @@ class FaultInjector:
         pager.damage(page_id, offset, 1 << bit)
         self.fired["bitflip"] += 1
         return page_id, offset, bit
+
+    # ------------------------------------------------------------------
+    # Read-path chaos
+    # ------------------------------------------------------------------
+    def arm_read_faults(
+        self,
+        transient_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_s: float = 0.0,
+        bitflip_rate: float = 0.0,
+        max_fires: Optional[int] = None,
+        sleep=None,
+    ) -> None:
+        """Give every cold page read a seeded chance of misbehaving.
+
+        Rates are independent per-read probabilities; a read rolls for
+        each armed fault in a fixed order (transient, latency, bitflip)
+        and at most one fires. *max_fires* bounds the total number of
+        faults so a retry loop eventually succeeds; *sleep* is
+        injectable for tests that must not actually wait.
+        """
+        for name, rate in (
+            ("transient_rate", transient_rate),
+            ("latency_rate", latency_rate),
+            ("bitflip_rate", bitflip_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise StorageError(f"{name} must be in [0, 1], got {rate}")
+        if latency_rate and latency_s <= 0:
+            raise StorageError("latency faults need a positive latency_s")
+        self._read_transient_rate = transient_rate
+        self._read_latency_rate = latency_rate
+        self._read_latency_s = latency_s
+        self._read_bitflip_rate = bitflip_rate
+        self._read_fires_left = max_fires
+        if sleep is not None:
+            self._sleep = sleep
+
+    def disarm_read_faults(self) -> None:
+        self._read_transient_rate = 0.0
+        self._read_latency_rate = 0.0
+        self._read_latency_s = 0.0
+        self._read_bitflip_rate = 0.0
+        self._read_fires_left = None
+
+    def before_page_read(self, pager, page_id: int) -> None:
+        """Pager hook: called at the top of every cold (pool-miss) read."""
+        if self._read_fires_left is not None and self._read_fires_left <= 0:
+            return
+        if self._read_transient_rate and (
+            self.rng.random() < self._read_transient_rate
+        ):
+            self._spend_fire()
+            self.fired["read_transient"] += 1
+            raise TransientFetchError(
+                f"injected transient read fault on page {page_id} "
+                f"(seed {self.seed})"
+            )
+        if self._read_latency_rate and (
+            self.rng.random() < self._read_latency_rate
+        ):
+            self._spend_fire()
+            self.fired["read_latency"] += 1
+            self._sleep(self._read_latency_s)
+            return
+        if self._read_bitflip_rate and (
+            self.rng.random() < self._read_bitflip_rate
+        ):
+            self._spend_fire()
+            self.fired["read_bitflip"] += 1
+            # damage lands on _disk before the caller samples it, so
+            # the pager's CRC verification turns this into a typed
+            # ChecksumError on this very read
+            pager.damage(
+                page_id, self.rng.randrange(pager.page_size),
+                1 << self.rng.randrange(8),
+            )
+
+    def _spend_fire(self) -> None:
+        if self._read_fires_left is not None:
+            self._read_fires_left -= 1
 
     # ------------------------------------------------------------------
     # Federation outages

@@ -14,15 +14,22 @@ the measurable consequence of label arithmetic being site-local.
 Fault tolerance (docs/ROBUSTNESS.md): each area can be replicated on
 ``replication_factor`` sites. When a site is down (via
 :meth:`take_site_down` or an attached
-:class:`~repro.storage.faults.FaultInjector`), reads retry against the
-replica chain with exponential backoff, and the coordinator's ledger
-records the degraded-mode cost: failed messages, retries, failovers
-and accumulated backoff. Tag routing degrades from the synopsis to a
-broadcast when the synopsis replica's epoch is stale.
+:class:`~repro.storage.faults.FaultInjector`), reads fail over along
+the replica chain under a :class:`~repro.resilience.BackoffPolicy`
+(exponential by default; full or decorrelated jitter and a hard
+attempt budget are configurable), and a per-site
+:class:`~repro.resilience.CircuitBreaker` stops the coordinator from
+re-contacting a site that keeps failing — open breakers are skipped
+for free until their jittered cooldown admits a probe. The
+coordinator's ledger records the degraded-mode cost: failed messages,
+retries, failovers, breaker skips and accumulated backoff (also per
+site, in :meth:`site_loads`). Tag routing degrades from the synopsis
+to a broadcast when the synopsis replica's epoch is stale.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -34,6 +41,8 @@ from repro.core.ruid import Ruid2Labeling
 from repro.errors import SiteUnavailableError, StorageError, UnknownLabelError
 from repro.obs.trace import NULL_TRACER
 from repro.query.synopsis import TagAreaSynopsis
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.breaker import OPEN, CircuitBreaker
 from repro.storage.iostats import IoStats
 from repro.xmltree.node import XmlNode
 
@@ -120,6 +129,10 @@ class FederatedDocument:
         max_rounds: int = 3,
         tracer=NULL_TRACER,
         site_latency: float = 0.0,
+        backoff_jitter: str = "none",
+        max_attempts: Optional[int] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 0.05,
     ):
         if site_count < 1:
             raise StorageError("need at least one site")
@@ -140,6 +153,33 @@ class FederatedDocument:
         self.faults = faults
         self.backoff_base = backoff_base
         self.max_rounds = max_rounds
+        # retry schedule: default "none" keeps the historical
+        # deterministic base * 2**(n-1); the rng is seeded from the
+        # injector so a chaos run reproduces from its seed alone
+        rng_seed = faults.seed if faults is not None else 0
+        self.backoff = BackoffPolicy(
+            base=backoff_base,
+            cap=max(backoff_base, 1.0),
+            jitter=backoff_jitter,
+            max_attempts=max_attempts,
+            rng=random.Random(rng_seed),
+        )
+        #: per-site circuit breakers on the coordinator's message path
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self._site_backoff: Dict[str, float] = {}
+        for index in range(site_count):
+            name = f"site{index}"
+            self.breakers[name] = CircuitBreaker(
+                f"federation.{name}",
+                failure_threshold=breaker_threshold,
+                backoff=BackoffPolicy(
+                    base=breaker_cooldown,
+                    cap=max(breaker_cooldown, 2.0),
+                    jitter="decorrelated",
+                    rng=random.Random(rng_seed + index + 1),
+                ),
+            )
+            self._site_backoff[name] = 0.0
         #: structural-change epoch of the document itself
         self.epoch = 0
         # Coordinator state: the serialized global parameters — exactly
@@ -160,6 +200,7 @@ class FederatedDocument:
             "messages_failed": 0,
             "failovers": 0,
             "stale_fallbacks": 0,
+            "breaker_skips": 0,
             "backoff_seconds": 0.0,
         }
 
@@ -212,8 +253,10 @@ class FederatedDocument:
                 "messages_failed": 0,
                 "failovers": 0,
                 "stale_fallbacks": 0,
+                "breaker_skips": 0,
                 "backoff_seconds": 0.0,
             }
+            self._site_backoff = {name: 0.0 for name in self._site_backoff}
 
     def _charge(self, key: str, amount: float = 1) -> None:
         """Atomically add *amount* to a degraded-mode counter."""
@@ -227,7 +270,17 @@ class FederatedDocument:
         self._site_by_name(name).down = True
 
     def restore_site(self, name: str) -> None:
+        """Operator restore: bring the site up and force-close its
+        breaker so the next read probes it immediately. Outages driven
+        through the fault injector bypass this path; call
+        :meth:`reset_breakers` after ``faults.restore_site``."""
         self._site_by_name(name).down = False
+        self.breakers[name].reset()
+
+    def reset_breakers(self) -> None:
+        """Force-close every per-site breaker (post-restore cleanup)."""
+        for breaker in self.breakers.values():
+            breaker.reset()
 
     def _site_by_name(self, name: str) -> Site:
         for site in self.sites:
@@ -265,29 +318,51 @@ class FederatedDocument:
     def _live_site_for_area(self, area: int) -> Site:
         """First reachable site in the area's replica chain.
 
-        Walks the chain up to ``max_rounds`` times; every contact with
-        a down site costs a failed message, every re-attempt after the
-        first counts as a retry with exponentially growing (simulated)
-        backoff. Success on a non-primary replica is a failover.
+        Walks the chain up to ``max_rounds`` times. A site whose
+        breaker is open is *skipped for free* — no message, no retry,
+        no backoff, just a ``breaker_skips`` charge. Every actual
+        contact with a down site costs a failed message and a breaker
+        failure; every contact after the first counts as a retry with
+        (simulated) backoff drawn from the configured
+        :class:`BackoffPolicy`, charged both globally and to the site
+        being waited on. Success on a non-primary replica is a
+        failover. A configured attempt budget turns exhaustion into an
+        early :class:`SiteUnavailableError`.
         """
         chain = self._replica_chain(area)
-        attempt = 0
+        contacts = 0
+        delay = 0.0
         for _round in range(self.max_rounds):
             for position, site_index in enumerate(chain):
                 site = self.sites[site_index]
-                if attempt > 0:
-                    self.stats.record_retry()
-                    self._charge(
-                        "backoff_seconds",
-                        self.backoff_base * (2 ** (attempt - 1)),
+                breaker = self.breakers[site.name]
+                if not breaker.allow():
+                    self._charge("breaker_skips")
+                    self.tracer.event(
+                        "federation.breaker_open", area=area, site=site.name
                     )
-                attempt += 1
+                    continue
+                if self.backoff.exhausted(contacts):
+                    raise SiteUnavailableError(
+                        f"area {area}: attempt budget "
+                        f"({self.backoff.max_attempts}) exhausted after "
+                        f"{contacts} contacts"
+                    )
+                if contacts > 0:
+                    self.stats.record_retry()
+                    delay = self.backoff.delay(contacts, previous=delay)
+                    self._charge("backoff_seconds", delay)
+                    with self._ledger_lock:
+                        self._site_backoff[site.name] += delay
+                contacts += 1
                 if self._is_down(site):
+                    breaker.record_failure()
                     self._charge("messages_failed")
                     self.tracer.event(
                         "federation.message_failed", area=area, site=site.name
                     )
                     continue
+                breaker.record_success()
                 if position > 0:
                     self._charge("failovers")
                     self.tracer.event(
@@ -299,7 +374,7 @@ class FederatedDocument:
                 return site
         raise SiteUnavailableError(
             f"area {area}: all {len(chain)} replica(s) down after "
-            f"{attempt} attempts"
+            f"{contacts} contacts"
         )
 
     # ------------------------------------------------------------------
@@ -366,14 +441,18 @@ class FederatedDocument:
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
-    def site_loads(self) -> List[Tuple[str, int, int, str]]:
-        """(site, areas incl. replicas, rows, up/down) distribution."""
+    def site_loads(self) -> List[Tuple[str, int, int, str, float]]:
+        """(site, areas incl. replicas, rows, up/down, accumulated
+        backoff seconds) distribution."""
+        with self._ledger_lock:
+            backoff = dict(self._site_backoff)
         return [
             (
                 site.name,
                 len(site.areas) + len(site.replica_areas),
                 len(site.rows),
                 "down" if self._is_down(site) else "up",
+                backoff[site.name],
             )
             for site in self.sites
         ]
@@ -383,6 +462,9 @@ class FederatedDocument:
         snapshot: Dict[str, float] = {
             "messages": self.total_messages(),
             "retries": self.stats.retries,
+            "breakers_open": sum(
+                1 for breaker in self.breakers.values() if breaker.state == OPEN
+            ),
         }
         with self._ledger_lock:
             snapshot.update(self.degraded)

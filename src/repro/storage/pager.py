@@ -64,7 +64,7 @@ class Pager:
         first and the crash/recover lifecycle becomes available.
     faults:
         Optional :class:`~repro.storage.faults.FaultInjector` consulted
-        before every write-back.
+        before every write-back and every cold read.
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`; cold reads,
         write-backs and recovery are recorded as spans. Defaults to
@@ -122,6 +122,11 @@ class Pager:
             self.stats.record_hit()
             return page
         with self.tracer.span("pager.read_miss", page=page_id):
+            if self.faults is not None:
+                # read-path chaos: transient errors, latency spikes and
+                # fetch-time bit flips (the flip lands on _disk before
+                # raw is sampled, so the CRC check below catches it)
+                self.faults.before_page_read(self, page_id)
             try:
                 raw = self._disk[page_id]
             except KeyError:

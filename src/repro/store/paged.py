@@ -79,6 +79,12 @@ class PagedNodeStore(NodeStore):
 
     store_kind = "paged"
 
+    #: cooperative-cancellation budget (a :class:`repro.resilience.Deadline`)
+    #: forwarded by the evaluator for the duration of one query; every
+    #: index probe is a cancellation point, so a deadline fires even
+    #: inside a long candidate enumeration
+    deadline = None
+
     def __init__(self, document: StoredDocument, io_stats=None):
         super().__init__()
         self.document = document
@@ -181,6 +187,8 @@ class PagedNodeStore(NodeStore):
     def _row(self, label: Label) -> Tuple[Any, ...]:
         """The ranks row for *label*: one secondary-index probe, LRU
         cached."""
+        if self.deadline is not None:
+            self.deadline.tick()
         cache = self._row_cache
         row = cache.get(label)
         if row is not None:

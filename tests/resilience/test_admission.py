@@ -1,0 +1,119 @@
+"""Unit tests for token-based admission control."""
+
+import threading
+
+import pytest
+
+from repro.errors import Overloaded, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import AdmissionController
+
+
+class TestValidation:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_timeout_s=0)
+
+
+class TestTokens:
+    def test_admits_up_to_max_concurrent(self):
+        controller = AdmissionController(max_concurrent=2, max_queue=0)
+        with controller.admit():
+            with controller.admit():
+                assert controller.in_flight() == 2
+
+    def test_sheds_beyond_tokens_plus_queue(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        with controller.admit():
+            with pytest.raises(Overloaded) as exc_info:
+                with controller.admit():
+                    pass
+        err = exc_info.value
+        assert err.in_flight == 1
+        assert err.retry_after_s > 0
+        assert isinstance(err, ReproError)
+
+    def test_release_frees_the_token(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        with controller.admit():
+            pass
+        with controller.admit():
+            assert controller.in_flight() == 1
+        assert controller.in_flight() == 0
+
+    def test_released_even_when_body_raises(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                raise RuntimeError("boom")
+        assert controller.in_flight() == 0
+
+    def test_queue_timeout_sheds(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, queue_timeout_s=0.05
+        )
+        with controller.admit():
+            with pytest.raises(Overloaded):
+                with controller.admit():
+                    pass
+        assert controller.as_dict()["timed_out"] == 1
+
+    def test_queued_request_proceeds_when_token_frees(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, queue_timeout_s=5.0
+        )
+        entered = threading.Event()
+        release = threading.Event()
+        results = []
+
+        def holder():
+            with controller.admit():
+                entered.set()
+                release.wait(timeout=5.0)
+
+        def waiter():
+            with controller.admit():
+                results.append("ran")
+
+        hold_thread = threading.Thread(target=holder)
+        hold_thread.start()
+        assert entered.wait(timeout=5.0)
+        wait_thread = threading.Thread(target=waiter)
+        wait_thread.start()
+        # give the waiter time to join the queue, then free the token
+        deadline = threading.Event()
+        deadline.wait(timeout=0.05)
+        release.set()
+        wait_thread.join(timeout=5.0)
+        hold_thread.join(timeout=5.0)
+        assert results == ["ran"]
+        snapshot = controller.as_dict()
+        assert snapshot["admitted"] == 2
+        assert snapshot["rejected"] == 0
+
+
+class TestObservability:
+    def test_counters_and_peaks(self):
+        controller = AdmissionController(max_concurrent=2, max_queue=0)
+        with controller.admit():
+            with controller.admit():
+                with pytest.raises(Overloaded):
+                    controller.admit().__enter__()
+        snapshot = controller.as_dict()
+        assert snapshot["admitted"] == 2
+        assert snapshot["rejected"] == 1
+        assert snapshot["peak_in_flight"] == 2
+        assert snapshot["in_flight"] == 0
+
+    def test_bind_exposes_gauges(self):
+        registry = MetricsRegistry()
+        controller = AdmissionController(max_concurrent=3)
+        controller.bind(registry)
+        with controller.admit():
+            snapshot = registry.snapshot()
+        assert snapshot["resilience.admission.in_flight"] == 1
+        assert snapshot["resilience.admission.max_concurrent"] == 3

@@ -1,0 +1,94 @@
+"""Unit tests for jittered backoff policies."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.resilience import JITTER_MODES, BackoffPolicy
+
+
+class TestValidation:
+    def test_base_must_be_positive(self):
+        with pytest.raises(StorageError):
+            BackoffPolicy(base=0)
+
+    def test_cap_at_least_base(self):
+        with pytest.raises(StorageError):
+            BackoffPolicy(base=1.0, cap=0.5)
+
+    def test_unknown_jitter_rejected(self):
+        with pytest.raises(StorageError):
+            BackoffPolicy(jitter="fibonacci")
+
+    def test_attempt_budget_validated(self):
+        with pytest.raises(StorageError):
+            BackoffPolicy(max_attempts=0)
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(StorageError):
+            BackoffPolicy().delay(0)
+
+
+class TestNoneJitter:
+    def test_doubles_per_attempt_until_cap(self):
+        policy = BackoffPolicy(base=0.1, cap=1.0, jitter="none")
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(5) == pytest.approx(1.0)  # capped
+        assert policy.delay(50) == pytest.approx(1.0)
+
+
+class TestFullJitter:
+    def test_uniform_over_zero_to_exponential(self):
+        policy = BackoffPolicy(
+            base=0.1, cap=10.0, jitter="full", rng=random.Random(42)
+        )
+        for attempt in range(1, 8):
+            exponential = min(10.0, 0.1 * 2 ** (attempt - 1))
+            for _ in range(50):
+                assert 0.0 <= policy.delay(attempt) <= exponential
+
+    def test_seeded_schedule_reproduces(self):
+        first = BackoffPolicy(jitter="full", rng=random.Random(7))
+        second = BackoffPolicy(jitter="full", rng=random.Random(7))
+        assert [first.delay(n) for n in range(1, 6)] == [
+            second.delay(n) for n in range(1, 6)
+        ]
+
+
+class TestDecorrelatedJitter:
+    def test_bounded_by_base_and_three_times_previous(self):
+        policy = BackoffPolicy(
+            base=0.1, cap=100.0, jitter="decorrelated", rng=random.Random(3)
+        )
+        previous = 0.0
+        for attempt in range(1, 20):
+            delay = policy.delay(attempt, previous=previous)
+            upper = max(0.1, 3.0 * (previous if previous > 0 else 0.1))
+            assert 0.1 <= delay <= upper
+            previous = delay
+
+    def test_cap_clamps(self):
+        policy = BackoffPolicy(base=0.1, cap=0.15, jitter="decorrelated")
+        for attempt in range(1, 10):
+            assert policy.delay(attempt, previous=5.0) <= 0.15
+
+    def test_default_is_deterministic(self):
+        # no rng passed: a fresh Random(0) each time
+        assert BackoffPolicy().delay(1) == BackoffPolicy().delay(1)
+
+
+class TestBudget:
+    def test_exhausted_counts_the_first_try(self):
+        policy = BackoffPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_no_budget_never_exhausts(self):
+        assert not BackoffPolicy().exhausted(10_000)
+
+    def test_modes_are_exported(self):
+        assert set(JITTER_MODES) == {"none", "full", "decorrelated"}

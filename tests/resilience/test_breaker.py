@@ -1,0 +1,162 @@
+"""Unit tests for the circuit breaker state machine (fake clock)."""
+
+import random
+
+import pytest
+
+from repro.errors import CircuitOpen, StorageError
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, BackoffPolicy, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, base=1.0, cap=100.0, jitter="none"):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        "dep",
+        failure_threshold=threshold,
+        backoff=BackoffPolicy(base=base, cap=cap, jitter=jitter,
+                              rng=random.Random(1)),
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("dep", failure_threshold=0)
+
+    def test_trips_open_at_threshold(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_guard_raises_typed_circuit_open(self):
+        breaker, _ = make_breaker(threshold=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpen) as exc_info:
+            breaker.guard()
+        err = exc_info.value
+        assert err.breaker == "dep"
+        assert err.retry_after_s > 0
+        assert isinstance(err, StorageError)
+
+    def test_half_open_after_window(self):
+        breaker, clock = make_breaker(threshold=1, base=1.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_one_probe(self):
+        breaker, clock = make_breaker(threshold=1, base=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent caller rejected
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, base=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_longer_window(self):
+        breaker, clock = make_breaker(threshold=1, base=1.0, jitter="none")
+        breaker.record_failure()  # open #1: window 1.0
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # open #2: window 2.0
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == OPEN  # 2s window not yet elapsed
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_reset_force_closes(self):
+        breaker, _ = make_breaker(threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.retry_after_s() == 0.0
+
+
+class TestRetryAfter:
+    def test_counts_down_with_the_clock(self):
+        breaker, clock = make_breaker(threshold=1, base=2.0, jitter="none")
+        breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert breaker.retry_after_s() == pytest.approx(0.5)
+
+    def test_zero_when_closed(self):
+        breaker, _ = make_breaker()
+        assert breaker.retry_after_s() == 0.0
+
+
+class TestStats:
+    def test_lifetime_counters(self):
+        breaker, clock = make_breaker(threshold=1, base=1.0)
+        breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.allow()  # rejected: open
+        stats = breaker.stats()
+        assert stats["calls_allowed"] == 1
+        assert stats["calls_rejected"] == 1
+        assert stats["failures"] == 1
+        assert stats["successes"] == 1
+        assert stats["opens"] == 1
+        assert stats["is_open"] == 1
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.stats()["is_open"] == 0
+
+    def test_decorrelated_windows_vary(self):
+        """The default schedule is decorrelated jitter: consecutive
+        open windows should not repeat a fixed doubling sequence."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "dep",
+            failure_threshold=1,
+            backoff=BackoffPolicy(base=0.05, cap=5.0, jitter="decorrelated",
+                                  rng=random.Random(9)),
+            clock=clock,
+        )
+        windows = []
+        for _ in range(5):
+            breaker.record_failure()
+            windows.append(breaker.retry_after_s())
+            clock.advance(windows[-1] + 0.001)
+            assert breaker.allow()
+        assert len(set(round(w, 9) for w in windows)) > 1

@@ -1,0 +1,208 @@
+"""Cross-layer chaos schedules.
+
+The invariant every schedule asserts: under injected faults a query
+either returns the **baseline-correct answer** or raises a **typed
+ReproError** — never a wrong answer, never an untyped crash, and (by
+construction: injected sleeps, fake clocks) never a hang.
+
+Chaos is seeded; a failing schedule reproduces from its seed alone.
+"""
+
+import pytest
+
+from repro.baselines.registry import get_scheme
+from repro.core import Ruid2Labeling, SizeCapPartitioner
+from repro.errors import ReproError, SiteUnavailableError
+from repro.generator import generate_xmark
+from repro.query.parser import parse_xpath
+from repro.resilience import BackoffPolicy, CircuitBreaker, ResilientNodeStore
+from repro.storage import FaultInjector, FederatedDocument
+from repro.storage.database import XmlDatabase, label_key
+from repro.store import MemoryNodeStore, PagedNodeStore, StoreEvaluator
+
+from tests.differential.conftest import (
+    CORPORA,
+    baseline_keys,
+    corpus_tree,
+    paged_result_keys,
+)
+
+NO_SLEEP = lambda seconds: None  # noqa: E731
+
+#: corpora small enough to rebuild per seed; queries come with them
+CHAOS_CORPORA = ("site", "random")
+CHAOS_SEEDS = (1, 2, 3)
+
+
+def build_chaos_stack(corpus: str, seed: int, with_fallback: bool = True):
+    """A fresh paged stack with an armed injector and a resilient
+    wrapper; fresh per schedule so fault state never leaks."""
+    tree = corpus_tree(corpus)
+    labeling = get_scheme("ruid2").build(tree)
+    faults = FaultInjector(seed=seed)
+    database = XmlDatabase(page_size=1024, pool_pages=4, faults=faults)
+    document = database.store_document(corpus, tree, labeling)
+    primary = PagedNodeStore(document)
+    fallback = MemoryNodeStore(labeling) if with_fallback else None
+    resilient = ResilientNodeStore(
+        primary,
+        fallback=fallback,
+        breaker=CircuitBreaker(
+            "paged-reads",
+            failure_threshold=5,
+            backoff=BackoffPolicy(base=0.01, cap=0.1, jitter="none"),
+        ),
+        sleep=NO_SLEEP,
+    )
+    key_map = {
+        label_key(labeling.label_of(node)): node.node_id
+        for node in tree.preorder()
+    }
+    chill(database)
+    return resilient, faults, database, key_map
+
+
+def chill(database) -> None:
+    """Persist dirty pages, then empty the pool: the next probe of any
+    page is a cold read (the path the injector attacks)."""
+    database.pager.flush()
+    database.pager._pool.clear()
+
+
+class TestReadPathChaos:
+    @pytest.mark.parametrize("corpus", CHAOS_CORPORA)
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_with_fallback_always_correct(self, corpus, seed):
+        """Transient faults + latency spikes, memory fallback armed:
+        every query must match the navigational baseline exactly."""
+        resilient, faults, database, key_map = build_chaos_stack(corpus, seed)
+        faults.arm_read_faults(
+            transient_rate=0.3,
+            latency_rate=0.2,
+            latency_s=0.001,
+            sleep=NO_SLEEP,
+        )
+        evaluator = StoreEvaluator(resilient)
+        for query in CORPORA[corpus][1]:
+            chill(database)
+            got = paged_result_keys(
+                resilient, key_map, evaluator.select(parse_xpath(query))
+            )
+            assert got == baseline_keys(corpus, query), (corpus, seed, query)
+        # the schedule must actually have injected something
+        assert faults.fired["read_transient"] + faults.fired["read_latency"] > 0
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_without_fallback_correct_or_typed(self, seed):
+        """No fallback: a query under fault pressure either matches the
+        baseline or dies with a typed ReproError."""
+        corpus = "site"
+        resilient, faults, database, key_map = build_chaos_stack(
+            corpus, seed, with_fallback=False
+        )
+        faults.arm_read_faults(transient_rate=0.4, sleep=NO_SLEEP)
+        evaluator = StoreEvaluator(resilient)
+        outcomes = {"correct": 0, "typed": 0}
+        for query in CORPORA[corpus][1]:
+            chill(database)
+            resilient.breaker.reset()
+            try:
+                got = paged_result_keys(
+                    resilient, key_map, evaluator.select(parse_xpath(query))
+                )
+            except ReproError:
+                outcomes["typed"] += 1
+                continue
+            assert got == baseline_keys(corpus, query), (seed, query)
+            outcomes["correct"] += 1
+        assert sum(outcomes.values()) == len(CORPORA[corpus][1])
+
+    def test_bitflip_poisons_the_page_and_degrades(self):
+        """A fetch-time bit flip persists on disk: retries keep failing
+        the CRC, so the resilient store must degrade to memory — and
+        the answers stay correct."""
+        corpus = "site"
+        resilient, faults, database, key_map = build_chaos_stack(corpus, 7)
+        faults.arm_read_faults(bitflip_rate=1.0, max_fires=1)
+        evaluator = StoreEvaluator(resilient)
+        for query in CORPORA[corpus][1]:
+            chill(database)
+            got = paged_result_keys(
+                resilient, key_map, evaluator.select(parse_xpath(query))
+            )
+            assert got == baseline_keys(corpus, query), query
+        assert faults.fired["read_bitflip"] == 1
+        assert resilient.degraded()
+        counters = resilient.as_dict()
+        assert counters["primary_errors"] > 0  # ChecksumError retries
+
+
+class TestFederationChaos:
+    @pytest.fixture(scope="class")
+    def labeling(self):
+        tree = generate_xmark(scale=0.05, seed=97)
+        return Ruid2Labeling(tree, partitioner=SizeCapPartitioner(12))
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_random_outage_correct_or_typed(self, labeling, seed):
+        """Take a seeded-random site down mid-run: with rf=2 every
+        fetch still answers correctly; with rf=1 the lost areas fail
+        typed. Either way: correct or typed, nothing else."""
+        faults = FaultInjector(seed=seed)
+        federation = FederatedDocument(
+            labeling,
+            site_count=3,
+            replication_factor=2,
+            faults=faults,
+            backoff_jitter="decorrelated",
+        )
+        reference = FederatedDocument(labeling, site_count=3)
+        labels = list(labeling.snapshot().values())
+        half = len(labels) // 2
+        for label in labels[:half]:
+            assert federation.fetch(label)[0] == reference.fetch(label)[0]
+        victim = faults.take_random_site_down(
+            site.name for site in federation.sites
+        )
+        for label in labels[half:]:
+            assert federation.fetch(label)[0] == reference.fetch(label)[0]
+        snapshot = federation.stats_snapshot()
+        assert snapshot["failovers"] > 0
+        faults.restore_site(victim)
+        federation.reset_breakers()
+
+    def test_rf1_outage_is_typed_not_wrong(self, labeling):
+        faults = FaultInjector(seed=11)
+        federation = FederatedDocument(
+            labeling, site_count=3, replication_factor=1, faults=faults
+        )
+        reference = FederatedDocument(labeling, site_count=3)
+        victim = faults.take_random_site_down(
+            site.name for site in federation.sites
+        )
+        down_areas = set(
+            next(s for s in federation.sites if s.name == victim).areas
+        )
+        for label in labeling.snapshot().values():
+            if label.global_index in down_areas:
+                with pytest.raises(SiteUnavailableError):
+                    federation.fetch(label)
+            else:
+                assert federation.fetch(label)[0] == reference.fetch(label)[0]
+
+    def test_attempt_budget_fails_fast(self, labeling):
+        """A bounded attempt budget turns a dead replica set into a
+        typed error after max_attempts contacts, not an endless scan."""
+        faults = FaultInjector(seed=2)
+        federation = FederatedDocument(
+            labeling,
+            site_count=3,
+            replication_factor=2,
+            faults=faults,
+            max_attempts=1,
+        )
+        for site in federation.sites:
+            faults.take_site_down(site.name)
+        label = labeling.label_of(labeling.tree.root)
+        with pytest.raises(SiteUnavailableError):
+            federation.fetch(label)

@@ -1,0 +1,113 @@
+"""Unit tests for cooperative deadlines (fake-clock, deterministic)."""
+
+import pytest
+
+from repro.errors import QueryError, QueryTimeout, ReproError
+from repro.resilience import Deadline
+
+
+class FakeClock:
+    """Manually advanced monotonic nanosecond clock."""
+
+    def __init__(self, start_ns: int = 0):
+        self.now_ns = start_ns
+
+    def __call__(self) -> int:
+        return self.now_ns
+
+    def advance_ms(self, ms: float) -> None:
+        self.now_ns += int(ms * 1e6)
+
+
+class TestConstruction:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-5)
+
+    def test_check_interval_validated(self):
+        with pytest.raises(ValueError):
+            Deadline(10, check_interval=0)
+
+    def test_fresh_deadline_has_full_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(100, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(100)
+        assert deadline.elapsed_ms() == 0
+        assert not deadline.expired()
+
+
+class TestTick:
+    def test_tick_raises_after_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(10, clock=clock, check_interval=1)
+        deadline.tick()
+        clock.advance_ms(11)
+        with pytest.raises(QueryTimeout):
+            deadline.tick()
+
+    def test_countdown_skips_clock_until_interval(self):
+        clock = FakeClock()
+        deadline = Deadline(10, clock=clock, check_interval=4)
+        clock.advance_ms(50)  # already expired, but unchecked
+        deadline.tick()
+        deadline.tick()
+        deadline.tick()  # three ticks < interval: no clock read yet
+        with pytest.raises(QueryTimeout):
+            deadline.tick()  # fourth tick reads the clock
+
+    def test_batched_items_force_early_check(self):
+        """A set-at-a-time step with a big batch must not coast for
+        another 63 ticks: the item weight drains the countdown."""
+        clock = FakeClock()
+        deadline = Deadline(10, clock=clock, check_interval=64)
+        clock.advance_ms(50)
+        with pytest.raises(QueryTimeout):
+            deadline.tick(items=1000)
+
+    def test_partial_work_counters_on_timeout(self):
+        clock = FakeClock()
+        deadline = Deadline(10, clock=clock, check_interval=1)
+        deadline.tick(items=3)
+        deadline.tick(items=4)
+        clock.advance_ms(20)
+        with pytest.raises(QueryTimeout) as exc_info:
+            deadline.tick(items=1)
+        err = exc_info.value
+        assert err.steps == 3
+        assert err.items == 8
+        assert err.budget_ms == pytest.approx(10)
+        assert err.elapsed_ms == pytest.approx(20)
+
+    def test_check_is_unconditional(self):
+        clock = FakeClock()
+        deadline = Deadline(10, clock=clock, check_interval=64)
+        clock.advance_ms(11)
+        with pytest.raises(QueryTimeout):
+            deadline.check()
+
+    def test_timeout_is_a_typed_query_error(self):
+        clock = FakeClock()
+        deadline = Deadline(1, clock=clock, check_interval=1)
+        clock.advance_ms(2)
+        with pytest.raises(QueryError):
+            deadline.tick()
+        clock.advance_ms(2)
+        with pytest.raises(ReproError):
+            deadline.tick()
+
+
+class TestObservers:
+    def test_elapsed_and_remaining_track_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(100, clock=clock)
+        clock.advance_ms(30)
+        assert deadline.elapsed_ms() == pytest.approx(30)
+        assert deadline.remaining_ms() == pytest.approx(70)
+        clock.advance_ms(80)
+        assert deadline.remaining_ms() == pytest.approx(-10)
+        assert deadline.expired()
+
+    def test_repr_mentions_budget(self):
+        assert "budget=50ms" in repr(Deadline(50, clock=FakeClock()))

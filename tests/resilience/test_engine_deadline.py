@@ -1,0 +1,163 @@
+"""Deadlines carried through the query engine, plus the failure ledger
+(per-error-type counters and the slow log's failure ring)."""
+
+import pytest
+
+from repro.baselines.registry import get_scheme
+from repro.errors import QueryTimeout, TransientFetchError
+from repro.obs.slowlog import SlowQueryLog
+from repro.query.engine import XPathEngine
+from repro.query.twig import TwigMatcher
+from repro.resilience import Deadline
+from repro.storage.database import XmlDatabase
+from repro.storage.faults import FaultInjector
+from repro.store import PagedNodeStore
+from repro.xmltree import parse
+
+DOC = """<site>
+ <people>
+  <person id="p1"><name>Alice</name><age>31</age></person>
+  <person id="p2"><name>Bob</name><age>17</age></person>
+ </people>
+ <items>
+  <item id="i1"><name>Lamp</name><price>19</price></item>
+  <item id="i2"><name>Desk</name><price>140</price></item>
+ </items>
+</site>"""
+
+
+class TickingClock:
+    """Monotonic ns clock that advances a fixed step per read, so
+    timeouts depend only on how many checks ran — never on host speed."""
+
+    def __init__(self, step_ms: float = 1.0):
+        self.now_ns = 0
+        self.step_ns = int(step_ms * 1e6)
+
+    def __call__(self) -> int:
+        self.now_ns += self.step_ns
+        return self.now_ns
+
+
+def expired_deadline() -> Deadline:
+    # every clock read advances 1ms against a 1ms budget, and
+    # check_interval=1 makes every tick consult the clock
+    return Deadline(1, clock=TickingClock(step_ms=1.0), check_interval=1)
+
+
+def build_store_engine(faults=None, **engine_kwargs):
+    tree = parse(DOC)
+    labeling = get_scheme("ruid2").build(tree)
+    database = XmlDatabase(page_size=512, pool_pages=2, faults=faults)
+    document = database.store_document("site", tree, labeling)
+    store = PagedNodeStore(document)
+    database.pager.flush()  # persist the ranks table before chilling
+    database.pager._pool.clear()
+    return XPathEngine(None, store=store, **engine_kwargs), database
+
+
+class TestSelectDeadline:
+    @pytest.mark.parametrize("strategy", ["ruid", "navigational"])
+    def test_expired_deadline_raises_typed_timeout(self, strategy):
+        engine = XPathEngine(parse(DOC))
+        with pytest.raises(QueryTimeout) as exc_info:
+            engine.select("//name", strategy=strategy,
+                          deadline=expired_deadline())
+        err = exc_info.value
+        assert err.budget_ms == pytest.approx(1)
+        assert err.steps >= 1  # partial work was counted
+
+    def test_expired_deadline_on_the_store_strategy(self):
+        engine, _ = build_store_engine()
+        with pytest.raises(QueryTimeout):
+            engine.select("//person[age > 20]/name", strategy="store",
+                          deadline=expired_deadline())
+
+    @pytest.mark.parametrize("strategy", ["ruid", "navigational"])
+    def test_generous_deadline_changes_nothing(self, strategy):
+        engine = XPathEngine(parse(DOC))
+        plain = engine.select("//person[age > 20]/name", strategy=strategy)
+        bounded = engine.select("//person[age > 20]/name", strategy=strategy,
+                                deadline=Deadline(60_000))
+        assert [n.node_id for n in bounded] == [n.node_id for n in plain]
+
+    def test_numeric_deadline_coerced_to_milliseconds(self):
+        engine = XPathEngine(parse(DOC))
+        result = engine.select("//name", deadline=60_000)
+        assert len(result) == 4
+
+    def test_deadline_cleared_after_the_query(self):
+        engine = XPathEngine(parse(DOC))
+        engine.select("//name", deadline=Deadline(60_000))
+        assert engine.evaluator("ruid").deadline is None
+
+    def test_deadline_cleared_after_a_timeout(self):
+        engine = XPathEngine(parse(DOC))
+        with pytest.raises(QueryTimeout):
+            engine.select("//name", deadline=expired_deadline())
+        assert engine.evaluator("ruid").deadline is None
+        # and the engine still works
+        assert len(engine.select("//name")) == 4
+
+
+class TestFailureLedger:
+    def test_error_counted_by_type(self):
+        engine = XPathEngine(parse(DOC))
+        with pytest.raises(QueryTimeout):
+            engine.select("//name", deadline=expired_deadline())
+        assert engine.stats.queries_failed == 1
+        assert engine.stats.error_counts() == {"QueryTimeout": 1}
+        assert engine.stats.as_dict()["errors.QueryTimeout"] == 1
+
+    def test_storage_faults_counted_on_the_fast_path(self):
+        """No observability attached: the unobserved path must still
+        ledger the typed failure."""
+        faults = FaultInjector(seed=3)
+        engine, _ = build_store_engine(faults=faults)
+        faults.arm_read_faults(transient_rate=1.0)
+        with pytest.raises(TransientFetchError):
+            engine.select("//name", strategy="store")
+        assert engine.stats.error_counts() == {"TransientFetchError": 1}
+
+    def test_slow_log_failure_ring_captures_plan(self):
+        slow_log = SlowQueryLog(threshold_ms=10_000)
+        engine = XPathEngine(parse(DOC), slow_log=slow_log)
+        with pytest.raises(QueryTimeout):
+            engine.select("//person/name", deadline=expired_deadline())
+        assert slow_log.failure_count == 1
+        failure = slow_log.failures()[0]
+        assert failure.expression == "//person/name"
+        assert failure.error_type == "QueryTimeout"
+        assert "deadline" in failure.attrs["error"]
+        assert failure.plan is not None  # the static plan still compiled
+        # the failure ring is separate from the slow heap
+        assert len(slow_log) == 0
+        slow_log.clear()
+        assert slow_log.failure_count == 0
+        assert slow_log.failures() == []
+
+    def test_metrics_registry_sees_error_counters(self):
+        engine = XPathEngine(parse(DOC))
+        with pytest.raises(QueryTimeout):
+            engine.select("//name", deadline=expired_deadline())
+        assert engine.metrics.snapshot()["query.errors.QueryTimeout"] == 1
+
+
+class TestTwigDeadline:
+    def test_match_raises_on_expired_budget(self):
+        tree = parse(DOC)
+        labeling = get_scheme("ruid2").build(tree)
+        matcher = TwigMatcher(labeling)
+        matcher.set_deadline(expired_deadline())
+        with pytest.raises(QueryTimeout):
+            matcher.match("site//person[name]")
+
+    def test_clearing_restores_the_matcher(self):
+        tree = parse(DOC)
+        labeling = get_scheme("ruid2").build(tree)
+        matcher = TwigMatcher(labeling)
+        matcher.set_deadline(expired_deadline())
+        with pytest.raises(QueryTimeout):
+            matcher.match("person[name]")
+        matcher.set_deadline(None)
+        assert len(matcher.match("person[name]")) == 2

@@ -1,0 +1,199 @@
+"""ResilientNodeStore: retries, breaker, and memory-store fallback.
+
+Every stack here is built fresh per test so the buffer pool and the
+paged store's row caches start cold — armed read faults then hit the
+very first probe instead of being absorbed by a warm cache.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.registry import get_scheme
+from repro.errors import TransientFetchError, UnknownLabelError
+from repro.resilience import BackoffPolicy, CircuitBreaker, ResilientNodeStore
+from repro.resilience.breaker import OPEN
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.database import XmlDatabase, label_key
+from repro.storage.faults import FaultInjector
+from repro.store import MemoryNodeStore, PagedNodeStore
+from repro.xmltree import parse
+
+DOC = """<library>
+ <shelf id="s1">
+  <book><title>One</title><year>1999</year></book>
+  <book><title>Two</title><year>2004</year></book>
+ </shelf>
+ <shelf id="s2">
+  <book><title>Three</title><year>2011</year></book>
+ </shelf>
+</library>"""
+
+NO_SLEEP = lambda seconds: None  # noqa: E731
+
+
+def build_stack(
+    faults=None,
+    breaker=None,
+    backoff=None,
+    with_fallback=True,
+    pool_pages=2,
+):
+    tree = parse(DOC)
+    labeling = get_scheme("ruid2").build(tree)
+    database = XmlDatabase(page_size=512, pool_pages=pool_pages, faults=faults)
+    document = database.store_document("lib", tree, labeling)
+    primary = PagedNodeStore(document)
+    fallback = MemoryNodeStore(labeling) if with_fallback else None
+    resilient = ResilientNodeStore(
+        primary,
+        fallback=fallback,
+        breaker=breaker,
+        backoff=backoff,
+        sleep=NO_SLEEP,
+    )
+    database.pager.flush()  # persist the freshly built ranks table
+    database.pager._pool.clear()  # ...then force every first probe cold
+    return resilient, primary, fallback, database, tree, labeling
+
+
+class TestHealthyPassthrough:
+    def test_answers_match_the_primary(self):
+        resilient, primary, _, _, tree, labeling = build_stack()
+        root = resilient.root_label()
+        assert root == label_key(labeling.label_of(tree.root))
+        assert resilient.size() == primary.size()
+        assert resilient.children_of(root) == primary.children_of(root)
+        assert resilient.labels_with_tag("book") == primary.labels_with_tag("book")
+        assert not resilient.degraded()
+
+    def test_semantic_errors_pass_through(self):
+        resilient, _, _, _, _, _ = build_stack()
+        with pytest.raises(UnknownLabelError):
+            resilient.rank_of(("nope", 1, 2, 3))
+        assert not resilient.degraded()
+
+
+class TestRetries:
+    def test_transient_faults_cleared_by_retry(self):
+        faults = FaultInjector(seed=5)
+        resilient, _, _, _, _, _ = build_stack(faults=faults)
+        faults.arm_read_faults(transient_rate=1.0, max_fires=2)
+        root = resilient.root_label()  # 2 transients, then success
+        assert root is not None
+        counters = resilient.as_dict()
+        assert counters["retries"] == 2
+        assert counters["primary_errors"] == 2
+        assert counters["backoff_seconds"] > 0
+        assert not resilient.degraded()
+        assert faults.fired["read_transient"] == 2
+
+    def test_exhausted_retries_degrade_to_fallback(self):
+        faults = FaultInjector(seed=5)
+        resilient, _, _, _, tree, labeling = build_stack(faults=faults)
+        faults.arm_read_faults(transient_rate=1.0)  # unbounded
+        root = resilient.root_label()
+        assert root == label_key(labeling.label_of(tree.root))
+        assert resilient.degraded()
+        assert resilient.as_dict()["fallback_calls"] >= 1
+
+    def test_no_fallback_raises_typed(self):
+        faults = FaultInjector(seed=5)
+        resilient, _, _, _, _, _ = build_stack(
+            faults=faults, with_fallback=False
+        )
+        faults.arm_read_faults(transient_rate=1.0)
+        with pytest.raises(TransientFetchError):
+            resilient.root_label()
+
+
+class TestFallbackDialect:
+    """Degraded answers must stay in the paged label dialect."""
+
+    def degraded_stack(self):
+        faults = FaultInjector(seed=5)
+        stack = build_stack(faults=faults)
+        faults.arm_read_faults(transient_rate=1.0)
+        return stack
+
+    def test_record_rekeyed(self):
+        resilient, _, _, _, tree, labeling = self.degraded_stack()
+        root = label_key(labeling.label_of(tree.root))
+        record = resilient.record(root)
+        assert record.label == root
+        assert record.tag == "library"
+
+    def test_traversal_round_trips(self):
+        resilient, _, _, _, tree, labeling = self.degraded_stack()
+        root = resilient.root_label()
+        children = resilient.children_of(root)
+        assert len(children) == 2
+        for child in children:
+            assert resilient.parent_of(child) == root
+        assert resilient.parent_of(root) is None
+        books = resilient.labels_with_tag("book")
+        assert len(books) == 3
+        assert [resilient.string_value(t) for t in
+                resilient.labels_with_tag("title")] == ["One", "Two", "Three"]
+
+    def test_node_for_and_label_for(self):
+        resilient, _, _, _, _, _ = self.degraded_stack()
+        books = resilient.labels_with_tag("book")
+        nodes = [resilient.node_for(label) for label in books]
+        assert [node.tag for node in nodes] == ["book"] * 3
+        for label, node in zip(books, nodes):
+            assert resilient.label_for(node) == label
+        order = resilient.order_by_id()
+        ranks = [order[node.node_id] for node in nodes]
+        assert ranks == sorted(ranks)
+
+
+class TestBreaker:
+    def test_repeated_failures_open_the_breaker(self):
+        faults = FaultInjector(seed=5)
+        breaker = CircuitBreaker(
+            "paged-reads",
+            failure_threshold=2,
+            backoff=BackoffPolicy(base=60.0, cap=600.0, jitter="none"),
+        )
+        resilient, _, _, _, _, _ = build_stack(faults=faults, breaker=breaker)
+        faults.arm_read_faults(transient_rate=1.0)
+        resilient.root_label()  # retries exhaust, breaker trips
+        assert breaker.state == OPEN
+        before = resilient.as_dict()["primary_calls"]
+        resilient.size()  # breaker open: primary never touched
+        assert resilient.as_dict()["primary_calls"] == before
+        assert resilient.degraded()
+
+    def test_reset_and_disarm_restore_the_primary(self):
+        faults = FaultInjector(seed=5)
+        breaker = CircuitBreaker(
+            "paged-reads",
+            failure_threshold=2,
+            backoff=BackoffPolicy(base=60.0, cap=600.0, jitter="none"),
+        )
+        resilient, _, _, _, _, _ = build_stack(faults=faults, breaker=breaker)
+        faults.arm_read_faults(transient_rate=1.0)
+        resilient.root_label()
+        faults.disarm_read_faults()
+        breaker.reset()
+        fallback_calls = resilient.as_dict()["fallback_calls"]
+        assert resilient.size() == 18  # the document's node count
+        assert resilient.as_dict()["fallback_calls"] == fallback_calls
+
+
+class TestObservability:
+    def test_bind_exposes_counters_and_breaker(self):
+        registry = MetricsRegistry()
+        resilient, _, _, _, _, _ = build_stack()
+        resilient.bind(registry)
+        resilient.root_label()
+        snapshot = registry.snapshot()
+        assert snapshot["resilience.store.primary_calls"] >= 1
+        assert snapshot["resilience.store.fallback_calls"] == 0
+        assert snapshot["resilience.store.breaker.is_open"] == 0
+
+    def test_stats_snapshot_delegates_to_primary(self):
+        resilient, primary, _, _, _, _ = build_stack()
+        resilient.root_label()
+        assert resilient.stats_snapshot() == primary.stats_snapshot()

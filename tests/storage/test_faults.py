@@ -83,6 +83,92 @@ class TestBitFlips:
             FaultInjector().flip_page_bit(Pager(page_size=128, pool_pages=2))
 
 
+class TestReadPathChaos:
+    def _cold_pager(self, faults):
+        pager = _pager_with_pages(faults=faults)
+        pager.flush()
+        pager._pool.clear()
+        return pager
+
+    def test_transient_fault_fires_on_cold_read(self):
+        faults = FaultInjector(seed=1)
+        pager = self._cold_pager(faults)
+        faults.arm_read_faults(transient_rate=1.0, max_fires=1)
+        from repro.errors import TransientFetchError
+
+        with pytest.raises(TransientFetchError):
+            pager.read(0)
+        # one-shot budget spent: the retry reads clean
+        assert pager.read(0).data[0] == 1
+        assert faults.fired["read_transient"] == 1
+
+    def test_warm_reads_never_fault(self):
+        faults = FaultInjector(seed=1)
+        pager = _pager_with_pages(faults=faults)  # pool still warm
+        faults.arm_read_faults(transient_rate=1.0)
+        for page_id in range(3):
+            pager.read(page_id)
+        assert faults.fired["read_transient"] == 0
+
+    def test_latency_spike_uses_injected_sleep(self):
+        slept = []
+        faults = FaultInjector(seed=1)
+        pager = self._cold_pager(faults)
+        faults.arm_read_faults(
+            latency_rate=1.0, latency_s=0.25, max_fires=2, sleep=slept.append
+        )
+        pager.read(0)
+        pager._pool.clear()
+        pager.read(1)
+        assert slept == [0.25, 0.25]
+        assert faults.fired["read_latency"] == 2
+
+    def test_fetch_time_bitflip_caught_by_crc(self):
+        faults = FaultInjector(seed=9)
+        pager = self._cold_pager(faults)
+        faults.arm_read_faults(bitflip_rate=1.0, max_fires=1)
+        with pytest.raises(ChecksumError):
+            pager.read(0)
+        # the flip is persistent: the page stays poisoned after disarm
+        faults.disarm_read_faults()
+        with pytest.raises(ChecksumError):
+            pager.read(0)
+        assert faults.fired["read_bitflip"] == 1
+
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            faults = FaultInjector(seed=seed)
+            pager = self._cold_pager(faults)
+            faults.arm_read_faults(transient_rate=0.5)
+            outcomes = []
+            for page_id in range(3):
+                pager._pool.clear()
+                try:
+                    pager.read(page_id)
+                    outcomes.append("ok")
+                except Exception as exc:
+                    outcomes.append(type(exc).__name__)
+            return outcomes
+
+        assert run(21) == run(21)
+
+    def test_rates_validated(self):
+        with pytest.raises(StorageError):
+            FaultInjector().arm_read_faults(transient_rate=1.5)
+        with pytest.raises(StorageError):
+            FaultInjector().arm_read_faults(bitflip_rate=-0.1)
+        with pytest.raises(StorageError):
+            FaultInjector().arm_read_faults(latency_rate=0.5, latency_s=0)
+
+    def test_disarm_clears_all_rates(self):
+        faults = FaultInjector()
+        faults.arm_read_faults(transient_rate=1.0, max_fires=5)
+        faults.disarm_read_faults()
+        pager = self._cold_pager(faults)
+        pager.read(0)
+        assert faults.fired["read_transient"] == 0
+
+
 class TestSiteOutages:
     def test_registry_round_trip(self):
         faults = FaultInjector()

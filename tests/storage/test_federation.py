@@ -32,7 +32,9 @@ class TestPlacement:
         assert stored == len(labeling.snapshot())
 
     def test_round_robin_balances(self, federation):
-        loads = [rows for _name, _areas, rows, _status in federation.site_loads()]
+        loads = [
+            rows for _name, _areas, rows, _status, _backoff in federation.site_loads()
+        ]
         assert max(loads) < sum(loads)  # no site holds everything
 
     def test_custom_placement(self, labeling):

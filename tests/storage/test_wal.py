@@ -111,6 +111,91 @@ class TestWalAppendReplay:
             Wal().prefix(1)
 
 
+class TestTornTailBoundaries:
+    """Tears landing exactly on record boundaries — the off-by-one
+    cases a torn-write scanner gets wrong first."""
+
+    def test_tear_of_exactly_one_whole_record_is_clean(self):
+        """Dropping precisely the final record's bytes leaves the log
+        ending on the previous boundary: recovery must see a clean
+        log, not a torn record."""
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        wal.append_commit(b"m1")
+        size_before = wal.size_bytes()
+        wal.append_page(0, b"z" * 16)
+        last_len = wal.size_bytes() - size_before
+        assert wal.tear(drop_bytes=last_len) == last_len
+        result = wal.replay()
+        assert result.halt is None
+        assert result.quarantined_bytes == 0
+        assert result.pages[0] == b"a" * 16
+        assert result.metadata == b"m1"
+
+    def test_tear_is_clamped_to_the_final_record(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        wal.append_commit(b"m1")
+        size_before = wal.size_bytes()
+        wal.append_page(0, b"z" * 16)
+        last_len = wal.size_bytes() - size_before
+        # asking for more than the last record drops only that record
+        assert wal.tear(drop_bytes=10 * last_len) == last_len
+        assert wal.size_bytes() == size_before
+        assert wal.replay().halt is None
+
+    def test_one_byte_tear_quarantines_the_record(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 16)
+        wal.append_commit(b"m1")
+        wal.append_page(0, b"z" * 16)
+        assert wal.tear(drop_bytes=1) == 1
+        result = wal.replay()
+        assert result.halt == "torn-record"
+        assert result.quarantined_bytes > 0
+        assert result.metadata == b"m1"
+
+    def test_prefix_at_exact_boundary_is_clean(self):
+        wal = Wal()
+        wal.append_page(0, b"a" * 8)
+        wal.append_commit(b"m")
+        wal.append_page(0, b"b" * 8)
+        result = wal.prefix(2).replay()
+        assert result.halt is None
+        assert result.quarantined_bytes == 0
+        assert result.metadata == b"m"
+
+    def test_prefix_torn_tail_never_completes_the_record(self):
+        """torn_tail_bytes larger than the next record must be capped
+        below a full record — otherwise the 'torn' tail would replay
+        as a valid record and un-tear the crash."""
+        wal = Wal()
+        wal.append_page(0, b"a" * 8)
+        wal.append_commit(b"m")
+        wal.append_page(0, b"b" * 8)
+        wal.append_commit(b"m2")
+        torn = wal.prefix(2, torn_tail_bytes=1_000_000)
+        assert torn.size_bytes() < wal.size_bytes()
+        result = torn.replay()
+        assert result.halt == "torn-record"
+        assert result.metadata == b"m"
+
+    def test_header_sized_tail_is_still_torn(self):
+        """A tail holding a complete header but no payload must halt as
+        torn, not crash the scanner."""
+        import struct
+
+        header_size = struct.calcsize(">4sBQII")
+        wal = Wal()
+        wal.append_page(0, b"a" * 8)
+        wal.append_commit(b"m")
+        wal.append_page(0, b"b" * 8)
+        torn = wal.prefix(2, torn_tail_bytes=header_size)
+        result = torn.replay()
+        assert result.halt == "torn-record"
+        assert result.metadata == b"m"
+
+
 class TestWalCheckpoint:
     def test_checkpoint_truncates_and_rebases(self):
         wal = Wal()
