@@ -1,0 +1,255 @@
+"""E19 — flat-array fast path: bit-packed labels and columnar stores.
+
+Three tables:
+
+* **E19a** — label footprint across all nine registry schemes on one
+  corpus: mean label bits, auxiliary index bytes, and the columnar
+  sidecar's bytes-per-node (the flat structure columns every store now
+  serves reads from).
+* **E19b** — per-axis query timings: the packed scheme through the
+  batched columnar :class:`StoreEvaluator` vs the tuple-label path
+  (prepost labels, per-node evaluation — the pre-columnar
+  configuration) vs the navigational baseline, node-for-node agreement
+  asserted on every query.
+* **E19c** — interval joins: the stack-tree merge over machine-packed
+  rank arrays vs the comparator fallback on the same inputs.
+
+Runs under pytest and as a standalone CI smoke::
+
+    python benchmarks/bench_packed.py --quick
+
+The smoke gates on node-for-node agreement of the packed+columnar
+batched evaluator against the navigational baseline, and on the
+descendant axis beating the tuple-label path by >= 1.5x on the largest
+corpus.
+"""
+
+import argparse
+import time
+
+from conftest import emit, emits_table
+from repro.analysis import format_table
+from repro.baselines import all_schemes, get_scheme
+from repro.generator import generate_dblp, generate_xmark
+from repro.query import XPathEngine
+from repro.query.joins import stack_tree_join
+from repro.store import MemoryNodeStore, StoreEvaluator
+
+#: axis → queries, per corpus; predicate-free so the batched
+#: set-at-a-time path handles every step
+XMARK_AXIS_QUERIES = {
+    "descendant": ["//item", "//person//name", "//open_auction//increase", "//*"],
+    "ancestor": ["//bidder/ancestor::*", "//increase/ancestor::open_auction"],
+    "child": ["/site/*", "//open_auction/bidder", "/site/people/person/name"],
+}
+DBLP_AXIS_QUERIES = {
+    "descendant": ["//article", "//author", "//inproceedings//title", "//*"],
+    "ancestor": ["//author/ancestor::*", "//title/ancestor::article"],
+    "child": ["/dblp/*", "/dblp/article/title", "//article/author"],
+}
+
+#: (upper tag, lower tag) join inputs per corpus
+JOIN_TAGS = {"xmark": ("open_auction", "increase"), "dblp": ("article", "author")}
+
+
+def _print_only(experiment, headers, rows, title):
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def _time(fn, repeats=3):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) * 1e3 / repeats
+
+
+def run_label_size_table(tree, sink=emit):
+    """E19a: per-scheme label bits and flat-column bytes-per-node."""
+    rows = []
+    for scheme in all_schemes():
+        labeling = scheme.build(tree)
+        nodes = tree.nodes()
+        sample = nodes[:: max(1, len(nodes) // 2000)]
+        bits = [labeling.label_bits(labeling.label_of(n)) for n in sample]
+        columnar = labeling.columnar_index()
+        rows.append(
+            (
+                scheme.name,
+                round(sum(bits) / len(bits), 1),
+                max(bits),
+                labeling.memory_bytes(),
+                round(columnar.bytes_per_node(), 1),
+            )
+        )
+    sink(
+        "E19a_labels",
+        ("scheme", "avg_bits", "max_bits", "aux_bytes", "col_bytes/node"),
+        rows,
+        "E19a: label footprint and columnar sidecar, all registry schemes",
+    )
+    return rows
+
+
+def run_axis_table(corpora, sink=emit, repeats=3):
+    """E19b: packed+columnar batched vs tuple-label per-node vs
+    navigational, per axis family. Agreement asserted node-for-node."""
+    rows = []
+    for corpus, tree, axis_queries in corpora:
+        packed = get_scheme("packed").build(tree)
+        engine = XPathEngine(tree, labeling=packed)
+        packed_eval = StoreEvaluator(MemoryNodeStore(packed))
+        tuple_eval = StoreEvaluator(
+            MemoryNodeStore(get_scheme("prepost").build(tree)), batched=False
+        )
+        nav = engine.evaluator("navigational")
+        for axis, queries in axis_queries.items():
+            compiled = [engine.compile(q) for q in queries]
+            for evaluator in (packed_eval, tuple_eval, nav):  # warm caches
+                for expr in compiled:
+                    evaluator.select(expr)
+            for expr, query in zip(compiled, queries):  # node-for-node
+                expected = [n.node_id for n in nav.select(expr)]
+                assert [
+                    n.node_id for n in packed_eval.select(expr)
+                ] == expected, (corpus, query)
+                assert [
+                    n.node_id for n in tuple_eval.select(expr)
+                ] == expected, (corpus, query)
+
+            def run_all(evaluator, compiled=compiled):
+                for expr in compiled:
+                    evaluator.select(expr)
+
+            packed_ms = _time(lambda: run_all(packed_eval), repeats)
+            tuple_ms = _time(lambda: run_all(tuple_eval), repeats)
+            nav_ms = _time(lambda: run_all(nav), repeats)
+            rows.append(
+                (
+                    corpus,
+                    axis,
+                    len(queries),
+                    round(packed_ms, 2),
+                    round(tuple_ms, 2),
+                    round(nav_ms, 2),
+                    round(tuple_ms / packed_ms, 1),
+                )
+            )
+    sink(
+        "E19b_axes",
+        ("corpus", "axis", "queries", "packed_ms", "tuple_ms", "nav_ms", "speedup"),
+        rows,
+        f"E19b: packed+columnar vs tuple-label per-node ({repeats}-run mean)",
+    )
+    return rows
+
+
+def run_join_table(corpora, sink=emit, repeats=3):
+    """E19c: stack-tree interval join, rank-array merge vs comparator."""
+    rows = []
+    for corpus, tree, _queries in corpora:
+        upper_tag, lower_tag = JOIN_TAGS[corpus]
+        labeling = get_scheme("packed").build(tree)
+        uppers = [
+            labeling.label_of(n) for n in tree.preorder() if n.tag == upper_tag
+        ]
+        lowers = [
+            labeling.label_of(n) for n in tree.preorder() if n.tag == lower_tag
+        ]
+        ranked_pairs = stack_tree_join(labeling, uppers, lowers)
+        compare_pairs = stack_tree_join(
+            labeling, uppers, lowers, use_rank_index=False
+        )
+        assert ranked_pairs == compare_pairs
+        ranked_ms = _time(lambda: stack_tree_join(labeling, uppers, lowers), repeats)
+        compare_ms = _time(
+            lambda: stack_tree_join(labeling, uppers, lowers, use_rank_index=False),
+            repeats,
+        )
+        rows.append(
+            (
+                corpus,
+                f"{upper_tag}//{lower_tag}",
+                len(uppers),
+                len(lowers),
+                len(ranked_pairs),
+                round(ranked_ms, 2),
+                round(compare_ms, 2),
+                round(compare_ms / ranked_ms, 1),
+            )
+        )
+    sink(
+        "E19c_joins",
+        ("corpus", "join", "|A|", "|D|", "pairs", "ranked_ms", "cmp_ms", "speedup"),
+        rows,
+        f"E19c: stack-tree join, rank-array merge vs comparator ({repeats}-run mean)",
+    )
+    return rows
+
+
+def _corpora(quick: bool):
+    if quick:
+        return (
+            ("xmark", generate_xmark(scale=0.1, seed=1902), XMARK_AXIS_QUERIES),
+            ("dblp", generate_dblp(entries=150, seed=1902), DBLP_AXIS_QUERIES),
+        )
+    return (
+        ("xmark", generate_xmark(scale=0.3, seed=1902), XMARK_AXIS_QUERIES),
+        ("dblp", generate_dblp(entries=600, seed=1902), DBLP_AXIS_QUERIES),
+    )
+
+
+def _gate(axis_rows):
+    """The CI claim: descendant axis >= 1.5x over the tuple-label path
+    on the largest corpus (the first, xmark), faster on every corpus."""
+    by_corpus_axis = {(r[0], r[1]): r for r in axis_rows}
+    packed_ms, tuple_ms = by_corpus_axis[("xmark", "descendant")][3:5]
+    speedup = tuple_ms / packed_ms
+    assert speedup >= 1.5, (
+        f"descendant axis only {speedup:.2f}x over the tuple-label path"
+    )
+    for (corpus, axis), row in by_corpus_axis.items():
+        if axis in ("descendant", "ancestor"):
+            assert row[3] <= row[4], (
+                f"{corpus}/{axis}: packed {row[3]}ms slower than tuple {row[4]}ms"
+            )
+
+
+@emits_table
+def test_e19_packed_tables(xmark_bench_tree, dblp_bench_tree):
+    corpora = (
+        ("xmark", xmark_bench_tree, XMARK_AXIS_QUERIES),
+        ("dblp", dblp_bench_tree, DBLP_AXIS_QUERIES),
+    )
+    run_label_size_table(xmark_bench_tree)
+    axis_rows = run_axis_table(corpora)
+    run_join_table(corpora)
+    _gate(axis_rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small documents only (CI smoke; does not overwrite results)",
+    )
+    args = parser.parse_args()
+    sink = _print_only if args.quick else emit
+    corpora = _corpora(args.quick)
+    run_label_size_table(corpora[0][1], sink=sink)
+    axis_rows = run_axis_table(corpora, sink=sink)
+    join_rows = run_join_table(corpora, sink=sink)
+    _gate(axis_rows)
+    # the ranked merge must not lose to the comparator path (only
+    # gated when the measurement is long enough to mean anything)
+    for row in join_rows:
+        if row[6] >= 0.2:
+            assert row[5] <= row[6], (
+                f"{row[0]}: ranked join slower than comparator"
+            )
+    print("\nok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,9 @@
-"""Comparison numbering schemes: Dewey, pre/post, region, position/depth."""
+"""Comparison numbering schemes: Dewey, pre/post, region, position/depth,
+and the bit-packed interval scheme."""
 
 from repro.baselines.dewey import DeweyLabel, DeweyLabeling, DeweyScheme
 from repro.baselines.ordpath import OrdpathLabel, OrdpathLabeling, OrdpathScheme
+from repro.baselines.packed import PackedLabeling, PackedLayout, PackedScheme
 from repro.baselines.posdepth import PosDepthLabel, PosDepthLabeling, PosDepthScheme
 from repro.baselines.prepost import PrePostLabel, PrePostLabeling, PrePostScheme
 from repro.baselines.region import RegionLabel, RegionLabeling, RegionScheme
@@ -21,6 +23,9 @@ __all__ = [
     "OrdpathLabel",
     "OrdpathLabeling",
     "OrdpathScheme",
+    "PackedLabeling",
+    "PackedLayout",
+    "PackedScheme",
     "PosDepthLabel",
     "PosDepthLabeling",
     "PosDepthScheme",

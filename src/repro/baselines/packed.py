@@ -1,0 +1,253 @@
+"""Bit-packed interval labeling: one machine integer per node.
+
+Ninth scheme in the registry. Following the compact ancestry-labeling
+line (Dahlgaard et al.'s simple ``lg n + O(1)``-bit interval scheme),
+a label is a single Python int with three fixed-width fields::
+
+    [ preorder rank | subtree-end rank | level ]
+      rank_bits       rank_bits          level_bits
+
+The rank occupies the *topmost* field, so plain integer order on
+labels **is** document order — ``doc_compare`` is one ``<``. Ancestry
+is two compares with no index, no tuple allocation, and no relabeling
+on read: ``a`` is an ancestor of ``d`` iff
+``rank(a) < rank(d) <= end(a)``, all extracted by shifts and masks.
+
+Field widths are chosen per document by :meth:`PackedLayout.for_document`
+(defaults 21/21/8 → 50-bit labels, inside one 64-bit word for documents
+up to 2M nodes and depth 256). The overflow rule is *widen, never
+spill*: when a reassignment finds the document has outgrown a field,
+the next layout grows that field and labels stay single ints — there
+is no variable-length fallback path to branch on.
+
+Updates follow the published semantics of interval schemes: any
+structural change shifts ranks globally, so the scheme relabels by
+re-running the canonical assignment (:class:`RebuildOnUpdateLabeling`).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import RebuildOnUpdateLabeling
+from repro.core.labels import Relation
+from repro.core.rankindex import RankIndex
+from repro.core.scheme import NumberingScheme
+from repro.errors import NoParentError, NumberingError, UnknownLabelError
+from repro.xmltree.tree import XmlTree
+
+#: default field widths: 2M nodes, depth 256, 50-bit labels
+DEFAULT_RANK_BITS = 21
+DEFAULT_LEVEL_BITS = 8
+
+
+class PackedLayout:
+    """Field widths and the shift/mask arithmetic for one layout.
+
+    Immutable; a labeling swaps in a wider layout at reassignment time
+    when the document outgrows the current one.
+    """
+
+    __slots__ = (
+        "rank_bits",
+        "level_bits",
+        "rank_shift",
+        "end_shift",
+        "rank_mask",
+        "level_mask",
+        "total_bits",
+    )
+
+    def __init__(self, rank_bits: int = DEFAULT_RANK_BITS,
+                 level_bits: int = DEFAULT_LEVEL_BITS):
+        if rank_bits < 1 or level_bits < 1:
+            raise NumberingError("packed fields need at least one bit each")
+        self.rank_bits = rank_bits
+        self.level_bits = level_bits
+        self.end_shift = level_bits
+        self.rank_shift = level_bits + rank_bits
+        self.rank_mask = (1 << rank_bits) - 1
+        self.level_mask = (1 << level_bits) - 1
+        self.total_bits = 2 * rank_bits + level_bits
+
+    @classmethod
+    def for_document(cls, size: int, max_level: int,
+                     min_rank_bits: int = DEFAULT_RANK_BITS,
+                     min_level_bits: int = DEFAULT_LEVEL_BITS) -> "PackedLayout":
+        """Widen-on-overflow: the smallest layout at least as wide as
+        the floors that fits ``size`` nodes and depth ``max_level``."""
+        rank_bits = max(min_rank_bits, max(1, (size - 1).bit_length() if size > 1 else 1))
+        level_bits = max(min_level_bits, max(1, max_level.bit_length()))
+        return cls(rank_bits=rank_bits, level_bits=level_bits)
+
+    def pack(self, rank: int, end: int, level: int) -> int:
+        if rank > self.rank_mask or end > self.rank_mask or level > self.level_mask:
+            raise NumberingError(
+                f"packed field overflow: rank={rank} end={end} level={level} "
+                f"exceed layout {self.rank_bits}/{self.rank_bits}/{self.level_bits}"
+            )
+        return (rank << self.rank_shift) | (end << self.end_shift) | level
+
+    def unpack(self, label: int) -> Tuple[int, int, int]:
+        return (
+            label >> self.rank_shift,
+            (label >> self.end_shift) & self.rank_mask,
+            label & self.level_mask,
+        )
+
+    def rank_of(self, label: int) -> int:
+        return label >> self.rank_shift
+
+    def end_of(self, label: int) -> int:
+        return (label >> self.end_shift) & self.rank_mask
+
+    def level_of(self, label: int) -> int:
+        return label & self.level_mask
+
+    def __repr__(self) -> str:
+        return f"<PackedLayout {self.rank_bits}/{self.rank_bits}/{self.level_bits}>"
+
+
+class PackedLabeling(RebuildOnUpdateLabeling[int]):
+    """[rank|end|level] single-int labels for every node of a tree."""
+
+    scheme_name = "packed"
+    # the parent is not a pure function of one label: like pre/post, it
+    # needs the label table (served O(1) from the parent-rank column)
+    parent_needs_index = True
+
+    def __init__(self, tree: XmlTree,
+                 rank_bits: int = DEFAULT_RANK_BITS,
+                 level_bits: int = DEFAULT_LEVEL_BITS):
+        self._min_rank_bits = rank_bits
+        self._min_level_bits = level_bits
+        self.layout = PackedLayout(rank_bits, level_bits)
+        self._by_rank: List[int] = []
+        self._parent_rank = array("q")
+        super().__init__(tree)
+
+    def _assign(self) -> Dict[int, int]:
+        # Pass 1: one DFS (same order as RankIndex.build) collecting
+        # rank, subtree end, level, and parent rank as plain ints.
+        node_ids: List[int] = []
+        ends = array("q")
+        levels = array("q")
+        parent_rank = array("q")
+        max_level = 0
+        counter = 0
+        # Stack entries: (node, (parent_rank, level)) to enter,
+        # (None, rank) to exit.
+        stack = [(self.tree.root, (-1, 0))]
+        while stack:
+            node, info = stack.pop()
+            if node is None:
+                ends[info] = counter - 1
+                continue
+            prank, level = info
+            rank = counter
+            counter += 1
+            node_ids.append(node.node_id)
+            ends.append(0)
+            levels.append(level)
+            parent_rank.append(prank)
+            if level > max_level:
+                max_level = level
+            stack.append((None, rank))
+            child_info = (rank, level + 1)
+            for child in reversed(node.children):
+                stack.append((child, child_info))
+        # Pass 2: choose the layout (widening past the floors if the
+        # document demands it) and pack.
+        layout = PackedLayout.for_document(
+            counter, max_level, self._min_rank_bits, self._min_level_bits
+        )
+        pack = layout.pack
+        by_rank: List[int] = [
+            pack(rank, ends[rank], levels[rank]) for rank in range(counter)
+        ]
+        self.layout = layout
+        self._by_rank = by_rank
+        self._parent_rank = parent_rank
+        return {node_id: by_rank[rank] for rank, node_id in enumerate(node_ids)}
+
+    # -- structure from labels -------------------------------------------
+    def _checked_rank(self, label: int) -> int:
+        rank = label >> self.layout.rank_shift
+        by_rank = self._by_rank
+        if rank >= len(by_rank) or by_rank[rank] != label:
+            raise UnknownLabelError(f"label {label!r} names no real node")
+        return rank
+
+    def parent_label(self, label: int) -> int:
+        prank = self._parent_rank[self._checked_rank(label)]
+        if prank < 0:
+            raise NoParentError("the root has no parent")
+        return self._by_rank[prank]
+
+    def relation(self, first: int, second: int) -> Relation:
+        layout = self.layout
+        rank_shift = layout.rank_shift
+        r1 = first >> rank_shift
+        r2 = second >> rank_shift
+        if r1 == r2:
+            return Relation.SELF
+        end_shift = layout.end_shift
+        rank_mask = layout.rank_mask
+        if r1 < r2:
+            if r2 <= (first >> end_shift) & rank_mask:
+                return Relation.ANCESTOR
+            return Relation.PRECEDING
+        if r1 <= (second >> end_shift) & rank_mask:
+            return Relation.DESCENDANT
+        return Relation.FOLLOWING
+
+    def doc_compare(self, first: int, second: int) -> int:
+        # rank is the top field, so label order is document order
+        if first == second:
+            return 0
+        return -1 if first < second else 1
+
+    # -- measurement ------------------------------------------------------
+    def label_bits(self, label: int) -> int:
+        return self.layout.total_bits
+
+    def memory_bytes(self) -> int:
+        """The parent-rank column — the auxiliary state that answers
+        parent queries in O(1) (pre/post pays index searches instead)."""
+        return len(self._parent_rank) * self._parent_rank.itemsize
+
+    # -- fast-path interop -------------------------------------------------
+    def rank_index(self) -> RankIndex:
+        """Ranks are *in* the labels; no relabel-on-read, no DFS — the
+        index dicts are filled by shift/mask over the label list."""
+        index = self._rank_index
+        generation = self.generation
+        if index is None or index.generation != generation:
+            layout = self.layout
+            rank_shift = layout.rank_shift
+            end_shift = layout.end_shift
+            rank_mask = layout.rank_mask
+            rank: Dict[int, int] = {}
+            end: Dict[int, int] = {}
+            for label in self._by_rank:
+                rank[label] = label >> rank_shift
+                end[label] = (label >> end_shift) & rank_mask
+            index = RankIndex(rank, end, generation)
+            self._rank_index = index
+        return index
+
+
+class PackedScheme(NumberingScheme):
+    """Factory for the bit-packed interval labeling."""
+
+    name = "packed"
+
+    def __init__(self, rank_bits: Optional[int] = None,
+                 level_bits: Optional[int] = None):
+        self.rank_bits = rank_bits or DEFAULT_RANK_BITS
+        self.level_bits = level_bits or DEFAULT_LEVEL_BITS
+
+    def build(self, tree: XmlTree) -> PackedLabeling:
+        return PackedLabeling(tree, rank_bits=self.rank_bits,
+                              level_bits=self.level_bits)

@@ -115,6 +115,9 @@ class RegionLabeling(RebuildOnUpdateLabeling[RegionLabel]):
             spacing = max(1, capacity // (2 * size))
             parent_level = self._label_by_node[parent.node_id][2]
             self._assign_subtree(node, low, spacing, parent_level + 1)
+            # no relabels, but document order changed: stamped caches
+            # (rank index, columnar) must not survive this insert
+            self.bump_generation()
             overflow = False
             changed: List = []
         else:
@@ -179,6 +182,9 @@ class RegionLabeling(RebuildOnUpdateLabeling[RegionLabel]):
             if index < len(self._by_start) and self._by_start[index] == label:
                 del self._by_start[index]
                 del self._starts[index]
+        # abandoned intervals still shrink the document: invalidate
+        # generation-stamped caches
+        self.bump_generation()
         return RelabelReport(
             scheme=self.scheme_name,
             operation="delete",

@@ -10,6 +10,7 @@ from typing import Callable, Dict, List
 
 from repro.baselines.dewey import DeweyScheme
 from repro.baselines.ordpath import OrdpathScheme
+from repro.baselines.packed import PackedScheme
 from repro.baselines.posdepth import PosDepthScheme
 from repro.baselines.prepost import PrePostScheme
 from repro.baselines.region import RegionScheme
@@ -29,10 +30,13 @@ _FACTORIES: Dict[str, Callable[[], NumberingScheme]] = {
     "prepost": PrePostScheme,
     "region": RegionScheme,
     "posdepth": PosDepthScheme,
+    "packed": PackedScheme,
 }
 
 #: schemes that support structural updates through the uniform API
-UPDATABLE = ("uid", "ruid2", "dewey", "ordpath", "prepost", "region", "posdepth")
+UPDATABLE = (
+    "uid", "ruid2", "dewey", "ordpath", "prepost", "region", "posdepth", "packed",
+)
 
 #: schemes whose parent computation is pure label arithmetic
 ARITHMETIC_PARENT = ("uid", "ruid2", "ruid-multi", "dewey", "ordpath")

@@ -24,8 +24,11 @@ mutable per-query state, so one instance may serve many threads.
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.core.columnar import NO_RANK
 from repro.errors import NoParentError, QueryError, UnknownLabelError
 from repro.query.evaluator import BaseEvaluator
 from repro.query.stats import QueryStats
@@ -48,6 +51,7 @@ class StructuralView(NodeStore):
     """
 
     store_kind = "snapshot"
+    supports_batched = True
 
     __slots__ = (
         "generation",
@@ -67,7 +71,10 @@ class StructuralView(NodeStore):
         "text_ids",
         "comment_ids",
         "structural_ids",
+        "structural_ranks",
+        "parent_ranks",
         "string_values",
+        "_tag_rank_arrays",
     )
 
     def __init__(self, generation: int, scheme_name: str):
@@ -102,8 +109,16 @@ class StructuralView(NodeStore):
         #: rank-ordered ids excluding attribute nodes (the structural
         #: document the main axes range over)
         self.structural_ids: List[int] = []
+        #: ranks of ``structural_ids``, same order — descendant slices
+        #: are a bisect into this column plus one list slice
+        self.structural_ranks = array("q")
+        #: rank → parent's rank (NO_RANK at the root), every node
+        self.parent_ranks = array("q")
         #: node_id → frozen XPath string-value
         self.string_values: Dict[int, str] = {}
+        #: tag → rank array of its elements, built on first use; the
+        #: build is idempotent, so a race between readers is benign
+        self._tag_rank_arrays: Dict[str, array] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -191,6 +206,23 @@ class StructuralView(NodeStore):
             if kind is NodeKind.ELEMENT and node.attributes:
                 view.attrs[nid] = tuple(sorted(node.attributes.items()))
 
+        # Flat rank columns for the batched set-at-a-time evaluator:
+        # aligned with structural_ids, plus a rank-indexed parent
+        # column over every node (attributes included).
+        rank_map = view.rank
+        view.structural_ranks = array(
+            "q", (rank_map[nid] for nid in view.structural_ids)
+        )
+        parent_map = view.parent
+        view.parent_ranks = array(
+            "q",
+            (
+                NO_RANK if parent_map[nid] is None else rank_map[parent_map[nid]]
+                for nid in view.ids_by_rank
+            ),
+        )
+        view.stats.columnar_builds += 1
+
         # Frozen string-values: rank order is document order, so an
         # element's value is the join of its subtree's contributions.
         for nid in view.ids_by_rank:
@@ -218,15 +250,15 @@ class StructuralView(NodeStore):
         return nid in self.node_by_id
 
     def descendant_slice(self, nid: int, or_self: bool = False) -> List[int]:
-        """Structural descendants of *nid* in document order."""
-        lo = self.rank[nid] + (0 if or_self else 1)
-        hi = self.end[nid] + 1
-        node_by_id = self.node_by_id
-        return [
-            i
-            for i in self.ids_by_rank[lo:hi]
-            if node_by_id[i].kind is not NodeKind.ATTRIBUTE
-        ]
+        """Structural descendants of *nid* in document order: one
+        bisect into the structural rank column, one list slice — no
+        per-node kind checks."""
+        self.stats.columnar_slices += 1
+        structural_ranks = self.structural_ranks
+        locate = bisect_left if or_self else bisect_right
+        lo = locate(structural_ranks, self.rank[nid])
+        hi = bisect_right(structural_ranks, self.end[nid])
+        return self.structural_ids[lo:hi]
 
     # ------------------------------------------------------------------
     # NodeStore protocol (labels are node_ids)
@@ -280,6 +312,18 @@ class StructuralView(NodeStore):
     def labels_with_tag(self, tag: str) -> List[int]:
         self.stats.tag_lookups += 1
         return self.tag_ids.get(tag, [])
+
+    def tag_ranks(self, tag: str) -> Sequence[int]:
+        self.stats.columnar_tag_scans += 1
+        cached = self._tag_rank_arrays.get(tag)
+        if cached is None:
+            rank_map = self.rank
+            cached = array("q", (rank_map[nid] for nid in self.tag_ids.get(tag, ())))
+            self._tag_rank_arrays[tag] = cached
+        return cached
+
+    def parent_rank_array(self) -> Sequence[int]:
+        return self.parent_ranks
 
     def element_labels(self) -> List[int]:
         return self.element_ids

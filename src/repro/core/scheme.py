@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Generic, Iterator, Optional, TypeVar
 
 from repro.core.axes import AxisEngine
+from repro.core.columnar import ColumnarIndex
 from repro.core.labels import Relation, Ruid2Label
 from repro.core.multilevel import MultilevelRuidLabeling
 from repro.core.order import Ruid2Order, uid_relation
@@ -47,6 +48,7 @@ class Labeling(ABC, Generic[LabelT]):
         self.tree = tree
         self._generation = 0
         self._rank_index: Optional[RankIndex] = None
+        self._columnar_index: Optional[ColumnarIndex] = None
 
     # -- cache generations ----------------------------------------------
     @property
@@ -62,6 +64,7 @@ class Labeling(ABC, Generic[LabelT]):
         """Invalidate every generation-stamped cache."""
         self._generation += 1
         self._rank_index = None
+        self._columnar_index = None
 
     def rank_index(self) -> RankIndex:
         """The document-order rank index for the current generation.
@@ -74,6 +77,20 @@ class Labeling(ABC, Generic[LabelT]):
         if index is None or index.generation != generation:
             index = RankIndex.build(self, generation)
             self._rank_index = index
+        return index
+
+    def columnar_index(self) -> ColumnarIndex:
+        """Flat-array structure columns for the current generation.
+
+        Built lazily in one DFS and cached alongside the rank index;
+        stores and evaluators serve descendant slices, sibling-chain
+        children, and per-tag candidate arrays straight from its
+        buffers instead of walking the object tree."""
+        index = self._columnar_index
+        generation = self.generation
+        if index is None or index.generation != generation:
+            index = ColumnarIndex.build(self, generation)
+            self._columnar_index = index
         return index
 
     def doc_rank(self) -> Dict:

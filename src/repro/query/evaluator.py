@@ -625,17 +625,32 @@ class SchemeEvaluator(BaseEvaluator):
     def _candidates_for_test(self, test: NodeTest) -> Optional[Sequence]:
         """All labels that can satisfy *test* on an element-principal
         axis, in document-rank order (None: test not expressible)."""
+        pair = self._candidate_arrays_for_test(test)
+        return pair[0] if pair is not None else None
+
+    def _candidate_arrays_for_test(
+        self, test: NodeTest
+    ) -> Optional[Tuple[Sequence, Sequence[int]]]:
+        """(labels, ranks) that can satisfy *test* — two parallel
+        sequences in document-rank order, the ranks a raw columnar
+        buffer (None: test not expressible). The store builds both from
+        the same per-tag/per-kind rank arrays, so they are aligned by
+        construction."""
         node_type = test.node_type
+        columnar = self.store.columnar
         if node_type is None:
             if test.name is None:
-                return self._element_labels
-            return self._tag_labels.get(test.name, [])
+                return self._element_labels, columnar.element_ranks
+            return (
+                self._tag_labels.get(test.name, []),
+                columnar.tag_rank_array(test.name),
+            )
         if node_type == "node":
-            return self._node_labels
+            return self._node_labels, columnar.structural
         if node_type == "text":
-            return self._text_labels
+            return self._text_labels, columnar.text_ranks
         if node_type == "comment":
-            return self._comment_labels
+            return self._comment_labels, columnar.comment_ranks
         return None
 
     # -- step evaluation ----------------------------------------------------
@@ -734,9 +749,10 @@ class SchemeEvaluator(BaseEvaluator):
             return None
         axis = step.axis
         test = step.test
-        candidates = self._candidates_for_test(test)
-        if candidates is None:
+        pair = self._candidate_arrays_for_test(test)
+        if pair is None:
             return None
+        candidates, candidate_ranks = pair
         node_of = self.labeling.node_of
         rank = self._rank
 
@@ -760,15 +776,18 @@ class SchemeEvaluator(BaseEvaluator):
                 return []
             if len(candidates) > self._CHILD_SCAN_FACTOR * frontier:
                 return None  # candidate scan dearer than per-node memo
-            parent_of = self.labeling.axes.parent
+            # parenthood from the columnar parent-rank column: one
+            # indexed array load per candidate, no label arithmetic
+            parent_ranks = self.store.columnar.parent
+            context_ranks = {rank[label] for label in context}
             out = []
-            for cand in candidates:
-                parent = parent_of(cand)
-                if parent is None:
+            for position, cand_rank in enumerate(candidate_ranks):
+                parent_rank = parent_ranks[cand_rank]
+                if parent_rank < 0:
                     if has_doc:  # the root element, child of the doc node
-                        out.append(node_of(cand))
-                elif parent in context:
-                    out.append(node_of(cand))
+                        out.append(node_of(candidates[position]))
+                elif parent_rank in context_ranks:
+                    out.append(node_of(candidates[position]))
             return out
 
         if axis in ("parent", "ancestor", "ancestor-or-self"):
@@ -820,11 +839,10 @@ class SchemeEvaluator(BaseEvaluator):
             prefix_max.append(best)
         locate = bisect_right if or_self else bisect_left
         out = []
-        for cand in candidates:
-            cand_rank = rank[cand]
+        for position, cand_rank in enumerate(candidate_ranks):
             j = locate(context_ranks, cand_rank) - 1
             if j >= 0 and prefix_max[j] >= cand_rank:
-                out.append(node_of(cand))
+                out.append(node_of(candidates[position]))
         return out
 
     # -- per-context axis step (memoised) -----------------------------------

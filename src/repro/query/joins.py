@@ -25,6 +25,7 @@ end(a)``, so the merge does no label arithmetic at all. Unknown labels
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left, bisect_right
 from functools import cmp_to_key
 from typing import Iterable, List, Optional, Sequence, Tuple, TypeVar
@@ -125,25 +126,50 @@ def stack_tree_join(
     d_ranks = _try_ranks(index, descendants) if a_ranks is not None else None
     if a_ranks is not None and d_ranks is not None:
         return _stack_tree_join_ranked(
-            index, ancestors, a_ranks, descendants, d_ranks, self_or
+            index, labeling, ancestors, a_ranks, descendants, d_ranks, self_or
         )
     return _stack_tree_join_compare(labeling, ancestors, descendants, self_or)
 
 
+def _end_column(labeling: Labeling) -> Optional[Sequence[int]]:
+    """Rank-indexed subtree-end column from the labeling's columnar
+    index, when it can serve one — an array load per ancestor instead
+    of a per-label dict probe."""
+    builder = getattr(labeling, "columnar_index", None)
+    if builder is None:
+        return None
+    try:
+        return builder().end
+    except Exception:  # partial/stub labeling cannot enumerate
+        return None
+
+
 def _stack_tree_join_ranked(
     index: RankIndex,
+    labeling: Labeling,
     ancestors: Sequence,
     a_ranks: List[int],
     descendants: Sequence,
     d_ranks: List[int],
     self_or: bool,
 ) -> List[Pair]:
-    """The merge over (rank, subtree-end) integers only."""
-    end = index.end
+    """The merge over machine-packed (rank, subtree-end) int columns.
+
+    The sorted rank and end sequences are ``array('q')`` buffers —
+    contiguous machine words, not lists of boxed ints — and when the
+    labeling carries a columnar index the end column is read by rank
+    (one array load per ancestor) instead of probing the rank-index
+    end dict per label.
+    """
     a_order = sorted(range(len(ancestors)), key=a_ranks.__getitem__)
     sorted_a = [ancestors[i] for i in a_order]
-    sorted_ra = [a_ranks[i] for i in a_order]
-    sorted_ea = [end[label] for label in sorted_a]
+    sorted_ra = array("q", (a_ranks[i] for i in a_order))
+    end_by_rank = _end_column(labeling)
+    if end_by_rank is not None:
+        sorted_ea = array("q", (end_by_rank[r] for r in sorted_ra))
+    else:
+        end = index.end
+        sorted_ea = array("q", (end[label] for label in sorted_a))
     d_order = sorted(range(len(descendants)), key=d_ranks.__getitem__)
 
     # With self_or, an A equal to d is admitted (and matches as SELF).

@@ -40,6 +40,10 @@ class QueryStats:
     synopsis_skips: int = 0
     #: steps evaluated set-at-a-time over the whole frontier
     batched_steps: int = 0
+    #: StoreEvaluator per-tag candidate rank-array cache, keyed by
+    #: (store, generation)
+    candidate_cache_hits: int = 0
+    candidate_cache_misses: int = 0
     #: steps that fell back to the per-context path (predicates,
     #: sibling/horizontal axes, attribute axis)
     fallback_steps: int = 0

@@ -29,7 +29,8 @@ query (docs/STORAGE_QUERY.md).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from array import array
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.xmltree.node import NodeKind, XmlNode
 
@@ -66,13 +67,24 @@ class StoreStats:
     (IoStats, QueryStats) stay locked.
     """
 
-    __slots__ = ("fetches", "tag_lookups", "rank_probes", "parent_hops")
+    __slots__ = (
+        "fetches",
+        "tag_lookups",
+        "rank_probes",
+        "parent_hops",
+        "columnar_builds",
+        "columnar_slices",
+        "columnar_tag_scans",
+    )
 
     def __init__(self) -> None:
         self.fetches = 0
         self.tag_lookups = 0
         self.rank_probes = 0
         self.parent_hops = 0
+        self.columnar_builds = 0
+        self.columnar_slices = 0
+        self.columnar_tag_scans = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -80,6 +92,9 @@ class StoreStats:
             "tag_lookups": self.tag_lookups,
             "rank_probes": self.rank_probes,
             "parent_hops": self.parent_hops,
+            "columnar_builds": self.columnar_builds,
+            "columnar_slices": self.columnar_slices,
+            "columnar_tag_scans": self.columnar_tag_scans,
         }
 
     def __repr__(self) -> str:
@@ -104,6 +119,11 @@ class NodeStore:
     store_kind: str = "abstract"
     #: the numbering scheme the store was built from
     scheme_name: str = "unknown"
+    #: True when the store serves rank columns from contiguous array
+    #: buffers, so set-at-a-time evaluation over raw ranks is cheaper
+    #: than per-node probing; wrappers that charge per call (the
+    #: resilient store) leave this False to keep their call accounting
+    supports_batched: bool = False
 
     #: slotted so that slotted implementations (StructuralView) stay
     #: slotted; dict-backed implementations simply don't declare
@@ -208,6 +228,18 @@ class NodeStore:
         """``node_id`` → preorder rank for every node this store has
         handed out; used by evaluators to sort result sets."""
         raise NotImplementedError
+
+    def tag_ranks(self, tag: str) -> Sequence[int]:
+        """Preorder ranks of the elements carrying *tag*, aligned with
+        :meth:`labels_with_tag`. Columnar stores return a shared
+        ``array('q')`` buffer; this default computes one."""
+        return array("q", (self.rank_of(lb) for lb in self.labels_with_tag(tag)))
+
+    def parent_rank_array(self) -> Optional[Sequence[int]]:
+        """rank → parent rank (−1 at the root) as one flat buffer, or
+        None when the store has no columnar backing — consumers fall
+        back to per-node :meth:`parent_of` hops."""
+        return None
 
     # -- shared derived operations ---------------------------------------
     def descendant_labels(self, label: Label, or_self: bool = False) -> List[Label]:

@@ -16,10 +16,13 @@ sight.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError, UnknownLabelError, UnsupportedFeatureError
-from repro.query.evaluator import BaseEvaluator
+from repro.query.ast import NodeTest, Step
+from repro.query.evaluator import BaseEvaluator, node_test_matches
 from repro.query.stats import QueryStats
 from repro.store.base import Label, NodeStore
 from repro.xmltree.node import NodeKind, XmlNode
@@ -28,16 +31,33 @@ from repro.xmltree.node import NodeKind, XmlNode
 class StoreEvaluator(BaseEvaluator):
     """Axis steps from NodeStore primitives.
 
-    Keeps no generation-spanning caches of its own: every structural
-    question goes back to the store, which owns invalidation. One
-    evaluator instance therefore stays correct across updates as long
-    as the store does.
+    Keeps no generation-spanning caches of its own beyond the candidate
+    rank-array cache (keyed by the store's generation, cleared on
+    mismatch): every structural question goes back to the store, which
+    owns invalidation. One evaluator instance therefore stays correct
+    across updates as long as the store does.
+
+    Against a store with columnar backing (``supports_batched``),
+    predicate-free child/descendant steps run **set-at-a-time** over
+    raw rank arrays — per-tag candidate ranks against the whole context
+    frontier with a running-max interval scan — instead of one
+    axis call per context node. Wrapper stores that charge per call
+    (the resilient store) keep the per-node path and its accounting.
     """
 
     strategy_name = "store"
     route_name = "store"
 
-    def __init__(self, store: NodeStore, stats: Optional[QueryStats] = None):
+    #: axes the batched set-at-a-time path implements; vertical
+    #: upward axes stay per-node (ancestor chains are short)
+    _BATCHED_AXES = frozenset({"child", "descendant", "descendant-or-self"})
+
+    def __init__(
+        self,
+        store: NodeStore,
+        stats: Optional[QueryStats] = None,
+        batched: bool = True,
+    ):
         # Deliberately no super().__init__: BaseEvaluator would bind a
         # live tree; everything it reads through self.tree is
         # overridden below.
@@ -46,6 +66,14 @@ class StoreEvaluator(BaseEvaluator):
         self.stats = stats if stats is not None else QueryStats()
         self.tracer = None
         self.document_node = XmlNode("#document", NodeKind.DOCUMENT)
+        #: False forces the per-node path (the pre-columnar behaviour,
+        #: kept for before/after benchmarking)
+        self.batched = batched
+        # (labels, ranks) per node test, valid for one (store,
+        # generation) pair — repeated steps over the same tag reuse the
+        # arrays instead of rebuilding candidate lists
+        self._candidate_cache: Dict[Tuple, Tuple[List[Label], Sequence[int]]] = {}
+        self._candidate_cache_key: Optional[Tuple[int, int]] = None
 
     # -- BaseEvaluator hooks ------------------------------------------------
     def doc_order(self) -> Dict[int, int]:
@@ -91,6 +119,135 @@ class StoreEvaluator(BaseEvaluator):
     def _nodes(self, labels: List[Label]) -> List[XmlNode]:
         node_for = self.store.node_for
         return [node_for(label) for label in labels]
+
+    # -- batched fast path --------------------------------------------------
+    def _candidate_arrays(
+        self, test: NodeTest
+    ) -> Optional[Tuple[List[Label], Sequence[int]]]:
+        """(labels, ranks) that can satisfy *test* — parallel sequences
+        in document-rank order, cached per (store, generation)."""
+        store = self.store
+        cache_key = (id(store), store.generation)
+        if cache_key != self._candidate_cache_key:
+            self._candidate_cache.clear()
+            self._candidate_cache_key = cache_key
+        node_type = test.node_type
+        if node_type is None:
+            token = ("tag", test.name)
+        elif node_type in ("node", "text", "comment"):
+            token = ("kind", node_type)
+        else:
+            return None
+        cached = self._candidate_cache.get(token)
+        if cached is not None:
+            self.stats.count("candidate_cache_hits")
+            return cached
+        self.stats.count("candidate_cache_misses")
+        if node_type is None and test.name is not None:
+            labels = store.labels_with_tag(test.name)
+            ranks: Sequence[int] = store.tag_ranks(test.name)
+        else:
+            if node_type is None:
+                labels = store.element_labels()
+            elif node_type == "node":
+                labels = store.structural_labels()
+            elif node_type == "text":
+                labels = store.text_labels()
+            else:
+                labels = store.comment_labels()
+            rank_of = store.rank_of
+            ranks = array("q", (rank_of(lb) for lb in labels))
+        pair = (labels, ranks)
+        self._candidate_cache[token] = pair
+        return pair
+
+    def _eval_step(self, nodes: List[XmlNode], step: Step) -> List[XmlNode]:
+        if (
+            self.batched
+            and self.store.supports_batched
+            and not step.predicates
+            and step.axis in self._BATCHED_AXES
+        ):
+            result = self._eval_step_batched(nodes, step)
+            if result is not None:
+                self.stats.count("batched_steps")
+                if self.deadline is not None:
+                    # one weighted cancellation point per batched step
+                    self.deadline.tick(len(result))
+                return result
+        return super()._eval_step(nodes, step)
+
+    def _eval_step_batched(
+        self, nodes: List[XmlNode], step: Step
+    ) -> Optional[List[XmlNode]]:
+        """Set-at-a-time step over raw rank arrays; None means fall
+        back to the per-node path (unlabelable context, inexpressible
+        test, missing parent column)."""
+        store = self.store
+        has_doc = False
+        labels: List[Label] = []
+        label_for = store.label_for
+        try:
+            for node in nodes:
+                if node is self.document_node:
+                    has_doc = True
+                else:
+                    labels.append(label_for(node))
+        except UnknownLabelError:
+            return None  # transient attribute context
+        pair = self._candidate_arrays(step.test)
+        if pair is None:
+            return None
+        candidates, candidate_ranks = pair
+        axis = step.axis
+
+        if axis == "child":
+            parent_ranks = store.parent_rank_array()
+            if parent_ranks is None:
+                return None
+            if not labels and not has_doc:
+                return []
+            context_ranks = {store.rank_of(lb) for lb in set(labels)}
+            kept: List[Label] = []
+            for position, cand_rank in enumerate(candidate_ranks):
+                parent_rank = parent_ranks[cand_rank]
+                if parent_rank < 0:
+                    if has_doc:  # the root element, child of the doc node
+                        kept.append(candidates[position])
+                elif parent_rank in context_ranks:
+                    kept.append(candidates[position])
+            return self._nodes(kept)
+
+        # descendant / descendant-or-self
+        or_self = axis == "descendant-or-self"
+        if has_doc:
+            out: List[XmlNode] = []
+            if or_self and node_test_matches(self.document_node, step.test, axis):
+                out.append(self.document_node)
+            out.extend(self._nodes(candidates))
+            return out
+        if not labels:
+            return []
+        # Contexts sorted by rank with a running max of subtree ends:
+        # candidate x descends from some context iff the best end among
+        # contexts at/before x's rank reaches x.
+        rank_of = store.rank_of
+        end_of = store.end_of
+        spans = sorted((rank_of(lb), end_of(lb)) for lb in set(labels))
+        span_ranks = [r for r, _ in spans]
+        prefix_max: List[int] = []
+        best = -1
+        for _, subtree_end in spans:
+            if subtree_end > best:
+                best = subtree_end
+            prefix_max.append(best)
+        locate = bisect_right if or_self else bisect_left
+        kept = []
+        for position, cand_rank in enumerate(candidate_ranks):
+            j = locate(span_ranks, cand_rank) - 1
+            if j >= 0 and prefix_max[j] >= cand_rank:
+                kept.append(candidates[position])
+        return self._nodes(kept)
 
     # -- axes ---------------------------------------------------------------
     def axis_nodes(self, node: XmlNode, axis: str) -> List[XmlNode]:

@@ -2,11 +2,12 @@
 
 This is the configuration every pre-E17 experiment ran on: the whole
 document in RAM, labels resolved to live :class:`XmlNode` objects in
-one dict lookup, document order from the labeling's
-:class:`~repro.core.rankindex.RankIndex`. The store is a thin,
-generation-aware view — it owns no structure of its own beyond the
-candidate lists, so wrapping a labeling costs nothing until the first
-tag lookup.
+one dict lookup. Structure — document order, subtree intervals,
+parenthood, per-tag candidates — is served from the labeling's
+:class:`~repro.core.columnar.ColumnarIndex`: contiguous integer
+buffers built in one DFS, so descendant slices are a bisect plus an
+array slice and parent hops are one indexed load, with no per-node
+object walks on any hot path.
 
 All derived state is stamped with the labeling's generation and
 rebuilt wholesale after a structural update, mirroring the cache
@@ -15,9 +16,9 @@ discipline of the scheme evaluator it now backs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.rankindex import RankIndex
+from repro.core.columnar import ColumnarIndex
 from repro.errors import NoParentError, UnknownLabelError
 from repro.store.base import Label, NodeRecord, NodeStore
 from repro.xmltree.node import NodeKind, XmlNode
@@ -34,6 +35,24 @@ class MemoryNodeStore(NodeStore):
     """
 
     store_kind = "memory"
+    supports_batched = True
+
+    __slots__ = (
+        "labeling",
+        "tree",
+        "scheme_name",
+        "columnar",
+        "_parent_arithmetic",
+        "_bound_generation",
+        "rank_map",
+        "end_map",
+        "_order_by_id",
+        "_tag_labels",
+        "_element_labels",
+        "_text_labels",
+        "_comment_labels",
+        "_structural_labels",
+    )
 
     def __init__(self, labeling: Any):
         super().__init__()
@@ -43,9 +62,9 @@ class MemoryNodeStore(NodeStore):
         parent = getattr(labeling, "parent_label", None)
         self._parent_arithmetic = parent if parent is not None else labeling.rparent
         self._bound_generation: Optional[int] = None
+        self.columnar: Optional[ColumnarIndex] = None
         self.rank_map: Dict[Label, int] = {}
         self.end_map: Dict[Label, int] = {}
-        self._labels_by_rank: Optional[List[Label]] = None
         self._order_by_id: Optional[Dict[int, int]] = None
         self._tag_labels: Optional[Dict[str, List[Label]]] = None
         self._element_labels: Optional[List[Label]] = None
@@ -59,11 +78,11 @@ class MemoryNodeStore(NodeStore):
     def generation(self) -> int:
         return getattr(self.labeling, "generation", 0)
 
-    def _rank_index(self) -> RankIndex:
-        builder = getattr(self.labeling, "rank_index", None)
+    def _build_columnar(self) -> ColumnarIndex:
+        builder = getattr(self.labeling, "columnar_index", None)
         if builder is not None:
             return builder()
-        return RankIndex.build(self.labeling, self.generation)
+        return ColumnarIndex.build(self.labeling, self.generation)
 
     def _ensure(self) -> None:
         """Rebind every derived structure to the current generation; a
@@ -71,10 +90,12 @@ class MemoryNodeStore(NodeStore):
         generation = self.generation
         if generation == self._bound_generation:
             return
-        index = self._rank_index()
+        columnar = self._build_columnar()
+        self.stats.columnar_builds += 1
+        index = columnar.as_rank_index()
+        self.columnar = columnar
         self.rank_map = index.rank
         self.end_map = index.end
-        self._labels_by_rank = None
         self._order_by_id = None
         self._tag_labels = None
         self._element_labels = None
@@ -91,7 +112,7 @@ class MemoryNodeStore(NodeStore):
     # ------------------------------------------------------------------
     def size(self) -> int:
         self._ensure()
-        return len(self.rank_map)
+        return self.columnar.size
 
     def root_label(self) -> Label:
         return self.labeling.label_of(self.tree.root)
@@ -112,14 +133,8 @@ class MemoryNodeStore(NodeStore):
 
     def label_at(self, rank: int) -> Label:
         self._ensure()
-        by_rank = self._labels_by_rank
-        if by_rank is None:
-            by_rank = [None] * len(self.rank_map)
-            for label, r in self.rank_map.items():
-                by_rank[r] = label
-            self._labels_by_rank = by_rank
         try:
-            return by_rank[rank]
+            return self.columnar.labels_by_rank[rank]
         except IndexError:
             raise UnknownLabelError(f"no label at rank {rank}") from None
 
@@ -132,13 +147,9 @@ class MemoryNodeStore(NodeStore):
             return None
 
     def children_of(self, label: Label) -> List[Label]:
-        node = self.node_for(label)
-        label_of = self.labeling.label_of
-        return [
-            label_of(child)
-            for child in node.children
-            if child.kind is not NodeKind.ATTRIBUTE
-        ]
+        self._ensure()
+        columnar = self.columnar
+        return columnar.labels_for(columnar.children_ranks(self.rank_of(label)))
 
     # ------------------------------------------------------------------
     def record(self, label: Label) -> NodeRecord:
@@ -167,75 +178,73 @@ class MemoryNodeStore(NodeStore):
             ) from None
 
     # ------------------------------------------------------------------
-    def _build_candidates(self) -> None:
-        """Per-kind label lists in document-rank order (attributes are
-        not part of the main structural document; the navigational
-        evaluator's axes skip them identically)."""
-        label_of = self.labeling.label_of
-        tag_labels: Dict[str, List[Label]] = {}
-        element_labels: List[Label] = []
-        text_labels: List[Label] = []
-        comment_labels: List[Label] = []
-        structural_labels: List[Label] = []
-        for node in self.tree.preorder():
-            kind = node.kind
-            if kind is NodeKind.ATTRIBUTE:
-                continue
-            label = label_of(node)
-            structural_labels.append(label)
-            if kind is NodeKind.ELEMENT:
-                element_labels.append(label)
-                bucket = tag_labels.get(node.tag)
-                if bucket is None:
-                    tag_labels[node.tag] = bucket = []
-                bucket.append(label)
-            elif kind is NodeKind.TEXT:
-                text_labels.append(label)
-            elif kind is NodeKind.COMMENT:
-                comment_labels.append(label)
-        self._tag_labels = tag_labels
-        self._element_labels = element_labels
-        self._text_labels = text_labels
-        self._comment_labels = comment_labels
-        self._structural_labels = structural_labels
-
     def tag_labels(self) -> Dict[str, List[Label]]:
-        """The raw tag → labels map (hot paths index it directly)."""
+        """The raw tag → labels map (hot paths index it directly),
+        materialised from the columnar per-tag rank arrays."""
         self._ensure()
-        if self._tag_labels is None:
-            self._build_candidates()
-        return self._tag_labels
+        tag_labels = self._tag_labels
+        if tag_labels is None:
+            columnar = self.columnar
+            labels_for = columnar.labels_for
+            tag_labels = {
+                tag: labels_for(bucket)
+                for tag, bucket in columnar.tag_ranks.items()
+            }
+            self._tag_labels = tag_labels
+        return tag_labels
 
     def labels_with_tag(self, tag: str) -> List[Label]:
         self.stats.tag_lookups += 1
         return self.tag_labels().get(tag, [])
 
+    def tag_ranks(self, tag: str) -> Sequence[int]:
+        self._ensure()
+        self.stats.columnar_tag_scans += 1
+        return self.columnar.tag_rank_array(tag)
+
+    def parent_rank_array(self) -> Sequence[int]:
+        self._ensure()
+        return self.columnar.parent
+
     def element_labels(self) -> List[Label]:
         self._ensure()
-        if self._element_labels is None:
-            self._build_candidates()
-        return self._element_labels
+        labels = self._element_labels
+        if labels is None:
+            columnar = self.columnar
+            labels = columnar.labels_for(columnar.element_ranks)
+            self._element_labels = labels
+        return labels
 
     def text_labels(self) -> List[Label]:
         self._ensure()
-        if self._text_labels is None:
-            self._build_candidates()
-        return self._text_labels
+        labels = self._text_labels
+        if labels is None:
+            columnar = self.columnar
+            labels = columnar.labels_for(columnar.text_ranks)
+            self._text_labels = labels
+        return labels
 
     def comment_labels(self) -> List[Label]:
         self._ensure()
-        if self._comment_labels is None:
-            self._build_candidates()
-        return self._comment_labels
+        labels = self._comment_labels
+        if labels is None:
+            columnar = self.columnar
+            labels = columnar.labels_for(columnar.comment_ranks)
+            self._comment_labels = labels
+        return labels
 
     def structural_labels(self) -> List[Label]:
         self._ensure()
-        if self._structural_labels is None:
-            self._build_candidates()
-        return self._structural_labels
+        labels = self._structural_labels
+        if labels is None:
+            columnar = self.columnar
+            labels = columnar.labels_for(columnar.structural)
+            self._structural_labels = labels
+        return labels
 
     def has_tag(self, tag: str) -> bool:
-        return tag in self.tag_labels()
+        self._ensure()
+        return tag in self.columnar.tag_ranks
 
     # ------------------------------------------------------------------
     def attributes_of(self, label: Label) -> Tuple[Tuple[str, str], ...]:
@@ -245,13 +254,11 @@ class MemoryNodeStore(NodeStore):
         return ()
 
     def attribute_labels(self, label: Label) -> List[Label]:
-        node = self.labeling.node_of(label)
-        label_of = self.labeling.label_of
-        return [
-            label_of(child)
-            for child in node.children
-            if child.kind is NodeKind.ATTRIBUTE
-        ]
+        self._ensure()
+        columnar = self.columnar
+        return columnar.labels_for(
+            columnar.children_ranks(self.rank_of(label), attributes=True)
+        )
 
     def string_value(self, label: Label) -> str:
         node = self.labeling.node_of(label)
@@ -267,23 +274,13 @@ class MemoryNodeStore(NodeStore):
             node_of = self.labeling.node_of
             order = {
                 node_of(label).node_id: rank
-                for label, rank in self.rank_map.items()
+                for rank, label in enumerate(self.columnar.labels_by_rank)
             }
             self._order_by_id = order
         return order
 
     def descendant_labels(self, label: Label, or_self: bool = False) -> List[Label]:
-        """Rank-interval slice over the structural label list."""
-        from bisect import bisect_left, bisect_right
-
+        """Bisect into the structural rank column, one array slice."""
         self._ensure()
-        labels = self.structural_labels()
-        rank_map = self.rank_map
-        ranks = getattr(self, "_structural_ranks", None)
-        if ranks is None or len(ranks) != len(labels):
-            ranks = [rank_map[lb] for lb in labels]
-            self._structural_ranks = ranks
-        locate = bisect_left if or_self else bisect_right
-        low = locate(ranks, rank_map[label])
-        high = bisect_right(ranks, self.end_map[label])
-        return labels[low:high]
+        self.stats.columnar_slices += 1
+        return self.columnar.structural_slice(self.rank_of(label), or_self)

@@ -37,13 +37,24 @@ XmlNodes are materialised lazily, one canonical node per label, and
 never wired into a live DOM: parents stay None, ``children`` stays
 empty. Consumers navigate through the store, exactly as the protocol
 demands. The node cache holds only labels a query has touched.
+
+Structural queries are served from a **columnar sidecar**: the first
+structural probe scans the ranks table once (through the buffer pool,
+so the traffic is visible) into a
+:class:`~repro.core.columnar.ColumnarIndex` — machine-packed
+``array('q')`` rank/end/parent/tag columns instead of per-row tuple
+caches. After that, rank lookups, descendant slices, children (by
+sibling-chain arithmetic over the end column) and per-tag candidates
+never touch a page again; only *values* (records, attributes, string
+contributions) keep reading through the pool.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import ColumnarIndex
 from repro.core.rankindex import RankIndex
 from repro.errors import NoParentError, StorageError, UnknownLabelError
 from repro.storage.database import StoredDocument, label_key
@@ -78,12 +89,28 @@ class PagedNodeStore(NodeStore):
     """
 
     store_kind = "paged"
+    supports_batched = True
 
-    #: cooperative-cancellation budget (a :class:`repro.resilience.Deadline`)
-    #: forwarded by the evaluator for the duration of one query; every
-    #: index probe is a cancellation point, so a deadline fires even
-    #: inside a long candidate enumeration
-    deadline = None
+    __slots__ = (
+        "document",
+        "table_name",
+        "io",
+        "built",
+        "ranks",
+        "scheme_name",
+        "columnar",
+        "deadline",
+        "_generation",
+        "_row_cache",
+        "_node_cache",
+        "_label_by_id",
+        "_order_by_id",
+        "_tag_cache",
+        "_element_labels",
+        "_text_labels",
+        "_comment_labels",
+        "_structural_labels",
+    )
 
     def __init__(self, document: StoredDocument, io_stats=None):
         super().__init__()
@@ -104,9 +131,16 @@ class PagedNodeStore(NodeStore):
             )
         self._generation = meta[2]
         self.scheme_name = meta[4]
-        # bounded LRU caches over the hot probe paths
+        #: cooperative-cancellation budget (a
+        #: :class:`repro.resilience.Deadline`) forwarded by the
+        #: evaluator for the duration of one query; every index probe
+        #: is a cancellation point, so a deadline fires even inside a
+        #: long candidate enumeration
+        self.deadline = None
+        #: structural columns, built lazily by one table scan
+        self.columnar: Optional[ColumnarIndex] = None
+        # bounded LRU cache over the value-row probe path
         self._row_cache: "OrderedDict[Label, Tuple[Any, ...]]" = OrderedDict()
-        self._children_cache: "OrderedDict[Label, List[Label]]" = OrderedDict()
         # canonical materialised nodes — only what queries touch
         self._node_cache: Dict[Label, XmlNode] = {}
         self._label_by_id: Dict[int, Label] = {}
@@ -211,6 +245,26 @@ class PagedNodeStore(NodeStore):
         """All non-meta rows in rank (= document) order."""
         return self.ranks.range_pk((0,), None)
 
+    def _columnar(self) -> ColumnarIndex:
+        """The structural sidecar: one ranks-table scan (through the
+        buffer pool, so the traffic is charged) packed into flat
+        ``array`` columns. Every later structural probe is array
+        arithmetic — no page touches."""
+        columnar = self.columnar
+        if columnar is None:
+            if self.deadline is not None:
+                self.deadline.tick(items=max(1, len(self.ranks) - 1))
+            columnar = ColumnarIndex.from_rank_rows(
+                self._structural_rows(), self._generation
+            )
+            self.stats.columnar_builds += 1
+            self.columnar = columnar
+        return columnar
+
+    def _tick(self) -> None:
+        if self.deadline is not None:
+            self.deadline.tick()
+
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
@@ -225,56 +279,63 @@ class PagedNodeStore(NodeStore):
         return self._row_at(0)[1]
 
     def rank_of(self, label: Label) -> int:
-        return self._row(label)[0]
+        self._tick()
+        self.stats.rank_probes += 1
+        try:
+            return self._columnar().rank_by_label[label]
+        except KeyError:
+            raise UnknownLabelError(
+                f"label {label!r} not in {self.table_name}"
+            ) from None
 
     def end_of(self, label: Label) -> int:
-        return self._row(label)[2]
+        self._tick()
+        self.stats.rank_probes += 1
+        columnar = self._columnar()
+        try:
+            return columnar.end[columnar.rank_by_label[label]]
+        except KeyError:
+            raise UnknownLabelError(
+                f"label {label!r} not in {self.table_name}"
+            ) from None
 
     def label_at(self, rank: int) -> Label:
         self.stats.rank_probes += 1
-        return self._row_at(rank)[1]
+        columnar = self._columnar()
+        if 0 <= rank < columnar.size:
+            return columnar.labels_by_rank[rank]
+        raise UnknownLabelError(f"no label at rank {rank}")
 
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
     def parent_of(self, label: Label) -> Optional[Label]:
         self.stats.parent_hops += 1
-        return self._row(label)[3]
+        columnar = self._columnar()
+        parent_rank = columnar.parent[self.rank_of(label)]
+        if parent_rank < 0:
+            return None
+        return columnar.labels_by_rank[parent_rank]
 
     def children_of(self, label: Label) -> List[Label]:
-        cache = self._children_cache
-        cached = cache.get(label)
-        if cached is not None:
-            cache.move_to_end(label)
-            return cached
-        ranked = sorted(
-            (row[0], row[1])
-            for row in self.ranks.lookup("parent", label)
-            if row[5] != NodeKind.ATTRIBUTE.value
-        )
-        labels = [lb for _rank, lb in ranked]
-        cache[label] = labels
-        if len(cache) > _ROW_CACHE_LIMIT:
-            cache.popitem(last=False)
-        return labels
+        """Sibling-chain walk over the end column — no parent-index
+        page probes, no stored child lists."""
+        self._tick()
+        columnar = self._columnar()
+        return columnar.labels_for(columnar.children_ranks(self.rank_of(label)))
 
     def attribute_labels(self, label: Label) -> List[Label]:
-        ranked = sorted(
-            (row[0], row[1])
-            for row in self.ranks.lookup("parent", label)
-            if row[5] == NodeKind.ATTRIBUTE.value
+        columnar = self._columnar()
+        return columnar.labels_for(
+            columnar.children_ranks(self.rank_of(label), attributes=True)
         )
-        return [lb for _rank, lb in ranked]
 
     def descendant_labels(self, label: Label, or_self: bool = False) -> List[Label]:
-        """One pk range scan over the subtree's rank interval."""
-        row = self._row(label)
-        low = row[0] + (0 if or_self else 1)
-        return [
-            r[1]
-            for r in self.ranks.range_pk((low,), (row[2],))
-            if r[5] != NodeKind.ATTRIBUTE.value
-        ]
+        """Bisect into the structural rank column, one array slice."""
+        self._tick()
+        self.stats.columnar_slices += 1
+        columnar = self._columnar()
+        return columnar.structural_slice(self.rank_of(label), or_self)
 
     # ------------------------------------------------------------------
     # Record fetch
@@ -318,55 +379,52 @@ class PagedNodeStore(NodeStore):
         cached = self._tag_cache.get(tag)
         if cached is not None:
             return cached
-        ranked = sorted(
-            (row[0], row[1])
-            for row in self.ranks.lookup("tag", tag)
-            if row[5] == NodeKind.ELEMENT.value
-        )
-        labels = [lb for _rank, lb in ranked]
+        columnar = self._columnar()
+        labels = columnar.labels_for(columnar.tag_rank_array(tag))
         self._tag_cache[tag] = labels
         return labels
 
-    def _scan_candidates(self) -> None:
-        element: List[Label] = []
-        text: List[Label] = []
-        comment: List[Label] = []
-        structural: List[Label] = []
-        for row in self._structural_rows():
-            kind = row[5]
-            if kind == NodeKind.ATTRIBUTE.value:
-                continue
-            structural.append(row[1])
-            if kind == NodeKind.ELEMENT.value:
-                element.append(row[1])
-            elif kind == NodeKind.TEXT.value:
-                text.append(row[1])
-            elif kind == NodeKind.COMMENT.value:
-                comment.append(row[1])
-        self._element_labels = element
-        self._text_labels = text
-        self._comment_labels = comment
-        self._structural_labels = structural
+    def tag_ranks(self, tag: str) -> Sequence[int]:
+        self.stats.columnar_tag_scans += 1
+        return self._columnar().tag_rank_array(tag)
+
+    def parent_rank_array(self) -> Sequence[int]:
+        return self._columnar().parent
 
     def element_labels(self) -> List[Label]:
-        if self._element_labels is None:
-            self._scan_candidates()
-        return self._element_labels
+        labels = self._element_labels
+        if labels is None:
+            columnar = self._columnar()
+            labels = columnar.labels_for(columnar.element_ranks)
+            self._element_labels = labels
+        return labels
 
     def text_labels(self) -> List[Label]:
-        if self._text_labels is None:
-            self._scan_candidates()
-        return self._text_labels
+        labels = self._text_labels
+        if labels is None:
+            columnar = self._columnar()
+            labels = columnar.labels_for(columnar.text_ranks)
+            self._text_labels = labels
+        return labels
 
     def comment_labels(self) -> List[Label]:
-        if self._comment_labels is None:
-            self._scan_candidates()
-        return self._comment_labels
+        labels = self._comment_labels
+        if labels is None:
+            columnar = self._columnar()
+            labels = columnar.labels_for(columnar.comment_ranks)
+            self._comment_labels = labels
+        return labels
 
     def structural_labels(self) -> List[Label]:
-        if self._structural_labels is None:
-            self._scan_candidates()
-        return self._structural_labels
+        labels = self._structural_labels
+        if labels is None:
+            columnar = self._columnar()
+            labels = columnar.labels_for(columnar.structural)
+            self._structural_labels = labels
+        return labels
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self._columnar().tag_ranks
 
     # ------------------------------------------------------------------
     # Values

@@ -1,0 +1,131 @@
+"""Tests for the bit-packed [rank|end|level] single-int labeling."""
+
+import pytest
+
+from repro.baselines import PackedLabeling, PackedLayout, PackedScheme
+from repro.core import Relation
+from repro.core.rankindex import RankIndex
+from repro.errors import NoParentError, NumberingError, UnknownLabelError
+from repro.generator import random_document
+from repro.xmltree import element, parse
+
+
+@pytest.fixture
+def tree():
+    return parse("<a><b><c/><d/></b><e/></a>")
+
+
+class TestLayout:
+    def test_pack_unpack_roundtrip(self):
+        layout = PackedLayout(rank_bits=10, level_bits=4)
+        for rank, end, level in [(0, 0, 0), (5, 9, 3), (1023, 1023, 15)]:
+            assert layout.unpack(layout.pack(rank, end, level)) == (rank, end, level)
+
+    def test_field_overflow_raises(self):
+        layout = PackedLayout(rank_bits=4, level_bits=2)
+        with pytest.raises(NumberingError):
+            layout.pack(16, 0, 0)
+        with pytest.raises(NumberingError):
+            layout.pack(0, 16, 0)
+        with pytest.raises(NumberingError):
+            layout.pack(0, 0, 4)
+
+    def test_for_document_respects_floors(self):
+        layout = PackedLayout.for_document(100, 5)
+        assert layout.rank_bits == 21 and layout.level_bits == 8
+
+    def test_for_document_widens_never_spills(self):
+        layout = PackedLayout.for_document(1 << 22, 300, 21, 8)
+        assert layout.rank_bits >= 22
+        assert layout.level_bits >= 9
+        # widened labels still pack the extreme values
+        layout.pack((1 << 22) - 1, (1 << 22) - 1, 300)
+
+    def test_zero_width_fields_rejected(self):
+        with pytest.raises(NumberingError):
+            PackedLayout(rank_bits=0)
+
+
+class TestStructure:
+    def test_relation(self, tree):
+        labeling = PackedScheme().build(tree)
+        by_tag = {n.tag: labeling.label_of(n) for n in tree.preorder()}
+        assert labeling.relation(by_tag["a"], by_tag["c"]) is Relation.ANCESTOR
+        assert labeling.relation(by_tag["c"], by_tag["d"]) is Relation.PRECEDING
+        assert labeling.relation(by_tag["e"], by_tag["c"]) is Relation.FOLLOWING
+        assert labeling.relation(by_tag["d"], by_tag["b"]) is Relation.DESCENDANT
+        assert labeling.relation(by_tag["a"], by_tag["a"]) is Relation.SELF
+
+    def test_label_order_is_document_order(self):
+        tree = random_document(200, seed=7)
+        labeling = PackedScheme().build(tree)
+        labels = [labeling.label_of(n) for n in tree.preorder()]
+        assert labels == sorted(labels)
+        assert labeling.doc_compare(labels[0], labels[1]) < 0
+        assert labeling.doc_compare(labels[1], labels[1]) == 0
+
+    def test_parent_via_rank_column(self):
+        tree = random_document(150, seed=53)
+        labeling = PackedScheme().build(tree)
+        assert labeling.parent_needs_index
+        for node in tree.preorder():
+            if node.parent is None:
+                with pytest.raises(NoParentError):
+                    labeling.parent_label(labeling.label_of(node))
+            else:
+                assert labeling.parent_label(
+                    labeling.label_of(node)
+                ) == labeling.label_of(node.parent)
+
+    def test_unknown_label_rejected(self, tree):
+        labeling = PackedScheme().build(tree)
+        bogus = max(labeling.snapshot().values()) + 1
+        with pytest.raises(UnknownLabelError):
+            labeling.parent_label(bogus)
+
+    def test_label_bits_and_memory(self, tree):
+        labeling = PackedScheme().build(tree)
+        root_label = labeling.label_of(tree.root)
+        assert labeling.label_bits(root_label) == labeling.layout.total_bits
+        assert labeling.memory_bytes() == tree.size() * 8
+
+
+class TestRankIndexInterop:
+    def test_rank_index_matches_canonical_dfs(self):
+        tree = random_document(120, seed=19)
+        labeling = PackedScheme().build(tree)
+        shifted = labeling.rank_index()
+        canonical = RankIndex.build(labeling, labeling.generation)
+        assert shifted.rank == canonical.rank
+        assert shifted.end == canonical.end
+
+    def test_rank_index_cached_per_generation(self, tree):
+        labeling = PackedScheme().build(tree)
+        assert labeling.rank_index() is labeling.rank_index()
+        labeling.insert(tree.root, 0, element("new"))
+        assert labeling.rank_index().generation == labeling.generation
+
+
+class TestUpdate:
+    def test_insert_relabels_and_stays_consistent(self, tree):
+        labeling = PackedScheme().build(tree)
+        report = labeling.insert(tree.root.children[0], 1, element("new"))
+        assert report.inserted_count == 1
+        for node in tree.preorder():
+            label = labeling.label_of(node)
+            assert labeling.node_of(label) is node
+            if node.parent is not None:
+                assert labeling.parent_label(label) == labeling.label_of(node.parent)
+
+    def test_delete_subtree(self, tree):
+        labeling = PackedScheme().build(tree)
+        report = labeling.delete(tree.root.children[0])
+        assert report.deleted_count == 3
+        labels = [labeling.label_of(n) for n in tree.preorder()]
+        assert labels == sorted(labels)
+
+    def test_custom_widths_survive_reassignment(self, tree):
+        labeling = PackedLabeling(tree, rank_bits=12, level_bits=5)
+        labeling.insert(tree.root, 0, element("new"))
+        assert labeling.layout.rank_bits >= 12
+        assert labeling.layout.level_bits >= 5

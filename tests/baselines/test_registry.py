@@ -24,6 +24,7 @@ class TestRegistry:
             "prepost",
             "region",
             "posdepth",
+            "packed",
         }
 
     def test_get_scheme(self):

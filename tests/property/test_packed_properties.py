@@ -1,0 +1,116 @@
+"""Property tests for the packed scheme: bit-level roundtrips and
+axis-by-axis agreement with the navigational ground truth.
+
+The packed labeling compresses the whole interval scheme into shifts
+and masks over one int, so the properties worth hammering are exactly
+the compression seams: field roundtrips at every width, and agreement
+of the decoded structure with the live tree — before and after random
+update sequences (each reassignment may pick a new layout).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PackedLayout, PackedScheme
+from repro.core import Relation
+from repro.generator import FanOutDistribution, RandomTreeConfig, generate_tree
+from repro.xmltree import element
+
+tree_configs = st.builds(
+    RandomTreeConfig,
+    node_count=st.integers(min_value=1, max_value=120),
+    fan_out=st.builds(
+        FanOutDistribution,
+        kind=st.sampled_from(["uniform", "geometric", "zipf"]),
+        low=st.integers(min_value=1, max_value=2),
+        high=st.integers(min_value=2, max_value=6),
+        mean=st.floats(min_value=1.0, max_value=5.0),
+        exponent=st.floats(min_value=1.1, max_value=2.0),
+        maximum=st.integers(min_value=3, max_value=20),
+    ),
+)
+
+
+class TestPackRoundtrip:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=16),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pack_unpack_identity(self, rank_bits, level_bits, data):
+        layout = PackedLayout(rank_bits=rank_bits, level_bits=level_bits)
+        rank = data.draw(st.integers(min_value=0, max_value=layout.rank_mask))
+        end = data.draw(st.integers(min_value=0, max_value=layout.rank_mask))
+        level = data.draw(st.integers(min_value=0, max_value=layout.level_mask))
+        label = layout.pack(rank, end, level)
+        assert layout.unpack(label) == (rank, end, level)
+        assert label.bit_length() <= layout.total_bits
+        assert layout.rank_of(label) == rank
+        assert layout.end_of(label) == end
+        assert layout.level_of(label) == level
+
+
+def assert_axes_agree(tree, labeling):
+    """Ancestor/descendant/sibling relations decoded from packed labels
+    must match the navigational truth for every sampled pair."""
+    nodes = tree.nodes()
+    sample = nodes[:: max(1, len(nodes) // 14)]
+    label_of = labeling.label_of
+    for first in sample:
+        lf = label_of(first)
+        for second in sample:
+            got = labeling.relation(lf, label_of(second))
+            if first is second:
+                assert got is Relation.SELF
+            elif first.is_ancestor_of(second):
+                assert got is Relation.ANCESTOR
+            elif second.is_ancestor_of(first):
+                assert got is Relation.DESCENDANT
+            elif tree.compare_document_order(first, second) < 0:
+                assert got is Relation.PRECEDING
+            else:
+                assert got is Relation.FOLLOWING
+    # sibling axis: same decoded parent label == same tree parent
+    for first in sample:
+        for second in sample:
+            if first.parent is None or second.parent is None or first is second:
+                continue
+            same_parent = first.parent is second.parent
+            decoded_same = labeling.parent_label(
+                label_of(first)
+            ) == labeling.parent_label(label_of(second))
+            assert decoded_same == same_parent
+
+
+class TestStructuralAgreement:
+    @given(tree_configs, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_axes_match_navigation(self, config, seed):
+        tree = generate_tree(config, seed=seed)
+        assert_axes_agree(tree, PackedScheme().build(tree))
+
+    @given(
+        tree_configs,
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(st.tuples(st.booleans(), st.integers(0, 10**9)), max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_axes_match_after_updates(self, config, seed, plan):
+        tree = generate_tree(config, seed=seed)
+        labeling = PackedScheme().build(tree)
+        rng = random.Random(seed)
+        generations = {labeling.generation}
+        for step, (is_insert, pick) in enumerate(plan):
+            nodes = tree.nodes()
+            node = nodes[pick % len(nodes)]
+            if is_insert or node is tree.root or tree.size() < 3:
+                labeling.insert(node, rng.randint(0, node.fan_out), element(f"u{step}"))
+            else:
+                labeling.delete(node)
+            generations.add(labeling.generation)
+        if plan:
+            assert len(generations) > 1  # updates really bumped generations
+        assert_axes_agree(tree, labeling)
