@@ -6,15 +6,19 @@ experiments (E6, E8, E12) stand on, and tabulate the buffer-pool
 behaviour that turns index probes into disk reads.
 
 E17 (``test_node_store_table`` / ``python benchmarks/bench_storage.py``)
-compares the two NodeStore deployments on the same query workload:
-the all-in-RAM MemoryNodeStore against PagedNodeStore through buffer
-pools of 8, 64 and 512 pages — queries/s and the page hit-rate each
-pool size sustains. ``--quick`` runs the CI smoke: a small document,
-one pool size, and a node-for-node agreement assertion between the
-memory and paged answers.
+compares the NodeStore deployments on the same query workload: the
+all-in-RAM MemoryNodeStore, PagedNodeStore through buffer pools of 8,
+64 and 512 pages (queries/s and the page hit-rate each pool size
+sustains), and SqliteNodeStore re-attached fresh per pass to a
+previously shredded database file (queries/s plus the SQL statements
+issued). ``--quick`` runs the CI smoke: a small document, one pool
+size, and node-for-node agreement assertions between the memory,
+paged and sqlite answers.
 """
 
 import argparse
+import os
+import tempfile
 import time
 
 import pytest
@@ -34,7 +38,7 @@ from repro.storage import (
     encode_value,
 )
 from repro.storage.database import XmlDatabase, label_key
-from repro.store import MemoryNodeStore, PagedNodeStore
+from repro.store import MemoryNodeStore, PagedNodeStore, SqliteNodeStore
 
 _N = 3000
 
@@ -133,9 +137,16 @@ def test_buffer_pool_table():
 
 
 # ----------------------------------------------------------------------
-# E17: memory vs paged NodeStore on one query workload
+# E17: memory vs paged vs sqlite NodeStore on one query workload
 # ----------------------------------------------------------------------
-E17_HEADERS = ("backend", "pool_pages", "queries_per_s", "hit_rate", "page_misses")
+E17_HEADERS = (
+    "backend",
+    "pool_pages",
+    "queries_per_s",
+    "hit_rate",
+    "page_misses",
+    "sql_queries",
+)
 
 #: element-result queries (attribute results have no stored label and
 #: would measure transient-node synthesis instead of store access)
@@ -167,11 +178,14 @@ def _time_queries(engine, queries, repeats):
 
 
 def run_node_store_table(tree, pool_sizes=(8, 64, 512), repeats=3, sink=emit):
-    """Memory vs paged queries/s plus per-pool-size page hit-rates.
+    """Memory vs paged vs sqlite queries/s, with the per-backend I/O
+    column that backend actually pays: page hit-rates for the buffer
+    pool, SQL statements for the accel table.
 
-    Each paged pass attaches a *fresh* store to the shredded document,
-    so Python-side caches start cold and every pass pays real buffer-
-    pool traffic — the hit-rate column reflects the pool, not a dict.
+    Each paged/sqlite pass attaches a *fresh* store to the shredded
+    document, so Python-side caches start cold and every pass pays real
+    buffer-pool (or SQL round-trip) traffic — the I/O columns reflect
+    the backend, not a dict.
     """
     labeling = Ruid2Scheme().build(tree)
     rows = []
@@ -180,7 +194,14 @@ def run_node_store_table(tree, pool_sizes=(8, 64, 512), repeats=3, sink=emit):
     engine = XPathEngine(None, store=memory)
     engine.select(E17_QUERIES[0], "store")  # build candidates once
     rows.append(
-        ("memory", "-", round(_time_queries(engine, E17_QUERIES, repeats), 1), "-", "-")
+        (
+            "memory",
+            "-",
+            round(_time_queries(engine, E17_QUERIES, repeats), 1),
+            "-",
+            "-",
+            "-",
+        )
     )
 
     for pool_pages in pool_sizes:
@@ -206,6 +227,33 @@ def run_node_store_table(tree, pool_sizes=(8, 64, 512), repeats=3, sink=emit):
                 round(ran / elapsed, 1) if elapsed else float("inf"),
                 round(hits / (hits + misses), 3) if hits + misses else "-",
                 misses,
+                "-",
+            )
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "doc.db")
+        SqliteNodeStore.shred("doc", labeling, path=path).close()
+        start = time.perf_counter()
+        ran = 0
+        sql_queries = 0
+        for _ in range(repeats):
+            store = SqliteNodeStore.attach("doc", path=path)
+            sqlite_engine = XPathEngine(None, store=store)
+            for query in E17_QUERIES:
+                sqlite_engine.select(query, "store")
+                ran += 1
+            sql_queries += store.stats.sql_queries
+            store.close()
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                "sqlite",
+                "-",
+                round(ran / elapsed, 1) if elapsed else float("inf"),
+                "-",
+                "-",
+                sql_queries,
             )
         )
     sink(
@@ -252,13 +300,27 @@ def main():
         database = XmlDatabase(page_size=1024, pool_pages=8)
         store = PagedNodeStore(database.store_document("doc", tree, labeling))
         paged_engine = XPathEngine(None, store=store)
+        sqlite_store = SqliteNodeStore.shred("doc", labeling)
+        sqlite_engine = XPathEngine(None, store=sqlite_store)
+        # sqlite labels are preorder ranks; translate back to scheme
+        # labels so all three backends compare in the same key space
+        rank_label = {
+            rank: label for label, rank in labeling.rank_index().rank.items()
+        }
         for query in E17_QUERIES:
             want = _result_keys(
                 memory_engine.store, labeling, memory_engine.select(query, "store")
             )
             got = _result_keys(store, labeling, paged_engine.select(query, "store"))
             assert got == want, f"paged diverged from memory on {query}"
-        print(f"quick: paged == memory on {len(E17_QUERIES)} queries")
+            got = []
+            for node in sqlite_engine.select(query, "store"):
+                try:
+                    got.append(label_key(rank_label[sqlite_store.label_for(node)]))
+                except Exception:
+                    got.append(("attr", node.tag, node.text))
+            assert got == want, f"sqlite diverged from memory on {query}"
+        print(f"quick: paged == sqlite == memory on {len(E17_QUERIES)} queries")
         return
     tree = generate_xmark(scale=0.3, seed=2002)
     run_node_store_table(tree)

@@ -83,13 +83,18 @@ def cmd_label(args: argparse.Namespace) -> int:
 
 
 def _make_store(tree, kind: str):
-    """A NodeStore over *tree*: live labeling (memory) or a shredded
-    in-memory database queried through the buffer pool (paged)."""
+    """A NodeStore over *tree*: live labeling (memory), a shredded
+    in-memory database queried through the buffer pool (paged), or an
+    XPath-Accelerator accel table with SQL axis pushdown (sqlite)."""
     labeling = Ruid2Scheme().build(tree)
     if kind == "memory":
         from repro.store import MemoryNodeStore
 
         return MemoryNodeStore(labeling)
+    if kind == "sqlite":
+        from repro.store import SqliteNodeStore
+
+        return SqliteNodeStore.shred("doc", labeling)
     from repro.storage.database import XmlDatabase
     from repro.store import PagedNodeStore
 
@@ -376,10 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("xpath")
     query.add_argument("--strategy", choices=("ruid", "navigational"), default="ruid")
     query.add_argument(
-        "--store", choices=("memory", "paged"), default=None,
+        "--store", choices=("memory", "paged", "sqlite"), default=None,
         help="evaluate through a NodeStore instead of the live tree "
         "(paged: shred into an in-memory database and query "
-        "through the buffer pool)",
+        "through the buffer pool; sqlite: shred into an "
+        "XPath-Accelerator accel table and push axis steps down as SQL)",
     )
     query.add_argument("--values", action="store_true", help="print string-values")
     query.add_argument(

@@ -40,6 +40,9 @@ class QueryStats:
     synopsis_skips: int = 0
     #: steps evaluated set-at-a-time over the whole frontier
     batched_steps: int = 0
+    #: steps answered wholesale by a store's native engine (SQL axis
+    #: pushdown) without any Python axis evaluation
+    pushdown_steps: int = 0
     #: StoreEvaluator per-tag candidate rank-array cache, keyed by
     #: (store, generation)
     candidate_cache_hits: int = 0

@@ -16,12 +16,17 @@ errors and fetch-time bit flips) with three layers of defence:
    :class:`~repro.store.memory.MemoryNodeStore` for the same document
    generation — correct answers from RAM while the disk path heals.
 
-The two stores speak different label dialects (the paged store hands
-out flattened :func:`~repro.storage.database.label_key` tuples, the
+The stores speak different label dialects (the paged store hands out
+flattened :func:`~repro.storage.database.label_key` tuples, the
 memory store scheme label objects), so the wrapper carries a key map
 built from the memory store's rank index and translates arguments and
-results at the boundary. Consumers see one label space: the paged
-store's.
+results at the boundary. Consumers see one label space: the primary's.
+Rank-labeled primaries — the sqlite store, whose labels *are*
+preorder ranks and whose guarded failure modes
+(:class:`~repro.errors.TransientFetchError` on busy/locked reads,
+:class:`~repro.errors.StorageError` on structural damage) map into
+the same taxonomy — translate by rank instead: ``label_at`` going
+down, ``rank_of`` coming back, no key map at all.
 
 Semantic errors — :class:`~repro.errors.UnknownLabelError` and
 friends — pass through untouched: a label that names no node is wrong
@@ -162,6 +167,15 @@ class ResilientNodeStore(NodeStore):
     # Label translation
     # ------------------------------------------------------------------
     def _mem_label(self, key: Label) -> Label:
+        """Primary-dialect label → fallback label.
+
+        Rank-labeled primaries (the sqlite store hands out preorder
+        ranks directly) translate by rank — ``fallback.label_at`` —
+        with no key map at all; storage-keyed primaries (paged) go
+        through a :func:`label_key` map over the fallback's rank map.
+        """
+        if getattr(self.primary, "labels_are_ranks", False):
+            return self.fallback.label_at(key)
         if self._to_mem is None:
             rank_map = getattr(self.fallback, "rank_map", None)
             if rank_map is None:
@@ -175,6 +189,13 @@ class ResilientNodeStore(NodeStore):
             raise UnknownLabelError(
                 f"label {key!r} unknown to the fallback store"
             ) from None
+
+    def _primary_label(self, value: Label) -> Label:
+        """Fallback label → primary-dialect label (inverse of
+        :meth:`_mem_label`)."""
+        if getattr(self.primary, "labels_are_ranks", False):
+            return self.fallback.rank_of(value)
+        return label_key(value)
 
     def _call(
         self,
@@ -196,11 +217,11 @@ class ResilientNodeStore(NodeStore):
                 mem_args[position] = self._mem_label(args[position])
             value = getattr(self.fallback, opname)(*mem_args)
             if result == "label":
-                return label_key(value)
+                return self._primary_label(value)
             if result == "optional_label":
-                return None if value is None else label_key(value)
+                return None if value is None else self._primary_label(value)
             if result == "labels":
-                return [label_key(v) for v in value]
+                return [self._primary_label(v) for v in value]
             return value
 
     # ------------------------------------------------------------------

@@ -326,20 +326,33 @@ class XmlDatabase:
     def document_names(self) -> List[str]:
         return sorted(self._documents)
 
-    def node_store(self, name: str):
-        """A :class:`~repro.store.paged.PagedNodeStore` over document
-        *name* — the protocol-typed read path (StoreEvaluator,
-        TwigMatcher, fragment reconstruction) against this database's
-        buffer pool. Builds the persisted ranks index on first call
+    def node_store(self, name: str, kind: str = "paged", sqlite_path: str = ":memory:"):
+        """A NodeStore over document *name* — the protocol-typed read
+        path (StoreEvaluator, TwigMatcher, fragment reconstruction).
+
+        ``kind="paged"`` (default) serves through this database's
+        buffer pool: builds the persisted ranks index on first call
         (committed when durable); later calls re-attach to it.
+        ``kind="sqlite"`` shreds into an XPath-Accelerator accel table
+        at *sqlite_path* (``":memory:"`` default) — or attaches to one
+        already shredded there, with no labeling needed.
         """
         # local import: repro.store pulls in the query layer
-        from repro.store.paged import PagedNodeStore
+        if kind == "paged":
+            from repro.store.paged import PagedNodeStore
 
-        store = PagedNodeStore(self.document(name), io_stats=self.stats)
-        if store.built and self.durable:
-            self.commit()
-        return store
+            store = PagedNodeStore(self.document(name), io_stats=self.stats)
+            if store.built and self.durable:
+                self.commit()
+            return store
+        if kind == "sqlite":
+            from repro.store.sqlite import SqliteNodeStore
+
+            document = self.document(name)
+            return SqliteNodeStore(
+                name, labeling=document.labeling, path=sqlite_path
+            )
+        raise ValueError(f"unknown node-store kind {kind!r}")
 
     # ------------------------------------------------------------------
     # Crash-safety lifecycle

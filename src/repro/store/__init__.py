@@ -1,15 +1,18 @@
 """Unified node-access layer (docs/STORAGE_QUERY.md).
 
-One protocol, three deployments: in-memory (live tree + rank index),
-paged (shredded document through the buffer pool), and snapshot
+One protocol, four deployments: in-memory (live tree + rank index),
+paged (shredded document through the buffer pool), snapshot
 (:class:`~repro.concurrent.snapshot.StructuralView`, which implements
-the same protocol from its frozen maps).
+the same protocol from its frozen maps), and sqlite
+(:class:`~repro.store.sqlite.SqliteNodeStore`, the restart-durable
+XPath Accelerator shred with SQL axis pushdown).
 """
 
 from repro.store.base import Label, NodeRecord, NodeStore, StoreStats
 from repro.store.evaluator import StoreEvaluator
 from repro.store.memory import MemoryNodeStore
 from repro.store.paged import PagedNodeStore
+from repro.store.sqlite import SqlAxisPushdown, SqliteNodeStore
 
 __all__ = [
     "Label",
@@ -17,6 +20,8 @@ __all__ = [
     "NodeRecord",
     "NodeStore",
     "PagedNodeStore",
+    "SqlAxisPushdown",
+    "SqliteNodeStore",
     "StoreEvaluator",
     "StoreStats",
 ]

@@ -8,7 +8,7 @@ the operations the read path needs — tag lookup, rank/interval access,
 label → node-record fetch, parent computation — and nothing that ties
 a consumer to a live DOM.
 
-Three implementations cover the system's deployment shapes:
+Four implementations cover the system's deployment shapes:
 
 * :class:`~repro.store.memory.MemoryNodeStore` wraps a live tree plus
   its labeling and rank index (the all-in-RAM configuration every
@@ -18,7 +18,10 @@ Three implementations cover the system's deployment shapes:
   queryable and every fetch is visible as page traffic;
 * :class:`~repro.concurrent.snapshot.StructuralView` is the frozen
   per-generation snapshot the concurrent access layer hands to
-  readers.
+  readers;
+* :class:`~repro.store.sqlite.SqliteNodeStore` shreds into a SQLite
+  accel table (the XPath Accelerator encoding) — the restart-durable
+  shape, with whole axis steps pushed down as SQL range predicates.
 
 Every store charges a :class:`StoreStats` ledger. ``fetches`` counts
 label → record dereferences — the quantity the paper bounds at one per
@@ -75,6 +78,9 @@ class StoreStats:
         "columnar_builds",
         "columnar_slices",
         "columnar_tag_scans",
+        "sql_queries",
+        "sql_rows",
+        "pushdown_steps",
     )
 
     def __init__(self) -> None:
@@ -85,6 +91,11 @@ class StoreStats:
         self.columnar_builds = 0
         self.columnar_slices = 0
         self.columnar_tag_scans = 0
+        # SQL-backed stores only: statements issued, rows drained from
+        # cursors, and whole axis steps answered by SQL pushdown
+        self.sql_queries = 0
+        self.sql_rows = 0
+        self.pushdown_steps = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -95,6 +106,9 @@ class StoreStats:
             "columnar_builds": self.columnar_builds,
             "columnar_slices": self.columnar_slices,
             "columnar_tag_scans": self.columnar_tag_scans,
+            "sql_queries": self.sql_queries,
+            "sql_rows": self.sql_rows,
+            "pushdown_steps": self.pushdown_steps,
         }
 
     def __repr__(self) -> str:
@@ -124,6 +138,14 @@ class NodeStore:
     #: than per-node probing; wrappers that charge per call (the
     #: resilient store) leave this False to keep their call accounting
     supports_batched: bool = False
+    #: an axis-pushdown helper (``step(pres, axis, test, has_doc)``)
+    #: the StoreEvaluator consults before its Python paths, or None;
+    #: only stores whose dialect can answer whole steps natively (the
+    #: SQL store) provide one
+    axis_pushdown = None
+    #: True when the store's labels *are* preorder ranks (plain ints),
+    #: letting dialect-translating wrappers map them by rank
+    labels_are_ranks: bool = False
 
     #: slotted so that slotted implementations (StructuralView) stay
     #: slotted; dict-backed implementations simply don't declare

@@ -57,6 +57,7 @@ class StoreEvaluator(BaseEvaluator):
         store: NodeStore,
         stats: Optional[QueryStats] = None,
         batched: bool = True,
+        pushdown: bool = True,
     ):
         # Deliberately no super().__init__: BaseEvaluator would bind a
         # live tree; everything it reads through self.tree is
@@ -69,6 +70,10 @@ class StoreEvaluator(BaseEvaluator):
         #: False forces the per-node path (the pre-columnar behaviour,
         #: kept for before/after benchmarking)
         self.batched = batched
+        #: False disables store-native axis pushdown (stores that have
+        #: none ignore this); kept switchable so the differential and
+        #: property suites can pin SQL answers against the Python paths
+        self.pushdown = pushdown
         # (labels, ranks) per node test, valid for one (store,
         # generation) pair — repeated steps over the same tag reuse the
         # arrays instead of rebuilding candidate lists
@@ -162,6 +167,19 @@ class StoreEvaluator(BaseEvaluator):
         return pair
 
     def _eval_step(self, nodes: List[XmlNode], step: Step) -> List[XmlNode]:
+        pushdown = self.store.axis_pushdown
+        if (
+            self.pushdown
+            and pushdown is not None
+            and not step.predicates
+            and step.axis in pushdown.AXES
+        ):
+            result = self._eval_step_pushdown(nodes, step, pushdown)
+            if result is not None:
+                self.stats.count("pushdown_steps")
+                if self.deadline is not None:
+                    self.deadline.tick(len(result))
+                return result
         if (
             self.batched
             and self.store.supports_batched
@@ -176,6 +194,37 @@ class StoreEvaluator(BaseEvaluator):
                     self.deadline.tick(len(result))
                 return result
         return super()._eval_step(nodes, step)
+
+    def _eval_step_pushdown(
+        self, nodes: List[XmlNode], step: Step, pushdown
+    ) -> Optional[List[XmlNode]]:
+        """Whole step answered by the store's native engine (one SQL
+        range predicate per axis); None means fall back — unlabelable
+        context or a test the pushdown dialect cannot express."""
+        store = self.store
+        has_doc = False
+        labels: List[Label] = []
+        label_for = store.label_for
+        try:
+            for node in nodes:
+                if node is self.document_node:
+                    has_doc = True
+                else:
+                    labels.append(label_for(node))
+        except UnknownLabelError:
+            return None  # transient attribute context
+        found = pushdown.step(labels, step.axis, step.test, has_doc)
+        if found is None:
+            return None
+        out: List[XmlNode] = []
+        if (
+            has_doc
+            and step.axis == "descendant-or-self"
+            and node_test_matches(self.document_node, step.test, step.axis)
+        ):
+            out.append(self.document_node)
+        out.extend(self._nodes(found))
+        return out
 
     def _eval_step_batched(
         self, nodes: List[XmlNode], step: Step

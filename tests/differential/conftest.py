@@ -21,7 +21,7 @@ from repro.baselines.registry import get_scheme
 from repro.concurrent import SnapshotEvaluator, StructuralView
 from repro.errors import UnknownLabelError
 from repro.storage.database import XmlDatabase, label_key
-from repro.store import PagedNodeStore, StoreEvaluator
+from repro.store import PagedNodeStore, SqliteNodeStore, StoreEvaluator
 from repro.generator import (
     DBLP_QUERIES,
     RandomTreeConfig,
@@ -205,6 +205,62 @@ def paged_select_keys(corpus: str, query: str) -> List:
     return paged_result_keys(store, key_map, evaluator.select(parse_xpath(query)))
 
 
+#: (corpus, scheme) → (sqlite store, evaluator, preorder rank → node_id)
+_sqlite: Dict[Tuple[str, str], Tuple[SqliteNodeStore, StoreEvaluator, Dict]] = {}
+
+
+def build_sqlite(tree, labeling, name: str = "doc"):
+    """Shred (tree, labeling) into an in-memory accel table and return
+    (store, evaluator, key map).
+
+    The key map ties sqlite labels (preorder ranks) back to the source
+    tree's node ids — the shred runs off *labeling*'s own rank index
+    and parent arithmetic, so a buggy scheme diverges here exactly as
+    it would in the snapshot battery.
+    """
+    store = SqliteNodeStore.shred(name, labeling)
+    index = labeling.rank_index()
+    key_map = {
+        rank: labeling.node_of(label).node_id
+        for label, rank in index.rank.items()
+    }
+    return store, StoreEvaluator(store), key_map
+
+
+def sqlite_stack(corpus: str, scheme: str = "ruid2"):
+    key = (corpus, scheme)
+    stack = _sqlite.get(key)
+    if stack is None:
+        labeling = get_scheme(scheme).build(corpus_tree(corpus))
+        _sqlite[key] = stack = build_sqlite(
+            corpus_tree(corpus), labeling, corpus
+        )
+    return stack
+
+
+def sqlite_result_keys(store, key_map, nodes) -> List:
+    """:func:`result_keys` semantics for a sqlite result set."""
+    keys = []
+    for node in nodes:
+        try:
+            label = store.label_for(node)
+        except UnknownLabelError:
+            owner = (
+                key_map.get(store.label_for(node.parent))
+                if node.parent is not None
+                else None
+            )
+            keys.append(("attr", owner, node.tag, node.text))
+            continue
+        keys.append(key_map[label])
+    return keys
+
+
+def sqlite_select_keys(corpus: str, query: str, scheme: str = "ruid2") -> List:
+    store, evaluator, key_map = sqlite_stack(corpus, scheme)
+    return sqlite_result_keys(store, key_map, evaluator.select(parse_xpath(query)))
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _clear_caches_at_exit():
     yield
@@ -213,3 +269,4 @@ def _clear_caches_at_exit():
     _baselines.clear()
     _views.clear()
     _paged.clear()
+    _sqlite.clear()

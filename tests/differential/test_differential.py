@@ -22,12 +22,14 @@ from .conftest import (
     CORPORA,
     baseline_keys,
     build_paged,
+    build_sqlite,
     corpus_engine,
     corpus_tree,
     paged_result_keys,
     paged_select_keys,
     result_keys,
     snapshot_select,
+    sqlite_select_keys,
 )
 
 CASES = [
@@ -49,6 +51,17 @@ class TestSchemeAgreement:
         assert got == baseline_keys(corpus, query), (
             f"scheme {scheme!r} diverged from navigational baseline "
             f"on {corpus}:{query}"
+        )
+
+    def test_sqlite_store_matches_navigational(self, corpus, query, scheme):
+        """The fourth backend: the same (corpus, query, scheme) triple
+        shredded into a sqlite accel table — off *this scheme's* rank
+        index and parent arithmetic — and answered through SQL axis
+        pushdown, node-for-node against navigation."""
+        got = sqlite_select_keys(corpus, query, scheme)
+        assert got == baseline_keys(corpus, query), (
+            f"sqlite store over scheme {scheme!r} diverged from "
+            f"navigational baseline on {corpus}:{query}"
         )
 
 
@@ -91,6 +104,31 @@ def test_paged_store_post_update_and_restore():
             store, key_map, evaluator.select(compile_query(query))
         )
         assert got == want, f"paged store diverged post-update on {query}"
+
+
+def test_sqlite_store_post_update_and_reshred():
+    """After an insert/delete workload the relabeled tree re-shreds
+    into a fresh accel table (new generation stamped in the meta row)
+    that still agrees with navigation on the updated document."""
+    from .conftest import sqlite_result_keys
+
+    tree = CORPORA["xmark"][0]()  # fresh copy; factories are deterministic
+    labeling = get_scheme("ruid2").build(tree)
+    ops = generate_update_workload(
+        tree, UpdateWorkloadConfig(operations=30, insert_fraction=0.7), seed=29
+    )
+    for _report in apply_workload(tree, ops, labeling.insert, labeling.delete):
+        pass
+
+    store, evaluator, key_map = build_sqlite(tree, labeling, "updated")
+    assert store.generation == labeling.generation  # meta row re-stamped
+    engine = XPathEngine(tree)
+    for query in CORPORA["xmark"][1]:
+        want = result_keys(engine.select(query, strategy="navigational"), tree)
+        got = sqlite_result_keys(
+            store, key_map, evaluator.select(parse_xpath(query))
+        )
+        assert got == want, f"sqlite store diverged post-update on {query}"
 
 
 @pytest.mark.parametrize("corpus", list(CORPORA))

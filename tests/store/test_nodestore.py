@@ -1,10 +1,10 @@
 """Unit coverage for the NodeStore protocol and its implementations.
 
-One parametrized battery runs the protocol contract over all three
+One parametrized battery runs the protocol contract over all four
 stores — memory (live tree + rank index), paged (shredded document
-through the buffer pool) and snapshot (frozen StructuralView) — on the
-same document, so a divergent implementation fails the same assertion
-the conforming ones pass. Paged-only behavior (attach vs build, page
+through the buffer pool), snapshot (frozen StructuralView) and sqlite
+(XPath-Accelerator accel table) — on the same document, so a divergent
+implementation fails the same assertion the conforming ones pass. Paged-only behavior (attach vs build, page
 traffic, lazy materialisation) is covered separately, including the
 acceptance case: a query over a document larger than the buffer pool
 completes correctly and reports ``page_misses > 0`` through EXPLAIN
@@ -22,7 +22,12 @@ from repro.errors import StorageError, UnknownLabelError
 from repro.query.engine import XPathEngine
 from repro.query.twig import TwigMatcher
 from repro.storage.database import XmlDatabase, label_key
-from repro.store import MemoryNodeStore, PagedNodeStore, StoreEvaluator
+from repro.store import (
+    MemoryNodeStore,
+    PagedNodeStore,
+    SqliteNodeStore,
+    StoreEvaluator,
+)
 from repro.store.base import NodeRecord, NodeStore
 from repro.xmltree import parse, serialize
 from repro.xmltree.node import NodeKind
@@ -50,10 +55,15 @@ def _snapshot_store(tree, labeling):
     return StructuralView.from_labeling(labeling)
 
 
+def _sqlite_store(tree, labeling):
+    return SqliteNodeStore.shred("doc", labeling)
+
+
 STORE_FACTORIES = {
     "memory": _memory_store,
     "paged": _paged_store,
     "snapshot": _snapshot_store,
+    "sqlite": _sqlite_store,
 }
 
 
@@ -178,12 +188,15 @@ class TestProtocolContract:
 
 def _label_in(store, labeling, node):
     """The store's label for a source-tree node (paged stores use the
-    flattened key of the scheme label)."""
+    flattened key of the scheme label, sqlite stores the preorder
+    rank)."""
     label = labeling.label_of(node)
     if isinstance(store, PagedNodeStore):
         return label_key(label)
     if isinstance(store, StructuralView):
         return node.node_id
+    if isinstance(store, SqliteNodeStore):
+        return labeling.rank_index().rank[label]
     return label
 
 
