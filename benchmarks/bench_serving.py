@@ -1,0 +1,255 @@
+"""E20: sharded serving under open-loop load (scatter-gather SLOs).
+
+The tentpole claim of the serving tier is behavioural: a consistent-
+hash sharded deployment answers XPath exactly like one site — under
+concurrency, under injected site faults, under load shedding — while
+keeping tail latency bounded. This bench drives the asyncio scatter-
+gather executor with an **open-loop** Poisson arrival schedule (the
+harness that does not slow down when the server does) and tables, per
+scenario: delivered fraction, typed shed/unavailable fractions, wrong
+answers (always zero), p50/p95/p99 latency, scatter messages, and
+failovers.
+
+``--quick`` is the CI SLO gate:
+
+* **zero wrong answers** while 30% of scatter messages fail and a
+  site flaps mid-run (every delivered answer is differentially
+  checked against the single-site baseline);
+* every undelivered request failed **typed** (shed or unavailable,
+  bounded rates) — nothing untyped, nothing silent;
+* p99 of delivered requests stays under the budget;
+* the schedule and its unpaced outcomes are **deterministic** under a
+  fixed seed (two fresh runs agree outcome-for-outcome).
+"""
+
+import argparse
+import asyncio
+
+from conftest import emit, emits_table
+from repro.baselines.registry import get_scheme
+from repro.concurrent import StructuralView
+from repro.generator import XMARK_QUERIES, generate_xmark
+from repro.query.engine import XPathEngine
+from repro.resilience import AdmissionController
+from repro.serving import (
+    OpenLoopLoadGenerator,
+    ScatterGatherExecutor,
+    ShardedCluster,
+    poisson_schedule,
+    rank_block_shards,
+)
+from repro.serving.loadgen import _node_key
+from repro.storage.faults import FaultInjector
+
+#: (scenario, sites, rf, transient rate, flap a site mid-run?)
+SCENARIOS = (
+    ("1 site, healthy", 1, 1, 0.0, False),
+    ("2 sites, healthy", 2, 1, 0.0, False),
+    ("4 sites, healthy", 4, 1, 0.0, False),
+    ("4 sites, 10% faults, rf=2", 4, 2, 0.1, False),
+    ("4 sites, 30% faults, rf=2", 4, 2, 0.3, False),
+    ("4 sites, 30% faults + flap, rf=2", 4, 2, 0.3, True),
+)
+
+#: SLO budget for the quick gate (generous: CI machines vary, the
+#: point is catching pathological regressions, not 10% drift)
+QUICK_P99_BUDGET_MS = 250.0
+QUICK_SHED_BUDGET = 0.30
+
+
+def build_stack(tree, sites, rf, seed=2002, paced=False):
+    """(executor, cluster, expected result keys per query)."""
+    labeling = get_scheme("ruid2").build(tree)
+    view = StructuralView.from_labeling(labeling)
+    faults = FaultInjector(seed=seed)
+    cluster = ShardedCluster(
+        site_count=sites,
+        replication_factor=rf,
+        site_latency_s=0.0002 if paced else 0.0,
+        faults=faults,
+        sleep=asyncio.sleep if paced else None,
+    )
+    size = len(view.ids_by_rank)
+    cluster.add_document(
+        "xmark", view, rank_block_shards("xmark", size, max(sites * 2, 4))
+    )
+    executor = ScatterGatherExecutor(
+        cluster,
+        admission=AdmissionController(
+            max_concurrent=64, max_queue=128, queue_timeout_s=0.5
+        ),
+        max_rounds=8,
+        breaker_threshold=50,
+    )
+    engine = XPathEngine(tree)
+    # the differential anchor: every expected key set is the
+    # *navigational* answer — the load run checks sharded results
+    # against single-site ground truth, not against itself
+    expected = {
+        ("xmark", query): _node_key(
+            engine.select(query, strategy="navigational")
+        )
+        for query in XMARK_QUERIES
+    }
+    for query in XMARK_QUERIES:
+        got = _node_key(executor.select_sync("xmark", query))
+        assert got == expected[("xmark", query)], (
+            f"sharded baseline diverged on {query}"
+        )
+    return executor, cluster, expected
+
+
+async def drive(executor, cluster, expected, arrivals, flap, deadline_ms):
+    generator = OpenLoopLoadGenerator(
+        executor, deadline_ms=deadline_ms, pace=True, expected=expected
+    )
+    if not flap:
+        return await generator.run(arrivals)
+
+    async def flapper():
+        victim = sorted(cluster.sites)[0]
+        await asyncio.sleep(0.05)
+        cluster.take_site_down(victim)
+        await asyncio.sleep(0.1)
+        cluster.restore_site(victim)
+        for breaker in executor.breakers.values():
+            breaker.reset()
+
+    run_task = asyncio.ensure_future(generator.run(arrivals))
+    flap_task = asyncio.ensure_future(flapper())
+    report = await run_task
+    await flap_task
+    return report
+
+
+def run_serving_table(tree, count=200, rate_hz=150.0, sink=emit, seed=2002):
+    rows = []
+    reports = []
+    for name, sites, rf, fault_rate, flap in SCENARIOS:
+        executor, cluster, expected = build_stack(
+            tree, sites, rf, seed=seed, paced=True
+        )
+        if fault_rate:
+            cluster.arm_message_faults(transient_rate=fault_rate)
+        workload = [("xmark", query) for query in XMARK_QUERIES]
+        arrivals = poisson_schedule(rate_hz, count, workload, seed=seed)
+        report = asyncio.run(
+            drive(executor, cluster, expected, arrivals, flap, 1000.0)
+        )
+        stats = executor.stats_snapshot()
+        summary = report.summary()
+        rows.append(
+            (
+                name,
+                report.offered,
+                f"{100.0 * report.ok / report.offered:.1f}%",
+                f"{100.0 * report.shed_rate:.1f}%",
+                f"{100.0 * (report.unavailable + report.timeouts) / report.offered:.1f}%",
+                report.wrong,
+                summary["p50_ms"],
+                summary["p95_ms"],
+                summary["p99_ms"],
+                int(stats["scatter_messages"]),
+                int(stats["failovers"]),
+            )
+        )
+        reports.append((name, report, stats))
+        assert report.wrong == 0, f"wrong answers under {name!r}"
+        assert report.errors == 0, f"untyped-adjacent errors under {name!r}"
+    sink(
+        "E20_serving",
+        ("scenario", "offered", "delivered", "shed", "failed",
+         "wrong", "p50 ms", "p95 ms", "p99 ms", "messages", "failovers"),
+        rows,
+        "E20: sharded scatter-gather under open-loop load (correct-or-typed)",
+    )
+    return rows, reports
+
+
+@emits_table
+def test_serving_table(xmark_bench_tree):
+    run_serving_table(xmark_bench_tree, count=240, rate_hz=40.0)
+
+
+def _print_only(experiment, headers, rows, title):
+    from repro.analysis import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def _gate_determinism(tree):
+    """Same seed, two fresh unpaced stacks: identical outcome classes
+    and identical result identities, arrival for arrival."""
+
+    def run_once():
+        executor, cluster, expected = build_stack(
+            tree, 4, 2, seed=7, paced=False
+        )
+        cluster.arm_message_faults(transient_rate=0.3)
+        workload = [("xmark", query) for query in XMARK_QUERIES]
+        arrivals = poisson_schedule(1000.0, 120, workload, seed=7)
+        generator = OpenLoopLoadGenerator(
+            executor, deadline_ms=1000.0, expected=expected
+        )
+        report = generator.run_sync(arrivals)
+        return (
+            [outcome.status for outcome in report.outcomes],
+            [outcome.result_key for outcome in report.outcomes],
+        )
+
+    assert run_once() == run_once(), "seeded load run did not reproduce"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI SLO gate: small document, fault + flap scenarios, "
+        "p99/shed budgets, determinism check (writes "
+        "results/E20_serving_quick.txt for the build artifact)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        tree = generate_xmark(scale=0.05, seed=2002)
+        rows, reports = run_serving_table(
+            tree,
+            count=150,
+            rate_hz=150.0,
+            sink=lambda *a: emit("E20_serving_quick", *a[1:]),
+        )
+        for name, report, _stats in reports:
+            assert report.wrong == 0, f"SLO: wrong answers under {name!r}"
+            assert report.shed_rate <= QUICK_SHED_BUDGET, (
+                f"SLO: shed rate {report.shed_rate:.2f} over budget "
+                f"{QUICK_SHED_BUDGET} under {name!r}"
+            )
+            delivered_or_typed = (
+                report.ok + report.shed + report.unavailable + report.timeouts
+            )
+            assert delivered_or_typed == report.offered, (
+                f"SLO: non-typed outcome classes under {name!r}"
+            )
+            p99_ms = report.percentile_ns(0.99) / 1e6
+            assert p99_ms <= QUICK_P99_BUDGET_MS, (
+                f"SLO: p99 {p99_ms:.1f}ms over {QUICK_P99_BUDGET_MS}ms "
+                f"budget under {name!r}"
+            )
+        healthy = dict((name, report) for name, report, _ in reports)
+        for name in ("1 site, healthy", "4 sites, healthy"):
+            assert healthy[name].ok == healthy[name].offered, (
+                f"SLO: healthy scenario {name!r} dropped requests"
+            )
+        _gate_determinism(tree)
+        print(
+            "quick: SLO gate passed (zero wrong, typed-only failure, "
+            f"p99 <= {QUICK_P99_BUDGET_MS:.0f}ms, deterministic)"
+        )
+        return
+    tree = generate_xmark(scale=0.3, seed=2002)
+    run_serving_table(tree, count=240, rate_hz=40.0)
+
+
+if __name__ == "__main__":
+    main()

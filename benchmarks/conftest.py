@@ -30,6 +30,13 @@ from repro.generator import generate_dblp, generate_xmark
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
+def pytest_collection_modifyitems(items):
+    """Everything collected from benchmarks/ carries the bench marker
+    (deselect repo-wide with ``-m 'not bench'``)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def emits_table(func):
     """Make a table-generating test visible to ``--benchmark-only``.
 

@@ -10,6 +10,7 @@
     python -m repro metrics DOC.xml "//person" "//name" --repeat 3
     python -m repro concurrent DOC.xml "//person" "//name" --threads 4
     python -m repro chaos DOC.xml "//name" --transient 0.3 --repeat 5
+    python -m repro serving DOC.xml "//name" --sites 4 --transient 0.3
     python -m repro fragment DOC.xml "//name" --descendants
     python -m repro update-bench DOC.xml --ops 50
     python -m repro save-params DOC.xml params.bin --directory
@@ -312,6 +313,95 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serving(args: argparse.Namespace) -> int:
+    """Shard a document across a consistent-hash site fleet and drive
+    it with a seeded open-loop load run through the scatter-gather
+    executor; prints placement, the latency report, and serving.*
+    counters. Exits 1 on any wrong answer."""
+    from repro.concurrent import StructuralView
+    from repro.resilience import AdmissionController
+    from repro.serving import (
+        OpenLoopLoadGenerator,
+        ScatterGatherExecutor,
+        ShardedCluster,
+        area_shards,
+        poisson_schedule,
+        rank_block_shards,
+    )
+    from repro.serving.loadgen import _node_key
+    from repro.storage.faults import FaultInjector
+
+    tree = _load(args.file)
+    labeling = Ruid2Scheme().build(tree)
+    view = StructuralView.from_labeling(labeling)
+    size = len(view.ids_by_rank)
+    if args.areas:
+        shards = area_shards("doc", labeling)
+    else:
+        shards = rank_block_shards("doc", size, max(args.sites * 2, 4))
+    cluster = ShardedCluster(
+        site_count=args.sites,
+        replication_factor=args.replicas,
+        faults=FaultInjector(seed=args.seed),
+    )
+    cluster.add_document("doc", view, shards)
+    if args.transient:
+        cluster.arm_message_faults(transient_rate=args.transient)
+    executor = ScatterGatherExecutor(
+        cluster,
+        admission=AdmissionController(max_concurrent=64, max_queue=128),
+        max_rounds=8,
+    )
+
+    engine = XPathEngine(tree)
+    expected = {
+        ("doc", expression): _node_key(
+            engine.select(expression, strategy="navigational")
+        )
+        for expression in args.xpath
+    }
+    workload = [("doc", expression) for expression in args.xpath]
+    arrivals = poisson_schedule(
+        args.rate, args.requests, workload, seed=args.seed
+    )
+    generator = OpenLoopLoadGenerator(
+        executor, deadline_ms=args.deadline_ms, expected=expected
+    )
+    report = generator.run_sync(arrivals)
+
+    print(
+        format_table(
+            ("site", "shards", "messages", "state"),
+            cluster.site_loads(),
+            title=f"{args.sites} sites, rf={args.replicas}, "
+            f"{len(shards)} shards ({'areas' if args.areas else 'rank blocks'})",
+        )
+    )
+    print()
+    summary = report.summary()
+    print(
+        format_table(
+            ("metric", "value"),
+            sorted(summary.items()),
+            title=f"open-loop run: {args.requests} arrivals at "
+            f"{args.rate:.0f}/s, seed {args.seed}",
+        )
+    )
+    print()
+    stats = executor.stats_snapshot()
+    print(
+        format_table(
+            ("counter", "value"),
+            [(key, stats[key]) for key in sorted(stats)],
+            title="serving.*",
+        )
+    )
+    if report.wrong:
+        print(f"error: {report.wrong} wrong answer(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_fragment(args: argparse.Namespace) -> int:
     tree = _load(args.file)
     document = LabeledDocument(tree, partitioner=SizeCapPartitioner(args.max_area_size))
@@ -448,6 +538,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drop the memory fallback: failures surface "
                        "as typed errors instead of degrading")
     chaos.set_defaults(handler=cmd_chaos)
+
+    serving = commands.add_parser(
+        "serving",
+        help="shard a document across a hash-ring site fleet and drive "
+        "it with a seeded open-loop load run",
+    )
+    serving.add_argument("file")
+    serving.add_argument("xpath", nargs="+")
+    serving.add_argument("--sites", type=int, default=4)
+    serving.add_argument("--replicas", type=int, default=2,
+                         help="replica-chain length per shard")
+    serving.add_argument("--areas", action="store_true",
+                         help="shard by rUID areas instead of rank blocks")
+    serving.add_argument("--requests", type=int, default=100)
+    serving.add_argument("--rate", type=float, default=200.0,
+                         help="Poisson arrival rate (requests/second)")
+    serving.add_argument("--deadline-ms", type=float, default=500.0)
+    serving.add_argument("--transient", type=float, default=0.0,
+                         help="injected per-message transient-fault rate")
+    serving.add_argument("--seed", type=int, default=0)
+    serving.set_defaults(handler=cmd_serving)
 
     fragment = commands.add_parser(
         "fragment", help="reconstruct the fragment spanned by a query (section 3.3)"

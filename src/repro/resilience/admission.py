@@ -135,6 +135,62 @@ class AdmissionController:
             self._token_free.notify()
 
     # ------------------------------------------------------------------
+    # Non-blocking surface (the asyncio serving tier's entry points —
+    # an event loop must never park a thread in wait_for, so the async
+    # gate drives the same token bucket through these instead)
+    # ------------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """Take an execution token without waiting; False if none free."""
+        with self._token_free:
+            if self._in_flight < self.max_concurrent:
+                self._in_flight += 1
+                self._admitted += 1
+                self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+                return True
+            return False
+
+    def release(self) -> None:
+        """Return a token taken via :meth:`try_acquire`."""
+        self._release()
+
+    def queue_enter(self) -> None:
+        """Claim a queue slot; typed :class:`Overloaded` when full."""
+        from repro.errors import Overloaded
+
+        with self._token_free:
+            if self._queued >= self.max_queue:
+                self._rejected += 1
+                raise Overloaded(
+                    f"admission queue full ({self._in_flight} in flight, "
+                    f"{self._queued} queued)",
+                    in_flight=self._in_flight,
+                    queue_depth=self._queued,
+                    retry_after_s=self.queue_timeout_s,
+                )
+            self._queued += 1
+            self._peak_queued = max(self._peak_queued, self._queued)
+
+    def queue_exit(self, timed_out: bool = False) -> None:
+        """Leave the queue; a timed-out wait sheds with ``Overloaded``."""
+        from repro.errors import Overloaded
+
+        with self._token_free:
+            self._queued -= 1
+            if not timed_out:
+                return
+            self._timed_out += 1
+            self._rejected += 1
+            in_flight = self._in_flight
+            queued = self._queued
+        raise Overloaded(
+            f"queued {self.queue_timeout_s:.3f}s without obtaining a "
+            f"token ({in_flight} in flight)",
+            in_flight=in_flight,
+            queue_depth=queued,
+            retry_after_s=self.queue_timeout_s,
+        )
+
+    # ------------------------------------------------------------------
     def in_flight(self) -> int:
         with self._lock:
             return self._in_flight

@@ -1,0 +1,51 @@
+"""Sharded async serving tier: ring placement + scatter-gather.
+
+The production-shaped deployment of the paper's numbering schemes:
+documents (or a large document's UID-local areas) are partitioned into
+shards, placed on sites by a consistent-hash ring with virtual nodes,
+and queried through an asyncio scatter-gather executor that reuses the
+resilience kit — deadlines, admission control, per-site circuit
+breakers, seeded backoff — on the event loop. The open-loop load
+generator drives it for the E20 SLO gate. docs/SERVING.md has the
+architecture; tests/serving and tests/property/test_ring_properties.py
+pin the invariants.
+"""
+
+from .cluster import MergeKey, RoutingSynopsis, ServingSite, ShardedCluster
+from .executor import AsyncAdmission, ScatterGatherExecutor
+from .loadgen import (
+    Arrival,
+    ArrivalOutcome,
+    LoadReport,
+    OpenLoopLoadGenerator,
+    poisson_schedule,
+)
+from .ring import ConsistentHashRing, stable_hash
+from .shards import (
+    RankOwnership,
+    Shard,
+    area_shards,
+    rank_block_shards,
+    validate_partition,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalOutcome",
+    "AsyncAdmission",
+    "ConsistentHashRing",
+    "LoadReport",
+    "MergeKey",
+    "OpenLoopLoadGenerator",
+    "RankOwnership",
+    "RoutingSynopsis",
+    "ScatterGatherExecutor",
+    "ServingSite",
+    "Shard",
+    "ShardedCluster",
+    "area_shards",
+    "poisson_schedule",
+    "rank_block_shards",
+    "stable_hash",
+    "validate_partition",
+]

@@ -1,0 +1,457 @@
+"""Asyncio scatter-gather over the sharded cluster.
+
+One coordinator event loop multiplexes thousands of in-flight queries
+instead of holding a thread per request: every network wait (simulated
+site latency, retry backoff, queue waits) is an ``await``, so the loop
+interleaves requests exactly where a real serving tier would.
+
+The resilience primitives are the PR 6 ones, reused on the async path:
+
+* :class:`~repro.resilience.Deadline` rides each request end-to-end —
+  checked before every scatter round and carried into the site-side
+  evaluator's cooperative ticks;
+* a per-site :class:`~repro.resilience.CircuitBreaker` lets the
+  coordinator skip a flapping site for free along the replica chain;
+* retry pacing between failover rounds comes from a seeded
+  :class:`~repro.resilience.BackoffPolicy` (awaited, never slept);
+* :class:`AsyncAdmission` adapts the existing
+  :class:`~repro.resilience.AdmissionController` token bucket to the
+  event loop through its non-blocking surface, keeping the same
+  counters, the same typed :class:`~repro.errors.Overloaded`, and the
+  same ``resilience.admission.*`` gauges.
+
+A scatter either returns the complete, document-ordered answer or
+raises a typed error — there are no partial results. ``serving.*``
+metrics (latency histogram, per-outcome counters) land in the shared
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import OrderedDict
+from time import perf_counter_ns
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ReproError,
+    SiteUnavailableError,
+    TransientFetchError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.query.parser import parse_xpath
+from repro.resilience import AdmissionController, BackoffPolicy, CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.serving.cluster import MergeKey, ShardedCluster
+from repro.xmltree.node import XmlNode
+
+__all__ = ["AsyncAdmission", "ScatterGatherExecutor"]
+
+#: compiled plans kept by the executor's LRU
+PLAN_CACHE_SIZE = 256
+
+#: scatter errors that are retryable along a shard's replica chain
+FAILOVER_ERRORS = (SiteUnavailableError, TransientFetchError)
+
+
+class AsyncAdmission:
+    """Event-loop admission gate over an :class:`AdmissionController`.
+
+    Token accounting, limits, counters and the typed ``Overloaded``
+    all live in the wrapped controller (thread-safe, non-blocking);
+    this class only supplies the *waiting* — an ``asyncio`` future per
+    queued request, woken in FIFO order as tokens free up.
+    """
+
+    def __init__(self, controller: Optional[AdmissionController] = None):
+        self.controller = (
+            controller if controller is not None else AdmissionController()
+        )
+        self._waiters: "OrderedDict[int, asyncio.Future]" = OrderedDict()
+        self._next_ticket = 0
+
+    async def acquire(self) -> None:
+        controller = self.controller
+        if controller.try_acquire():
+            return
+        controller.queue_enter()  # raises Overloaded when the queue is full
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + controller.queue_timeout_s
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                controller.queue_exit(timed_out=True)  # raises Overloaded
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            waiter: asyncio.Future = loop.create_future()
+            self._waiters[ticket] = waiter
+            try:
+                await asyncio.wait_for(waiter, timeout=remaining)
+            except asyncio.TimeoutError:
+                controller.queue_exit(timed_out=True)  # raises Overloaded
+            except BaseException:
+                # cancellation must not leak the queue slot
+                controller.queue_exit(timed_out=False)
+                raise
+            finally:
+                self._waiters.pop(ticket, None)
+            if controller.try_acquire():
+                controller.queue_exit(timed_out=False)
+                return
+            # a raced coroutine took the freed token; re-wait on the
+            # remaining queue budget
+
+    def release(self) -> None:
+        self.controller.release()
+        # wake the longest-waiting queued request (if any)
+        while self._waiters:
+            _ticket, waiter = next(iter(self._waiters.items()))
+            self._waiters.popitem(last=False)
+            if not waiter.done():
+                waiter.set_result(None)
+                break
+
+    def __repr__(self) -> str:
+        return f"<AsyncAdmission over {self.controller!r}>"
+
+
+class ScatterGatherExecutor:
+    """Route → scatter → gather → merge, for one sharded cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The deployment to execute against.
+    admission:
+        Optional :class:`AdmissionController` guarding the tier's edge
+        (wrapped in :class:`AsyncAdmission`); ``None`` admits freely.
+    registry:
+        Shared metrics registry; a private one is created otherwise.
+        ``serving.*`` instruments and the cluster's pull source are
+        registered on it.
+    max_rounds:
+        Walks of a shard's replica chain before the scatter gives up
+        with :class:`SiteUnavailableError`.
+    backoff:
+        Retry pacing between failover rounds; seeded decorrelated
+        jitter by default, awaited through the cluster's injectable
+        ``sleep`` so tests never wait on the wall clock.
+    """
+
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        admission: Optional[AdmissionController] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+        plan_cache_size: int = PLAN_CACHE_SIZE,
+        max_rounds: int = 3,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 0.05,
+    ):
+        self.cluster = cluster
+        self.tracer = tracer
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.admission = (
+            AsyncAdmission(admission) if admission is not None else None
+        )
+        if admission is not None:
+            admission.bind(self.metrics)
+        cluster.bind(self.metrics)
+        self.max_rounds = max_rounds
+        seed = cluster.faults.seed if cluster.faults is not None else 0
+        self.backoff = (
+            backoff
+            if backoff is not None
+            else BackoffPolicy(
+                base=0.001,
+                cap=0.05,
+                jitter="decorrelated",
+                rng=random.Random(seed),
+            )
+        )
+        #: per-site breakers on the coordinator's scatter path
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                f"serving.{name}",
+                failure_threshold=breaker_threshold,
+                backoff=BackoffPolicy(
+                    base=breaker_cooldown_s,
+                    cap=max(breaker_cooldown_s, 2.0),
+                    jitter="decorrelated",
+                    rng=random.Random(seed + index + 1),
+                ),
+            )
+            for index, name in enumerate(sorted(cluster.sites))
+        }
+        self._plan_cache_size = max(1, plan_cache_size)
+        self._plans: "OrderedDict[str, object]" = OrderedDict()
+        self._latency = self.metrics.histogram("serving.latency_ns")
+        self._counters = {
+            name: self.metrics.counter(f"serving.{name}")
+            for name in (
+                "requests",
+                "ok",
+                "shed",
+                "timeouts",
+                "failed",
+                "scatter_messages",
+                "failovers",
+                "breaker_skips",
+                "routed",
+                "broadcasts",
+                "stale_fallbacks",
+                "retry_rounds",
+            )
+        }
+        self._in_flight = self.metrics.gauge("serving.in_flight")
+
+    # ------------------------------------------------------------------
+    def compile(self, expression: str):
+        """Parse through the executor's LRU plan cache (single-loop,
+        so no lock is needed)."""
+        plans = self._plans
+        compiled = plans.get(expression)
+        if compiled is not None:
+            plans.move_to_end(expression)
+            return compiled
+        compiled = parse_xpath(expression)
+        plans[expression] = compiled
+        if len(plans) > self._plan_cache_size:
+            plans.popitem(last=False)
+        return compiled
+
+    # ------------------------------------------------------------------
+    async def select(
+        self,
+        doc: str,
+        expression: str,
+        deadline=None,
+    ) -> List[XmlNode]:
+        """The complete document-ordered node-set of *expression*.
+
+        *deadline* is a :class:`Deadline` or a budget in milliseconds.
+        Raises typed errors only: ``Overloaded`` (shed at the edge),
+        ``QueryTimeout`` (budget exhausted), ``SiteUnavailableError``
+        (a shard's whole replica chain is gone), ``QueryError``
+        (non-node-set expression).
+        """
+        if deadline is not None and not hasattr(deadline, "tick"):
+            deadline = Deadline(float(deadline))
+        counters = self._counters
+        counters["requests"].inc()
+        if self.admission is not None:
+            try:
+                await self.admission.acquire()
+            except ReproError:
+                counters["shed"].inc()
+                raise
+            try:
+                return await self._admitted_select(doc, expression, deadline)
+            finally:
+                self.admission.release()
+        return await self._admitted_select(doc, expression, deadline)
+
+    async def _admitted_select(
+        self, doc: str, expression: str, deadline
+    ) -> List[XmlNode]:
+        counters = self._counters
+        self._in_flight.inc()
+        start = perf_counter_ns()
+        try:
+            compiled = self.compile(expression)
+            shard_ids, routed = self.cluster.route(doc, compiled)
+            if routed:
+                counters["routed"].inc()
+            else:
+                counters["broadcasts"].inc()
+                if self.cluster.synopsis_is_stale(doc):
+                    counters["stale_fallbacks"].inc()
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "serving.stale_fallback", doc=doc,
+                        )
+            if not shard_ids:
+                # the synopsis proves no shard holds a result node;
+                # still a served request, just one costing no messages
+                counters["ok"].inc()
+                return []
+            merged = await self._scatter(doc, compiled, shard_ids, deadline)
+            counters["ok"].inc()
+            return merged
+        except ReproError as exc:
+            from repro.errors import QueryTimeout
+
+            if isinstance(exc, QueryTimeout):
+                counters["timeouts"].inc()
+            else:
+                counters["failed"].inc()
+            raise
+        finally:
+            self._in_flight.dec()
+            self._latency.observe(perf_counter_ns() - start)
+
+    async def _scatter(
+        self,
+        doc: str,
+        compiled,
+        shard_ids: Sequence[str],
+        deadline,
+    ) -> List[XmlNode]:
+        """Fan out over replica chains until every shard answered."""
+        cluster = self.cluster
+        counters = self._counters
+        #: shard_id → index into its replica chain to try next
+        position: Dict[str, int] = {shard: 0 for shard in shard_ids}
+        gathered: Dict[str, List[Tuple[MergeKey, XmlNode]]] = {}
+        delay = 0.0
+        for round_index in range(self.max_rounds):
+            if deadline is not None:
+                deadline.check()
+            pending = [shard for shard in shard_ids if shard not in gathered]
+            if not pending:
+                break
+            if round_index:
+                counters["retry_rounds"].inc()
+                delay = self.backoff.delay(round_index, previous=delay)
+                await cluster.sleep(delay)
+            groups = self._group_by_site(pending, position)
+            if not groups:
+                continue  # every pending chain is breaker-skipped this round
+            tasks = [
+                cluster.call_site(
+                    site_name, doc, compiled, group, deadline=deadline,
+                    tracer=self.tracer,
+                )
+                for site_name, group in groups
+            ]
+            counters["scatter_messages"].inc(len(tasks))
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            for (site_name, group), outcome in zip(groups, outcomes):
+                breaker = self.breakers[site_name]
+                if isinstance(outcome, BaseException):
+                    if not isinstance(outcome, FAILOVER_ERRORS):
+                        raise outcome  # typed but not retryable (timeout etc.)
+                    breaker.record_failure()
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "serving.message_failed",
+                            site=site_name,
+                            error=type(outcome).__name__,
+                        )
+                    for shard in group:
+                        position[shard] += 1
+                    continue
+                breaker.record_success()
+                partials: Dict[str, List[Tuple[MergeKey, XmlNode]]] = {
+                    shard: [] for shard in group
+                }
+                wanted = set(group)
+                for key, node in outcome:
+                    owner = cluster.keyed(doc, node)[1]
+                    if owner in wanted:
+                        partials[owner].append((key, node))
+                for shard in group:
+                    chain_pos = position[shard] % len(
+                        cluster.chains[shard]
+                    )
+                    if chain_pos > 0:
+                        counters["failovers"].inc()
+                        if self.tracer is not None:
+                            self.tracer.event(
+                                "serving.failover",
+                                shard=shard,
+                                site=site_name,
+                                replica_position=chain_pos,
+                            )
+                    gathered[shard] = partials[shard]
+        missing = [shard for shard in shard_ids if shard not in gathered]
+        if missing:
+            raise SiteUnavailableError(
+                f"shards {missing} unreachable after {self.max_rounds} "
+                f"replica-chain rounds"
+            )
+        return self._merge(gathered, shard_ids)
+
+    def _group_by_site(
+        self, pending: Sequence[str], position: Dict[str, int]
+    ) -> List[Tuple[str, List[str]]]:
+        """Group pending shards by the next site on each replica chain,
+        skipping open breakers for free (charged, never contacted)."""
+        cluster = self.cluster
+        groups: Dict[str, List[str]] = {}
+        for shard in pending:
+            chain = cluster.chains[shard]
+            site_name = chain[position[shard] % len(chain)]
+            breaker = self.breakers[site_name]
+            if not breaker.allow():
+                self._counters["breaker_skips"].inc()
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "serving.breaker_open", shard=shard, site=site_name
+                    )
+                position[shard] += 1
+                continue
+            groups.setdefault(site_name, []).append(shard)
+        return sorted(groups.items())
+
+    @staticmethod
+    def _merge(
+        gathered: Dict[str, List[Tuple[MergeKey, XmlNode]]],
+        shard_ids: Sequence[str],
+    ) -> List[XmlNode]:
+        """Gather: shards partition the rank space, so concatenating
+        the disjoint partials and sorting by merge key *is* document
+        order — the same (rank, transient, tag) key the single-site
+        evaluators sort by."""
+        rows: List[Tuple[MergeKey, XmlNode]] = []
+        for shard in shard_ids:
+            rows.extend(gathered[shard])
+        rows.sort(key=lambda row: row[0])
+        return [node for _key, node in rows]
+
+    # ------------------------------------------------------------------
+    def select_sync(
+        self, doc: str, expression: str, deadline=None
+    ) -> List[XmlNode]:
+        """Run one select on a private event loop (CLI / tests)."""
+        return asyncio.run(self.select(doc, expression, deadline=deadline))
+
+    async def select_batch(
+        self, requests: Sequence[Tuple[str, str]], deadline_ms=None
+    ) -> List[object]:
+        """Concurrent selects; element i is the node list for request i
+        or the typed ReproError it raised."""
+
+        async def one(doc: str, expression: str):
+            try:
+                budget = Deadline(deadline_ms) if deadline_ms else None
+                return await self.select(doc, expression, deadline=budget)
+            except ReproError as exc:
+                return exc
+
+        return list(
+            await asyncio.gather(
+                *(one(doc, expression) for doc, expression in requests)
+            )
+        )
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        snapshot = {
+            name: counter.value for name, counter in self._counters.items()
+        }
+        snapshot["in_flight"] = self._in_flight.value
+        snapshot["breakers_open"] = sum(
+            1
+            for breaker in self.breakers.values()
+            if breaker.state == "open"
+        )
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScatterGatherExecutor {self.cluster!r} "
+            f"rounds={self.max_rounds}>"
+        )

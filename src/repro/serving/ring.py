@@ -1,0 +1,138 @@
+"""Consistent-hash ring with virtual nodes.
+
+The serving tier places shard units (documents, or a large document's
+UID-local areas) on sites through a hash ring rather than a modulo so
+that membership changes are *local*: adding or removing one site moves
+only the keys whose ring arcs changed hands — about ``K/n`` of them —
+instead of reshuffling everything. ``vnode_count`` virtual points per
+site smooth the arc lengths so load spreads evenly even with a handful
+of sites.
+
+Hashing is :func:`hashlib.blake2b`-based and therefore **stable across
+process restarts**: routing must never depend on Python's per-process
+``hash()`` randomisation, or a restarted coordinator would disagree
+with its own previous placement. The property suite pins exactly that
+invariant (plus full coverage and the ≤ ``K/n`` + slack movement
+bound).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import StorageError
+
+__all__ = ["ConsistentHashRing", "stable_hash"]
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit hash of *key* that is identical in every process.
+
+    ``PYTHONHASHSEED`` randomises ``hash(str)`` per interpreter, which
+    would make ring placement a per-process accident; blake2b gives a
+    fast keyed-free digest with the same value everywhere.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Maps string keys to site names via a sorted ring of vnode points.
+
+    Parameters
+    ----------
+    sites:
+        Initial site names (order-insensitive: the ring's layout
+        depends only on the set of names and ``vnode_count``).
+    vnode_count:
+        Virtual points per site. More points → smoother balance at the
+        cost of a larger sorted array; 64 keeps the max/min site load
+        ratio low for single-digit site counts.
+    """
+
+    __slots__ = ("vnode_count", "_points", "_sites")
+
+    def __init__(self, sites: Iterable[str] = (), vnode_count: int = 64):
+        if vnode_count < 1:
+            raise StorageError(f"vnode_count must be >= 1, got {vnode_count}")
+        self.vnode_count = vnode_count
+        #: sorted (point hash, site name) pairs; ties (hash collisions
+        #: between different sites) break on the name, deterministically
+        self._points: List[Tuple[int, str]] = []
+        self._sites: set = set()
+        for name in sites:
+            self.add_site(name)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_site(self, name: str) -> None:
+        if name in self._sites:
+            raise StorageError(f"site {name!r} is already on the ring")
+        self._sites.add(name)
+        self._points.extend(
+            (stable_hash(f"{name}#{index}"), name)
+            for index in range(self.vnode_count)
+        )
+        self._points.sort()
+
+    def remove_site(self, name: str) -> None:
+        if name not in self._sites:
+            raise StorageError(f"site {name!r} is not on the ring")
+        self._sites.discard(name)
+        self._points = [point for point in self._points if point[1] != name]
+
+    def sites(self) -> FrozenSet[str]:
+        return frozenset(self._sites)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def site_for(self, key: str) -> str:
+        """The site owning *key*: the first vnode point clockwise."""
+        chain = self.chain_for(key, 1)
+        return chain[0]
+
+    def chain_for(self, key: str, length: int) -> List[str]:
+        """The first ``length`` *distinct* sites clockwise from *key*.
+
+        Element 0 is the primary; the rest are the replica/failover
+        order. Shorter than *length* when the ring has fewer sites.
+        """
+        if not self._points:
+            raise StorageError("hash ring has no sites")
+        if length < 1:
+            raise StorageError(f"chain length must be >= 1, got {length}")
+        points = self._points
+        # sort keys are (hash, name); "￿" makes the probe sort
+        # after every real name at the same hash
+        start = bisect_right(points, (stable_hash(key), "￿"))
+        chain: List[str] = []
+        seen = set()
+        for offset in range(len(points)):
+            site = points[(start + offset) % len(points)][1]
+            if site in seen:
+                continue
+            seen.add(site)
+            chain.append(site)
+            if len(chain) == length:
+                break
+        return chain
+
+    def assignment(self, keys: Sequence[str]) -> Dict[str, str]:
+        """key → primary site for every key (restart-stable)."""
+        return {key: self.site_for(key) for key in keys}
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConsistentHashRing sites={sorted(self._sites)} "
+            f"vnodes={self.vnode_count}>"
+        )

@@ -1,0 +1,184 @@
+"""Shard units: disjoint rank intervals of one document.
+
+A shard owns a set of preorder ranks, represented as sorted disjoint
+inclusive ``(lo, hi)`` intervals. Two planners produce them:
+
+* :func:`rank_block_shards` — ``n`` contiguous rank blocks. Works for
+  every numbering scheme because it only needs the document size; this
+  is what the cross-scheme differential suite shards with.
+* :func:`area_shards` — one shard per UID-local area (the paper's §3
+  frame/area decomposition). Area membership comes from each label's
+  own global index, so the shard boundaries are exactly the units the
+  paper argues are independently relabelable — and the ones
+  :class:`~repro.query.synopsis.TagAreaSynopsis` already routes by.
+
+Every plan must *partition* the document: intervals disjoint and
+covering ``0 .. size-1``. :func:`validate_partition` enforces that at
+cluster-attach time, so a buggy planner fails loudly instead of
+silently dropping result nodes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import StorageError
+
+__all__ = [
+    "Shard",
+    "RankOwnership",
+    "rank_block_shards",
+    "area_shards",
+    "validate_partition",
+]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard unit: a document name plus its owned rank intervals."""
+
+    shard_id: str
+    doc: str
+    #: sorted, disjoint, inclusive (lo, hi) rank intervals
+    intervals: Tuple[Tuple[int, int], ...]
+
+    def owns_rank(self, rank: int) -> bool:
+        intervals = self.intervals
+        index = bisect_right(intervals, (rank, float("inf"))) - 1
+        if index < 0:
+            return False
+        lo, hi = intervals[index]
+        return lo <= rank <= hi
+
+    @property
+    def rank_count(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self.intervals)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Shard {self.shard_id} ranks={self.rank_count} "
+            f"intervals={len(self.intervals)}>"
+        )
+
+
+class RankOwnership:
+    """rank → shard_id lookup over one document's full shard plan.
+
+    Flattens every shard's intervals into one sorted table so the
+    gather/merge path answers "which shard owns this result node" with
+    a single bisect.
+    """
+
+    __slots__ = ("_starts", "_entries", "size")
+
+    def __init__(self, shards: Sequence[Shard], size: int):
+        validate_partition(shards, size)
+        entries: List[Tuple[int, int, str]] = []
+        for shard in shards:
+            for lo, hi in shard.intervals:
+                entries.append((lo, hi, shard.shard_id))
+        entries.sort()
+        self._entries = entries
+        self._starts = [entry[0] for entry in entries]
+        self.size = size
+
+    def owner_of(self, rank: int) -> str:
+        index = bisect_right(self._starts, rank) - 1
+        if index < 0 or not (
+            self._entries[index][0] <= rank <= self._entries[index][1]
+        ):
+            raise StorageError(f"rank {rank} is outside the shard plan")
+        return self._entries[index][2]
+
+
+def validate_partition(shards: Sequence[Shard], size: int) -> None:
+    """Every rank in ``0 .. size-1`` owned by exactly one shard."""
+    if not shards:
+        raise StorageError("shard plan is empty")
+    intervals = sorted(
+        (lo, hi, shard.shard_id)
+        for shard in shards
+        for lo, hi in shard.intervals
+    )
+    cursor = 0
+    for lo, hi, shard_id in intervals:
+        if lo > hi:
+            raise StorageError(f"shard {shard_id}: inverted interval ({lo}, {hi})")
+        if lo != cursor:
+            verb = "overlaps" if lo < cursor else "leaves a gap"
+            raise StorageError(
+                f"shard plan {verb} at rank {min(lo, cursor)} (shard {shard_id})"
+            )
+        cursor = hi + 1
+    if cursor != size:
+        raise StorageError(
+            f"shard plan covers ranks 0..{cursor - 1} but the document "
+            f"has {size}"
+        )
+
+
+def rank_block_shards(doc: str, size: int, shard_count: int) -> List[Shard]:
+    """Split ``0 .. size-1`` into ``shard_count`` contiguous blocks.
+
+    Scheme-agnostic: any labeling with a rank index shards this way.
+    The first ``size % shard_count`` blocks take the extra rank, so
+    sizes differ by at most one.
+    """
+    if size < 1:
+        raise StorageError("cannot shard an empty document")
+    shard_count = min(shard_count, size)
+    if shard_count < 1:
+        raise StorageError(f"shard_count must be >= 1, got {shard_count}")
+    base, extra = divmod(size, shard_count)
+    shards: List[Shard] = []
+    cursor = 0
+    for index in range(shard_count):
+        width = base + (1 if index < extra else 0)
+        shards.append(
+            Shard(
+                shard_id=f"{doc}/s{index}",
+                doc=doc,
+                intervals=((cursor, cursor + width - 1),),
+            )
+        )
+        cursor += width
+    return shards
+
+
+def area_shards(doc: str, labeling) -> List[Shard]:
+    """One shard per UID-local area of a rUID-family *labeling*.
+
+    Each node's owning area is read off its own label
+    (``label.global_index``), and the area's rank set is compressed
+    into maximal runs. Areas are subtrees minus their descendant
+    areas, so a shard usually holds a handful of intervals, not one.
+    """
+    index = labeling.rank_index()
+    runs: Dict[int, List[Tuple[int, int]]] = {}
+    ranks_by_area: Dict[int, List[int]] = {}
+    for node in labeling.tree.preorder():
+        label = labeling.label_of(node)
+        area = label.global_index
+        ranks_by_area.setdefault(area, []).append(index.rank[label])
+    for area, ranks in ranks_by_area.items():
+        ranks.sort()
+        area_runs: List[Tuple[int, int]] = []
+        lo = hi = ranks[0]
+        for rank in ranks[1:]:
+            if rank == hi + 1:
+                hi = rank
+            else:
+                area_runs.append((lo, hi))
+                lo = hi = rank
+        area_runs.append((lo, hi))
+        runs[area] = area_runs
+    return [
+        Shard(
+            shard_id=f"{doc}/a{area}",
+            doc=doc,
+            intervals=tuple(runs[area]),
+        )
+        for area in sorted(runs)
+    ]

@@ -28,7 +28,10 @@ from repro.generator import (
     generate_tree,
     generate_update_workload,
 )
+
 from repro.query.engine import XPathEngine
+
+pytestmark = [pytest.mark.slow, pytest.mark.timeout(120)]
 
 READERS = 8
 OPERATIONS = 30

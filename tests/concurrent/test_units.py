@@ -69,7 +69,13 @@ class TestReadWriteLock:
 
         tw = threading.Thread(target=writer)
         tw.start()
+        # bounded spin: a writer that never queues must fail the test,
+        # not hang it on the wall clock
+        spin_deadline = time.monotonic() + 5.0
         while not lock._writers_waiting:
+            assert time.monotonic() < spin_deadline, (
+                "writer never registered as waiting"
+            )
             time.sleep(0.001)
         tr = threading.Thread(target=late_reader)
         tr.start()

@@ -1,0 +1,128 @@
+"""Property suite for the consistent-hash ring.
+
+The three invariants the serving tier's placement stands on:
+
+* **coverage** — every key maps to a live site, whatever the
+  membership history;
+* **locality** — removing (or adding) one site moves at most about
+  ``K/n`` keys plus a slack term for vnode imbalance, and keys not
+  owned by the changed site never move;
+* **restart stability** — placement is a pure function of the
+  membership set, not of process state, insertion order, or Python's
+  per-process hash randomisation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import ConsistentHashRing
+
+site_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+key_sets = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=120, unique=True
+)
+
+
+@given(sites=site_names, keys=key_sets)
+@settings(max_examples=60, deadline=None)
+def test_every_key_maps_to_a_live_site(sites, keys):
+    ring = ConsistentHashRing(sites)
+    live = ring.sites()
+    for key in keys:
+        assert ring.site_for(key) in live
+
+
+@given(sites=site_names, keys=key_sets, length=st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_chains_are_distinct_live_prefix_stable(sites, keys, length):
+    ring = ConsistentHashRing(sites)
+    live = ring.sites()
+    for key in keys:
+        chain = ring.chain_for(key, length)
+        assert len(chain) == min(length, len(live))
+        assert len(set(chain)) == len(chain)
+        assert all(site in live for site in chain)
+        # a longer chain never reorders the shorter one's prefix
+        assert ring.chain_for(key, 1) == chain[:1]
+
+
+@given(
+    sites=st.lists(
+        st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+        ),
+        min_size=2,
+        max_size=8,
+        unique=True,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_removing_one_site_moves_only_its_keys(sites, data):
+    keys = [f"doc{i}/s{j}" for i in range(40) for j in range(4)]
+    ring = ConsistentHashRing(sites)
+    before = ring.assignment(keys)
+    victim = data.draw(st.sampled_from(sorted(sites)))
+    ring.remove_site(victim)
+    after = ring.assignment(keys)
+    moved = [key for key in keys if before[key] != after[key]]
+    # only keys the victim owned can move...
+    for key in moved:
+        assert before[key] == victim
+    # ...and every one the victim owned must (it no longer exists)
+    for key in keys:
+        if before[key] == victim:
+            assert after[key] != victim
+
+
+@given(sites=site_names)
+@settings(max_examples=40, deadline=None)
+def test_adding_one_site_bounded_movement(sites):
+    new_site = "zz-joining-site"
+    if new_site in sites:
+        sites = [name for name in sites if name != new_site]
+        if not sites:
+            return
+    keys = [f"key-{i}" for i in range(400)]
+    ring = ConsistentHashRing(sites)
+    before = ring.assignment(keys)
+    ring.add_site(new_site)
+    after = ring.assignment(keys)
+    moved = [key for key in keys if before[key] != after[key]]
+    # everything that moved went TO the new site (locality)...
+    for key in moved:
+        assert after[key] == new_site
+    # ...and the amount is ~K/n plus vnode-imbalance slack
+    n = len(ring.sites())
+    expected = len(keys) / n
+    assert len(moved) <= expected * 2.5 + 8, (
+        f"adding 1 of {n} sites moved {len(moved)}/{len(keys)} keys "
+        f"(expected about {expected:.0f})"
+    )
+
+
+@given(sites=site_names, keys=key_sets)
+@settings(max_examples=40, deadline=None)
+def test_restart_and_order_stability(sites, keys):
+    """Two rings built independently — reversed insertion order, or
+    rebuilt after arbitrary add/remove churn that ends at the same
+    membership — agree on every placement."""
+    fresh = ConsistentHashRing(sites).assignment(keys)
+    reordered = ConsistentHashRing(list(reversed(sites))).assignment(keys)
+    assert fresh == reordered
+    churned = ConsistentHashRing(sites)
+    churned.add_site("transient-site")
+    churned.remove_site("transient-site")
+    assert churned.assignment(keys) == fresh

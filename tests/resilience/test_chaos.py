@@ -29,6 +29,8 @@ from tests.differential.conftest import (
 
 NO_SLEEP = lambda seconds: None  # noqa: E731
 
+pytestmark = pytest.mark.chaos
+
 #: corpora small enough to rebuild per seed; queries come with them
 CHAOS_CORPORA = ("site", "random")
 CHAOS_SEEDS = (1, 2, 3)

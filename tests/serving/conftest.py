@@ -1,0 +1,94 @@
+"""Shared builders for the sharded-serving suite.
+
+Clusters are built over the *differential* corpora (same trees, same
+queries, same cached per-scheme views), so every serving test compares
+against the exact navigational baselines the single-site suite pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence, Tuple
+
+from repro.resilience import AdmissionController
+from repro.serving import (
+    ScatterGatherExecutor,
+    ShardedCluster,
+    rank_block_shards,
+)
+from tests.differential.conftest import (  # noqa: F401  (re-exported)
+    CORPORA,
+    baseline_keys,
+    corpus_tree,
+    result_keys,
+    scheme_view,
+)
+
+
+def make_cluster(
+    corpus: str,
+    scheme: str = "ruid2",
+    site_count: int = 4,
+    replication_factor: int = 1,
+    shard_count: Optional[int] = None,
+    **cluster_kw,
+) -> ShardedCluster:
+    """A cluster serving *corpus* (as labeled by *scheme*) with a
+    contiguous rank-block shard plan — more shards than sites so every
+    site hosts several."""
+    view = scheme_view(corpus, scheme)
+    size = len(view.ids_by_rank)
+    if shard_count is None:
+        shard_count = max(site_count * 2, 4)
+    cluster = ShardedCluster(
+        site_count=site_count,
+        replication_factor=replication_factor,
+        **cluster_kw,
+    )
+    cluster.add_document(corpus, view, rank_block_shards(corpus, size, shard_count))
+    return cluster
+
+
+def make_executor(
+    corpus: str,
+    scheme: str = "ruid2",
+    site_count: int = 4,
+    replication_factor: int = 1,
+    admission: Optional[AdmissionController] = None,
+    **kw,
+) -> Tuple[ShardedCluster, ScatterGatherExecutor]:
+    cluster_kw = {
+        key: kw.pop(key)
+        for key in ("shard_count", "site_latency_s", "faults", "sleep", "vnode_count")
+        if key in kw
+    }
+    cluster = make_cluster(
+        corpus,
+        scheme,
+        site_count=site_count,
+        replication_factor=replication_factor,
+        **cluster_kw,
+    )
+    return cluster, ScatterGatherExecutor(cluster, admission=admission, **kw)
+
+
+def sharded_keys(executor: ScatterGatherExecutor, corpus: str, query: str) -> List:
+    """Comparable result identities of one scatter-gathered select."""
+    return result_keys(executor.select_sync(corpus, query), corpus_tree(corpus))
+
+
+async def gather_keys(
+    executor: ScatterGatherExecutor,
+    corpus: str,
+    queries: Sequence[str],
+    deadline_ms: Optional[float] = None,
+) -> List[List]:
+    """Run *queries* concurrently on one event loop; keys per query."""
+    results = await asyncio.gather(
+        *(
+            executor.select(corpus, query, deadline=deadline_ms)
+            for query in queries
+        )
+    )
+    tree = corpus_tree(corpus)
+    return [result_keys(nodes, tree) for nodes in results]

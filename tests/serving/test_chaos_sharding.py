@@ -1,0 +1,178 @@
+"""Chaos under sharding: outages, transients, and latency spikes
+composed with the async scatter-gather path.
+
+The PR 6 invariant, restated for the serving tier: under injected
+faults a query either returns the **baseline-correct answer** or
+raises a **typed ReproError** — never a wrong answer, never an untyped
+crash, and (injected async sleeps only) never a wall-clock hang. All
+chaos is seeded; every assertion message carries the seed so a failure
+reproduces from the log line alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage import FaultInjector
+
+from .conftest import (
+    CORPORA,
+    baseline_keys,
+    corpus_tree,
+    make_executor,
+    result_keys,
+)
+
+pytestmark = [pytest.mark.chaos, pytest.mark.timeout(120)]
+
+CHAOS_CORPORA = ("site", "random")
+CHAOS_SEEDS = (1, 2, 3)
+
+
+def run_schedule(executor, corpus, queries, deadline_ms=None, repeats=2):
+    """Fire the query list *repeats* times concurrently; returns
+    [(query, outcome)] where outcome is a node list or the raised
+    typed error (anything untyped propagates and fails the test)."""
+
+    async def one(query):
+        try:
+            nodes = await executor.select(
+                corpus, query, deadline=deadline_ms
+            )
+        except ReproError as exc:
+            return exc
+        return nodes
+
+    async def run():
+        plan = list(queries) * repeats
+        results = await asyncio.gather(*(one(query) for query in plan))
+        return list(zip(plan, results))
+
+    return asyncio.run(run())
+
+
+def assert_correct_or_typed(corpus, outcomes, seed, context):
+    tree = corpus_tree(corpus)
+    correct = typed = 0
+    for query, outcome in outcomes:
+        if isinstance(outcome, ReproError):
+            typed += 1
+            continue
+        assert result_keys(outcome, tree) == baseline_keys(corpus, query), (
+            f"WRONG ANSWER under chaos (seed {seed}, {context}) "
+            f"on {corpus}:{query}"
+        )
+        correct += 1
+    return correct, typed
+
+
+@pytest.mark.parametrize("corpus", CHAOS_CORPORA)
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_transients_with_replicas_stay_correct(corpus, seed):
+    """30% per-message transient faults, rf=2: retries and failovers
+    must absorb everything — every single answer baseline-correct."""
+    faults = FaultInjector(seed=seed)
+    # 8 failover rounds: a chain only exhausts with probability
+    # 0.3^8 ≈ 7e-5, so with these fixed seeds every chain gets through
+    _cluster, executor = make_executor(
+        corpus, site_count=4, replication_factor=2, faults=faults,
+        max_rounds=8, breaker_threshold=50,
+    )
+    _cluster.arm_message_faults(transient_rate=0.3)
+    outcomes = run_schedule(executor, corpus, CORPORA[corpus][1])
+    correct, typed = assert_correct_or_typed(
+        corpus, outcomes, seed, "transients rf=2"
+    )
+    assert correct == len(outcomes), (
+        f"seed {seed}: {typed} queries failed although every shard had "
+        f"a live replica and transients are retryable"
+    )
+
+
+@pytest.mark.parametrize("corpus", CHAOS_CORPORA)
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_site_outages_correct_or_typed(corpus, seed):
+    """A random site dies (unreplicated plan): shards it hosted answer
+    with typed SiteUnavailableError, everything else stays exact."""
+    faults = FaultInjector(seed=seed)
+    cluster, executor = make_executor(
+        corpus, site_count=4, replication_factor=1, faults=faults
+    )
+    victim = faults.take_random_site_down(sorted(cluster.sites))
+    outcomes = run_schedule(executor, corpus, CORPORA[corpus][1])
+    correct, typed = assert_correct_or_typed(
+        corpus, outcomes, seed, f"outage of {victim}"
+    )
+    assert correct + typed == len(outcomes)
+    faults.restore_site(victim)
+    # the operator's heal step: the coordinator's breakers tripped on
+    # the dead site and would otherwise hold their cooldown window
+    for breaker in executor.breakers.values():
+        breaker.reset()
+    healed = run_schedule(executor, corpus, CORPORA[corpus][1], repeats=1)
+    correct, typed = assert_correct_or_typed(
+        corpus, healed, seed, f"after restoring {victim}"
+    )
+    assert typed == 0, (
+        f"seed {seed}: queries still failing after {victim} came back"
+    )
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_everything_at_once(seed):
+    """Outage + transients + latency spikes + tight-ish deadlines, all
+    composed: still correct-or-typed, and the run terminates without
+    real sleeping (the spike sleep is the cluster's injected no-op)."""
+    corpus = "site"
+    faults = FaultInjector(seed=seed)
+    cluster, executor = make_executor(
+        corpus,
+        site_count=4,
+        replication_factor=2,
+        faults=faults,
+        site_latency_s=0.0005,
+    )
+    cluster.arm_message_faults(
+        transient_rate=0.2, spike_rate=0.2, spike_s=0.005
+    )
+    victim = faults.take_random_site_down(sorted(cluster.sites))
+    outcomes = run_schedule(
+        executor, corpus, CORPORA[corpus][1], deadline_ms=250.0, repeats=3
+    )
+    correct, typed = assert_correct_or_typed(
+        corpus, outcomes, seed, f"composed chaos, {victim} down"
+    )
+    assert correct + typed == len(outcomes)
+    assert correct > 0, (
+        f"seed {seed}: composed chaos shed every query; rf=2 should "
+        f"keep most shards reachable"
+    )
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_chaos_is_reproducible_from_seed(seed):
+    """Two runs with the same seed inject the same faults and produce
+    the same per-query outcome classes — the property that makes
+    'reproduces from the log line' true."""
+
+    def run_once():
+        faults = FaultInjector(seed=seed)
+        cluster, executor = make_executor(
+            "site", site_count=4, replication_factor=2, faults=faults
+        )
+        cluster.arm_message_faults(transient_rate=0.3, spike_rate=0.1, spike_s=0.001)
+        outcomes = run_schedule(executor, "site", CORPORA["site"][1])
+        classes = [
+            type(outcome).__name__
+            if isinstance(outcome, ReproError)
+            else "ok"
+            for _query, outcome in outcomes
+        ]
+        return classes, dict(cluster.injected)
+
+    first = run_once()
+    second = run_once()
+    assert first == second, f"seed {seed} did not reproduce its own run"

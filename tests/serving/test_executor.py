@@ -1,0 +1,270 @@
+"""Scatter-gather executor behavior: routing, resilience, metrics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    Overloaded,
+    QueryError,
+    QueryTimeout,
+    SiteUnavailableError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.resilience import AdmissionController
+from repro.serving import AsyncAdmission, ScatterGatherExecutor
+
+from .conftest import baseline_keys, make_executor, sharded_keys
+
+pytestmark = pytest.mark.timeout(60)
+
+
+class TestRouting:
+    def test_concrete_name_test_routes(self):
+        cluster, executor = make_executor("site")
+        shard_ids, routed = cluster.route("site", executor.compile("//name"))
+        assert routed
+        assert set(shard_ids) < set(cluster.shard_ids("site"))
+        assert sharded_keys(executor, "site", "//name") == baseline_keys(
+            "site", "//name"
+        )
+        assert executor.stats_snapshot()["routed"] == 1
+
+    def test_union_routes_to_union_of_tags(self):
+        cluster, executor = make_executor("site")
+        union_ids, routed = cluster.route(
+            "site", executor.compile("//age | //price")
+        )
+        assert routed
+        age_ids, _ = cluster.route("site", executor.compile("//age"))
+        price_ids, _ = cluster.route("site", executor.compile("//price"))
+        assert set(union_ids) == set(age_ids) | set(price_ids)
+
+    def test_unprunable_finals_broadcast(self):
+        cluster, executor = make_executor("site")
+        everything = set(cluster.shard_ids("site"))
+        for query in ("//person/..", "//item/name/text()", "//*", "//person/@id"):
+            shard_ids, routed = cluster.route("site", executor.compile(query))
+            assert not routed, query
+            assert set(shard_ids) == everything
+
+    def test_absent_tag_answers_empty_without_scatter(self):
+        cluster, executor = make_executor("site")
+        before = cluster.total_messages()
+        assert executor.select_sync("site", "//nosuchtag") == []
+        assert cluster.total_messages() == before
+
+    def test_stale_synopsis_broadcasts_until_resync(self):
+        cluster, executor = make_executor("site")
+        routed_ids, _ = cluster.route("site", executor.compile("//name"))
+        cluster.bump_epoch("site")
+        assert cluster.synopsis_is_stale("site")
+        shard_ids, routed = cluster.route("site", executor.compile("//name"))
+        assert not routed
+        assert set(shard_ids) == set(cluster.shard_ids("site"))
+        # answers stay correct while stale (broadcast is a superset)
+        assert sharded_keys(executor, "site", "//name") == baseline_keys(
+            "site", "//name"
+        )
+        assert executor.stats_snapshot()["stale_fallbacks"] == 1
+        cluster.resync("site")
+        assert not cluster.synopsis_is_stale("site")
+        again, routed = cluster.route("site", executor.compile("//name"))
+        assert routed and again == routed_ids
+
+
+class TestTypedFailures:
+    def test_scalar_expression_is_query_error(self):
+        _cluster, executor = make_executor("site")
+        with pytest.raises(QueryError):
+            executor.select_sync("site", "count(//name)")
+        assert executor.stats_snapshot()["failed"] == 1
+
+    def test_deadline_exhaustion_is_query_timeout(self):
+        _cluster, executor = make_executor("xmark")
+        with pytest.raises(QueryTimeout):
+            executor.select_sync("xmark", "//keyword/ancestor::*", deadline=0.000001)
+        assert executor.stats_snapshot()["timeouts"] == 1
+
+    def test_whole_chain_down_is_site_unavailable(self):
+        cluster, executor = make_executor("site", replication_factor=2)
+        for name in cluster.sites:
+            cluster.take_site_down(name)
+        with pytest.raises(SiteUnavailableError):
+            executor.select_sync("site", "//name")
+        stats = executor.stats_snapshot()
+        assert stats["failed"] == 1 and stats["ok"] == 0
+
+    def test_admission_shed_is_typed_overloaded(self):
+        admission = AdmissionController(
+            max_concurrent=1, max_queue=0, queue_timeout_s=0.05
+        )
+        _cluster, executor = make_executor("site", admission=admission)
+
+        async def burst():
+            results = await asyncio.gather(
+                *(executor.select("site", "//name") for _ in range(6)),
+                return_exceptions=True,
+            )
+            return results
+
+        results = asyncio.run(burst())
+        ok = [r for r in results if isinstance(r, list)]
+        shed = [r for r in results if isinstance(r, Overloaded)]
+        assert len(ok) + len(shed) == 6 and shed, (
+            "burst must split into served + typed Overloaded"
+        )
+        stats = executor.stats_snapshot()
+        assert stats["shed"] == len(shed)
+        for nodes in ok:
+            assert [n.node_id for n in nodes]
+
+
+class TestFailover:
+    def test_primary_down_replica_answers(self):
+        cluster, executor = make_executor("site", replication_factor=2)
+        victim = cluster.chains[sorted(cluster.chains)[0]][0]
+        cluster.take_site_down(victim)
+        assert sharded_keys(executor, "site", "//name") == baseline_keys(
+            "site", "//name"
+        )
+        stats = executor.stats_snapshot()
+        assert stats["ok"] == 1
+        assert stats["failovers"] >= 1
+
+    def test_restore_returns_to_primary(self):
+        cluster, executor = make_executor("site", replication_factor=2)
+        victim = cluster.chains[sorted(cluster.chains)[0]][0]
+        cluster.take_site_down(victim)
+        sharded_keys(executor, "site", "//name")
+        cluster.restore_site(victim)
+        before = executor.stats_snapshot()["failovers"]
+        assert sharded_keys(executor, "site", "//name") == baseline_keys(
+            "site", "//name"
+        )
+        assert executor.stats_snapshot()["failovers"] == before
+
+    def test_never_partial_results(self):
+        """A scatter with one unreachable shard chain raises; it never
+        returns the reachable subset as if it were the answer."""
+        cluster, executor = make_executor("site", replication_factor=1)
+        victim = cluster.chains[sorted(cluster.chains)[0]][0]
+        cluster.take_site_down(victim)
+        with pytest.raises(SiteUnavailableError):
+            executor.select_sync("site", "//*")
+        assert executor.stats_snapshot()["ok"] == 0
+
+
+class TestObservability:
+    def test_serving_metrics_rows(self):
+        registry = MetricsRegistry()
+        _cluster, executor = make_executor("site", registry=registry)
+        executor.select_sync("site", "//name")
+        names = {name for name, _value in registry.rows()}
+        for expected in (
+            "serving.requests",
+            "serving.ok",
+            "serving.latency_ns.p99",
+            "serving.cluster.messages",
+            "serving.cluster.sites",
+        ):
+            assert expected in names, expected
+        snapshot = dict(registry.rows())
+        assert snapshot["serving.requests"] == 1
+        assert snapshot["serving.cluster.messages"] >= 1
+
+    def test_traced_scatter_emits_site_spans(self):
+        tracer = Tracer()
+        _cluster, executor = make_executor("site", tracer=tracer)
+        executor.select_sync("site", "//name")
+        names = [span.name for span in tracer.finished()]
+        assert "serving.site_call" in names
+
+
+class TestAsyncAdmission:
+    def test_waiters_wake_in_fifo_order(self):
+        admission = AsyncAdmission(
+            AdmissionController(max_concurrent=1, max_queue=4, queue_timeout_s=5.0)
+        )
+        order = []
+
+        async def worker(tag):
+            await admission.acquire()
+            try:
+                order.append(tag)
+                await asyncio.sleep(0)
+            finally:
+                admission.release()
+
+        async def run():
+            await asyncio.gather(*(worker(i) for i in range(5)))
+
+        asyncio.run(run())
+        assert sorted(order) == list(range(5))
+        stats = admission.controller.as_dict()
+        assert stats["admitted"] == 5 and stats["rejected"] == 0
+        assert stats["in_flight"] == 0 and stats["queue_depth"] == 0
+
+    def test_queue_overflow_sheds_immediately(self):
+        admission = AsyncAdmission(
+            AdmissionController(max_concurrent=1, max_queue=1, queue_timeout_s=5.0)
+        )
+
+        async def run():
+            await admission.acquire()  # token taken
+            queued = asyncio.ensure_future(admission.acquire())
+            await asyncio.sleep(0)  # let it enter the queue
+            with pytest.raises(Overloaded):
+                await admission.acquire()  # queue full -> typed shed
+            admission.release()
+            await queued
+            admission.release()
+
+        asyncio.run(run())
+        assert admission.controller.as_dict()["rejected"] == 1
+
+    def test_queue_timeout_sheds_typed(self):
+        admission = AsyncAdmission(
+            AdmissionController(
+                max_concurrent=1, max_queue=2, queue_timeout_s=0.02
+            )
+        )
+
+        async def run():
+            await admission.acquire()
+            with pytest.raises(Overloaded):
+                await admission.acquire()
+            admission.release()
+
+        asyncio.run(run())
+        stats = admission.controller.as_dict()
+        assert stats["timed_out"] == 1
+        assert stats["queue_depth"] == 0, "timed-out waiter leaked its slot"
+
+
+class TestBatch:
+    def test_select_batch_mixes_results_and_typed_errors(self):
+        _cluster, executor = make_executor("site")
+
+        async def run():
+            return await executor.select_batch(
+                [
+                    ("site", "//name"),
+                    ("site", "count(//name)"),
+                    ("site", "//nosuchtag"),
+                ]
+            )
+
+        good, bad, empty = asyncio.run(run())
+        assert [n.node_id for n in good]
+        assert isinstance(bad, QueryError)
+        assert empty == []
+
+    def test_plan_cache_bounded(self):
+        _cluster, executor = make_executor("site", plan_cache_size=2)
+        for tag in ("a", "b", "c", "d"):
+            executor.compile(f"//{tag}")
+        assert len(executor._plans) == 2

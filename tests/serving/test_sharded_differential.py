@@ -1,0 +1,134 @@
+"""Differential correctness of the sharded serving path.
+
+The whole single-site differential matrix — every scheme × corpus ×
+query — runs again through the scatter-gather executor at 1, 2, and 4
+sites, and must agree **node for node** with the navigational
+baseline. One site degenerates to the single-site evaluator (a sanity
+anchor); 2 and 4 sites exercise routing, per-site filtering, and the
+gather merge. A final battery re-runs the matrix while a site fails
+over mid-suite, because correctness that only holds on the happy path
+is not correctness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.baselines.registry import scheme_names
+from repro.resilience import AdmissionController
+
+from .conftest import (
+    CORPORA,
+    baseline_keys,
+    gather_keys,
+    make_executor,
+)
+
+pytestmark = pytest.mark.timeout(120)
+
+SCHEMES = scheme_names()
+SITE_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_sharded_matches_navigational(scheme, corpus):
+    """scheme × corpus, all queries, at 1/2/4 sites, one event loop."""
+    queries = CORPORA[corpus][1]
+    expected = [baseline_keys(corpus, query) for query in queries]
+    for site_count in SITE_COUNTS:
+        _cluster, executor = make_executor(
+            corpus, scheme, site_count=site_count
+        )
+        got = asyncio.run(gather_keys(executor, corpus, queries))
+        for query, want, keys in zip(queries, expected, got):
+            assert keys == want, (
+                f"scheme {scheme!r} diverged from navigational baseline "
+                f"on {corpus}:{query} at {site_count} sites"
+            )
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+def test_sharded_agrees_across_site_counts(corpus):
+    """1-, 2-, and 4-site deployments return byte-identical key lists
+    (not just each-correct: the merge order itself is deployment-
+    independent)."""
+    queries = CORPORA[corpus][1]
+    per_count = {}
+    for site_count in SITE_COUNTS:
+        _cluster, executor = make_executor(corpus, site_count=site_count)
+        per_count[site_count] = asyncio.run(
+            gather_keys(executor, corpus, queries)
+        )
+    assert per_count[1] == per_count[2] == per_count[4]
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+def test_agreement_survives_mid_suite_failover(corpus):
+    """Replicated deployment: the first half of the query set runs
+    healthy, a primary dies, the second half (plus a re-run of the
+    first) must still match the baseline node for node."""
+    queries = list(CORPORA[corpus][1])
+    cluster, executor = make_executor(
+        corpus, site_count=4, replication_factor=2
+    )
+    half = max(1, len(queries) // 2)
+    first = asyncio.run(gather_keys(executor, corpus, queries[:half]))
+    for query, keys in zip(queries[:half], first):
+        assert keys == baseline_keys(corpus, query)
+
+    victim = cluster.chains[sorted(cluster.chains)[0]][0]
+    cluster.take_site_down(victim)
+
+    second = asyncio.run(gather_keys(executor, corpus, queries))
+    for query, keys in zip(queries, second):
+        assert keys == baseline_keys(corpus, query), (
+            f"{corpus}:{query} diverged after failover of {victim}"
+        )
+    assert executor.stats_snapshot()["failovers"] >= 1
+
+    cluster.restore_site(victim)
+    third = asyncio.run(gather_keys(executor, corpus, queries))
+    for query, keys in zip(queries, third):
+        assert keys == baseline_keys(corpus, query)
+
+
+def test_admitted_concurrent_matrix_stays_correct():
+    """The whole site-corpus query set in flight at once behind a
+    small admission gate: everything admitted is exactly right, and
+    everything else is a typed shed — wrong answers are the only
+    forbidden outcome."""
+    from repro.errors import Overloaded
+
+    corpus = "site"
+    queries = CORPORA[corpus][1]
+    admission = AdmissionController(
+        max_concurrent=2, max_queue=2, queue_timeout_s=0.5
+    )
+    _cluster, executor = make_executor(
+        corpus, site_count=4, admission=admission
+    )
+
+    async def run():
+        return await asyncio.gather(
+            *(
+                executor.select(corpus, query)
+                for query in queries * 4
+            ),
+            return_exceptions=True,
+        )
+
+    results = asyncio.run(run())
+    from .conftest import corpus_tree, result_keys
+
+    tree = corpus_tree(corpus)
+    served = 0
+    for query, outcome in zip(list(queries) * 4, results):
+        if isinstance(outcome, Overloaded):
+            continue
+        assert not isinstance(outcome, BaseException), outcome
+        assert result_keys(outcome, tree) == baseline_keys(corpus, query)
+        served += 1
+    assert served >= 1
