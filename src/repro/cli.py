@@ -187,6 +187,21 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
     tree = _load(args.file)
     document = ConcurrentDocument(tree, scheme=args.scheme)
     executor = ParallelQueryExecutor(document, threads=args.threads)
+    if args.update:
+        # exercise the O(delta) write path before querying: random
+        # single-subtree edits published as chained delta views
+        from repro.generator import UpdateWorkloadConfig, apply_workload, \
+            generate_update_workload
+
+        with document.pin():
+            pass  # materialise the base so writers publish deltas
+        operations = generate_update_workload(
+            tree, UpdateWorkloadConfig(operations=args.update), seed=11
+        )
+        for _report in apply_workload(
+            tree, operations, document.insert, document.delete
+        ):
+            pass
     with document.pin() as snapshot:
         serial = executor.select_batch(args.xpath, threads=1, snapshot=snapshot)
         for _ in range(max(1, args.repeat)):
@@ -517,6 +532,11 @@ def build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--scheme", choices=scheme_names(), default="ruid2")
     concurrent.add_argument("--threads", type=int, default=4)
     concurrent.add_argument("--repeat", type=int, default=1)
+    concurrent.add_argument(
+        "--update", type=int, default=0, metavar="N",
+        help="apply N random structural edits first (delta-view write "
+        "path), then query; publish counters appear in the stats table",
+    )
     concurrent.set_defaults(handler=cmd_concurrent)
 
     chaos = commands.add_parser(

@@ -1,0 +1,107 @@
+"""Area-scoped writer admission: subtree locks over shard units.
+
+The paper's §3 frame/area decomposition argues that a rUID area is the
+unit a structural update can relabel independently; the serving tier
+already materialises those areas as :class:`~repro.serving.shards.Shard`
+rank intervals. :class:`AreaLockManager` reuses the same shard plan as
+**write-lock units**: a writer locks exactly the shards whose rank
+intervals its target subtree overlaps, so writers editing disjoint
+areas are admitted concurrently instead of queueing on one global
+writer gate.
+
+Honest scope (docs/CONCURRENCY.md): the structural splice itself —
+DOM mutation, relabeling and delta-view publish — still serialises on
+the document's global write lock, because delta chaining needs a
+linear generation history. What area locks buy is everything *around*
+that short critical section: logical-transaction work, and above all
+the group-commit WAL wait, overlap between disjoint-area writers,
+while two writers aimed at the same subtree serialise early, before
+either touches shared state.
+
+Lock ordering: shard ids are acquired in sorted order (two writers
+with overlapping scopes cannot deadlock), and area locks sit strictly
+*outside* the document's RW lock — never acquire an area lock while
+holding it.
+
+The shard plan is frozen at :meth:`ConcurrentDocument.enable_area_locks`
+time; nodes created after the plan resolve to their nearest planned
+ancestor's interval, which is always a superset of the edit's true
+scope — stale plans cost concurrency, never correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Sequence
+
+from repro.serving.shards import RankOwnership, Shard
+
+__all__ = ["AreaLockManager"]
+
+
+class AreaLockManager:
+    """Per-shard mutexes plus interval → scope resolution."""
+
+    def __init__(self, shards: Sequence[Shard], size: int):
+        self.ownership = RankOwnership(shards, size)
+        self.shards = tuple(shards)
+        self._locks: Dict[str, threading.Lock] = {
+            shard.shard_id: threading.Lock() for shard in shards
+        }
+        self._stats_lock = threading.Lock()
+        self.acquisitions = 0
+        self.wait_ns = 0
+        self.scoped_writes = 0
+
+    # ------------------------------------------------------------------
+    def scope_for_interval(self, low: int, high: int) -> List[str]:
+        """Sorted shard ids a subtree interval overlaps — the lock set
+        of one edit. Sorted order is the deadlock-avoidance invariant:
+        every writer acquires its set in the same global order."""
+        return sorted(self.ownership.owners_in_range(low, high))
+
+    def acquire(self, shard_ids: Sequence[str]) -> None:
+        started = time.perf_counter_ns()
+        for shard_id in shard_ids:
+            self._locks[shard_id].acquire()
+        waited = time.perf_counter_ns() - started
+        with self._stats_lock:
+            self.acquisitions += len(shard_ids)
+            self.wait_ns += waited
+            self.scoped_writes += 1
+
+    def release(self, shard_ids: Sequence[str]) -> None:
+        for shard_id in reversed(shard_ids):
+            self._locks[shard_id].release()
+
+    class _Scope:
+        __slots__ = ("manager", "shard_ids")
+
+        def __init__(self, manager: "AreaLockManager", shard_ids: List[str]):
+            self.manager = manager
+            self.shard_ids = shard_ids
+
+        def __enter__(self) -> List[str]:
+            self.manager.acquire(self.shard_ids)
+            return self.shard_ids
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            self.manager.release(self.shard_ids)
+            return False
+
+    def scoped(self, low: int, high: int) -> "AreaLockManager._Scope":
+        """Context manager locking the scope of ``[low, high]``."""
+        return self._Scope(self, self.scope_for_interval(low, high))
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return {
+                "area_lock_acquisitions": self.acquisitions,
+                "area_lock_wait_ns": self.wait_ns,
+                "area_scoped_writes": self.scoped_writes,
+                "area_lock_units": len(self._locks),
+            }
+
+    def __repr__(self) -> str:
+        return f"<AreaLockManager units={len(self._locks)}>"

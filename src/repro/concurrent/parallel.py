@@ -132,26 +132,32 @@ class ParallelQueryExecutor:
         context: Optional[XmlNode],
         chunks: Optional[int],
     ) -> List[XmlNode]:
+        # NodeStore protocol only — the pinned view may be a full
+        # StructuralView or a chained DeltaView; both serve candidate
+        # lists and an aligned rank column.
         view = snap.view
-        candidates = view.tag_ids.get(tag, [])
+        candidates = view.labels_with_tag(tag)
         if not candidates:
             return []
-        context_id = (context if context is not None else view.root).node_id
-        low = view.rank[context_id]
-        high = view.end[context_id]
-        rank = view.rank
+        context_label = (
+            view.label_for(context) if context is not None else view.root_label()
+        )
+        low = view.rank_of(context_label)
+        high = view.end_of(context_label)
+        ranks = view.tag_ranks(tag)
 
-        def filter_chunk(chunk: Sequence[int]) -> List[int]:
-            return [nid for nid in chunk if low <= rank[nid] <= high]
+        def filter_chunk(span: Sequence[int]) -> List[int]:
+            return [candidates[i] for i in span if low <= ranks[i] <= high]
 
-        parts = _split_chunks(candidates, chunks if chunks else self.threads)
+        parts = _split_chunks(range(len(candidates)), chunks if chunks else self.threads)
         if len(parts) == 1:
             kept = filter_chunk(parts[0])
         else:
             with ThreadPoolExecutor(max_workers=len(parts)) as pool:
                 kept = [nid for part in pool.map(filter_chunk, parts) for nid in part]
         self.document._note_chunks(len(parts))
-        return view.nodes(kept)
+        node_for = view.node_for
+        return [node_for(label) for label in kept]
 
     # ------------------------------------------------------------------
     def federated_find_tags(

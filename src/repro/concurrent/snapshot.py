@@ -52,6 +52,8 @@ class StructuralView(NodeStore):
 
     store_kind = "snapshot"
     supports_batched = True
+    #: a full view terminates every delta chain (see concurrent/delta.py)
+    chain_depth = 0
 
     __slots__ = (
         "generation",
@@ -351,6 +353,17 @@ class StructuralView(NodeStore):
 
     def descendant_labels(self, label: int, or_self: bool = False) -> List[int]:
         return self.descendant_slice(label, or_self=or_self)
+
+    def structural_labels_between(self, low: int, high: int) -> List[int]:
+        """Structural labels with rank in ``[low, high]`` (inclusive),
+        document order: a bisect into the rank column plus one slice —
+        the interval primitive delta views compose around their splice
+        point."""
+        self.stats.columnar_slices += 1
+        structural_ranks = self.structural_ranks
+        lo = bisect_left(structural_ranks, low)
+        hi = bisect_right(structural_ranks, high)
+        return self.structural_ids[lo:hi]
 
     def __repr__(self) -> str:
         return (

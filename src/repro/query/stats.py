@@ -47,6 +47,7 @@ class QueryStats:
     #: (store, generation)
     candidate_cache_hits: int = 0
     candidate_cache_misses: int = 0
+    candidate_cache_evictions: int = 0
     #: steps that fell back to the per-context path (predicates,
     #: sibling/horizontal axes, attribute axis)
     fallback_steps: int = 0

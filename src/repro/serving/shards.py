@@ -92,6 +92,23 @@ class RankOwnership:
             raise StorageError(f"rank {rank} is outside the shard plan")
         return self._entries[index][2]
 
+    def owners_in_range(self, low: int, high: int) -> List[str]:
+        """Distinct shard_ids owning any rank in the inclusive interval
+        ``[low, high]``, in first-touched order — the area-lock scope of
+        a subtree edit."""
+        if low > high:
+            return []
+        index = max(bisect_right(self._starts, low) - 1, 0)
+        owners: List[str] = []
+        seen = set()
+        for lo, hi, shard_id in self._entries[index:]:
+            if lo > high:
+                break
+            if hi >= low and shard_id not in seen:
+                seen.add(shard_id)
+                owners.append(shard_id)
+        return owners
+
 
 def validate_partition(shards: Sequence[Shard], size: int) -> None:
     """Every rank in ``0 .. size-1`` owned by exactly one shard."""

@@ -255,11 +255,14 @@ class XmlDatabase:
         faults=None,
         tracer=None,
         registry=None,
+        group_commit_size: int = 1,
     ):
         self.stats = IoStats()
         if registry is not None:
             self.stats.bind(registry, "io")
-        self.wal = wal if wal is not None else (Wal() if durable else None)
+        if wal is None and durable:
+            wal = Wal(stats=self.stats, group_commit_size=group_commit_size)
+        self.wal = wal
         self.pager = Pager(
             page_size=page_size,
             pool_pages=pool_pages,

@@ -35,6 +35,8 @@ class IoStats:
     evictions: int = 0
     wal_appends: int = 0
     wal_bytes: int = 0
+    wal_syncs: int = 0
+    wal_batches: int = 0
     recoveries: int = 0
     checksum_failures: int = 0
     retries: int = 0
@@ -64,6 +66,14 @@ class IoStats:
         with self._lock:
             self.wal_appends += 1
             self.wal_bytes += nbytes
+
+    def record_wal_sync(self) -> None:
+        with self._lock:
+            self.wal_syncs += 1
+
+    def record_wal_batch(self) -> None:
+        with self._lock:
+            self.wal_batches += 1
 
     def record_recovery(self) -> None:
         with self._lock:

@@ -16,10 +16,23 @@ Record wire format (all big-endian)::
     | 4B    | 1B   | 8B  | 4B          | 4B          | ...     |
     +-------+------+-----+-------------+-------------+---------+
 
-``kind`` is 1 for a page image (payload = 8-byte page id + image) and
-2 for a commit (payload = opaque metadata blob). The CRC covers the
-payload, so both torn writes (short tail) and in-place corruption
-(bad CRC) are detected and quarantined at the same point.
+``kind`` is 1 for a page image (payload = 8-byte page id + image),
+2 for a commit (payload = opaque metadata blob), and 3 for a *group
+commit* batch (payload = 4-byte logical commit count + 8-byte covered
+boundary lsn + the last commit's metadata blob — metadata blobs are
+cumulative catalog snapshots, so the last one suffices for the whole
+batch). The CRC covers the payload, so both torn writes (short tail)
+and in-place corruption (bad CRC) are detected and quarantined at the
+same point.
+
+Group commit (``group_commit_size > 1``) coalesces logical commits:
+:meth:`Wal.append_commit` defers the physical record, and a full
+window — size trigger, wall-clock window expiry, or an explicit
+:meth:`Wal.flush_commits` — writes **one** batch record and pays
+**one** sync for the whole batch. Deferred commits live only in
+memory until the flush: a crash loses the open batch in its entirety
+(whole batches or none, never a prefix of one), which is exactly the
+durability window the caller bought by enabling batching.
 
 :meth:`Wal.checkpoint` snapshots the current disk image as the new
 replay *base* and truncates the log — the standard trade between log
@@ -29,6 +42,8 @@ length and recovery time, measured by ``benchmarks/bench_recovery.py``.
 from __future__ import annotations
 
 import struct
+import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -37,10 +52,48 @@ from repro.errors import StorageError
 
 _RECORD_HEADER = struct.Struct(">4sBQII")  # magic, kind, lsn, length, crc32
 _PAGE_ID = struct.Struct(">Q")
+_BATCH_HEADER = struct.Struct(">IQ")  # logical commit count, boundary lsn
 _MAGIC = b"WALR"
 
 REC_PAGE = 1
 REC_COMMIT = 2
+REC_BATCH = 3
+
+
+@dataclass
+class WalStats:
+    """Commit/sync accounting for one :class:`Wal`.
+
+    ``logical_commits`` counts :meth:`Wal.append_commit` calls;
+    ``syncs`` counts simulated fsyncs. Group commit earns its keep
+    exactly when ``syncs < logical_commits``. The ``flush_*`` counters
+    attribute every batch flush to the trigger that fired it.
+    """
+
+    logical_commits: int = 0
+    physical_commit_records: int = 0
+    batch_records: int = 0
+    batched_commits: int = 0
+    syncs: int = 0
+    max_batch: int = 0
+    flush_size: int = 0
+    flush_window: int = 0
+    flush_explicit: int = 0
+    flush_checkpoint: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "logical_commits": self.logical_commits,
+            "physical_commit_records": self.physical_commit_records,
+            "batch_records": self.batch_records,
+            "batched_commits": self.batched_commits,
+            "syncs": self.syncs,
+            "max_batch": self.max_batch,
+            "flush_size": self.flush_size,
+            "flush_window": self.flush_window,
+            "flush_explicit": self.flush_explicit,
+            "flush_checkpoint": self.flush_checkpoint,
+        }
 
 
 @dataclass
@@ -58,6 +111,7 @@ class RecoveryResult:
     metadata: Optional[bytes] = None
     records_scanned: int = 0
     commits_applied: int = 0
+    batches_applied: int = 0
     pages_replayed: int = 0
     discarded_uncommitted: int = 0
     quarantined_bytes: int = 0
@@ -72,16 +126,41 @@ class Wal:
     the record's bytes per :meth:`append_page` / :meth:`append_commit`.
     """
 
-    def __init__(self, stats=None, tracer=None):
+    def __init__(
+        self,
+        stats=None,
+        tracer=None,
+        group_commit_size: int = 1,
+        group_commit_window_s: Optional[float] = None,
+        sync_delay_s: float = 0.0,
+    ):
         from repro.obs.trace import NULL_TRACER
 
+        if group_commit_size < 1:
+            raise StorageError(
+                f"group_commit_size must be >= 1, got {group_commit_size}"
+            )
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: logical commits per physical batch record; 1 = classic WAL
+        self.group_commit_size = group_commit_size
+        #: max seconds a deferred commit may wait before the *next*
+        #: commit flushes the batch regardless of its size
+        self.group_commit_window_s = group_commit_window_s
+        #: simulated fsync latency charged per sync (lets benchmarks
+        #: show the wall-clock win of batching, not just the counter)
+        self.sync_delay_s = sync_delay_s
+        self.wal_stats = WalStats()
         self._buf = bytearray()
         self._offsets: List[int] = []  # start offset of every record
         self._next_lsn = 1
         self._base_pages: Dict[int, bytes] = {}
         self._base_metadata: Optional[bytes] = None
+        # open batch: (covered lsn at deferral time, metadata) per
+        # deferred logical commit, plus when the batch opened
+        self._group_lock = threading.Lock()
+        self._pending_commits: List[Tuple[int, bytes]] = []
+        self._batch_opened_at: float = 0.0
 
     # ------------------------------------------------------------------
     # Appending
@@ -90,9 +169,97 @@ class Wal:
         """Log a full page image prior to its write-back; returns lsn."""
         return self._append(REC_PAGE, _PAGE_ID.pack(page_id) + bytes(image))
 
-    def append_commit(self, metadata: bytes = b"") -> int:
-        """Log a commit marker carrying *metadata*; returns its lsn."""
-        return self._append(REC_COMMIT, bytes(metadata))
+    def append_commit(self, metadata: bytes = b"") -> Optional[int]:
+        """Log a commit carrying *metadata*.
+
+        Classic mode (``group_commit_size == 1``): writes one
+        ``REC_COMMIT`` record, pays one sync, returns its lsn.
+
+        Group mode: the commit joins the open batch and ``None`` is
+        returned — durability is deferred, never another thread
+        awaited. The batch flushes (one ``REC_BATCH`` record, one
+        sync) when it reaches ``group_commit_size``, when the commit
+        arrives after the batch's wall-clock window expired, or on an
+        explicit :meth:`flush_commits`; then the batch record's lsn is
+        returned.
+        """
+        with self._group_lock:
+            self.wal_stats.logical_commits += 1
+            if self.group_commit_size <= 1:
+                lsn = self._append(REC_COMMIT, bytes(metadata))
+                self.wal_stats.physical_commit_records += 1
+                self.wal_stats.max_batch = max(self.wal_stats.max_batch, 1)
+                self._sync()
+                return lsn
+            if not self._pending_commits:
+                self._batch_opened_at = time.monotonic()
+            # boundary: every record logged so far belongs to this
+            # logical commit or an earlier one
+            self._pending_commits.append((self._next_lsn - 1, bytes(metadata)))
+            if len(self._pending_commits) >= self.group_commit_size:
+                self.wal_stats.flush_size += 1
+                return self._flush_pending()
+            window = self.group_commit_window_s
+            if (
+                window is not None
+                and time.monotonic() - self._batch_opened_at >= window
+            ):
+                self.wal_stats.flush_window += 1
+                return self._flush_pending()
+            return None
+
+    def flush_commits(self) -> Optional[int]:
+        """Force the open batch out: one physical record, one sync.
+
+        Returns the flushed record's lsn, or ``None`` when no commit
+        was pending. Callers needing a durability point (shutdown, a
+        synchronous caller inside an async batch) use this instead of
+        waiting for the size trigger.
+        """
+        with self._group_lock:
+            if not self._pending_commits:
+                return None
+            self.wal_stats.flush_explicit += 1
+            return self._flush_pending()
+
+    def pending_commits(self) -> int:
+        """Logical commits deferred in the open batch (lost on crash)."""
+        with self._group_lock:
+            return len(self._pending_commits)
+
+    def _flush_pending(self) -> int:
+        """Write the open batch as one record + one sync. Caller holds
+        ``_group_lock``."""
+        batch = self._pending_commits
+        self._pending_commits = []
+        count = len(batch)
+        boundary, last_metadata = batch[-1]
+        if count == 1 and boundary == self._next_lsn - 1:
+            # a batch of one with nothing logged after it is just a
+            # commit — keep the log lean. (If later records snuck in
+            # before an explicit flush, the batch form's boundary is
+            # what keeps them out of the committed image.)
+            lsn = self._append(REC_COMMIT, last_metadata)
+            self.wal_stats.physical_commit_records += 1
+        else:
+            payload = _BATCH_HEADER.pack(count, boundary) + last_metadata
+            lsn = self._append(REC_BATCH, payload)
+            self.wal_stats.batch_records += 1
+            self.wal_stats.batched_commits += count
+            if self.stats is not None:
+                self.stats.record_wal_batch()
+        self.wal_stats.max_batch = max(self.wal_stats.max_batch, count)
+        self._sync()
+        return lsn
+
+    def _sync(self) -> None:
+        """Account one simulated fsync (the costly physical act group
+        commit amortises)."""
+        self.wal_stats.syncs += 1
+        if self.stats is not None:
+            self.stats.record_wal_sync()
+        if self.sync_delay_s > 0.0:
+            time.sleep(self.sync_delay_s)
 
     def _append(self, kind: int, payload: bytes) -> int:
         with self.tracer.span("wal.append", kind=kind, bytes=len(payload)):
@@ -151,7 +318,11 @@ class Wal:
         """A copy of this log containing only the first *record_count*
         records — the crash-at-every-point harness' time machine. With
         *torn_tail_bytes* > 0, that many bytes of the next record are
-        included as a torn tail."""
+        included as a torn tail.
+
+        Deferred group-commit batches are deliberately NOT copied: a
+        crash loses whatever had not reached its physical record —
+        that is the durability window group commit trades away."""
         if not 0 <= record_count <= len(self._offsets):
             raise StorageError(
                 f"prefix of {record_count} records from a "
@@ -162,7 +333,11 @@ class Wal:
             if record_count < len(self._offsets)
             else len(self._buf)
         )
-        clone = Wal()
+        clone = Wal(
+            group_commit_size=self.group_commit_size,
+            group_commit_window_s=self.group_commit_window_s,
+            sync_delay_s=self.sync_delay_s,
+        )
         clone._buf = bytearray(self._buf[:end])
         clone._offsets = list(self._offsets[:record_count])
         clone._next_lsn = record_count + 1
@@ -185,48 +360,82 @@ class Wal:
         """Adopt *pages* as the new replay base and truncate the log.
 
         The caller (the pager) must have flushed every dirty page
-        first, so *pages* is exactly the committed state.
+        first, so *pages* is exactly the committed state. Any open
+        group-commit batch is absorbed: the base image already holds
+        those commits' effects, so the pending markers are dropped and
+        the checkpoint's own sync makes them durable.
         """
-        self._base_pages = {pid: bytes(raw) for pid, raw in pages.items()}
-        self._base_metadata = metadata
-        self._buf = bytearray()
-        self._offsets = []
+        with self._group_lock:
+            if self._pending_commits:
+                self.wal_stats.flush_checkpoint += 1
+                self.wal_stats.max_batch = max(
+                    self.wal_stats.max_batch, len(self._pending_commits)
+                )
+                self._pending_commits = []
+            self._base_pages = {pid: bytes(raw) for pid, raw in pages.items()}
+            self._base_metadata = metadata
+            self._buf = bytearray()
+            self._offsets = []
+            self._sync()
 
     def replay(self) -> RecoveryResult:
         """Reconstruct the last-committed disk image.
 
         Scans forward verifying each record; page images accumulate in
         a pending set that is applied atomically at each commit marker.
-        A short or CRC-failing record halts the scan: everything from
-        it onward is quarantined, and pending (uncommitted) images are
-        discarded.
+        A batch record applies only the pending images at or below its
+        boundary lsn — images logged after the batch's last logical
+        commit belong to the *next* transaction and stay pending. A
+        short or CRC-failing record halts the scan: everything from it
+        onward is quarantined, and pending (uncommitted) images are
+        discarded. A group-commit batch is therefore all-or-nothing: a
+        crash before its single physical record loses every commit in
+        it, never a prefix.
         """
         with self.tracer.span("wal.replay", log_bytes=len(self._buf)) as span:
             result = RecoveryResult(
                 pages=dict(self._base_pages), metadata=self._base_metadata
             )
-            pending: Dict[int, Tuple[int, bytes]] = {}
+            # page_id -> [(lsn, image), ...] in log order; a list, not
+            # one slot, because a boundary may commit an early image of
+            # a page while a later rewrite of it stays uncommitted
+            pending: Dict[int, List[Tuple[int, bytes]]] = {}
             offset = 0
             while offset < len(self._buf):
                 record = self._read_record(offset)
                 if isinstance(record, str):  # halt reason
                     result.halt = record
                     break
-                kind, _lsn, payload, next_offset = record
+                kind, lsn, payload, next_offset = record
                 result.records_scanned += 1
                 if kind == REC_PAGE:
                     page_id = _PAGE_ID.unpack_from(payload, 0)[0]
-                    pending[page_id] = (
-                        result.records_scanned,
-                        payload[_PAGE_ID.size :],
+                    pending.setdefault(page_id, []).append(
+                        (lsn, payload[_PAGE_ID.size :])
                     )
                 else:
-                    for page_id, (_seq, image) in pending.items():
-                        result.pages[page_id] = image
-                    result.pages_replayed += len(pending)
-                    pending.clear()
-                    result.metadata = payload
-                    result.commits_applied += 1
+                    if kind == REC_BATCH:
+                        count, boundary = _BATCH_HEADER.unpack_from(payload, 0)
+                        metadata = payload[_BATCH_HEADER.size :]
+                        result.batches_applied += 1
+                    else:
+                        count, boundary = 1, lsn
+                        metadata = payload
+                    applied = 0
+                    for page_id in list(pending):
+                        images = pending[page_id]
+                        committed = [img for img in images if img[0] <= boundary]
+                        if committed:
+                            result.pages[page_id] = committed[-1][1]
+                            applied += 1
+                        remaining = [img for img in images if img[0] > boundary]
+                        if remaining:
+                            pending[page_id] = remaining
+                        else:
+                            del pending[page_id]
+                    result.pages_replayed += applied
+                    result.metadata = metadata
+                    result.commits_applied += count
                 offset = next_offset
             result.discarded_uncommitted = len(pending)
             result.quarantined_bytes = len(self._buf) - offset
@@ -242,7 +451,7 @@ class Wal:
         if offset + _RECORD_HEADER.size > len(self._buf):
             return "torn-record"
         magic, kind, lsn, length, crc = _RECORD_HEADER.unpack_from(self._buf, offset)
-        if magic != _MAGIC or kind not in (REC_PAGE, REC_COMMIT):
+        if magic != _MAGIC or kind not in (REC_PAGE, REC_COMMIT, REC_BATCH):
             return "corrupt-record"
         start = offset + _RECORD_HEADER.size
         if start + length > len(self._buf):
@@ -251,6 +460,8 @@ class Wal:
         if zlib.crc32(payload) != crc:
             return "corrupt-record"
         if kind == REC_PAGE and len(payload) < _PAGE_ID.size:
+            return "corrupt-record"
+        if kind == REC_BATCH and len(payload) < _BATCH_HEADER.size:
             return "corrupt-record"
         return kind, lsn, payload, start + length
 

@@ -276,6 +276,23 @@ class NodeStore:
                 out.append(candidate)
         return out
 
+    def structural_labels_between(self, low: int, high: int) -> List[Label]:
+        """Structural (non-attribute) labels with preorder rank in the
+        inclusive interval ``[low, high]``, document order. Stores with
+        a rank column answer with one bisect + slice; this default
+        probes rank by rank."""
+        from repro.errors import UnknownLabelError
+
+        out: List[Label] = []
+        for rank in range(max(low, 0), high + 1):
+            try:
+                candidate = self.label_at(rank)
+            except UnknownLabelError:
+                break
+            if self.record(candidate).kind is not NodeKind.ATTRIBUTE:
+                out.append(candidate)
+        return out
+
     def ancestor_labels(self, label: Label, or_self: bool = False) -> List[Label]:
         """Ancestors root-first, by parent hops."""
         chain: List[Label] = [label] if or_self else []

@@ -74,11 +74,15 @@ class StoreEvaluator(BaseEvaluator):
         #: none ignore this); kept switchable so the differential and
         #: property suites can pin SQL answers against the Python paths
         self.pushdown = pushdown
-        # (labels, ranks) per node test, valid for one (store,
-        # generation) pair — repeated steps over the same tag reuse the
-        # arrays instead of rebuilding candidate lists
-        self._candidate_cache: Dict[Tuple, Tuple[List[Label], Sequence[int]]] = {}
-        self._candidate_cache_key: Optional[Tuple[int, int]] = None
+        # two-level candidate cache: (store id, generation) -> node
+        # test token -> (labels, ranks). The outer key makes eviction
+        # generation-precise — the concurrent layer drops exactly a
+        # reclaimed generation's arrays without touching live ones —
+        # while a store relabeling in place still invalidates its own
+        # stale bucket on first use of the new generation.
+        self._candidate_cache: Dict[
+            Tuple[int, int], Dict[Tuple, Tuple[List[Label], Sequence[int]]]
+        ] = {}
 
     # -- BaseEvaluator hooks ------------------------------------------------
     def doc_order(self) -> Dict[int, int]:
@@ -133,9 +137,19 @@ class StoreEvaluator(BaseEvaluator):
         in document-rank order, cached per (store, generation)."""
         store = self.store
         cache_key = (id(store), store.generation)
-        if cache_key != self._candidate_cache_key:
-            self._candidate_cache.clear()
-            self._candidate_cache_key = cache_key
+        bucket = self._candidate_cache.get(cache_key)
+        if bucket is None:
+            # a store that relabeled in place leaves a stale bucket
+            # under its old generation: drop it so the cache stays
+            # bounded at one generation per live store
+            stale = [
+                key
+                for key in self._candidate_cache
+                if key[0] == cache_key[0] and key[1] != cache_key[1]
+            ]
+            for key in stale:
+                del self._candidate_cache[key]
+            bucket = self._candidate_cache[cache_key] = {}
         node_type = test.node_type
         if node_type is None:
             token = ("tag", test.name)
@@ -143,7 +157,7 @@ class StoreEvaluator(BaseEvaluator):
             token = ("kind", node_type)
         else:
             return None
-        cached = self._candidate_cache.get(token)
+        cached = bucket.get(token)
         if cached is not None:
             self.stats.count("candidate_cache_hits")
             return cached
@@ -163,8 +177,22 @@ class StoreEvaluator(BaseEvaluator):
             rank_of = store.rank_of
             ranks = array("q", (rank_of(lb) for lb in labels))
         pair = (labels, ranks)
-        self._candidate_cache[token] = pair
+        bucket[token] = pair
         return pair
+
+    def evict_generation(self, generation: int) -> int:
+        """Drop every cached candidate array built for *generation*.
+
+        Called by the concurrent layer when epoch reclamation retires a
+        generation's view: the arrays hold label lists pinned to that
+        view, and evicting them here is what lets the view's buffers
+        actually be freed. Returns the number of buckets dropped."""
+        doomed = [key for key in self._candidate_cache if key[1] == generation]
+        for key in doomed:
+            del self._candidate_cache[key]
+        if doomed:
+            self.stats.count("candidate_cache_evictions", len(doomed))
+        return len(doomed)
 
     def _eval_step(self, nodes: List[XmlNode], step: Step) -> List[XmlNode]:
         pushdown = self.store.axis_pushdown

@@ -168,6 +168,41 @@ def test_post_update_agreement(scheme):
         assert got == want, f"{scheme} diverged post-update on {query}"
 
 
+@pytest.mark.parametrize("chain_limit", [2, 8])
+def test_delta_chain_view_matches_navigational(chain_limit):
+    """The concurrent write path's chained delta views answer every
+    corpus query node-for-node like navigation on the mutated tree.
+
+    A small ``chain_limit`` forces compaction folds mid-workload, so
+    both chained-delta and freshly-folded views are exercised; the
+    large limit keeps one deep chain alive to the end.
+    """
+    from repro.concurrent import ConcurrentDocument, DeltaView
+
+    tree = CORPORA["xmark"][0]()
+    doc = ConcurrentDocument(tree, scheme="ruid2", delta_chain_limit=chain_limit)
+    with doc.pin():
+        pass  # materialise the base so every edit publishes eagerly
+    ops = generate_update_workload(
+        tree, UpdateWorkloadConfig(operations=30, insert_fraction=0.7), seed=37
+    )
+    for _report in apply_workload(tree, ops, doc.insert, doc.delete):
+        pass
+    stats = doc.stats_snapshot()
+    assert stats["snapshot_builds_delta"] > 0, "workload never exercised deltas"
+    engine = XPathEngine(tree)
+    with doc.pin() as snap:
+        if chain_limit > 2 and stats["delta_fallbacks"] == 0:
+            assert isinstance(snap.view, DeltaView)
+        for query in CORPORA["xmark"][1]:
+            want = result_keys(engine.select(query, strategy="navigational"), tree)
+            got = result_keys(snap.select(query), tree)
+            assert got == want, (
+                f"delta chain (limit={chain_limit}) diverged from "
+                f"navigation on {query}"
+            )
+
+
 def test_post_update_cardinalities_agree_across_schemes():
     """All updatable schemes, replaying the same workload on identical
     tree copies, report identical result sizes for every query."""

@@ -1,0 +1,236 @@
+"""WAL group commit: batching semantics and batch-boundary recovery.
+
+The contract under test (docs/ROBUSTNESS.md): with
+``group_commit_size > 1`` a logical commit defers its physical record;
+a flush writes ONE record and pays ONE sync for the whole batch; and
+recovery applies **whole batches or none** — a crash can lose an open
+batch entirely, but can never surface a strict prefix of one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.iostats import IoStats
+from repro.storage.wal import REC_BATCH, Wal
+
+
+def _run_txns(wal: Wal, count: int, pages_per_txn: int = 2):
+    """*count* transactions: a few page images then a logical commit."""
+    page_id = 0
+    for txn in range(count):
+        for _ in range(pages_per_txn):
+            wal.append_page(page_id, b"txn%d-p%d" % (txn, page_id))
+            page_id += 1
+        wal.append_commit(b"meta%d" % txn)
+
+
+class TestBatching:
+    def test_classic_mode_is_unchanged(self):
+        wal = Wal()
+        _run_txns(wal, 3)
+        stats = wal.wal_stats
+        assert stats.logical_commits == 3
+        assert stats.physical_commit_records == 3
+        assert stats.batch_records == 0
+        assert stats.syncs == 3
+        assert wal.pending_commits() == 0
+
+    def test_size_trigger_coalesces_syncs(self):
+        wal = Wal(group_commit_size=4)
+        _run_txns(wal, 8)
+        stats = wal.wal_stats
+        assert stats.logical_commits == 8
+        assert stats.syncs == 2  # two full batches
+        assert stats.batch_records == 2
+        assert stats.batched_commits == 8
+        assert stats.flush_size == 2
+        assert stats.max_batch == 4
+
+    def test_syncs_strictly_below_commits_at_batch_four(self):
+        # the ISSUE's acceptance gate, as a unit assertion
+        wal = Wal(group_commit_size=4)
+        _run_txns(wal, 16)
+        wal.flush_commits()
+        assert wal.wal_stats.syncs < wal.wal_stats.logical_commits
+
+    def test_deferred_commit_returns_none_flush_returns_lsn(self):
+        wal = Wal(group_commit_size=3)
+        assert wal.append_commit(b"a") is None
+        assert wal.append_commit(b"b") is None
+        lsn = wal.append_commit(b"c")
+        assert isinstance(lsn, int)
+        assert wal.append_commit(b"d") is None
+        assert isinstance(wal.flush_commits(), int)
+        assert wal.flush_commits() is None  # nothing pending
+        assert wal.wal_stats.flush_explicit == 1
+
+    def test_single_commit_flush_writes_plain_commit_record(self):
+        wal = Wal(group_commit_size=8)
+        wal.append_commit(b"solo")
+        wal.flush_commits()
+        stats = wal.wal_stats
+        assert stats.batch_records == 0
+        assert stats.physical_commit_records == 1
+        result = wal.replay()
+        assert result.commits_applied == 1
+        assert result.metadata == b"solo"
+
+    def test_window_expiry_flushes_at_next_commit(self):
+        wal = Wal(group_commit_size=100, group_commit_window_s=0.005)
+        assert wal.append_commit(b"a") is None  # opens the batch
+        time.sleep(0.01)
+        # the window expired: the next commit joins the batch and flushes
+        lsn = wal.append_commit(b"b")
+        assert isinstance(lsn, int)
+        assert wal.wal_stats.flush_window == 1
+        assert wal.pending_commits() == 0
+        assert wal.replay().commits_applied == 2
+
+    def test_iostats_charged_per_sync_and_batch(self):
+        ledger = IoStats()
+        wal = Wal(stats=ledger, group_commit_size=4)
+        _run_txns(wal, 8)
+        assert ledger.wal_syncs == 2
+        assert ledger.wal_batches == 2
+
+    def test_group_size_must_be_positive(self):
+        with pytest.raises(StorageError):
+            Wal(group_commit_size=0)
+
+
+class TestBoundaryCorrectness:
+    def test_explicit_flush_excludes_later_transactions_pages(self):
+        """Pages logged after the batch's last commit stay uncommitted
+        even though they physically precede the batch record."""
+        wal = Wal(group_commit_size=8)
+        wal.append_page(1, b"committed")
+        wal.append_commit(b"c1")
+        wal.append_page(1, b"rewrite-uncommitted")
+        wal.append_page(2, b"new-uncommitted")
+        wal.flush_commits()
+        result = wal.replay()
+        assert result.pages == {1: b"committed"}
+        assert result.commits_applied == 1
+        assert result.discarded_uncommitted == 2
+
+    def test_early_image_commits_while_later_rewrite_stays_pending(self):
+        """A page written in txn A (batched) and rewritten by an
+        in-flight txn B keeps A's image in the committed state."""
+        wal = Wal(group_commit_size=2)
+        wal.append_page(7, b"A")
+        wal.append_commit(b"a")
+        wal.append_page(7, b"B")  # txn B starts rewriting page 7
+        wal.append_commit(b"b")  # txn B commits -> size trigger fires
+        result = wal.replay()
+        assert result.pages == {7: b"B"}
+        assert result.commits_applied == 2
+        # now the asymmetric case: B never commits
+        wal2 = Wal(group_commit_size=8)
+        wal2.append_page(7, b"A")
+        wal2.append_commit(b"a")
+        wal2.append_page(7, b"B")
+        wal2.flush_commits()
+        result2 = wal2.replay()
+        assert result2.pages == {7: b"A"}
+        assert result2.discarded_uncommitted == 1
+
+    def test_checkpoint_absorbs_open_batch(self):
+        wal = Wal(group_commit_size=8)
+        wal.append_page(1, b"img")
+        wal.append_commit(b"c1")
+        assert wal.pending_commits() == 1
+        wal.checkpoint({1: b"img"}, b"c1")
+        assert wal.pending_commits() == 0
+        assert wal.wal_stats.flush_checkpoint == 1
+        result = wal.replay()
+        assert result.pages == {1: b"img"}
+        assert result.metadata == b"c1"
+
+
+class TestCrashAtEveryPoint:
+    """Truncate the log after every record (plus torn-tail variants of
+    the next record) and recover: the committed image must always be a
+    whole-batch prefix of history — never a partial batch."""
+
+    BATCH = 3
+    TXNS = 7  # 2 full batches flushed, 1 commit left pending
+
+    def _build(self):
+        wal = Wal(group_commit_size=self.BATCH)
+        _run_txns(wal, self.TXNS, pages_per_txn=1)
+        return wal
+
+    def test_whole_batches_or_none_at_every_truncation_point(self):
+        wal = self._build()
+        valid_counts = {0, self.BATCH, 2 * self.BATCH}
+        seen = set()
+        for point in range(wal.record_count + 1):
+            result = wal.prefix(point).replay()
+            assert result.commits_applied in valid_counts, (
+                f"crash after record {point} surfaced "
+                f"{result.commits_applied} commits — a partial batch"
+            )
+            if result.commits_applied:
+                # metadata is the LAST commit of a complete batch
+                last = result.commits_applied - 1
+                assert result.metadata == b"meta%d" % last
+                # every page of every applied batch is present
+                for txn in range(result.commits_applied):
+                    assert wal.prefix(point).replay().pages[txn] == (
+                        b"txn%d-p%d" % (txn, txn)
+                    )
+            seen.add(result.commits_applied)
+        # the harness actually exercised both batch boundaries
+        assert seen == valid_counts
+
+    def test_torn_tail_never_surfaces_a_partial_batch(self):
+        wal = self._build()
+        for point in range(wal.record_count):
+            for torn in (1, 5, 11):
+                result = wal.prefix(point, torn_tail_bytes=torn).replay()
+                assert result.commits_applied in (0, self.BATCH, 2 * self.BATCH)
+                assert result.halt == "torn-record"
+                assert result.quarantined_bytes > 0
+
+    def test_corrupt_batch_record_quarantines_batch(self):
+        wal = Wal(group_commit_size=2)
+        _run_txns(wal, 2, pages_per_txn=1)  # pages + one REC_BATCH
+        assert wal.wal_stats.batch_records == 1
+        # flip a bit inside the batch record (the last record's payload)
+        wal.damage(len(wal._buf) - 1)
+        result = wal.replay()
+        assert result.halt == "corrupt-record"
+        assert result.commits_applied == 0
+        assert result.pages == {}
+
+    def test_replay_counts_batches(self):
+        wal = self._build()
+        wal.flush_commits()  # the 7th commit goes out as a singleton
+        result = wal.replay()
+        assert result.commits_applied == self.TXNS
+        assert result.batches_applied == 2
+        assert result.metadata == b"meta%d" % (self.TXNS - 1)
+
+    def test_prefix_drops_pending_batch(self):
+        wal = self._build()
+        assert wal.pending_commits() == 1
+        crashed = wal.prefix(wal.record_count)
+        assert crashed.pending_commits() == 0
+        assert crashed.group_commit_size == self.BATCH
+        assert crashed.replay().commits_applied == 2 * self.BATCH
+
+
+def test_batch_record_kind_is_on_the_wire():
+    """The wire format really contains REC_BATCH records (not commits
+    replayed from memory state)."""
+    wal = Wal(group_commit_size=2)
+    _run_txns(wal, 2)
+    kinds = [wal._buf[offset + 4] for offset in wal._offsets]  # magic is 4B
+    assert REC_BATCH in kinds
+    # round-trip through a byte-identical clone
+    clone = wal.prefix(wal.record_count)
+    assert clone.replay().commits_applied == 2
